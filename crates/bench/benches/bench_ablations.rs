@@ -1,0 +1,30 @@
+//! Regenerates the §7 future-work ablations (memory latency, block size,
+//! branch prediction accuracy) and benchmarks one representative point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wec_bench::ablations;
+use wec_bench::runner::{CfgKey, Runner, Suite};
+use wec_core::config::ProcPreset;
+use wec_cpu::bpred::BpredKind;
+use wec_workloads::{run_and_verify, Bench, Scale};
+
+fn bench(c: &mut Criterion) {
+    let suite = Suite::build(Scale::SMOKE);
+    let runner = Runner::new(&suite);
+    for t in ablations::all(&runner) {
+        println!("{}", t.render());
+    }
+
+    let workload = Bench::Mcf.build(Scale::SMOKE);
+    let mut key = CfgKey::paper(ProcPreset::WthWpWec, 8);
+    key.bpred = BpredKind::Gshare;
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("simulate mcf with gshare + wec", |b| {
+        b.iter(|| run_and_verify(&workload, key.build()).unwrap().cycles)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates the paper's Figure 13 (printed once at SMOKE scale; see
+//! `cargo run -p wec-bench --bin experiments` for the PAPER-scale version)
+//! and benchmarks a representative simulation point of the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wec_bench::experiments;
+use wec_bench::runner::{CfgKey, Runner, Suite};
+use wec_core::config::ProcPreset;
+use wec_workloads::{run_and_verify, Bench, Scale};
+
+fn bench(c: &mut Criterion) {
+    let suite = Suite::build(Scale::SMOKE);
+    let runner = Runner::new(&suite);
+    println!("{}", experiments::fig13(&runner).render());
+
+    let workload = Bench::Mcf.build(Scale::SMOKE);
+    let key: CfgKey = { let mut k = CfgKey::paper(ProcPreset::WthWpWec, 8); k.l1_kb = 4; k };
+    let _ = ProcPreset::Orig; // keep the import used across variants
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    group.bench_function("simulate mcf @ representative point", |b| {
+        b.iter(|| run_and_verify(&workload, key.build()).unwrap().cycles)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

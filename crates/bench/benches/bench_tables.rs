@@ -1,0 +1,28 @@
+//! Regenerates the paper's Tables 1–3 and benchmarks workload construction
+//! (data generation + host reference + program assembly).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wec_bench::experiments;
+use wec_bench::runner::{Runner, Suite};
+use wec_workloads::{Bench, Scale};
+
+fn bench(c: &mut Criterion) {
+    let suite = Suite::build(Scale::SMOKE);
+    let runner = Runner::new(&suite);
+    println!("{}", experiments::table1(&suite).render());
+    println!("{}", experiments::table2(&runner).render());
+    println!("{}", experiments::table3().render());
+
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("build 181.mcf workload", |b| {
+        b.iter(|| Bench::Mcf.build(Scale::SMOKE).program.text.len())
+    });
+    group.bench_function("build 183.equake workload", |b| {
+        b.iter(|| Bench::Equake.build(Scale::SMOKE).program.text.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

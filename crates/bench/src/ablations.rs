@@ -1,0 +1,125 @@
+//! The sensitivity studies the paper's conclusion (§7) names as future
+//! work: memory latency, cache block size, and branch prediction accuracy
+//! versus the WEC's benefit.  Each table reports the `wth-wp-wec` relative
+//! speedup over `orig` when only the named parameter changes.
+
+use wec_common::stats::relative_speedup_pct;
+use wec_common::table::Table;
+use wec_core::config::ProcPreset;
+use wec_cpu::bpred::BpredKind;
+
+use crate::runner::{CfgKey, Runner};
+
+fn speedup_sweep<K: Clone>(
+    runner: &Runner,
+    title: &str,
+    variants: &[(String, K)],
+    mut apply: impl FnMut(&mut CfgKey, &K),
+) -> Table {
+    let suite = runner.suite();
+    let mut keys = Vec::new();
+    for (_, v) in variants {
+        for preset in [ProcPreset::Orig, ProcPreset::WthWpWec] {
+            let mut k = CfgKey::paper(preset, 8);
+            apply(&mut k, v);
+            keys.push(k);
+        }
+    }
+    runner.warm_all_benches(&keys);
+
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(variants.iter().map(|(n, _)| n.clone()));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(title, &hdr);
+    let mut sums = vec![0.0; variants.len()];
+    for (i, w) in suite.workloads.iter().enumerate() {
+        let mut vals = Vec::new();
+        for (col, (_, v)) in variants.iter().enumerate() {
+            let mut base = CfgKey::paper(ProcPreset::Orig, 8);
+            apply(&mut base, v);
+            let mut wec = CfgKey::paper(ProcPreset::WthWpWec, 8);
+            apply(&mut wec, v);
+            let b = runner.metrics(i, base).cycles;
+            let c = runner.metrics(i, wec).cycles;
+            let s = relative_speedup_pct(b, c);
+            sums[col] += s;
+            vals.push(s);
+        }
+        t.row_f64(w.name, &vals);
+    }
+    let n = suite.workloads.len() as f64;
+    let avgs: Vec<f64> = sums.into_iter().map(|s| s / n).collect();
+    t.row_f64("average", &avgs);
+    t
+}
+
+/// §7 ablation: round-trip memory latency (the paper fixed it at 200).
+pub fn memory_latency(runner: &Runner) -> Table {
+    let variants: Vec<(String, u16)> = [88u16, 188, 388]
+        .iter()
+        .map(|&l| (format!("{}-cycle round trip", l + 12), l))
+        .collect();
+    speedup_sweep(
+        runner,
+        "Ablation A — wth-wp-wec speedup over orig vs memory latency (%)",
+        &variants,
+        |k, &l| k.mem_latency = l,
+    )
+}
+
+/// §7 ablation: L1 block size (the paper fixed it at 64 bytes).
+pub fn block_size(runner: &Runner) -> Table {
+    let variants: Vec<(String, u16)> = [32u16, 64, 128]
+        .iter()
+        .map(|&b| (format!("{b}B blocks"), b))
+        .collect();
+    speedup_sweep(
+        runner,
+        "Ablation B — wth-wp-wec speedup over orig vs L1 block size (%)",
+        &variants,
+        |k, &b| k.l1_block = b,
+    )
+}
+
+/// §7 ablation: branch prediction accuracy.  Less accurate prediction means
+/// more wrong-path execution — the paper conjectures a relationship between
+/// accuracy and WEC benefit; this measures it.
+pub fn branch_prediction(runner: &Runner) -> Table {
+    let variants: Vec<(String, BpredKind)> = vec![
+        ("static-taken".into(), BpredKind::StaticTaken),
+        ("bimodal (paper)".into(), BpredKind::Bimodal),
+        ("gshare".into(), BpredKind::Gshare),
+    ];
+    speedup_sweep(
+        runner,
+        "Ablation C — wth-wp-wec speedup over orig vs branch predictor (%)",
+        &variants,
+        |k, &b| k.bpred = b,
+    )
+}
+
+/// All three §7 ablations.
+pub fn all(runner: &Runner) -> Vec<Table> {
+    vec![
+        memory_latency(runner),
+        block_size(runner),
+        branch_prediction(runner),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Suite;
+    use wec_workloads::Scale;
+
+    #[test]
+    fn ablation_tables_have_a_row_per_benchmark_plus_average() {
+        // One tiny point to keep the test fast: shrink the sweep by running
+        // only the block-size table at SMOKE scale.
+        let suite = Suite::build(Scale::SMOKE);
+        let runner = Runner::new(&suite);
+        let t = block_size(&runner);
+        assert_eq!(t.n_rows(), 7);
+    }
+}

@@ -1,0 +1,84 @@
+//! Minimal repro driver for target-store corruption under wrong execution.
+
+use wec_core::config::ProcPreset;
+use wec_core::machine::Machine;
+use wec_isa::reg::Reg;
+use wec_isa::ProgramBuilder;
+
+fn main() {
+    // acc += a[i] through a target store, with a fat body so wrong threads
+    // live long enough to matter.
+    let n: i64 = 40;
+    let mut b = ProgramBuilder::new("dep");
+    let a: Vec<u64> = (1..=n as u64).collect();
+    let a_base = b.alloc_u64s(&a);
+    let acc = b.alloc_zeroed_u64s(1);
+    let _slack = b.alloc_bytes(32 * 1024, 64);
+    let (i, my, n_r, ab, accb, t0, t1, t2, j) = (
+        Reg(1),
+        Reg(3),
+        Reg(22),
+        Reg(20),
+        Reg(21),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+        Reg(7),
+    );
+    b.la(ab, a_base);
+    b.la(accb, acc);
+    b.li(n_r, n);
+    b.li(i, 0);
+    b.begin(2);
+    b.label("body");
+    b.mv(my, i);
+    b.addi(i, i, 1);
+    b.fork(&[i], "body");
+    b.tsannounce(accb, 0);
+    b.tsagdone();
+    // Busy work with a data-dependent branch (wrong-path fodder).
+    b.li(j, 20);
+    b.li(t2, 0);
+    b.label("work");
+    b.and(t0, j, my);
+    b.andi(t0, t0, 1);
+    b.beq(t0, Reg::ZERO, "skip");
+    b.slli(t1, j, 3);
+    b.add(t1, ab, t1);
+    b.ld(t1, t1, 0);
+    b.add(t2, t2, t1);
+    b.label("skip");
+    b.addi(j, j, -1);
+    b.bne(j, Reg::ZERO, "work");
+    // The dependence: acc += a[my].
+    b.ld(t0, accb, 0);
+    b.slli(t1, my, 3);
+    b.add(t1, ab, t1);
+    b.ld(t2, t1, 0);
+    b.add(t0, t0, t2);
+    b.sd(t0, accb, 0);
+    b.blt(i, n_r, "done");
+    b.abort_to("seq");
+    b.label("done");
+    b.thread_end();
+    b.label("seq");
+    b.halt();
+    let prog = b.build().unwrap();
+    let expected: u64 = a.iter().sum();
+    for preset in ProcPreset::ALL {
+        for tus in [2usize, 4, 8] {
+            let mut m = Machine::new(preset.machine(tus), &prog).unwrap();
+            match m.run() {
+                Ok(_) => {
+                    let got = m.memory().read_u64(acc).unwrap();
+                    println!(
+                        "{:10} {tus}TU acc={got} {}",
+                        preset.name(),
+                        if got == expected { "ok" } else { "** WRONG **" }
+                    );
+                }
+                Err(e) => println!("{:10} {tus}TU ERROR {e}", preset.name()),
+            }
+        }
+    }
+}

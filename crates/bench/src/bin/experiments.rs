@@ -1,0 +1,79 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments [--scale N] [--only figNN|tableN] [--csv]
+//! ```
+
+use wec_bench::experiments;
+
+type TableFn = Box<dyn Fn(&Runner) -> wec_common::table::Table>;
+use wec_bench::runner::{Runner, Suite};
+use wec_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::PAPER;
+    let mut only: Option<String> = None;
+    let mut csv = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = Scale {
+                    units: it.next().and_then(|s| s.parse().ok()).expect("--scale N"),
+                }
+            }
+            "--only" => only = it.next().cloned(),
+            "--csv" => csv = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    eprintln!("building the workload suite (scale units = {})…", scale.units);
+    let t0 = std::time::Instant::now();
+    let suite = Suite::build(scale);
+    eprintln!("built in {:.1}s; running experiments…", t0.elapsed().as_secs_f64());
+    let runner = Runner::new(&suite);
+
+    let selected: Vec<(&str, TableFn)> = vec![
+        ("table1", Box::new(|r: &Runner| experiments::table1(r.suite()))),
+        ("table2", Box::new(experiments::table2)),
+        ("table3", Box::new(|_r: &Runner| experiments::table3())),
+        ("fig08", Box::new(experiments::fig08)),
+        ("fig09", Box::new(experiments::fig09)),
+        ("fig10", Box::new(experiments::fig10)),
+        ("fig11", Box::new(experiments::fig11)),
+        ("fig12", Box::new(experiments::fig12)),
+        ("fig13", Box::new(experiments::fig13)),
+        ("fig14", Box::new(experiments::fig14)),
+        ("fig15", Box::new(experiments::fig15)),
+        ("fig16", Box::new(experiments::fig16)),
+        ("fig17", Box::new(experiments::fig17)),
+        ("ablation_mem_latency", Box::new(wec_bench::ablations::memory_latency)),
+        ("ablation_block_size", Box::new(wec_bench::ablations::block_size)),
+        ("ablation_bpred", Box::new(wec_bench::ablations::branch_prediction)),
+    ];
+
+    for (name, f) in &selected {
+        if let Some(filter) = &only {
+            if !name.contains(filter.as_str()) {
+                continue;
+            }
+        }
+        let t = std::time::Instant::now();
+        let table = f(&runner);
+        if csv {
+            println!("# {name}");
+            print!("{}", table.to_csv());
+        } else {
+            print!("{}", table.render());
+        }
+        eprintln!("[{name}: {:.1}s, {} simulations cached]", t.elapsed().as_secs_f64(), runner.simulations());
+        println!();
+    }
+    eprintln!(
+        "total {:.1}s, {} distinct simulations",
+        t0.elapsed().as_secs_f64(),
+        runner.simulations()
+    );
+}

@@ -1,0 +1,65 @@
+#![allow(clippy::useless_format, clippy::format_in_format_args)] // diagnostic tool: clarity over style
+//! Workload inspector: run one or all benchmark analogs under one preset
+//! and print the headline metrics (a debugging / calibration aid).
+//!
+//! Usage: `wlinfo [bench-substring] [preset] [tus] [scale-units] [max-mcycles]`
+
+use wec_core::config::ProcPreset;
+use wec_workloads::{run_and_verify, Bench, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filter = args.first().cloned().unwrap_or_default();
+    let preset_name = args.get(1).cloned().unwrap_or_else(|| "orig".into());
+    let tus: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let units: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let max_mcycles: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let preset = ProcPreset::ALL
+        .into_iter()
+        .find(|p| p.name() == preset_name)
+        .expect("unknown preset");
+
+    println!(
+        "{:12} {:>10} {:>10} {:>8} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>7}",
+        "bench", "cycles", "instr", "par%", "ipc", "l1d_miss", "l1d_acc", "wrongacc", "wthreads", "mispred%", "check"
+    );
+    for bench in Bench::ALL {
+        if !bench.name().contains(&filter) {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let w = bench.build(Scale { units });
+        let mut cfg = preset.machine(tus);
+        cfg.max_cycles = max_mcycles * 1_000_000;
+        let max = cfg.max_cycles;
+        match run_and_verify(&w, cfg) {
+            Ok(r) => {
+                let m = &r.metrics;
+                println!(
+                    "{:12} {:>10} {:>10} {:>7.1}% {:>6.2} {:>9} {:>9} {:>8} {:>8} {:>7.2}% {} ({:.1}s)",
+                    w.name,
+                    m.cycles,
+                    m.correct_instructions(),
+                    m.fraction_parallelized() * 100.0,
+                    m.ipc(),
+                    m.l1d.demand_misses,
+                    m.l1d.demand_accesses,
+                    m.l1d.wrong_accesses,
+                    m.threads_marked_wrong,
+                    m.mispredict_rate() * 100.0,
+                    format!("r{} t{} s{}k p{}k w{}k side={} uwf={} upf={} pf={} wpq={}", m.regions, m.threads_started, m.sequential_instructions/1000, m.parallel_instructions/1000, m.wrong_instructions/1000, m.l1d.side_hits, m.l1d.useful_wrong_fetches, m.l1d.useful_prefetches, m.l1d.prefetches_issued, m.wrong_loads_dropped),
+                    t0.elapsed().as_secs_f64(),
+                );
+            }
+            Err(e) => {
+                println!("{:12} ERROR: {e} ({:.1}s)", w.name, t0.elapsed().as_secs_f64());
+                // Re-run to just before the limit and dump machine state.
+                let mut cfg2 = preset.machine(tus);
+                cfg2.max_cycles = max;
+                let mut m = wec_core::machine::Machine::new(cfg2, &w.program).unwrap();
+                let _ = m.run();
+                eprintln!("{}", m.debug_snapshot());
+            }
+        }
+    }
+}

@@ -1,0 +1,624 @@
+//! One generator per table/figure of the paper's evaluation (§5).
+//!
+//! Each function returns a [`Table`] whose rows and columns mirror the
+//! paper's plot: benchmarks down the side, configurations across the top,
+//! the paper's metric in the cells (speedup %, normalized execution time,
+//! or raw counts).  The `average` row uses the paper's equal-importance
+//! average (§5, citing Lilja).
+
+use wec_common::stats::{
+    equal_importance_speedup, normalized_time, pct_change, pct_reduction, relative_speedup_pct,
+};
+use wec_common::table::Table;
+use wec_core::config::ProcPreset;
+
+use crate::runner::{CfgKey, Runner, Suite};
+
+/// The non-baseline presets of Figure 11, in the paper's legend order.
+pub const FIG11_PRESETS: [ProcPreset; 7] = [
+    ProcPreset::Vc,
+    ProcPreset::Wp,
+    ProcPreset::Wth,
+    ProcPreset::WthWp,
+    ProcPreset::WthWpVc,
+    ProcPreset::WthWpWec,
+    ProcPreset::Nlp,
+];
+
+fn bench_rows(suite: &Suite) -> Vec<(usize, &'static str)> {
+    suite
+        .workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (i, w.name))
+        .collect()
+}
+
+/// Append the equal-importance average row: `pairs[bench][col] = (base, new)`.
+fn push_average_speedup_row(t: &mut Table, pairs: &[Vec<(u64, u64)>]) {
+    let cols = pairs[0].len();
+    let avgs: Vec<f64> = (0..cols)
+        .map(|c| {
+            let col: Vec<(u64, u64)> = pairs.iter().map(|row| row[c]).collect();
+            (equal_importance_speedup(&col) - 1.0) * 100.0
+        })
+        .collect();
+    t.row_f64("average", &avgs);
+}
+
+/// Table 1: the manual program transformations used per benchmark.
+pub fn table1(suite: &Suite) -> Table {
+    let transforms = [
+        "loop coalescing",
+        "loop unrolling",
+        "statement reordering",
+    ];
+    let mut header = vec!["transformation"];
+    header.extend(suite.workloads.iter().map(|w| w.name));
+    let mut t = Table::new(
+        "Table 1 — program transformations used in manual parallelization",
+        &header,
+    );
+    for tr in transforms {
+        let mut row = vec![tr.to_string()];
+        for w in &suite.workloads {
+            row.push(if w.transforms.contains(&tr) { "X" } else { "" }.to_string());
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Table 2: dynamic instruction counts and the fraction parallelized
+/// (measured on the `orig` 8-TU machine).
+pub fn table2(runner: &Runner) -> Table {
+    let suite = runner.suite();
+    let key = CfgKey::paper(ProcPreset::Orig, 8);
+    runner.warm_all_benches(&[key]);
+    let mut t = Table::new(
+        "Table 2 — benchmark analogs: dynamic instructions and parallel fraction",
+        &[
+            "benchmark",
+            "suite/type",
+            "input analog",
+            "whole (Kinstr)",
+            "targeted loops (Kinstr)",
+            "fraction parallelized",
+        ],
+    );
+    for (i, w) in suite.workloads.iter().enumerate() {
+        let m = runner.metrics(i, key);
+        t.row(vec![
+            w.name.to_string(),
+            w.suite.to_string(),
+            w.input.to_string(),
+            format!("{:.1}", m.correct_instructions() as f64 / 1e3),
+            format!("{:.1}", m.parallel_instructions as f64 / 1e3),
+            format!("{:.1}%", m.fraction_parallelized() * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Table 3: the per-TU simulation parameters of the baseline sweep.
+pub fn table3() -> Table {
+    let mut t = Table::new(
+        "Table 3 — simulation parameters per thread unit",
+        &[
+            "# of TUs",
+            "issue rate",
+            "reorder buffer",
+            "INT ALU",
+            "INT MULT",
+            "FP ALU",
+            "FP MULT",
+            "L1 data cache (KB)",
+        ],
+    );
+    // The paper's leftmost column is the 1-TU single-issue reference.
+    let mut cols: Vec<(usize, CfgKey)> = vec![(1, CfgKey::single_issue())];
+    for tus in [1usize, 2, 4, 8, 16] {
+        cols.push((tus, CfgKey::table3(tus)));
+    }
+    for (tus, key) in cols {
+        let cfg = key.build();
+        t.row(vec![
+            tus.to_string(),
+            cfg.core.width.to_string(),
+            cfg.core.rob_size.to_string(),
+            cfg.core.int_alu.to_string(),
+            cfg.core.int_mul.to_string(),
+            cfg.core.fp_alu.to_string(),
+            cfg.core.fp_mul.to_string(),
+            (cfg.l1d.capacity_bytes / 1024).to_string(),
+        ]);
+    }
+    t
+}
+
+/// Figure 8: speedup of the parallelized portions under the Table 3
+/// configurations, relative to a single-thread single-issue processor.
+pub fn fig08(runner: &Runner) -> Table {
+    let suite = runner.suite();
+    let base = CfgKey::single_issue();
+    let sweep: Vec<(String, CfgKey)> = [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&tus| (format!("{tus}TU x {}-issue", 16 / tus), CfgKey::table3(tus)))
+        .collect();
+    let mut keys: Vec<CfgKey> = sweep.iter().map(|(_, k)| *k).collect();
+    keys.push(base);
+    runner.warm_all_benches(&keys);
+
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(sweep.iter().map(|(n, _)| n.clone()));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Figure 8 — parallel-region speedup vs 1TU/1-issue (x)",
+        &hdr,
+    );
+    let mut pairs: Vec<Vec<(u64, u64)>> = Vec::new();
+    for (i, name) in bench_rows(suite) {
+        let base_m = runner.metrics(i, base);
+        let mut vals = Vec::new();
+        let mut row_pairs = Vec::new();
+        for (_, key) in &sweep {
+            let m = runner.metrics(i, *key);
+            vals.push(base_m.region_cycles as f64 / m.region_cycles as f64);
+            row_pairs.push((base_m.region_cycles, m.region_cycles));
+        }
+        t.row_f64(name, &vals);
+        pairs.push(row_pairs);
+    }
+    // Average row in the same unit (x speedup).
+    let cols = pairs[0].len();
+    let avgs: Vec<f64> = (0..cols)
+        .map(|c| {
+            let col: Vec<(u64, u64)> = pairs.iter().map(|r| r[c]).collect();
+            equal_importance_speedup(&col)
+        })
+        .collect();
+    t.row_f64("average", &avgs);
+    t
+}
+
+/// Figure 9: whole-program speedup of `orig` (2–16 TU) and `wth-wp-wec`
+/// (1–16 TU) over the single-TU `orig` machine.
+pub fn fig09(runner: &Runner) -> Table {
+    let suite = runner.suite();
+    let base = CfgKey::paper(ProcPreset::Orig, 1);
+    let tus = [1usize, 2, 4, 8, 16];
+    let mut columns: Vec<(String, CfgKey)> = Vec::new();
+    for &n in &tus[1..] {
+        columns.push((format!("{n}TU orig"), CfgKey::paper(ProcPreset::Orig, n)));
+    }
+    for &n in &tus {
+        columns.push((
+            format!("{n}TU wec"),
+            CfgKey::paper(ProcPreset::WthWpWec, n),
+        ));
+    }
+    let mut keys: Vec<CfgKey> = columns.iter().map(|(_, k)| *k).collect();
+    keys.push(base);
+    runner.warm_all_benches(&keys);
+
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(columns.iter().map(|(n, _)| n.clone()));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Figure 9 — whole-program relative speedup vs orig 1TU (%)",
+        &hdr,
+    );
+    let mut pairs = Vec::new();
+    for (i, name) in bench_rows(suite) {
+        let b = runner.metrics(i, base).cycles;
+        let mut vals = Vec::new();
+        let mut row_pairs = Vec::new();
+        for (_, key) in &columns {
+            let c = runner.metrics(i, *key).cycles;
+            vals.push(relative_speedup_pct(b, c));
+            row_pairs.push((b, c));
+        }
+        t.row_f64(name, &vals);
+        pairs.push(row_pairs);
+    }
+    push_average_speedup_row(&mut t, &pairs);
+    t
+}
+
+/// Figure 10: `wth-wp-wec` vs `orig` at matched TU counts.
+pub fn fig10(runner: &Runner) -> Table {
+    let suite = runner.suite();
+    let tus = [1usize, 2, 4, 8, 16];
+    let mut keys = Vec::new();
+    for &n in &tus {
+        keys.push(CfgKey::paper(ProcPreset::Orig, n));
+        keys.push(CfgKey::paper(ProcPreset::WthWpWec, n));
+    }
+    runner.warm_all_benches(&keys);
+
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(tus.iter().map(|n| format!("{n}TU wec")));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Figure 10 — wth-wp-wec relative speedup vs orig at equal TU count (%)",
+        &hdr,
+    );
+    let mut pairs = Vec::new();
+    for (i, name) in bench_rows(suite) {
+        let mut vals = Vec::new();
+        let mut row_pairs = Vec::new();
+        for &n in &tus {
+            let b = runner.metrics(i, CfgKey::paper(ProcPreset::Orig, n)).cycles;
+            let c = runner
+                .metrics(i, CfgKey::paper(ProcPreset::WthWpWec, n))
+                .cycles;
+            vals.push(relative_speedup_pct(b, c));
+            row_pairs.push((b, c));
+        }
+        t.row_f64(name, &vals);
+        pairs.push(row_pairs);
+    }
+    push_average_speedup_row(&mut t, &pairs);
+    t
+}
+
+/// Figure 11: every configuration vs `orig`, all at 8 TUs.
+pub fn fig11(runner: &Runner) -> Table {
+    let suite = runner.suite();
+    let base = CfgKey::paper(ProcPreset::Orig, 8);
+    let mut keys = vec![base];
+    keys.extend(FIG11_PRESETS.iter().map(|&p| CfgKey::paper(p, 8)));
+    runner.warm_all_benches(&keys);
+
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(FIG11_PRESETS.iter().map(|p| p.name().to_string()));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Figure 11 — relative speedup vs orig, 8 thread units (%)",
+        &hdr,
+    );
+    let mut pairs = Vec::new();
+    for (i, name) in bench_rows(suite) {
+        let b = runner.metrics(i, base).cycles;
+        let mut vals = Vec::new();
+        let mut row_pairs = Vec::new();
+        for &p in &FIG11_PRESETS {
+            let c = runner.metrics(i, CfgKey::paper(p, 8)).cycles;
+            vals.push(relative_speedup_pct(b, c));
+            row_pairs.push((b, c));
+        }
+        t.row_f64(name, &vals);
+        pairs.push(row_pairs);
+    }
+    push_average_speedup_row(&mut t, &pairs);
+    t
+}
+
+/// Figure 12: L1 associativity sensitivity (direct-mapped vs 4-way) of the
+/// vc / wth-wp-vc / wth-wp-wec configurations, each against `orig` with the
+/// same associativity.
+pub fn fig12(runner: &Runner) -> Table {
+    let suite = runner.suite();
+    let presets = [ProcPreset::Vc, ProcPreset::WthWpVc, ProcPreset::WthWpWec];
+    let mut keys = Vec::new();
+    for ways in [1u8, 4] {
+        let mut k = CfgKey::paper(ProcPreset::Orig, 8);
+        k.l1_ways = ways;
+        keys.push(k);
+        for &p in &presets {
+            let mut k = CfgKey::paper(p, 8);
+            k.l1_ways = ways;
+            keys.push(k);
+        }
+    }
+    runner.warm_all_benches(&keys);
+
+    let mut header = vec!["benchmark".to_string()];
+    for ways in [1, 4] {
+        for p in presets {
+            header.push(format!("{}way {}", ways, p.name()));
+        }
+    }
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Figure 12 — relative speedup vs orig at the same L1 associativity (%)",
+        &hdr,
+    );
+    let mut pairs = Vec::new();
+    for (i, name) in bench_rows(suite) {
+        let mut vals = Vec::new();
+        let mut row_pairs = Vec::new();
+        for ways in [1u8, 4] {
+            let mut base = CfgKey::paper(ProcPreset::Orig, 8);
+            base.l1_ways = ways;
+            let b = runner.metrics(i, base).cycles;
+            for &p in &presets {
+                let mut k = CfgKey::paper(p, 8);
+                k.l1_ways = ways;
+                let c = runner.metrics(i, k).cycles;
+                vals.push(relative_speedup_pct(b, c));
+                row_pairs.push((b, c));
+            }
+        }
+        t.row_f64(name, &vals);
+        pairs.push(row_pairs);
+    }
+    push_average_speedup_row(&mut t, &pairs);
+    t
+}
+
+/// Figure 13: L1 size sweep (4/8/16/32 KB), normalized execution time
+/// against the 4 KB `orig` machine.
+pub fn fig13(runner: &Runner) -> Table {
+    let suite = runner.suite();
+    let sizes = [4u16, 8, 16, 32];
+    let mut keys = Vec::new();
+    for &kb in &sizes {
+        for p in [ProcPreset::Orig, ProcPreset::WthWpWec] {
+            let mut k = CfgKey::paper(p, 8);
+            k.l1_kb = kb;
+            keys.push(k);
+        }
+    }
+    runner.warm_all_benches(&keys);
+
+    let mut header = vec!["benchmark".to_string()];
+    for p in ["orig", "wth-wp-wec"] {
+        for kb in sizes {
+            header.push(format!("{p} {kb}k"));
+        }
+    }
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Figure 13 — normalized execution time vs orig 4KB L1 (lower is faster)",
+        &hdr,
+    );
+    for (i, name) in bench_rows(suite) {
+        let mut base = CfgKey::paper(ProcPreset::Orig, 8);
+        base.l1_kb = 4;
+        let b = runner.metrics(i, base).cycles;
+        let mut vals = Vec::new();
+        for p in [ProcPreset::Orig, ProcPreset::WthWpWec] {
+            for &kb in &sizes {
+                let mut k = CfgKey::paper(p, 8);
+                k.l1_kb = kb;
+                vals.push(normalized_time(b, runner.metrics(i, k).cycles));
+            }
+        }
+        t.row_f64(name, &vals);
+    }
+    t
+}
+
+/// Figure 14: L2 size sweep (128/256/512 KB), normalized execution time
+/// against the 128 KB `orig` machine.
+pub fn fig14(runner: &Runner) -> Table {
+    let suite = runner.suite();
+    let sizes = [128u16, 256, 512];
+    let mut keys = Vec::new();
+    for &kb in &sizes {
+        for p in [ProcPreset::Orig, ProcPreset::WthWpWec] {
+            let mut k = CfgKey::paper(p, 8);
+            k.l2_kb = kb;
+            keys.push(k);
+        }
+    }
+    runner.warm_all_benches(&keys);
+
+    let mut header = vec!["benchmark".to_string()];
+    for p in ["orig", "wth-wp-wec"] {
+        for kb in sizes {
+            header.push(format!("{p} {kb}k"));
+        }
+    }
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Figure 14 — normalized execution time vs orig 128KB L2 (lower is faster)",
+        &hdr,
+    );
+    for (i, name) in bench_rows(suite) {
+        let mut base = CfgKey::paper(ProcPreset::Orig, 8);
+        base.l2_kb = 128;
+        let b = runner.metrics(i, base).cycles;
+        let mut vals = Vec::new();
+        for p in [ProcPreset::Orig, ProcPreset::WthWpWec] {
+            for &kb in &sizes {
+                let mut k = CfgKey::paper(p, 8);
+                k.l2_kb = kb;
+                vals.push(normalized_time(b, runner.metrics(i, k).cycles));
+            }
+        }
+        t.row_f64(name, &vals);
+    }
+    t
+}
+
+/// Figure 15: WEC size sensitivity (4/8/16 entries) against equally sized
+/// victim caches, vs the default `orig`.
+pub fn fig15(runner: &Runner) -> Table {
+    let suite = runner.suite();
+    let sizes = [4u8, 8, 16];
+    let presets = [ProcPreset::Vc, ProcPreset::WthWpVc, ProcPreset::WthWpWec];
+    let base = CfgKey::paper(ProcPreset::Orig, 8);
+    let mut keys = vec![base];
+    for &p in &presets {
+        for &n in &sizes {
+            let mut k = CfgKey::paper(p, 8);
+            k.side_entries = n;
+            keys.push(k);
+        }
+    }
+    runner.warm_all_benches(&keys);
+
+    let mut header = vec!["benchmark".to_string()];
+    for p in presets {
+        for n in sizes {
+            header.push(format!("{} {n}", p.name()));
+        }
+    }
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Figure 15 — relative speedup vs orig as the side-structure size varies (%)",
+        &hdr,
+    );
+    let mut pairs = Vec::new();
+    for (i, name) in bench_rows(suite) {
+        let b = runner.metrics(i, base).cycles;
+        let mut vals = Vec::new();
+        let mut row_pairs = Vec::new();
+        for &p in &presets {
+            for &n in &sizes {
+                let mut k = CfgKey::paper(p, 8);
+                k.side_entries = n;
+                let c = runner.metrics(i, k).cycles;
+                vals.push(relative_speedup_pct(b, c));
+                row_pairs.push((b, c));
+            }
+        }
+        t.row_f64(name, &vals);
+        pairs.push(row_pairs);
+    }
+    push_average_speedup_row(&mut t, &pairs);
+    t
+}
+
+/// Figure 16: the WEC against next-line prefetching with equal buffer
+/// sizes (8/16/32 entries), vs the default `orig`.
+pub fn fig16(runner: &Runner) -> Table {
+    let suite = runner.suite();
+    let sizes = [8u8, 16, 32];
+    let presets = [ProcPreset::Nlp, ProcPreset::WthWpWec];
+    let base = CfgKey::paper(ProcPreset::Orig, 8);
+    let mut keys = vec![base];
+    for &p in &presets {
+        for &n in &sizes {
+            let mut k = CfgKey::paper(p, 8);
+            k.side_entries = n;
+            keys.push(k);
+        }
+    }
+    runner.warm_all_benches(&keys);
+
+    let mut header = vec!["benchmark".to_string()];
+    for p in presets {
+        for n in sizes {
+            header.push(format!("{} {n}", p.name()));
+        }
+    }
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Figure 16 — WEC vs next-line prefetching at equal buffer sizes (%)",
+        &hdr,
+    );
+    let mut pairs = Vec::new();
+    for (i, name) in bench_rows(suite) {
+        let b = runner.metrics(i, base).cycles;
+        let mut vals = Vec::new();
+        let mut row_pairs = Vec::new();
+        for &p in &presets {
+            for &n in &sizes {
+                let mut k = CfgKey::paper(p, 8);
+                k.side_entries = n;
+                let c = runner.metrics(i, k).cycles;
+                vals.push(relative_speedup_pct(b, c));
+                row_pairs.push((b, c));
+            }
+        }
+        t.row_f64(name, &vals);
+        pairs.push(row_pairs);
+    }
+    push_average_speedup_row(&mut t, &pairs);
+    t
+}
+
+/// Figure 17: L1 data-cache traffic increase and miss-count reduction of
+/// `wth-wp-wec` relative to `orig` (8 TUs).
+pub fn fig17(runner: &Runner) -> Table {
+    let suite = runner.suite();
+    let base = CfgKey::paper(ProcPreset::Orig, 8);
+    let wec = CfgKey::paper(ProcPreset::WthWpWec, 8);
+    runner.warm_all_benches(&[base, wec]);
+    let mut t = Table::new(
+        "Figure 17 — L1 traffic increase and miss reduction, wth-wp-wec vs orig (%)",
+        &[
+            "benchmark",
+            "traffic increase",
+            "miss reduction (to L2)",
+            "wec side hits",
+            "useful wrong fetches",
+        ],
+    );
+    let mut traffic = Vec::new();
+    let mut reduction = Vec::new();
+    for (i, name) in bench_rows(suite) {
+        let b = runner.metrics(i, base);
+        let w = runner.metrics(i, wec);
+        let tr = pct_change(b.l1d.traffic(), w.l1d.traffic());
+        let red = pct_reduction(b.l1d.misses_to_next_level, w.l1d.misses_to_next_level);
+        traffic.push(tr);
+        reduction.push(red);
+        t.row(vec![
+            name.to_string(),
+            format!("{tr:.1}%"),
+            format!("{red:.1}%"),
+            w.l1d.side_hits.to_string(),
+            w.l1d.useful_wrong_fetches.to_string(),
+        ]);
+    }
+    let n = traffic.len() as f64;
+    t.row(vec![
+        "average".into(),
+        format!("{:.1}%", traffic.iter().sum::<f64>() / n),
+        format!("{:.1}%", reduction.iter().sum::<f64>() / n),
+        "".into(),
+        "".into(),
+    ]);
+    t
+}
+
+/// All tables/figures in paper order.
+pub fn all(runner: &Runner) -> Vec<Table> {
+    vec![
+        table1(runner.suite()),
+        table2(runner),
+        table3(),
+        fig08(runner),
+        fig09(runner),
+        fig10(runner),
+        fig11(runner),
+        fig12(runner),
+        fig13(runner),
+        fig14(runner),
+        fig15(runner),
+        fig16(runner),
+        fig17(runner),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wec_workloads::Scale;
+
+    #[test]
+    fn table3_matches_the_paper() {
+        let t = table3();
+        assert_eq!(t.n_rows(), 6);
+        // 16TU × 1-issue row: 8-entry ROB, 2KB L1.
+        assert_eq!(t.cell(5, 0), Some("16"));
+        assert_eq!(t.cell(5, 1), Some("1"));
+        assert_eq!(t.cell(5, 2), Some("8"));
+        assert_eq!(t.cell(5, 7), Some("2"));
+        // 1TU × 16-issue row: 128-entry ROB, 32KB L1.
+        assert_eq!(t.cell(1, 1), Some("16"));
+        assert_eq!(t.cell(1, 2), Some("128"));
+        assert_eq!(t.cell(1, 7), Some("32"));
+    }
+
+    #[test]
+    fn table1_marks_every_benchmark() {
+        let suite = Suite::build(Scale::SMOKE);
+        let t = table1(&suite);
+        assert_eq!(t.n_rows(), 3);
+    }
+}

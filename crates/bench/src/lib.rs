@@ -1,0 +1,19 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation section (§5) from the simulator.
+//!
+//! * [`runner`] — workload suite construction, a configuration key that
+//!   spans every parameter the paper sweeps, and a cached, host-parallel
+//!   simulation runner (every run is guarded by the workload self-check);
+//! * [`experiments`] — one function per table/figure, each returning a
+//!   [`wec_common::table::Table`] whose rows mirror the paper's plots;
+//! * [`ablations`] — the §7 future-work sensitivity studies (memory
+//!   latency, block size, branch prediction accuracy).
+//!
+//! `cargo run --release -p wec-bench --bin experiments` prints everything;
+//! the Criterion benches under `benches/` regenerate individual figures.
+
+pub mod ablations;
+pub mod experiments;
+pub mod runner;
+
+pub use runner::{CfgKey, Runner, Suite};

@@ -1,0 +1,256 @@
+//! Workload suite construction and the cached, host-parallel run matrix.
+//!
+//! Every figure in the paper is a sweep over (benchmark × machine
+//! configuration).  [`CfgKey`] captures every parameter any figure varies;
+//! [`Runner`] memoizes simulation results by (benchmark, key) so sweeps that
+//! share points (e.g. the `orig` 8-TU baseline) run once, and fans pending
+//! runs out over host threads.  Every run is guarded by the workload
+//! self-check, so no experiment can silently report results from a broken
+//! simulation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use wec_core::config::{MachineConfig, ProcPreset};
+use wec_core::metrics::MachineMetrics;
+use wec_cpu::bpred::BpredKind;
+use wec_cpu::config::CoreConfig;
+use wec_workloads::{run_and_verify, Bench, Scale, Workload};
+
+/// The built benchmark suite (Table 2 order).
+pub struct Suite {
+    pub scale: Scale,
+    pub workloads: Vec<Workload>,
+}
+
+impl Suite {
+    /// Build all six analogs at `scale`.
+    pub fn build(scale: Scale) -> Suite {
+        Suite {
+            scale,
+            workloads: Bench::ALL.iter().map(|b| b.build(scale)).collect(),
+        }
+    }
+
+    pub fn names(&self) -> Vec<&'static str> {
+        self.workloads.iter().map(|w| w.name).collect()
+    }
+}
+
+/// Everything the paper's sweeps vary about the machine.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CfgKey {
+    pub preset: ProcPreset,
+    pub n_tus: u8,
+    /// Core issue width (8 = the §5.2 default; Table 3 sweeps it).
+    pub width: u8,
+    /// L1D capacity in KB.
+    pub l1_kb: u16,
+    /// L1D associativity.
+    pub l1_ways: u8,
+    /// Entries in the side structure (WEC / victim cache / prefetch buffer).
+    pub side_entries: u8,
+    /// L2 capacity in KB.
+    pub l2_kb: u16,
+    /// L1D block size in bytes.
+    pub l1_block: u16,
+    /// Main-memory access latency behind the L2 (the §7 memory-latency
+    /// ablation; 188 gives the paper's 200-cycle round trip).
+    pub mem_latency: u16,
+    /// Direction predictor (the §7 branch-accuracy ablation).
+    pub bpred: BpredKind,
+}
+
+impl CfgKey {
+    /// The §5.2 default machine under `preset` with `n_tus` thread units.
+    pub fn paper(preset: ProcPreset, n_tus: usize) -> CfgKey {
+        CfgKey {
+            preset,
+            n_tus: n_tus as u8,
+            width: 8,
+            l1_kb: 8,
+            l1_ways: 1,
+            side_entries: 8,
+            l2_kb: 512,
+            l1_block: 64,
+            mem_latency: 188,
+            bpred: BpredKind::Bimodal,
+        }
+    }
+
+    /// A Table 3 baseline point: issue 16/n, 4-way L1 sized to 32 KB/n.
+    pub fn table3(n_tus: usize) -> CfgKey {
+        CfgKey {
+            preset: ProcPreset::Orig,
+            n_tus: n_tus as u8,
+            width: (16 / n_tus) as u8,
+            l1_kb: (32 / n_tus) as u16,
+            l1_ways: 4,
+            side_entries: 8,
+            l2_kb: 512,
+            l1_block: 64,
+            mem_latency: 188,
+            bpred: BpredKind::Bimodal,
+        }
+    }
+
+    /// The Figure 8 reference point: 1 TU, single issue, 2 KB 4-way L1.
+    pub fn single_issue() -> CfgKey {
+        CfgKey {
+            preset: ProcPreset::Orig,
+            n_tus: 1,
+            width: 1,
+            l1_kb: 2,
+            l1_ways: 4,
+            side_entries: 8,
+            l2_kb: 512,
+            l1_block: 64,
+            mem_latency: 188,
+            bpred: BpredKind::Bimodal,
+        }
+    }
+
+    /// Materialize the machine configuration.
+    pub fn build(self) -> MachineConfig {
+        let mut cfg = MachineConfig::paper_default(self.n_tus as usize);
+        if self.width != 8 {
+            cfg.core = CoreConfig::with_width(self.width as u32);
+        }
+        cfg.l1d.capacity_bytes = self.l1_kb as u64 * 1024;
+        cfg.l1d.ways = self.l1_ways as usize;
+        cfg.l1d.side_entries = self.side_entries as usize;
+        cfg.l1d.block_bytes = self.l1_block as u64;
+        cfg.l2.capacity_bytes = self.l2_kb as u64 * 1024;
+        cfg.l2.memory_latency = self.mem_latency as u64;
+        cfg.core.bpred = self.bpred;
+        // The preset must be applied after any core rebuild (it sets the
+        // wrong-path switch inside the core config).
+        cfg.apply_preset(self.preset);
+        cfg
+    }
+}
+
+/// A memoizing, host-parallel simulation runner over one suite.
+pub struct Runner<'a> {
+    suite: &'a Suite,
+    cache: Mutex<HashMap<(usize, CfgKey), MachineMetrics>>,
+}
+
+impl<'a> Runner<'a> {
+    pub fn new(suite: &'a Suite) -> Self {
+        Runner {
+            suite,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn suite(&self) -> &Suite {
+        self.suite
+    }
+
+    fn run_one(w: &Workload, key: CfgKey) -> MachineMetrics {
+        let cfg = key.build();
+        match run_and_verify(w, cfg) {
+            Ok(r) => r.metrics,
+            Err(e) => panic!("{} under {key:?}: {e}", w.name),
+        }
+    }
+
+    /// Metrics for one (benchmark, configuration) point, simulated at most
+    /// once per runner.
+    pub fn metrics(&self, bench_idx: usize, key: CfgKey) -> MachineMetrics {
+        if let Some(m) = self.cache.lock().unwrap().get(&(bench_idx, key)) {
+            return m.clone();
+        }
+        let m = Self::run_one(&self.suite.workloads[bench_idx], key);
+        self.cache
+            .lock()
+            .unwrap()
+            .insert((bench_idx, key), m.clone());
+        m
+    }
+
+    /// Simulate the given points in parallel across host threads, filling
+    /// the cache (results are deterministic regardless of scheduling — the
+    /// simulator itself is single-threaded and seeded).
+    pub fn warm(&self, points: &[(usize, CfgKey)]) {
+        let pending: Vec<(usize, CfgKey)> = {
+            let cache = self.cache.lock().unwrap();
+            points
+                .iter()
+                .copied()
+                .filter(|p| !cache.contains_key(p))
+                .collect()
+        };
+        if pending.is_empty() {
+            return;
+        }
+        let hosts = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(pending.len());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..hosts {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(bench, key)) = pending.get(i) else {
+                        return;
+                    };
+                    let m = Self::run_one(&self.suite.workloads[bench], key);
+                    self.cache.lock().unwrap().insert((bench, key), m);
+                });
+            }
+        });
+    }
+
+    /// Warm every benchmark under every given configuration.
+    pub fn warm_all_benches(&self, keys: &[CfgKey]) {
+        let points: Vec<(usize, CfgKey)> = (0..self.suite.workloads.len())
+            .flat_map(|b| keys.iter().map(move |&k| (b, k)))
+            .collect();
+        self.warm(&points);
+    }
+
+    /// Number of distinct simulations performed so far.
+    pub fn simulations(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfgkey_builds_the_paper_machine() {
+        let cfg = CfgKey::paper(ProcPreset::WthWpWec, 8).build();
+        assert_eq!(cfg.n_tus, 8);
+        assert_eq!(cfg.core.width, 8);
+        assert!(cfg.core.wrong_path_loads);
+        assert_eq!(cfg.l1d.capacity_bytes, 8 * 1024);
+        assert_eq!(cfg.l1d.side_entries, 8);
+        assert_eq!(cfg.l2.capacity_bytes, 512 * 1024);
+    }
+
+    #[test]
+    fn table3_key_matches_config_table3() {
+        for tus in [1usize, 2, 4, 8, 16] {
+            let a = CfgKey::table3(tus).build();
+            let b = MachineConfig::table3(tus).unwrap();
+            assert_eq!(a.core.width, b.core.width);
+            assert_eq!(a.l1d.capacity_bytes, b.l1d.capacity_bytes);
+            assert_eq!(a.l1d.ways, b.l1d.ways);
+        }
+    }
+
+    #[test]
+    fn preset_applied_after_width_override() {
+        let mut key = CfgKey::paper(ProcPreset::Wp, 2);
+        key.width = 4;
+        let cfg = key.build();
+        assert_eq!(cfg.core.width, 4);
+        assert!(cfg.core.wrong_path_loads, "wp switch lost by width override");
+    }
+}

@@ -1,0 +1,83 @@
+//! The common error type for the simulator workspace.
+
+use std::fmt;
+
+use crate::ids::Addr;
+
+/// Errors surfaced by the simulator's public APIs.
+///
+/// Faults that a real machine would turn into an exception (unmapped access,
+/// misaligned access) are errors only on *correct* execution paths: wrong
+/// execution (wrong path / wrong thread) drops faulting operations silently,
+/// exactly as the modeled hardware would squash them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A correct-path access touched an address outside the memory image.
+    UnmappedAccess { addr: Addr, what: &'static str },
+    /// A correct-path access was not aligned to its natural size.
+    MisalignedAccess { addr: Addr, bytes: u64 },
+    /// The program counter left the text segment.
+    PcOutOfRange { pc: u64 },
+    /// The assembler rejected the source (message carries line context).
+    Assembler(String),
+    /// An instruction word did not decode.
+    BadEncoding { word: u64 },
+    /// The machine exceeded its cycle budget without reaching `halt` —
+    /// almost always a deadlocked dependence-wait or a runaway program.
+    CycleLimit { limit: u64 },
+    /// A structural configuration error (e.g. non-power-of-two cache sets).
+    Config(String),
+    /// The program executed an instruction that is invalid in its context
+    /// (e.g. `fork` outside a parallel region).
+    IllegalInstruction { pc: u64, what: &'static str },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnmappedAccess { addr, what } => {
+                write!(f, "unmapped {what} access at {addr}")
+            }
+            SimError::MisalignedAccess { addr, bytes } => {
+                write!(f, "misaligned {bytes}-byte access at {addr}")
+            }
+            SimError::PcOutOfRange { pc } => write!(f, "pc 0x{pc:x} outside text segment"),
+            SimError::Assembler(msg) => write!(f, "assembler: {msg}"),
+            SimError::BadEncoding { word } => write!(f, "bad instruction encoding 0x{word:016x}"),
+            SimError::CycleLimit { limit } => {
+                write!(f, "simulation exceeded cycle limit {limit} without halting")
+            }
+            SimError::Config(msg) => write!(f, "configuration: {msg}"),
+            SimError::IllegalInstruction { pc, what } => {
+                write!(f, "illegal instruction at pc 0x{pc:x}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Workspace-wide result alias.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = SimError::UnmappedAccess {
+            addr: Addr(0x40),
+            what: "load",
+        };
+        assert_eq!(e.to_string(), "unmapped load access at 0x40");
+        let e = SimError::CycleLimit { limit: 10 };
+        assert!(e.to_string().contains("cycle limit 10"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SimError::BadEncoding { word: 1 });
+    }
+}

@@ -1,0 +1,202 @@
+//! Statistics primitives shared by every component of the simulator.
+//!
+//! Components expose their counters through [`StatSet`] so the experiment
+//! harness can dump any component uniformly, and the paper's summary metrics
+//! (speedups, miss-rate deltas, equal-importance averages) are computed by
+//! the helpers at the bottom.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A named collection of counter snapshots, used for uniform reporting.
+#[derive(Clone, Debug, Default)]
+pub struct StatSet {
+    entries: Vec<(String, u64)>,
+}
+
+impl StatSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one named value. Later entries with the same name are kept too
+    /// (callers namespace their keys, e.g. `"tu0.l1d.misses"`).
+    pub fn push(&mut self, name: impl Into<String>, value: u64) {
+        self.entries.push((name.into(), value));
+    }
+
+    /// First value recorded under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Sum of every entry whose name ends with `suffix` (aggregates per-TU
+    /// counters like `"*.l1d.misses"`).
+    pub fn sum_suffix(&self, suffix: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|(n, _)| n.ends_with(suffix))
+            .map(|&(_, v)| v)
+            .sum()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Merge another set under a prefix: `"l1d.misses"` becomes
+    /// `"tu3.l1d.misses"` for `prefix = "tu3"`.
+    pub fn absorb(&mut self, prefix: &str, other: &StatSet) {
+        for (n, v) in other.iter() {
+            self.entries.push((format!("{prefix}.{n}"), v));
+        }
+    }
+}
+
+/// Speedup of `new` relative to `base`, as the paper reports it:
+/// `base_time / new_time`.  A value > 1 means `new` is faster.
+#[inline]
+pub fn speedup(base_cycles: u64, new_cycles: u64) -> f64 {
+    assert!(new_cycles > 0, "zero execution time");
+    base_cycles as f64 / new_cycles as f64
+}
+
+/// Relative speedup in percent, the y-axis of the paper's Figures 9–12, 15,
+/// 16: `(base/new - 1) * 100`.
+#[inline]
+pub fn relative_speedup_pct(base_cycles: u64, new_cycles: u64) -> f64 {
+    (speedup(base_cycles, new_cycles) - 1.0) * 100.0
+}
+
+/// Normalized execution time (Figures 13, 14): `new/base`, < 1 is faster.
+#[inline]
+pub fn normalized_time(base_cycles: u64, new_cycles: u64) -> f64 {
+    new_cycles as f64 / base_cycles as f64
+}
+
+/// The paper's cross-benchmark average (§5, citing Lilja's *Measuring
+/// Computer Performance*): an execution-time-weighted average arranged so
+/// every benchmark counts equally regardless of its absolute runtime.  With
+/// per-benchmark speedups `s_i = base_i / new_i`, weighting each benchmark
+/// equally gives the arithmetic mean of the `s_i`.
+pub fn equal_importance_speedup(pairs: &[(u64, u64)]) -> f64 {
+    assert!(!pairs.is_empty());
+    pairs
+        .iter()
+        .map(|&(base, new)| speedup(base, new))
+        .sum::<f64>()
+        / pairs.len() as f64
+}
+
+/// Percent change of `new` relative to `base` (used for the Figure 17 traffic
+/// and miss-count comparisons). Positive = increase.
+#[inline]
+pub fn pct_change(base: u64, new: u64) -> f64 {
+    if base == 0 {
+        return 0.0;
+    }
+    (new as f64 - base as f64) / base as f64 * 100.0
+}
+
+/// Percent *reduction* of `new` relative to `base` (Figure 17's miss-count
+/// reduction axis). Positive = `new` is smaller.
+#[inline]
+pub fn pct_reduction(base: u64, new: u64) -> f64 {
+    -pct_change(base, new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_increments() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn statset_roundtrip_and_suffix_sum() {
+        let mut s = StatSet::new();
+        s.push("tu0.l1d.misses", 10);
+        s.push("tu1.l1d.misses", 32);
+        s.push("tu0.l1d.hits", 90);
+        assert_eq!(s.get("tu1.l1d.misses"), Some(32));
+        assert_eq!(s.get("nope"), None);
+        assert_eq!(s.sum_suffix(".l1d.misses"), 42);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn absorb_prefixes_names() {
+        let mut inner = StatSet::new();
+        inner.push("misses", 3);
+        let mut outer = StatSet::new();
+        outer.absorb("tu7.l1d", &inner);
+        assert_eq!(outer.get("tu7.l1d.misses"), Some(3));
+    }
+
+    #[test]
+    fn speedup_math() {
+        assert!((speedup(200, 100) - 2.0).abs() < 1e-12);
+        assert!((relative_speedup_pct(110, 100) - 10.0).abs() < 1e-9);
+        assert!((normalized_time(200, 150) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_importance_is_mean_of_speedups() {
+        // One benchmark sped up 2x, one unchanged => average 1.5x.
+        let avg = equal_importance_speedup(&[(200, 100), (500, 500)]);
+        assert!((avg - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pct_change_and_reduction_are_mirrors() {
+        assert!((pct_change(100, 130) - 30.0).abs() < 1e-12);
+        assert!((pct_reduction(100, 27) - 73.0).abs() < 1e-12);
+        assert_eq!(pct_change(0, 5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero execution time")]
+    fn speedup_rejects_zero_time() {
+        speedup(1, 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! Every figure and table of the paper is regenerated as an aligned text
+//! table (and optionally CSV) so `cargo bench` / the `experiments` binary can
+//! print results that read like the paper's own tables.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Align {
+    Left,
+    Right,
+}
+
+/// A simple text table: a header row plus data rows, rendered with aligned
+/// columns.  Numeric cells are formatted by the caller so the table itself
+/// stays dumb and predictable.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table. The first column is left-aligned, the rest right-aligned
+    /// (the common shape: benchmark name + numbers).
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        let aligns = (0..header.len())
+            .map(|i| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Override column alignments (must match column count).
+    pub fn with_aligns(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(aligns.len(), self.header.len());
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Append a row; must match the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Convenience: a row of (&str, numbers formatted to 2 decimals).
+    pub fn row_f64(&mut self, label: &str, values: &[f64]) {
+        let mut cells = Vec::with_capacity(values.len() + 1);
+        cells.push(label.to_string());
+        cells.extend(values.iter().map(|v| format!("{v:.2}")));
+        self.row(cells);
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Value at (row, col) if present.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(|s| s.as_str())
+    }
+
+    /// Render with aligned columns, a title line and a rule under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let w = widths[i];
+                match aligns[i] {
+                    Align::Left => {
+                        let _ = write!(line, "{:<w$}", cells[i]);
+                    }
+                    Align::Right => {
+                        let _ = write!(line, "{:>w$}", cells[i]);
+                    }
+                }
+            }
+            line
+        };
+        let header_line = fmt_row(&self.header, &widths, &self.aligns);
+        let rule: String = "-".repeat(header_line.len());
+        let _ = writeln!(out, "{header_line}");
+        let _ = writeln!(out, "{rule}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths, &self.aligns));
+        }
+        out
+    }
+
+    /// Render as CSV (title omitted; header + rows).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Figure X", &["benchmark", "orig", "wec"]);
+        t.row(vec!["mcf".into(), "100".into(), "85".into()]);
+        t.row_f64("equake", &[1.0, 1.185]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let t = sample();
+        let s = t.render();
+        assert!(s.starts_with("== Figure X =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // header, rule, two rows (+ title)
+        assert_eq!(lines.len(), 5);
+        // Rule is as long as the header line.
+        assert_eq!(lines[1].len(), lines[2].len());
+        // Right alignment of numeric columns: "100" ends where "orig" ends.
+        let header = lines[1];
+        let row = lines[3];
+        assert_eq!(
+            header.find("orig").unwrap() + 4,
+            row.find("100").unwrap() + 3
+        );
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let t = sample();
+        assert_eq!(t.cell(0, 0), Some("mcf"));
+        assert_eq!(t.cell(1, 2), Some("1.19"));
+        assert_eq!(t.cell(5, 0), None);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["x,y".into(), "q\"z".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "\"x,y\",\"q\"\"z\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the shared infrastructure: address arithmetic,
+//! statistics identities and table rendering.
+
+use proptest::prelude::*;
+use wec_common::ids::Addr;
+use wec_common::stats::{equal_importance_speedup, pct_change, pct_reduction, speedup};
+use wec_common::table::Table;
+use wec_common::SplitMix64;
+
+proptest! {
+    #[test]
+    fn address_decomposition_is_lossless(
+        raw in any::<u64>(),
+        block_pow in 4u32..8,   // 16..128-byte blocks
+        sets_pow in 0u32..12,   // 1..2048 sets
+    ) {
+        let a = Addr(raw >> 8); // keep tag*sets*block in range
+        let block = 1u64 << block_pow;
+        let sets = 1u64 << sets_pow;
+        let rebuilt = (a.tag(block, sets) * sets + a.set_index(block, sets) as u64) * block
+            + a.block_offset(block) as u64;
+        prop_assert_eq!(rebuilt, a.0);
+        prop_assert_eq!(a.block_base(block).block_offset(block), 0);
+        prop_assert!(a.next_block(block).0 - a.block_base(block).0 == block);
+    }
+
+    #[test]
+    fn speedup_identities(base in 1u64..1_000_000, new in 1u64..1_000_000) {
+        let s = speedup(base, new);
+        prop_assert!((s * new as f64 - base as f64).abs() < 1e-6 * base as f64 + 1e-9);
+        // change followed by reduction cancels
+        prop_assert!((pct_change(base, new) + pct_reduction(base, new)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_importance_bounded_by_extremes(
+        pairs in proptest::collection::vec((1u64..100_000, 1u64..100_000), 1..10)
+    ) {
+        let avg = equal_importance_speedup(&pairs);
+        let speedups: Vec<f64> = pairs.iter().map(|&(b, n)| speedup(b, n)).collect();
+        let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = speedups.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(avg >= min - 1e-9 && avg <= max + 1e-9);
+    }
+
+    #[test]
+    fn rng_below_is_always_in_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = SplitMix64::new(seed);
+        for _ in 0..100 {
+            prop_assert!(r.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed in any::<u64>(), n in 1usize..64) {
+        let mut r = SplitMix64::new(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn table_render_has_one_line_per_row(
+        rows in proptest::collection::vec(
+            (any::<u32>(), any::<u32>()),
+            0..20
+        )
+    ) {
+        let mut t = Table::new("prop", &["a", "b"]);
+        for (x, y) in &rows {
+            t.row(vec![x.to_string(), y.to_string()]);
+        }
+        let rendered = t.render();
+        // title + header + rule + one line per row
+        prop_assert_eq!(rendered.lines().count(), 3 + rows.len());
+        let csv = t.to_csv();
+        prop_assert_eq!(csv.lines().count(), 1 + rows.len());
+    }
+}

@@ -1,0 +1,234 @@
+//! Machine configurations: the paper's eight processor configurations
+//! (§4.3) and the Table 3 baseline scaling.
+
+use wec_common::error::{SimError, SimResult};
+use wec_cpu::config::CoreConfig;
+use wec_mem::l2::L2Config;
+
+use crate::dpath::{DataPathConfig, SideKind};
+
+/// The eight processor configurations evaluated in the paper (§4.3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ProcPreset {
+    /// Baseline superthreaded processor.
+    Orig,
+    /// `orig` + victim cache beside each L1D.
+    Vc,
+    /// Wrong-path execution (resolved-wrong branch loads keep issuing).
+    Wp,
+    /// Wrong-thread execution (aborted threads keep running).
+    Wth,
+    /// Both wrong-execution modes.
+    WthWp,
+    /// Both + victim cache.
+    WthWpVc,
+    /// Both + the Wrong Execution Cache — the paper's proposal.
+    WthWpWec,
+    /// Tagged next-line prefetching with a prefetch buffer, no wrong
+    /// execution (the conventional-prefetching comparator).
+    Nlp,
+}
+
+impl ProcPreset {
+    pub const ALL: [ProcPreset; 8] = [
+        ProcPreset::Orig,
+        ProcPreset::Vc,
+        ProcPreset::Wp,
+        ProcPreset::Wth,
+        ProcPreset::WthWp,
+        ProcPreset::WthWpVc,
+        ProcPreset::WthWpWec,
+        ProcPreset::Nlp,
+    ];
+
+    /// The paper's configuration name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProcPreset::Orig => "orig",
+            ProcPreset::Vc => "vc",
+            ProcPreset::Wp => "wp",
+            ProcPreset::Wth => "wth",
+            ProcPreset::WthWp => "wth-wp",
+            ProcPreset::WthWpVc => "wth-wp-vc",
+            ProcPreset::WthWpWec => "wth-wp-wec",
+            ProcPreset::Nlp => "nlp",
+        }
+    }
+
+    /// Which side structure the preset places beside each L1D.
+    pub fn side(self) -> SideKind {
+        match self {
+            ProcPreset::Orig | ProcPreset::Wp | ProcPreset::Wth | ProcPreset::WthWp => {
+                SideKind::None
+            }
+            ProcPreset::Vc | ProcPreset::WthWpVc => SideKind::Victim,
+            ProcPreset::WthWpWec => SideKind::Wec,
+            ProcPreset::Nlp => SideKind::PrefetchBuffer,
+        }
+    }
+
+    pub fn wrong_path(self) -> bool {
+        matches!(
+            self,
+            ProcPreset::Wp | ProcPreset::WthWp | ProcPreset::WthWpVc | ProcPreset::WthWpWec
+        )
+    }
+
+    pub fn wrong_thread(self) -> bool {
+        matches!(
+            self,
+            ProcPreset::Wth | ProcPreset::WthWp | ProcPreset::WthWpVc | ProcPreset::WthWpWec
+        )
+    }
+
+    /// The §5.2 default machine for this preset: `n_tus` thread units of
+    /// 8-issue cores, 8 KB direct-mapped L1D + 8-entry side structure.
+    pub fn machine(self, n_tus: usize) -> MachineConfig {
+        let mut cfg = MachineConfig::paper_default(n_tus);
+        cfg.apply_preset(self);
+        cfg
+    }
+}
+
+/// Full configuration of the superthreaded machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    pub preset: ProcPreset,
+    pub n_tus: usize,
+    pub core: CoreConfig,
+    pub l1d: DataPathConfig,
+    pub l1i: DataPathConfig,
+    pub l2: L2Config,
+    /// Mark aborted successor threads wrong and let them run (§3.1.2).
+    pub wrong_thread: bool,
+    /// Base cost of a fork (paper: 4 cycles)…
+    pub fork_delay: u64,
+    /// …plus per forwarded value (paper: 2 cycles).
+    pub fork_per_value: u64,
+    /// Ring latency for announcements, releases and TSAG_DONE flags.
+    pub ring_latency: u64,
+    /// Safety net: error out if the program has not halted by then.
+    pub max_cycles: u64,
+    /// Record the scheduler event log (thread lifecycle timeline; see
+    /// `wec_core::events`).
+    pub event_log: bool,
+}
+
+impl MachineConfig {
+    /// The §5.2 default machine (preset `orig` until changed).
+    pub fn paper_default(n_tus: usize) -> Self {
+        assert!((1..=64).contains(&n_tus));
+        MachineConfig {
+            preset: ProcPreset::Orig,
+            n_tus,
+            core: CoreConfig::default(),
+            l1d: DataPathConfig::paper_default(SideKind::None),
+            l1i: DataPathConfig::paper_icache(),
+            l2: L2Config::default(),
+            wrong_thread: false,
+            fork_delay: 4,
+            fork_per_value: 2,
+            ring_latency: 2,
+            max_cycles: 2_000_000_000,
+            event_log: false,
+        }
+    }
+
+    /// Re-point this machine at a preset (side structure + wrong execution
+    /// switches), keeping sizes.
+    pub fn apply_preset(&mut self, preset: ProcPreset) {
+        self.preset = preset;
+        self.l1d.side = preset.side();
+        self.core.wrong_path_loads = preset.wrong_path();
+        self.wrong_thread = preset.wrong_thread();
+    }
+
+    /// A Table 3 baseline machine: `n_tus` × (16/`n_tus`)-issue cores with
+    /// a 4-way L1D sized so the total L1D capacity stays 32 KB.  Valid for
+    /// `n_tus` ∈ {1, 2, 4, 8, 16}; `single_issue_1tu` (the Figure 8
+    /// baseline) is the 1 TU × 1-issue point.
+    pub fn table3(n_tus: usize) -> SimResult<Self> {
+        if ![1, 2, 4, 8, 16].contains(&n_tus) {
+            return Err(SimError::Config(format!(
+                "table 3 defines 1/2/4/8/16 TUs, not {n_tus}"
+            )));
+        }
+        let issue = (16 / n_tus) as u32;
+        let mut cfg = MachineConfig::paper_default(n_tus);
+        cfg.core = CoreConfig::with_width(issue);
+        cfg.l1d = DataPathConfig {
+            capacity_bytes: (32 * 1024 / n_tus) as u64,
+            ways: 4,
+            ..DataPathConfig::paper_default(SideKind::None)
+        };
+        Ok(cfg)
+    }
+
+    /// The Figure 8 baseline: a single-thread, single-issue processor with
+    /// the Table 3 smallest cache (2 KB, 4-way).
+    pub fn single_issue_1tu() -> Self {
+        let mut cfg = MachineConfig::paper_default(1);
+        cfg.core = CoreConfig::with_width(1);
+        cfg.l1d = DataPathConfig {
+            capacity_bytes: 2 * 1024,
+            ways: 4,
+            ..DataPathConfig::paper_default(SideKind::None)
+        };
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_switches() {
+        assert_eq!(ProcPreset::Orig.side(), SideKind::None);
+        assert_eq!(ProcPreset::WthWpWec.side(), SideKind::Wec);
+        assert_eq!(ProcPreset::Nlp.side(), SideKind::PrefetchBuffer);
+        assert!(ProcPreset::WthWpWec.wrong_path() && ProcPreset::WthWpWec.wrong_thread());
+        assert!(ProcPreset::Wp.wrong_path() && !ProcPreset::Wp.wrong_thread());
+        assert!(!ProcPreset::Nlp.wrong_path() && !ProcPreset::Nlp.wrong_thread());
+        assert!(!ProcPreset::Vc.wrong_path());
+    }
+
+    #[test]
+    fn every_preset_has_a_distinct_name() {
+        let mut names: Vec<&str> = ProcPreset::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn machine_preset_applies_switches() {
+        let cfg = ProcPreset::WthWpWec.machine(8);
+        assert_eq!(cfg.n_tus, 8);
+        assert_eq!(cfg.l1d.side, SideKind::Wec);
+        assert!(cfg.core.wrong_path_loads);
+        assert!(cfg.wrong_thread);
+        assert_eq!(cfg.l1d.capacity_bytes, 8 * 1024);
+        assert_eq!(cfg.l1d.ways, 1);
+        assert_eq!(cfg.fork_delay, 4);
+    }
+
+    #[test]
+    fn table3_scales_issue_and_cache() {
+        for (tus, issue, l1k) in [(1, 16, 32), (2, 8, 16), (4, 4, 8), (8, 2, 4), (16, 1, 2)] {
+            let cfg = MachineConfig::table3(tus).unwrap();
+            assert_eq!(cfg.core.width, issue, "tus={tus}");
+            assert_eq!(cfg.l1d.capacity_bytes, l1k * 1024);
+            assert_eq!(cfg.l1d.ways, 4);
+        }
+        assert!(MachineConfig::table3(3).is_err());
+    }
+
+    #[test]
+    fn figure8_baseline_is_minimal() {
+        let cfg = MachineConfig::single_issue_1tu();
+        assert_eq!(cfg.n_tus, 1);
+        assert_eq!(cfg.core.width, 1);
+        assert_eq!(cfg.l1d.capacity_bytes, 2 * 1024);
+    }
+}

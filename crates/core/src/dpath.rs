@@ -1,0 +1,632 @@
+//! The per-thread-unit L1 data path: L1 cache plus the side structure the
+//! paper's configurations vary — **this is where the Wrong Execution Cache
+//! lives** (§3.2, Figures 5 and 6).
+//!
+//! One [`DataPath`] implements all the paper's L1 arrangements:
+//!
+//! * [`SideKind::None`] — bare L1 (`orig`, `wp`, `wth`, `wth-wp`);
+//! * [`SideKind::Victim`] — L1 + victim cache (`vc`, `wth-wp-vc`);
+//! * [`SideKind::Wec`] — L1 + Wrong Execution Cache (`wth-wp-wec`);
+//! * [`SideKind::PrefetchBuffer`] — L1 + tagged next-line prefetch buffer
+//!   (`nlp`).
+//!
+//! The WEC policy, from Figure 6:
+//!
+//! * a **wrong-execution** load probes L1 and WEC in parallel; on a double
+//!   miss the block is fetched into the **WEC**, never the L1 (pollution
+//!   control); an L1 hit just updates LRU;
+//! * a **correct** load that misses L1 but hits the WEC **swaps** the WEC
+//!   block with the L1 victim and — if the block was brought in by wrong
+//!   execution — issues a **next-line prefetch into the WEC**;
+//! * a correct load that misses both fills the L1, and the displaced victim
+//!   goes into the WEC (victim-cache behaviour);
+//! * without a WEC, wrong-execution fills go straight into the L1 — exactly
+//!   the pollution the paper measures in its `wp`/`wth` configurations.
+
+use wec_common::error::SimResult;
+use wec_common::ids::{Addr, Cycle};
+use wec_mem::cache::{Cache, CacheGeometry};
+use wec_mem::l2::SharedL2;
+use wec_mem::line::LineFlags;
+use wec_mem::mshr::{MshrOutcome, Mshrs};
+use wec_mem::ports::PortSet;
+use wec_mem::prefetch::TaggedNextLine;
+use wec_mem::stats::{AccessKind, CacheStats};
+
+/// Which side structure sits beside the L1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SideKind {
+    None,
+    Victim,
+    Wec,
+    PrefetchBuffer,
+}
+
+/// Configuration of one L1 data path.
+#[derive(Clone, Copy, Debug)]
+pub struct DataPathConfig {
+    pub capacity_bytes: u64,
+    pub ways: usize,
+    pub block_bytes: u64,
+    pub hit_latency: u64,
+    pub ports: u32,
+    pub mshrs: usize,
+    pub side: SideKind,
+    /// Entries in the side structure (ignored for `SideKind::None`).
+    pub side_entries: usize,
+}
+
+impl DataPathConfig {
+    /// The paper's default L1D (§5.2): 8 KB direct-mapped, 64 B blocks,
+    /// 8-entry fully-associative side structure.
+    pub fn paper_default(side: SideKind) -> Self {
+        DataPathConfig {
+            capacity_bytes: 8 * 1024,
+            ways: 1,
+            block_bytes: 64,
+            hit_latency: 1,
+            ports: 2,
+            mshrs: 8,
+            side,
+            side_entries: 8,
+        }
+    }
+
+    /// The paper's L1I (§4.1): 32 KB 2-way, no side structure.
+    pub fn paper_icache() -> Self {
+        DataPathConfig {
+            capacity_bytes: 32 * 1024,
+            ways: 2,
+            block_bytes: 64,
+            hit_latency: 1,
+            ports: 1,
+            mshrs: 2,
+            side: SideKind::None,
+            side_entries: 0,
+        }
+    }
+}
+
+/// Result of a data-path access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DpResult {
+    /// Access accepted; data available at `ready_at`.
+    Done { ready_at: Cycle },
+    /// No port / no MSHR this cycle: retry.
+    Retry,
+}
+
+/// One thread unit's L1 (data or instruction) with its side structure.
+///
+/// ```
+/// use wec_common::ids::{Addr, Cycle};
+/// use wec_core::dpath::{DataPath, DataPathConfig, DpResult, SideKind};
+/// use wec_mem::l2::{L2Config, SharedL2};
+/// use wec_mem::stats::AccessKind;
+///
+/// let mut dp = DataPath::new(DataPathConfig::paper_default(SideKind::Wec))?;
+/// let mut l2 = SharedL2::new(L2Config::default())?;
+/// // A wrong-execution load fills the WEC, never the L1 (Figure 6):
+/// dp.access(Addr(0x4000), AccessKind::WrongPathLoad, Cycle(0), &mut l2);
+/// assert!(dp.side_contains(Addr(0x4000)) && !dp.l1_contains(Addr(0x4000)));
+/// // The correct path later demands it: a fast WEC hit that swaps the
+/// // block into the L1 and chains a next-line prefetch.
+/// let r = dp.access(Addr(0x4000), AccessKind::CorrectLoad, Cycle(500), &mut l2);
+/// assert_eq!(r, DpResult::Done { ready_at: Cycle(501) });
+/// assert!(dp.l1_contains(Addr(0x4000)));
+/// # Ok::<(), wec_common::SimError>(())
+/// ```
+pub struct DataPath {
+    cfg: DataPathConfig,
+    l1: Cache,
+    side: Option<Cache>,
+    ports: PortSet,
+    mshrs: Mshrs,
+    nlp: TaggedNextLine,
+    pub stats: CacheStats,
+}
+
+impl DataPath {
+    pub fn new(cfg: DataPathConfig) -> SimResult<Self> {
+        let geom = CacheGeometry::from_capacity(cfg.capacity_bytes, cfg.ways, cfg.block_bytes)?;
+        let side = match cfg.side {
+            SideKind::None => None,
+            _ => Some(Cache::new(CacheGeometry::fully_associative(
+                cfg.side_entries,
+                cfg.block_bytes,
+            ))),
+        };
+        Ok(DataPath {
+            cfg,
+            l1: Cache::new(geom),
+            side,
+            ports: PortSet::new(cfg.ports),
+            mshrs: Mshrs::new(cfg.mshrs, cfg.block_bytes),
+            nlp: TaggedNextLine::new(),
+            stats: CacheStats::default(),
+        })
+    }
+
+    pub fn config(&self) -> &DataPathConfig {
+        &self.cfg
+    }
+
+    /// Access the data path. `kind` routes the access per Figure 6; stores
+    /// pass `AccessKind::CorrectStore` (write-allocate, mark dirty).
+    pub fn access(
+        &mut self,
+        addr: Addr,
+        kind: AccessKind,
+        now: Cycle,
+        l2: &mut SharedL2,
+    ) -> DpResult {
+        if !self.ports.try_claim(now) {
+            return DpResult::Retry;
+        }
+        if kind.is_wrong() {
+            self.wrong_access(addr, kind, now, l2)
+        } else {
+            self.correct_access(addr, kind, now, l2)
+        }
+    }
+
+    // ---------------- correct path (Figure 6, right side) ----------------
+
+    fn correct_access(
+        &mut self,
+        addr: Addr,
+        kind: AccessKind,
+        now: Cycle,
+        l2: &mut SharedL2,
+    ) -> DpResult {
+        let is_store = kind == AccessKind::CorrectStore;
+        let hit_latency = self.cfg.hit_latency;
+        let block_bytes = self.cfg.block_bytes;
+
+        // Merge into an outstanding refill first.
+        if let Some(ready) = self.mshrs.pending(addr, now) {
+            self.stats.record(kind, true);
+            if is_store {
+                self.l1.set_dirty(addr);
+            }
+            return DpResult::Done {
+                ready_at: ready.max(now.plus(hit_latency)),
+            };
+        }
+
+        // L1 hit?
+        if let Some(line) = self.l1.touch(addr) {
+            let was_wrong = line.flags.wrong_fetched;
+            let was_prefetched = line.flags.prefetched;
+            line.flags.wrong_fetched = false;
+            line.flags.prefetched = false;
+            if is_store {
+                line.flags.dirty = true;
+            }
+            self.stats.record(kind, true);
+            if was_wrong {
+                self.stats.useful_wrong_fetches.inc();
+            }
+            if was_prefetched {
+                self.stats.useful_prefetches.inc();
+                if self.cfg.side == SideKind::PrefetchBuffer {
+                    // Tagged prefetch re-arms on the first demand hit.
+                    let next = addr.next_block(block_bytes);
+                    self.issue_prefetch(next, LineFlags::PREFETCH, now, l2);
+                }
+            }
+            return DpResult::Done {
+                ready_at: now.plus(hit_latency),
+            };
+        }
+
+        self.stats.record(kind, false);
+
+        // L1 miss: probe the side structure.
+        if self.side.is_some() && self.side.as_ref().unwrap().contains(addr) {
+            let side_line = self.side.as_mut().unwrap().take(addr).unwrap();
+            self.stats.side_hits.inc();
+            let was_wrong = side_line.flags.wrong_fetched;
+            let was_prefetched = side_line.flags.prefetched;
+            if was_wrong {
+                self.stats.useful_wrong_fetches.inc();
+            }
+            if was_prefetched {
+                self.stats.useful_prefetches.inc();
+            }
+            // The block moves into the L1 as a demanded block.
+            let flags = LineFlags {
+                dirty: side_line.flags.dirty || is_store,
+                ..LineFlags::DEMAND
+            };
+            match self.cfg.side {
+                SideKind::Victim | SideKind::Wec => {
+                    // Swap: the displaced L1 victim takes the side slot.
+                    if let Some(victim) = self.l1.insert(addr, flags) {
+                        self.stats.evictions.inc();
+                        self.side.as_mut().unwrap().insert(victim.addr, victim.flags);
+                    }
+                    if self.cfg.side == SideKind::Wec && (was_wrong || was_prefetched) {
+                        // First correct use of a wrongly-fetched block:
+                        // next-line prefetch into the WEC (§3.2.1).  The
+                        // prefetched block is itself marked wrong-fetched so
+                        // a hit to it keeps the chain going.
+                        let next = addr.next_block(block_bytes);
+                        let flags = LineFlags {
+                            dirty: false,
+                            wrong_fetched: true,
+                            prefetched: true,
+                        };
+                        self.nlp.issued.inc();
+                        self.stats.prefetches_issued.inc();
+                        self.issue_prefetch_raw(next, flags, now, l2);
+                    }
+                }
+                SideKind::PrefetchBuffer => {
+                    // Jouppi-style buffer: block promotes to L1; the L1
+                    // victim is evicted normally.
+                    if let Some(victim) = self.l1.insert(addr, flags) {
+                        self.evict_to_l2(victim.addr, victim.flags, now, l2);
+                    }
+                    if was_prefetched {
+                        let next = addr.next_block(block_bytes);
+                        self.issue_prefetch(next, LineFlags::PREFETCH, now, l2);
+                    }
+                }
+                SideKind::None => unreachable!(),
+            }
+            return DpResult::Done {
+                ready_at: now.plus(hit_latency),
+            };
+        }
+
+        // Miss everywhere: fetch from L2 into the L1.
+        self.stats.demand_misses_to_next_level.inc();
+        let fetch_start = now.plus(hit_latency);
+        let ready = match self.mshrs.register(addr, now, || {
+            l2.access(addr, kind, false, fetch_start)
+        }) {
+            MshrOutcome::NewMiss(r) | MshrOutcome::Merged(r) => r,
+            MshrOutcome::Full => return DpResult::Retry,
+        };
+        let flags = LineFlags {
+            dirty: is_store,
+            ..LineFlags::DEMAND
+        };
+        if let Some(victim) = self.l1.insert(addr, flags) {
+            self.stats.evictions.inc();
+            match self.cfg.side {
+                SideKind::Victim | SideKind::Wec => {
+                    // Victim-cache behaviour: the displaced block parks in
+                    // the side structure.
+                    if let Some(side_victim) =
+                        self.side.as_mut().unwrap().insert(victim.addr, victim.flags)
+                    {
+                        self.writeback_if_dirty(side_victim.addr, side_victim.flags, now, l2);
+                    }
+                }
+                _ => self.writeback_if_dirty(victim.addr, victim.flags, now, l2),
+            }
+        }
+        if self.cfg.side == SideKind::PrefetchBuffer {
+            // Tagged prefetch arms on every demand miss.
+            let next = addr.next_block(block_bytes);
+            self.issue_prefetch(next, LineFlags::PREFETCH, now, l2);
+        }
+        DpResult::Done { ready_at: ready }
+    }
+
+    // ---------------- wrong execution (Figure 6, left side) ----------------
+
+    fn wrong_access(
+        &mut self,
+        addr: Addr,
+        kind: AccessKind,
+        now: Cycle,
+        l2: &mut SharedL2,
+    ) -> DpResult {
+        let hit_latency = self.cfg.hit_latency;
+        self.stats.record(kind, false); // traffic counting; hit split below
+
+        if let Some(ready) = self.mshrs.pending(addr, now) {
+            return DpResult::Done {
+                ready_at: ready.max(now.plus(hit_latency)),
+            };
+        }
+        // L1 hit: just refresh LRU.
+        if self.l1.touch(addr).is_some() {
+            return DpResult::Done {
+                ready_at: now.plus(hit_latency),
+            };
+        }
+        // WEC (or other side) hit: refresh side LRU, serve from there.
+        if let Some(side) = self.side.as_mut() {
+            if side.touch(addr).is_some() {
+                return DpResult::Done {
+                    ready_at: now.plus(hit_latency),
+                };
+            }
+        }
+        // Double miss: fetch from the next level.
+        self.stats.wrong_misses_to_next_level.inc();
+        let fetch_start = now.plus(hit_latency);
+        let ready = match self.mshrs.register(addr, now, || {
+            l2.access(addr, kind, false, fetch_start)
+        }) {
+            MshrOutcome::NewMiss(r) | MshrOutcome::Merged(r) => r,
+            MshrOutcome::Full => return DpResult::Retry,
+        };
+        match self.cfg.side {
+            SideKind::Wec => {
+                // The paper's central rule: wrong-execution fills go to the
+                // WEC, never the L1.
+                if let Some(victim) = self.side.as_mut().unwrap().insert(addr, LineFlags::WRONG) {
+                    self.writeback_if_dirty(victim.addr, victim.flags, now, l2);
+                }
+            }
+            SideKind::Victim | SideKind::None | SideKind::PrefetchBuffer => {
+                // No WEC: the wrong fill pollutes the L1 (this is what the
+                // wp/wth/wth-wp/wth-wp-vc configurations measure).
+                if let Some(victim) = self.l1.insert(addr, LineFlags::WRONG) {
+                    self.stats.evictions.inc();
+                    if self.cfg.side == SideKind::Victim {
+                        if let Some(side_victim) =
+                            self.side.as_mut().unwrap().insert(victim.addr, victim.flags)
+                        {
+                            self.writeback_if_dirty(side_victim.addr, side_victim.flags, now, l2);
+                        }
+                    } else {
+                        self.writeback_if_dirty(victim.addr, victim.flags, now, l2);
+                    }
+                }
+            }
+        }
+        DpResult::Done { ready_at: ready }
+    }
+
+    // ---------------- helpers ----------------
+
+    /// Issue a hardware prefetch into the side structure (skipped if the
+    /// block is already somewhere in this data path or in flight).
+    fn issue_prefetch(&mut self, addr: Addr, flags: LineFlags, now: Cycle, l2: &mut SharedL2) {
+        self.stats.prefetches_issued.inc();
+        self.nlp.issued.inc();
+        self.issue_prefetch_raw(addr, flags, now, l2);
+    }
+
+    fn issue_prefetch_raw(&mut self, addr: Addr, flags: LineFlags, now: Cycle, l2: &mut SharedL2) {
+        if self.l1.contains(addr)
+            || self.side.as_ref().is_some_and(|s| s.contains(addr))
+            || self.mshrs.pending(addr, now).is_some()
+        {
+            return;
+        }
+        // Prefetches ride the L2 in the background; nobody waits on them, so
+        // the instant-fill simplification costs nothing here.
+        let _ = l2.access(addr, AccessKind::Prefetch, false, now.plus(self.cfg.hit_latency));
+        if let Some(side) = self.side.as_mut() {
+            if let Some(victim) = side.insert(addr, flags) {
+                self.writeback_if_dirty(victim.addr, victim.flags, now, l2);
+            }
+        }
+    }
+
+    fn evict_to_l2(&mut self, addr: Addr, flags: LineFlags, now: Cycle, l2: &mut SharedL2) {
+        self.stats.evictions.inc();
+        self.writeback_if_dirty(addr, flags, now, l2);
+    }
+
+    fn writeback_if_dirty(&mut self, addr: Addr, flags: LineFlags, now: Cycle, l2: &mut SharedL2) {
+        if flags.dirty {
+            self.stats.writebacks.inc();
+            let _ = l2.access(addr, AccessKind::CorrectStore, true, now);
+        }
+    }
+
+    /// Is the block containing `addr` resident in the L1 proper? (Tests.)
+    pub fn l1_contains(&self, addr: Addr) -> bool {
+        self.l1.contains(addr)
+    }
+
+    /// Is the block resident in the side structure? (Tests.)
+    pub fn side_contains(&self, addr: Addr) -> bool {
+        self.side.as_ref().is_some_and(|s| s.contains(addr))
+    }
+
+    /// Wrong-fetched flag of a resident side block (tests).
+    pub fn side_flags(&self, addr: Addr) -> Option<LineFlags> {
+        self.side.as_ref()?.peek(addr).map(|l| l.flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wec_mem::l2::L2Config;
+
+    fn l2() -> SharedL2 {
+        SharedL2::new(L2Config::default()).unwrap()
+    }
+
+    fn dp(side: SideKind) -> DataPath {
+        DataPath::new(DataPathConfig::paper_default(side)).unwrap()
+    }
+
+    fn done(r: DpResult) -> Cycle {
+        match r {
+            DpResult::Done { ready_at } => ready_at,
+            DpResult::Retry => panic!("unexpected retry"),
+        }
+    }
+
+    #[test]
+    fn wrong_fill_goes_to_wec_not_l1() {
+        let mut d = dp(SideKind::Wec);
+        let mut l2 = l2();
+        let a = Addr(0x1_0000);
+        done(d.access(a, AccessKind::WrongPathLoad, Cycle(0), &mut l2));
+        assert!(!d.l1_contains(a), "wrong fill polluted the L1");
+        assert!(d.side_contains(a));
+        assert!(d.side_flags(a).unwrap().wrong_fetched);
+    }
+
+    #[test]
+    fn wrong_fill_pollutes_l1_without_wec() {
+        for side in [SideKind::None, SideKind::Victim] {
+            let mut d = dp(side);
+            let mut l2 = l2();
+            let a = Addr(0x1_0000);
+            done(d.access(a, AccessKind::WrongThreadLoad, Cycle(0), &mut l2));
+            assert!(d.l1_contains(a), "{side:?}");
+        }
+    }
+
+    #[test]
+    fn correct_hit_on_wec_block_swaps_and_prefetches() {
+        let mut d = dp(SideKind::Wec);
+        let mut l2 = l2();
+        let a = Addr(0x2_0000);
+        // Wrong execution brings the block into the WEC...
+        done(d.access(a, AccessKind::WrongPathLoad, Cycle(0), &mut l2));
+        // ...then the correct path demands it (after the refill lands):
+        // fast hit, block moves to L1, next line prefetched into the WEC.
+        let t = done(d.access(a, AccessKind::CorrectLoad, Cycle(400), &mut l2));
+        assert_eq!(t, Cycle(401), "WEC hit must cost the L1 hit latency");
+        assert!(d.l1_contains(a));
+        assert!(!d.l1.peek(a).unwrap().flags.wrong_fetched);
+        let next = a.next_block(64);
+        assert!(d.side_contains(next), "next-line prefetch missing");
+        assert_eq!(d.stats.useful_wrong_fetches.get(), 1);
+        assert_eq!(d.stats.side_hits.get(), 1);
+    }
+
+    #[test]
+    fn correct_miss_fills_l1_and_victim_goes_to_wec() {
+        let mut d = dp(SideKind::Wec);
+        let mut l2 = l2();
+        // Two conflicting blocks (8 KB apart, direct-mapped).
+        let a = Addr(0x0_0000);
+        let b = Addr(0x0_2000);
+        done(d.access(a, AccessKind::CorrectLoad, Cycle(0), &mut l2));
+        done(d.access(b, AccessKind::CorrectLoad, Cycle(400), &mut l2));
+        assert!(d.l1_contains(b));
+        assert!(!d.l1_contains(a));
+        assert!(d.side_contains(a), "victim not parked in the WEC");
+        // And the conflicting re-reference is now a cheap swap.
+        let t = done(d.access(a, AccessKind::CorrectLoad, Cycle(800), &mut l2));
+        assert_eq!(t, Cycle(801));
+        assert!(d.l1_contains(a) && d.side_contains(b));
+    }
+
+    #[test]
+    fn victim_cache_handles_conflicts_like_wec() {
+        let mut d = dp(SideKind::Victim);
+        let mut l2 = l2();
+        let a = Addr(0x0_0000);
+        let b = Addr(0x0_2000);
+        done(d.access(a, AccessKind::CorrectLoad, Cycle(0), &mut l2));
+        done(d.access(b, AccessKind::CorrectLoad, Cycle(400), &mut l2));
+        let t = done(d.access(a, AccessKind::CorrectLoad, Cycle(800), &mut l2));
+        assert_eq!(t, Cycle(801));
+        assert_eq!(d.stats.side_hits.get(), 1);
+    }
+
+    #[test]
+    fn wrong_hit_in_l1_does_not_move_blocks() {
+        let mut d = dp(SideKind::Wec);
+        let mut l2 = l2();
+        let a = Addr(0x3_0000);
+        done(d.access(a, AccessKind::CorrectLoad, Cycle(0), &mut l2));
+        done(d.access(a, AccessKind::WrongPathLoad, Cycle(400), &mut l2));
+        assert!(d.l1_contains(a));
+        assert!(!d.side_contains(a));
+        assert_eq!(d.stats.wrong_accesses.get(), 1);
+        assert_eq!(d.stats.wrong_misses_to_next_level.get(), 0);
+    }
+
+    #[test]
+    fn nlp_prefetches_on_miss_and_rearms_on_hit() {
+        let mut d = dp(SideKind::PrefetchBuffer);
+        let mut l2 = l2();
+        let a = Addr(0x4_0000);
+        done(d.access(a, AccessKind::CorrectLoad, Cycle(0), &mut l2));
+        let next = a.next_block(64);
+        assert!(d.side_contains(next), "miss must arm a prefetch");
+        // Demand the prefetched block: it promotes to L1 and re-arms.
+        let t = done(d.access(next, AccessKind::CorrectLoad, Cycle(400), &mut l2));
+        assert_eq!(t, Cycle(401), "prefetch-buffer hit should be fast");
+        assert!(d.l1_contains(next));
+        assert!(d.side_contains(next.next_block(64)));
+        assert_eq!(d.stats.useful_prefetches.get(), 1);
+    }
+
+    #[test]
+    fn mshr_merges_wrong_then_correct_access() {
+        // A wrong-execution load starts a refill; the correct path arrives
+        // two cycles later and must merge (one L2 fetch, shortened miss).
+        let mut d = dp(SideKind::Wec);
+        let mut l2 = l2();
+        let a = Addr(0x5_0000);
+        let t_wrong = done(d.access(a, AccessKind::WrongPathLoad, Cycle(0), &mut l2));
+        let t_correct = done(d.access(a, AccessKind::CorrectLoad, Cycle(2), &mut l2));
+        assert_eq!(t_wrong, t_correct, "must merge into the same refill");
+        assert_eq!(l2.stats.wrong_accesses.get() + l2.stats.demand_accesses.get(), 1);
+    }
+
+    #[test]
+    fn ports_reject_excess_accesses_per_cycle() {
+        let mut d = dp(SideKind::None);
+        let mut l2 = l2();
+        let now = Cycle(0);
+        assert!(matches!(
+            d.access(Addr(0x100), AccessKind::CorrectLoad, now, &mut l2),
+            DpResult::Done { .. }
+        ));
+        assert!(matches!(
+            d.access(Addr(0x200), AccessKind::CorrectLoad, now, &mut l2),
+            DpResult::Done { .. }
+        ));
+        assert_eq!(
+            d.access(Addr(0x300), AccessKind::CorrectLoad, now, &mut l2),
+            DpResult::Retry
+        );
+        // Next cycle they are free again.
+        assert!(matches!(
+            d.access(Addr(0x300), AccessKind::CorrectLoad, Cycle(1), &mut l2),
+            DpResult::Done { .. }
+        ));
+    }
+
+    #[test]
+    fn store_miss_write_allocates_dirty_and_writes_back() {
+        let mut d = dp(SideKind::None);
+        let mut l2 = l2();
+        let a = Addr(0x0_0000);
+        let b = Addr(0x0_2000); // conflicts with a
+        done(d.access(a, AccessKind::CorrectStore, Cycle(0), &mut l2));
+        assert!(d.l1.peek(a).unwrap().flags.dirty);
+        done(d.access(b, AccessKind::CorrectLoad, Cycle(400), &mut l2));
+        assert_eq!(d.stats.writebacks.get(), 1);
+    }
+
+    #[test]
+    fn wec_eviction_never_reaches_l1() {
+        // Fill the 8-entry WEC with nine wrong-execution blocks; the
+        // overflow must evict the oldest WEC block, not touch the L1.
+        let mut d = dp(SideKind::Wec);
+        let mut l2 = l2();
+        for i in 0..9u64 {
+            done(d.access(
+                Addr(0x10_0000 + i * 64),
+                AccessKind::WrongPathLoad,
+                Cycle(i * 400),
+                &mut l2,
+            ));
+        }
+        assert!(!d.side_contains(Addr(0x10_0000)), "oldest should be gone");
+        assert!(d.side_contains(Addr(0x10_0000 + 8 * 64)));
+        for i in 0..9u64 {
+            assert!(!d.l1_contains(Addr(0x10_0000 + i * 64)));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Scheduler event log: the thread-lifecycle timeline of Figure 4.
+//!
+//! When enabled (`MachineConfig::event_log`), the machine records every
+//! region/thread scheduling event with its cycle — `begin`, forks (including
+//! deferrals), thread starts, aborts, wrong-markings, kills, write-backs and
+//! retirements.  Rendering the log reproduces the paper's Figure 4 picture
+//! for a real execution.
+
+use std::fmt;
+
+use wec_common::ids::Cycle;
+
+/// One scheduling event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// A parallel region began (head thread id).
+    Begin { region: u16, head: u64 },
+    /// A fork was scheduled onto a free TU.
+    ForkScheduled { parent: u64, child: u64, tu: usize },
+    /// A fork had to wait for its target TU (the paper's "youngest thread
+    /// delays forking").
+    ForkDeferred { parent: u64, child: u64, tu: usize },
+    /// A thread began executing.
+    ThreadStart { id: u64, tu: usize },
+    /// A correct thread executed its abort (successors cut).
+    Abort { id: u64 },
+    /// A thread was marked wrong (wth mode).
+    MarkedWrong { id: u64 },
+    /// A thread was killed outright.
+    Killed { id: u64, tu: usize },
+    /// A wrong thread killed itself (at its abort or thread-end).
+    WrongDied { id: u64 },
+    /// A thread entered its write-back stage.
+    WbStart { id: u64, words: u64 },
+    /// A thread fully retired.
+    Retired { id: u64, tu: usize },
+    /// The machine returned to sequential execution.
+    Sequential { tu: usize },
+}
+
+impl fmt::Display for SchedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SchedEvent::Begin { region, head } => write!(f, "begin region {region}, head T{head}"),
+            SchedEvent::ForkScheduled { parent, child, tu } => {
+                write!(f, "T{parent} forks T{child} -> tu{tu}")
+            }
+            SchedEvent::ForkDeferred { parent, child, tu } => {
+                write!(f, "T{parent} fork of T{child} deferred (tu{tu} busy)")
+            }
+            SchedEvent::ThreadStart { id, tu } => write!(f, "T{id} starts on tu{tu}"),
+            SchedEvent::Abort { id } => write!(f, "T{id} aborts its successors"),
+            SchedEvent::MarkedWrong { id } => write!(f, "T{id} marked wrong"),
+            SchedEvent::Killed { id, tu } => write!(f, "T{id} killed on tu{tu}"),
+            SchedEvent::WrongDied { id } => write!(f, "wrong T{id} kills itself"),
+            SchedEvent::WbStart { id, words } => write!(f, "T{id} write-back ({words} words)"),
+            SchedEvent::Retired { id, tu } => write!(f, "T{id} retired, tu{tu} idle"),
+            SchedEvent::Sequential { tu } => write!(f, "sequential execution resumes on tu{tu}"),
+        }
+    }
+}
+
+/// The (optionally enabled) event log.
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    enabled: bool,
+    events: Vec<(Cycle, SchedEvent)>,
+}
+
+impl EventLog {
+    pub fn new(enabled: bool) -> Self {
+        EventLog {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub fn record(&mut self, cycle: Cycle, ev: SchedEvent) {
+        if self.enabled {
+            self.events.push((cycle, ev));
+        }
+    }
+
+    pub fn events(&self) -> &[(Cycle, SchedEvent)] {
+        &self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Render one line per event, cycle-stamped.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (cycle, ev) in &self.events {
+            let _ = writeln!(out, "[{:>8}] {ev}", cycle.0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = EventLog::new(false);
+        log.record(Cycle(1), SchedEvent::Abort { id: 3 });
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn render_is_cycle_stamped_prose() {
+        let mut log = EventLog::new(true);
+        log.record(Cycle(10), SchedEvent::Begin { region: 1, head: 5 });
+        log.record(
+            Cycle(12),
+            SchedEvent::ForkScheduled {
+                parent: 5,
+                child: 6,
+                tu: 1,
+            },
+        );
+        log.record(Cycle(90), SchedEvent::MarkedWrong { id: 6 });
+        let s = log.render();
+        assert!(s.contains("begin region 1, head T5"), "{s}");
+        assert!(s.contains("T5 forks T6 -> tu1"), "{s}");
+        assert!(s.contains("T6 marked wrong"), "{s}");
+        assert_eq!(log.len(), 3);
+    }
+}

@@ -1,0 +1,323 @@
+//! The per-thread speculative memory buffer (paper §2, §2.2).
+//!
+//! During a parallel region every store a thread commits lands here instead
+//! of the cache; the buffer is drained to architectural memory only in the
+//! thread's write-back stage, in original program order — which is how the
+//! superthreaded model avoids speculative memory state and why wrong threads
+//! can never alter memory.
+//!
+//! The buffer also realizes run-time data-dependence checking: upstream
+//! threads *announce* their target-store addresses in the TSAG stage and
+//! *release* the values when the stores execute; a downstream load that
+//! overlaps an announced-but-unreleased entry must wait.
+
+use std::collections::BTreeMap;
+
+use wec_common::ids::{Addr, ThreadId};
+
+/// What a load sees when it consults the buffer chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadCheck {
+    /// Every byte resolved from buffers: the load needs no cache access.
+    Value(u64),
+    /// Some bytes come from memory: merge `value` using `buffered_mask`
+    /// (bit i set ⇒ byte i of the result comes from the buffer).
+    Partial { value: u64, buffered_mask: u8 },
+    /// No overlap with any buffered byte.
+    Miss,
+    /// Overlaps an announced target store whose value has not arrived.
+    Wait,
+}
+
+/// One thread's speculative memory buffer.
+///
+/// ```
+/// use wec_common::ids::{Addr, ThreadId};
+/// use wec_core::membuf::{LoadCheck, MemBuffer};
+///
+/// let mut buf = MemBuffer::new();
+/// // An upstream thread announced a target store here (TSAG stage):
+/// buf.announce_upstream(Addr(0x100), ThreadId(3));
+/// // …so a load must wait (run-time dependence checking, §2.2):
+/// assert_eq!(buf.check_load(Addr(0x100), 8), LoadCheck::Wait);
+/// // When the upstream store executes, the value is released:
+/// buf.release_upstream(Addr(0x100), 8, 42, ThreadId(3));
+/// assert_eq!(buf.check_load(Addr(0x100), 8), LoadCheck::Value(42));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MemBuffer {
+    /// Bytes written by this thread's committed stores.
+    own: BTreeMap<u64, u8>,
+    /// Bytes released by upstream target stores.
+    released: BTreeMap<u64, u8>,
+    /// Announced (8-byte) target-store ranges from upstream threads that
+    /// have not been released yet, with the announcing thread.
+    announced: Vec<(Addr, ThreadId)>,
+    /// This thread's own announced target-store addresses (a store matching
+    /// one of these must be forwarded downstream when it executes).
+    own_announced: Vec<Addr>,
+    /// High-water mark of buffered store bytes (capacity accounting: the
+    /// paper's buffer is 128 entries; we record pressure rather than stall).
+    pub peak_bytes: usize,
+}
+
+/// Target stores are announced at 8-byte granularity.
+pub const ANNOUNCE_BYTES: u64 = 8;
+
+impl MemBuffer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a committed store by this thread.
+    pub fn record_store(&mut self, addr: Addr, bytes: u64, value: u64) {
+        for i in 0..bytes {
+            self.own.insert(addr.0 + i, (value >> (8 * i)) as u8);
+        }
+        self.peak_bytes = self.peak_bytes.max(self.own.len());
+    }
+
+    /// Does this store match one of the thread's own target-store
+    /// announcements (and therefore needs forwarding downstream)?
+    pub fn is_own_target_store(&self, addr: Addr, bytes: u64) -> bool {
+        self.own_announced
+            .iter()
+            .any(|a| a.0 < addr.0 + bytes && addr.0 < a.0 + ANNOUNCE_BYTES)
+    }
+
+    /// Register one of this thread's own TSAG announcements.
+    pub fn announce_own(&mut self, addr: Addr) {
+        self.own_announced.push(addr);
+    }
+
+    /// Register an upstream announcement.
+    pub fn announce_upstream(&mut self, addr: Addr, from: ThreadId) {
+        if !self.announced.iter().any(|&(a, t)| a == addr && t == from) {
+            self.announced.push((addr, from));
+        }
+    }
+
+    /// An upstream target store released its value.
+    pub fn release_upstream(&mut self, addr: Addr, bytes: u64, value: u64, from: ThreadId) {
+        self.announced.retain(|&(a, t)| !(a == addr && t == from));
+        for i in 0..bytes {
+            self.released.insert(addr.0 + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Drop all state from a given upstream thread (it was killed or marked
+    /// wrong): pending waits on it must not deadlock the consumer.
+    pub fn void_upstream(&mut self, from: ThreadId) {
+        self.announced.retain(|&(_, t)| t != from);
+    }
+
+    /// Resolve a load against this buffer (own bytes override released
+    /// upstream bytes, which override memory).
+    pub fn check_load(&self, addr: Addr, bytes: u64) -> LoadCheck {
+        debug_assert!((1..=8).contains(&bytes));
+        // Unreleased announcement overlapping the load?
+        for &(a, _) in &self.announced {
+            if a.0 < addr.0 + bytes && addr.0 < a.0 + ANNOUNCE_BYTES {
+                // Own stores may already cover the overlap entirely, in
+                // which case the thread reads its own data, not upstream's.
+                let own_covers = (0..bytes).all(|i| self.own.contains_key(&(addr.0 + i)));
+                if !own_covers {
+                    return LoadCheck::Wait;
+                }
+                break;
+            }
+        }
+        let mut value = 0u64;
+        let mut mask = 0u8;
+        for i in 0..bytes {
+            let byte_addr = addr.0 + i;
+            let byte = self
+                .own
+                .get(&byte_addr)
+                .or_else(|| self.released.get(&byte_addr));
+            if let Some(&b) = byte {
+                value |= (b as u64) << (8 * i);
+                mask |= 1 << i;
+            }
+        }
+        if mask == 0 {
+            LoadCheck::Miss
+        } else if u32::from(mask) == (1u32 << bytes) - 1 {
+            LoadCheck::Value(value)
+        } else {
+            LoadCheck::Partial {
+                value,
+                buffered_mask: mask,
+            }
+        }
+    }
+
+    /// Drain this thread's own stores as (8-byte-aligned word address,
+    /// byte mask, value) triples in address order — the write-back stage.
+    pub fn drain_own(&self) -> Vec<(Addr, u8, u64)> {
+        let mut out: Vec<(Addr, u8, u64)> = Vec::new();
+        for (&byte_addr, &b) in &self.own {
+            let word = byte_addr & !7;
+            let lane = (byte_addr & 7) as u32;
+            match out.last_mut() {
+                Some((wa, mask, val)) if wa.0 == word => {
+                    *mask |= 1 << lane;
+                    *val |= (b as u64) << (8 * lane);
+                }
+                _ => out.push((Addr(word), 1 << lane, (b as u64) << (8 * lane))),
+            }
+        }
+        out
+    }
+
+    /// Number of distinct 8-byte words this thread has written (write-back
+    /// cost accounting).
+    pub fn own_word_count(&self) -> usize {
+        let mut count = 0;
+        let mut last_word = u64::MAX;
+        for &byte_addr in self.own.keys() {
+            let word = byte_addr & !7;
+            if word != last_word {
+                count += 1;
+                last_word = word;
+            }
+        }
+        count
+    }
+
+    pub fn clear(&mut self) {
+        self.own.clear();
+        self.released.clear();
+        self.announced.clear();
+        self.own_announced.clear();
+    }
+}
+
+/// Apply a drained word to memory-like byte storage via a closure.
+/// Helper for the write-back stage: calls `write(addr, byte)` for each
+/// masked byte lane.
+pub fn apply_word(addr: Addr, mask: u8, value: u64, mut write: impl FnMut(Addr, u8)) {
+    for lane in 0..8u32 {
+        if mask & (1 << lane) != 0 {
+            write(addr + lane as u64, (value >> (8 * lane)) as u8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn own_store_then_load_hits() {
+        let mut b = MemBuffer::new();
+        b.record_store(Addr(0x100), 8, 0xAABB_CCDD_EEFF_1122);
+        assert_eq!(
+            b.check_load(Addr(0x100), 8),
+            LoadCheck::Value(0xAABB_CCDD_EEFF_1122)
+        );
+        // Sub-word read of the buffered data.
+        assert_eq!(b.check_load(Addr(0x104), 4), LoadCheck::Value(0xAABB_CCDD));
+    }
+
+    #[test]
+    fn later_store_overrides_earlier() {
+        let mut b = MemBuffer::new();
+        b.record_store(Addr(0x100), 8, 1);
+        b.record_store(Addr(0x100), 1, 0xff);
+        assert_eq!(b.check_load(Addr(0x100), 8), LoadCheck::Value(0xff));
+    }
+
+    #[test]
+    fn partial_coverage_reports_mask() {
+        let mut b = MemBuffer::new();
+        b.record_store(Addr(0x104), 4, 0xDEAD_BEEF);
+        match b.check_load(Addr(0x100), 8) {
+            LoadCheck::Partial {
+                value,
+                buffered_mask,
+            } => {
+                assert_eq!(buffered_mask, 0b1111_0000);
+                assert_eq!(value, 0xDEAD_BEEF_0000_0000);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn miss_when_untouched() {
+        let b = MemBuffer::new();
+        assert_eq!(b.check_load(Addr(0x100), 8), LoadCheck::Miss);
+    }
+
+    #[test]
+    fn announced_unreleased_forces_wait_then_value_after_release() {
+        let mut b = MemBuffer::new();
+        let up = ThreadId(3);
+        b.announce_upstream(Addr(0x200), up);
+        assert_eq!(b.check_load(Addr(0x200), 8), LoadCheck::Wait);
+        // Overlap at any byte also waits.
+        assert_eq!(b.check_load(Addr(0x204), 4), LoadCheck::Wait);
+        b.release_upstream(Addr(0x200), 8, 777, up);
+        assert_eq!(b.check_load(Addr(0x200), 8), LoadCheck::Value(777));
+    }
+
+    #[test]
+    fn own_store_shadows_upstream_announcement() {
+        let mut b = MemBuffer::new();
+        b.announce_upstream(Addr(0x200), ThreadId(1));
+        b.record_store(Addr(0x200), 8, 5);
+        assert_eq!(b.check_load(Addr(0x200), 8), LoadCheck::Value(5));
+    }
+
+    #[test]
+    fn void_upstream_unblocks_waiters() {
+        let mut b = MemBuffer::new();
+        b.announce_upstream(Addr(0x300), ThreadId(9));
+        assert_eq!(b.check_load(Addr(0x300), 8), LoadCheck::Wait);
+        b.void_upstream(ThreadId(9));
+        assert_eq!(b.check_load(Addr(0x300), 8), LoadCheck::Miss);
+    }
+
+    #[test]
+    fn own_target_store_detection() {
+        let mut b = MemBuffer::new();
+        b.announce_own(Addr(0x400));
+        assert!(b.is_own_target_store(Addr(0x400), 8));
+        assert!(b.is_own_target_store(Addr(0x404), 4));
+        assert!(!b.is_own_target_store(Addr(0x408), 8));
+    }
+
+    #[test]
+    fn drain_coalesces_into_words() {
+        let mut b = MemBuffer::new();
+        b.record_store(Addr(0x100), 8, u64::MAX);
+        b.record_store(Addr(0x109), 1, 0x42);
+        let drained = b.drain_own();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0], (Addr(0x100), 0xff, u64::MAX));
+        assert_eq!(drained[1], (Addr(0x108), 0b10, 0x42 << 8));
+        assert_eq!(b.own_word_count(), 2);
+    }
+
+    #[test]
+    fn apply_word_writes_masked_lanes_only() {
+        let mut bytes = [0u8; 16];
+        apply_word(Addr(0), 0b101, 0x00AA_00BB, |a, v| bytes[a.0 as usize] = v);
+        assert_eq!(bytes[0], 0xBB);
+        assert_eq!(bytes[1], 0);
+        assert_eq!(bytes[2], 0xAA);
+    }
+
+    #[test]
+    fn released_value_merges_with_memory_bytes() {
+        let mut b = MemBuffer::new();
+        b.release_upstream(Addr(0x500), 8, 0x1111_1111_1111_1111, ThreadId(0));
+        match b.check_load(Addr(0x4FC), 8) {
+            LoadCheck::Partial { buffered_mask, .. } => {
+                assert_eq!(buffered_mask, 0b1111_0000)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Machine-level result metrics.
+//!
+//! [`MachineMetrics`] carries exactly the quantities the paper's evaluation
+//! plots: execution time, the parallel-region share (Figure 8 / Table 2),
+//! L1 demand misses and total traffic (Figure 17), and the wrong-execution
+//! accounting behind Figures 9–16.
+
+use wec_common::stats::StatSet;
+
+/// Aggregated L1-data-cache numbers across all thread units.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct L1dAggregate {
+    /// Correct-path demand accesses (loads + stores).
+    pub demand_accesses: u64,
+    /// Correct-path demand misses in the L1 proper.
+    pub demand_misses: u64,
+    /// Correct-path misses that also missed the side structure and went to
+    /// the L2 — the "effective misses" the WEC reduces.
+    pub misses_to_next_level: u64,
+    /// Wrong-execution accesses (the Figure 17 traffic increase).
+    pub wrong_accesses: u64,
+    /// L1 misses served by the side structure (WEC/VC/prefetch buffer).
+    pub side_hits: u64,
+    /// Correct-path hits on blocks fetched by wrong execution.
+    pub useful_wrong_fetches: u64,
+    /// Correct-path hits on hardware-prefetched blocks.
+    pub useful_prefetches: u64,
+    /// Hardware prefetches issued.
+    pub prefetches_issued: u64,
+}
+
+impl L1dAggregate {
+    /// Total accesses reaching the L1 data caches (Figure 17 "traffic").
+    pub fn traffic(&self) -> u64 {
+        self.demand_accesses + self.wrong_accesses
+    }
+
+    /// Correct-path demand miss rate.
+    pub fn demand_miss_rate(&self) -> f64 {
+        if self.demand_accesses == 0 {
+            0.0
+        } else {
+            self.demand_misses as f64 / self.demand_accesses as f64
+        }
+    }
+}
+
+/// Everything a simulation run reports.
+#[derive(Clone, Debug, Default)]
+pub struct MachineMetrics {
+    /// Total execution time in cycles.
+    pub cycles: u64,
+    /// Cycles spent inside parallel regions.
+    pub region_cycles: u64,
+    /// Instructions committed by sequential execution.
+    pub sequential_instructions: u64,
+    /// Instructions committed by correct (eventually written-back) threads.
+    pub parallel_instructions: u64,
+    /// Instructions committed by wrong threads (never written back).
+    pub wrong_instructions: u64,
+    pub threads_started: u64,
+    pub threads_marked_wrong: u64,
+    pub threads_killed: u64,
+    pub forks: u64,
+    pub regions: u64,
+    pub l1d: L1dAggregate,
+    /// Shared-L2 demand misses (to main memory).
+    pub l2_demand_misses: u64,
+    pub cond_branches: u64,
+    pub mispredicted_branches: u64,
+    /// Wrong-execution loads dropped for touching unmapped memory.
+    pub wrong_loads_dropped: u64,
+    /// Words committed by thread write-back stages.
+    pub wb_words: u64,
+    /// Final memory checksum (the cross-configuration invariant).
+    pub checksum: u64,
+}
+
+impl MachineMetrics {
+    /// Architecturally meaningful instruction count (Table 2's columns).
+    pub fn correct_instructions(&self) -> u64 {
+        self.sequential_instructions + self.parallel_instructions
+    }
+
+    /// Fraction of correct instructions executed inside parallel regions
+    /// (Table 2's "fraction parallelized").
+    pub fn fraction_parallelized(&self) -> f64 {
+        let total = self.correct_instructions();
+        if total == 0 {
+            0.0
+        } else {
+            self.parallel_instructions as f64 / total as f64
+        }
+    }
+
+    /// Committed correct instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.correct_instructions() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            self.mispredicted_branches as f64 / self.cond_branches as f64
+        }
+    }
+
+    /// Dump the headline numbers into a [`StatSet`].
+    pub fn dump(&self, out: &mut StatSet) {
+        out.push("machine.cycles", self.cycles);
+        out.push("machine.region_cycles", self.region_cycles);
+        out.push("machine.sequential_instructions", self.sequential_instructions);
+        out.push("machine.parallel_instructions", self.parallel_instructions);
+        out.push("machine.wrong_instructions", self.wrong_instructions);
+        out.push("machine.threads_started", self.threads_started);
+        out.push("machine.threads_marked_wrong", self.threads_marked_wrong);
+        out.push("machine.threads_killed", self.threads_killed);
+        out.push("machine.forks", self.forks);
+        out.push("machine.regions", self.regions);
+        out.push("machine.l1d.demand_accesses", self.l1d.demand_accesses);
+        out.push("machine.l1d.demand_misses", self.l1d.demand_misses);
+        out.push(
+            "machine.l1d.misses_to_next_level",
+            self.l1d.misses_to_next_level,
+        );
+        out.push("machine.l1d.wrong_accesses", self.l1d.wrong_accesses);
+        out.push("machine.l1d.side_hits", self.l1d.side_hits);
+        out.push(
+            "machine.l1d.useful_wrong_fetches",
+            self.l1d.useful_wrong_fetches,
+        );
+        out.push("machine.l1d.useful_prefetches", self.l1d.useful_prefetches);
+        out.push("machine.l2_demand_misses", self.l2_demand_misses);
+        out.push("machine.cond_branches", self.cond_branches);
+        out.push("machine.mispredicted_branches", self.mispredicted_branches);
+        out.push("machine.wrong_loads_dropped", self.wrong_loads_dropped);
+        out.push("machine.wb_words", self.wb_words);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let m = MachineMetrics {
+            cycles: 1000,
+            sequential_instructions: 600,
+            parallel_instructions: 400,
+            cond_branches: 100,
+            mispredicted_branches: 5,
+            ..Default::default()
+        };
+        assert_eq!(m.correct_instructions(), 1000);
+        assert!((m.fraction_parallelized() - 0.4).abs() < 1e-12);
+        assert!((m.ipc() - 1.0).abs() < 1e-12);
+        assert!((m.mispredict_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let m = MachineMetrics::default();
+        assert_eq!(m.fraction_parallelized(), 0.0);
+        assert_eq!(m.ipc(), 0.0);
+        assert_eq!(m.mispredict_rate(), 0.0);
+        assert_eq!(m.l1d.demand_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn traffic_sums_correct_and_wrong() {
+        let l1 = L1dAggregate {
+            demand_accesses: 100,
+            wrong_accesses: 14,
+            ..Default::default()
+        };
+        assert_eq!(l1.traffic(), 114);
+    }
+}

@@ -1,0 +1,63 @@
+//! Dynamic thread contexts.
+//!
+//! One [`ThreadCtx`] exists per in-flight loop-iteration thread, living in
+//! its thread unit's slot.  Whether a thread is *wrong* is tracked centrally
+//! in the machine's wrong-set (it changes when another thread aborts), not
+//! here.
+
+use wec_common::ids::{Cycle, ThreadId};
+
+use crate::membuf::MemBuffer;
+
+/// Lifecycle of a thread on its TU.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ThreadState {
+    /// Executing its body on the core.
+    Running,
+    /// Hit `thread_end`; waiting to become the oldest thread so its
+    /// write-back stage can start.
+    WaitWb,
+    /// Write-back in progress (TU busy until it completes).
+    WritingBack,
+}
+
+/// Per-thread state.
+#[derive(Clone, Debug)]
+pub struct ThreadCtx {
+    pub id: ThreadId,
+    pub state: ThreadState,
+    pub membuf: MemBuffer,
+    /// Set when this thread's `fork` has committed.
+    pub forked: bool,
+    /// Set when this thread's `abort` has begun taking effect (makes the
+    /// commit-retry loop idempotent).
+    pub aborted: bool,
+    /// When this thread committed `tsagdone` (for the ring-latency check).
+    pub tsag_done_at: Option<Cycle>,
+}
+
+impl ThreadCtx {
+    pub fn new(id: ThreadId) -> Self {
+        ThreadCtx {
+            id,
+            state: ThreadState::Running,
+            membuf: MemBuffer::new(),
+            forked: false,
+            aborted: false,
+            tsag_done_at: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_thread_is_running() {
+        let t = ThreadCtx::new(ThreadId(4));
+        assert_eq!(t.state, ThreadState::Running);
+        assert!(!t.forked && !t.aborted);
+        assert!(t.tsag_done_at.is_none());
+    }
+}

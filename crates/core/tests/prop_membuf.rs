@@ -1,0 +1,140 @@
+//! Property tests: the speculative memory buffer against a byte-level
+//! reference model.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use wec_common::ids::{Addr, ThreadId};
+use wec_core::membuf::{LoadCheck, MemBuffer};
+
+/// Reference: explicit byte maps plus an announced-ranges list.
+#[derive(Default)]
+struct RefBuf {
+    own: BTreeMap<u64, u8>,
+    released: BTreeMap<u64, u8>,
+    announced: Vec<(u64, u64)>, // (addr, thread)
+}
+
+impl RefBuf {
+    fn check_load(&self, addr: u64, bytes: u64) -> LoadCheck {
+        for &(a, _) in &self.announced {
+            if a < addr + bytes && addr < a + 8 {
+                let covered = (0..bytes).all(|i| self.own.contains_key(&(addr + i)));
+                if !covered {
+                    return LoadCheck::Wait;
+                }
+                break;
+            }
+        }
+        let mut value = 0u64;
+        let mut mask = 0u8;
+        for i in 0..bytes {
+            if let Some(&b) = self
+                .own
+                .get(&(addr + i))
+                .or_else(|| self.released.get(&(addr + i)))
+            {
+                value |= (b as u64) << (8 * i);
+                mask |= 1 << i;
+            }
+        }
+        if mask == 0 {
+            LoadCheck::Miss
+        } else if u32::from(mask) == (1u32 << bytes) - 1 {
+            LoadCheck::Value(value)
+        } else {
+            LoadCheck::Partial {
+                value,
+                buffered_mask: mask,
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Store { addr: u64, bytes: u64, value: u64 },
+    Announce { addr: u64, from: u64 },
+    Release { addr: u64, value: u64, from: u64 },
+    Void { from: u64 },
+    Load { addr: u64, bytes: u64 },
+}
+
+fn ops() -> impl Strategy<Value = Op> {
+    let addr = (0u64..64).prop_map(|a| a * 4); // overlapping 4-byte-aligned window
+    let bytes = proptest::sample::select(vec![1u64, 2, 4, 8]);
+    let thread = 0u64..4;
+    prop_oneof![
+        (addr.clone(), bytes.clone(), any::<u64>())
+            .prop_map(|(addr, bytes, value)| Op::Store { addr, bytes, value }),
+        (addr.clone(), thread.clone()).prop_map(|(addr, from)| Op::Announce { addr, from }),
+        (addr.clone(), any::<u64>(), thread.clone())
+            .prop_map(|(addr, value, from)| Op::Release { addr, value, from }),
+        thread.prop_map(|from| Op::Void { from }),
+        (addr, bytes).prop_map(|(addr, bytes)| Op::Load { addr, bytes }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn membuf_matches_reference(seq in proptest::collection::vec(ops(), 1..200)) {
+        let mut buf = MemBuffer::new();
+        let mut reference = RefBuf::default();
+        for op in seq {
+            match op {
+                Op::Store { addr, bytes, value } => {
+                    buf.record_store(Addr(addr), bytes, value);
+                    for i in 0..bytes {
+                        reference.own.insert(addr + i, (value >> (8 * i)) as u8);
+                    }
+                }
+                Op::Announce { addr, from } => {
+                    buf.announce_upstream(Addr(addr), ThreadId(from));
+                    if !reference.announced.contains(&(addr, from)) {
+                        reference.announced.push((addr, from));
+                    }
+                }
+                Op::Release { addr, value, from } => {
+                    buf.release_upstream(Addr(addr), 8, value, ThreadId(from));
+                    reference.announced.retain(|&(a, t)| !(a == addr && t == from));
+                    for i in 0..8 {
+                        reference.released.insert(addr + i, (value >> (8 * i)) as u8);
+                    }
+                }
+                Op::Void { from } => {
+                    buf.void_upstream(ThreadId(from));
+                    reference.announced.retain(|&(_, t)| t != from);
+                }
+                Op::Load { addr, bytes } => {
+                    prop_assert_eq!(
+                        buf.check_load(Addr(addr), bytes),
+                        reference.check_load(addr, bytes),
+                        "load {:#x}+{}", addr, bytes
+                    );
+                }
+            }
+        }
+        // Drain must reproduce the reference's own-store bytes exactly.
+        let mut drained: BTreeMap<u64, u8> = BTreeMap::new();
+        for (addr, mask, value) in buf.drain_own() {
+            wec_core::membuf::apply_word(addr, mask, value, |a, b| {
+                drained.insert(a.0, b);
+            });
+        }
+        prop_assert_eq!(drained, reference.own);
+    }
+
+    #[test]
+    fn own_stores_always_win_over_releases(
+        addr in (0u64..32).prop_map(|a| a * 8),
+        own_val in any::<u64>(),
+        rel_val in any::<u64>(),
+    ) {
+        let mut buf = MemBuffer::new();
+        buf.release_upstream(Addr(addr), 8, rel_val, ThreadId(0));
+        buf.record_store(Addr(addr), 8, own_val);
+        prop_assert_eq!(buf.check_load(Addr(addr), 8), LoadCheck::Value(own_val));
+    }
+}

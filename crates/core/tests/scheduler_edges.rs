@@ -1,0 +1,257 @@
+//! Edge cases of the superthreaded scheduler: single-TU regions (deferred
+//! forks), fork-cost sensitivity, dependence-wait accounting, and the
+//! update-protocol bus counters.
+
+use wec_core::config::ProcPreset;
+use wec_core::machine::{simulate, Machine};
+use wec_isa::reg::Reg;
+use wec_isa::{Program, ProgramBuilder};
+
+/// n iterations, each writing its slot; exit test at the bottom.
+fn counted_region(n: i64, fwd_extra: &[Reg]) -> Program {
+    let mut b = ProgramBuilder::new("sched");
+    let out = b.alloc_zeroed_u64s(n as u64);
+    let (i, my, n_r, ob, t) = (Reg(1), Reg(3), Reg(22), Reg(21), Reg(4));
+    b.la(ob, out);
+    b.li(n_r, n);
+    b.li(i, 0);
+    for (k, r) in fwd_extra.iter().enumerate() {
+        b.li(*r, k as i64);
+    }
+    b.begin(1);
+    b.label("body");
+    b.mv(my, i);
+    b.addi(i, i, 1);
+    let mut fwd = vec![i];
+    fwd.extend_from_slice(fwd_extra);
+    b.fork(&fwd, "body");
+    b.tsagdone();
+    b.slli(t, my, 3);
+    b.add(t, ob, t);
+    b.addi(Reg(5), my, 1000);
+    b.sd(Reg(5), t, 0);
+    b.blt(i, n_r, "done");
+    b.abort_to("seq");
+    b.label("done");
+    b.thread_end();
+    b.label("seq");
+    b.halt();
+    b.build().unwrap()
+}
+
+#[test]
+fn single_tu_region_runs_iterations_via_deferred_forks() {
+    let prog = counted_region(10, &[]);
+    let mut m = Machine::new(ProcPreset::Orig.machine(1), &prog).unwrap();
+    let r = m.run().unwrap();
+    assert_eq!(r.metrics.threads_started, 10);
+    assert_eq!(r.metrics.forks, 10);
+    // All forks on one TU defer until the previous thread retires.
+    assert!(r.stats.get("machine.bus_broadcasts").is_some());
+}
+
+#[test]
+fn fork_transfer_cost_scales_with_forwarded_registers() {
+    // Forwarding 5 extra registers costs 2 cycles each per fork; with
+    // serialized single-TU forks the difference must be visible.
+    let lean = simulate(ProcPreset::Orig.machine(1), &counted_region(24, &[]))
+        .unwrap()
+        .cycles;
+    let fat = simulate(
+        ProcPreset::Orig.machine(1),
+        &counted_region(24, &[Reg(10), Reg(11), Reg(12), Reg(13), Reg(14)]),
+    )
+    .unwrap()
+    .cycles;
+    assert!(
+        fat >= lean + 24 * 5,
+        "5 extra forwarded values × 2 cycles × 24 forks should show: lean={lean} fat={fat}"
+    );
+}
+
+#[test]
+fn dependence_waits_are_counted() {
+    // A target-store chain forces downstream loads to wait.
+    let n = 12i64;
+    let mut b = ProgramBuilder::new("dep");
+    let acc = b.alloc_zeroed_u64s(1);
+    let (i, n_r, accb, t) = (Reg(1), Reg(22), Reg(21), Reg(4));
+    b.la(accb, acc);
+    b.li(n_r, n);
+    b.li(i, 0);
+    b.begin(1);
+    b.label("body");
+    b.mv(Reg(3), i);
+    b.addi(i, i, 1);
+    b.fork(&[i], "body");
+    b.tsannounce(accb, 0);
+    b.tsagdone();
+    b.ld(t, accb, 0);
+    b.addi(t, t, 1);
+    b.sd(t, accb, 0);
+    b.blt(i, n_r, "done");
+    b.abort_to("seq");
+    b.label("done");
+    b.thread_end();
+    b.label("seq");
+    b.halt();
+    let prog = b.build().unwrap();
+    let mut m = Machine::new(ProcPreset::Orig.machine(4), &prog).unwrap();
+    let r = m.run().unwrap();
+    assert_eq!(m.memory().read_u64(acc).unwrap(), n as u64);
+    assert!(
+        r.stats.get("machine.dependence_waits").unwrap() > 0,
+        "downstream loads never waited on an announced target store"
+    );
+    assert!(r.stats.get("machine.membuf_value_hits").unwrap() > 0);
+}
+
+#[test]
+fn sequential_stores_broadcast_on_the_update_bus() {
+    // A parallel region warms remote L1s; sequential stores afterwards must
+    // count update broadcasts (and copies updated in remote caches).
+    let mut b = ProgramBuilder::new("bus");
+    let arr = b.alloc_zeroed_u64s(64);
+    let (i, n_r, ab, t) = (Reg(1), Reg(22), Reg(21), Reg(4));
+    b.la(ab, arr);
+    b.li(n_r, 8);
+    b.li(i, 0);
+    b.begin(1);
+    b.label("body");
+    b.mv(Reg(3), i);
+    b.addi(i, i, 1);
+    b.fork(&[i], "body");
+    b.tsagdone();
+    // Every thread reads the whole array (replicating it in every L1).
+    b.li(t, 0);
+    b.label("scan");
+    b.slli(Reg(5), t, 3);
+    b.add(Reg(5), ab, Reg(5));
+    b.ld(Reg(6), Reg(5), 0);
+    b.addi(t, t, 1);
+    b.slti(Reg(7), t, 64);
+    b.bne(Reg(7), Reg::ZERO, "scan");
+    b.blt(i, n_r, "done");
+    b.abort_to("seq");
+    b.label("done");
+    b.thread_end();
+    b.label("seq");
+    // Sequential stores to the shared array.
+    b.li(t, 0);
+    b.label("wr");
+    b.slli(Reg(5), t, 3);
+    b.add(Reg(5), ab, Reg(5));
+    b.sd(t, Reg(5), 0);
+    b.addi(t, t, 1);
+    b.slti(Reg(7), t, 64);
+    b.bne(Reg(7), Reg::ZERO, "wr");
+    b.halt();
+    let prog = b.build().unwrap();
+    let r = simulate(ProcPreset::Orig.machine(4), &prog).unwrap();
+    assert!(r.stats.get("machine.bus_broadcasts").unwrap() >= 64);
+    assert!(
+        r.stats.get("machine.bus_copies_updated").unwrap() > 0,
+        "remote caches held no copies of the broadcast blocks"
+    );
+}
+
+#[test]
+fn empty_parallel_region_of_one_iteration() {
+    // n = 1: the single thread runs, forks a speculative successor, aborts
+    // it, and the program completes.
+    let prog = counted_region(1, &[]);
+    for preset in [ProcPreset::Orig, ProcPreset::WthWpWec] {
+        let mut m = Machine::new(preset.machine(4), &prog).unwrap();
+        let r = m.run().unwrap_or_else(|e| panic!("{}: {e}", preset.name()));
+        assert_eq!(r.metrics.regions, 1);
+        // out[0] written by the only valid iteration.
+        assert!(r.metrics.threads_started >= 1);
+    }
+}
+
+#[test]
+fn debug_snapshot_renders_scheduler_state() {
+    let prog = counted_region(6, &[]);
+    let mut m = Machine::new(ProcPreset::Wth.machine(2), &prog).unwrap();
+    m.run().unwrap();
+    let snap = m.debug_snapshot();
+    assert!(snap.contains("watermark"), "{snap}");
+    assert!(snap.contains("tu0:"), "{snap}");
+    assert!(snap.contains("tu1:"), "{snap}");
+}
+
+#[test]
+fn commit_trace_captures_retirements() {
+    let prog = counted_region(4, &[]);
+    let mut cfg = ProcPreset::Orig.machine(2);
+    cfg.core.commit_trace = 16;
+    let mut m = Machine::new(cfg, &prog).unwrap();
+    m.run().unwrap();
+    let snap = m.debug_snapshot();
+    assert!(snap.contains("halt"), "trace should end at halt:\n{snap}");
+    assert!(snap.contains("pc="), "{snap}");
+}
+
+/// Like `counted_region` but with a busy-work body, so successors are
+/// still mid-iteration when the last valid thread aborts (the condition
+/// for wrong threads to exist).
+fn fat_region(n: i64) -> Program {
+    let mut b = ProgramBuilder::new("fat");
+    let out = b.alloc_zeroed_u64s(n as u64 + 16);
+    let (i, my, n_r, ob, t, j, acc) =
+        (Reg(1), Reg(3), Reg(22), Reg(21), Reg(4), Reg(5), Reg(6));
+    b.la(ob, out);
+    b.li(n_r, n);
+    b.li(i, 0);
+    b.begin(1);
+    b.label("body");
+    b.mv(my, i);
+    b.addi(i, i, 1);
+    b.fork(&[i], "body");
+    b.tsagdone();
+    // Dependent multiply chain: ~100 cycles of body.
+    b.li(j, 24);
+    b.li(acc, 1);
+    b.label("spin");
+    b.alui(wec_isa::inst::AluOp::Mul, acc, acc, 3);
+    b.xor(acc, acc, my);
+    b.addi(j, j, -1);
+    b.bne(j, Reg::ZERO, "spin");
+    b.slli(t, my, 3);
+    b.add(t, ob, t);
+    b.sd(acc, t, 0);
+    b.blt(i, n_r, "done");
+    b.abort_to("seq");
+    b.label("done");
+    b.thread_end();
+    b.label("seq");
+    // Sequential tail so wrong threads have time to die on their own.
+    b.li(j, 400);
+    b.label("tail");
+    b.addi(j, j, -1);
+    b.bne(j, Reg::ZERO, "tail");
+    b.halt();
+    b.build().unwrap()
+}
+
+#[test]
+fn event_log_tells_the_figure4_story() {
+    let prog = fat_region(8);
+    let mut cfg = ProcPreset::Wth.machine(4);
+    cfg.event_log = true;
+    let mut m = Machine::new(cfg, &prog).unwrap();
+    m.run().unwrap();
+    let log = m.events().render();
+    assert!(log.contains("begin region 1"), "{log}");
+    assert!(log.contains("forks"), "{log}");
+    assert!(log.contains("aborts its successors"), "{log}");
+    assert!(log.contains("marked wrong"), "{log}");
+    assert!(log.contains("kills itself"), "{log}");
+    assert!(log.contains("write-back"), "{log}");
+    assert!(log.contains("retired"), "{log}");
+    assert!(log.contains("sequential execution resumes"), "{log}");
+    // Without the flag, nothing is recorded.
+    let mut m2 = Machine::new(ProcPreset::Wth.machine(4), &prog).unwrap();
+    m2.run().unwrap();
+    assert!(m2.events().is_empty());
+}

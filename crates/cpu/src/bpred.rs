@@ -1,0 +1,360 @@
+//! Branch prediction: bimodal direction predictor, branch target buffer and
+//! return-address stack.
+//!
+//! The paper's thread units use a 1024-entry 4-way BTB (§4.1); SimpleScalar's
+//! default direction predictor is bimodal (2-bit saturating counters), which
+//! we match.  The prediction quality directly controls how much wrong-path
+//! execution happens, so these structures are faithful rather than idealized.
+
+/// 2-bit saturating-counter direction predictor indexed by PC.
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    counters: Vec<u8>,
+}
+
+impl Bimodal {
+    /// `entries` must be a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two());
+        // Initialize to weakly-taken: loops predict well immediately.
+        Bimodal {
+            counters: vec![2; entries],
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u32) -> usize {
+        pc as usize & (self.counters.len() - 1)
+    }
+
+    /// Predict the direction of the branch at `pc`.
+    #[inline]
+    pub fn predict(&self, pc: u32) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Train with the resolved outcome.
+    #[inline]
+    pub fn update(&mut self, pc: u32, taken: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+/// Gshare: global history xored into the PC index of a 2-bit counter
+/// table.  More accurate than bimodal on correlated branches — used by the
+/// branch-prediction-accuracy ablation the paper's §7 calls for.
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    counters: Vec<u8>,
+    history: u64,
+    history_bits: u32,
+}
+
+impl Gshare {
+    pub fn new(entries: usize, history_bits: u32) -> Self {
+        assert!(entries.is_power_of_two());
+        assert!(history_bits <= 16);
+        Gshare {
+            counters: vec![2; entries],
+            history: 0,
+            history_bits,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u32) -> usize {
+        let h = self.history & ((1 << self.history_bits) - 1);
+        (pc as usize ^ (h as usize)) & (self.counters.len() - 1)
+    }
+
+    #[inline]
+    pub fn predict(&self, pc: u32) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Train and shift the outcome into the global history.
+    #[inline]
+    pub fn update(&mut self, pc: u32, taken: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.history = (self.history << 1) | taken as u64;
+    }
+}
+
+/// Which direction predictor a core uses (the ablation knob).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BpredKind {
+    /// Always predict taken (the accuracy floor).
+    StaticTaken,
+    /// 2-bit saturating counters (SimpleScalar's default; the paper's).
+    Bimodal,
+    /// Gshare with 12 bits of global history.
+    Gshare,
+}
+
+/// A direction predictor of any configured kind.
+#[derive(Clone, Debug)]
+pub enum DirectionPredictor {
+    StaticTaken,
+    Bimodal(Bimodal),
+    Gshare(Gshare),
+}
+
+impl DirectionPredictor {
+    pub fn new(kind: BpredKind, entries: usize) -> Self {
+        match kind {
+            BpredKind::StaticTaken => DirectionPredictor::StaticTaken,
+            BpredKind::Bimodal => DirectionPredictor::Bimodal(Bimodal::new(entries)),
+            BpredKind::Gshare => DirectionPredictor::Gshare(Gshare::new(entries, 12)),
+        }
+    }
+
+    #[inline]
+    pub fn predict(&self, pc: u32) -> bool {
+        match self {
+            DirectionPredictor::StaticTaken => true,
+            DirectionPredictor::Bimodal(b) => b.predict(pc),
+            DirectionPredictor::Gshare(g) => g.predict(pc),
+        }
+    }
+
+    #[inline]
+    pub fn update(&mut self, pc: u32, taken: bool) {
+        match self {
+            DirectionPredictor::StaticTaken => {}
+            DirectionPredictor::Bimodal(b) => b.update(pc, taken),
+            DirectionPredictor::Gshare(g) => g.update(pc, taken),
+        }
+    }
+}
+
+/// Set-associative branch target buffer with round-robin-free true LRU
+/// (small ways, so a recency scan is fine).
+#[derive(Clone, Debug)]
+pub struct Btb {
+    sets: usize,
+    ways: usize,
+    /// (tag, target, last-use stamp); `u64::MAX` stamp = invalid.
+    entries: Vec<(u32, u32, u64)>,
+    stamp: u64,
+}
+
+impl Btb {
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways >= 1 && entries.is_multiple_of(ways));
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two());
+        Btb {
+            sets,
+            ways,
+            entries: vec![(0, 0, u64::MAX); entries],
+            stamp: 0,
+        }
+    }
+
+    #[inline]
+    fn set_range(&self, pc: u32) -> std::ops::Range<usize> {
+        let set = pc as usize & (self.sets - 1);
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Look up the predicted target for the control instruction at `pc`.
+    pub fn lookup(&mut self, pc: u32) -> Option<u32> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let range = self.set_range(pc);
+        for e in &mut self.entries[range] {
+            if e.2 != u64::MAX && e.0 == pc {
+                e.2 = stamp;
+                return Some(e.1);
+            }
+        }
+        None
+    }
+
+    /// Install or update the target for `pc`.
+    pub fn update(&mut self, pc: u32, target: u32) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let range = self.set_range(pc);
+        let set = &mut self.entries[range];
+        // Existing entry?
+        if let Some(e) = set.iter_mut().find(|e| e.2 != u64::MAX && e.0 == pc) {
+            e.1 = target;
+            e.2 = stamp;
+            return;
+        }
+        // Invalid way, else LRU way.
+        let victim = set
+            .iter()
+            .position(|e| e.2 == u64::MAX)
+            .unwrap_or_else(|| {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.2)
+                    .map(|(i, _)| i)
+                    .unwrap()
+            });
+        set[victim] = (pc, target, stamp);
+    }
+}
+
+/// Return-address stack for `jal`/`jr ra` pairs.
+#[derive(Clone, Debug)]
+pub struct Ras {
+    stack: Vec<u32>,
+    depth: usize,
+    /// Pushes dropped because the stack was full (overwrites oldest).
+    pub overflows: u64,
+}
+
+impl Ras {
+    pub fn new(depth: usize) -> Self {
+        Ras {
+            stack: Vec::with_capacity(depth),
+            depth,
+            overflows: 0,
+        }
+    }
+
+    pub fn push(&mut self, return_pc: u32) {
+        if self.stack.len() == self.depth {
+            self.stack.remove(0);
+            self.overflows += 1;
+        }
+        self.stack.push(return_pc);
+    }
+
+    pub fn pop(&mut self) -> Option<u32> {
+        self.stack.pop()
+    }
+
+    pub fn depth_used(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bimodal_learns_a_loop_branch() {
+        let mut b = Bimodal::new(16);
+        // Taken 9 times, not-taken once (loop exit), repeatedly.
+        let pc = 5;
+        let mut mispredicts = 0;
+        for _ in 0..10 {
+            for i in 0..10 {
+                let taken = i != 9;
+                if b.predict(pc) != taken {
+                    mispredicts += 1;
+                }
+                b.update(pc, taken);
+            }
+        }
+        // Bimodal mispredicts ~1 per loop exit; far fewer than 50%.
+        assert!(mispredicts <= 21, "mispredicts {mispredicts}");
+    }
+
+    #[test]
+    fn bimodal_counters_saturate() {
+        let mut b = Bimodal::new(2);
+        for _ in 0..10 {
+            b.update(0, true);
+        }
+        assert!(b.predict(0));
+        b.update(0, false);
+        assert!(b.predict(0)); // still taken after one not-taken (strong state)
+        b.update(0, false);
+        assert!(!b.predict(0));
+    }
+
+    #[test]
+    fn btb_hits_after_install() {
+        let mut btb = Btb::new(16, 4);
+        assert_eq!(btb.lookup(100), None);
+        btb.update(100, 7);
+        assert_eq!(btb.lookup(100), Some(7));
+        btb.update(100, 9);
+        assert_eq!(btb.lookup(100), Some(9));
+    }
+
+    #[test]
+    fn btb_evicts_lru_within_set() {
+        let mut btb = Btb::new(4, 2); // 2 sets × 2 ways
+        // All these PCs map to set 0 (even PCs).
+        btb.update(0, 1);
+        btb.update(4, 2);
+        btb.lookup(0); // make pc=0 recent
+        btb.update(8, 3); // evicts pc=4
+        assert_eq!(btb.lookup(0), Some(1));
+        assert_eq!(btb.lookup(4), None);
+        assert_eq!(btb.lookup(8), Some(3));
+    }
+
+    #[test]
+    fn ras_lifo_and_overflow() {
+        let mut r = Ras::new(2);
+        r.push(10);
+        r.push(20);
+        r.push(30); // drops 10
+        assert_eq!(r.overflows, 1);
+        assert_eq!(r.pop(), Some(30));
+        assert_eq!(r.pop(), Some(20));
+        assert_eq!(r.pop(), None);
+    }
+}
+
+
+#[cfg(test)]
+mod gshare_tests {
+    use super::*;
+
+    #[test]
+    fn gshare_learns_a_correlated_pattern() {
+        // Alternating taken/not-taken defeats bimodal but not gshare.
+        let mut g = Gshare::new(1024, 12);
+        let mut bi = Bimodal::new(1024);
+        let (mut g_miss, mut b_miss) = (0, 0);
+        for i in 0..2000 {
+            let taken = i % 2 == 0;
+            if g.predict(77) != taken {
+                g_miss += 1;
+            }
+            if bi.predict(77) != taken {
+                b_miss += 1;
+            }
+            g.update(77, taken);
+            bi.update(77, taken);
+        }
+        assert!(g_miss < 50, "gshare missed {g_miss}");
+        assert!(b_miss > 500, "bimodal should thrash on alternation: {b_miss}");
+    }
+
+    #[test]
+    fn predictor_kinds_dispatch() {
+        let mut s = DirectionPredictor::new(BpredKind::StaticTaken, 16);
+        assert!(s.predict(1));
+        s.update(1, false);
+        assert!(s.predict(1), "static never learns");
+        let mut b = DirectionPredictor::new(BpredKind::Bimodal, 16);
+        b.update(3, false);
+        b.update(3, false);
+        assert!(!b.predict(3));
+        let mut g = DirectionPredictor::new(BpredKind::Gshare, 16);
+        g.update(3, true);
+        let _ = g.predict(3);
+    }
+}

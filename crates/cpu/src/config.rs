@@ -1,0 +1,150 @@
+//! Core configuration.
+//!
+//! Table 3 of the paper scales these per-TU resources against the thread
+//! count so total parallelism stays at 16 instructions/cycle; §5.2 fixes the
+//! default study machine at 8 TUs of 8-issue cores.
+
+use wec_isa::inst::FuClass;
+
+use crate::bpred::BpredKind;
+
+/// Sizes and latencies of one out-of-order core.
+#[derive(Clone, Debug)]
+pub struct CoreConfig {
+    /// Instructions fetched, renamed, issued and committed per cycle.
+    pub width: u32,
+    /// Reorder-buffer entries.
+    pub rob_size: usize,
+    /// Load/store-queue entries (loads + stores resident in the ROB).
+    pub lsq_size: usize,
+    /// Functional-unit counts.
+    pub int_alu: u32,
+    pub int_mul: u32,
+    pub fp_alu: u32,
+    pub fp_mul: u32,
+    /// Direction predictor kind (the paper uses bimodal; the §7 ablation
+    /// varies it).
+    pub bpred: BpredKind,
+    /// Entries in the direction-predictor table.
+    pub bimodal_entries: usize,
+    /// Branch target buffer geometry (paper: 1024-entry, 4-way).
+    pub btb_entries: usize,
+    pub btb_ways: usize,
+    /// Return-address-stack depth.
+    pub ras_depth: usize,
+    /// Continue executing ready loads from resolved-wrong branch paths
+    /// (the paper's `wp` configurations).
+    pub wrong_path_loads: bool,
+    /// Capacity of the wrong-path load engine.
+    pub wrong_path_queue: usize,
+    /// Store-buffer entries drained to the cache after commit.
+    pub store_buffer: usize,
+    /// Keep the last N committed instructions per core for debugging
+    /// (0 = disabled, the default; see `wec_cpu::trace`).
+    pub commit_trace: usize,
+}
+
+impl Default for CoreConfig {
+    /// The §5.2 default: an 8-issue core.
+    fn default() -> Self {
+        CoreConfig::with_width(8)
+    }
+}
+
+impl CoreConfig {
+    /// A core scaled as in §5.2 for an 8-issue TU, or proportionally for
+    /// other widths (Table 3's scaling rule: ROB = 8×width capped per the
+    /// paper's table, FUs = width or width/2).
+    pub fn with_width(width: u32) -> Self {
+        assert!(width >= 1);
+        CoreConfig {
+            width,
+            // §5.2: 64-entry ROB and LSQ at 8-issue; Table 3 scales ROB with
+            // 8×issue for the baseline sweep.
+            rob_size: (8 * width as usize).max(8),
+            lsq_size: (8 * width as usize).max(8),
+            int_alu: width.max(1),
+            int_mul: (width / 2).max(1),
+            fp_alu: width.max(1),
+            fp_mul: (width / 2).max(1),
+            bpred: BpredKind::Bimodal,
+            bimodal_entries: 2048,
+            btb_entries: 1024,
+            btb_ways: 4,
+            ras_depth: 8,
+            wrong_path_loads: false,
+            wrong_path_queue: 16,
+            store_buffer: 8,
+            commit_trace: 0,
+        }
+    }
+
+    /// Execution latency (cycles in the functional unit) per class.
+    pub fn latency(&self, class: FuClass) -> u64 {
+        match class {
+            FuClass::IntAlu => 1,
+            FuClass::IntMul => 3,
+            FuClass::IntDiv => 20,
+            FuClass::FpAlu => 2,
+            FuClass::FpMul => 4,
+            FuClass::FpDiv => 12,
+            // Memory latency comes from the cache model; the FU slot models
+            // address generation.
+            FuClass::Mem => 1,
+            FuClass::None => 1,
+        }
+    }
+
+    /// How many units exist for a class (memory ports are owned by the cache
+    /// model, so `Mem` here bounds AGEN slots at the core side).
+    pub fn units(&self, class: FuClass) -> u32 {
+        match class {
+            FuClass::IntAlu => self.int_alu,
+            FuClass::IntMul | FuClass::IntDiv => self.int_mul,
+            FuClass::FpAlu => self.fp_alu,
+            FuClass::FpMul | FuClass::FpDiv => self.fp_mul,
+            FuClass::Mem => self.width.max(2),
+            FuClass::None => u32::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_section_5_2() {
+        let c = CoreConfig::default();
+        assert_eq!(c.width, 8);
+        assert_eq!(c.rob_size, 64);
+        assert_eq!(c.lsq_size, 64);
+        assert_eq!(c.int_alu, 8);
+        assert_eq!(c.int_mul, 4);
+        assert_eq!(c.fp_alu, 8);
+        assert_eq!(c.fp_mul, 4);
+        assert_eq!(c.btb_entries, 1024);
+        assert_eq!(c.btb_ways, 4);
+    }
+
+    #[test]
+    fn width_scaling_never_zeroes_resources() {
+        let c = CoreConfig::with_width(1);
+        assert_eq!(c.int_mul, 1);
+        assert_eq!(c.rob_size, 8);
+        let c = CoreConfig::with_width(16);
+        assert_eq!(c.rob_size, 128);
+        assert_eq!(c.int_alu, 16);
+        assert_eq!(c.int_mul, 8);
+    }
+
+    #[test]
+    fn latencies_ordered_sensibly() {
+        let c = CoreConfig::default();
+        use FuClass::*;
+        assert!(c.latency(IntAlu) < c.latency(IntMul));
+        assert!(c.latency(IntMul) < c.latency(IntDiv));
+        assert!(c.latency(FpAlu) < c.latency(FpMul));
+        assert!(c.latency(FpMul) < c.latency(FpDiv));
+    }
+}

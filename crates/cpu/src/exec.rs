@@ -1,0 +1,223 @@
+//! Functional execution of renamed instructions.
+//!
+//! Operand gathering maps each instruction onto at most two source slots
+//! (integer or floating-point, in a canonical order) so the ROB can treat
+//! all dataflow uniformly as 64-bit values; [`execute`] then computes the
+//! result from those values.
+
+use wec_common::ids::Addr;
+use wec_isa::inst::Inst;
+use wec_isa::reg::{FReg, Reg};
+use wec_isa::semantics::{cvt_fi, cvt_if, eval_alu, eval_branch, eval_fcmp, eval_fpu};
+
+/// A source register slot, integer or floating-point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SrcReg {
+    I(Reg),
+    F(FReg),
+}
+
+/// The (up to two) source slots of an instruction, in canonical order.
+///
+/// Canonical order matters to [`execute`]: for stores the *data* register is
+/// slot 0 and the base register slot 1; for loads the base is slot 0.
+pub fn gather_sources(inst: &Inst) -> [Option<SrcReg>; 2] {
+    use SrcReg::{F, I};
+    match *inst {
+        Inst::Alu { rs1, rs2, .. } => [Some(I(rs1)), Some(I(rs2))],
+        Inst::AluImm { rs1, .. } => [Some(I(rs1)), None],
+        Inst::Fpu { fs1, fs2, .. } | Inst::FCmp { fs1, fs2, .. } => [Some(F(fs1)), Some(F(fs2))],
+        Inst::CvtIF { rs, .. } => [Some(I(rs)), None],
+        Inst::CvtFI { fs, .. } => [Some(F(fs)), None],
+        Inst::Load { base, .. } | Inst::FLoad { base, .. } => [Some(I(base)), None],
+        Inst::Store { rs, base, .. } => [Some(I(rs)), Some(I(base))],
+        Inst::FStore { fs, base, .. } => [Some(F(fs)), Some(I(base))],
+        Inst::Branch { rs1, rs2, .. } => [Some(I(rs1)), Some(I(rs2))],
+        Inst::Jr { rs } => [Some(I(rs)), None],
+        Inst::TsAnnounce { base, .. } => [Some(I(base)), None],
+        _ => [None, None],
+    }
+}
+
+/// Result of functionally executing an instruction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExecResult {
+    /// A register result (f64 results as bit patterns).
+    Value(u64),
+    /// A resolved conditional branch.
+    Branch { taken: bool, target: u32 },
+    /// A resolved indirect jump target (`jr`).
+    IndirectTarget(u32),
+    /// A load's effective address.
+    LoadAddr(Addr),
+    /// A store's effective address and data value.
+    StoreReady { addr: Addr, data: u64 },
+    /// A target-store announcement address.
+    AnnounceAddr(Addr),
+    /// No value (markers, jumps handled at fetch).
+    None,
+}
+
+/// Execute `inst` with resolved source-slot values `v0`, `v1` at `pc`.
+pub fn execute(inst: &Inst, v0: u64, v1: u64, pc: u32) -> ExecResult {
+    match *inst {
+        Inst::Alu { op, .. } => ExecResult::Value(eval_alu(op, v0, v1)),
+        Inst::AluImm { op, imm, .. } => ExecResult::Value(eval_alu(op, v0, imm as i64 as u64)),
+        Inst::Li { imm, .. } => ExecResult::Value(imm as u64),
+        Inst::Fpu { op, .. } => {
+            ExecResult::Value(eval_fpu(op, f64::from_bits(v0), f64::from_bits(v1)).to_bits())
+        }
+        Inst::FCmp { op, .. } => {
+            ExecResult::Value(eval_fcmp(op, f64::from_bits(v0), f64::from_bits(v1)))
+        }
+        Inst::CvtIF { .. } => ExecResult::Value(cvt_if(v0).to_bits()),
+        Inst::CvtFI { .. } => ExecResult::Value(cvt_fi(f64::from_bits(v0))),
+        Inst::Load { off, .. } | Inst::FLoad { off, .. } => {
+            ExecResult::LoadAddr(Addr(v0.wrapping_add(off as i64 as u64)))
+        }
+        Inst::Store { off, .. } | Inst::FStore { off, .. } => ExecResult::StoreReady {
+            addr: Addr(v1.wrapping_add(off as i64 as u64)),
+            data: v0,
+        },
+        Inst::Branch { cond, target, .. } => ExecResult::Branch {
+            taken: eval_branch(cond, v0, v1),
+            target,
+        },
+        Inst::Jr { .. } => {
+            // The register holds an instruction index (jal wrote pc+1).
+            ExecResult::IndirectTarget(v0 as u32)
+        }
+        Inst::Jal { .. } => ExecResult::Value(pc as u64 + 1),
+        Inst::TsAnnounce { off, .. } => {
+            ExecResult::AnnounceAddr(Addr(v0.wrapping_add(off as i64 as u64)))
+        }
+        Inst::Jump { .. }
+        | Inst::Nop
+        | Inst::Halt
+        | Inst::Begin { .. }
+        | Inst::Fork { .. }
+        | Inst::Abort { .. }
+        | Inst::TsagDone
+        | Inst::ThreadEnd => ExecResult::None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wec_isa::inst::{AluOp, BranchCond, FpuOp, LoadKind, StoreKind};
+
+    #[test]
+    fn alu_imm_sign_extends() {
+        let i = Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs1: Reg(2),
+            imm: -1,
+        };
+        assert_eq!(execute(&i, 10, 0, 0), ExecResult::Value(9));
+    }
+
+    #[test]
+    fn fp_flows_through_bits() {
+        let i = Inst::Fpu {
+            op: FpuOp::Mul,
+            fd: FReg(0),
+            fs1: FReg(1),
+            fs2: FReg(2),
+        };
+        let r = execute(&i, 3.0f64.to_bits(), 2.0f64.to_bits(), 0);
+        assert_eq!(r, ExecResult::Value(6.0f64.to_bits()));
+    }
+
+    #[test]
+    fn load_address_generation() {
+        let i = Inst::Load {
+            kind: LoadKind::D,
+            rd: Reg(1),
+            base: Reg(2),
+            off: -8,
+        };
+        assert_eq!(execute(&i, 0x1010, 0, 0), ExecResult::LoadAddr(Addr(0x1008)));
+        assert_eq!(gather_sources(&i), [Some(SrcReg::I(Reg(2))), None]);
+    }
+
+    #[test]
+    fn store_slots_are_data_then_base() {
+        let i = Inst::Store {
+            kind: StoreKind::D,
+            rs: Reg(3),
+            base: Reg(4),
+            off: 16,
+        };
+        assert_eq!(
+            gather_sources(&i),
+            [Some(SrcReg::I(Reg(3))), Some(SrcReg::I(Reg(4)))]
+        );
+        assert_eq!(
+            execute(&i, 99, 0x2000, 0),
+            ExecResult::StoreReady {
+                addr: Addr(0x2010),
+                data: 99
+            }
+        );
+    }
+
+    #[test]
+    fn fstore_mixes_fp_data_and_int_base() {
+        let i = Inst::FStore {
+            fs: FReg(1),
+            base: Reg(2),
+            off: 0,
+        };
+        assert_eq!(
+            gather_sources(&i),
+            [Some(SrcReg::F(FReg(1))), Some(SrcReg::I(Reg(2)))]
+        );
+    }
+
+    #[test]
+    fn branch_resolution() {
+        let i = Inst::Branch {
+            cond: BranchCond::Lt,
+            rs1: Reg(1),
+            rs2: Reg(2),
+            target: 42,
+        };
+        assert_eq!(
+            execute(&i, 1, 2, 0),
+            ExecResult::Branch {
+                taken: true,
+                target: 42
+            }
+        );
+        assert_eq!(
+            execute(&i, 2, 2, 0),
+            ExecResult::Branch {
+                taken: false,
+                target: 42
+            }
+        );
+    }
+
+    #[test]
+    fn jal_writes_return_index() {
+        let i = Inst::Jal {
+            rd: Reg(31),
+            target: 5,
+        };
+        assert_eq!(execute(&i, 0, 0, 17), ExecResult::Value(18));
+    }
+
+    #[test]
+    fn jr_resolves_register_target() {
+        let i = Inst::Jr { rs: Reg(31) };
+        assert_eq!(execute(&i, 18, 0, 0), ExecResult::IndirectTarget(18));
+    }
+
+    #[test]
+    fn markers_produce_nothing() {
+        assert_eq!(execute(&Inst::ThreadEnd, 0, 0, 0), ExecResult::None);
+        assert_eq!(execute(&Inst::Nop, 0, 0, 0), ExecResult::None);
+    }
+}

@@ -1,0 +1,36 @@
+//! The per-thread-unit out-of-order superscalar core.
+//!
+//! Each thread unit of the superthreaded architecture is an out-of-order
+//! core in the style of SimpleScalar's `sim-outorder` (the paper's base
+//! simulator): branch-predicted fetch, ROB-based register renaming with
+//! *value-carrying* speculative execution, a load/store queue with
+//! store-to-load forwarding, a pooled set of functional units, and in-order
+//! commit.
+//!
+//! Value-carrying speculation matters here: the paper's wrong-path loads
+//! compute real effective addresses from real (possibly wrong-path) operand
+//! values, so the core genuinely executes down predicted paths rather than
+//! replaying an oracle trace.  When a branch resolves as mispredicted, the
+//! core squashes younger instructions — and, when wrong-path execution is
+//! enabled, hands squashed loads whose address is known to the
+//! [`wrongpath::WrongPathEngine`], which keeps issuing them to the memory
+//! system exactly as §3.1.1 describes.
+//!
+//! The core is connected to the rest of the machine (caches, memory buffer,
+//! ring, fork/abort logic) through the [`env::CoreEnv`] trait; `wec-core`
+//! implements it for real thread units, and [`env::MockEnv`] provides a
+//! flat-latency implementation for unit tests.
+
+pub mod bpred;
+pub mod config;
+pub mod core;
+pub mod env;
+pub mod exec;
+pub mod regs;
+pub mod rob;
+pub mod trace;
+pub mod wrongpath;
+
+pub use config::CoreConfig;
+pub use core::{Core, CoreStats};
+pub use env::{CoreEnv, MemIssue, MockEnv, StaOutcome};

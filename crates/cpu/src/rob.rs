@@ -1,0 +1,289 @@
+//! The reorder buffer.
+//!
+//! Entries carry their operand values (renamed from the RAT at dispatch,
+//! filled in by wakeup broadcasts), their computed result, and — for memory
+//! operations — the effective address and issue state the load/store queue
+//! logic in the core works on.  Entries are identified by monotonically
+//! increasing sequence numbers, so age comparison is just `<`.
+
+use std::collections::VecDeque;
+
+use wec_common::ids::{Addr, Cycle};
+use wec_isa::inst::Inst;
+
+use crate::regs::Rat;
+
+/// A renamed source operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SrcState {
+    /// Value available.
+    Ready(u64),
+    /// Waiting on the ROB entry with this sequence number.
+    Waiting(u64),
+}
+
+/// Pipeline stage of a ROB entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Not yet issued (operands may still be pending).
+    Waiting,
+    /// In a functional unit or the memory system; completes at `done_at`.
+    Executing,
+    /// Result available; eligible for commit when it reaches the head.
+    Done,
+}
+
+/// One in-flight instruction.
+#[derive(Clone, Debug)]
+pub struct RobEntry {
+    pub seq: u64,
+    pub pc: u32,
+    pub inst: Inst,
+    pub stage: Stage,
+    pub srcs: [SrcState; 2],
+    /// Register result (f64 as bits); for branches, unused.
+    pub result: u64,
+    pub done_at: Cycle,
+    /// Effective address once computed (loads, stores, tsannounce).
+    pub eff_addr: Option<Addr>,
+    /// Store data value once known.
+    pub store_data: Option<u64>,
+    /// Load has been sent to the memory system (or forwarded).
+    pub mem_issued: bool,
+    /// Load was satisfied by store-to-load forwarding.
+    pub forwarded: bool,
+    /// Fetch-time prediction (conditional branches and `jr`).
+    pub predicted_taken: bool,
+    pub predicted_target: u32,
+    /// Execute-time resolution (applied when the entry completes).
+    pub resolved_taken: bool,
+    pub resolved_target: u32,
+    /// RAT snapshot for recovery (conditional branches and `jr`).
+    pub checkpoint: Option<Box<Rat>>,
+}
+
+impl RobEntry {
+    pub fn new(seq: u64, pc: u32, inst: Inst) -> Self {
+        RobEntry {
+            seq,
+            pc,
+            inst,
+            stage: Stage::Waiting,
+            srcs: [SrcState::Ready(0), SrcState::Ready(0)],
+            result: 0,
+            done_at: Cycle::ZERO,
+            eff_addr: None,
+            store_data: None,
+            mem_issued: false,
+            forwarded: false,
+            predicted_taken: false,
+            predicted_target: u32::MAX,
+            resolved_taken: false,
+            resolved_target: u32::MAX,
+            checkpoint: None,
+        }
+    }
+
+    /// Are all operands available?
+    #[inline]
+    pub fn srcs_ready(&self) -> bool {
+        self.srcs
+            .iter()
+            .all(|s| matches!(s, SrcState::Ready(_)))
+    }
+
+    /// Value of source slot `i` (must be ready).
+    #[inline]
+    pub fn src_val(&self, i: usize) -> u64 {
+        match self.srcs[i] {
+            SrcState::Ready(v) => v,
+            SrcState::Waiting(seq) => panic!("source {i} still waiting on #{seq}"),
+        }
+    }
+}
+
+/// The reorder buffer proper.
+pub struct Rob {
+    entries: VecDeque<RobEntry>,
+    capacity: usize,
+}
+
+impl Rob {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        Rob {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Memory operations currently in flight (the LSQ occupancy).
+    pub fn mem_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.inst.is_mem()).count()
+    }
+
+    pub fn push(&mut self, entry: RobEntry) {
+        debug_assert!(!self.is_full());
+        debug_assert!(self
+            .entries
+            .back()
+            .map(|b| b.seq < entry.seq)
+            .unwrap_or(true));
+        self.entries.push_back(entry);
+    }
+
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    pub fn pop_head(&mut self) -> Option<RobEntry> {
+        self.entries.pop_front()
+    }
+
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        self.entries.iter_mut().find(|e| e.seq == seq)
+    }
+
+    /// Entry by position (0 = oldest). O(1).
+    pub fn at(&self, idx: usize) -> &RobEntry {
+        &self.entries[idx]
+    }
+
+    /// Mutable entry by position (0 = oldest). O(1).
+    pub fn at_mut(&mut self, idx: usize) -> &mut RobEntry {
+        &mut self.entries[idx]
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RobEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// Remove every entry younger than `seq` and return them oldest-first
+    /// (misprediction recovery; the core sifts squashed loads for the
+    /// wrong-path engine).
+    pub fn squash_younger(&mut self, seq: u64) -> Vec<RobEntry> {
+        let keep = self.entries.iter().take_while(|e| e.seq <= seq).count();
+        self.entries.split_off(keep).into()
+    }
+
+    /// Drop everything (full flush).
+    pub fn clear(&mut self) -> Vec<RobEntry> {
+        std::mem::take(&mut self.entries).into()
+    }
+
+    /// Wakeup: deliver `value` from producer `seq` to every waiting source.
+    pub fn broadcast(&mut self, seq: u64, value: u64) {
+        for e in &mut self.entries {
+            for s in &mut e.srcs {
+                if *s == SrcState::Waiting(seq) {
+                    *s = SrcState::Ready(value);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64) -> RobEntry {
+        RobEntry::new(seq, seq as u32, Inst::Nop)
+    }
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let mut rob = Rob::new(2);
+        rob.push(entry(1));
+        assert!(!rob.is_full());
+        rob.push(entry(2));
+        assert!(rob.is_full());
+        assert_eq!(rob.head().unwrap().seq, 1);
+        assert_eq!(rob.pop_head().unwrap().seq, 1);
+        assert_eq!(rob.len(), 1);
+    }
+
+    #[test]
+    fn broadcast_wakes_waiting_sources() {
+        let mut rob = Rob::new(4);
+        let mut e = entry(1);
+        e.srcs = [SrcState::Waiting(7), SrcState::Ready(5)];
+        rob.push(e);
+        rob.broadcast(7, 99);
+        let e = rob.head().unwrap();
+        assert!(e.srcs_ready());
+        assert_eq!(e.src_val(0), 99);
+        assert_eq!(e.src_val(1), 5);
+    }
+
+    #[test]
+    fn broadcast_ignores_other_producers() {
+        let mut rob = Rob::new(4);
+        let mut e = entry(1);
+        e.srcs = [SrcState::Waiting(7), SrcState::Ready(0)];
+        rob.push(e);
+        rob.broadcast(8, 1);
+        assert!(!rob.head().unwrap().srcs_ready());
+    }
+
+    #[test]
+    fn squash_younger_splits_by_age() {
+        let mut rob = Rob::new(8);
+        for s in 1..=5 {
+            rob.push(entry(s));
+        }
+        let squashed = rob.squash_younger(3);
+        assert_eq!(squashed.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(rob.len(), 3);
+        assert_eq!(rob.iter().last().unwrap().seq, 3);
+    }
+
+    #[test]
+    fn mem_count_tracks_lsq_occupancy() {
+        use wec_isa::inst::{LoadKind, StoreKind};
+        use wec_isa::reg::Reg;
+        let mut rob = Rob::new(8);
+        rob.push(entry(1));
+        let mut l = entry(2);
+        l.inst = Inst::Load {
+            kind: LoadKind::D,
+            rd: Reg(1),
+            base: Reg(2),
+            off: 0,
+        };
+        rob.push(l);
+        let mut s = entry(3);
+        s.inst = Inst::Store {
+            kind: StoreKind::D,
+            rs: Reg(1),
+            base: Reg(2),
+            off: 0,
+        };
+        rob.push(s);
+        assert_eq!(rob.mem_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "still waiting")]
+    fn src_val_panics_if_pending() {
+        let mut e = entry(1);
+        e.srcs[0] = SrcState::Waiting(9);
+        e.src_val(0);
+    }
+}

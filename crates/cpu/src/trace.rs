@@ -1,0 +1,126 @@
+//! Commit tracing: a bounded ring of recently retired instructions.
+//!
+//! Enabled via [`CoreConfig::commit_trace`]; zero-cost when off.  The
+//! machine's `debug_snapshot` appends each core's recent commits, which is
+//! usually all that's needed to see *why* a simulation stalled or where a
+//! thread was when it was marked wrong.
+//!
+//! [`CoreConfig::commit_trace`]: crate::config::CoreConfig::commit_trace
+
+use std::collections::VecDeque;
+
+use wec_common::ids::Cycle;
+use wec_isa::disasm::disassemble_inst;
+use wec_isa::inst::Inst;
+
+/// One retired instruction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommitRecord {
+    pub cycle: Cycle,
+    pub seq: u64,
+    pub pc: u32,
+    pub inst: Inst,
+}
+
+/// A bounded ring of the most recent commits.
+#[derive(Clone, Debug, Default)]
+pub struct CommitTrace {
+    ring: VecDeque<CommitRecord>,
+    capacity: usize,
+}
+
+impl CommitTrace {
+    /// `capacity == 0` disables tracing entirely.
+    pub fn new(capacity: usize) -> Self {
+        CommitTrace {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Record a retirement (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, cycle: Cycle, seq: u64, pc: u32, inst: Inst) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(CommitRecord {
+            cycle,
+            seq,
+            pc,
+            inst,
+        });
+    }
+
+    /// Oldest-first records currently held.
+    pub fn records(&self) -> impl Iterator<Item = &CommitRecord> {
+        self.ring.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Render the trace with disassembly, one line per commit.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.ring {
+            let text = disassemble_inst(&r.inst, |t| format!("@{t}"));
+            let _ = writeln!(out, "  [{:>8}] #{:<6} pc={:<5} {text}", r.cycle.0, r.seq, r.pc);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = CommitTrace::new(0);
+        t.record(Cycle(1), 1, 0, Inst::Nop);
+        assert!(t.is_empty());
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn ring_keeps_only_the_newest() {
+        let mut t = CommitTrace::new(3);
+        for k in 0..5 {
+            t.record(Cycle(k), k, k as u32, Inst::Nop);
+        }
+        assert_eq!(t.len(), 3);
+        let seqs: Vec<u64> = t.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn render_includes_disassembly() {
+        let mut t = CommitTrace::new(4);
+        t.record(Cycle(7), 9, 3, Inst::Halt);
+        t.record(
+            Cycle(8),
+            10,
+            4,
+            Inst::Jump { target: 2 },
+        );
+        let s = t.render();
+        assert!(s.contains("halt"), "{s}");
+        assert!(s.contains("j @2"), "{s}");
+        assert!(s.contains("pc=3"), "{s}");
+    }
+}

@@ -1,0 +1,123 @@
+//! The wrong-path load engine (paper §3.1.1).
+//!
+//! When a branch resolves as mispredicted, loads fetched beyond it are
+//! squashed from the ROB — but, with wrong-path execution enabled, those
+//! whose effective address is already computable keep going: they are parked
+//! here and issued to the memory system (tagged as wrong execution, so the
+//! WEC captures their fills) as ports become free.  They can never write a
+//! register or raise a fault; an unmapped address simply drops the entry.
+
+use std::collections::VecDeque;
+
+use wec_common::ids::{Addr, Cycle};
+use wec_common::stats::Counter;
+
+use crate::env::{CoreEnv, MemIssue};
+
+/// Queue of address-ready wrong-path loads awaiting a memory port.
+pub struct WrongPathEngine {
+    queue: VecDeque<(Addr, u64)>,
+    capacity: usize,
+    /// Loads accepted into the engine at squash time.
+    pub queued: Counter,
+    /// Loads actually issued to the memory system.
+    pub issued: Counter,
+    /// Loads dropped because the queue was full.
+    pub dropped: Counter,
+}
+
+impl WrongPathEngine {
+    pub fn new(capacity: usize) -> Self {
+        WrongPathEngine {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            queued: Counter::default(),
+            issued: Counter::default(),
+            dropped: Counter::default(),
+        }
+    }
+
+    /// Park a squashed, address-ready load.
+    pub fn push(&mut self, addr: Addr, bytes: u64) {
+        if self.queue.len() >= self.capacity {
+            self.dropped.inc();
+            return;
+        }
+        self.queue.push_back((addr, bytes));
+        self.queued.inc();
+    }
+
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Issue queued loads through `env`, at most `max_issues` this cycle.
+    /// Stops at the first structural rejection (no port this cycle).
+    pub fn tick(&mut self, env: &mut dyn CoreEnv, now: Cycle, max_issues: u32) {
+        for _ in 0..max_issues {
+            let Some(&(addr, bytes)) = self.queue.front() else {
+                return;
+            };
+            match env.load(addr, bytes, now, true) {
+                MemIssue::Done { .. } => {
+                    self.queue.pop_front();
+                    self.issued.inc();
+                }
+                MemIssue::Retry => return,
+                // Wrong execution never waits on run-time dependences; a
+                // defensive drop in case the environment reports one.
+                MemIssue::Blocked => {
+                    self.queue.pop_front();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::MockEnv;
+    use wec_isa::program::MemImage;
+
+    #[test]
+    fn issues_in_fifo_order() {
+        let mut eng = WrongPathEngine::new(4);
+        eng.push(Addr(0x100), 8);
+        eng.push(Addr(0x200), 8);
+        let mut env = MockEnv::new(MemImage::new());
+        eng.tick(&mut env, Cycle(1), 2);
+        assert!(eng.is_empty());
+        assert_eq!(
+            env.wrong_path_loads,
+            vec![(Addr(0x100), 8), (Addr(0x200), 8)]
+        );
+        assert_eq!(eng.issued.get(), 2);
+    }
+
+    #[test]
+    fn respects_per_cycle_issue_cap() {
+        let mut eng = WrongPathEngine::new(8);
+        for i in 0..4u64 {
+            eng.push(Addr(i * 64), 8);
+        }
+        let mut env = MockEnv::new(MemImage::new());
+        eng.tick(&mut env, Cycle(0), 2);
+        assert_eq!(eng.len(), 2);
+    }
+
+    #[test]
+    fn drops_when_full() {
+        let mut eng = WrongPathEngine::new(2);
+        eng.push(Addr(0), 8);
+        eng.push(Addr(64), 8);
+        eng.push(Addr(128), 8);
+        assert_eq!(eng.len(), 2);
+        assert_eq!(eng.dropped.get(), 1);
+        assert_eq!(eng.queued.get(), 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! Edge-case tests of the out-of-order pipeline against the mock
+//! environment: long-latency units, indirect jumps, memory ordering,
+//! and resource-limit stalls.
+
+use std::sync::Arc;
+
+use wec_common::ids::Cycle;
+use wec_cpu::config::CoreConfig;
+use wec_cpu::core::Core;
+use wec_cpu::env::MockEnv;
+use wec_isa::reg::{FReg, Reg};
+use wec_isa::{Program, ProgramBuilder};
+
+fn run(program: Program, cfg: CoreConfig) -> (Core, MockEnv, u64) {
+    let data = program.data.clone();
+    let entry = program.entry;
+    let mut core = Core::new(cfg, Arc::new(program));
+    let mut env = MockEnv::new(data);
+    core.start(entry, Cycle(0));
+    let mut cycle = 0u64;
+    while core.is_running() && !env.halted {
+        core.tick(&mut env, Cycle(cycle));
+        cycle += 1;
+        assert!(cycle < 1_000_000, "runaway program");
+    }
+    (core, env, cycle)
+}
+
+#[test]
+fn division_pipeline_and_result() {
+    let mut b = ProgramBuilder::new("div");
+    let out = b.alloc_zeroed_u64s(3);
+    b.li(Reg(1), 1000);
+    b.li(Reg(2), 7);
+    b.div(Reg(3), Reg(1), Reg(2));
+    b.rem(Reg(4), Reg(1), Reg(2));
+    b.li(Reg(5), 0);
+    b.div(Reg(6), Reg(1), Reg(5)); // division by zero: defined result
+    b.la(Reg(7), out);
+    b.sd(Reg(3), Reg(7), 0);
+    b.sd(Reg(4), Reg(7), 8);
+    b.sd(Reg(6), Reg(7), 16);
+    b.halt();
+    let (_, env, cycles) = run(b.build().unwrap(), CoreConfig::default());
+    assert_eq!(env.mem.read_u64(out).unwrap(), 142);
+    assert_eq!(env.mem.read_u64(out + 8).unwrap(), 6);
+    assert_eq!(env.mem.read_u64(out + 16).unwrap(), u64::MAX);
+    // The 20-cycle divider latency must be visible.
+    assert!(cycles >= 20, "divide finished too fast: {cycles}");
+}
+
+#[test]
+fn indirect_jump_through_btb_not_ras() {
+    // jr through a non-RA register: first encounter stalls fetch until
+    // resolution, later encounters hit the BTB.
+    let mut b = ProgramBuilder::new("jr");
+    let out = b.alloc_zeroed_u64s(1);
+    let (i, acc, tgt) = (Reg(1), Reg(2), Reg(5));
+    b.li(i, 20);
+    b.li(acc, 0);
+    b.label("loop");
+    // Compute the same target every time (the label index of "hop").
+    b.li(tgt, 0); // patched below via label arithmetic
+    b.label("patch_me");
+    b.jr(tgt);
+    b.label("hop");
+    b.addi(acc, acc, 3);
+    b.addi(i, i, -1);
+    b.bne(i, Reg::ZERO, "loop");
+    b.la(Reg(6), out);
+    b.sd(acc, Reg(6), 0);
+    b.halt();
+    let mut prog = b.build().unwrap();
+    // Point the li at the "hop" instruction index.
+    let hop = prog.label("hop").unwrap() as i64;
+    let li_idx = prog.label("patch_me").unwrap() as usize - 1;
+    prog.text[li_idx] = wec_isa::Inst::Li {
+        rd: tgt,
+        imm: hop,
+    };
+    let (core, env, _) = run(prog, CoreConfig::default());
+    assert_eq!(env.mem.read_u64(out).unwrap(), 60);
+    assert_eq!(core.stats.indirect_jumps.get(), 20);
+    // After the BTB learns the target, later jrs predict correctly.
+    assert!(core.stats.mispredicted_indirect.get() <= 2);
+}
+
+#[test]
+fn partial_overlap_store_blocks_load_until_commit() {
+    // A 1-byte store inside a doubleword, then a full doubleword load:
+    // forwarding is impossible (partial overlap), so the load must wait for
+    // the store to commit — and must still see the merged bytes.
+    let mut b = ProgramBuilder::new("ovl");
+    let cell = b.alloc_u64s(&[0x1111_1111_1111_1111]);
+    let out = b.alloc_zeroed_u64s(1);
+    b.la(Reg(1), cell);
+    b.li(Reg(2), 0xAB);
+    b.sb(Reg(2), Reg(1), 2);
+    b.ld(Reg(3), Reg(1), 0);
+    b.la(Reg(4), out);
+    b.sd(Reg(3), Reg(4), 0);
+    b.halt();
+    let (_, env, _) = run(b.build().unwrap(), CoreConfig::default());
+    assert_eq!(env.mem.read_u64(out).unwrap(), 0x1111_1111_11AB_1111);
+}
+
+#[test]
+fn tiny_rob_still_executes_correctly() {
+    let mut cfg = CoreConfig::with_width(2);
+    cfg.rob_size = 4;
+    cfg.lsq_size = 4;
+    let mut b = ProgramBuilder::new("tiny");
+    let out = b.alloc_zeroed_u64s(1);
+    let (i, acc) = (Reg(1), Reg(2));
+    b.li(i, 30);
+    b.li(acc, 0);
+    b.label("loop");
+    b.add(acc, acc, i);
+    b.addi(i, i, -1);
+    b.bne(i, Reg::ZERO, "loop");
+    b.la(Reg(3), out);
+    b.sd(acc, Reg(3), 0);
+    b.halt();
+    let (core, env, _) = run(b.build().unwrap(), cfg);
+    assert_eq!(env.mem.read_u64(out).unwrap(), (1..=30u64).sum::<u64>());
+    assert!(core.stats.rob_full_stalls.get() > 0, "4-entry ROB never filled?");
+}
+
+#[test]
+fn fp_divide_and_compare_chain() {
+    let mut b = ProgramBuilder::new("fpdiv");
+    let xs = b.alloc_f64s(&[81.0, 3.0]);
+    let out = b.alloc_zeroed_u64s(2);
+    b.la(Reg(1), xs);
+    b.fld(FReg(1), Reg(1), 0);
+    b.fld(FReg(2), Reg(1), 8);
+    b.fpu(wec_isa::inst::FpuOp::Div, FReg(3), FReg(1), FReg(2)); // 27
+    b.fpu(wec_isa::inst::FpuOp::Div, FReg(3), FReg(3), FReg(2)); // 9
+    b.fcmp(wec_isa::inst::FCmpOp::Lt, Reg(2), FReg(2), FReg(3)); // 3 < 9
+    b.la(Reg(3), out);
+    b.fsd(FReg(3), Reg(3), 0);
+    b.sd(Reg(2), Reg(3), 8);
+    b.halt();
+    let (_, env, _) = run(b.build().unwrap(), CoreConfig::default());
+    assert_eq!(env.mem.read_f64(out).unwrap(), 9.0);
+    assert_eq!(env.mem.read_u64(out + 8).unwrap(), 1);
+}
+
+#[test]
+fn fetch_crosses_icache_block_boundaries() {
+    // A straight-line run of >8 instructions spans fetch blocks; all commit.
+    let mut b = ProgramBuilder::new("straight");
+    let out = b.alloc_zeroed_u64s(1);
+    b.li(Reg(1), 0);
+    for k in 1..=20 {
+        b.addi(Reg(1), Reg(1), k);
+    }
+    b.la(Reg(2), out);
+    b.sd(Reg(1), Reg(2), 0);
+    b.halt();
+    let (core, env, _) = run(b.build().unwrap(), CoreConfig::with_width(4));
+    assert_eq!(env.mem.read_u64(out).unwrap(), (1..=20i64).sum::<i64>() as u64);
+    assert_eq!(core.stats.committed.get(), 24);
+}
+
+#[test]
+fn deep_call_chain_overflows_ras_gracefully() {
+    // Recursion depth 12 > RAS depth 8: mispredicted returns, correct result.
+    let mut b = ProgramBuilder::new("recurse");
+    let out = b.alloc_zeroed_u64s(1);
+    let sp = Reg::SP;
+    let stack = b.alloc_zeroed_u64s(64);
+    b.la(sp, stack + 64 * 8);
+    b.li(Reg(1), 12); // n
+    b.jal(Reg::RA, "f");
+    b.la(Reg(4), out);
+    b.sd(Reg(2), Reg(4), 0);
+    b.halt();
+    // f(n): returns n + f(n-1); f(0) = 7.
+    b.label("f");
+    b.bne(Reg(1), Reg::ZERO, "rec");
+    b.li(Reg(2), 7);
+    b.jr(Reg::RA);
+    b.label("rec");
+    b.addi(sp, sp, -16);
+    b.sd(Reg::RA, sp, 0);
+    b.sd(Reg(1), sp, 8);
+    b.addi(Reg(1), Reg(1), -1);
+    b.jal(Reg::RA, "f");
+    b.ld(Reg(1), sp, 8);
+    b.ld(Reg::RA, sp, 0);
+    b.addi(sp, sp, 16);
+    b.add(Reg(2), Reg(2), Reg(1));
+    b.jr(Reg::RA);
+    let (_, env, _) = run(b.build().unwrap(), CoreConfig::default());
+    assert_eq!(env.mem.read_u64(out).unwrap(), 7 + (1..=12u64).sum::<u64>());
+}
+
+#[test]
+fn wrong_path_engine_respects_queue_capacity() {
+    let mut cfg = CoreConfig::with_width(2);
+    cfg.wrong_path_loads = true;
+    cfg.wrong_path_queue = 2;
+    // A flip branch with a large burst of wrong-path loads.
+    let mut b = ProgramBuilder::new("wpcap");
+    let arr = b.alloc_u64s(&vec![1u64; 256]);
+    let (i, flag, base) = (Reg(1), Reg(2), Reg(3));
+    b.la(base, arr);
+    b.li(i, 40);
+    b.label("loop");
+    b.slti(flag, i, 20);
+    b.bne(flag, Reg::ZERO, "low");
+    for k in 0..12 {
+        b.ld(Reg(10 + k), base, k as i32 * 8);
+    }
+    b.j("next");
+    b.label("low");
+    for k in 0..12 {
+        b.ld(Reg(10 + k), base, 1024 + k as i32 * 8);
+    }
+    b.label("next");
+    b.addi(i, i, -1);
+    b.bne(i, Reg::ZERO, "loop");
+    b.halt();
+    let (core, _, _) = run(b.build().unwrap(), cfg);
+    assert!(
+        core.wp_engine.dropped.get() > 0,
+        "a 2-entry queue should overflow on 12-load bursts"
+    );
+}

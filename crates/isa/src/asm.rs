@@ -1,0 +1,545 @@
+//! A small text assembler for WISA-64.
+//!
+//! This replaces the paper's GCC/GAS/loader pipeline (Figure 7) for
+//! hand-written programs — the examples and several tests use it.  Syntax:
+//!
+//! ```text
+//! .data
+//! table:  .dword 1 2 3        # 64-bit doublewords
+//! coeff:  .double 0.5 1.5     # f64 values
+//! buf:    .space 256          # zeroed bytes
+//!         .align 64
+//! .text
+//! start:  li   r1, 3
+//!         la   r2, =table     # data-label address
+//! loop:   ld   r3, 0(r2)
+//!         addi r2, r2, 8
+//!         addi r1, r1, -1
+//!         bne  r1, zero, loop
+//!         halt
+//! ```
+//!
+//! Comments run from `#` or `;` to end of line.  The superthreaded
+//! extensions are spelled `begin N`, `fork r1|r2, body`, `abort seq`,
+//! `tsann off(base)`, `tsagdone`, `thread_end`.
+
+use std::collections::HashMap;
+
+use crate::build::ProgramBuilder;
+use crate::inst::{AluOp, BranchCond, FCmpOp, FpuOp};
+use crate::program::Program;
+use crate::reg::{FReg, Reg};
+use wec_common::error::{SimError, SimResult};
+use wec_common::ids::Addr;
+
+/// Assemble a source string into a [`Program`].
+///
+/// ```
+/// let program = wec_isa::asm::assemble("demo", r#"
+///     .data
+///     xs: .dword 5 7
+///     .text
+///     la  r1, =xs
+///     ld  r2, 0(r1)
+///     ld  r3, 8(r1)
+///     add r4, r2, r3
+///     halt
+/// "#)?;
+/// assert_eq!(program.text.len(), 5);
+/// # Ok::<(), wec_common::SimError>(())
+/// ```
+pub fn assemble(name: &str, source: &str) -> SimResult<Program> {
+    Assembler::new(name).run(source)
+}
+
+struct Assembler {
+    builder: ProgramBuilder,
+    data_labels: HashMap<String, Addr>,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Section {
+    Text,
+    Data,
+}
+
+impl Assembler {
+    fn new(name: &str) -> Self {
+        Assembler {
+            builder: ProgramBuilder::new(name),
+            data_labels: HashMap::new(),
+        }
+    }
+
+    fn run(mut self, source: &str) -> SimResult<Program> {
+        // Pass 1: lay out the data section so text can reference its labels.
+        self.scan(source, Section::Data)?;
+        // Pass 2: emit text.
+        self.scan(source, Section::Text)?;
+        self.builder.build()
+    }
+
+    fn scan(&mut self, source: &str, want: Section) -> SimResult<()> {
+        let mut section = Section::Text;
+        for (lineno, raw) in source.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == ".text" {
+                section = Section::Text;
+                continue;
+            }
+            if line == ".data" {
+                section = Section::Data;
+                continue;
+            }
+            if section != want {
+                continue;
+            }
+            match section {
+                Section::Data => self.data_line(line, lineno)?,
+                Section::Text => self.text_line(line, lineno)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn data_line(&mut self, mut line: &str, lineno: usize) -> SimResult<()> {
+        let err = |msg: String| SimError::Assembler(format!("line {lineno}: {msg}"));
+        // Optional leading label.
+        let mut pending_label: Option<&str> = None;
+        if let Some(colon) = line.find(':') {
+            let (lbl, rest) = line.split_at(colon);
+            let lbl = lbl.trim();
+            if !lbl.is_empty() && lbl.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                pending_label = Some(lbl);
+                line = rest[1..].trim();
+            }
+        }
+        let mut define = |this: &mut Self, addr: Addr| {
+            if let Some(lbl) = pending_label.take() {
+                this.data_labels.insert(lbl.to_string(), addr);
+            }
+        };
+        if line.is_empty() {
+            // A bare label: points at the next allocation. Reserve 0 bytes at
+            // the current (aligned-to-1) cursor by allocating on demand later;
+            // simplest is to align to 1 and record the cursor.
+            let here = self.builder.alloc_bytes(0, 1);
+            define(self, here);
+            return Ok(());
+        }
+        let (dir, rest) = split_word(line);
+        match dir {
+            ".dword" => {
+                let vals: Vec<u64> = rest
+                    .split_whitespace()
+                    .map(|t| parse_int(t).map(|v| v as u64))
+                    .collect::<Result<_, _>>()
+                    .map_err(err)?;
+                let addr = self.builder.alloc_u64s(&vals);
+                define(self, addr);
+            }
+            ".double" => {
+                let vals: Vec<f64> = rest
+                    .split_whitespace()
+                    .map(|t| t.parse::<f64>().map_err(|e| format!("bad float {t:?}: {e}")))
+                    .collect::<Result<_, _>>()
+                    .map_err(err)?;
+                let addr = self.builder.alloc_f64s(&vals);
+                define(self, addr);
+            }
+            ".space" => {
+                let n = parse_int(rest.trim()).map_err(err)? as u64;
+                let addr = self.builder.alloc_bytes(n, 1);
+                define(self, addr);
+            }
+            ".align" => {
+                let n = parse_int(rest.trim()).map_err(err)? as u64;
+                if !n.is_power_of_two() {
+                    return Err(err(format!(".align {n} is not a power of two")));
+                }
+                let addr = self.builder.alloc_bytes(0, n);
+                define(self, addr);
+            }
+            other => return Err(err(format!("unknown data directive {other:?}"))),
+        }
+        Ok(())
+    }
+
+    fn text_line(&mut self, mut line: &str, lineno: usize) -> SimResult<()> {
+        let err = |msg: String| SimError::Assembler(format!("line {lineno}: {msg}"));
+        // Leading labels (possibly several).
+        while let Some(colon) = line.find(':') {
+            let (lbl, rest) = line.split_at(colon);
+            let lbl = lbl.trim();
+            if lbl.is_empty() || !lbl.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                break;
+            }
+            self.builder.label(lbl);
+            line = rest[1..].trim();
+        }
+        if line.is_empty() {
+            return Ok(());
+        }
+        let (mnemonic, rest) = split_word(line);
+        let ops: Vec<&str> = if rest.trim().is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(|s| s.trim()).collect()
+        };
+        let n = ops.len();
+        let need = |want: usize| -> SimResult<()> {
+            if n == want {
+                Ok(())
+            } else {
+                Err(err(format!(
+                    "{mnemonic} expects {want} operands, got {n}"
+                )))
+            }
+        };
+        let ireg = |s: &str| Reg::parse(s).ok_or_else(|| err(format!("bad register {s:?}")));
+        let freg = |s: &str| FReg::parse(s).ok_or_else(|| err(format!("bad fp register {s:?}")));
+
+        // reg-reg ALU
+        if let Some(op) = AluOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+            need(3)?;
+            self.builder.alu(*op, ireg(ops[0])?, ireg(ops[1])?, ireg(ops[2])?);
+            return Ok(());
+        }
+        // reg-imm ALU (mnemonic + "i")
+        if let Some(base) = mnemonic.strip_suffix('i') {
+            if let Some(op) = AluOp::ALL.iter().find(|o| o.mnemonic() == base) {
+                need(3)?;
+                let imm = parse_int(ops[2]).map_err(err)? as i32;
+                self.builder.alui(*op, ireg(ops[0])?, ireg(ops[1])?, imm);
+                return Ok(());
+            }
+        }
+        if let Some(op) = FpuOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+            need(3)?;
+            self.builder.fpu(*op, freg(ops[0])?, freg(ops[1])?, freg(ops[2])?);
+            return Ok(());
+        }
+        if let Some(op) = FCmpOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+            need(3)?;
+            self.builder.fcmp(*op, ireg(ops[0])?, freg(ops[1])?, freg(ops[2])?);
+            return Ok(());
+        }
+        if let Some(cond) = BranchCond::ALL.iter().find(|c| c.mnemonic() == mnemonic) {
+            need(3)?;
+            self.builder
+                .branch(*cond, ireg(ops[0])?, ireg(ops[1])?, ops[2]);
+            return Ok(());
+        }
+        match mnemonic {
+            "li" => {
+                need(2)?;
+                let imm = self.immediate_or_label(ops[1]).map_err(err)?;
+                self.builder.li(ireg(ops[0])?, imm);
+            }
+            "la" => {
+                need(2)?;
+                let imm = self.immediate_or_label(ops[1]).map_err(err)?;
+                self.builder.li(ireg(ops[0])?, imm);
+            }
+            "mv" => {
+                need(2)?;
+                self.builder.mv(ireg(ops[0])?, ireg(ops[1])?);
+            }
+            "cvtif" => {
+                need(2)?;
+                self.builder.cvt_if(freg(ops[0])?, ireg(ops[1])?);
+            }
+            "cvtfi" => {
+                need(2)?;
+                self.builder.cvt_fi(ireg(ops[0])?, freg(ops[1])?);
+            }
+            "ld" | "lw" | "lbu" => {
+                need(2)?;
+                let (off, base) = parse_mem(ops[1]).map_err(err)?;
+                let base = ireg(base)?;
+                let rd = ireg(ops[0])?;
+                match mnemonic {
+                    "ld" => self.builder.ld(rd, base, off),
+                    "lw" => self.builder.lw(rd, base, off),
+                    _ => self.builder.lbu(rd, base, off),
+                };
+            }
+            "fld" => {
+                need(2)?;
+                let (off, base) = parse_mem(ops[1]).map_err(err)?;
+                self.builder.fld(freg(ops[0])?, ireg(base)?, off);
+            }
+            "sd" | "sw" | "sb" => {
+                need(2)?;
+                let (off, base) = parse_mem(ops[1]).map_err(err)?;
+                let base = ireg(base)?;
+                let rs = ireg(ops[0])?;
+                match mnemonic {
+                    "sd" => self.builder.sd(rs, base, off),
+                    "sw" => self.builder.sw(rs, base, off),
+                    _ => self.builder.sb(rs, base, off),
+                };
+            }
+            "fsd" => {
+                need(2)?;
+                let (off, base) = parse_mem(ops[1]).map_err(err)?;
+                self.builder.fsd(freg(ops[0])?, ireg(base)?, off);
+            }
+            "j" => {
+                need(1)?;
+                self.builder.j(ops[0]);
+            }
+            "jal" => {
+                need(2)?;
+                self.builder.jal(ireg(ops[0])?, ops[1]);
+            }
+            "jr" => {
+                need(1)?;
+                self.builder.jr(ireg(ops[0])?);
+            }
+            "nop" => {
+                need(0)?;
+                self.builder.nop();
+            }
+            "halt" => {
+                need(0)?;
+                self.builder.halt();
+            }
+            "begin" => {
+                need(1)?;
+                let region = parse_int(ops[0]).map_err(err)? as u16;
+                self.builder.begin(region);
+            }
+            "fork" => {
+                need(2)?;
+                let regs: Vec<Reg> = ops[0]
+                    .split('|')
+                    .map(|t| ireg(t.trim()))
+                    .collect::<Result<_, _>>()?;
+                self.builder.fork(&regs, ops[1]);
+            }
+            "abort" => {
+                need(1)?;
+                self.builder.abort_to(ops[0]);
+            }
+            "tsann" => {
+                need(1)?;
+                let (off, base) = parse_mem(ops[0]).map_err(err)?;
+                self.builder.tsannounce(ireg(base)?, off);
+            }
+            "tsagdone" => {
+                need(0)?;
+                self.builder.tsagdone();
+            }
+            "thread_end" => {
+                need(0)?;
+                self.builder.thread_end();
+            }
+            other => return Err(err(format!("unknown mnemonic {other:?}"))),
+        }
+        Ok(())
+    }
+
+    fn immediate_or_label(&self, tok: &str) -> Result<i64, String> {
+        if let Some(name) = tok.strip_prefix('=') {
+            return self
+                .data_labels
+                .get(name)
+                .map(|a| a.0 as i64)
+                .ok_or_else(|| format!("undefined data label {name:?}"));
+        }
+        parse_int(tok)
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line
+        .find('#')
+        .into_iter()
+        .chain(line.find(';'))
+        .min()
+        .unwrap_or(line.len());
+    &line[..cut]
+}
+
+fn split_word(line: &str) -> (&str, &str) {
+    match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], &line[i..]),
+        None => (line, ""),
+    }
+}
+
+fn parse_int(tok: &str) -> Result<i64, String> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|e| format!("bad integer {tok:?}: {e}"))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// Parse an `off(base)` memory operand.
+fn parse_mem(tok: &str) -> Result<(i32, &str), String> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| format!("expected off(base), got {tok:?}"))?;
+    let close = tok
+        .rfind(')')
+        .ok_or_else(|| format!("unbalanced parentheses in {tok:?}"))?;
+    let off_str = tok[..open].trim();
+    let off = if off_str.is_empty() {
+        0
+    } else {
+        parse_int(off_str)? as i32
+    };
+    Ok((off, tok[open + 1..close].trim()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Inst, LoadKind};
+
+    #[test]
+    fn assembles_the_doc_example() {
+        let src = r#"
+            .data
+            table:  .dword 1 2 3
+            .text
+            start:  li   r1, 3
+                    la   r2, =table
+            loop:   ld   r3, 0(r2)
+                    addi r2, r2, 8
+                    addi r1, r1, -1
+                    bne  r1, zero, loop
+                    halt
+        "#;
+        let p = assemble("doc", src).unwrap();
+        assert_eq!(p.text.len(), 7);
+        assert_eq!(p.label("loop"), Some(2));
+        // la resolved to the data label's address.
+        match p.text[1] {
+            Inst::Li { imm, .. } => {
+                assert_eq!(p.data.read_u64(Addr(imm as u64)).unwrap(), 1)
+            }
+            other => panic!("{other:?}"),
+        }
+        match p.text[2] {
+            Inst::Load { kind, off, .. } => {
+                assert_eq!(kind, LoadKind::D);
+                assert_eq!(off, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("c", "# header\n  nop ; trailing\n\nhalt\n").unwrap();
+        assert_eq!(p.text, vec![Inst::Nop, Inst::Halt]);
+    }
+
+    #[test]
+    fn sta_instructions_assemble() {
+        let src = r#"
+            .text
+            begin 1
+            body: fork r1|r2, body
+                  tsann 8(r3)
+                  tsagdone
+                  abort done
+                  thread_end
+            done: halt
+        "#;
+        let p = assemble("sta", src).unwrap();
+        match p.text[1] {
+            Inst::Fork { mask, body } => {
+                assert_eq!(mask, 0b110);
+                assert_eq!(body, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p.text[4] {
+            Inst::Abort { seq } => assert_eq!(seq, 6),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_directives() {
+        let src = r#"
+            .data
+            a: .double 1.5
+            b: .space 16
+            c: .align 64
+            d: .dword 0x10
+            .text
+            la r1, =d
+            halt
+        "#;
+        let p = assemble("d", src).unwrap();
+        match p.text[0] {
+            Inst::Li { imm, .. } => {
+                assert_eq!(imm as u64 % 64, 0); // d starts right at the .align 64 boundary
+                assert_eq!(p.data.read_u64(Addr(imm as u64)).unwrap(), 0x10);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_and_hex_immediates() {
+        let p = assemble("i", ".text\nli r1, -0x10\naddi r2, r1, -3\nhalt\n").unwrap();
+        assert_eq!(
+            p.text[0],
+            Inst::Li {
+                rd: Reg(1),
+                imm: -16
+            }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("e", ".text\nnop\nbogus r1, r2\n").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        let e = assemble("e", ".text\nld r1, r2\n").unwrap_err();
+        assert!(e.to_string().contains("off(base)"), "{e}");
+        let e = assemble("e", ".text\nadd r1, r2\n").unwrap_err();
+        assert!(e.to_string().contains("expects 3 operands"), "{e}");
+    }
+
+    #[test]
+    fn undefined_data_label_reported() {
+        let e = assemble("e", ".text\nla r1, =missing\nhalt\n").unwrap_err();
+        assert!(e.to_string().contains("missing"), "{e}");
+    }
+
+    #[test]
+    fn undefined_branch_target_reported() {
+        let e = assemble("e", ".text\nj nowhere\nhalt\n").unwrap_err();
+        assert!(e.to_string().contains("nowhere"), "{e}");
+    }
+
+    #[test]
+    fn fcmp_and_fp_assemble() {
+        let src = ".text\nfadd f1, f2, f3\nflt r1, f1, f2\ncvtif f0, r5\ncvtfi r6, f0\nhalt\n";
+        let p = assemble("f", src).unwrap();
+        assert_eq!(p.text.len(), 5);
+        match p.text[1] {
+            Inst::FCmp { op, .. } => assert_eq!(op, FCmpOp::Lt),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,573 @@
+//! Programmatic construction of WISA-64 programs.
+//!
+//! The paper parallelized its benchmarks *by hand* (§4.2, Table 1); the
+//! workload crate does the same thing through this builder: emit
+//! instructions, reference labels before they are defined, lay out data, and
+//! get a checked [`Program`] back.
+
+use std::collections::BTreeMap;
+
+use crate::inst::{AluOp, BranchCond, FCmpOp, FpuOp, Inst, LoadKind, StoreKind};
+use crate::program::{MemImage, Program};
+use crate::reg::{FReg, Reg};
+use wec_common::error::{SimError, SimResult};
+use wec_common::ids::Addr;
+
+/// Base of the builder's data segment bump allocator.
+pub const DATA_BASE: Addr = Addr(0x0010_0000);
+
+/// Which field of a pending instruction a label fixes up.
+#[derive(Clone, Debug)]
+enum Fixup {
+    /// (instruction index, label) for `Branch.target` / `Jump` / `Jal`.
+    ControlTarget(usize, String),
+    /// `Fork.body`.
+    ForkBody(usize, String),
+    /// `Abort.seq`.
+    AbortSeq(usize, String),
+}
+
+/// Builder for [`Program`]s with forward label references and a data-segment
+/// bump allocator.
+///
+/// ```
+/// use wec_isa::{ProgramBuilder, Reg};
+/// let mut b = ProgramBuilder::new("count");
+/// let r1 = Reg(1);
+/// b.li(r1, 3);
+/// b.label("loop");
+/// b.addi(r1, r1, -1);
+/// b.bne(r1, Reg::ZERO, "loop");
+/// b.halt();
+/// let prog = b.build().unwrap();
+/// assert_eq!(prog.text.len(), 4);
+/// ```
+pub struct ProgramBuilder {
+    name: String,
+    text: Vec<Inst>,
+    labels: BTreeMap<String, u32>,
+    fixups: Vec<Fixup>,
+    data: MemImage,
+    data_cursor: Addr,
+    entry_label: Option<String>,
+}
+
+impl ProgramBuilder {
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            text: Vec::new(),
+            labels: BTreeMap::new(),
+            fixups: Vec::new(),
+            data: MemImage::new(),
+            data_cursor: DATA_BASE,
+            entry_label: None,
+        }
+    }
+
+    /// Current instruction index (where the next emitted instruction lands).
+    pub fn here(&self) -> u32 {
+        self.text.len() as u32
+    }
+
+    /// Define `name` at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        let prev = self.labels.insert(name.to_string(), self.here());
+        assert!(prev.is_none(), "duplicate label {name:?}");
+        self
+    }
+
+    /// Use `name` as the entry point (default: instruction 0).
+    pub fn entry(&mut self, name: &str) -> &mut Self {
+        self.entry_label = Some(name.to_string());
+        self
+    }
+
+    /// Emit a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.text.push(inst);
+        self
+    }
+
+    // ---------------- data segment ----------------
+
+    /// Reserve `len` zeroed bytes, aligned to `align`, returning the address.
+    pub fn alloc_bytes(&mut self, len: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two());
+        let base = Addr((self.data_cursor.0 + align - 1) & !(align - 1));
+        self.data.alloc(base, len.max(1));
+        self.data_cursor = base + len;
+        base
+    }
+
+    /// Lay out an array of doublewords, returning its base address.
+    pub fn alloc_u64s(&mut self, values: &[u64]) -> Addr {
+        let base = self.alloc_bytes(values.len() as u64 * 8, 8);
+        for (i, &v) in values.iter().enumerate() {
+            self.data.write_u64(base + i as u64 * 8, v).unwrap();
+        }
+        base
+    }
+
+    /// Lay out an array of doubles, returning its base address.
+    pub fn alloc_f64s(&mut self, values: &[f64]) -> Addr {
+        let base = self.alloc_bytes(values.len() as u64 * 8, 8);
+        for (i, &v) in values.iter().enumerate() {
+            self.data.write_f64(base + i as u64 * 8, v).unwrap();
+        }
+        base
+    }
+
+    /// Zeroed array of `n` doublewords.
+    pub fn alloc_zeroed_u64s(&mut self, n: u64) -> Addr {
+        self.alloc_bytes(n * 8, 8)
+    }
+
+    // ---------------- integer ops ----------------
+
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op, rd, rs1, rs2 })
+    }
+
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.push(Inst::AluImm { op, rd, rs1, imm })
+    }
+
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs1, rs2)
+    }
+
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Sub, rd, rs1, rs2)
+    }
+
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Mul, rd, rs1, rs2)
+    }
+
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::And, rd, rs1, rs2)
+    }
+
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Xor, rd, rs1, rs2)
+    }
+
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Or, rd, rs1, rs2)
+    }
+
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Sll, rd, rs1, rs2)
+    }
+
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Srl, rd, rs1, rs2)
+    }
+
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Slt, rd, rs1, rs2)
+    }
+
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Div, rd, rs1, rs2)
+    }
+
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Rem, rd, rs1, rs2)
+    }
+
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.alui(AluOp::Add, rd, rs1, imm)
+    }
+
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.alui(AluOp::And, rd, rs1, imm)
+    }
+
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.alui(AluOp::Sll, rd, rs1, imm)
+    }
+
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.alui(AluOp::Srl, rd, rs1, imm)
+    }
+
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.alui(AluOp::Slt, rd, rs1, imm)
+    }
+
+    /// `mv rd, rs` (addi rd, rs, 0).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.addi(rd, rs, 0)
+    }
+
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        debug_assert!(
+            (-(1i64 << 47)..(1i64 << 47)).contains(&imm),
+            "li immediate exceeds 48 bits"
+        );
+        self.push(Inst::Li { rd, imm })
+    }
+
+    /// Load an address immediate (data-segment pointer).
+    pub fn la(&mut self, rd: Reg, addr: Addr) -> &mut Self {
+        self.li(rd, addr.0 as i64)
+    }
+
+    // ---------------- floating point ----------------
+
+    pub fn fpu(&mut self, op: FpuOp, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.push(Inst::Fpu { op, fd, fs1, fs2 })
+    }
+
+    pub fn fadd(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.fpu(FpuOp::Add, fd, fs1, fs2)
+    }
+
+    pub fn fmul(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.fpu(FpuOp::Mul, fd, fs1, fs2)
+    }
+
+    pub fn fcmp(&mut self, op: FCmpOp, rd: Reg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.push(Inst::FCmp { op, rd, fs1, fs2 })
+    }
+
+    pub fn cvt_if(&mut self, fd: FReg, rs: Reg) -> &mut Self {
+        self.push(Inst::CvtIF { fd, rs })
+    }
+
+    pub fn cvt_fi(&mut self, rd: Reg, fs: FReg) -> &mut Self {
+        self.push(Inst::CvtFI { rd, fs })
+    }
+
+    // ---------------- memory ----------------
+
+    pub fn ld(&mut self, rd: Reg, base: Reg, off: i32) -> &mut Self {
+        self.push(Inst::Load {
+            kind: LoadKind::D,
+            rd,
+            base,
+            off,
+        })
+    }
+
+    pub fn lw(&mut self, rd: Reg, base: Reg, off: i32) -> &mut Self {
+        self.push(Inst::Load {
+            kind: LoadKind::W,
+            rd,
+            base,
+            off,
+        })
+    }
+
+    pub fn lbu(&mut self, rd: Reg, base: Reg, off: i32) -> &mut Self {
+        self.push(Inst::Load {
+            kind: LoadKind::B,
+            rd,
+            base,
+            off,
+        })
+    }
+
+    pub fn fld(&mut self, fd: FReg, base: Reg, off: i32) -> &mut Self {
+        self.push(Inst::FLoad { fd, base, off })
+    }
+
+    pub fn sd(&mut self, rs: Reg, base: Reg, off: i32) -> &mut Self {
+        self.push(Inst::Store {
+            kind: StoreKind::D,
+            rs,
+            base,
+            off,
+        })
+    }
+
+    pub fn sw(&mut self, rs: Reg, base: Reg, off: i32) -> &mut Self {
+        self.push(Inst::Store {
+            kind: StoreKind::W,
+            rs,
+            base,
+            off,
+        })
+    }
+
+    pub fn sb(&mut self, rs: Reg, base: Reg, off: i32) -> &mut Self {
+        self.push(Inst::Store {
+            kind: StoreKind::B,
+            rs,
+            base,
+            off,
+        })
+    }
+
+    pub fn fsd(&mut self, fs: FReg, base: Reg, off: i32) -> &mut Self {
+        self.push(Inst::FStore { fs, base, off })
+    }
+
+    // ---------------- control flow ----------------
+
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, target: &str) -> &mut Self {
+        let idx = self.text.len();
+        self.fixups
+            .push(Fixup::ControlTarget(idx, target.to_string()));
+        self.push(Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: u32::MAX,
+        })
+    }
+
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: &str) -> &mut Self {
+        self.branch(BranchCond::Eq, rs1, rs2, target)
+    }
+
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: &str) -> &mut Self {
+        self.branch(BranchCond::Ne, rs1, rs2, target)
+    }
+
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: &str) -> &mut Self {
+        self.branch(BranchCond::Lt, rs1, rs2, target)
+    }
+
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, target: &str) -> &mut Self {
+        self.branch(BranchCond::Ge, rs1, rs2, target)
+    }
+
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, target: &str) -> &mut Self {
+        self.branch(BranchCond::Ltu, rs1, rs2, target)
+    }
+
+    pub fn j(&mut self, target: &str) -> &mut Self {
+        let idx = self.text.len();
+        self.fixups
+            .push(Fixup::ControlTarget(idx, target.to_string()));
+        self.push(Inst::Jump { target: u32::MAX })
+    }
+
+    pub fn jal(&mut self, rd: Reg, target: &str) -> &mut Self {
+        let idx = self.text.len();
+        self.fixups
+            .push(Fixup::ControlTarget(idx, target.to_string()));
+        self.push(Inst::Jal {
+            rd,
+            target: u32::MAX,
+        })
+    }
+
+    pub fn jr(&mut self, rs: Reg) -> &mut Self {
+        self.push(Inst::Jr { rs })
+    }
+
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::Nop)
+    }
+
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    // ---------------- superthreaded extensions ----------------
+
+    pub fn begin(&mut self, region: u16) -> &mut Self {
+        self.push(Inst::Begin { region })
+    }
+
+    /// Speculatively fork the next iteration's thread at label `body`,
+    /// forwarding `regs` (the continuation variables).
+    pub fn fork(&mut self, regs: &[Reg], body: &str) -> &mut Self {
+        let mut mask = 0u32;
+        for r in regs {
+            assert!(!r.is_zero(), "forwarding r0 is meaningless");
+            mask |= 1 << r.0;
+        }
+        let idx = self.text.len();
+        self.fixups.push(Fixup::ForkBody(idx, body.to_string()));
+        self.push(Inst::Fork {
+            mask,
+            body: u32::MAX,
+        })
+    }
+
+    /// Abort successors; sequential execution resumes at label `seq`.
+    pub fn abort_to(&mut self, seq: &str) -> &mut Self {
+        let idx = self.text.len();
+        self.fixups.push(Fixup::AbortSeq(idx, seq.to_string()));
+        self.push(Inst::Abort { seq: u32::MAX })
+    }
+
+    pub fn tsannounce(&mut self, base: Reg, off: i32) -> &mut Self {
+        self.push(Inst::TsAnnounce { base, off })
+    }
+
+    pub fn tsagdone(&mut self) -> &mut Self {
+        self.push(Inst::TsagDone)
+    }
+
+    pub fn thread_end(&mut self) -> &mut Self {
+        self.push(Inst::ThreadEnd)
+    }
+
+    // ---------------- finalize ----------------
+
+    /// Resolve all label references and produce the program.
+    pub fn build(mut self) -> SimResult<Program> {
+        let resolve = |labels: &BTreeMap<String, u32>, name: &str| -> SimResult<u32> {
+            labels
+                .get(name)
+                .copied()
+                .ok_or_else(|| SimError::Assembler(format!("undefined label {name:?}")))
+        };
+        for fix in std::mem::take(&mut self.fixups) {
+            match fix {
+                Fixup::ControlTarget(idx, name) => {
+                    let t = resolve(&self.labels, &name)?;
+                    match &mut self.text[idx] {
+                        Inst::Branch { target, .. }
+                        | Inst::Jump { target }
+                        | Inst::Jal { target, .. } => *target = t,
+                        other => unreachable!("fixup on {other:?}"),
+                    }
+                }
+                Fixup::ForkBody(idx, name) => {
+                    let t = resolve(&self.labels, &name)?;
+                    match &mut self.text[idx] {
+                        Inst::Fork { body, .. } => *body = t,
+                        other => unreachable!("fixup on {other:?}"),
+                    }
+                }
+                Fixup::AbortSeq(idx, name) => {
+                    let t = resolve(&self.labels, &name)?;
+                    match &mut self.text[idx] {
+                        Inst::Abort { seq } => *seq = t,
+                        other => unreachable!("fixup on {other:?}"),
+                    }
+                }
+            }
+        }
+        let entry = match &self.entry_label {
+            Some(name) => resolve(&self.labels, name)?,
+            None => 0,
+        };
+        // Sanity: every control target inside text.
+        for (i, inst) in self.text.iter().enumerate() {
+            let t = match *inst {
+                Inst::Branch { target, .. } | Inst::Jump { target } | Inst::Jal { target, .. } => {
+                    Some(target)
+                }
+                Inst::Fork { body, .. } => Some(body),
+                Inst::Abort { seq } => Some(seq),
+                _ => None,
+            };
+            if let Some(t) = t {
+                if t as usize >= self.text.len() {
+                    return Err(SimError::Assembler(format!(
+                        "instruction {i} targets {t}, outside text of {} instructions",
+                        self.text.len()
+                    )));
+                }
+            }
+        }
+        Ok(Program {
+            text: self.text,
+            entry,
+            data: self.data,
+            labels: self.labels,
+            name: self.name,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = ProgramBuilder::new("t");
+        b.j("end"); // forward
+        b.label("mid");
+        b.nop();
+        b.label("end");
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.text[0], Inst::Jump { target: 2 });
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut b = ProgramBuilder::new("t");
+        b.j("nowhere");
+        b.halt();
+        assert!(matches!(b.build(), Err(SimError::Assembler(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_labels_panic() {
+        let mut b = ProgramBuilder::new("t");
+        b.label("x");
+        b.nop();
+        b.label("x");
+    }
+
+    #[test]
+    fn fork_mask_built_from_registers() {
+        let mut b = ProgramBuilder::new("t");
+        b.label("body");
+        b.fork(&[Reg(1), Reg(4)], "body");
+        b.thread_end();
+        let p = b.build().unwrap();
+        match p.text[0] {
+            Inst::Fork { mask, body } => {
+                assert_eq!(mask, (1 << 1) | (1 << 4));
+                assert_eq!(body, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_allocation_is_aligned_and_initialized() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.alloc_u64s(&[10, 20, 30]);
+        let c = b.alloc_bytes(3, 1);
+        let d = b.alloc_u64s(&[99]);
+        assert_eq!(a.0 % 8, 0);
+        assert_eq!(d.0 % 8, 0);
+        assert!(c.0 >= a.0 + 24);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.data.read_u64(a + 8).unwrap(), 20);
+        assert_eq!(p.data.read_u64(d).unwrap(), 99);
+    }
+
+    #[test]
+    fn entry_label_respected() {
+        let mut b = ProgramBuilder::new("t");
+        b.nop();
+        b.label("main");
+        b.halt();
+        b.entry("main");
+        let p = b.build().unwrap();
+        assert_eq!(p.entry, 1);
+    }
+
+    #[test]
+    fn out_of_range_target_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        b.push(Inst::Jump { target: 99 });
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn float_data() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.alloc_f64s(&[1.5, -2.5]);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.data.read_f64(a).unwrap(), 1.5);
+        assert_eq!(p.data.read_f64(a + 8).unwrap(), -2.5);
+    }
+}

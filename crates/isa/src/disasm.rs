@@ -1,0 +1,183 @@
+//! Disassembler: [`Inst`] → the assembler's text syntax.
+//!
+//! `assemble(disassemble(program)) == program` for any program whose
+//! control-flow targets are representable as labels — the disassembler
+//! invents `LN` labels for every referenced instruction index, so the
+//! round-trip always holds for the text segment (data segments are not
+//! reconstructed; see [`disassemble_program`]).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::inst::Inst;
+use crate::program::Program;
+
+/// One instruction, using `target_name` to render control-flow targets.
+pub fn disassemble_inst(inst: &Inst, mut target_name: impl FnMut(u32) -> String) -> String {
+    match *inst {
+        Inst::Alu { op, rd, rs1, rs2 } => format!("{} {rd}, {rs1}, {rs2}", op.mnemonic()),
+        Inst::AluImm { op, rd, rs1, imm } => {
+            format!("{}i {rd}, {rs1}, {imm}", op.mnemonic())
+        }
+        Inst::Li { rd, imm } => format!("li {rd}, {imm}"),
+        Inst::Fpu { op, fd, fs1, fs2 } => format!("{} {fd}, {fs1}, {fs2}", op.mnemonic()),
+        Inst::FCmp { op, rd, fs1, fs2 } => format!("{} {rd}, {fs1}, {fs2}", op.mnemonic()),
+        Inst::CvtIF { fd, rs } => format!("cvtif {fd}, {rs}"),
+        Inst::CvtFI { rd, fs } => format!("cvtfi {rd}, {fs}"),
+        Inst::Load { kind, rd, base, off } => {
+            let m = match kind {
+                crate::inst::LoadKind::D => "ld",
+                crate::inst::LoadKind::W => "lw",
+                crate::inst::LoadKind::B => "lbu",
+            };
+            format!("{m} {rd}, {off}({base})")
+        }
+        Inst::FLoad { fd, base, off } => format!("fld {fd}, {off}({base})"),
+        Inst::Store { kind, rs, base, off } => {
+            let m = match kind {
+                crate::inst::StoreKind::D => "sd",
+                crate::inst::StoreKind::W => "sw",
+                crate::inst::StoreKind::B => "sb",
+            };
+            format!("{m} {rs}, {off}({base})")
+        }
+        Inst::FStore { fs, base, off } => format!("fsd {fs}, {off}({base})"),
+        Inst::Branch { cond, rs1, rs2, target } => {
+            format!("{} {rs1}, {rs2}, {}", cond.mnemonic(), target_name(target))
+        }
+        Inst::Jump { target } => format!("j {}", target_name(target)),
+        Inst::Jal { rd, target } => format!("jal {rd}, {}", target_name(target)),
+        Inst::Jr { rs } => format!("jr {rs}"),
+        Inst::Nop => "nop".into(),
+        Inst::Halt => "halt".into(),
+        Inst::Begin { region } => format!("begin {region}"),
+        Inst::Fork { mask, body } => {
+            let regs: Vec<String> = (0..32)
+                .filter(|b| mask & (1 << b) != 0)
+                .map(|b| format!("r{b}"))
+                .collect();
+            format!("fork {}, {}", regs.join("|"), target_name(body))
+        }
+        Inst::Abort { seq } => format!("abort {}", target_name(seq)),
+        Inst::TsAnnounce { base, off } => format!("tsann {off}({base})"),
+        Inst::TsagDone => "tsagdone".into(),
+        Inst::ThreadEnd => "thread_end".into(),
+    }
+}
+
+/// Every instruction index referenced by a control transfer in `text`.
+pub fn referenced_targets(text: &[Inst]) -> BTreeSet<u32> {
+    let mut targets = BTreeSet::new();
+    for inst in text {
+        match *inst {
+            Inst::Branch { target, .. }
+            | Inst::Jump { target }
+            | Inst::Jal { target, .. } => {
+                targets.insert(target);
+            }
+            Inst::Fork { body, .. } => {
+                targets.insert(body);
+            }
+            Inst::Abort { seq } => {
+                targets.insert(seq);
+            }
+            _ => {}
+        }
+    }
+    targets
+}
+
+/// Disassemble a whole text segment into re-assemblable source (`.text`
+/// section only — the data segment cannot be reconstructed from code, so
+/// callers carry `program.data` separately, exactly as the binary loader
+/// does).
+pub fn disassemble_program(program: &Program) -> String {
+    let targets = referenced_targets(&program.text);
+    let name = |t: u32| format!("L{t}");
+    let mut out = String::from(".text\n");
+    for (pc, inst) in program.text.iter().enumerate() {
+        if targets.contains(&(pc as u32)) {
+            let _ = writeln!(out, "L{pc}:");
+        }
+        let _ = writeln!(out, "    {}", disassemble_inst(inst, name));
+    }
+    // Trailing labels (targets one past the end are invalid anyway, but a
+    // fork/branch may reference the last instruction).
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::reg::Reg;
+    use crate::ProgramBuilder;
+
+    fn roundtrip(program: &Program) {
+        let src = disassemble_program(program);
+        let back = assemble("rt", &src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        assert_eq!(back.text, program.text, "source was:\n{src}");
+    }
+
+    #[test]
+    fn roundtrips_a_superthreaded_loop() {
+        let mut b = ProgramBuilder::new("t");
+        b.li(Reg(22), 8);
+        b.li(Reg(1), 0);
+        b.begin(1);
+        b.label("body");
+        b.mv(Reg(3), Reg(1));
+        b.addi(Reg(1), Reg(1), 1);
+        b.fork(&[Reg(1)], "body");
+        b.tsagdone();
+        b.blt(Reg(1), Reg(22), "done");
+        b.abort_to("seq");
+        b.label("done");
+        b.thread_end();
+        b.label("seq");
+        b.halt();
+        roundtrip(&b.build().unwrap());
+    }
+
+    #[test]
+    fn roundtrips_memory_and_fp() {
+        use crate::reg::FReg;
+        let mut b = ProgramBuilder::new("t");
+        b.ld(Reg(1), Reg(2), -8);
+        b.sw(Reg(1), Reg(2), 4);
+        b.lbu(Reg(3), Reg(4), 0);
+        b.fld(FReg(1), Reg(2), 16);
+        b.fsd(FReg(1), Reg(2), 24);
+        b.fadd(FReg(2), FReg(1), FReg(1));
+        b.fcmp(crate::inst::FCmpOp::Le, Reg(5), FReg(1), FReg(2));
+        b.cvt_if(FReg(3), Reg(5));
+        b.cvt_fi(Reg(6), FReg(3));
+        b.halt();
+        roundtrip(&b.build().unwrap());
+    }
+
+    #[test]
+    fn labels_are_emitted_before_their_targets() {
+        let mut b = ProgramBuilder::new("t");
+        b.j("end");
+        b.nop();
+        b.label("end");
+        b.halt();
+        let p = b.build().unwrap();
+        let src = disassemble_program(&p);
+        assert!(src.contains("L2:"), "{src}");
+        assert!(src.contains("j L2"), "{src}");
+    }
+
+    #[test]
+    fn fork_register_list_renders() {
+        let mut b = ProgramBuilder::new("t");
+        b.label("body");
+        b.fork(&[Reg(1), Reg(2)], "body");
+        b.thread_end();
+        let p = b.build().unwrap();
+        let src = disassemble_program(&p);
+        assert!(src.contains("fork r1|r2, L0"), "{src}");
+        roundtrip(&p);
+    }
+}

@@ -1,0 +1,381 @@
+//! Fixed-width 64-bit binary encoding of WISA-64.
+//!
+//! The paper's flow (Figure 7) assembles parallelized sources into a binary
+//! that the simulator loads; we keep the same shape by giving every
+//! instruction one 64-bit word.  Layout (bit 63 = MSB):
+//!
+//! ```text
+//! [63:56] opcode   [55:48] field a   [47:40] field b   [39:32] field c
+//! [31:0]  32-bit immediate / branch target
+//! ```
+//!
+//! Exceptions: `li` packs a 48-bit immediate in bits 47:0; `fork` packs the
+//! 24-bit body target in bits 55:32 and the register mask in bits 31:0.
+
+use crate::inst::{AluOp, BranchCond, FCmpOp, FpuOp, Inst, LoadKind, StoreKind};
+use crate::reg::{FReg, Reg, NUM_FREGS, NUM_IREGS};
+use crate::semantics::sext;
+use wec_common::error::{SimError, SimResult};
+
+const OP_NOP: u8 = 0x00;
+const OP_HALT: u8 = 0x01;
+const OP_ALU: u8 = 0x10; // +AluOp index (13 ops)
+const OP_ALUI: u8 = 0x20; // +AluOp index
+const OP_LI: u8 = 0x2f;
+const OP_FPU: u8 = 0x30; // +FpuOp index (4 ops)
+const OP_FCMP: u8 = 0x38; // +FCmpOp index (3 ops)
+const OP_CVTIF: u8 = 0x3c;
+const OP_CVTFI: u8 = 0x3d;
+const OP_LD: u8 = 0x40;
+const OP_LW: u8 = 0x41;
+const OP_LBU: u8 = 0x42;
+const OP_FLD: u8 = 0x43;
+const OP_SD: u8 = 0x48;
+const OP_SW: u8 = 0x49;
+const OP_SB: u8 = 0x4a;
+const OP_FSD: u8 = 0x4b;
+const OP_BRANCH: u8 = 0x50; // +BranchCond index (6 conds)
+const OP_J: u8 = 0x58;
+const OP_JAL: u8 = 0x59;
+const OP_JR: u8 = 0x5a;
+const OP_BEGIN: u8 = 0x60;
+const OP_FORK: u8 = 0x61;
+const OP_ABORT: u8 = 0x62;
+const OP_TSANN: u8 = 0x63;
+const OP_TSAGDONE: u8 = 0x64;
+const OP_THREADEND: u8 = 0x65;
+
+#[inline]
+fn pack(op: u8, a: u8, b: u8, c: u8, imm: u32) -> u64 {
+    (op as u64) << 56 | (a as u64) << 48 | (b as u64) << 40 | (c as u64) << 32 | imm as u64
+}
+
+/// Encode an instruction into its 64-bit word.
+pub fn encode(inst: &Inst) -> u64 {
+    match *inst {
+        Inst::Nop => pack(OP_NOP, 0, 0, 0, 0),
+        Inst::Halt => pack(OP_HALT, 0, 0, 0, 0),
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            pack(OP_ALU + alu_idx(op), rd.0, rs1.0, rs2.0, 0)
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            pack(OP_ALUI + alu_idx(op), rd.0, rs1.0, 0, imm as u32)
+        }
+        Inst::Li { rd, imm } => (OP_LI as u64) << 56 | (rd.0 as u64) << 48 | (imm as u64 & 0xffff_ffff_ffff),
+        Inst::Fpu { op, fd, fs1, fs2 } => {
+            pack(OP_FPU + fpu_idx(op), fd.0, fs1.0, fs2.0, 0)
+        }
+        Inst::FCmp { op, rd, fs1, fs2 } => {
+            pack(OP_FCMP + fcmp_idx(op), rd.0, fs1.0, fs2.0, 0)
+        }
+        Inst::CvtIF { fd, rs } => pack(OP_CVTIF, fd.0, rs.0, 0, 0),
+        Inst::CvtFI { rd, fs } => pack(OP_CVTFI, rd.0, fs.0, 0, 0),
+        Inst::Load { kind, rd, base, off } => {
+            let op = match kind {
+                LoadKind::D => OP_LD,
+                LoadKind::W => OP_LW,
+                LoadKind::B => OP_LBU,
+            };
+            pack(op, rd.0, base.0, 0, off as u32)
+        }
+        Inst::FLoad { fd, base, off } => pack(OP_FLD, fd.0, base.0, 0, off as u32),
+        Inst::Store { kind, rs, base, off } => {
+            let op = match kind {
+                StoreKind::D => OP_SD,
+                StoreKind::W => OP_SW,
+                StoreKind::B => OP_SB,
+            };
+            pack(op, rs.0, base.0, 0, off as u32)
+        }
+        Inst::FStore { fs, base, off } => pack(OP_FSD, fs.0, base.0, 0, off as u32),
+        Inst::Branch { cond, rs1, rs2, target } => {
+            pack(OP_BRANCH + cond_idx(cond), rs1.0, rs2.0, 0, target)
+        }
+        Inst::Jump { target } => pack(OP_J, 0, 0, 0, target),
+        Inst::Jal { rd, target } => pack(OP_JAL, rd.0, 0, 0, target),
+        Inst::Jr { rs } => pack(OP_JR, rs.0, 0, 0, 0),
+        Inst::Begin { region } => pack(OP_BEGIN, 0, 0, 0, region as u32),
+        Inst::Fork { mask, body } => {
+            debug_assert!(body < (1 << 24), "fork body target exceeds 24 bits");
+            (OP_FORK as u64) << 56 | (body as u64 & 0xff_ffff) << 32 | mask as u64
+        }
+        Inst::Abort { seq } => pack(OP_ABORT, 0, 0, 0, seq),
+        Inst::TsAnnounce { base, off } => pack(OP_TSANN, 0, base.0, 0, off as u32),
+        Inst::TsagDone => pack(OP_TSAGDONE, 0, 0, 0, 0),
+        Inst::ThreadEnd => pack(OP_THREADEND, 0, 0, 0, 0),
+    }
+}
+
+fn alu_idx(op: AluOp) -> u8 {
+    AluOp::ALL.iter().position(|&o| o == op).unwrap() as u8
+}
+
+fn fpu_idx(op: FpuOp) -> u8 {
+    FpuOp::ALL.iter().position(|&o| o == op).unwrap() as u8
+}
+
+fn fcmp_idx(op: FCmpOp) -> u8 {
+    FCmpOp::ALL.iter().position(|&o| o == op).unwrap() as u8
+}
+
+fn cond_idx(c: BranchCond) -> u8 {
+    BranchCond::ALL.iter().position(|&o| o == c).unwrap() as u8
+}
+
+/// Decode a 64-bit word back into an instruction.
+pub fn decode(word: u64) -> SimResult<Inst> {
+    let op = (word >> 56) as u8;
+    let a = (word >> 48) as u8;
+    let b = (word >> 40) as u8;
+    let c = (word >> 32) as u8;
+    let imm = word as u32;
+    let bad = || SimError::BadEncoding { word };
+    let ireg = |n: u8| -> SimResult<Reg> {
+        if (n as usize) < NUM_IREGS {
+            Ok(Reg(n))
+        } else {
+            Err(bad())
+        }
+    };
+    let freg = |n: u8| -> SimResult<FReg> {
+        if (n as usize) < NUM_FREGS {
+            Ok(FReg(n))
+        } else {
+            Err(bad())
+        }
+    };
+
+    Ok(match op {
+        OP_NOP => Inst::Nop,
+        OP_HALT => Inst::Halt,
+        _ if (OP_ALU..OP_ALU + 13).contains(&op) => Inst::Alu {
+            op: AluOp::ALL[(op - OP_ALU) as usize],
+            rd: ireg(a)?,
+            rs1: ireg(b)?,
+            rs2: ireg(c)?,
+        },
+        _ if (OP_ALUI..OP_ALUI + 13).contains(&op) => Inst::AluImm {
+            op: AluOp::ALL[(op - OP_ALUI) as usize],
+            rd: ireg(a)?,
+            rs1: ireg(b)?,
+            imm: imm as i32,
+        },
+        OP_LI => Inst::Li {
+            rd: ireg(a)?,
+            imm: sext(word & 0xffff_ffff_ffff, 48) as i64,
+        },
+        _ if (OP_FPU..OP_FPU + 4).contains(&op) => Inst::Fpu {
+            op: FpuOp::ALL[(op - OP_FPU) as usize],
+            fd: freg(a)?,
+            fs1: freg(b)?,
+            fs2: freg(c)?,
+        },
+        _ if (OP_FCMP..OP_FCMP + 3).contains(&op) => Inst::FCmp {
+            op: FCmpOp::ALL[(op - OP_FCMP) as usize],
+            rd: ireg(a)?,
+            fs1: freg(b)?,
+            fs2: freg(c)?,
+        },
+        OP_CVTIF => Inst::CvtIF {
+            fd: freg(a)?,
+            rs: ireg(b)?,
+        },
+        OP_CVTFI => Inst::CvtFI {
+            rd: ireg(a)?,
+            fs: freg(b)?,
+        },
+        OP_LD | OP_LW | OP_LBU => Inst::Load {
+            kind: match op {
+                OP_LD => LoadKind::D,
+                OP_LW => LoadKind::W,
+                _ => LoadKind::B,
+            },
+            rd: ireg(a)?,
+            base: ireg(b)?,
+            off: imm as i32,
+        },
+        OP_FLD => Inst::FLoad {
+            fd: freg(a)?,
+            base: ireg(b)?,
+            off: imm as i32,
+        },
+        OP_SD | OP_SW | OP_SB => Inst::Store {
+            kind: match op {
+                OP_SD => StoreKind::D,
+                OP_SW => StoreKind::W,
+                _ => StoreKind::B,
+            },
+            rs: ireg(a)?,
+            base: ireg(b)?,
+            off: imm as i32,
+        },
+        OP_FSD => Inst::FStore {
+            fs: freg(a)?,
+            base: ireg(b)?,
+            off: imm as i32,
+        },
+        _ if (OP_BRANCH..OP_BRANCH + 6).contains(&op) => Inst::Branch {
+            cond: BranchCond::ALL[(op - OP_BRANCH) as usize],
+            rs1: ireg(a)?,
+            rs2: ireg(b)?,
+            target: imm,
+        },
+        OP_J => Inst::Jump { target: imm },
+        OP_JAL => Inst::Jal {
+            rd: ireg(a)?,
+            target: imm,
+        },
+        OP_JR => Inst::Jr { rs: ireg(a)? },
+        OP_BEGIN => Inst::Begin {
+            region: imm as u16,
+        },
+        OP_FORK => Inst::Fork {
+            mask: imm,
+            body: ((word >> 32) & 0xff_ffff) as u32,
+        },
+        OP_ABORT => Inst::Abort { seq: imm },
+        OP_TSANN => Inst::TsAnnounce {
+            base: ireg(b)?,
+            off: imm as i32,
+        },
+        OP_TSAGDONE => Inst::TsagDone,
+        OP_THREADEND => Inst::ThreadEnd,
+        _ => return Err(bad()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Inst) {
+        let w = encode(&i);
+        let back = decode(w).unwrap_or_else(|e| panic!("{e} for {i:?}"));
+        assert_eq!(back, i, "word 0x{w:016x}");
+    }
+
+    #[test]
+    fn roundtrip_representatives() {
+        roundtrip(Inst::Nop);
+        roundtrip(Inst::Halt);
+        for op in AluOp::ALL {
+            roundtrip(Inst::Alu {
+                op,
+                rd: Reg(1),
+                rs1: Reg(2),
+                rs2: Reg(31),
+            });
+            roundtrip(Inst::AluImm {
+                op,
+                rd: Reg(3),
+                rs1: Reg(4),
+                imm: -12345,
+            });
+        }
+        roundtrip(Inst::Li { rd: Reg(9), imm: -1 });
+        roundtrip(Inst::Li {
+            rd: Reg(9),
+            imm: (1i64 << 47) - 1,
+        });
+        roundtrip(Inst::Li {
+            rd: Reg(9),
+            imm: -(1i64 << 47),
+        });
+        for op in FpuOp::ALL {
+            roundtrip(Inst::Fpu {
+                op,
+                fd: FReg(0),
+                fs1: FReg(15),
+                fs2: FReg(31),
+            });
+        }
+        for op in FCmpOp::ALL {
+            roundtrip(Inst::FCmp {
+                op,
+                rd: Reg(5),
+                fs1: FReg(1),
+                fs2: FReg(2),
+            });
+        }
+        roundtrip(Inst::CvtIF {
+            fd: FReg(3),
+            rs: Reg(4),
+        });
+        roundtrip(Inst::CvtFI {
+            rd: Reg(4),
+            fs: FReg(3),
+        });
+        for kind in [LoadKind::D, LoadKind::W, LoadKind::B] {
+            roundtrip(Inst::Load {
+                kind,
+                rd: Reg(7),
+                base: Reg(8),
+                off: -64,
+            });
+        }
+        for kind in [StoreKind::D, StoreKind::W, StoreKind::B] {
+            roundtrip(Inst::Store {
+                kind,
+                rs: Reg(7),
+                base: Reg(8),
+                off: 1 << 20,
+            });
+        }
+        roundtrip(Inst::FLoad {
+            fd: FReg(2),
+            base: Reg(3),
+            off: 8,
+        });
+        roundtrip(Inst::FStore {
+            fs: FReg(2),
+            base: Reg(3),
+            off: -8,
+        });
+        for cond in BranchCond::ALL {
+            roundtrip(Inst::Branch {
+                cond,
+                rs1: Reg(1),
+                rs2: Reg(2),
+                target: 0xdead,
+            });
+        }
+        roundtrip(Inst::Jump { target: 77 });
+        roundtrip(Inst::Jal {
+            rd: Reg(31),
+            target: 99,
+        });
+        roundtrip(Inst::Jr { rs: Reg(31) });
+        roundtrip(Inst::Begin { region: 65535 });
+        roundtrip(Inst::Fork {
+            mask: 0xffff_ffff,
+            body: (1 << 24) - 1,
+        });
+        roundtrip(Inst::Abort { seq: 123 });
+        roundtrip(Inst::TsAnnounce {
+            base: Reg(6),
+            off: 16,
+        });
+        roundtrip(Inst::TsagDone);
+        roundtrip(Inst::ThreadEnd);
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert!(decode(0xff00_0000_0000_0000).is_err());
+        // Register field out of range.
+        let w = pack(OP_ALU, 40, 0, 0, 0);
+        assert!(decode(w).is_err());
+    }
+
+    #[test]
+    fn li_negative_immediates_sign_extend() {
+        let i = Inst::Li {
+            rd: Reg(1),
+            imm: -42,
+        };
+        match decode(encode(&i)).unwrap() {
+            Inst::Li { imm, .. } => assert_eq!(imm, -42),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! The WISA-64 instruction set.
+//!
+//! A deliberately small RISC ISA (it only has to carry six workloads), plus
+//! the superthreaded extensions from the paper's execution model.  Branch and
+//! jump targets are absolute *instruction indices* into the text segment —
+//! the machine's PC counts instructions, not bytes.
+
+use crate::reg::{FReg, Reg};
+
+/// Integer ALU operations (register-register and register-immediate forms).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    /// Set-less-than, signed: `rd = (rs1 as i64) < (rs2 as i64)`.
+    Slt,
+    /// Set-less-than, unsigned.
+    Sltu,
+}
+
+impl AluOp {
+    pub const ALL: [AluOp; 13] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Slt,
+        AluOp::Sltu,
+    ];
+
+    /// Assembler mnemonic (immediate forms append `i`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+        }
+    }
+}
+
+/// Floating-point operations on `f64` registers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum FpuOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl FpuOp {
+    pub const ALL: [FpuOp; 4] = [FpuOp::Add, FpuOp::Sub, FpuOp::Mul, FpuOp::Div];
+
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpuOp::Add => "fadd",
+            FpuOp::Sub => "fsub",
+            FpuOp::Mul => "fmul",
+            FpuOp::Div => "fdiv",
+        }
+    }
+}
+
+/// Floating-point comparisons; the boolean result lands in an integer register.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum FCmpOp {
+    Eq,
+    Lt,
+    Le,
+}
+
+impl FCmpOp {
+    pub const ALL: [FCmpOp; 3] = [FCmpOp::Eq, FCmpOp::Lt, FCmpOp::Le];
+
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FCmpOp::Eq => "feq",
+            FCmpOp::Lt => "flt",
+            FCmpOp::Le => "fle",
+        }
+    }
+}
+
+/// Conditional-branch comparisons on integer registers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+impl BranchCond {
+    pub const ALL: [BranchCond; 6] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+    ];
+
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Geu => "bgeu",
+        }
+    }
+}
+
+/// Integer load widths.  `W` sign-extends, `B` zero-extends.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum LoadKind {
+    /// 8-byte doubleword.
+    D,
+    /// 4-byte word, sign-extended.
+    W,
+    /// 1 byte, zero-extended.
+    B,
+}
+
+impl LoadKind {
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            LoadKind::D => 8,
+            LoadKind::W => 4,
+            LoadKind::B => 1,
+        }
+    }
+}
+
+/// Integer store widths.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum StoreKind {
+    D,
+    W,
+    B,
+}
+
+impl StoreKind {
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            StoreKind::D => 8,
+            StoreKind::W => 4,
+            StoreKind::B => 1,
+        }
+    }
+}
+
+/// Which functional unit class executes an instruction (paper Table 3 sizes
+/// the per-TU pools of these).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum FuClass {
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAlu,
+    FpMul,
+    FpDiv,
+    /// Load/store unit — contends for L1 data-cache ports.
+    Mem,
+    /// Zero-latency at execute (direct jumps, nop, STA markers resolved at
+    /// commit); still occupies an issue slot.
+    None,
+}
+
+/// One WISA-64 instruction.
+///
+/// `target`/`body`/`seq` fields are absolute instruction indices.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Inst {
+    /// `op rd, rs1, rs2`
+    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// `opi rd, rs1, imm`
+    AluImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    /// `li rd, imm` — load a 48-bit signed immediate.
+    Li { rd: Reg, imm: i64 },
+    /// `fop fd, fs1, fs2`
+    Fpu { op: FpuOp, fd: FReg, fs1: FReg, fs2: FReg },
+    /// `fcmp rd, fs1, fs2`
+    FCmp { op: FCmpOp, rd: Reg, fs1: FReg, fs2: FReg },
+    /// `cvtif fd, rs` — signed integer to double.
+    CvtIF { fd: FReg, rs: Reg },
+    /// `cvtfi rd, fs` — double to signed integer (truncating).
+    CvtFI { rd: Reg, fs: FReg },
+    /// `ld/lw/lbu rd, off(base)`
+    Load { kind: LoadKind, rd: Reg, base: Reg, off: i32 },
+    /// `fld fd, off(base)`
+    FLoad { fd: FReg, base: Reg, off: i32 },
+    /// `sd/sw/sb rs, off(base)`
+    Store { kind: StoreKind, rs: Reg, base: Reg, off: i32 },
+    /// `fsd fs, off(base)`
+    FStore { fs: FReg, base: Reg, off: i32 },
+    /// `bCC rs1, rs2, target`
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: u32 },
+    /// `j target`
+    Jump { target: u32 },
+    /// `jal rd, target` — call; `rd` receives the return instruction index.
+    Jal { rd: Reg, target: u32 },
+    /// `jr rs` — indirect jump / return.
+    Jr { rs: Reg },
+    Nop,
+    /// Stop the machine (sequential mode only).
+    Halt,
+
+    // ------- superthreaded extensions (take effect at commit) -------
+    /// Enter parallel region `region`; kills any leftover wrong threads.
+    /// Falls through: the next instruction starts the first thread's body.
+    Begin { region: u16 },
+    /// Speculatively fork the successor thread at instruction `body`,
+    /// forwarding the integer registers selected by `mask` (bit i = rI).
+    Fork { mask: u32, body: u32 },
+    /// This iteration satisfies the loop exit: kill (or mark wrong) all
+    /// successor threads, then continue sequential execution at `seq`.
+    Abort { seq: u32 },
+    /// TSAG stage: announce a target-store address to downstream threads.
+    TsAnnounce { base: Reg, off: i32 },
+    /// TSAG stage complete (passes the TSAG_DONE flag down the ring).
+    TsagDone,
+    /// End of the thread body; the thread enters its write-back stage.
+    ThreadEnd,
+}
+
+impl Inst {
+    /// Destination integer register, if any (excluding the hardwired zero).
+    pub fn dest_ireg(&self) -> Option<Reg> {
+        let rd = match *self {
+            Inst::Alu { rd, .. }
+            | Inst::AluImm { rd, .. }
+            | Inst::Li { rd, .. }
+            | Inst::FCmp { rd, .. }
+            | Inst::CvtFI { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::Jal { rd, .. } => rd,
+            _ => return None,
+        };
+        (!rd.is_zero()).then_some(rd)
+    }
+
+    /// Destination floating-point register, if any.
+    pub fn dest_freg(&self) -> Option<FReg> {
+        match *self {
+            Inst::Fpu { fd, .. } | Inst::CvtIF { fd, .. } | Inst::FLoad { fd, .. } => Some(fd),
+            _ => None,
+        }
+    }
+
+    /// Integer source registers (up to two, in operand order).
+    pub fn src_iregs(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Inst::Alu { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Inst::AluImm { rs1, .. } => [Some(rs1), None],
+            Inst::CvtIF { rs, .. } => [Some(rs), None],
+            Inst::Load { base, .. } | Inst::FLoad { base, .. } => [Some(base), None],
+            Inst::Store { rs, base, .. } => [Some(rs), Some(base)],
+            Inst::FStore { base, .. } => [Some(base), None],
+            Inst::Branch { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Inst::Jr { rs } => [Some(rs), None],
+            Inst::TsAnnounce { base, .. } => [Some(base), None],
+            _ => [None, None],
+        }
+    }
+
+    /// Floating-point source registers (up to two).
+    pub fn src_fregs(&self) -> [Option<FReg>; 2] {
+        match *self {
+            Inst::Fpu { fs1, fs2, .. } | Inst::FCmp { fs1, fs2, .. } => [Some(fs1), Some(fs2)],
+            Inst::CvtFI { fs, .. } => [Some(fs), None],
+            Inst::FStore { fs, .. } => [Some(fs), None],
+            _ => [None, None],
+        }
+    }
+
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::FLoad { .. })
+    }
+
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. } | Inst::FStore { .. })
+    }
+
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Access width in bytes for memory operations.
+    pub fn mem_bytes(&self) -> Option<u64> {
+        match *self {
+            Inst::Load { kind, .. } => Some(kind.bytes()),
+            Inst::Store { kind, .. } => Some(kind.bytes()),
+            Inst::FLoad { .. } | Inst::FStore { .. } => Some(8),
+            _ => None,
+        }
+    }
+
+    /// Address offset for memory operations and `tsannounce`.
+    pub fn mem_offset(&self) -> Option<i32> {
+        match *self {
+            Inst::Load { off, .. }
+            | Inst::FLoad { off, .. }
+            | Inst::Store { off, .. }
+            | Inst::FStore { off, .. }
+            | Inst::TsAnnounce { off, .. } => Some(off),
+            _ => None,
+        }
+    }
+
+    /// Conditional branch?
+    #[inline]
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Inst::Branch { .. })
+    }
+
+    /// Any instruction that can redirect the PC (for the fetch stage).
+    #[inline]
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Branch { .. } | Inst::Jump { .. } | Inst::Jal { .. } | Inst::Jr { .. }
+        )
+    }
+
+    /// Superthreaded extension instruction?
+    #[inline]
+    pub fn is_sta(&self) -> bool {
+        matches!(
+            self,
+            Inst::Begin { .. }
+                | Inst::Fork { .. }
+                | Inst::Abort { .. }
+                | Inst::TsAnnounce { .. }
+                | Inst::TsagDone
+                | Inst::ThreadEnd
+        )
+    }
+
+    /// Which functional-unit class executes this instruction.
+    pub fn fu_class(&self) -> FuClass {
+        match *self {
+            Inst::Alu { op, .. } | Inst::AluImm { op, .. } => match op {
+                AluOp::Mul => FuClass::IntMul,
+                AluOp::Div | AluOp::Rem => FuClass::IntDiv,
+                _ => FuClass::IntAlu,
+            },
+            Inst::Li { .. } => FuClass::IntAlu,
+            Inst::Fpu { op, .. } => match op {
+                FpuOp::Add | FpuOp::Sub => FuClass::FpAlu,
+                FpuOp::Mul => FuClass::FpMul,
+                FpuOp::Div => FuClass::FpDiv,
+            },
+            Inst::FCmp { .. } | Inst::CvtIF { .. } | Inst::CvtFI { .. } => FuClass::FpAlu,
+            Inst::Load { .. } | Inst::FLoad { .. } | Inst::Store { .. } | Inst::FStore { .. } => {
+                FuClass::Mem
+            }
+            Inst::Branch { .. } | Inst::Jr { .. } => FuClass::IntAlu,
+            // `tsannounce` computes an address.
+            Inst::TsAnnounce { .. } => FuClass::IntAlu,
+            Inst::Jump { .. }
+            | Inst::Jal { .. }
+            | Inst::Nop
+            | Inst::Halt
+            | Inst::Begin { .. }
+            | Inst::Fork { .. }
+            | Inst::Abort { .. }
+            | Inst::TsagDone
+            | Inst::ThreadEnd => FuClass::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dest_zero_reg_is_dropped() {
+        let i = Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs1: Reg(1),
+            imm: 1,
+        };
+        assert_eq!(i.dest_ireg(), None);
+        let i = Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg(3),
+            rs1: Reg(1),
+            imm: 1,
+        };
+        assert_eq!(i.dest_ireg(), Some(Reg(3)));
+    }
+
+    #[test]
+    fn store_sources_include_data_and_base() {
+        let s = Inst::Store {
+            kind: StoreKind::D,
+            rs: Reg(5),
+            base: Reg(6),
+            off: 8,
+        };
+        assert_eq!(s.src_iregs(), [Some(Reg(5)), Some(Reg(6))]);
+        assert!(s.is_store() && s.is_mem() && !s.is_load());
+        assert_eq!(s.mem_bytes(), Some(8));
+    }
+
+    #[test]
+    fn fu_classes() {
+        let mul = Inst::Alu {
+            op: AluOp::Mul,
+            rd: Reg(1),
+            rs1: Reg(2),
+            rs2: Reg(3),
+        };
+        assert_eq!(mul.fu_class(), FuClass::IntMul);
+        let div = Inst::AluImm {
+            op: AluOp::Rem,
+            rd: Reg(1),
+            rs1: Reg(2),
+            imm: 3,
+        };
+        assert_eq!(div.fu_class(), FuClass::IntDiv);
+        let fdiv = Inst::Fpu {
+            op: FpuOp::Div,
+            fd: FReg(0),
+            fs1: FReg(1),
+            fs2: FReg(2),
+        };
+        assert_eq!(fdiv.fu_class(), FuClass::FpDiv);
+        assert_eq!(Inst::Nop.fu_class(), FuClass::None);
+        assert_eq!(
+            Inst::Load {
+                kind: LoadKind::W,
+                rd: Reg(1),
+                base: Reg(2),
+                off: 0
+            }
+            .fu_class(),
+            FuClass::Mem
+        );
+    }
+
+    #[test]
+    fn sta_markers_classified() {
+        assert!(Inst::Begin { region: 0 }.is_sta());
+        assert!(Inst::Fork { mask: 1, body: 2 }.is_sta());
+        assert!(Inst::Abort { seq: 9 }.is_sta());
+        assert!(Inst::TsagDone.is_sta());
+        assert!(Inst::ThreadEnd.is_sta());
+        assert!(!Inst::Halt.is_sta());
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Inst::Jump { target: 3 }.is_control());
+        assert!(Inst::Jr { rs: Reg(31) }.is_control());
+        let b = Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg(1),
+            rs2: Reg(0),
+            target: 7,
+        };
+        assert!(b.is_control() && b.is_cond_branch());
+        assert!(!Inst::Halt.is_control());
+    }
+
+    #[test]
+    fn load_widths() {
+        assert_eq!(LoadKind::D.bytes(), 8);
+        assert_eq!(LoadKind::W.bytes(), 4);
+        assert_eq!(LoadKind::B.bytes(), 1);
+        assert_eq!(StoreKind::W.bytes(), 4);
+    }
+}

@@ -1,0 +1,45 @@
+//! WISA-64 — the instruction set of the simulated superthreaded machine.
+//!
+//! The paper's toolchain compiled C with a SimpleScalar GCC port and ran the
+//! resulting PISA binaries on SIMCA.  We have no such toolchain, so this crate
+//! defines a compact 64-bit RISC ISA of our own, plus everything needed to
+//! write programs for it:
+//!
+//! * [`reg`] — integer and floating-point register names;
+//! * [`inst`] — the instruction enum, including the superthreaded extensions
+//!   (`begin`, `fork`, `abort`, `tsannounce`, `tsagdone`, `thread_end`);
+//! * [`semantics`] — pure value semantics for ALU/FPU operations, shared by
+//!   the out-of-order core and by tests;
+//! * [`encode`] — fixed-width 64-bit binary encoding (round-trippable);
+//! * [`asm`] — a small text assembler (labels, `.data` directives);
+//! * [`disasm`] — the matching disassembler (round-trips through [`asm`]);
+//! * [`build`] — a programmatic builder used by the workload crate, mirroring
+//!   the paper's *manual* parallelization workflow;
+//! * [`program`] — the loaded program: text, initial memory image, metadata.
+//!
+//! # Thread-pipelining conventions
+//!
+//! A parallel region is entered by `begin`.  Each dynamic thread executes one
+//! loop iteration of the region body, laid out as the paper's four pipeline
+//! stages (§2.2): continuation (compute recurrence variables, then `fork` the
+//! successor speculatively), TSAG (`tsannounce` each target-store address,
+//! then `tsagdone`), computation (the iteration body; stores to announced
+//! addresses release their value downstream), and write-back (entered at
+//! `thread_end`).  The thread whose iteration satisfies the loop exit
+//! condition executes `abort`, which kills (or, with wrong-thread execution
+//! enabled, *marks wrong*) every successor thread and continues sequentially
+//! at the abort target once all older threads have retired.
+
+pub mod asm;
+pub mod build;
+pub mod disasm;
+pub mod encode;
+pub mod inst;
+pub mod program;
+pub mod reg;
+pub mod semantics;
+
+pub use build::ProgramBuilder;
+pub use inst::{AluOp, BranchCond, FpuOp, Inst, LoadKind, StoreKind};
+pub use program::{MemImage, Program};
+pub use reg::{FReg, Reg};

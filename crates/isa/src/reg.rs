@@ -1,0 +1,122 @@
+//! Register names for WISA-64.
+//!
+//! 32 integer registers (`r0` hardwired to zero) and 32 floating-point
+//! registers.  The assembler also accepts conventional aliases (`zero`, `sp`,
+//! `a0`…) mapped onto the numbered registers.
+
+use std::fmt;
+
+/// Number of integer registers.
+pub const NUM_IREGS: usize = 32;
+/// Number of floating-point registers.
+pub const NUM_FREGS: usize = 32;
+
+/// An integer register. `Reg(0)` always reads zero; writes to it are dropped.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    pub const ZERO: Reg = Reg(0);
+    /// Stack pointer by convention (`sp`).
+    pub const SP: Reg = Reg(29);
+    /// Link register written by `jal` (`ra`).
+    pub const RA: Reg = Reg(31);
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Parse `rN` or an alias. Returns `None` for anything else.
+    pub fn parse(s: &str) -> Option<Reg> {
+        match s {
+            "zero" => return Some(Reg(0)),
+            "sp" => return Some(Reg::SP),
+            "ra" => return Some(Reg::RA),
+            _ => {}
+        }
+        let n: u8 = s.strip_prefix('r')?.parse().ok()?;
+        (n < NUM_IREGS as u8).then_some(Reg(n))
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point register holding an `f64`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FReg(pub u8);
+
+impl FReg {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Parse `fN`.
+    pub fn parse(s: &str) -> Option<FReg> {
+        let n: u8 = s.strip_prefix('f')?.parse().ok()?;
+        (n < NUM_FREGS as u8).then_some(FReg(n))
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Debug for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_numbered() {
+        assert_eq!(Reg::parse("r0"), Some(Reg(0)));
+        assert_eq!(Reg::parse("r31"), Some(Reg(31)));
+        assert_eq!(Reg::parse("r32"), None);
+        assert_eq!(Reg::parse("x1"), None);
+        assert_eq!(FReg::parse("f7"), Some(FReg(7)));
+        assert_eq!(FReg::parse("f32"), None);
+        assert_eq!(FReg::parse("r7"), None);
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!(Reg::parse("zero"), Some(Reg::ZERO));
+        assert_eq!(Reg::parse("sp"), Some(Reg(29)));
+        assert_eq!(Reg::parse("ra"), Some(Reg(31)));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for n in 0..NUM_IREGS as u8 {
+            let r = Reg(n);
+            assert_eq!(Reg::parse(&r.to_string()), Some(r));
+        }
+        for n in 0..NUM_FREGS as u8 {
+            let r = FReg(n);
+            assert_eq!(FReg::parse(&r.to_string()), Some(r));
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Pure value semantics for WISA-64 operations.
+//!
+//! These functions are total: division by zero and overflow have defined
+//! results (RISC-V-style) because the out-of-order core executes instructions
+//! speculatively down wrong paths, where any operand garbage is possible and
+//! must never crash the simulator.
+
+use crate::inst::{AluOp, BranchCond, FCmpOp, FpuOp};
+
+/// Evaluate an integer ALU operation on 64-bit register values.
+///
+/// * shifts use only the low 6 bits of the shift amount;
+/// * `div`/`rem` by zero produce `u64::MAX` / the dividend (RISC-V);
+/// * `i64::MIN / -1` wraps (no trap).
+pub fn eval_alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                u64::MAX
+            } else {
+                a.wrapping_div(b) as u64
+            }
+        }
+        AluOp::Rem => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                a as u64
+            } else {
+                a.wrapping_rem(b) as u64
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a.wrapping_shl(b as u32 & 63),
+        AluOp::Srl => a.wrapping_shr(b as u32 & 63),
+        AluOp::Sra => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
+        AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+        AluOp::Sltu => (a < b) as u64,
+    }
+}
+
+/// Evaluate a floating-point operation. IEEE-754 semantics; division by zero
+/// yields ±inf, 0/0 yields NaN — all representable, never trapping.
+pub fn eval_fpu(op: FpuOp, a: f64, b: f64) -> f64 {
+    match op {
+        FpuOp::Add => a + b,
+        FpuOp::Sub => a - b,
+        FpuOp::Mul => a * b,
+        FpuOp::Div => a / b,
+    }
+}
+
+/// Evaluate a floating-point comparison (result is 0 or 1).
+/// NaN compares false for every predicate, as in IEEE-754.
+pub fn eval_fcmp(op: FCmpOp, a: f64, b: f64) -> u64 {
+    let r = match op {
+        FCmpOp::Eq => a == b,
+        FCmpOp::Lt => a < b,
+        FCmpOp::Le => a <= b,
+    };
+    r as u64
+}
+
+/// Evaluate a branch condition on integer register values.
+pub fn eval_branch(cond: BranchCond, a: u64, b: u64) -> bool {
+    match cond {
+        BranchCond::Eq => a == b,
+        BranchCond::Ne => a != b,
+        BranchCond::Lt => (a as i64) < (b as i64),
+        BranchCond::Ge => (a as i64) >= (b as i64),
+        BranchCond::Ltu => a < b,
+        BranchCond::Geu => a >= b,
+    }
+}
+
+/// Signed integer to double.
+#[inline]
+pub fn cvt_if(a: u64) -> f64 {
+    a as i64 as f64
+}
+
+/// Double to signed integer, truncating; NaN and out-of-range saturate
+/// (RISC-V `fcvt.l.d` semantics, simplified).
+#[inline]
+pub fn cvt_fi(a: f64) -> u64 {
+    if a.is_nan() {
+        0
+    } else if a >= i64::MAX as f64 {
+        i64::MAX as u64
+    } else if a <= i64::MIN as f64 {
+        i64::MIN as u64
+    } else {
+        a as i64 as u64
+    }
+}
+
+/// Sign-extend the low `bits` bits of `v`.
+#[inline]
+pub fn sext(v: u64, bits: u32) -> u64 {
+    debug_assert!((1..=64).contains(&bits));
+    if bits == 64 {
+        return v;
+    }
+    let shift = 64 - bits;
+    (((v << shift) as i64) >> shift) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_wrap() {
+        assert_eq!(eval_alu(AluOp::Add, u64::MAX, 1), 0);
+        assert_eq!(eval_alu(AluOp::Sub, 0, 1), u64::MAX);
+    }
+
+    #[test]
+    fn signed_division_rules() {
+        assert_eq!(eval_alu(AluOp::Div, 7, 2), 3);
+        assert_eq!(eval_alu(AluOp::Div, (-7i64) as u64, 2), (-3i64) as u64);
+        assert_eq!(eval_alu(AluOp::Div, 5, 0), u64::MAX);
+        assert_eq!(eval_alu(AluOp::Rem, 7, 0), 7);
+        assert_eq!(eval_alu(AluOp::Rem, (-7i64) as u64, 2), (-1i64) as u64);
+        // i64::MIN / -1 must not panic.
+        let _ = eval_alu(AluOp::Div, i64::MIN as u64, (-1i64) as u64);
+        let _ = eval_alu(AluOp::Rem, i64::MIN as u64, (-1i64) as u64);
+    }
+
+    #[test]
+    fn shift_amounts_masked() {
+        assert_eq!(eval_alu(AluOp::Sll, 1, 64), 1); // 64 & 63 == 0
+        assert_eq!(eval_alu(AluOp::Sll, 1, 65), 2);
+        assert_eq!(eval_alu(AluOp::Srl, u64::MAX, 63), 1);
+        assert_eq!(
+            eval_alu(AluOp::Sra, (-8i64) as u64, 2),
+            (-2i64) as u64
+        );
+    }
+
+    #[test]
+    fn set_less_than_signed_vs_unsigned() {
+        let neg1 = (-1i64) as u64;
+        assert_eq!(eval_alu(AluOp::Slt, neg1, 0), 1);
+        assert_eq!(eval_alu(AluOp::Sltu, neg1, 0), 0);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        let neg1 = (-1i64) as u64;
+        assert!(eval_branch(BranchCond::Eq, 4, 4));
+        assert!(eval_branch(BranchCond::Ne, 4, 5));
+        assert!(eval_branch(BranchCond::Lt, neg1, 0));
+        assert!(!eval_branch(BranchCond::Ltu, neg1, 0));
+        assert!(eval_branch(BranchCond::Ge, 0, neg1));
+        assert!(eval_branch(BranchCond::Geu, neg1, 0));
+    }
+
+    #[test]
+    fn fp_ops_never_trap() {
+        assert!(eval_fpu(FpuOp::Div, 1.0, 0.0).is_infinite());
+        assert!(eval_fpu(FpuOp::Div, 0.0, 0.0).is_nan());
+        assert_eq!(eval_fpu(FpuOp::Mul, 3.0, 2.0), 6.0);
+    }
+
+    #[test]
+    fn fcmp_nan_is_false() {
+        for op in FCmpOp::ALL {
+            assert_eq!(eval_fcmp(op, f64::NAN, 1.0), 0);
+        }
+        assert_eq!(eval_fcmp(FCmpOp::Le, 2.0, 2.0), 1);
+        assert_eq!(eval_fcmp(FCmpOp::Lt, 2.0, 2.0), 0);
+    }
+
+    #[test]
+    fn conversions_saturate() {
+        assert_eq!(cvt_fi(f64::NAN), 0);
+        assert_eq!(cvt_fi(1e300), i64::MAX as u64);
+        assert_eq!(cvt_fi(-1e300), i64::MIN as u64);
+        assert_eq!(cvt_fi(-2.7), (-2i64) as u64);
+        assert_eq!(cvt_if((-3i64) as u64), -3.0);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sext(0xff, 8), u64::MAX);
+        assert_eq!(sext(0x7f, 8), 0x7f);
+        assert_eq!(sext(0xffff_ffff, 32), u64::MAX);
+        assert_eq!(sext(5, 64), 5);
+    }
+}

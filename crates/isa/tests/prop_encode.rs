@@ -1,0 +1,124 @@
+//! Property tests: the 64-bit binary encoding round-trips every valid
+//! instruction, and the decoder never panics on arbitrary words.
+
+use proptest::prelude::*;
+use wec_isa::encode::{decode, encode};
+use wec_isa::inst::{AluOp, BranchCond, FCmpOp, FpuOp, Inst, LoadKind, StoreKind};
+use wec_isa::reg::{FReg, Reg};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg)
+}
+
+fn freg() -> impl Strategy<Value = FReg> {
+    (0u8..32).prop_map(FReg)
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    proptest::sample::select(AluOp::ALL.to_vec())
+}
+
+fn inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (alu_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (alu_op(), reg(), reg(), any::<i32>()).prop_map(|(op, rd, rs1, imm)| Inst::AluImm {
+            op,
+            rd,
+            rs1,
+            imm
+        }),
+        (reg(), -(1i64 << 47)..(1i64 << 47)).prop_map(|(rd, imm)| Inst::Li { rd, imm }),
+        (
+            proptest::sample::select(FpuOp::ALL.to_vec()),
+            freg(),
+            freg(),
+            freg()
+        )
+            .prop_map(|(op, fd, fs1, fs2)| Inst::Fpu { op, fd, fs1, fs2 }),
+        (
+            proptest::sample::select(FCmpOp::ALL.to_vec()),
+            reg(),
+            freg(),
+            freg()
+        )
+            .prop_map(|(op, rd, fs1, fs2)| Inst::FCmp { op, rd, fs1, fs2 }),
+        (freg(), reg()).prop_map(|(fd, rs)| Inst::CvtIF { fd, rs }),
+        (reg(), freg()).prop_map(|(rd, fs)| Inst::CvtFI { rd, fs }),
+        (
+            proptest::sample::select(vec![LoadKind::D, LoadKind::W, LoadKind::B]),
+            reg(),
+            reg(),
+            any::<i32>()
+        )
+            .prop_map(|(kind, rd, base, off)| Inst::Load {
+                kind,
+                rd,
+                base,
+                off
+            }),
+        (freg(), reg(), any::<i32>()).prop_map(|(fd, base, off)| Inst::FLoad { fd, base, off }),
+        (
+            proptest::sample::select(vec![StoreKind::D, StoreKind::W, StoreKind::B]),
+            reg(),
+            reg(),
+            any::<i32>()
+        )
+            .prop_map(|(kind, rs, base, off)| Inst::Store {
+                kind,
+                rs,
+                base,
+                off
+            }),
+        (freg(), reg(), any::<i32>()).prop_map(|(fs, base, off)| Inst::FStore { fs, base, off }),
+        (
+            proptest::sample::select(BranchCond::ALL.to_vec()),
+            reg(),
+            reg(),
+            any::<u32>()
+        )
+            .prop_map(|(cond, rs1, rs2, target)| Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target
+            }),
+        any::<u32>().prop_map(|target| Inst::Jump { target }),
+        (reg(), any::<u32>()).prop_map(|(rd, target)| Inst::Jal { rd, target }),
+        reg().prop_map(|rs| Inst::Jr { rs }),
+        Just(Inst::Nop),
+        Just(Inst::Halt),
+        any::<u16>().prop_map(|region| Inst::Begin { region }),
+        (any::<u32>(), 0u32..(1 << 24)).prop_map(|(mask, body)| Inst::Fork { mask, body }),
+        any::<u32>().prop_map(|seq| Inst::Abort { seq }),
+        (reg(), any::<i32>()).prop_map(|(base, off)| Inst::TsAnnounce { base, off }),
+        Just(Inst::TsagDone),
+        Just(Inst::ThreadEnd),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrips(i in inst()) {
+        let word = encode(&i);
+        let back = decode(word).expect("encoded instruction must decode");
+        prop_assert_eq!(back, i);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u64>()) {
+        let _ = decode(word); // Ok or Err, never a panic
+    }
+
+    #[test]
+    fn decode_of_valid_is_stable(i in inst()) {
+        // encode ∘ decode ∘ encode is the identity on words.
+        let w1 = encode(&i);
+        let w2 = encode(&decode(w1).unwrap());
+        prop_assert_eq!(w1, w2);
+    }
+}

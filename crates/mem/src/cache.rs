@@ -1,0 +1,377 @@
+//! Set-associative tag array with true LRU replacement.
+//!
+//! One structure covers every cache in the machine: the direct-mapped or
+//! 4-way L1s (a direct-mapped cache is `ways = 1`), the 4-way unified L2,
+//! and the small fully-associative structures (WEC, victim cache, prefetch
+//! buffer — `sets = 1`).
+
+use crate::line::{Line, LineFlags};
+use crate::lru::LruOrder;
+use wec_common::error::{SimError, SimResult};
+use wec_common::ids::Addr;
+
+/// Shape of a cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheGeometry {
+    pub sets: u64,
+    pub ways: usize,
+    pub block_bytes: u64,
+}
+
+impl CacheGeometry {
+    /// Geometry from a total capacity: `total_bytes / ways / block_bytes`
+    /// sets.  Errors unless everything divides into powers of two.
+    pub fn from_capacity(total_bytes: u64, ways: usize, block_bytes: u64) -> SimResult<Self> {
+        if !block_bytes.is_power_of_two() || block_bytes == 0 {
+            return Err(SimError::Config(format!(
+                "block size {block_bytes} not a power of two"
+            )));
+        }
+        if ways == 0 || total_bytes == 0 {
+            return Err(SimError::Config("zero ways or capacity".into()));
+        }
+        let per_way = total_bytes / ways as u64;
+        if per_way * ways as u64 != total_bytes || !per_way.is_multiple_of(block_bytes) {
+            return Err(SimError::Config(format!(
+                "capacity {total_bytes} not divisible into {ways} ways of {block_bytes}B blocks"
+            )));
+        }
+        let sets = per_way / block_bytes;
+        if !sets.is_power_of_two() {
+            return Err(SimError::Config(format!(
+                "set count {sets} not a power of two"
+            )));
+        }
+        Ok(CacheGeometry {
+            sets,
+            ways,
+            block_bytes,
+        })
+    }
+
+    /// A fully-associative structure with `entries` blocks (WEC, victim
+    /// cache, prefetch buffer).
+    pub fn fully_associative(entries: usize, block_bytes: u64) -> Self {
+        assert!(entries >= 1);
+        assert!(block_bytes.is_power_of_two());
+        CacheGeometry {
+            sets: 1,
+            ways: entries,
+            block_bytes,
+        }
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.sets * self.ways as u64 * self.block_bytes
+    }
+
+    #[inline]
+    fn set_of(&self, addr: Addr) -> usize {
+        addr.set_index(self.block_bytes, self.sets)
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: Addr) -> u64 {
+        addr.tag(self.block_bytes, self.sets)
+    }
+
+    /// Rebuild the base address of a block from its set and tag.
+    #[inline]
+    fn block_addr(&self, set: usize, tag: u64) -> Addr {
+        Addr((tag * self.sets + set as u64) * self.block_bytes)
+    }
+}
+
+/// A block pushed out of the cache by an insert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// Base address of the evicted block.
+    pub addr: Addr,
+    pub flags: LineFlags,
+}
+
+struct Set {
+    lines: Vec<Option<Line>>,
+    order: LruOrder,
+}
+
+/// The tag array.  All operations are O(associativity).
+///
+/// ```
+/// use wec_common::ids::Addr;
+/// use wec_mem::cache::{Cache, CacheGeometry};
+/// use wec_mem::line::LineFlags;
+///
+/// // The paper's default L1D: 8 KB direct-mapped, 64-byte blocks.
+/// let mut l1 = Cache::new(CacheGeometry::from_capacity(8 * 1024, 1, 64)?);
+/// assert!(l1.insert(Addr(0x1000), LineFlags::DEMAND).is_none());
+/// assert!(l1.contains(Addr(0x103f)));            // same block
+/// // A conflicting block (8 KB away) evicts it:
+/// let victim = l1.insert(Addr(0x3000), LineFlags::DEMAND).unwrap();
+/// assert_eq!(victim.addr, Addr(0x1000));
+/// # Ok::<(), wec_common::SimError>(())
+/// ```
+pub struct Cache {
+    geom: CacheGeometry,
+    sets: Vec<Set>,
+}
+
+impl Cache {
+    pub fn new(geom: CacheGeometry) -> Self {
+        let sets = (0..geom.sets)
+            .map(|_| Set {
+                lines: vec![None; geom.ways],
+                order: LruOrder::new(geom.ways),
+            })
+            .collect();
+        Cache { geom, sets }
+    }
+
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn locate(&self, addr: Addr) -> (usize, u64) {
+        (self.geom.set_of(addr), self.geom.tag_of(addr))
+    }
+
+    fn way_of(&self, set: usize, tag: u64) -> Option<usize> {
+        self.sets[set]
+            .lines
+            .iter()
+            .position(|l| matches!(l, Some(line) if line.tag == tag))
+    }
+
+    /// Does the cache hold the block containing `addr`? (No LRU update.)
+    pub fn contains(&self, addr: Addr) -> bool {
+        let (set, tag) = self.locate(addr);
+        self.way_of(set, tag).is_some()
+    }
+
+    /// Look at a resident line without touching LRU state.
+    pub fn peek(&self, addr: Addr) -> Option<&Line> {
+        let (set, tag) = self.locate(addr);
+        let way = self.way_of(set, tag)?;
+        self.sets[set].lines[way].as_ref()
+    }
+
+    /// Hit path: if resident, update LRU and return a mutable reference to
+    /// the line (callers adjust flags: dirty on store, clear `prefetched` on
+    /// first demand hit, …).
+    pub fn touch(&mut self, addr: Addr) -> Option<&mut Line> {
+        let (set, tag) = self.locate(addr);
+        let way = self.way_of(set, tag)?;
+        self.sets[set].order.touch(way);
+        self.sets[set].lines[way].as_mut()
+    }
+
+    /// Insert the block containing `addr` as most-recently-used, replacing an
+    /// invalid way if one exists, else the LRU way.  Returns the displaced
+    /// valid line, if any.  If the block is already resident its flags are
+    /// overwritten and LRU updated (no eviction).
+    pub fn insert(&mut self, addr: Addr, flags: LineFlags) -> Option<Evicted> {
+        let (set_idx, tag) = self.locate(addr);
+        if let Some(way) = self.way_of(set_idx, tag) {
+            let set = &mut self.sets[set_idx];
+            set.order.touch(way);
+            set.lines[way] = Some(Line::new(tag, flags));
+            return None;
+        }
+        let set = &mut self.sets[set_idx];
+        let way = set
+            .lines
+            .iter()
+            .position(|l| l.is_none())
+            .unwrap_or_else(|| set.order.lru());
+        let evicted = set.lines[way].map(|line| Evicted {
+            addr: self.geom.block_addr(set_idx, line.tag),
+            flags: line.flags,
+        });
+        set.lines[way] = Some(Line::new(tag, flags));
+        set.order.touch(way);
+        evicted
+    }
+
+    /// Remove and return the block containing `addr` (used by swap paths:
+    /// WEC↔L1, victim-cache↔L1).
+    pub fn take(&mut self, addr: Addr) -> Option<Line> {
+        let (set, tag) = self.locate(addr);
+        let way = self.way_of(set, tag)?;
+        self.sets[set].lines[way].take()
+    }
+
+    /// Invalidate the block containing `addr` if resident.
+    pub fn invalidate(&mut self, addr: Addr) -> Option<Line> {
+        self.take(addr)
+    }
+
+    /// Mark the block containing `addr` dirty if resident (store hit).
+    /// Returns true on hit.
+    pub fn set_dirty(&mut self, addr: Addr) -> bool {
+        match self.touch(addr) {
+            Some(line) => {
+                line.flags.dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of valid lines (tests, occupancy assertions).
+    pub fn valid_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.lines.iter().filter(|l| l.is_some()).count())
+            .sum()
+    }
+
+    /// Iterate over all resident block addresses with their flags.
+    pub fn resident_blocks(&self) -> impl Iterator<Item = (Addr, LineFlags)> + '_ {
+        self.sets.iter().enumerate().flat_map(move |(si, set)| {
+            set.lines.iter().filter_map(move |l| {
+                l.map(|line| (self.geom.block_addr(si, line.tag), line.flags))
+            })
+        })
+    }
+
+    /// Structural invariant: no duplicate tags within a set. Used by tests
+    /// and debug assertions.
+    pub fn check_no_duplicate_tags(&self) -> bool {
+        self.sets.iter().all(|set| {
+            let mut tags: Vec<u64> = set.lines.iter().flatten().map(|l| l.tag).collect();
+            let before = tags.len();
+            tags.sort_unstable();
+            tags.dedup();
+            tags.len() == before
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm_l1() -> Cache {
+        // The paper's default: 8 KB direct-mapped, 64 B blocks.
+        Cache::new(CacheGeometry::from_capacity(8 * 1024, 1, 64).unwrap())
+    }
+
+    fn fa(entries: usize) -> Cache {
+        Cache::new(CacheGeometry::fully_associative(entries, 64))
+    }
+
+    #[test]
+    fn geometry_from_capacity() {
+        let g = CacheGeometry::from_capacity(8 * 1024, 1, 64).unwrap();
+        assert_eq!(g.sets, 128);
+        assert_eq!(g.total_bytes(), 8 * 1024);
+        let g = CacheGeometry::from_capacity(512 * 1024, 4, 128).unwrap();
+        assert_eq!(g.sets, 1024);
+        assert!(CacheGeometry::from_capacity(1000, 1, 64).is_err());
+        assert!(CacheGeometry::from_capacity(8 * 1024, 3, 64).is_err());
+        assert!(CacheGeometry::from_capacity(0, 1, 64).is_err());
+        assert!(CacheGeometry::from_capacity(8 * 1024, 1, 63).is_err());
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = dm_l1();
+        let a = Addr(0x1000);
+        assert!(!c.contains(a));
+        assert!(c.insert(a, LineFlags::DEMAND).is_none());
+        assert!(c.contains(a));
+        assert!(c.touch(a).is_some());
+        // Same block, different byte.
+        assert!(c.contains(Addr(0x103f)));
+        assert!(!c.contains(Addr(0x1040)));
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = dm_l1();
+        let a = Addr(0x0000);
+        let b = Addr(0x2000); // same set (8 KB apart), different tag
+        c.insert(a, LineFlags::DEMAND);
+        let ev = c.insert(b, LineFlags::DEMAND).unwrap();
+        assert_eq!(ev.addr, Addr(0x0000));
+        assert!(!c.contains(a));
+        assert!(c.contains(b));
+    }
+
+    #[test]
+    fn evicted_address_reconstruction() {
+        let mut c = Cache::new(CacheGeometry::from_capacity(4 * 1024, 2, 64).unwrap());
+        let sets = c.geometry().sets; // 32
+        let conflicting: Vec<Addr> = (0..3).map(|i| Addr(5 * 64 + i * sets * 64)).collect();
+        c.insert(conflicting[0], LineFlags::DEMAND);
+        c.insert(conflicting[1], LineFlags::DEMAND);
+        let ev = c.insert(conflicting[2], LineFlags::DEMAND).unwrap();
+        assert_eq!(ev.addr, conflicting[0]); // LRU of the two
+    }
+
+    #[test]
+    fn lru_respects_touch_order() {
+        let mut c = Cache::new(CacheGeometry::from_capacity(2 * 64, 2, 64).unwrap());
+        let (a, b, d) = (Addr(0), Addr(64), Addr(128));
+        c.insert(a, LineFlags::DEMAND);
+        c.insert(b, LineFlags::DEMAND);
+        c.touch(a); // a is now MRU
+        let ev = c.insert(d, LineFlags::DEMAND).unwrap();
+        assert_eq!(ev.addr, b);
+        assert!(c.contains(a) && c.contains(d));
+    }
+
+    #[test]
+    fn insert_existing_block_updates_flags_without_eviction() {
+        let mut c = fa(2);
+        let a = Addr(0x100);
+        c.insert(a, LineFlags::WRONG);
+        assert!(c.peek(a).unwrap().flags.wrong_fetched);
+        assert!(c.insert(a, LineFlags::DEMAND).is_none());
+        assert!(!c.peek(a).unwrap().flags.wrong_fetched);
+        assert_eq!(c.valid_lines(), 1);
+    }
+
+    #[test]
+    fn take_removes_for_swap() {
+        let mut c = fa(4);
+        let a = Addr(0x40);
+        c.insert(a, LineFlags::PREFETCH);
+        let line = c.take(a).unwrap();
+        assert!(line.flags.prefetched);
+        assert!(!c.contains(a));
+        assert!(c.take(a).is_none());
+    }
+
+    #[test]
+    fn set_dirty_on_hit_only() {
+        let mut c = dm_l1();
+        let a = Addr(0x80);
+        assert!(!c.set_dirty(a));
+        c.insert(a, LineFlags::DEMAND);
+        assert!(c.set_dirty(a));
+        assert!(c.peek(a).unwrap().flags.dirty);
+    }
+
+    #[test]
+    fn fully_associative_fills_all_entries_before_evicting() {
+        let mut c = fa(8);
+        for i in 0..8u64 {
+            assert!(c.insert(Addr(i * 64), LineFlags::DEMAND).is_none());
+        }
+        assert_eq!(c.valid_lines(), 8);
+        let ev = c.insert(Addr(8 * 64), LineFlags::DEMAND).unwrap();
+        assert_eq!(ev.addr, Addr(0)); // first-inserted is LRU
+        assert!(c.check_no_duplicate_tags());
+    }
+
+    #[test]
+    fn resident_blocks_enumerates() {
+        let mut c = fa(4);
+        c.insert(Addr(0x40), LineFlags::WRONG);
+        c.insert(Addr(0x80), LineFlags::DEMAND);
+        let mut blocks: Vec<Addr> = c.resident_blocks().map(|(a, _)| a).collect();
+        blocks.sort();
+        assert_eq!(blocks, vec![Addr(0x40), Addr(0x80)]);
+    }
+}

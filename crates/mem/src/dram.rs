@@ -1,0 +1,79 @@
+//! Main-memory latency and bandwidth model.
+//!
+//! The paper specifies a 200-cycle round-trip memory latency (§4.1).  We
+//! model memory as a fixed access latency plus a bandwidth bound: a new
+//! request can begin only every `gap` cycles, so bursts of refills queue.
+
+use wec_common::ids::Cycle;
+use wec_common::stats::Counter;
+
+/// Fixed-latency, bandwidth-limited main memory.
+#[derive(Clone, Debug)]
+pub struct MainMemory {
+    /// Cycles from request start to data back at the requester.
+    latency: u64,
+    /// Minimum cycles between request starts (bandwidth bound).
+    gap: u64,
+    next_start: Cycle,
+    /// Requests serviced.
+    pub requests: Counter,
+    /// Total cycles requests spent queueing for bandwidth.
+    pub queue_cycles: Counter,
+}
+
+impl MainMemory {
+    pub fn new(latency: u64, gap: u64) -> Self {
+        assert!(latency >= 1 && gap >= 1);
+        MainMemory {
+            latency,
+            gap,
+            next_start: Cycle::ZERO,
+            requests: Counter::default(),
+            queue_cycles: Counter::default(),
+        }
+    }
+
+    /// Issue a block transfer at `now`; returns the cycle the data is back.
+    pub fn access(&mut self, now: Cycle) -> Cycle {
+        let start = now.max(self.next_start);
+        self.queue_cycles.add(start.since(now));
+        self.next_start = start.plus(self.gap);
+        self.requests.inc();
+        start.plus(self.latency)
+    }
+
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_access_takes_latency() {
+        let mut m = MainMemory::new(200, 4);
+        assert_eq!(m.access(Cycle(10)), Cycle(210));
+        assert_eq!(m.requests.get(), 1);
+        assert_eq!(m.queue_cycles.get(), 0);
+    }
+
+    #[test]
+    fn back_to_back_requests_queue_for_bandwidth() {
+        let mut m = MainMemory::new(200, 4);
+        assert_eq!(m.access(Cycle(0)), Cycle(200));
+        // Second request in the same cycle must wait for the gap.
+        assert_eq!(m.access(Cycle(0)), Cycle(204));
+        assert_eq!(m.access(Cycle(0)), Cycle(208));
+        assert_eq!(m.queue_cycles.get(), 4 + 8);
+    }
+
+    #[test]
+    fn spaced_requests_do_not_queue() {
+        let mut m = MainMemory::new(100, 4);
+        m.access(Cycle(0));
+        assert_eq!(m.access(Cycle(50)), Cycle(150));
+        assert_eq!(m.queue_cycles.get(), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The shared, unified second-level cache.
+//!
+//! All thread units share one L2 for instructions and data (paper Figure 1).
+//! Default geometry is the paper's: 512 KB, 4-way, 128-byte blocks.  The L2
+//! accepts one request per cycle (pipelined); misses go to main memory, and
+//! concurrent misses to the same block merge in the L2 MSHRs.
+
+use crate::cache::{Cache, CacheGeometry};
+use crate::dram::MainMemory;
+use crate::line::LineFlags;
+use crate::mshr::{MshrOutcome, Mshrs};
+use crate::stats::{AccessKind, CacheStats};
+use wec_common::error::SimResult;
+use wec_common::ids::{Addr, Cycle};
+use wec_common::stats::Counter;
+
+/// Configuration for [`SharedL2`].
+#[derive(Clone, Copy, Debug)]
+pub struct L2Config {
+    pub capacity_bytes: u64,
+    pub ways: usize,
+    pub block_bytes: u64,
+    /// Latency of a hit, request to data.
+    pub hit_latency: u64,
+    /// Main-memory access latency (L2 miss adds this on top of the hit
+    /// latency, giving the paper's ~200-cycle round trip).
+    pub memory_latency: u64,
+    /// Main-memory bandwidth: minimum cycles between request starts.
+    pub memory_gap: u64,
+    pub mshrs: usize,
+}
+
+impl Default for L2Config {
+    /// The paper's default L2 (§4.1) with a 200-cycle total miss round trip.
+    fn default() -> Self {
+        L2Config {
+            capacity_bytes: 512 * 1024,
+            ways: 4,
+            block_bytes: 128,
+            hit_latency: 12,
+            memory_latency: 188,
+            memory_gap: 4,
+            mshrs: 32,
+        }
+    }
+}
+
+/// The shared L2 plus the main memory behind it.
+pub struct SharedL2 {
+    cache: Cache,
+    memory: MainMemory,
+    hit_latency: u64,
+    mshrs: Mshrs,
+    /// One new request accepted per cycle.
+    next_accept: Cycle,
+    pub stats: CacheStats,
+    /// Cycles requests waited for the L2 request port.
+    pub port_wait_cycles: Counter,
+}
+
+impl SharedL2 {
+    pub fn new(cfg: L2Config) -> SimResult<Self> {
+        let geom = CacheGeometry::from_capacity(cfg.capacity_bytes, cfg.ways, cfg.block_bytes)?;
+        Ok(SharedL2 {
+            cache: Cache::new(geom),
+            memory: MainMemory::new(cfg.memory_latency, cfg.memory_gap),
+            hit_latency: cfg.hit_latency,
+            mshrs: Mshrs::new(cfg.mshrs, cfg.block_bytes),
+            next_accept: Cycle::ZERO,
+            stats: CacheStats::default(),
+            port_wait_cycles: Counter::default(),
+        })
+    }
+
+    pub fn geometry(&self) -> CacheGeometry {
+        self.cache.geometry()
+    }
+
+    /// Access the L2 for the block containing `addr`.  `write` marks the
+    /// block dirty (an L1 write-back allocates here).  Returns the cycle the
+    /// data (or write acknowledgment) is available at the requesting L1.
+    pub fn access(&mut self, addr: Addr, kind: AccessKind, write: bool, now: Cycle) -> Cycle {
+        let start = now.max(self.next_accept);
+        self.port_wait_cycles.add(start.since(now));
+        self.next_accept = start.plus(1);
+
+        // Merge into an in-flight refill if one exists.
+        if let Some(ready) = self.mshrs.pending(addr, start) {
+            self.stats.record(kind, false);
+            if write {
+                // The block will be resident when the refill lands; mark the
+                // eventual line dirty by inserting now (tags only).
+                self.fill(addr, true);
+            }
+            return ready.max(start.plus(self.hit_latency));
+        }
+
+        let hit = self.cache.touch(addr).is_some();
+        self.stats.record(kind, hit);
+        if hit {
+            if write {
+                self.cache.set_dirty(addr);
+            }
+            return start.plus(self.hit_latency);
+        }
+
+        // Miss: fetch from memory, then fill.
+        match kind {
+            AccessKind::CorrectLoad | AccessKind::CorrectStore => {
+                self.stats.demand_misses_to_next_level.inc()
+            }
+            AccessKind::WrongPathLoad | AccessKind::WrongThreadLoad => {
+                self.stats.wrong_misses_to_next_level.inc()
+            }
+            _ => {}
+        }
+        let memory = &mut self.memory;
+        let hit_latency = self.hit_latency;
+        let ready = match self.mshrs.register(addr, start, || {
+            memory.access(start.plus(hit_latency)).plus(1)
+        }) {
+            MshrOutcome::NewMiss(r) | MshrOutcome::Merged(r) => r,
+            // MSHRs exhausted: model the stall as waiting out the oldest
+            // refill plus a full memory access.
+            MshrOutcome::Full => self.memory.access(start.plus(self.hit_latency)).plus(1),
+        };
+        self.fill(addr, write);
+        ready
+    }
+
+    fn fill(&mut self, addr: Addr, dirty: bool) {
+        let flags = LineFlags {
+            dirty,
+            ..LineFlags::DEMAND
+        };
+        if let Some(evicted) = self.cache.insert(addr, flags) {
+            self.stats.evictions.inc();
+            if evicted.flags.dirty {
+                self.stats.writebacks.inc();
+                // Write-back consumes memory bandwidth but nobody waits on it.
+                let _ = self.memory.access(self.next_accept);
+            }
+        }
+    }
+
+    /// Does the L2 currently hold the block containing `addr`? (Tests.)
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.cache.contains(addr)
+    }
+
+    /// Memory-side counters (requests, queueing).
+    pub fn memory(&self) -> &MainMemory {
+        &self.memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_l2() -> SharedL2 {
+        SharedL2::new(L2Config {
+            capacity_bytes: 4 * 1024,
+            ways: 2,
+            block_bytes: 128,
+            hit_latency: 12,
+            memory_latency: 188,
+            memory_gap: 4,
+            mshrs: 4,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn miss_costs_memory_latency_hit_is_cheap() {
+        let mut l2 = small_l2();
+        let a = Addr(0x1000);
+        let t_miss = l2.access(a, AccessKind::CorrectLoad, false, Cycle(0));
+        // hit_latency(12) + memory(188) + fill(1)
+        assert_eq!(t_miss, Cycle(201));
+        let t_hit = l2.access(a, AccessKind::CorrectLoad, false, Cycle(300));
+        assert_eq!(t_hit, Cycle(312));
+        assert_eq!(l2.stats.demand_misses.get(), 1);
+        assert_eq!(l2.stats.demand_accesses.get(), 2);
+    }
+
+    #[test]
+    fn concurrent_misses_to_same_block_merge() {
+        let mut l2 = small_l2();
+        let a = Addr(0x2000);
+        let t1 = l2.access(a, AccessKind::CorrectLoad, false, Cycle(0));
+        let t2 = l2.access(Addr(0x2008), AccessKind::CorrectLoad, false, Cycle(1));
+        assert_eq!(t1, t2);
+        assert_eq!(l2.memory().requests.get(), 1);
+    }
+
+    #[test]
+    fn one_request_per_cycle_port() {
+        let mut l2 = small_l2();
+        // Two different blocks in the same cycle: the second starts a cycle
+        // later and waits on memory bandwidth too.
+        let t1 = l2.access(Addr(0x0000), AccessKind::CorrectLoad, false, Cycle(0));
+        let t2 = l2.access(Addr(0x4000), AccessKind::CorrectLoad, false, Cycle(0));
+        assert!(t2 > t1);
+        assert!(l2.port_wait_cycles.get() >= 1);
+    }
+
+    #[test]
+    fn writeback_allocates_dirty() {
+        let mut l2 = small_l2();
+        let a = Addr(0x3000);
+        l2.access(a, AccessKind::CorrectStore, true, Cycle(0));
+        assert!(l2.contains(a));
+        // Force eviction of `a` by filling its set (2 ways).
+        let sets = l2.geometry().sets;
+        let stride = sets * l2.geometry().block_bytes;
+        l2.access(Addr(a.0 + stride), AccessKind::CorrectLoad, false, Cycle(1000));
+        l2.access(Addr(a.0 + 2 * stride), AccessKind::CorrectLoad, false, Cycle(2000));
+        assert!(!l2.contains(a));
+        assert_eq!(l2.stats.writebacks.get(), 1);
+    }
+
+    #[test]
+    fn wrong_execution_misses_counted_separately() {
+        let mut l2 = small_l2();
+        l2.access(Addr(0x5000), AccessKind::WrongPathLoad, false, Cycle(0));
+        assert_eq!(l2.stats.wrong_accesses.get(), 1);
+        assert_eq!(l2.stats.wrong_misses_to_next_level.get(), 1);
+        assert_eq!(l2.stats.demand_accesses.get(), 0);
+    }
+}

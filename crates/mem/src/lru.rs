@@ -1,0 +1,115 @@
+//! True-LRU recency ordering for a cache set.
+//!
+//! The paper's caches (L1, L2, WEC, victim cache, prefetch buffer) all use
+//! LRU replacement; associativities are small (≤ 32 ways for the
+//! fully-associative structures), so a simple recency vector — most recent
+//! first — is both exact and fast.
+
+/// Recency order over `n` ways. Way indices are stable; only their order in
+/// the recency vector changes.
+#[derive(Clone, Debug)]
+pub struct LruOrder {
+    /// `order[0]` is the most recently used way, `order[n-1]` the LRU way.
+    order: Vec<u8>,
+}
+
+impl LruOrder {
+    /// New order for `ways` ways (initial order: way 0 most recent).
+    pub fn new(ways: usize) -> Self {
+        assert!((1..=255).contains(&ways));
+        LruOrder {
+            order: (0..ways as u8).collect(),
+        }
+    }
+
+    pub fn ways(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Mark `way` most recently used.
+    pub fn touch(&mut self, way: usize) {
+        let pos = self
+            .order
+            .iter()
+            .position(|&w| w as usize == way)
+            .expect("way out of range");
+        let w = self.order.remove(pos);
+        self.order.insert(0, w);
+    }
+
+    /// The least recently used way (the replacement victim).
+    pub fn lru(&self) -> usize {
+        *self.order.last().unwrap() as usize
+    }
+
+    /// The most recently used way.
+    pub fn mru(&self) -> usize {
+        self.order[0] as usize
+    }
+
+    /// Recency rank of `way` (0 = most recent).
+    pub fn rank(&self, way: usize) -> usize {
+        self.order
+            .iter()
+            .position(|&w| w as usize == way)
+            .expect("way out of range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_order() {
+        let l = LruOrder::new(4);
+        assert_eq!(l.mru(), 0);
+        assert_eq!(l.lru(), 3);
+        assert_eq!(l.ways(), 4);
+    }
+
+    #[test]
+    fn touch_moves_to_front() {
+        let mut l = LruOrder::new(4);
+        l.touch(2);
+        assert_eq!(l.mru(), 2);
+        assert_eq!(l.lru(), 3);
+        l.touch(3);
+        assert_eq!(l.mru(), 3);
+        assert_eq!(l.lru(), 1);
+    }
+
+    #[test]
+    fn rank_tracks_recency() {
+        let mut l = LruOrder::new(3);
+        l.touch(1);
+        l.touch(2);
+        assert_eq!(l.rank(2), 0);
+        assert_eq!(l.rank(1), 1);
+        assert_eq!(l.rank(0), 2);
+    }
+
+    #[test]
+    fn single_way_degenerates() {
+        let mut l = LruOrder::new(1);
+        l.touch(0);
+        assert_eq!(l.lru(), 0);
+        assert_eq!(l.mru(), 0);
+    }
+
+    #[test]
+    fn repeated_touch_sequence_matches_reference() {
+        // Reference model: a Vec where touch = move to front.
+        let mut l = LruOrder::new(8);
+        let mut reference: Vec<usize> = (0..8).collect();
+        let seq = [3usize, 1, 4, 1, 5, 2, 6, 5, 3, 7, 0, 0, 2];
+        for &w in &seq {
+            l.touch(w);
+            let pos = reference.iter().position(|&x| x == w).unwrap();
+            reference.remove(pos);
+            reference.insert(0, w);
+            assert_eq!(l.mru(), reference[0]);
+            assert_eq!(l.lru(), *reference.last().unwrap());
+        }
+    }
+}

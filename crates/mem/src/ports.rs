@@ -1,0 +1,80 @@
+//! Per-cycle port arbitration.
+//!
+//! The L1 data cache has a fixed number of ports; the paper's wrong-path
+//! mechanism explicitly keys on them ("waiting … for an available memory
+//! port", §3.1.1), so wrong-execution loads contend for the same ports as
+//! correct loads.
+
+use wec_common::ids::Cycle;
+
+/// A bank of `width` ports usable once per cycle each.
+#[derive(Clone, Debug)]
+pub struct PortSet {
+    width: u32,
+    cycle: Cycle,
+    used: u32,
+}
+
+impl PortSet {
+    pub fn new(width: u32) -> Self {
+        assert!(width >= 1);
+        PortSet {
+            width,
+            cycle: Cycle::ZERO,
+            used: 0,
+        }
+    }
+
+    fn roll(&mut self, now: Cycle) {
+        if now != self.cycle {
+            debug_assert!(now > self.cycle, "time went backwards");
+            self.cycle = now;
+            self.used = 0;
+        }
+    }
+
+    /// Claim one port in cycle `now`. Returns false when all ports are taken.
+    pub fn try_claim(&mut self, now: Cycle) -> bool {
+        self.roll(now);
+        if self.used < self.width {
+            self.used += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Ports still free in cycle `now`.
+    pub fn free(&mut self, now: Cycle) -> u32 {
+        self.roll(now);
+        self.width - self.used
+    }
+
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_up_to_width_per_cycle() {
+        let mut p = PortSet::new(2);
+        let c = Cycle(5);
+        assert!(p.try_claim(c));
+        assert!(p.try_claim(c));
+        assert!(!p.try_claim(c));
+        assert_eq!(p.free(c), 0);
+    }
+
+    #[test]
+    fn resets_on_new_cycle() {
+        let mut p = PortSet::new(1);
+        assert!(p.try_claim(Cycle(1)));
+        assert!(!p.try_claim(Cycle(1)));
+        assert!(p.try_claim(Cycle(2)));
+        assert_eq!(p.free(Cycle(3)), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Tagged next-line prefetching (Smith; the paper's reference \[12\]).
+//!
+//! The paper's `nlp` comparator configuration: "a prefetch is initiated on a
+//! miss and on the first hit to a previously prefetched block", with results
+//! placed in a fully-associative prefetch buffer beside the L1.  The same
+//! *policy* object also drives the WEC's own next-line prefetch (issued when
+//! a correct-path load hits a block that wrong execution brought in).
+
+use wec_common::ids::Addr;
+use wec_common::stats::Counter;
+
+/// What happened at the L1/prefetch-buffer for a demand access — the policy
+/// decides from this whether to arm a prefetch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DemandOutcome {
+    /// Missed the L1 and the prefetch buffer.
+    Miss,
+    /// Hit a block whose `prefetched` flag was still set (first demand hit
+    /// to a prefetched block; the caller must clear the flag).
+    HitPrefetched,
+    /// Ordinary hit.
+    Hit,
+}
+
+/// The tagged next-line policy: stateless except for counters.
+#[derive(Clone, Debug, Default)]
+pub struct TaggedNextLine {
+    /// Prefetches the policy decided to issue.
+    pub issued: Counter,
+}
+
+impl TaggedNextLine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Given a demand access to `addr` with the observed `outcome`, return
+    /// the block to prefetch, if any.
+    pub fn decide(&mut self, addr: Addr, outcome: DemandOutcome, block_bytes: u64) -> Option<Addr> {
+        match outcome {
+            DemandOutcome::Miss | DemandOutcome::HitPrefetched => {
+                self.issued.inc();
+                Some(addr.next_block(block_bytes))
+            }
+            DemandOutcome::Hit => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetches_on_miss() {
+        let mut p = TaggedNextLine::new();
+        assert_eq!(
+            p.decide(Addr(0x1008), DemandOutcome::Miss, 64),
+            Some(Addr(0x1040))
+        );
+        assert_eq!(p.issued.get(), 1);
+    }
+
+    #[test]
+    fn rearms_on_first_hit_to_prefetched_block() {
+        let mut p = TaggedNextLine::new();
+        assert_eq!(
+            p.decide(Addr(0x1040), DemandOutcome::HitPrefetched, 64),
+            Some(Addr(0x1080))
+        );
+    }
+
+    #[test]
+    fn silent_on_ordinary_hits() {
+        let mut p = TaggedNextLine::new();
+        assert_eq!(p.decide(Addr(0x1000), DemandOutcome::Hit, 64), None);
+        assert_eq!(p.issued.get(), 0);
+    }
+
+    #[test]
+    fn sequential_stream_keeps_one_block_ahead() {
+        // Classic tagged-prefetch behaviour: a sequential walk misses once,
+        // then every subsequent block is covered by the re-arming hits.
+        let mut p = TaggedNextLine::new();
+        let mut prefetched: Vec<Addr> = Vec::new();
+        for i in 0..8u64 {
+            let a = Addr(i * 64);
+            let outcome = if i == 0 {
+                DemandOutcome::Miss
+            } else if prefetched.contains(&a) {
+                DemandOutcome::HitPrefetched
+            } else {
+                DemandOutcome::Miss
+            };
+            if let Some(next) = p.decide(a, outcome, 64) {
+                prefetched.push(next);
+            }
+        }
+        // After the first miss, all later blocks were prefetched.
+        assert_eq!(p.issued.get(), 8);
+        assert_eq!(prefetched, (1..=8).map(|i| Addr(i * 64)).collect::<Vec<_>>());
+    }
+}

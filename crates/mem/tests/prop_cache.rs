@@ -1,0 +1,171 @@
+//! Property tests: the set-associative cache against an executable
+//! reference model (a per-set most-recent-first list).
+
+use proptest::prelude::*;
+use wec_common::ids::Addr;
+use wec_mem::cache::{Cache, CacheGeometry};
+use wec_mem::line::LineFlags;
+
+/// Reference model: per set, a most-recent-first vector of (tag, dirty).
+struct RefCache {
+    sets: u64,
+    ways: usize,
+    block: u64,
+    data: Vec<Vec<(u64, bool)>>,
+}
+
+impl RefCache {
+    fn new(geom: CacheGeometry) -> Self {
+        RefCache {
+            sets: geom.sets,
+            ways: geom.ways,
+            block: geom.block_bytes,
+            data: (0..geom.sets).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn locate(&self, a: Addr) -> (usize, u64) {
+        (
+            a.set_index(self.block, self.sets),
+            a.tag(self.block, self.sets),
+        )
+    }
+
+    fn contains(&self, a: Addr) -> bool {
+        let (s, t) = self.locate(a);
+        self.data[s].iter().any(|&(tag, _)| tag == t)
+    }
+
+    fn touch(&mut self, a: Addr) -> bool {
+        let (s, t) = self.locate(a);
+        if let Some(pos) = self.data[s].iter().position(|&(tag, _)| tag == t) {
+            let e = self.data[s].remove(pos);
+            self.data[s].insert(0, e);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns the evicted block address, if any.
+    fn insert(&mut self, a: Addr, dirty: bool) -> Option<(Addr, bool)> {
+        let (s, t) = self.locate(a);
+        if let Some(pos) = self.data[s].iter().position(|&(tag, _)| tag == t) {
+            self.data[s].remove(pos);
+            self.data[s].insert(0, (t, dirty));
+            return None;
+        }
+        let evicted = if self.data[s].len() == self.ways {
+            let (tag, d) = self.data[s].pop().unwrap();
+            Some((Addr((tag * self.sets + s as u64) * self.block), d))
+        } else {
+            None
+        };
+        self.data[s].insert(0, (t, dirty));
+        evicted
+    }
+
+    fn take(&mut self, a: Addr) -> bool {
+        let (s, t) = self.locate(a);
+        if let Some(pos) = self.data[s].iter().position(|&(tag, _)| tag == t) {
+            self.data[s].remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, bool),
+    Touch(u64),
+    Take(u64),
+    Contains(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Addresses in a window that exercises conflicts: a few hundred blocks.
+    let addr = 0u64..(1 << 14);
+    prop_oneof![
+        (addr.clone(), any::<bool>()).prop_map(|(a, d)| Op::Insert(a, d)),
+        addr.clone().prop_map(Op::Touch),
+        addr.clone().prop_map(Op::Take),
+        addr.prop_map(Op::Contains),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_matches_reference_model(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+        ways in proptest::sample::select(vec![1usize, 2, 4]),
+    ) {
+        let geom = CacheGeometry::from_capacity(4 * 1024, ways, 64).unwrap();
+        let mut cache = Cache::new(geom);
+        let mut reference = RefCache::new(geom);
+        for op in ops {
+            match op {
+                Op::Insert(a, dirty) => {
+                    let a = Addr(a);
+                    let flags = LineFlags { dirty, ..LineFlags::DEMAND };
+                    let got = cache.insert(a, flags);
+                    let want = reference.insert(a, dirty);
+                    prop_assert_eq!(got.map(|e| (e.addr, e.flags.dirty)), want);
+                }
+                Op::Touch(a) => {
+                    let a = Addr(a);
+                    let got = cache.touch(a).is_some();
+                    let want = reference.touch(a);
+                    prop_assert_eq!(got, want);
+                }
+                Op::Take(a) => {
+                    let a = Addr(a);
+                    prop_assert_eq!(cache.take(a).is_some(), reference.take(a));
+                }
+                Op::Contains(a) => {
+                    let a = Addr(a);
+                    prop_assert_eq!(cache.contains(a), reference.contains(a));
+                }
+            }
+            prop_assert!(cache.check_no_duplicate_tags());
+            prop_assert!(cache.valid_lines() <= geom.sets as usize * geom.ways);
+        }
+    }
+
+    #[test]
+    fn fully_associative_never_exceeds_capacity(
+        addrs in proptest::collection::vec(0u64..(1 << 16), 1..200),
+        entries in 1usize..=16,
+    ) {
+        let mut c = Cache::new(CacheGeometry::fully_associative(entries, 64));
+        for a in addrs {
+            c.insert(Addr(a), LineFlags::WRONG);
+            prop_assert!(c.valid_lines() <= entries);
+            prop_assert!(c.contains(Addr(a)), "just-inserted block must be resident");
+        }
+    }
+
+    #[test]
+    fn eviction_reconstructs_a_real_block_address(
+        addrs in proptest::collection::vec(0u64..(1 << 15), 1..200),
+    ) {
+        let geom = CacheGeometry::from_capacity(2 * 1024, 2, 64).unwrap();
+        let mut c = Cache::new(geom);
+        let mut inserted: Vec<Addr> = Vec::new();
+        for a in addrs {
+            let a = Addr(a).block_base(64);
+            if let Some(ev) = c.insert(a, LineFlags::DEMAND) {
+                prop_assert!(
+                    inserted.contains(&ev.addr),
+                    "evicted {:?} was never inserted", ev.addr
+                );
+            }
+            if !inserted.contains(&a) {
+                inserted.push(a);
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Deterministic input-data generators for the benchmark analogs.
+//!
+//! The paper used the MinneSPEC reduced inputs; these generators play the
+//! same role — structured data of controlled size, seeded so every build of
+//! a workload is identical.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Seeded RNG for a named workload (name keeps streams independent).
+pub fn rng_for(name: &str, salt: u64) -> StdRng {
+    let mut seed = [0u8; 32];
+    for (i, b) in name.bytes().enumerate() {
+        seed[i % 32] ^= b;
+    }
+    seed[24..32].copy_from_slice(&salt.to_le_bytes());
+    StdRng::from_seed(seed)
+}
+
+/// A permutation-based linked structure: `next[i]` chains `n` nodes into
+/// `chains` disjoint cycles-free lists; returns (next-index array, heads).
+/// Terminators are `u64::MAX`.
+pub fn linked_chains(rng: &mut StdRng, n: usize, chains: usize) -> (Vec<u64>, Vec<u64>) {
+    assert!(chains >= 1 && chains <= n);
+    let mut order: Vec<u64> = (0..n as u64).collect();
+    // Fisher–Yates with the seeded RNG: chains walk the nodes in a shuffled
+    // order, so consecutive pointer dereferences hit scattered blocks.
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut next = vec![u64::MAX; n];
+    let mut heads = Vec::with_capacity(chains);
+    let per = n / chains;
+    for c in 0..chains {
+        let start = c * per;
+        let end = if c == chains - 1 { n } else { start + per };
+        heads.push(order[start]);
+        for k in start..end - 1 {
+            next[order[k] as usize] = order[k + 1];
+        }
+        next[order[end - 1] as usize] = u64::MAX;
+    }
+    (next, heads)
+}
+
+/// A single-cycle permutation: `perm[i]` visits every index exactly once
+/// before returning to 0.  Chasing it is the classic cache-hostile pointer
+/// walk (no spatial locality, next-line prefetching useless).
+pub fn permutation_cycle(rng: &mut StdRng, n: usize) -> Vec<u64> {
+    let mut order: Vec<u64> = (0..n as u64).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut perm = vec![0u64; n];
+    for k in 0..n {
+        perm[order[k] as usize] = order[(k + 1) % n];
+    }
+    perm
+}
+
+/// A CSR sparse matrix pattern: `rows` rows with `nnz_per_row ± jitter`
+/// column indices in `[0, cols)`, sorted per row. Returns (rowptr, colidx).
+pub fn csr_pattern(
+    rng: &mut StdRng,
+    rows: usize,
+    cols: usize,
+    nnz_per_row: usize,
+) -> (Vec<u64>, Vec<u64>) {
+    let mut rowptr = Vec::with_capacity(rows + 1);
+    let mut colidx = Vec::new();
+    rowptr.push(0u64);
+    for r in 0..rows {
+        let jitter = rng.random_range(0..=nnz_per_row / 2);
+        let nnz = (nnz_per_row - nnz_per_row / 4 + jitter).max(1);
+        let mut cs: Vec<u64> = (0..nnz)
+            .map(|_| {
+                // Mix near-diagonal locality with scattered entries, like a
+                // finite-element matrix (equake's smvp).
+                if rng.random_bool(0.6) {
+                    let lo = r.saturating_sub(8) as u64;
+                    let hi = ((r + 8).min(cols - 1)) as u64;
+                    rng.random_range(lo..=hi)
+                } else {
+                    rng.random_range(0..cols as u64)
+                }
+            })
+            .collect();
+        cs.sort_unstable();
+        cs.dedup();
+        colidx.extend_from_slice(&cs);
+        rowptr.push(colidx.len() as u64);
+    }
+    (rowptr, colidx)
+}
+
+/// Pseudo-text over a small alphabet with repetition structure (for the
+/// gzip analog's match finder and the parser analog's tokens).
+pub fn pseudo_text(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        if !out.is_empty() && rng.random_bool(0.3) {
+            // Copy an earlier phrase (this is what LZ77 exploits).
+            let max_back = out.len().min(2048);
+            let back = rng.random_range(1..=max_back);
+            let n = rng.random_range(3..=18usize).min(back + 16);
+            let start = out.len() - back;
+            for k in 0..n {
+                let b = out[start + k % back];
+                out.push(b);
+            }
+        } else {
+            let n = rng.random_range(2..=10);
+            for _ in 0..n {
+                out.push(b'a' + rng.random_range(0..16u8));
+            }
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// A hash-bucketed dictionary of fixed-width (8-byte) "words" with chained
+/// collisions: returns (bucket-heads, next-links, packed word values).
+/// Words are drawn from `text`-like byte material.
+pub fn dictionary(
+    rng: &mut StdRng,
+    words: usize,
+    buckets: usize,
+) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    let mut heads = vec![u64::MAX; buckets];
+    let mut next = vec![u64::MAX; words];
+    let mut vals = Vec::with_capacity(words);
+    for w in 0..words {
+        let mut v: u64 = 0;
+        for k in 0..8 {
+            v |= u64::from(b'a' + rng.random_range(0..20u8)) << (8 * k);
+        }
+        vals.push(v);
+        let bkt = hash64(v) as usize % buckets;
+        next[w] = heads[bkt];
+        heads[bkt] = w as u64;
+    }
+    (heads, next, vals)
+}
+
+/// The hash both the generator and the simulated code use (so the guest
+/// program can find the right buckets): a xorshift-multiply mix that the
+/// WISA-64 code reproduces in a few instructions.  The multiplier fits in
+/// a 48-bit `li` immediate.
+pub const HASH_MULT: u64 = 0x5851_F42D_4C95;
+
+#[inline]
+pub fn hash64(v: u64) -> u64 {
+    let mut x = v;
+    x ^= x >> 31;
+    x = x.wrapping_mul(HASH_MULT);
+    x ^= x >> 29;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: Vec<u64> = (0..8).map({
+            let mut r = rng_for("x", 1);
+            move |_| r.random()
+        }).collect();
+        let b: Vec<u64> = (0..8).map({
+            let mut r = rng_for("x", 1);
+            move |_| r.random()
+        }).collect();
+        assert_eq!(a, b);
+        let mut r2 = rng_for("y", 1);
+        let c: u64 = r2.random();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn chains_partition_all_nodes() {
+        let mut rng = rng_for("chains", 0);
+        let (next, heads) = linked_chains(&mut rng, 100, 7);
+        let mut seen = [false; 100];
+        for &h in &heads {
+            let mut p = h;
+            while p != u64::MAX {
+                assert!(!seen[p as usize], "node visited twice");
+                seen[p as usize] = true;
+                p = next[p as usize];
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some node unreachable");
+    }
+
+    #[test]
+    fn chains_heads_count() {
+        let mut rng = rng_for("chains2", 0);
+        let (_, heads) = linked_chains(&mut rng, 64, 64);
+        assert_eq!(heads.len(), 64);
+    }
+
+    #[test]
+    fn csr_is_well_formed() {
+        let mut rng = rng_for("csr", 0);
+        let (rowptr, colidx) = csr_pattern(&mut rng, 50, 50, 6);
+        assert_eq!(rowptr.len(), 51);
+        assert_eq!(*rowptr.last().unwrap() as usize, colidx.len());
+        for r in 0..50 {
+            let (lo, hi) = (rowptr[r] as usize, rowptr[r + 1] as usize);
+            assert!(lo < hi, "row {r} empty");
+            let row = &colidx[lo..hi];
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row {r} not sorted");
+            assert!(row.iter().all(|&c| c < 50));
+        }
+    }
+
+    #[test]
+    fn pseudo_text_length_and_alphabet() {
+        let mut rng = rng_for("text", 0);
+        let t = pseudo_text(&mut rng, 5000);
+        assert_eq!(t.len(), 5000);
+        assert!(t.iter().all(|&c| (b'a'..b'a' + 16).contains(&c)));
+        // Repetition structure: some 4-gram repeats.
+        let mut grams = std::collections::HashSet::new();
+        let mut repeats = 0;
+        for w in t.windows(4) {
+            if !grams.insert(w.to_vec()) {
+                repeats += 1;
+            }
+        }
+        assert!(repeats > 1000, "text not repetitive enough: {repeats}");
+    }
+
+    #[test]
+    fn dictionary_chains_reach_all_words() {
+        let mut rng = rng_for("dict", 0);
+        let (heads, next, vals) = dictionary(&mut rng, 200, 32);
+        let mut seen = 0;
+        for &h in &heads {
+            let mut p = h;
+            while p != u64::MAX {
+                seen += 1;
+                p = next[p as usize];
+            }
+        }
+        assert_eq!(seen, 200);
+        assert_eq!(vals.len(), 200);
+    }
+
+    #[test]
+    fn hash_spreads() {
+        let mut buckets = [0u32; 16];
+        for v in 0..1000u64 {
+            buckets[(hash64(v) % 16) as usize] += 1;
+        }
+        assert!(buckets.iter().all(|&c| c > 20), "{buckets:?}");
+    }
+}

@@ -1,0 +1,232 @@
+//! `183.equake` analog — sparse matrix-vector products (the `smvp` kernel).
+//!
+//! equake spends its time in a CSR sparse matrix-vector multiply inside a
+//! time-stepping loop; the paper parallelized those loops (MinneSPEC large,
+//! 21.3% parallelized) and saw the *largest* wth-wp-wec gains of the suite
+//! (up to 39.2% in Figure 9).  The reason maps directly onto this analog:
+//! the CSR `val`/`colidx` arrays are consumed contiguously across row
+//! windows, so wrong threads running ahead into the next window prefetch
+//! exactly the blocks the next region demand-misses on, and the indirect
+//! `x[col[j]]` accesses give the L1 plenty of misses to hide.
+//!
+//! Shape: per time step, parallel regions cover the rows in windows (one
+//! thread per row: `y[r] = Σ val[j]·x[col[j]]`), then a sequential update
+//! recombines `y` into `x` (a damped relaxation) and folds a checksum.
+//!
+//! Table 1 transformations: loop unrolling (row inner products), statement
+//! reordering.
+
+use wec_isa::reg::FReg;
+use wec_isa::reg::Reg;
+use wec_isa::ProgramBuilder;
+
+use crate::datagen::{csr_pattern, permutation_cycle, rng_for};
+use crate::harness::{
+    counted_continuation, counted_exit, emit_chase_reduce, emit_checksum_reduce_reps,
+    emit_sta_loop, IND, INV, MY, T0, T1, T2, T3, T4,
+};
+use crate::{Scale, Workload};
+
+/// Rows/columns (power of two so run-ahead row indices can be masked).
+const ROWS: usize = 1024;
+/// Average nonzeros per row.
+const NNZ_PER_ROW: usize = 7;
+/// Rows per parallel region.
+const WINDOW: usize = 64;
+/// Sequential time integration: a few streaming scans over y plus an
+/// unstructured-mesh chase (sized to Table 2's 21.3% parallel fraction).
+const SCAN_REPS: u32 = 12;
+const MESH_PERM: usize = 8192;
+const MESH_STEPS: i64 = 4096;
+const MESH_REPS: u32 = 8;
+
+struct HostData {
+    rowptr: Vec<u64>,
+    colidx: Vec<u64>,
+    val: Vec<f64>,
+    x0: Vec<f64>,
+    /// Time-integration chase permutation (unstructured mesh traversal).
+    perm: Vec<u64>,
+}
+
+fn generate() -> HostData {
+    let mut rng = rng_for("183.equake", 11);
+    let (rowptr, colidx) = csr_pattern(&mut rng, ROWS, ROWS, NNZ_PER_ROW);
+    let val: Vec<f64> = (0..colidx.len())
+        .map(|j| 0.25 + (j % 31) as f64 * 0.03125)
+        .collect();
+    let x0: Vec<f64> = (0..ROWS).map(|i| 1.0 + (i % 17) as f64 * 0.125).collect();
+    let perm = permutation_cycle(&mut rng, MESH_PERM);
+    HostData {
+        rowptr,
+        colidx,
+        val,
+        x0,
+        perm,
+    }
+}
+
+/// Host reference: `steps` time steps of y = A·x; x = 0.5·x + 0.25·y,
+/// checksum folded over the bit patterns of y each step.
+fn reference(d: &HostData, steps: u32) -> u64 {
+    let mut x = d.x0.clone();
+    let mut y = vec![0f64; ROWS];
+    let mut check = 0u64;
+    for _ in 0..steps {
+        for r in 0..ROWS {
+            let mut acc = 0f64;
+            for j in d.rowptr[r] as usize..d.rowptr[r + 1] as usize {
+                acc += d.val[j] * x[d.colidx[j] as usize];
+            }
+            y[r] = acc;
+        }
+        let bits: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+        check = crate::harness::checksum_reduce_reps_reference(check, &bits, SCAN_REPS);
+        check = crate::harness::chase_reduce_reference(check, &d.perm, MESH_STEPS, MESH_REPS);
+        for r in 0..ROWS {
+            x[r] = 0.5 * x[r] + 0.25 * y[r];
+        }
+    }
+    check
+}
+
+pub fn build(scale: Scale) -> Workload {
+    let steps = scale.units;
+    let d = generate();
+    let expected_check = reference(&d, steps);
+
+    let mut b = ProgramBuilder::new("183.equake");
+    let rowptr = b.alloc_u64s(&d.rowptr);
+    let colidx = b.alloc_u64s(&d.colidx);
+    let val = b.alloc_f64s(&d.val);
+    let x = b.alloc_f64s(&d.x0);
+    let y = b.alloc_zeroed_u64s(ROWS as u64);
+    let perm_scaled = crate::harness::scaled_perm(&d.perm);
+    let perm_base = b.alloc_u64s(&perm_scaled);
+    let consts = b.alloc_f64s(&[0.5, 0.25]);
+    let _slack = b.alloc_bytes(16 * 1024, 64);
+    let check = b.alloc_zeroed_u64s(1);
+
+    let (rpr, cir, valr, xr, yr, maskr, stepr, boundr, nstepr, winr) = (
+        INV[0], INV[1], INV[2], INV[3], INV[4], INV[5], INV[6], INV[7], INV[8], INV[9],
+    );
+    b.la(rpr, rowptr);
+    b.la(cir, colidx);
+    b.la(valr, val);
+    b.la(xr, x);
+    b.la(yr, y);
+    let permr = Reg(26);
+    b.la(permr, perm_base);
+    b.li(maskr, (ROWS - 1) as i64);
+    b.li(nstepr, steps as i64);
+    b.li(stepr, 0);
+
+    let (facc, fv, fx, fhalf, fquarter) = (FReg(1), FReg(2), FReg(3), FReg(4), FReg(5));
+
+    b.label("eq_step");
+    b.li(winr, 0);
+    b.label("eq_win");
+    b.slli(IND, winr, WINDOW.trailing_zeros() as i32);
+    b.addi(boundr, IND, WINDOW as i32);
+    emit_sta_loop(
+        &mut b,
+        "eq_r",
+        1,
+        &[IND],
+        counted_continuation,
+        |_| {},
+        |b| {
+            // r = my & mask; j in rowptr[r]..rowptr[r+1]
+            b.and(T0, MY, maskr);
+            b.slli(T1, T0, 3);
+            b.add(T1, rpr, T1);
+            b.ld(T2, T1, 0); // j
+            b.ld(T3, T1, 8); // jend
+            // facc = 0.0
+            b.cvt_if(facc, Reg::ZERO);
+            b.label("eq_dot");
+            b.bge(T2, T3, "eq_dot_end");
+            b.slli(T4, T2, 3);
+            b.add(T1, valr, T4);
+            b.fld(fv, T1, 0); // val[j]
+            b.add(T1, cir, T4);
+            b.ld(T1, T1, 0); // col[j]
+            b.slli(T1, T1, 3);
+            b.add(T1, xr, T1);
+            b.fld(fx, T1, 0); // x[col[j]]
+            b.fmul(fv, fv, fx);
+            b.fadd(facc, facc, fv);
+            b.addi(T2, T2, 1);
+            b.j("eq_dot");
+            b.label("eq_dot_end");
+            // y[r] = facc
+            b.and(T0, MY, maskr);
+            b.slli(T0, T0, 3);
+            b.add(T0, yr, T0);
+            b.fsd(facc, T0, 0);
+        },
+        counted_exit(boundr),
+    );
+    b.addi(winr, winr, 1);
+    b.li(T0, (ROWS / WINDOW) as i64);
+    b.blt(winr, T0, "eq_win");
+
+    // Sequential time integration: streaming scans over y, the mesh chase,
+    // then relax x.
+    emit_checksum_reduce_reps(&mut b, "eq", yr, ROWS as i64, SCAN_REPS, check);
+    emit_chase_reduce(&mut b, "eq_mesh", permr, MESH_STEPS, MESH_REPS, check);
+    b.la(T0, consts);
+    b.fld(fhalf, T0, 0);
+    b.fld(fquarter, T0, 8);
+    b.mv(T0, xr);
+    b.mv(T1, yr);
+    b.li(T2, ROWS as i64);
+    b.label("eq_relax");
+    b.fld(fx, T0, 0);
+    b.fld(fv, T1, 0);
+    b.fmul(fx, fx, fhalf);
+    b.fmul(fv, fv, fquarter);
+    b.fadd(fx, fx, fv);
+    b.fsd(fx, T0, 0);
+    b.addi(T0, T0, 8);
+    b.addi(T1, T1, 8);
+    b.addi(T2, T2, -1);
+    b.bne(T2, Reg::ZERO, "eq_relax");
+
+    b.addi(stepr, stepr, 1);
+    b.blt(stepr, nstepr, "eq_step");
+    b.halt();
+
+    Workload {
+        name: "183.equake",
+        suite: "SPEC2000/FP",
+        input: "MinneSPEC large",
+        transforms: &["loop unrolling", "statement reordering"],
+        program: b.build().unwrap(),
+        check_addr: check,
+        expected_check,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_verify;
+    use wec_core::config::ProcPreset;
+
+    #[test]
+    fn csr_rowptr_monotone() {
+        let d = generate();
+        assert!(d.rowptr.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(d.rowptr.len(), ROWS + 1);
+    }
+
+    #[test]
+    fn self_check_passes_under_orig_and_wec() {
+        let w = build(Scale::SMOKE);
+        for preset in [ProcPreset::Orig, ProcPreset::WthWpWec] {
+            run_and_verify(&w, preset.machine(4))
+                .unwrap_or_else(|e| panic!("{}: {e}", preset.name()));
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! `164.gzip` analog — LZ77 match finding over hash chains.
+//!
+//! gzip's deflate inner loop hashes the next three input bytes, walks the
+//! hash chain of earlier positions, and compares candidate matches byte by
+//! byte.  The paper parallelized its hot loops (MinneSPEC large input,
+//! 15.7% parallelized) and Figure 8 shows gzip with the *highest*
+//! thread-level parallelism of the suite (14× at 16 TUs).
+//!
+//! The analog walks a pre-built chain structure over pseudo-text with
+//! LZ77-style repetitions: each thread takes one input position window,
+//! hashes its 3-byte prefix, walks the `prev[]` chain, and scores candidate
+//! matches with a byte-compare loop — data-dependent branches every
+//! iteration (wrong-path load fodder) and scattered window reads (L1
+//! misses).  Positions advance monotonically across windows, so run-ahead
+//! threads touch exactly the text the next region processes.
+//!
+//! Table 1 transformations: loop coalescing, statement reordering.
+
+use wec_isa::reg::Reg;
+use wec_isa::ProgramBuilder;
+
+use crate::datagen::{permutation_cycle, pseudo_text, rng_for};
+use crate::harness::{
+    counted_continuation, counted_exit, emit_chase_reduce, emit_checksum_reduce, emit_sta_loop,
+    IND, INV, MY, T0, T1, T2, T3, T4, T5, T6, T7,
+};
+use crate::{Scale, Workload};
+
+/// Input text bytes (power of two).
+const TEXT: usize = 32 * 1024;
+/// Hash-table buckets (power of two).
+const BUCKETS: usize = 4096;
+/// Positions handled per thread.
+const STRIDE: usize = 8;
+/// Threads per parallel region.
+const WINDOW: usize = 32;
+/// Chain steps examined per position.
+const CHAIN_DEPTH: usize = 4;
+/// Threads per pass (the scan covers THREADS*STRIDE leading positions).
+const THREADS: usize = TEXT / STRIDE / 32;
+/// Sequential emit-phase chase (Huffman table walks are pointer-chasing in
+/// real deflate): permutation size, steps and reps per pass, sized to
+/// Table 2's 15.7% parallel fraction.
+const EMIT_PERM: usize = 8192;
+const EMIT_STEPS: i64 = 5120;
+const EMIT_REPS: u32 = 8;
+/// Maximum match length scored.
+const MAX_MATCH: usize = 16;
+
+struct HostData {
+    text: Vec<u8>,
+    head: Vec<u64>,
+    prev: Vec<u64>,
+    /// Emit-phase chase permutation.
+    perm: Vec<u64>,
+}
+
+fn hash3(text: &[u8], pos: usize) -> usize {
+    let v = (text[pos] as usize) << 10 ^ (text[pos + 1] as usize) << 5 ^ text[pos + 2] as usize;
+    v & (BUCKETS - 1)
+}
+
+fn generate() -> HostData {
+    let mut rng = rng_for("164.gzip", 3);
+    let text = pseudo_text(&mut rng, TEXT);
+    // Pre-built chains, most recent position first, as deflate maintains.
+    let mut head = vec![u64::MAX; BUCKETS];
+    let mut prev = vec![u64::MAX; TEXT];
+    for pos in 0..TEXT - 2 {
+        let h = hash3(&text, pos);
+        prev[pos] = head[h];
+        head[h] = pos as u64;
+    }
+    let perm = permutation_cycle(&mut rng, EMIT_PERM);
+    HostData {
+        text,
+        head,
+        prev,
+        perm,
+    }
+}
+
+/// Host reference: per position, walk up to CHAIN_DEPTH predecessors that
+/// are strictly earlier than the position, scoring the longest byte match
+/// (capped); accumulate a per-thread score; checksum per pass.
+fn reference(d: &HostData, passes: u32) -> u64 {
+    let threads = THREADS;
+    let mut out = vec![0u64; threads];
+    let mut check = 0u64;
+    for pass in 0..passes {
+        for t in 0..threads {
+            let mut score = pass as u64;
+            for k in 0..STRIDE {
+                let pos = t * STRIDE + k;
+                let h = hash3(&d.text, pos);
+                let mut cand = d.head[h];
+                let mut best = 0u64;
+                for _ in 0..CHAIN_DEPTH {
+                    if cand == u64::MAX || cand >= pos as u64 {
+                        // Entries at/after pos are "not yet inserted" from
+                        // this position's point of view: follow the chain.
+                        if cand == u64::MAX {
+                            break;
+                        }
+                        cand = d.prev[cand as usize];
+                        continue;
+                    }
+                    let mut len = 0u64;
+                    while (len as usize) < MAX_MATCH
+                        && d.text[cand as usize + len as usize]
+                            == d.text[pos + len as usize]
+                    {
+                        len += 1;
+                    }
+                    if len > best {
+                        best = len;
+                    }
+                    cand = d.prev[cand as usize];
+                }
+                score = score.wrapping_add(best.wrapping_mul(pos as u64 | 1));
+            }
+            out[t] = score;
+        }
+        check = crate::harness::checksum_reduce_reference(check, &out);
+        check = crate::harness::chase_reduce_reference(check, &d.perm, EMIT_STEPS, EMIT_REPS);
+    }
+    check
+}
+
+pub fn build(scale: Scale) -> Workload {
+    let passes = scale.units;
+    let d = generate();
+    let threads = THREADS;
+
+    let mut b = ProgramBuilder::new("164.gzip");
+    let text_words: Vec<u64> = d
+        .text
+        .chunks(8)
+        .map(|c| {
+            let mut v = 0u64;
+            for (i, &byte) in c.iter().enumerate() {
+                v |= (byte as u64) << (8 * i);
+            }
+            v
+        })
+        .collect();
+    let expected_check = reference(&d, passes);
+    let text = b.alloc_u64s(&text_words);
+    let perm_scaled = crate::harness::scaled_perm(&d.perm);
+    let perm_base = b.alloc_u64s(&perm_scaled);
+    // MAX_MATCH bytes of tail padding so match loops never run off the end.
+    let _pad = b.alloc_u64s(&[0; 4]);
+    let head = b.alloc_u64s(&d.head);
+    let prev = b.alloc_u64s(&d.prev);
+    let out = b.alloc_zeroed_u64s(threads as u64);
+    let _slack = b.alloc_bytes(16 * 1024, 64);
+    let check = b.alloc_zeroed_u64s(1);
+
+    let (textr, headr, prevr, outr, maskr, passr, winr, boundr, npassr, bmaskr) = (
+        INV[0], INV[1], INV[2], INV[3], INV[4], INV[5], INV[6], INV[7], INV[8], INV[9],
+    );
+    let permr = Reg(26);
+    b.la(permr, perm_base);
+    b.la(textr, text);
+    b.la(headr, head);
+    b.la(prevr, prev);
+    b.la(outr, out);
+    b.li(maskr, (threads - 1) as i64);
+    b.li(bmaskr, (BUCKETS - 1) as i64);
+    b.li(npassr, passes as i64);
+    b.li(passr, 0);
+
+    b.label("gz_pass");
+    b.li(winr, 0);
+    b.label("gz_win");
+    b.slli(IND, winr, WINDOW.trailing_zeros() as i32);
+    b.addi(boundr, IND, WINDOW as i32);
+    emit_sta_loop(
+        &mut b,
+        "gz_r",
+        1,
+        &[IND],
+        counted_continuation,
+        |_| {},
+        |b| {
+            // T0 = thread index (masked), T1 = score, T2 = k
+            b.and(T0, MY, maskr);
+            b.mv(T1, passr);
+            b.li(T2, 0);
+            b.label("gz_k");
+            // pos = t*STRIDE + k  (T3)
+            b.slli(T3, T0, STRIDE.trailing_zeros() as i32);
+            b.add(T3, T3, T2);
+            // h = (text[pos]<<10 ^ text[pos+1]<<5 ^ text[pos+2]) & bmask (T4)
+            b.add(T4, textr, T3);
+            b.lbu(T5, T4, 0);
+            b.slli(T5, T5, 10);
+            b.lbu(T6, T4, 1);
+            b.slli(T6, T6, 5);
+            b.xor(T5, T5, T6);
+            b.lbu(T6, T4, 2);
+            b.xor(T5, T5, T6);
+            b.and(T4, T5, bmaskr);
+            // cand = head[h]  (T4), best = 0 (T5), depth = CHAIN_DEPTH (T6)
+            b.slli(T4, T4, 3);
+            b.add(T4, headr, T4);
+            b.ld(T4, T4, 0);
+            b.li(T5, 0);
+            b.li(T6, CHAIN_DEPTH as i64);
+            b.label("gz_chain");
+            b.beq(T6, Reg::ZERO, "gz_chain_end");
+            b.addi(T6, T6, -1);
+            // cand == MAX? (MAX decodes as -1 when compared signed)
+            b.blt(T4, Reg::ZERO, "gz_chain_end");
+            // cand >= pos: skip scoring, follow chain.
+            b.bge(T4, T3, "gz_follow");
+            // Score: byte-compare text[cand..] with text[pos..].
+            b.li(T7, 0); // len
+            b.label("gz_match");
+            b.slti(IND2_SCRATCH, T7, MAX_MATCH as i32);
+            b.beq(IND2_SCRATCH, Reg::ZERO, "gz_match_end");
+            b.add(IND2_SCRATCH, T4, T7);
+            b.add(IND2_SCRATCH, textr, IND2_SCRATCH);
+            b.lbu(IND2_SCRATCH, IND2_SCRATCH, 0);
+            b.add(MY2_SCRATCH, T3, T7);
+            b.add(MY2_SCRATCH, textr, MY2_SCRATCH);
+            b.lbu(MY2_SCRATCH, MY2_SCRATCH, 0);
+            b.bne(IND2_SCRATCH, MY2_SCRATCH, "gz_match_end");
+            b.addi(T7, T7, 1);
+            b.j("gz_match");
+            b.label("gz_match_end");
+            // best = max(best, len)
+            b.bge(T5, T7, "gz_follow");
+            b.mv(T5, T7);
+            b.label("gz_follow");
+            // cand = prev[cand]
+            b.slli(T4, T4, 3);
+            b.add(T4, prevr, T4);
+            b.ld(T4, T4, 0);
+            b.j("gz_chain");
+            b.label("gz_chain_end");
+            // score += best * (pos | 1)
+            b.alui(wec_isa::inst::AluOp::Or, T7, T3, 1);
+            b.mul(T7, T5, T7);
+            b.add(T1, T1, T7);
+            b.addi(T2, T2, 1);
+            b.slti(T7, T2, STRIDE as i32);
+            b.bne(T7, Reg::ZERO, "gz_k");
+            // out[t] = score
+            b.slli(T0, T0, 3);
+            b.add(T0, outr, T0);
+            b.sd(T1, T0, 0);
+        },
+        counted_exit(boundr),
+    );
+    b.addi(winr, winr, 1);
+    b.li(T0, (threads / WINDOW) as i64);
+    b.blt(winr, T0, "gz_win");
+    // Sequential emit phase: reduce the scores, then walk the Huffman-table
+    // chase.
+    emit_checksum_reduce(&mut b, "gz", outr, threads as i64, check);
+    emit_chase_reduce(&mut b, "gz_emit", permr, EMIT_STEPS, EMIT_REPS, check);
+    b.addi(passr, passr, 1);
+    b.blt(passr, npassr, "gz_pass");
+    b.halt();
+
+    Workload {
+        name: "164.gzip",
+        suite: "SPEC2000/INT",
+        input: "MinneSPEC large",
+        transforms: &["loop coalescing", "statement reordering"],
+        program: b.build().unwrap(),
+        check_addr: check,
+        expected_check,
+    }
+}
+
+/// Scratch registers the body borrows beyond T0..T7.
+const IND2_SCRATCH: Reg = Reg(13);
+const MY2_SCRATCH: Reg = Reg(14);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_verify;
+    use wec_core::config::ProcPreset;
+
+    #[test]
+    fn chains_point_strictly_backwards() {
+        let d = generate();
+        for pos in 0..TEXT - 2 {
+            let p = d.prev[pos];
+            assert!(p == u64::MAX || p < pos as u64, "prev[{pos}] = {p}");
+        }
+    }
+
+    #[test]
+    fn self_check_passes_under_orig_and_wec() {
+        let w = build(Scale::SMOKE);
+        for preset in [ProcPreset::Orig, ProcPreset::WthWpWec] {
+            run_and_verify(&w, preset.machine(4))
+                .unwrap_or_else(|e| panic!("{}: {e}", preset.name()));
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Thread-pipelining scaffolding for the workload builders.
+//!
+//! Every parallelized loop in the suite follows the paper's Figure 4 shape:
+//! fork at the top of the iteration (speculative), TSAG announcements, the
+//! iteration body, and the exit test at the bottom — the thread whose
+//! iteration satisfies the exit condition aborts its (wrong-thread-eligible)
+//! successors and falls into the sequential code.  [`emit_sta_loop`] emits
+//! that scaffold so each workload only writes its continuation, TSAG stage,
+//! body and exit test.
+
+use wec_isa::reg::Reg;
+use wec_isa::ProgramBuilder;
+
+/// Emit one parallel region.
+///
+/// * `tag` uniquifies labels (each region in a program needs its own);
+/// * `fwd` are the continuation registers transferred at `fork` — the
+///   closure `continuation` must leave their *next-iteration* values in
+///   place (after copying this iteration's values to private registers);
+/// * `tsag` announces target-store addresses (may be empty);
+/// * `body` is the computation stage;
+/// * `exit_continue` emits a branch to the provided label when the loop
+///   *continues* (i.e. when this iteration is not the last valid one).
+///
+/// Code following this call is the sequential continuation after the region.
+#[allow(clippy::too_many_arguments)]
+pub fn emit_sta_loop(
+    b: &mut ProgramBuilder,
+    tag: &str,
+    region: u16,
+    fwd: &[Reg],
+    continuation: impl FnOnce(&mut ProgramBuilder),
+    tsag: impl FnOnce(&mut ProgramBuilder),
+    body: impl FnOnce(&mut ProgramBuilder),
+    exit_continue: impl FnOnce(&mut ProgramBuilder, &str),
+) {
+    let body_label = format!("{tag}_body");
+    let done_label = format!("{tag}_done");
+    let seq_label = format!("{tag}_seq");
+    b.begin(region);
+    b.label(&body_label);
+    continuation(b);
+    b.fork(fwd, &body_label);
+    tsag(b);
+    b.tsagdone();
+    body(b);
+    exit_continue(b, &done_label);
+    b.abort_to(&seq_label);
+    b.label(&done_label);
+    b.thread_end();
+    b.label(&seq_label);
+}
+
+/// Registers conventionally reserved for loop invariants (live across the
+/// region via the `begin` snapshot). Workloads place base pointers and
+/// bounds here.
+pub const INV: [Reg; 10] = [
+    Reg(16),
+    Reg(17),
+    Reg(18),
+    Reg(19),
+    Reg(20),
+    Reg(21),
+    Reg(22),
+    Reg(23),
+    Reg(24),
+    Reg(25),
+];
+
+/// Conventional induction register (forwarded at fork).
+pub const IND: Reg = Reg(1);
+/// Second forwarded register for loops with two recurrences.
+pub const IND2: Reg = Reg(2);
+/// The thread's private copy of its iteration index.
+pub const MY: Reg = Reg(3);
+/// Private copy of the second recurrence.
+pub const MY2: Reg = Reg(4);
+/// Scratch registers for bodies.
+pub const T0: Reg = Reg(5);
+pub const T1: Reg = Reg(6);
+pub const T2: Reg = Reg(7);
+pub const T3: Reg = Reg(8);
+pub const T4: Reg = Reg(9);
+pub const T5: Reg = Reg(10);
+pub const T6: Reg = Reg(11);
+pub const T7: Reg = Reg(12);
+
+/// Emit the canonical counted continuation: `my = i; i += 1`.
+pub fn counted_continuation(b: &mut ProgramBuilder) {
+    b.mv(MY, IND);
+    b.addi(IND, IND, 1);
+}
+
+/// Emit the canonical counted exit test: continue while `i < bound_reg`.
+pub fn counted_exit(bound: Reg) -> impl FnOnce(&mut ProgramBuilder, &str) {
+    move |b: &mut ProgramBuilder, done: &str| {
+        b.blt(IND, bound, done);
+    }
+}
+
+/// Emit a sequential reduction of `n` doublewords starting at the address
+/// in `base` into `check_cell` (the workload self-check), clobbering
+/// T0..T4.  XOR-folds with a rotate so ordering errors are caught.
+/// `base` must not be one of T0..T4 (asserted).
+pub fn emit_checksum_reduce(
+    b: &mut ProgramBuilder,
+    tag: &str,
+    base: Reg,
+    n: i64,
+    check_cell: wec_common::ids::Addr,
+) {
+    assert!(
+        ![T0, T1, T2, T3, T4].contains(&base),
+        "checksum base register would be clobbered"
+    );
+    let loop_label = format!("{tag}_ck");
+    b.mv(T0, base);
+    b.li(T1, n);
+    b.li(T2, 0);
+    b.label(&loop_label);
+    b.ld(T3, T0, 0);
+    // rotate-left-by-1 of the accumulator, then xor.
+    b.slli(T4, T2, 1);
+    b.srli(T2, T2, 63);
+    b.or(T2, T2, T4);
+    b.xor(T2, T2, T3);
+    b.addi(T0, T0, 8);
+    b.addi(T1, T1, -1);
+    b.bne(T1, Reg::ZERO, &loop_label);
+    b.la(T0, check_cell);
+    b.ld(T3, T0, 0);
+    // Rotate the previous checksum before folding, so repeated folds never
+    // cancel (an even number of xors of the same value would).
+    b.slli(T4, T3, 1);
+    b.srli(T3, T3, 63);
+    b.or(T3, T3, T4);
+    b.xor(T2, T2, T3);
+    b.sd(T2, T0, 0);
+}
+
+/// [`emit_checksum_reduce`], repeated `reps` times (the workloads' knob for
+/// sizing their sequential phases to the paper's Table 2 fractions).
+/// Clobbers T0..T5; `base` must not be T0..T5.
+pub fn emit_checksum_reduce_reps(
+    b: &mut ProgramBuilder,
+    tag: &str,
+    base: Reg,
+    n: i64,
+    reps: u32,
+    check_cell: wec_common::ids::Addr,
+) {
+    assert!(!(0..=5).map(|i| Reg(5 + i)).any(|r| r == base));
+    let rep_label = format!("{tag}_rep");
+    b.li(T5, reps as i64);
+    b.label(&rep_label);
+    emit_checksum_reduce(b, tag, base, n, check_cell);
+    b.addi(T5, T5, -1);
+    b.bne(T5, Reg::ZERO, &rep_label);
+}
+
+/// A sequential pointer-chase reduction over a permutation array — the
+/// cache-hostile, branchy sequential phase of the integer analogs.
+///
+/// The permutation is stored *pre-scaled* (index × 8, see [`scaled_perm`])
+/// so the next load's address is a single `add` away from the loaded value.
+/// The chase runs in segments: roughly every eighth node the segment-end
+/// branch falls through to a bookkeeping block (a dependent multiply chain)
+/// and the resume pointer is re-derived from its result.  That shape is the
+/// paper's §3.1.1 wrong-path scenario in miniature:
+///
+/// * the segment-end branch is taken ~7/8 of the time, so the predictor
+///   saturates "continue" and every segment end is a misprediction;
+/// * the wrong (predicted) path is the next chase step, whose address is
+///   ready when the branch resolves — exactly the paper's "ready but not
+///   yet issued" load, which the wrong-path engine keeps running;
+/// * the correct path re-reaches the same load only after the bookkeeping
+///   chain, so the wrong-path fetch leads the demand by the bookkeeping
+///   latency and turns the next L1 miss into a WEC hit.
+///
+/// Clobbers T0..T5; `perm` must be an invariant register.
+pub fn emit_chase_reduce(
+    b: &mut ProgramBuilder,
+    tag: &str,
+    perm: Reg,
+    steps: i64,
+    reps: u32,
+    check_cell: wec_common::ids::Addr,
+) {
+    assert!(!(0..=5).map(|i| Reg(5 + i)).any(|r| r == perm));
+    use wec_isa::inst::AluOp;
+    let rep_l = format!("{tag}_rep");
+    let step_l = format!("{tag}_step");
+    let end_l = format!("{tag}_end");
+    b.li(T5, reps as i64);
+    b.label(&rep_l);
+    b.li(T0, 0); // p (scaled)
+    b.li(T1, steps);
+    b.li(T2, 0); // acc
+    b.label(&step_l);
+    b.add(T3, perm, T0);
+    b.ld(T3, T3, 0); // nxt (scaled)
+    b.xor(T2, T2, T3);
+    b.mv(T0, T3);
+    b.addi(T1, T1, -1);
+    b.beq(T1, Reg::ZERO, &end_l);
+    // Segment end when the node index is a multiple of 8.
+    b.andi(T4, T3, 56);
+    b.bne(T4, Reg::ZERO, &step_l);
+    // Bookkeeping: acc = (acc*37 ^ p)*41 + 7; the resume pointer is gated
+    // on its result (a real chase re-derives it from the walked structure).
+    b.alui(AluOp::Mul, T2, T2, 37);
+    b.xor(T2, T2, T0);
+    b.alui(AluOp::Mul, T2, T2, 41);
+    b.addi(T2, T2, 7);
+    b.and(T4, T2, Reg::ZERO);
+    b.or(T0, T0, T4);
+    b.j(&step_l);
+    b.label(&end_l);
+    // check = rotl(check, 1) ^ acc
+    b.la(T3, check_cell);
+    b.ld(T4, T3, 0);
+    b.slli(T0, T4, 1);
+    b.srli(T4, T4, 63);
+    b.or(T4, T4, T0);
+    b.xor(T4, T4, T2);
+    b.sd(T4, T3, 0);
+    b.addi(T5, T5, -1);
+    b.bne(T5, Reg::ZERO, &rep_l);
+}
+
+/// Pre-scale a permutation for [`emit_chase_reduce`]'s data segment.
+pub fn scaled_perm(perm: &[u64]) -> Vec<u64> {
+    perm.iter().map(|&v| v * 8).collect()
+}
+
+/// Host reference of [`emit_chase_reduce`] (takes the *unscaled*
+/// permutation).
+pub fn chase_reduce_reference(mut prev: u64, perm: &[u64], steps: i64, reps: u32) -> u64 {
+    for _ in 0..reps {
+        let mut p = 0usize;
+        let mut acc = 0u64;
+        let mut t = steps;
+        loop {
+            let nxt = perm[p] * 8;
+            acc ^= nxt;
+            p = (nxt >> 3) as usize;
+            t -= 1;
+            if t == 0 {
+                break;
+            }
+            if nxt & 56 != 0 {
+                continue;
+            }
+            acc = (acc.wrapping_mul(37) ^ nxt).wrapping_mul(41).wrapping_add(7);
+        }
+        prev = prev.rotate_left(1) ^ acc;
+    }
+    prev
+}
+
+/// Host reference of [`emit_checksum_reduce_reps`].
+pub fn checksum_reduce_reps_reference(mut prev: u64, data: &[u64], reps: u32) -> u64 {
+    for _ in 0..reps {
+        prev = checksum_reduce_reference(prev, data);
+    }
+    prev
+}
+
+/// Compute the reference value of [`emit_checksum_reduce`] on host data.
+pub fn checksum_reduce_reference(prev: u64, data: &[u64]) -> u64 {
+    let mut acc: u64 = 0;
+    for &v in data {
+        acc = acc.rotate_left(1) ^ v;
+    }
+    acc ^ prev.rotate_left(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wec_common::ids::Addr;
+    use wec_core::config::ProcPreset;
+    use wec_core::machine::{simulate, Machine};
+
+    #[test]
+    fn scaffold_runs_a_counted_loop() {
+        let mut b = ProgramBuilder::new("scaffold");
+        let n = 10i64;
+        let out = b.alloc_zeroed_u64s(n as u64);
+        let bound = INV[0];
+        let ob = INV[1];
+        b.li(bound, n);
+        b.la(ob, out);
+        b.li(IND, 0);
+        emit_sta_loop(
+            &mut b,
+            "r1",
+            1,
+            &[IND],
+            counted_continuation,
+            |_| {},
+            |b| {
+                b.slli(T0, MY, 3);
+                b.add(T0, ob, T0);
+                b.addi(T1, MY, 100);
+                b.sd(T1, T0, 0);
+            },
+            counted_exit(bound),
+        );
+        b.halt();
+        let prog = b.build().unwrap();
+        let mut m = Machine::new(ProcPreset::Orig.machine(2), &prog).unwrap();
+        m.run().unwrap();
+        for k in 0..n as u64 {
+            assert_eq!(m.memory().read_u64(out + 8 * k).unwrap(), 100 + k);
+        }
+    }
+
+    #[test]
+    fn checksum_reduce_matches_reference() {
+        let data: Vec<u64> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let mut b = ProgramBuilder::new("ck");
+        let arr = b.alloc_u64s(&data);
+        let cell = b.alloc_zeroed_u64s(1);
+        b.la(INV[0], arr);
+        emit_checksum_reduce(&mut b, "x", INV[0], data.len() as i64, cell);
+        b.halt();
+        let prog = b.build().unwrap();
+        let r = simulate(ProcPreset::Orig.machine(1), &prog).unwrap();
+        assert!(r.cycles > 0);
+        let mut m = Machine::new(ProcPreset::Orig.machine(1), &prog).unwrap();
+        m.run().unwrap();
+        assert_eq!(
+            m.memory().read_u64(cell).unwrap(),
+            checksum_reduce_reference(0, &data)
+        );
+        let _ = Addr(0);
+    }
+}

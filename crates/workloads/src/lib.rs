@@ -1,0 +1,158 @@
+// The host reference implementations intentionally use index-based loops
+// so they read line-for-line against the guest assembly they validate.
+#![allow(clippy::needless_range_loop, clippy::explicit_counter_loop)]
+
+//! Synthetic analogs of the six SPEC2000 benchmarks the paper evaluates,
+//! manually parallelized for the superthreaded execution model exactly as
+//! the paper did by hand (§4.2, Tables 1 and 2).
+//!
+//! We cannot run SPEC binaries — there is no compiler targeting WISA-64 and
+//! no SPEC sources here — so each analog reimplements the memory behaviour
+//! of the loops the paper parallelized (see each module's docs for the
+//! mapping), with sizes scaled so the whole suite simulates in seconds
+//! rather than days.  The analogs preserve the *mechanisms* the paper's
+//! results rest on:
+//!
+//! * inner loops whose working data is contiguous across loop instances, so
+//!   wrong-thread run-ahead and wrong-path run-ahead touch blocks the next
+//!   correct instance needs (the indirect prefetching effect);
+//! * working sets larger than the 8 KB direct-mapped L1;
+//! * data-dependent branches (hash-chain walks, comparisons) that feed the
+//!   wrong-path engine;
+//! * cross-iteration dependences carried through target stores where the
+//!   original loop had them.
+//!
+//! [`Bench`] enumerates the suite; [`Bench::build`] produces a ready-to-run
+//! [`Workload`].
+
+pub mod datagen;
+pub mod equake;
+pub mod gzip;
+pub mod harness;
+pub mod mcf;
+pub mod mesa;
+pub mod parser;
+pub mod vpr;
+
+use wec_common::error::{SimError, SimResult};
+use wec_core::config::MachineConfig;
+use wec_core::machine::{Machine, RunResult};
+use wec_isa::Program;
+
+/// How large to build a workload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Scale {
+    /// Multiplies iteration counts (data sizes stay fixed so cache-relative
+    /// behaviour is stable; more units = more passes over the data).
+    pub units: u32,
+}
+
+impl Scale {
+    /// Tiny runs for unit/integration tests (hundreds of microseconds).
+    pub const SMOKE: Scale = Scale { units: 1 };
+    /// The size used by the experiment harness to regenerate the paper's
+    /// tables and figures.
+    pub const PAPER: Scale = Scale { units: 4 };
+}
+
+/// A built benchmark analog plus its Table 1 / Table 2 metadata.
+pub struct Workload {
+    /// The SPEC2000 benchmark this models, e.g. `"181.mcf"`.
+    pub name: &'static str,
+    /// `"SPEC2000/INT"` or `"SPEC2000/FP"` (Table 2).
+    pub suite: &'static str,
+    /// The paper's input set for this benchmark (Table 2); our analog
+    /// scales are calibrated against these labels.
+    pub input: &'static str,
+    /// The manual transformations of Table 1 this analog's parallelization
+    /// uses.
+    pub transforms: &'static [&'static str],
+    /// The thread-pipelined program.
+    pub program: Program,
+    /// Address of a self-check output cell: after a run it must equal
+    /// `expected_check` (set by each builder) under every configuration.
+    pub check_addr: wec_common::ids::Addr,
+    pub expected_check: u64,
+}
+
+/// The benchmark suite of the paper (§4.2, Table 2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Bench {
+    Vpr,
+    Gzip,
+    Mcf,
+    Parser,
+    Equake,
+    Mesa,
+}
+
+impl Bench {
+    pub const ALL: [Bench; 6] = [
+        Bench::Vpr,
+        Bench::Gzip,
+        Bench::Mcf,
+        Bench::Parser,
+        Bench::Equake,
+        Bench::Mesa,
+    ];
+
+    /// The SPEC2000 name (Table 2 ordering).
+    pub fn name(self) -> &'static str {
+        match self {
+            Bench::Vpr => "175.vpr",
+            Bench::Gzip => "164.gzip",
+            Bench::Mcf => "181.mcf",
+            Bench::Parser => "197.parser",
+            Bench::Equake => "183.equake",
+            Bench::Mesa => "177.mesa",
+        }
+    }
+
+    /// Build the analog at the given scale.
+    pub fn build(self, scale: Scale) -> Workload {
+        match self {
+            Bench::Vpr => vpr::build(scale),
+            Bench::Gzip => gzip::build(scale),
+            Bench::Mcf => mcf::build(scale),
+            Bench::Parser => parser::build(scale),
+            Bench::Equake => equake::build(scale),
+            Bench::Mesa => mesa::build(scale),
+        }
+    }
+}
+
+/// Run a workload under a machine configuration and verify its self-check
+/// cell — the guard every experiment in the harness runs behind, so a
+/// timing-model bug that corrupts architectural state can never masquerade
+/// as a speedup.
+pub fn run_and_verify(w: &Workload, cfg: MachineConfig) -> SimResult<RunResult> {
+    let mut m = Machine::new(cfg, &w.program)?;
+    let r = m.run()?;
+    let got = m.memory().read_u64(w.check_addr)?;
+    if got != w.expected_check {
+        return Err(SimError::Config(format!(
+            "{} self-check mismatch: got {got:#x}, want {:#x}",
+            w.name, w.expected_check
+        )));
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_six_distinct_benchmarks() {
+        let mut names: Vec<&str> = Bench::ALL.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn scales_ordered() {
+        let (a, b) = (Scale::SMOKE, Scale::PAPER);
+        assert!(a.units < b.units);
+    }
+}

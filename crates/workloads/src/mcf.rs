@@ -1,0 +1,224 @@
+//! `181.mcf` analog — network-simplex pointer chasing.
+//!
+//! The paper parallelized mcf's most time-consuming loops (MinneSPEC large
+//! input, 36.1% of instructions parallelized — the largest fraction in
+//! Table 2).  mcf's hot loop walks arc/node linked structures with
+//! data-dependent addresses, which is why it benefits so strongly from the
+//! WEC (up to 18.5% in Figure 11): run-ahead threads chase pointers into
+//! nodes the next window of work needs.
+//!
+//! The analog: a pool of 32-byte nodes chained into many disjoint lists by a
+//! shuffled permutation (scattered blocks, like arcs after pricing).  Each
+//! parallel region processes a *window* of chains — one thread per chain,
+//! each walking its list and accumulating node costs.  Wrong threads run
+//! ahead into the next window's chains, which is precisely the paper's
+//! indirect prefetching story.  A short sequential "pricing" phase between
+//! passes re-walks a slice of nodes and reduces results.
+//!
+//! Table 1 transformations used: loop coalescing (chain walks flattened into
+//! one thread body), statement reordering to increase overlap.
+
+use wec_isa::ProgramBuilder;
+
+use crate::datagen::{linked_chains, permutation_cycle, rng_for};
+use crate::harness::{
+    counted_continuation, counted_exit, emit_chase_reduce, emit_checksum_reduce, emit_sta_loop,
+    IND, INV, MY, T0, T1, T2, T3,
+};
+use crate::{Scale, Workload};
+
+/// Nodes in the pool (power of two: indices are masked, so even wrong
+/// threads chase valid memory).
+const NODES: usize = 4096;
+/// Disjoint chains (power of two).
+const CHAINS: usize = 128;
+/// Chains per parallel region (window).
+const WINDOW: usize = 16;
+
+struct HostData {
+    next: Vec<u64>,
+    cost: Vec<u64>,
+    heads: Vec<u64>,
+    /// Pricing-phase chase permutation.
+    perm: Vec<u64>,
+}
+
+fn generate() -> HostData {
+    let mut rng = rng_for("181.mcf", 7);
+    let (next, heads) = linked_chains(&mut rng, NODES, CHAINS);
+    let cost: Vec<u64> = (0..NODES as u64).map(|i| i.wrapping_mul(2654435761) >> 7).collect();
+    let perm = permutation_cycle(&mut rng, PRICE_PERM);
+    HostData {
+        next,
+        cost,
+        heads,
+        perm,
+    }
+}
+
+/// Sequential pricing chase: steps per rep and reps per pass (sized to
+/// Table 2's 36.1% parallel fraction).
+const PRICE_PERM: usize = 8192;
+const PRICE_STEPS: i64 = 3072;
+const PRICE_REPS: u32 = 3;
+
+/// Host reference of one full run: per-chain cost walks, repeated `passes`
+/// times, each followed by the sequential pricing scan, all folded into the
+/// self-check value.
+fn reference(data: &HostData, passes: u32) -> (Vec<u64>, u64) {
+    let mut out = vec![0u64; CHAINS];
+    let mut check = 0u64;
+    for pass in 0..passes {
+        for (c, &head) in data.heads.iter().enumerate() {
+            let mut acc = pass as u64;
+            let mut p = head;
+            while p != u64::MAX {
+                acc = acc.wrapping_add(data.cost[p as usize] ^ (p << 1));
+                p = data.next[p as usize];
+            }
+            out[c] = acc;
+        }
+        check = crate::harness::checksum_reduce_reference(check, &out);
+        check = crate::harness::chase_reduce_reference(check, &data.perm, PRICE_STEPS, PRICE_REPS);
+    }
+    (out, check)
+}
+
+pub fn build(scale: Scale) -> Workload {
+    let passes = 2 * scale.units;
+    let data = generate();
+
+    let mut b = ProgramBuilder::new("181.mcf");
+    // Node pool as an array of structs: [next, cost, flow, depth] × NODES.
+    let mut pool = Vec::with_capacity(NODES * 4);
+    for i in 0..NODES {
+        // Terminators are stored as NODES (one past the last index) so the
+        // guest can test with a simple compare after masking.
+        let nx = if data.next[i] == u64::MAX {
+            NODES as u64
+        } else {
+            data.next[i]
+        };
+        pool.push(nx);
+        pool.push(data.cost[i]);
+        pool.push(0); // flow
+        pool.push(0); // depth
+    }
+    // One extra sentinel node so masked run-ahead reads stay mapped.
+    pool.extend_from_slice(&[NODES as u64, 0, 0, 0]);
+    let (_, expected_check) = reference(&data, passes);
+    let pool_base = b.alloc_u64s(&pool);
+    let perm_scaled = crate::harness::scaled_perm(&data.perm);
+    let perm_base = b.alloc_u64s(&perm_scaled);
+    let heads_host: Vec<u64> = data.heads.clone();
+    let heads_base = b.alloc_u64s(&heads_host);
+    let out_base = b.alloc_zeroed_u64s(CHAINS as u64);
+    // Mapped slack so wrong-thread run-ahead past the heads array reads
+    // cold-but-valid memory.
+    let _slack = b.alloc_bytes(32 * 1024, 64);
+    let check = b.alloc_zeroed_u64s(1);
+
+    // Invariants.
+    let (poolr, headsr, outr, maskr, passr, winr, boundr, npassr, permr) = (
+        INV[0], INV[1], INV[2], INV[3], INV[4], INV[5], INV[6], INV[7], INV[8],
+    );
+    b.la(permr, perm_base);
+    b.la(poolr, pool_base);
+    b.la(headsr, heads_base);
+    b.la(outr, out_base);
+    b.li(maskr, (CHAINS - 1) as i64);
+    b.li(npassr, passes as i64);
+    b.li(passr, 0);
+
+    b.label("pass_loop");
+    b.li(winr, 0);
+    b.label("win_loop");
+    // Window [winr*WINDOW, winr*WINDOW + WINDOW).
+    b.slli(IND, winr, WINDOW.trailing_zeros() as i32);
+    b.addi(boundr, IND, WINDOW as i32);
+    emit_sta_loop(
+        &mut b,
+        "mcf_r",
+        1,
+        &[IND],
+        counted_continuation,
+        |_| {},
+        |b| {
+            // chain head (masked so run-ahead stays in range)
+            b.and(T0, MY, maskr);
+            b.slli(T0, T0, 3);
+            b.add(T0, headsr, T0);
+            b.ld(T0, T0, 0); // p
+            b.mv(T1, passr); // acc = pass
+            b.li(T3, NODES as i64);
+            b.label("mcf_walk");
+            b.bge(T0, T3, "mcf_walk_end"); // terminator
+            b.slli(T2, T0, 5); // p * 32
+            b.add(T2, poolr, T2);
+            b.ld(T2, T2, 8); // cost
+            // acc += cost ^ (p << 1)
+            b.slli(T0, T0, 1);
+            b.xor(T2, T2, T0);
+            b.srli(T0, T0, 1);
+            b.add(T1, T1, T2);
+            // p = next
+            b.slli(T2, T0, 5);
+            b.add(T2, poolr, T2);
+            b.ld(T0, T2, 0);
+            b.j("mcf_walk");
+            b.label("mcf_walk_end");
+            // out[chain] = acc
+            b.and(T0, MY, maskr);
+            b.slli(T0, T0, 3);
+            b.add(T0, outr, T0);
+            b.sd(T1, T0, 0);
+        },
+        counted_exit(boundr),
+    );
+    b.addi(winr, winr, 1);
+    b.li(T0, (CHAINS / WINDOW) as i64);
+    b.blt(winr, T0, "win_loop");
+    // Sequential phase (models mcf's price-update passes): fold this pass's
+    // chain results into the checksum, then chase the pricing permutation.
+    emit_checksum_reduce(&mut b, "mcf", outr, CHAINS as i64, check);
+    emit_chase_reduce(&mut b, "mcf_price", permr, PRICE_STEPS, PRICE_REPS, check);
+    b.addi(passr, passr, 1);
+    b.blt(passr, npassr, "pass_loop");
+    b.halt();
+
+    let program = b.build().unwrap();
+    Workload {
+        name: "181.mcf",
+        suite: "SPEC2000/INT",
+        input: "MinneSPEC large",
+        transforms: &["loop coalescing", "statement reordering"],
+        program,
+        check_addr: check,
+        expected_check,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_verify;
+    use wec_core::config::ProcPreset;
+
+    #[test]
+    fn reference_is_deterministic() {
+        let d = generate();
+        let (a, ca) = reference(&d, 2);
+        let (b, cb) = reference(&d, 2);
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn self_check_passes_under_orig_and_wec() {
+        let w = build(Scale::SMOKE);
+        for preset in [ProcPreset::Orig, ProcPreset::WthWpWec] {
+            run_and_verify(&w, preset.machine(4))
+                .unwrap_or_else(|e| panic!("{}: {e}", preset.name()));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! `177.mesa` analog — the vertex-transform pipeline.
+//!
+//! mesa (OpenGL software rendering) streams vertices through 4×4 matrix
+//! transforms and lighting — floating-point dense, regular, sequential
+//! memory traffic.  The paper parallelized its hot loops (SPEC test input,
+//! 17.3% parallelized); mesa shows the suite's largest L1 miss *reduction*
+//! under the WEC (up to 73%, Figure 17) because its streaming accesses make
+//! nearly every wrong-execution fetch useful to the next window.
+//!
+//! The analog: blocks of 4 vertices (x,y,z,w as f64) per thread, each
+//! transformed by a region-invariant 4×4 matrix and written to an output
+//! stream; windows advance through the vertex buffer, so run-ahead threads
+//! prefetch the next window's vertices.  A sequential "lighting" pass scales
+//! the outputs and folds the checksum.
+//!
+//! Table 1 transformations: loop unrolling (the 4×4 product is fully
+//! unrolled), statement reordering.
+
+use wec_isa::reg::{FReg, Reg};
+use wec_isa::ProgramBuilder;
+
+use crate::datagen::rng_for;
+use crate::harness::{
+    counted_continuation, counted_exit, emit_checksum_reduce_reps, emit_sta_loop, IND, INV, MY,
+    T0, T1, T2,
+};
+use crate::{Scale, Workload};
+use rand::RngExt;
+
+/// Vertices (power of two).
+const VERTS: usize = 1024;
+/// Vertices per thread.
+const BLOCK: usize = 4;
+/// Threads per region.
+const WINDOW: usize = 32;
+/// Sequential rasterization scans per frame over the output stream (sized
+/// to Table 2's 17.3% parallel fraction).
+const SCAN_REPS: u32 = 6;
+
+struct HostData {
+    verts: Vec<f64>,  // 4 per vertex
+    matrix: [f64; 16], // row-major
+}
+
+fn generate() -> HostData {
+    let mut rng = rng_for("177.mesa", 17);
+    let verts: Vec<f64> = (0..VERTS * 4)
+        .map(|_| (rng.random_range(0..1000u64) as f64) * 0.01 - 5.0)
+        .collect();
+    let mut matrix = [0f64; 16];
+    for (i, m) in matrix.iter_mut().enumerate() {
+        *m = ((i * 7 + 3) % 11) as f64 * 0.125 - 0.5;
+    }
+    HostData { verts, matrix }
+}
+
+/// Host reference: `passes` frames of out = M·v for every vertex, then a
+/// sequential lighting scale folded into the running checksum.  The output
+/// feeds the next frame's input (out becomes in), keeping passes distinct.
+fn reference(d: &HostData, passes: u32) -> u64 {
+    let mut vin = d.verts.clone();
+    let mut vout = vec![0f64; VERTS * 4];
+    let mut check = 0u64;
+    for _ in 0..passes {
+        for v in 0..VERTS {
+            for row in 0..4 {
+                let mut acc = 0f64;
+                for col in 0..4 {
+                    acc += d.matrix[row * 4 + col] * vin[v * 4 + col];
+                }
+                vout[v * 4 + row] = acc;
+            }
+        }
+        let bits: Vec<u64> = vout.iter().map(|x| x.to_bits()).collect();
+        check = crate::harness::checksum_reduce_reps_reference(check, &bits, SCAN_REPS);
+        // Lighting: damp the outputs back into the input buffer.
+        for i in 0..VERTS * 4 {
+            vin[i] = vout[i] * 0.125;
+        }
+    }
+    check
+}
+
+pub fn build(scale: Scale) -> Workload {
+    let passes = 2 * scale.units;
+    let d = generate();
+    let expected_check = reference(&d, passes);
+    let threads = VERTS / BLOCK;
+
+    let mut b = ProgramBuilder::new("177.mesa");
+    let vin = b.alloc_f64s(&d.verts);
+    let vout = b.alloc_zeroed_u64s((VERTS * 4) as u64);
+    let mat = b.alloc_f64s(&d.matrix);
+    let consts = b.alloc_f64s(&[0.125]);
+    let _slack = b.alloc_bytes(16 * 1024, 64);
+    let check = b.alloc_zeroed_u64s(1);
+
+    let (vinr, voutr, matr, maskr, passr, winr, boundr, npassr) = (
+        INV[0], INV[1], INV[2], INV[3], INV[4], INV[5], INV[6], INV[7],
+    );
+    b.la(vinr, vin);
+    b.la(voutr, vout);
+    b.la(matr, mat);
+    b.li(maskr, (threads - 1) as i64);
+    b.li(npassr, passes as i64);
+    b.li(passr, 0);
+
+    // The matrix lives in f16..f31 for the whole program (region snapshot
+    // hands it to every thread).
+    for i in 0..16u8 {
+        b.fld(FReg(16 + i), matr, 8 * i as i32);
+    }
+    let (fx, fy, fz, fw, facc, ft) = (FReg(1), FReg(2), FReg(3), FReg(4), FReg(5), FReg(6));
+
+    b.label("ms_pass");
+    b.li(winr, 0);
+    b.label("ms_win");
+    b.slli(IND, winr, WINDOW.trailing_zeros() as i32);
+    b.addi(boundr, IND, WINDOW as i32);
+    emit_sta_loop(
+        &mut b,
+        "ms_r",
+        1,
+        &[IND],
+        counted_continuation,
+        |_| {},
+        |b| {
+            // t = my & mask; vertex block base = t*BLOCK*32 bytes
+            b.and(T0, MY, maskr);
+            b.slli(T0, T0, (BLOCK * 32).trailing_zeros() as i32);
+            b.add(T1, vinr, T0);
+            b.add(T2, voutr, T0);
+            for _v in 0..BLOCK {
+                b.fld(fx, T1, 0);
+                b.fld(fy, T1, 8);
+                b.fld(fz, T1, 16);
+                b.fld(fw, T1, 24);
+                for row in 0..4u8 {
+                    let m = 16 + row * 4;
+                    b.fpu(wec_isa::inst::FpuOp::Mul, facc, FReg(m), fx);
+                    b.fpu(wec_isa::inst::FpuOp::Mul, ft, FReg(m + 1), fy);
+                    b.fadd(facc, facc, ft);
+                    b.fpu(wec_isa::inst::FpuOp::Mul, ft, FReg(m + 2), fz);
+                    b.fadd(facc, facc, ft);
+                    b.fpu(wec_isa::inst::FpuOp::Mul, ft, FReg(m + 3), fw);
+                    b.fadd(facc, facc, ft);
+                    b.fsd(facc, T2, 8 * row as i32);
+                }
+                b.addi(T1, T1, 32);
+                b.addi(T2, T2, 32);
+            }
+        },
+        counted_exit(boundr),
+    );
+    b.addi(winr, winr, 1);
+    b.li(T0, (threads / WINDOW) as i64);
+    b.blt(winr, T0, "ms_win");
+    // Sequential rasterization scans over vout, then the lighting damp.
+    emit_checksum_reduce_reps(&mut b, "ms", voutr, (VERTS * 4) as i64, SCAN_REPS, check);
+    b.la(T0, consts);
+    b.fld(ft, T0, 0);
+    b.mv(T0, vinr);
+    b.mv(T1, voutr);
+    b.li(T2, (VERTS * 4) as i64);
+    b.label("ms_light");
+    b.fld(fx, T1, 0);
+    b.fmul(fx, fx, ft);
+    b.fsd(fx, T0, 0);
+    b.addi(T0, T0, 8);
+    b.addi(T1, T1, 8);
+    b.addi(T2, T2, -1);
+    b.bne(T2, Reg::ZERO, "ms_light");
+    b.addi(passr, passr, 1);
+    b.blt(passr, npassr, "ms_pass");
+    b.halt();
+
+    Workload {
+        name: "177.mesa",
+        suite: "SPEC2000/FP",
+        input: "SPEC test",
+        transforms: &["loop unrolling", "statement reordering"],
+        program: b.build().unwrap(),
+        check_addr: check,
+        expected_check,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_verify;
+    use wec_core::config::ProcPreset;
+
+    #[test]
+    fn reference_changes_across_passes() {
+        let d = generate();
+        assert_ne!(reference(&d, 1), reference(&d, 2));
+    }
+
+    #[test]
+    fn self_check_passes_under_orig_and_wec() {
+        let w = build(Scale::SMOKE);
+        for preset in [ProcPreset::Orig, ProcPreset::WthWpWec] {
+            run_and_verify(&w, preset.machine(4))
+                .unwrap_or_else(|e| panic!("{}: {e}", preset.name()));
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! `197.parser` analog — dictionary lookups over collision chains.
+//!
+//! The link parser's hot loops look words up in hashed dictionaries and
+//! walk linkage lists, with short data-dependent chains and compare
+//! branches.  The paper parallelized its dominant loops (MinneSPEC medium,
+//! 17.2% parallelized).
+//!
+//! The analog: a bucketed dictionary of packed 8-byte words with collision
+//! chains; a token stream in which roughly half the tokens are dictionary
+//! words.  Each thread looks up a block of tokens — hash, chain walk,
+//! word compare (a mispredictable branch per step) — and scores hits by
+//! chain rank.  Token blocks advance monotonically across regions, so
+//! run-ahead threads warm the tokens and chains the next region needs.
+//! A sequential "linkage" pass re-reads the hit ranks.
+//!
+//! Table 1 transformations: loop coalescing, statement reordering.
+
+use wec_isa::reg::Reg;
+use wec_isa::ProgramBuilder;
+
+use crate::datagen::{dictionary, hash64, permutation_cycle, rng_for, HASH_MULT};
+use crate::harness::{
+    counted_continuation, counted_exit, emit_chase_reduce, emit_checksum_reduce, emit_sta_loop,
+    IND, INV, MY, T0, T1, T2, T3, T4, T5, T6, T7,
+};
+use crate::{Scale, Workload};
+use rand::RngExt;
+
+/// Dictionary words.
+const WORDS: usize = 2048;
+/// Hash buckets (power of two).
+const BUCKETS: usize = 1024;
+/// Token stream length (power of two).
+const TOKENS: usize = 1024;
+/// Tokens per thread.
+const STRIDE: usize = 4;
+/// Threads per region.
+const WINDOW: usize = 32;
+/// Maximum chain steps per lookup.
+const DEPTH: usize = 6;
+/// Sequential linkage-grammar chase (sized to Table 2's 17.2% fraction).
+const LINK_PERM: usize = 8192;
+const LINK_STEPS: i64 = 4096;
+const LINK_REPS: u32 = 7;
+
+struct HostData {
+    heads: Vec<u64>,
+    next: Vec<u64>,
+    vals: Vec<u64>,
+    tokens: Vec<u64>,
+    /// Linkage-phase chase permutation.
+    perm: Vec<u64>,
+}
+
+fn generate() -> HostData {
+    let mut rng = rng_for("197.parser", 5);
+    let (heads, next, vals) = dictionary(&mut rng, WORDS, BUCKETS);
+    let tokens: Vec<u64> = (0..TOKENS)
+        .map(|_| {
+            if rng.random_bool(0.55) {
+                vals[rng.random_range(0..WORDS)]
+            } else {
+                // A miss token (same alphabet, very unlikely to collide).
+                let mut v: u64 = 0;
+                for k in 0..8 {
+                    v |= u64::from(b'A' + rng.random_range(0..20u8)) << (8 * k);
+                }
+                v
+            }
+        })
+        .collect();
+    let perm = permutation_cycle(&mut rng, LINK_PERM);
+    HostData {
+        heads,
+        next,
+        vals,
+        tokens,
+        perm,
+    }
+}
+
+/// Host reference: per token, hash → chain walk (≤ DEPTH) → score by rank.
+fn reference(d: &HostData, passes: u32) -> u64 {
+    let threads = TOKENS / STRIDE;
+    let mut out = vec![0u64; threads];
+    let mut check = 0u64;
+    for pass in 0..passes {
+        for t in 0..threads {
+            let mut score = pass as u64;
+            for k in 0..STRIDE {
+                let tok = d.tokens[t * STRIDE + k];
+                let h = (hash64(tok) & (BUCKETS as u64 - 1)) as usize;
+                let mut p = d.heads[h];
+                let mut rank = 1u64;
+                let mut hit = 0u64;
+                for _ in 0..DEPTH {
+                    if p == u64::MAX {
+                        break;
+                    }
+                    if d.vals[p as usize] == tok {
+                        hit = rank;
+                        break;
+                    }
+                    rank += 1;
+                    p = d.next[p as usize];
+                }
+                score = score.wrapping_add(hit.wrapping_mul(tok | 1));
+            }
+            out[t] = score;
+        }
+        check = crate::harness::checksum_reduce_reference(check, &out);
+        check = crate::harness::chase_reduce_reference(check, &d.perm, LINK_STEPS, LINK_REPS);
+    }
+    check
+}
+
+pub fn build(scale: Scale) -> Workload {
+    let passes = scale.units;
+    let d = generate();
+    let expected_check = reference(&d, passes);
+    let threads = TOKENS / STRIDE;
+
+    let mut b = ProgramBuilder::new("197.parser");
+    let heads = b.alloc_u64s(&d.heads);
+    let next = b.alloc_u64s(&d.next);
+    let vals = b.alloc_u64s(&d.vals);
+    let tokens = b.alloc_u64s(&d.tokens);
+    let out = b.alloc_zeroed_u64s(threads as u64);
+    let perm_scaled = crate::harness::scaled_perm(&d.perm);
+    let perm_base = b.alloc_u64s(&perm_scaled);
+    let _slack = b.alloc_bytes(16 * 1024, 64);
+    let check = b.alloc_zeroed_u64s(1);
+
+    let (headr, nextr, valr, tokr, outr, maskr, passr, winr, boundr, npassr) = (
+        INV[0], INV[1], INV[2], INV[3], INV[4], INV[5], INV[6], INV[7], INV[8], INV[9],
+    );
+    b.la(headr, heads);
+    b.la(nextr, next);
+    b.la(valr, vals);
+    b.la(tokr, tokens);
+    b.la(outr, out);
+    let permr = Reg(26);
+    b.la(permr, perm_base);
+    b.li(maskr, (threads - 1) as i64);
+    b.li(npassr, passes as i64);
+    b.li(passr, 0);
+
+    b.label("pr_pass");
+    b.li(winr, 0);
+    b.label("pr_win");
+    b.slli(IND, winr, WINDOW.trailing_zeros() as i32);
+    b.addi(boundr, IND, WINDOW as i32);
+    emit_sta_loop(
+        &mut b,
+        "pr_r",
+        1,
+        &[IND],
+        counted_continuation,
+        |_| {},
+        |b| {
+            // T0 = t (masked), T1 = score, T2 = k
+            b.and(T0, MY, maskr);
+            b.mv(T1, passr);
+            b.li(T2, 0);
+            b.label("pr_k");
+            // tok (T3) = tokens[t*STRIDE + k]
+            b.slli(T3, T0, STRIDE.trailing_zeros() as i32);
+            b.add(T3, T3, T2);
+            b.slli(T3, T3, 3);
+            b.add(T3, tokr, T3);
+            b.ld(T3, T3, 0);
+            // h = hash(tok) & (BUCKETS-1)  (T4)
+            b.srli(T4, T3, 31);
+            b.xor(T4, T3, T4);
+            b.li(T5, HASH_MULT as i64);
+            b.mul(T4, T4, T5);
+            b.srli(T5, T4, 29);
+            b.xor(T4, T4, T5);
+            b.andi(T4, T4, (BUCKETS - 1) as i32);
+            // p = heads[h] (T4); rank (T5) = 1; depth (T6); hit (T7) = 0
+            b.slli(T4, T4, 3);
+            b.add(T4, headr, T4);
+            b.ld(T4, T4, 0);
+            b.li(T5, 1);
+            b.li(T6, DEPTH as i64);
+            b.li(T7, 0);
+            b.label("pr_chain");
+            b.beq(T6, Reg::ZERO, "pr_chain_end");
+            b.addi(T6, T6, -1);
+            b.blt(T4, Reg::ZERO, "pr_chain_end"); // p == MAX
+            // vals[p] == tok ?
+            b.slli(SC0, T4, 3);
+            b.add(SC0, valr, SC0);
+            b.ld(SC0, SC0, 0);
+            b.bne(SC0, T3, "pr_miss");
+            b.mv(T7, T5);
+            b.j("pr_chain_end");
+            b.label("pr_miss");
+            b.addi(T5, T5, 1);
+            b.slli(SC0, T4, 3);
+            b.add(SC0, nextr, SC0);
+            b.ld(T4, SC0, 0);
+            b.j("pr_chain");
+            b.label("pr_chain_end");
+            // score += hit * (tok | 1)
+            b.alui(wec_isa::inst::AluOp::Or, SC0, T3, 1);
+            b.mul(SC0, T7, SC0);
+            b.add(T1, T1, SC0);
+            b.addi(T2, T2, 1);
+            b.slti(SC0, T2, STRIDE as i32);
+            b.bne(SC0, Reg::ZERO, "pr_k");
+            // out[t] = score
+            b.slli(T0, T0, 3);
+            b.add(T0, outr, T0);
+            b.sd(T1, T0, 0);
+        },
+        counted_exit(boundr),
+    );
+    b.addi(winr, winr, 1);
+    b.li(T0, (threads / WINDOW) as i64);
+    b.blt(winr, T0, "pr_win");
+    // Sequential linkage/grammar chase after each pass's lookups.
+    emit_checksum_reduce(&mut b, "pr", outr, threads as i64, check);
+    emit_chase_reduce(&mut b, "pr_link", permr, LINK_STEPS, LINK_REPS, check);
+    b.addi(passr, passr, 1);
+    b.blt(passr, npassr, "pr_pass");
+    b.halt();
+
+    Workload {
+        name: "197.parser",
+        suite: "SPEC2000/INT",
+        input: "MinneSPEC medium",
+        transforms: &["loop coalescing", "statement reordering"],
+        program: b.build().unwrap(),
+        check_addr: check,
+        expected_check,
+    }
+}
+
+/// Extra scratch register for the body.
+const SC0: Reg = Reg(13);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_verify;
+    use wec_core::config::ProcPreset;
+
+    #[test]
+    fn some_tokens_hit_within_chain_depth() {
+        let d = generate();
+        let mut hits = 0;
+        for &tok in &d.tokens {
+            let h = (hash64(tok) & (BUCKETS as u64 - 1)) as usize;
+            let mut p = d.heads[h];
+            for _ in 0..DEPTH {
+                if p == u64::MAX {
+                    break;
+                }
+                if d.vals[p as usize] == tok {
+                    hits += 1;
+                    break;
+                }
+                p = d.next[p as usize];
+            }
+        }
+        assert!(hits > TOKENS / 4, "only {hits} hits");
+        assert!(hits < TOKENS, "everything hits — no misses to mispredict");
+    }
+
+    #[test]
+    fn self_check_passes_under_orig_and_wec() {
+        let w = build(Scale::SMOKE);
+        for preset in [ProcPreset::Orig, ProcPreset::WthWpWec] {
+            run_and_verify(&w, preset.machine(4))
+                .unwrap_or_else(|e| panic!("{}: {e}", preset.name()));
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! `175.vpr` analog — placement cost evaluation with a serializing total.
+//!
+//! vpr's placement phase evaluates cell swaps: each evaluation reads a few
+//! cell coordinates and net endpoints, computes a bounding-box cost delta
+//! (an arithmetic-heavy, instruction-level-parallel computation), and folds
+//! it into the running placement cost.  The paper parallelized these loops
+//! (SPEC test input, 8.6% parallelized — the smallest fraction in Table 2)
+//! and Figure 8 shows vpr *losing* performance as thread units are added:
+//! the iterations are short, and the running-cost recurrence serializes
+//! them, so superthreading overhead dominates.
+//!
+//! The analog reproduces exactly that: short bodies of ILP-rich arithmetic
+//! over two cells and four net endpoints, with the running cost carried
+//! across iterations through a **target store** (announced in TSAG,
+//! released when the store executes) — the run-time dependence mechanism of
+//! §2.2 — plus a long sequential annealing-bookkeeping phase.
+//!
+//! Table 1 transformations: statement reordering to increase overlap.
+
+use wec_isa::reg::Reg;
+use wec_isa::ProgramBuilder;
+
+use crate::datagen::{permutation_cycle, rng_for};
+use crate::harness::{
+    counted_continuation, counted_exit, emit_chase_reduce, emit_checksum_reduce, emit_sta_loop,
+    IND, INV, MY, T0, T1, T2, T3, T4, T5, T6, T7,
+};
+use crate::{Scale, Workload};
+use rand::RngExt;
+
+/// Cells on the placement grid (power of two).
+const CELLS: usize = 2048;
+/// Swap evaluations per pass (power of two).
+const SWAPS: usize = 128;
+/// Evaluations per parallel region.
+const WINDOW: usize = 16;
+/// Sequential annealing-bookkeeping chase (sized to Table 2's 8.6%
+/// parallel fraction).
+const ANNEAL_PERM: usize = 8192;
+const ANNEAL_STEPS: i64 = 4096;
+const ANNEAL_REPS: u32 = 5;
+
+struct HostData {
+    /// Packed (x, y) per cell: x in low 32 bits, y in high 32.
+    cells: Vec<u64>,
+    /// Swap candidates: cell index pairs.
+    sa: Vec<u64>,
+    sb: Vec<u64>,
+    /// Four net-endpoint cell indices per swap.
+    nets: Vec<u64>,
+    /// Annealing-phase chase permutation.
+    perm: Vec<u64>,
+}
+
+fn generate() -> HostData {
+    let mut rng = rng_for("175.vpr", 13);
+    let cells: Vec<u64> = (0..CELLS)
+        .map(|_| {
+            let x = rng.random_range(0..256u64);
+            let y = rng.random_range(0..256u64);
+            x | (y << 32)
+        })
+        .collect();
+    let sa: Vec<u64> = (0..SWAPS).map(|_| rng.random_range(0..CELLS as u64)).collect();
+    let sb: Vec<u64> = (0..SWAPS).map(|_| rng.random_range(0..CELLS as u64)).collect();
+    let nets: Vec<u64> = (0..SWAPS * 4)
+        .map(|_| rng.random_range(0..CELLS as u64))
+        .collect();
+    let perm = permutation_cycle(&mut rng, ANNEAL_PERM);
+    HostData {
+        cells,
+        sa,
+        sb,
+        nets,
+        perm,
+    }
+}
+
+fn absdiff(a: u64, b: u64) -> u64 {
+    a.abs_diff(b)
+}
+
+/// The swap-cost kernel both host and guest compute.
+fn swap_cost(d: &HostData, s: usize) -> u64 {
+    let ca = d.cells[d.sa[s] as usize];
+    let cb = d.cells[d.sb[s] as usize];
+    let (xa, ya) = (ca & 0xffff_ffff, ca >> 32);
+    let (xb, yb) = (cb & 0xffff_ffff, cb >> 32);
+    let mut cost = absdiff(xa, xb).wrapping_mul(3).wrapping_add(absdiff(ya, yb));
+    for e in 0..4 {
+        let cn = d.cells[d.nets[s * 4 + e] as usize];
+        let (xn, yn) = (cn & 0xffff_ffff, cn >> 32);
+        cost = cost.wrapping_add(absdiff(xa, xn)).wrapping_add(absdiff(yn, yb));
+    }
+    cost
+}
+
+/// Host reference: running total over swaps (the serializing recurrence),
+/// per-pass checksum over the total and an annealing scan.
+fn reference(d: &HostData, passes: u32) -> u64 {
+    let mut check = 0u64;
+    for pass in 0..passes {
+        let mut total = pass as u64;
+        for s in 0..SWAPS {
+            total = total.wrapping_add(swap_cost(d, s));
+        }
+        check = crate::harness::checksum_reduce_reference(check, &[total]);
+        check = crate::harness::chase_reduce_reference(check, &d.perm, ANNEAL_STEPS, ANNEAL_REPS);
+    }
+    check
+}
+
+pub fn build(scale: Scale) -> Workload {
+    let passes = 2 * scale.units;
+    let d = generate();
+    let expected_check = reference(&d, passes);
+
+    let mut b = ProgramBuilder::new("175.vpr");
+    let cells = b.alloc_u64s(&d.cells);
+    let sa = b.alloc_u64s(&d.sa);
+    let sb = b.alloc_u64s(&d.sb);
+    let nets = b.alloc_u64s(&d.nets);
+    let total_cell = b.alloc_zeroed_u64s(1);
+    let perm_scaled = crate::harness::scaled_perm(&d.perm);
+    let perm_base = b.alloc_u64s(&perm_scaled);
+    let _slack = b.alloc_bytes(16 * 1024, 64);
+    let check = b.alloc_zeroed_u64s(1);
+
+    let (cellr, sar, sbr, netr, totr, maskr, passr, winr, boundr, npassr) = (
+        INV[0], INV[1], INV[2], INV[3], INV[4], INV[5], INV[6], INV[7], INV[8], INV[9],
+    );
+    b.la(cellr, cells);
+    b.la(sar, sa);
+    b.la(sbr, sb);
+    b.la(netr, nets);
+    b.la(totr, total_cell);
+    let permr = Reg(26);
+    b.la(permr, perm_base);
+    b.li(maskr, (SWAPS - 1) as i64);
+    b.li(npassr, passes as i64);
+    b.li(passr, 0);
+
+    // |a - b| into `dst` using `tmp` (dst != tmp, dst != b).
+    fn emit_absdiff(
+        b: &mut ProgramBuilder,
+        dst: Reg,
+        a: Reg,
+        rhs: Reg,
+        tmp: Reg,
+        tag: &str,
+    ) {
+        b.sub(dst, a, rhs);
+        b.bge(a, rhs, tag);
+        b.sub(dst, rhs, a);
+        b.label(tag);
+        let _ = tmp;
+    }
+
+    b.label("vp_pass");
+    // total = pass (sequential init of the recurrence cell)
+    b.sd(passr, totr, 0);
+    b.li(winr, 0);
+    b.label("vp_win");
+    b.slli(IND, winr, WINDOW.trailing_zeros() as i32);
+    b.addi(boundr, IND, WINDOW as i32);
+    emit_sta_loop(
+        &mut b,
+        "vp_r",
+        1,
+        &[IND],
+        counted_continuation,
+        |b| {
+            // The running total is a cross-iteration dependence: announce it.
+            b.tsannounce(totr, 0);
+        },
+        |b| {
+            // The running total is read first: the whole evaluation
+            // serializes on the upstream release, which is why vpr shows
+            // the worst thread-level parallelism of the suite (Figure 8).
+            b.ld(SC1, totr, 0); // waits for the upstream release
+            // s = my & mask
+            b.and(T0, MY, maskr);
+            // ca (T1), cb (T2)
+            b.slli(T1, T0, 3);
+            b.add(T2, sar, T1);
+            b.ld(T2, T2, 0);
+            b.slli(T2, T2, 3);
+            b.add(T2, cellr, T2);
+            b.ld(T1, T2, 0); // ca (reuse T1)
+            b.slli(T2, T0, 3);
+            b.add(T2, sbr, T2);
+            b.ld(T2, T2, 0);
+            b.slli(T2, T2, 3);
+            b.add(T2, cellr, T2);
+            b.ld(T2, T2, 0); // cb
+            // xa/ya, xb/yb
+            b.srli(T3, T1, 32); // ya
+            b.andi(T1, T1, -1); // xa = low 32: mask via shift pair
+            b.slli(T1, T1, 32);
+            b.srli(T1, T1, 32);
+            b.srli(T4, T2, 32); // yb
+            b.slli(T2, T2, 32);
+            b.srli(T2, T2, 32); // xb
+            // cost = |xa-xb|*3 + |ya-yb|  (T5)
+            emit_absdiff(b, T5, T1, T2, T6, "vp_ad0");
+            b.slli(T6, T5, 1);
+            b.add(T5, T5, T6);
+            emit_absdiff(b, T6, T3, T4, T7, "vp_ad1");
+            b.add(T5, T5, T6);
+            // four net endpoints
+            for e in 0..4 {
+                b.slli(T6, T0, 5); // s*32
+                b.add(T6, netr, T6);
+                b.ld(T6, T6, 8 * e); // net cell index
+                b.slli(T6, T6, 3);
+                b.add(T6, cellr, T6);
+                b.ld(T6, T6, 0); // cn
+                b.srli(T7, T6, 32); // yn
+                b.slli(T6, T6, 32);
+                b.srli(T6, T6, 32); // xn
+                emit_absdiff(b, SC0, T1, T6, SC1, &format!("vp_adx{e}"));
+                b.add(T5, T5, SC0);
+                emit_absdiff(b, SC0, T7, T4, SC1, &format!("vp_ady{e}"));
+                b.add(T5, T5, SC0);
+            }
+            // total += cost  — the serializing target store.
+            b.add(T6, SC1, T5);
+            b.sd(T6, totr, 0); // releases downstream
+        },
+        counted_exit(boundr),
+    );
+    b.addi(winr, winr, 1);
+    b.li(T0, (SWAPS / WINDOW) as i64);
+    b.blt(winr, T0, "vp_win");
+    // Sequential annealing bookkeeping: checksum the total, then chase the
+    // bookkeeping permutation.
+    emit_checksum_reduce(&mut b, "vp", totr, 1, check);
+    emit_chase_reduce(&mut b, "vp_anneal", permr, ANNEAL_STEPS, ANNEAL_REPS, check);
+    b.addi(passr, passr, 1);
+    b.blt(passr, npassr, "vp_pass");
+    b.halt();
+
+    Workload {
+        name: "175.vpr",
+        suite: "SPEC2000/INT",
+        input: "SPEC test",
+        transforms: &["statement reordering"],
+        program: b.build().unwrap(),
+        check_addr: check,
+        expected_check,
+    }
+}
+
+const SC0: Reg = Reg(13);
+const SC1: Reg = Reg(14);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_and_verify;
+    use wec_core::config::ProcPreset;
+
+    #[test]
+    fn swap_cost_is_symmetric_in_magnitude() {
+        let d = generate();
+        // Not a deep property — just pin the kernel so accidental edits to
+        // the guest code that diverge from the host reference are caught by
+        // a cheap host-side canary too.
+        let c0 = swap_cost(&d, 0);
+        let c1 = swap_cost(&d, 1);
+        assert_ne!(c0, c1);
+    }
+
+    #[test]
+    fn self_check_passes_under_orig_and_wec() {
+        let w = build(Scale::SMOKE);
+        for preset in [ProcPreset::Orig, ProcPreset::WthWpWec] {
+            run_and_verify(&w, preset.machine(4))
+                .unwrap_or_else(|e| panic!("{}: {e}", preset.name()));
+        }
+    }
+}

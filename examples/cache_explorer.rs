@@ -1,0 +1,61 @@
+//! Sweep the memory-system parameters the paper studies (§5.3) for one
+//! benchmark: L1 size, L1 associativity, WEC size.
+//!
+//! ```text
+//! cargo run --release -p wec-examples --bin cache_explorer [bench]
+//! ```
+
+use wec_core::config::ProcPreset;
+use wec_workloads::{run_and_verify, Bench, Scale};
+
+fn run(bench: Bench, preset: ProcPreset, f: impl Fn(&mut wec_core::MachineConfig)) -> u64 {
+    let w = bench.build(Scale::SMOKE);
+    let mut cfg = preset.machine(8);
+    f(&mut cfg);
+    run_and_verify(&w, cfg).expect("run failed").cycles
+}
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_else(|| "equake".into());
+    let bench = Bench::ALL
+        .into_iter()
+        .find(|b| b.name().contains(&filter))
+        .expect("unknown benchmark");
+    println!("sweeping {} on 8 thread units…\n", bench.name());
+
+    println!("L1 data cache size (direct-mapped), orig vs wth-wp-wec:");
+    for kb in [4u64, 8, 16, 32] {
+        let orig = run(bench, ProcPreset::Orig, |c| {
+            c.l1d.capacity_bytes = kb * 1024
+        });
+        let wec = run(bench, ProcPreset::WthWpWec, |c| {
+            c.l1d.capacity_bytes = kb * 1024
+        });
+        println!(
+            "  {kb:>2} KB: orig {orig:>9} cycles   wec {wec:>9} cycles   ({:+.2}%)",
+            (orig as f64 / wec as f64 - 1.0) * 100.0
+        );
+    }
+
+    println!("\nL1 associativity, wth-wp-wec gain over orig:");
+    for ways in [1usize, 2, 4] {
+        let orig = run(bench, ProcPreset::Orig, |c| c.l1d.ways = ways);
+        let wec = run(bench, ProcPreset::WthWpWec, |c| c.l1d.ways = ways);
+        println!(
+            "  {ways}-way: {:+.2}%  (the WEC matters most for low associativity)",
+            (orig as f64 / wec as f64 - 1.0) * 100.0
+        );
+    }
+
+    println!("\nWEC entries:");
+    let orig = run(bench, ProcPreset::Orig, |_| {});
+    for entries in [4usize, 8, 16, 32] {
+        let wec = run(bench, ProcPreset::WthWpWec, |c| {
+            c.l1d.side_entries = entries
+        });
+        println!(
+            "  {entries:>2} entries: {:+.2}% over orig",
+            (orig as f64 / wec as f64 - 1.0) * 100.0
+        );
+    }
+}

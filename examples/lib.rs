@@ -1,0 +1,1 @@
+//! Example support crate; the runnable examples are the `[[bin]]` targets.

@@ -1,0 +1,75 @@
+//! Quickstart: build one benchmark analog, run it on the baseline
+//! superthreaded machine and on the machine with the Wrong Execution Cache,
+//! and compare.
+//!
+//! ```text
+//! cargo run --release -p wec-examples --bin quickstart [bench] [tus]
+//! ```
+
+use wec_core::config::ProcPreset;
+use wec_workloads::{run_and_verify, Bench, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filter = args.first().map(|s| s.as_str()).unwrap_or("mcf");
+    let tus: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let bench = Bench::ALL
+        .into_iter()
+        .find(|b| b.name().contains(filter))
+        .expect("unknown benchmark (try vpr/gzip/mcf/parser/equake/mesa)");
+
+    println!("building {} …", bench.name());
+    let w = bench.build(Scale::SMOKE);
+
+    println!(
+        "running on {tus} thread units, each an 8-issue out-of-order core,\n\
+         8KB direct-mapped L1D + 8-entry side structure, 512KB shared L2\n"
+    );
+
+    let base = run_and_verify(&w, ProcPreset::Orig.machine(tus)).expect("orig run failed");
+    let wec = run_and_verify(&w, ProcPreset::WthWpWec.machine(tus)).expect("wec run failed");
+    let (b, c) = (&base.metrics, &wec.metrics);
+
+    println!("{:32} {:>14} {:>14}", "", "orig", "wth-wp-wec");
+    let row = |k: &str, a: String, b: String| println!("{k:32} {a:>14} {b:>14}");
+    row("cycles", b.cycles.to_string(), c.cycles.to_string());
+    row(
+        "committed instructions",
+        b.correct_instructions().to_string(),
+        c.correct_instructions().to_string(),
+    );
+    row(
+        "IPC",
+        format!("{:.3}", b.ipc()),
+        format!("{:.3}", c.ipc()),
+    );
+    row(
+        "L1D demand misses",
+        b.l1d.demand_misses.to_string(),
+        c.l1d.demand_misses.to_string(),
+    );
+    row(
+        "L1D misses served by L2/memory",
+        b.l1d.misses_to_next_level.to_string(),
+        c.l1d.misses_to_next_level.to_string(),
+    );
+    row(
+        "wrong-execution loads",
+        b.l1d.wrong_accesses.to_string(),
+        c.l1d.wrong_accesses.to_string(),
+    );
+    row(
+        "correct hits on wrong fetches",
+        b.l1d.useful_wrong_fetches.to_string(),
+        c.l1d.useful_wrong_fetches.to_string(),
+    );
+    row(
+        "threads marked wrong",
+        b.threads_marked_wrong.to_string(),
+        c.threads_marked_wrong.to_string(),
+    );
+    println!(
+        "\nWEC speedup over the baseline: {:+.2}%  (checksums verified on both runs)",
+        (base.cycles as f64 / wec.cycles as f64 - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,47 @@
+//! Determinism: equal seed + configuration ⇒ bit-identical results and
+//! cycle counts, including when runs happen on different host threads.
+
+use wec_bench::runner::{CfgKey, Runner, Suite};
+use wec_core::config::ProcPreset;
+use wec_workloads::{run_and_verify, Bench, Scale};
+
+#[test]
+fn repeated_runs_are_cycle_identical() {
+    let w = Bench::Mcf.build(Scale::SMOKE);
+    let a = run_and_verify(&w, ProcPreset::WthWpWec.machine(8)).unwrap();
+    let b = run_and_verify(&w, ProcPreset::WthWpWec.machine(8)).unwrap();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.checksum, b.checksum);
+    assert_eq!(a.metrics.l1d.wrong_accesses, b.metrics.l1d.wrong_accesses);
+    assert_eq!(a.metrics.threads_marked_wrong, b.metrics.threads_marked_wrong);
+}
+
+#[test]
+fn workload_builds_are_reproducible() {
+    let a = Bench::Gzip.build(Scale::SMOKE);
+    let b = Bench::Gzip.build(Scale::SMOKE);
+    assert_eq!(a.expected_check, b.expected_check);
+    assert_eq!(a.program.text, b.program.text);
+    assert_eq!(a.program.data.checksum(), b.program.data.checksum());
+}
+
+#[test]
+fn parallel_host_execution_matches_serial() {
+    let suite = Suite::build(Scale::SMOKE);
+    let key = CfgKey::paper(ProcPreset::WthWpWec, 4);
+
+    // Warm in parallel across host threads…
+    let parallel = Runner::new(&suite);
+    let points: Vec<(usize, CfgKey)> = (0..suite.workloads.len()).map(|i| (i, key)).collect();
+    parallel.warm(&points);
+
+    // …and compare against strictly serial runs.
+    let serial = Runner::new(&suite);
+    for (i, _) in points.iter().enumerate() {
+        let a = parallel.metrics(i, key);
+        let b = serial.metrics(i, key);
+        assert_eq!(a.cycles, b.cycles, "{}", suite.workloads[i].name);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.l1d.demand_misses, b.l1d.demand_misses);
+    }
+}

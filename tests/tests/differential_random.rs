@@ -1,0 +1,219 @@
+//! Differential testing with randomly generated superthreaded programs.
+//!
+//! A generator builds random-but-well-formed thread-pipelined loops
+//! (random ALU dataflow, random in-bounds loads/stores, random
+//! target-store recurrences, random branchy diamonds), computes the result
+//! with a host-side interpreter, and checks that every processor
+//! configuration reproduces it exactly.  This explores corners of the
+//! scheduler and pipeline no hand-written workload reaches.
+
+use wec_common::SplitMix64;
+use wec_core::config::ProcPreset;
+use wec_core::machine::Machine;
+use wec_isa::reg::Reg;
+use wec_isa::{Program, ProgramBuilder};
+
+/// A randomly shaped parallel-region program and its expected output.
+struct GenProgram {
+    program: Program,
+    out_addr: wec_common::ids::Addr,
+    expected: Vec<u64>,
+}
+
+/// Build a random program: one parallel region over `n` iterations, each
+/// iteration applying a random (but fixed per program) dataflow to its
+/// index and a data array, plus an optional serializing accumulator.
+fn generate(seed: u64) -> GenProgram {
+    let mut rng = SplitMix64::new(seed);
+    let n = 4 + rng.below(20) as i64;
+    let data_len = 64u64;
+    let data: Vec<u64> = (0..data_len).map(|_| rng.next_u64() >> 8).collect();
+    let use_accumulator = rng.chance(0.5);
+    let diamond = rng.chance(0.7);
+    // Random per-iteration ALU recipe: a sequence of (op, operand-choice).
+    let steps: Vec<(u8, u8)> = (0..3 + rng.below(5))
+        .map(|_| (rng.below(6) as u8, rng.below(3) as u8))
+        .collect();
+
+    // ---------- host reference ----------
+    let mut expected = vec![0u64; n as usize + 1];
+    let mut acc_host = 0u64;
+    for my in 0..n as u64 {
+        let d = data[(my % data_len) as usize];
+        let mut v = my.wrapping_mul(31).wrapping_add(7);
+        for &(op, sel) in &steps {
+            let operand = match sel {
+                0 => d,
+                1 => my,
+                _ => 0x9e37_79b9,
+            };
+            v = match op {
+                0 => v.wrapping_add(operand),
+                1 => v ^ operand,
+                2 => v.wrapping_mul(operand | 1),
+                3 => v.wrapping_sub(operand),
+                4 => v | (operand >> 3),
+                _ => v.rotate_left(7) ^ operand,
+            };
+        }
+        if diamond {
+            if v & 1 == 1 {
+                v = v.wrapping_add(data[(v % data_len) as usize]);
+            } else {
+                v ^= 0x5555;
+            }
+        }
+        expected[my as usize] = v;
+        if use_accumulator {
+            acc_host = acc_host.wrapping_add(v);
+        }
+    }
+    expected[n as usize] = acc_host;
+
+    // ---------- guest program ----------
+    let mut b = ProgramBuilder::new(format!("rand{seed}"));
+    let data_base = b.alloc_u64s(&data);
+    let out = b.alloc_zeroed_u64s(n as u64 + 1);
+    let acc_cell = b.alloc_zeroed_u64s(1);
+    let _slack = b.alloc_bytes(4096, 64);
+    let (i, my, n_r, db, ob, accb, v, t0, t1) = (
+        Reg(1),
+        Reg(3),
+        Reg(22),
+        Reg(20),
+        Reg(21),
+        Reg(19),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+    );
+    b.la(db, data_base);
+    b.la(ob, out);
+    b.la(accb, acc_cell);
+    b.li(n_r, n);
+    b.li(i, 0);
+    b.begin(1);
+    b.label("body");
+    b.mv(my, i);
+    b.addi(i, i, 1);
+    b.fork(&[i], "body");
+    if use_accumulator {
+        b.tsannounce(accb, 0);
+    }
+    b.tsagdone();
+    // d = data[my % 64]
+    b.andi(t0, my, (data_len - 1) as i32);
+    b.slli(t0, t0, 3);
+    b.add(t0, db, t0);
+    b.ld(t0, t0, 0);
+    // v = my*31 + 7
+    b.alui(wec_isa::inst::AluOp::Mul, v, my, 31);
+    b.addi(v, v, 7);
+    for &(op, sel) in &steps {
+        match sel {
+            0 => b.mv(t1, t0),
+            1 => b.mv(t1, my),
+            _ => b.li(t1, 0x9e37_79b9),
+        };
+        match op {
+            0 => b.add(v, v, t1),
+            1 => b.xor(v, v, t1),
+            2 => {
+                b.alui(wec_isa::inst::AluOp::Or, t1, t1, 1);
+                b.mul(v, v, t1)
+            }
+            3 => b.sub(v, v, t1),
+            4 => {
+                b.srli(t1, t1, 3);
+                b.or(v, v, t1)
+            }
+            _ => {
+                // v = rotl(v,7) ^ operand
+                b.slli(Reg(7), v, 7);
+                b.srli(v, v, 57);
+                b.or(v, v, Reg(7));
+                b.xor(v, v, t1)
+            }
+        };
+    }
+    if diamond {
+        b.andi(t1, v, 1);
+        b.beq(t1, Reg::ZERO, "even");
+        // v += data[v % 64]
+        b.li(t1, (data_len - 1) as i64);
+        b.and(t1, v, t1);
+        b.slli(t1, t1, 3);
+        b.add(t1, db, t1);
+        b.ld(t1, t1, 0);
+        b.add(v, v, t1);
+        b.j("join");
+        b.label("even");
+        b.alui(wec_isa::inst::AluOp::Xor, v, v, 0x5555);
+        b.label("join");
+    }
+    // out[my] = v
+    b.slli(t0, my, 3);
+    b.add(t0, ob, t0);
+    b.sd(v, t0, 0);
+    if use_accumulator {
+        b.ld(t0, accb, 0);
+        b.add(t0, t0, v);
+        b.sd(t0, accb, 0);
+    }
+    b.blt(i, n_r, "done");
+    b.abort_to("seq");
+    b.label("done");
+    b.thread_end();
+    b.label("seq");
+    // out[n] = acc
+    b.ld(t0, accb, 0);
+    b.slli(t1, n_r, 3);
+    b.add(t1, ob, t1);
+    b.sd(t0, t1, 0);
+    b.halt();
+    GenProgram {
+        program: b.build().unwrap(),
+        out_addr: out,
+        expected,
+    }
+}
+
+fn check(seed: u64, preset: ProcPreset, tus: usize) {
+    let g = generate(seed);
+    let mut m = Machine::new(preset.machine(tus), &g.program).unwrap();
+    m.run()
+        .unwrap_or_else(|e| panic!("seed {seed} {} {tus}TU: {e}", preset.name()));
+    for (k, &want) in g.expected.iter().enumerate() {
+        let got = m.memory().read_u64(g.out_addr + 8 * k as u64).unwrap();
+        assert_eq!(
+            got, want,
+            "seed {seed} {} {tus}TU diverged at out[{k}]",
+            preset.name()
+        );
+    }
+}
+
+#[test]
+fn random_programs_agree_with_the_host_interpreter() {
+    let seeds: Vec<u64> = (0..24).collect();
+    let handles: Vec<_> = seeds
+        .chunks(6)
+        .map(|chunk| {
+            let chunk = chunk.to_vec();
+            std::thread::spawn(move || {
+                for seed in chunk {
+                    // Rotate presets and TU counts across seeds.
+                    let preset = ProcPreset::ALL[(seed % 8) as usize];
+                    let tus = [1usize, 2, 4, 8][(seed % 4) as usize];
+                    check(seed, preset, tus);
+                    // And always the two headline configs.
+                    check(seed, ProcPreset::Orig, 4);
+                    check(seed, ProcPreset::WthWpWec, 8);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}

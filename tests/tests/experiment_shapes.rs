@@ -1,0 +1,111 @@
+//! Shape invariants of the reproduction: the orderings that constitute the
+//! paper's claims must hold on the live simulator (SMOKE scale, generous
+//! margins — these guard the *direction* of every headline result).
+
+use wec_bench::runner::{CfgKey, Runner, Suite};
+use wec_core::config::ProcPreset;
+use wec_workloads::Scale;
+
+fn avg_cycles(runner: &Runner, key: CfgKey) -> f64 {
+    let n = runner.suite().workloads.len();
+    // Equal-importance average of speedups vs orig 8TU.
+    let base = CfgKey::paper(ProcPreset::Orig, 8);
+    let mut sum = 0.0;
+    for i in 0..n {
+        let b = runner.metrics(i, base).cycles as f64;
+        let c = runner.metrics(i, key).cycles as f64;
+        sum += b / c;
+    }
+    sum / n as f64
+}
+
+#[test]
+fn headline_orderings_hold() {
+    let suite = Suite::build(Scale::SMOKE);
+    let runner = Runner::new(&suite);
+    let keys: Vec<CfgKey> = [
+        ProcPreset::Orig,
+        ProcPreset::Vc,
+        ProcPreset::WthWp,
+        ProcPreset::WthWpVc,
+        ProcPreset::WthWpWec,
+        ProcPreset::Nlp,
+    ]
+    .iter()
+    .map(|&p| CfgKey::paper(p, 8))
+    .collect();
+    runner.warm_all_benches(&keys);
+
+    let wec = avg_cycles(&runner, CfgKey::paper(ProcPreset::WthWpWec, 8));
+    let vc = avg_cycles(&runner, CfgKey::paper(ProcPreset::Vc, 8));
+    let wth_wp = avg_cycles(&runner, CfgKey::paper(ProcPreset::WthWp, 8));
+    let wth_wp_vc = avg_cycles(&runner, CfgKey::paper(ProcPreset::WthWpVc, 8));
+    let nlp = avg_cycles(&runner, CfgKey::paper(ProcPreset::Nlp, 8));
+
+    // The paper's central claims, as inequalities on average speedup:
+    assert!(wec > 1.02, "wth-wp-wec must clearly beat orig: {wec:.4}");
+    assert!(wec > vc, "the WEC must beat a plain victim cache ({wec:.4} vs {vc:.4})");
+    assert!(
+        wec > wth_wp,
+        "the WEC must add value over bare wrong execution ({wec:.4} vs {wth_wp:.4})"
+    );
+    assert!(
+        wec >= wth_wp_vc - 1e-9,
+        "the WEC must match or beat wrong execution + victim cache ({wec:.4} vs {wth_wp_vc:.4})"
+    );
+    assert!(
+        wec > nlp,
+        "the WEC must beat next-line prefetching ({wec:.4} vs {nlp:.4})"
+    );
+}
+
+#[test]
+fn victim_cache_benefit_collapses_at_higher_associativity() {
+    // The Figure 12 claim.
+    let suite = Suite::build(Scale::SMOKE);
+    let runner = Runner::new(&suite);
+    let mut vc_dm = CfgKey::paper(ProcPreset::Vc, 8);
+    vc_dm.l1_ways = 1;
+    let mut vc_4w = CfgKey::paper(ProcPreset::Vc, 8);
+    vc_4w.l1_ways = 4;
+    let mut orig_4w = CfgKey::paper(ProcPreset::Orig, 8);
+    orig_4w.l1_ways = 4;
+    let mut wec_4w = CfgKey::paper(ProcPreset::WthWpWec, 8);
+    wec_4w.l1_ways = 4;
+    runner.warm_all_benches(&[vc_dm, vc_4w, orig_4w, wec_4w, CfgKey::paper(ProcPreset::Orig, 8)]);
+
+    let n = suite.workloads.len();
+    let (mut vc_gain_dm, mut vc_gain_4w, mut wec_gain_4w) = (0.0, 0.0, 0.0);
+    for i in 0..n {
+        let base_dm = runner.metrics(i, CfgKey::paper(ProcPreset::Orig, 8)).cycles as f64;
+        let base_4w = runner.metrics(i, orig_4w).cycles as f64;
+        vc_gain_dm += base_dm / runner.metrics(i, vc_dm).cycles as f64;
+        vc_gain_4w += base_4w / runner.metrics(i, vc_4w).cycles as f64;
+        wec_gain_4w += base_4w / runner.metrics(i, wec_4w).cycles as f64;
+    }
+    let (vc_gain_dm, vc_gain_4w, wec_gain_4w) =
+        (vc_gain_dm / n as f64, vc_gain_4w / n as f64, wec_gain_4w / n as f64);
+    assert!(
+        vc_gain_4w < vc_gain_dm,
+        "vc gain should shrink at 4-way ({vc_gain_4w:.4} vs {vc_gain_dm:.4})"
+    );
+    assert!(
+        wec_gain_4w > vc_gain_4w + 0.01,
+        "the WEC must retain an edge at 4-way ({wec_gain_4w:.4} vs {vc_gain_4w:.4})"
+    );
+}
+
+#[test]
+fn small_wec_beats_large_victim_cache() {
+    // The Figure 15 claim: wec-4 > vc-16.
+    let suite = Suite::build(Scale::SMOKE);
+    let runner = Runner::new(&suite);
+    let mut wec4 = CfgKey::paper(ProcPreset::WthWpWec, 8);
+    wec4.side_entries = 4;
+    let mut vc16 = CfgKey::paper(ProcPreset::Vc, 8);
+    vc16.side_entries = 16;
+    runner.warm_all_benches(&[wec4, vc16, CfgKey::paper(ProcPreset::Orig, 8)]);
+    let a = avg_cycles(&runner, wec4);
+    let b = avg_cycles(&runner, vc16);
+    assert!(a > b, "4-entry WEC ({a:.4}) must beat 16-entry vc ({b:.4})");
+}

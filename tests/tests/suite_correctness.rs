@@ -1,0 +1,46 @@
+//! The strongest end-to-end invariant in the repository: every benchmark
+//! analog computes its exact reference result under *every* processor
+//! configuration the paper evaluates.  Timing mechanisms — wrong-path
+//! execution, wrong threads, the WEC, victim caches, prefetching — must
+//! never change architectural results.
+
+use wec_core::config::ProcPreset;
+use wec_workloads::{run_and_verify, Bench, Scale};
+
+#[test]
+fn every_workload_is_correct_under_every_preset_at_8_tus() {
+    let handles: Vec<_> = Bench::ALL
+        .into_iter()
+        .map(|bench| {
+            std::thread::spawn(move || {
+                let w = bench.build(Scale::SMOKE);
+                for preset in ProcPreset::ALL {
+                    run_and_verify(&w, preset.machine(8))
+                        .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, preset.name()));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn every_workload_is_correct_across_tu_counts_under_wec() {
+    let handles: Vec<_> = Bench::ALL
+        .into_iter()
+        .map(|bench| {
+            std::thread::spawn(move || {
+                let w = bench.build(Scale::SMOKE);
+                for tus in [1usize, 2, 4, 16] {
+                    run_and_verify(&w, ProcPreset::WthWpWec.machine(tus))
+                        .unwrap_or_else(|e| panic!("{} at {tus} TUs: {e}", w.name));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
