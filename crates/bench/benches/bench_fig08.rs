@@ -10,7 +10,7 @@ use wec_workloads::{run_and_verify, Bench, Scale};
 
 fn bench(c: &mut Criterion) {
     let suite = Suite::build(Scale::SMOKE);
-    let runner = Runner::new(&suite);
+    let runner = Runner::without_disk_cache(&suite);
     println!("{}", experiments::fig08(&runner).render());
 
     let workload = Bench::Mcf.build(Scale::SMOKE);

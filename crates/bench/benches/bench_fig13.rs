@@ -10,11 +10,15 @@ use wec_workloads::{run_and_verify, Bench, Scale};
 
 fn bench(c: &mut Criterion) {
     let suite = Suite::build(Scale::SMOKE);
-    let runner = Runner::new(&suite);
+    let runner = Runner::without_disk_cache(&suite);
     println!("{}", experiments::fig13(&runner).render());
 
     let workload = Bench::Mcf.build(Scale::SMOKE);
-    let key: CfgKey = { let mut k = CfgKey::paper(ProcPreset::WthWpWec, 8); k.l1_kb = 4; k };
+    let key: CfgKey = {
+        let mut k = CfgKey::paper(ProcPreset::WthWpWec, 8);
+        k.l1_kb = 4;
+        k
+    };
     let _ = ProcPreset::Orig; // keep the import used across variants
     let mut group = c.benchmark_group("fig13");
     group.sample_size(10);

@@ -1,0 +1,113 @@
+//! Hot-loop component benchmarks: the per-cycle structures the simulator
+//! spends its time in (speculative memory buffer, cache tag probe, whole
+//! machine cycle loop).  `BENCH_hotloop.json` records these numbers before
+//! and after the flat-structure overhaul; regenerate with
+//!
+//! ```text
+//! WEC_BENCH_JSON=/tmp/hotloop.json cargo bench -p wec-bench --bench bench_hotloop
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wec_common::ids::{Addr, ThreadId};
+use wec_common::SplitMix64;
+use wec_core::config::ProcPreset;
+use wec_core::membuf::MemBuffer;
+use wec_mem::cache::{Cache, CacheGeometry};
+use wec_mem::line::LineFlags;
+use wec_workloads::{run_and_verify, Bench, Scale};
+
+fn bench_membuf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotloop");
+    group.sample_size(20);
+
+    // The per-thread buffer pattern of a parallel region: a burst of stores,
+    // interleaved loads (hit + miss + partial), upstream traffic, one drain.
+    group.bench_function("membuf store/load/drain region", |b| {
+        let mut rng = SplitMix64::new(42);
+        b.iter(|| {
+            let mut buf = MemBuffer::new();
+            buf.announce_upstream(Addr(0x2000), ThreadId(1));
+            for i in 0..64u64 {
+                let addr = Addr(0x1000 + (rng.below(128) & !7) * 8);
+                buf.record_store(addr, 8, i.wrapping_mul(0x9E37));
+                black_box(buf.check_load(Addr(0x1000 + (rng.below(1024)) * 8), 8));
+                black_box(buf.check_load(addr, 4));
+            }
+            buf.release_upstream(Addr(0x2000), 8, 7, ThreadId(1));
+            black_box(buf.check_load(Addr(0x2000), 8));
+            black_box(buf.drain_own().len())
+        })
+    });
+
+    // Pure dependence-checking path: announced-but-unreleased overlap probes.
+    group.bench_function("membuf announced overlap probe", |b| {
+        let mut buf = MemBuffer::new();
+        for t in 0..4u64 {
+            buf.announce_upstream(Addr(0x4000 + t * 64), ThreadId(t));
+        }
+        for i in 0..32u64 {
+            buf.record_store(Addr(0x1000 + i * 8), 8, i);
+        }
+        let mut rng = SplitMix64::new(7);
+        b.iter(|| {
+            let addr = Addr(0x1000 + (rng.below(2048)) * 4);
+            black_box(buf.check_load(addr, 8))
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotloop");
+    group.sample_size(20);
+
+    // The L1 probe mix of a running simulation: mostly hits, periodic
+    // conflict-miss inserts.  Direct-mapped (paper default) and 4-way.
+    for (name, ways) in [("dm", 1usize), ("4way", 4)] {
+        group.bench_function(&format!("cache probe+insert mix ({name})"), |b| {
+            let mut cache = Cache::new(CacheGeometry::from_capacity(8 * 1024, ways, 64).unwrap());
+            for i in 0..128u64 {
+                cache.insert(Addr(i * 64), LineFlags::DEMAND);
+            }
+            let mut rng = SplitMix64::new(3);
+            b.iter(|| {
+                let addr = Addr(rng.below(64 * 1024) & !7);
+                if cache.touch(addr).is_none() {
+                    black_box(cache.insert(addr, LineFlags::DEMAND));
+                }
+                black_box(cache.contains(addr))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotloop");
+    group.sample_size(10);
+
+    // End-to-end cycle loop on the paper machine: mcf (pointer-chasing, the
+    // WEC's motivating workload) under the full wth-wp-wec preset exercises
+    // fork/announce/release, wrong threads, and the write-back watermark.
+    let mcf = Bench::Mcf.build(Scale::SMOKE);
+    group.bench_function("simulate mcf smoke (wth-wp-wec, 8 TU)", |b| {
+        b.iter(|| {
+            run_and_verify(&mcf, ProcPreset::WthWpWec.machine(8))
+                .unwrap()
+                .cycles
+        })
+    });
+
+    let gzip = Bench::Gzip.build(Scale::SMOKE);
+    group.bench_function("simulate gzip smoke (orig, 8 TU)", |b| {
+        b.iter(|| {
+            run_and_verify(&gzip, ProcPreset::Orig.machine(8))
+                .unwrap()
+                .cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_membuf, bench_cache, bench_machine);
+criterion_main!(benches);

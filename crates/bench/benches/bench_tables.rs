@@ -8,7 +8,7 @@ use wec_workloads::{Bench, Scale};
 
 fn bench(c: &mut Criterion) {
     let suite = Suite::build(Scale::SMOKE);
-    let runner = Runner::new(&suite);
+    let runner = Runner::without_disk_cache(&suite);
     println!("{}", experiments::table1(&suite).render());
     println!("{}", experiments::table2(&runner).render());
     println!("{}", experiments::table3().render());

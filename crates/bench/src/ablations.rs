@@ -118,7 +118,7 @@ mod tests {
         // One tiny point to keep the test fast: shrink the sweep by running
         // only the block-size table at SMOKE scale.
         let suite = Suite::build(Scale::SMOKE);
-        let runner = Runner::new(&suite);
+        let runner = Runner::without_disk_cache(&suite);
         let t = block_size(&runner);
         assert_eq!(t.n_rows(), 7);
     }

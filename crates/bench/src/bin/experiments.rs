@@ -1,8 +1,13 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [--scale N] [--only figNN|tableN] [--csv]
+//! experiments [--scale N] [--only figNN|tableN] [--csv] [--no-cache]
 //! ```
+//!
+//! Results are memoized on disk (default `target/wec-result-cache`,
+//! override with `WEC_RESULT_CACHE`), so a rerun at the same scale and
+//! simulator revision replays from the store.  `--no-cache` neither reads
+//! nor writes the store.
 
 use wec_bench::experiments;
 
@@ -15,6 +20,7 @@ fn main() {
     let mut scale = Scale::PAPER;
     let mut only: Option<String> = None;
     let mut csv = false;
+    let mut no_cache = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -25,18 +31,35 @@ fn main() {
             }
             "--only" => only = it.next().cloned(),
             "--csv" => csv = true,
+            "--no-cache" => no_cache = true,
             other => panic!("unknown argument {other:?}"),
         }
     }
 
-    eprintln!("building the workload suite (scale units = {})…", scale.units);
+    eprintln!(
+        "building the workload suite (scale units = {})…",
+        scale.units
+    );
     let t0 = std::time::Instant::now();
     let suite = Suite::build(scale);
-    eprintln!("built in {:.1}s; running experiments…", t0.elapsed().as_secs_f64());
-    let runner = Runner::new(&suite);
+    eprintln!(
+        "built in {:.1}s; running experiments…",
+        t0.elapsed().as_secs_f64()
+    );
+    let runner = if no_cache {
+        Runner::without_disk_cache(&suite)
+    } else {
+        Runner::new(&suite)
+    };
+    if let Some(dir) = runner.disk_dir() {
+        eprintln!("result cache: {}", dir.display());
+    }
 
     let selected: Vec<(&str, TableFn)> = vec![
-        ("table1", Box::new(|r: &Runner| experiments::table1(r.suite()))),
+        (
+            "table1",
+            Box::new(|r: &Runner| experiments::table1(r.suite())),
+        ),
         ("table2", Box::new(experiments::table2)),
         ("table3", Box::new(|_r: &Runner| experiments::table3())),
         ("fig08", Box::new(experiments::fig08)),
@@ -49,9 +72,18 @@ fn main() {
         ("fig15", Box::new(experiments::fig15)),
         ("fig16", Box::new(experiments::fig16)),
         ("fig17", Box::new(experiments::fig17)),
-        ("ablation_mem_latency", Box::new(wec_bench::ablations::memory_latency)),
-        ("ablation_block_size", Box::new(wec_bench::ablations::block_size)),
-        ("ablation_bpred", Box::new(wec_bench::ablations::branch_prediction)),
+        (
+            "ablation_mem_latency",
+            Box::new(wec_bench::ablations::memory_latency),
+        ),
+        (
+            "ablation_block_size",
+            Box::new(wec_bench::ablations::block_size),
+        ),
+        (
+            "ablation_bpred",
+            Box::new(wec_bench::ablations::branch_prediction),
+        ),
     ];
 
     for (name, f) in &selected {
@@ -68,7 +100,11 @@ fn main() {
         } else {
             print!("{}", table.render());
         }
-        eprintln!("[{name}: {:.1}s, {} simulations cached]", t.elapsed().as_secs_f64(), runner.simulations());
+        eprintln!(
+            "[{name}: {:.1}s, {} simulations cached]",
+            t.elapsed().as_secs_f64(),
+            runner.simulations()
+        );
         println!();
     }
     eprintln!(

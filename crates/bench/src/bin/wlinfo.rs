@@ -21,7 +21,17 @@ fn main() {
 
     println!(
         "{:12} {:>10} {:>10} {:>8} {:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>7}",
-        "bench", "cycles", "instr", "par%", "ipc", "l1d_miss", "l1d_acc", "wrongacc", "wthreads", "mispred%", "check"
+        "bench",
+        "cycles",
+        "instr",
+        "par%",
+        "ipc",
+        "l1d_miss",
+        "l1d_acc",
+        "wrongacc",
+        "wthreads",
+        "mispred%",
+        "check"
     );
     for bench in Bench::ALL {
         if !bench.name().contains(&filter) {
@@ -52,7 +62,11 @@ fn main() {
                 );
             }
             Err(e) => {
-                println!("{:12} ERROR: {e} ({:.1}s)", w.name, t0.elapsed().as_secs_f64());
+                println!(
+                    "{:12} ERROR: {e} ({:.1}s)",
+                    w.name,
+                    t0.elapsed().as_secs_f64()
+                );
                 // Re-run to just before the limit and dump machine state.
                 let mut cfg2 = preset.machine(tus);
                 cfg2.max_cycles = max;

@@ -48,11 +48,7 @@ fn push_average_speedup_row(t: &mut Table, pairs: &[Vec<(u64, u64)>]) {
 
 /// Table 1: the manual program transformations used per benchmark.
 pub fn table1(suite: &Suite) -> Table {
-    let transforms = [
-        "loop coalescing",
-        "loop unrolling",
-        "statement reordering",
-    ];
+    let transforms = ["loop coalescing", "loop unrolling", "statement reordering"];
     let mut header = vec!["transformation"];
     header.extend(suite.workloads.iter().map(|w| w.name));
     let mut t = Table::new(
@@ -192,10 +188,7 @@ pub fn fig09(runner: &Runner) -> Table {
         columns.push((format!("{n}TU orig"), CfgKey::paper(ProcPreset::Orig, n)));
     }
     for &n in &tus {
-        columns.push((
-            format!("{n}TU wec"),
-            CfgKey::paper(ProcPreset::WthWpWec, n),
-        ));
+        columns.push((format!("{n}TU wec"), CfgKey::paper(ProcPreset::WthWpWec, n)));
     }
     let mut keys: Vec<CfgKey> = columns.iter().map(|(_, k)| *k).collect();
     keys.push(base);

@@ -9,6 +9,7 @@
 //! simulation.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -131,22 +132,75 @@ impl CfgKey {
     }
 }
 
+/// FNV-1a over a byte string; stable across runs and platforms, unlike the
+/// std hasher.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// A memoizing, host-parallel simulation runner over one suite.
+///
+/// Results are memoized at two levels: an in-process map, and (unless
+/// disabled) a persistent on-disk store of `MachineMetrics` key-value
+/// files, so re-running `experiments` after the first sweep reads results
+/// instead of re-simulating.  Disk entries are keyed by benchmark, scale,
+/// the full [`CfgKey`] and [`wec_core::SIM_REVISION`], so any change to
+/// the machine configuration or to simulator semantics misses cleanly.
 pub struct Runner<'a> {
     suite: &'a Suite,
     cache: Mutex<HashMap<(usize, CfgKey), MachineMetrics>>,
+    /// Directory of the persistent result store, if enabled.
+    disk: Option<PathBuf>,
+}
+
+/// Default location of the on-disk result store: `target/wec-result-cache`
+/// at the workspace root, overridable with `WEC_RESULT_CACHE`.
+pub fn default_disk_dir() -> PathBuf {
+    match std::env::var_os("WEC_RESULT_CACHE") {
+        Some(dir) => PathBuf::from(dir),
+        None => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/wec-result-cache"),
+    }
 }
 
 impl<'a> Runner<'a> {
+    /// Runner with the persistent disk store at [`default_disk_dir`].
     pub fn new(suite: &'a Suite) -> Self {
+        Self::with_disk_dir(suite, default_disk_dir())
+    }
+
+    /// Runner with only the in-process cache (the `--no-cache` escape
+    /// hatch, and what hermetic tests should use unless they test the
+    /// store itself).
+    pub fn without_disk_cache(suite: &'a Suite) -> Self {
         Runner {
             suite,
             cache: Mutex::new(HashMap::new()),
+            disk: None,
+        }
+    }
+
+    /// Runner with the persistent store rooted at `dir` (tests point this
+    /// at a scratch directory).
+    pub fn with_disk_dir(suite: &'a Suite, dir: PathBuf) -> Self {
+        Runner {
+            suite,
+            cache: Mutex::new(HashMap::new()),
+            disk: Some(dir),
         }
     }
 
     pub fn suite(&self) -> &Suite {
         self.suite
+    }
+
+    /// The persistent store directory, if enabled.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_deref()
     }
 
     fn run_one(w: &Workload, key: CfgKey) -> MachineMetrics {
@@ -157,13 +211,62 @@ impl<'a> Runner<'a> {
         }
     }
 
+    /// Path of the on-disk entry for one point.  The filename keeps the
+    /// benchmark and scale readable and folds everything that determines
+    /// the result — including the simulator revision — into the hash.
+    fn disk_path(&self, bench_idx: usize, key: CfgKey) -> Option<PathBuf> {
+        let dir = self.disk.as_ref()?;
+        let name = self.suite.workloads[bench_idx].name;
+        let scale = self.suite.scale.units;
+        let id = format!("{name}|{scale}|{key:?}|rev{}", wec_core::SIM_REVISION);
+        Some(dir.join(format!("{name}_{scale}_{:016x}.kv", fnv1a(id.as_bytes()))))
+    }
+
+    /// Read a point from the disk store.  Unreadable or unparsable files
+    /// are treated as misses (the entry will be recomputed and rewritten).
+    fn disk_load(&self, bench_idx: usize, key: CfgKey) -> Option<MachineMetrics> {
+        let path = self.disk_path(bench_idx, key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        MachineMetrics::from_kv(&text).ok()
+    }
+
+    /// Write a point to the disk store.  Best-effort: a read-only or
+    /// missing target directory silently degrades to in-process caching.
+    /// The write goes to a per-thread temp name first and is renamed into
+    /// place, so concurrent writers and readers never see partial files.
+    fn disk_store(&self, bench_idx: usize, key: CfgKey, m: &MachineMetrics) {
+        let Some(path) = self.disk_path(bench_idx, key) else {
+            return;
+        };
+        let Some(dir) = path.parent() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        if std::fs::write(&tmp, m.to_kv()).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
     /// Metrics for one (benchmark, configuration) point, simulated at most
-    /// once per runner.
+    /// once per runner (and, with the disk store, at most once per machine
+    /// per simulator revision).
     pub fn metrics(&self, bench_idx: usize, key: CfgKey) -> MachineMetrics {
         if let Some(m) = self.cache.lock().unwrap().get(&(bench_idx, key)) {
             return m.clone();
         }
-        let m = Self::run_one(&self.suite.workloads[bench_idx], key);
+        let m = match self.disk_load(bench_idx, key) {
+            Some(m) => m,
+            None => {
+                let m = Self::run_one(&self.suite.workloads[bench_idx], key);
+                self.disk_store(bench_idx, key, &m);
+                m
+            }
+        };
         self.cache
             .lock()
             .unwrap()
@@ -175,7 +278,16 @@ impl<'a> Runner<'a> {
     /// the cache (results are deterministic regardless of scheduling — the
     /// simulator itself is single-threaded and seeded).
     pub fn warm(&self, points: &[(usize, CfgKey)]) {
-        let pending: Vec<(usize, CfgKey)> = {
+        let hosts = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        self.warm_with_hosts(points, hosts);
+    }
+
+    /// [`Runner::warm`] with an explicit host-thread count (determinism
+    /// tests sweep this to show results do not depend on scheduling).
+    pub fn warm_with_hosts(&self, points: &[(usize, CfgKey)], hosts: usize) {
+        let mut pending: Vec<(usize, CfgKey)> = {
             let cache = self.cache.lock().unwrap();
             points
                 .iter()
@@ -183,13 +295,20 @@ impl<'a> Runner<'a> {
                 .filter(|p| !cache.contains_key(p))
                 .collect()
         };
+        // Satisfy what we can from the disk store before spawning workers.
+        if self.disk.is_some() {
+            pending.retain(|&(bench, key)| match self.disk_load(bench, key) {
+                Some(m) => {
+                    self.cache.lock().unwrap().insert((bench, key), m);
+                    false
+                }
+                None => true,
+            });
+        }
         if pending.is_empty() {
             return;
         }
-        let hosts = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(pending.len());
+        let hosts = hosts.max(1).min(pending.len());
         let next = AtomicUsize::new(0);
         std::thread::scope(|s| {
             for _ in 0..hosts {
@@ -199,6 +318,7 @@ impl<'a> Runner<'a> {
                         return;
                     };
                     let m = Self::run_one(&self.suite.workloads[bench], key);
+                    self.disk_store(bench, key, &m);
                     self.cache.lock().unwrap().insert((bench, key), m);
                 });
             }
@@ -251,6 +371,9 @@ mod tests {
         key.width = 4;
         let cfg = key.build();
         assert_eq!(cfg.core.width, 4);
-        assert!(cfg.core.wrong_path_loads, "wp switch lost by width override");
+        assert!(
+            cfg.core.wrong_path_loads,
+            "wp switch lost by width override"
+        );
     }
 }

@@ -53,7 +53,10 @@ impl StatSet {
 
     /// First value recorded under `name`, if any.
     pub fn get(&self, name: &str) -> Option<u64> {
-        self.entries.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
     }
 
     /// Sum of every entry whose name ends with `suffix` (aggregates per-TU

@@ -244,7 +244,10 @@ impl DataPath {
                     // Swap: the displaced L1 victim takes the side slot.
                     if let Some(victim) = self.l1.insert(addr, flags) {
                         self.stats.evictions.inc();
-                        self.side.as_mut().unwrap().insert(victim.addr, victim.flags);
+                        self.side
+                            .as_mut()
+                            .unwrap()
+                            .insert(victim.addr, victim.flags);
                     }
                     if self.cfg.side == SideKind::Wec && (was_wrong || was_prefetched) {
                         // First correct use of a wrongly-fetched block:
@@ -283,9 +286,10 @@ impl DataPath {
         // Miss everywhere: fetch from L2 into the L1.
         self.stats.demand_misses_to_next_level.inc();
         let fetch_start = now.plus(hit_latency);
-        let ready = match self.mshrs.register(addr, now, || {
-            l2.access(addr, kind, false, fetch_start)
-        }) {
+        let ready = match self
+            .mshrs
+            .register(addr, now, || l2.access(addr, kind, false, fetch_start))
+        {
             MshrOutcome::NewMiss(r) | MshrOutcome::Merged(r) => r,
             MshrOutcome::Full => return DpResult::Retry,
         };
@@ -299,8 +303,11 @@ impl DataPath {
                 SideKind::Victim | SideKind::Wec => {
                     // Victim-cache behaviour: the displaced block parks in
                     // the side structure.
-                    if let Some(side_victim) =
-                        self.side.as_mut().unwrap().insert(victim.addr, victim.flags)
+                    if let Some(side_victim) = self
+                        .side
+                        .as_mut()
+                        .unwrap()
+                        .insert(victim.addr, victim.flags)
                     {
                         self.writeback_if_dirty(side_victim.addr, side_victim.flags, now, l2);
                     }
@@ -350,9 +357,10 @@ impl DataPath {
         // Double miss: fetch from the next level.
         self.stats.wrong_misses_to_next_level.inc();
         let fetch_start = now.plus(hit_latency);
-        let ready = match self.mshrs.register(addr, now, || {
-            l2.access(addr, kind, false, fetch_start)
-        }) {
+        let ready = match self
+            .mshrs
+            .register(addr, now, || l2.access(addr, kind, false, fetch_start))
+        {
             MshrOutcome::NewMiss(r) | MshrOutcome::Merged(r) => r,
             MshrOutcome::Full => return DpResult::Retry,
         };
@@ -370,8 +378,11 @@ impl DataPath {
                 if let Some(victim) = self.l1.insert(addr, LineFlags::WRONG) {
                     self.stats.evictions.inc();
                     if self.cfg.side == SideKind::Victim {
-                        if let Some(side_victim) =
-                            self.side.as_mut().unwrap().insert(victim.addr, victim.flags)
+                        if let Some(side_victim) = self
+                            .side
+                            .as_mut()
+                            .unwrap()
+                            .insert(victim.addr, victim.flags)
                         {
                             self.writeback_if_dirty(side_victim.addr, side_victim.flags, now, l2);
                         }
@@ -403,7 +414,12 @@ impl DataPath {
         }
         // Prefetches ride the L2 in the background; nobody waits on them, so
         // the instant-fill simplification costs nothing here.
-        let _ = l2.access(addr, AccessKind::Prefetch, false, now.plus(self.cfg.hit_latency));
+        let _ = l2.access(
+            addr,
+            AccessKind::Prefetch,
+            false,
+            now.plus(self.cfg.hit_latency),
+        );
         if let Some(side) = self.side.as_mut() {
             if let Some(victim) = side.insert(addr, flags) {
                 self.writeback_if_dirty(victim.addr, victim.flags, now, l2);
@@ -570,7 +586,10 @@ mod tests {
         let t_wrong = done(d.access(a, AccessKind::WrongPathLoad, Cycle(0), &mut l2));
         let t_correct = done(d.access(a, AccessKind::CorrectLoad, Cycle(2), &mut l2));
         assert_eq!(t_wrong, t_correct, "must merge into the same refill");
-        assert_eq!(l2.stats.wrong_accesses.get() + l2.stats.demand_accesses.get(), 1);
+        assert_eq!(
+            l2.stats.wrong_accesses.get() + l2.stats.demand_accesses.get(),
+            1
+        );
     }
 
     #[test]

@@ -34,6 +34,14 @@
 //! assert!(result.cycles > 0);
 //! ```
 
+/// Simulator semantics revision.
+///
+/// Any change that can alter the metrics a simulation produces — timing
+/// model edits, new mechanisms, bug fixes — must bump this constant.  It is
+/// folded into the on-disk result-cache key, so stale cached results from
+/// an older simulator are never returned as current ones.
+pub const SIM_REVISION: u32 = 1;
+
 pub mod config;
 pub mod dpath;
 pub mod events;

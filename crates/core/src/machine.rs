@@ -20,7 +20,7 @@
 //!   suppressed, dependence waits bypassed — and die at their own abort or
 //!   thread-end, or when the next `begin` sweeps them away.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use wec_common::error::{SimError, SimResult};
@@ -39,7 +39,7 @@ use crate::dpath::{DataPath, DpResult};
 use crate::events::{EventLog, SchedEvent};
 use crate::membuf::{apply_word, LoadCheck};
 use crate::metrics::{L1dAggregate, MachineMetrics};
-use crate::thread::{ThreadCtx, ThreadState};
+use crate::thread::{AliveTable, ThreadCtx, ThreadState, TsagDone, WrongSet};
 
 /// Execution mode of the machine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,8 +59,16 @@ struct TsEvent {
 
 #[derive(Clone, Debug)]
 enum DeliveryEvent {
-    Announce { addr: Addr, from: u64 },
-    Release { addr: Addr, bytes: u64, value: u64, from: u64 },
+    Announce {
+        addr: Addr,
+        from: u64,
+    },
+    Release {
+        addr: Addr,
+        bytes: u64,
+        value: u64,
+        from: u64,
+    },
 }
 
 #[derive(Clone, Debug)]
@@ -138,11 +146,11 @@ struct Shared {
     region_snapshot: ArchRegs,
     tu_busy: Vec<bool>,
     /// Alive threads (including wrong ones): id → TU.
-    alive: BTreeMap<u64, usize>,
-    wrong_set: BTreeSet<u64>,
+    alive: AliveTable,
+    wrong_set: WrongSet,
     ts_log: Vec<TsEvent>,
     deliveries: Vec<Delivery>,
-    tsag_done: BTreeMap<u64, Cycle>,
+    tsag_done: TsagDone,
     pending_forks: Vec<PendingFork>,
     deferred_forks: Vec<DeferredFork>,
     pending_kills: Vec<usize>,
@@ -161,7 +169,7 @@ impl Shared {
     }
 
     fn is_wrong(&self, id: u64) -> bool {
-        self.wrong_set.contains(&id)
+        self.wrong_set.contains(id)
     }
 
     /// Log + deliver a TSAG announcement from `from`.
@@ -172,8 +180,8 @@ impl Shared {
             release: None,
         });
         let at = self.now.plus(self.cfg.ring_latency);
-        for (&id, _) in self.alive.range(from + 1..) {
-            if !self.is_wrong(id) {
+        for &(id, _) in self.alive.after(from) {
+            if !self.wrong_set.contains(id) {
                 self.deliveries.push(Delivery {
                     at,
                     to: id,
@@ -194,8 +202,8 @@ impl Shared {
             ev.release = Some((bytes, value));
         }
         let at = self.now.plus(self.cfg.ring_latency);
-        for (&id, _) in self.alive.range(from + 1..) {
-            if !self.is_wrong(id) {
+        for &(id, _) in self.alive.after(from) {
+            if !self.wrong_set.contains(id) {
                 self.deliveries.push(Delivery {
                     at,
                     to: id,
@@ -214,11 +222,7 @@ impl Shared {
     /// scheduled and deferred forks.
     fn cut_successors(&mut self, of: u64) {
         let mark_wrong = self.cfg.wrong_thread;
-        let victims: Vec<(u64, usize)> = self
-            .alive
-            .range(of + 1..)
-            .map(|(&id, &tu)| (id, tu))
-            .collect();
+        let victims: Vec<(u64, usize)> = self.alive.after(of).to_vec();
         for (id, tu) in victims {
             self.pending_voids.push(id);
             if mark_wrong {
@@ -228,7 +232,7 @@ impl Shared {
                     self.events.record(now, SchedEvent::MarkedWrong { id });
                 }
             } else {
-                self.alive.remove(&id);
+                self.alive.remove(id);
                 self.tu_busy[tu] = false;
                 self.pending_kills.push(tu);
                 self.stats.threads_killed.inc();
@@ -257,11 +261,10 @@ impl Shared {
         let victims: Vec<(u64, usize)> = self
             .alive
             .iter()
-            .filter(|(id, _)| self.wrong_set.contains(id))
-            .map(|(&id, &tu)| (id, tu))
+            .filter(|&(id, _)| self.wrong_set.contains(id))
             .collect();
         for (id, tu) in victims {
-            self.alive.remove(&id);
+            self.alive.remove(id);
             self.tu_busy[tu] = false;
             self.pending_kills.push(tu);
             self.stats.threads_killed.inc();
@@ -327,11 +330,11 @@ impl Machine {
                 v[0] = true;
                 v
             },
-            alive: BTreeMap::new(),
-            wrong_set: BTreeSet::new(),
+            alive: AliveTable::new(),
+            wrong_set: WrongSet::new(),
             ts_log: Vec::new(),
             deliveries: Vec::new(),
-            tsag_done: BTreeMap::new(),
+            tsag_done: TsagDone::new(),
             pending_forks: Vec::new(),
             deferred_forks: Vec::new(),
             pending_kills: Vec::new(),
@@ -418,7 +421,7 @@ impl Machine {
                 continue;
             }
             match occ {
-                Some(id) if self.shared.wrong_set.contains(id) => {
+                Some(id) if self.shared.wrong_set.contains(*id) => {
                     self.shared.stats.wrong_instructions.add(delta)
                 }
                 Some(_) => self.shared.stats.parallel_instructions.add(delta),
@@ -443,9 +446,9 @@ impl Machine {
                     t.membuf.void_upstream(ThreadId(dead));
                 }
             }
-            self.shared
-                .deliveries
-                .retain(|d| !matches!(&d.ev, DeliveryEvent::Announce { from, .. } if *from == dead));
+            self.shared.deliveries.retain(
+                |d| !matches!(&d.ev, DeliveryEvent::Announce { from, .. } if *from == dead),
+            );
             self.shared.ts_log.retain(|e| e.from != dead);
         }
 
@@ -460,7 +463,7 @@ impl Machine {
             }
         });
         for d in due {
-            let Some(&tu) = self.shared.alive.get(&d.to) else {
+            let Some(tu) = self.shared.alive.get(d.to) else {
                 continue;
             };
             let Some(t) = self.tus[tu].thread.as_mut() else {
@@ -478,7 +481,9 @@ impl Machine {
                     bytes,
                     value,
                     from,
-                } => t.membuf.release_upstream(addr, bytes, value, ThreadId(from)),
+                } => t
+                    .membuf
+                    .release_upstream(addr, bytes, value, ThreadId(from)),
             }
         }
 
@@ -525,10 +530,10 @@ impl Machine {
             };
             // A thread that reached thread_end *before* being marked wrong
             // must still be squashed before its write-back stage (§3.1.2).
-            if t.state == ThreadState::WaitWb && self.shared.wrong_set.contains(&t.id.0) {
+            if t.state == ThreadState::WaitWb && self.shared.wrong_set.contains(t.id.0) {
                 let id = t.id.0;
                 self.shared.events.record(now, SchedEvent::WrongDied { id });
-                self.shared.alive.remove(&id);
+                self.shared.alive.remove(id);
                 self.shared.tu_busy[i] = false;
                 self.shared.pending_voids.push(id);
                 slot.core.force_stop();
@@ -585,9 +590,11 @@ impl Machine {
         retired.sort_unstable();
         for (id, tu) in retired {
             debug_assert_eq!(id, self.shared.watermark);
-            self.shared.events.record(now, SchedEvent::Retired { id, tu });
+            self.shared
+                .events
+                .record(now, SchedEvent::Retired { id, tu });
             self.shared.watermark = id + 1;
-            self.shared.alive.remove(&id);
+            self.shared.alive.remove(id);
             self.shared.tu_busy[tu] = false;
             self.tus[tu].thread = None;
             self.shared.stats.threads_retired.inc();
@@ -617,9 +624,7 @@ impl Machine {
         for addr in std::mem::take(&mut self.shared.pending_updates) {
             self.shared.stats.bus_broadcasts.inc();
             for (i, slot) in self.tus.iter().enumerate() {
-                if i != writer
-                    && (slot.dpath.l1_contains(addr) || slot.dpath.side_contains(addr))
-                {
+                if i != writer && (slot.dpath.l1_contains(addr) || slot.dpath.side_contains(addr)) {
                     self.shared.stats.bus_copies_updated.inc();
                 }
             }
@@ -633,8 +638,8 @@ impl Machine {
         // is visible in memory).
         for ev in &self.shared.ts_log {
             if ev.from < f.id
-                && self.shared.alive.contains_key(&ev.from)
-                && !self.shared.wrong_set.contains(&ev.from)
+                && self.shared.alive.contains(ev.from)
+                && !self.shared.wrong_set.contains(ev.from)
             {
                 ctx.membuf.announce_upstream(ev.addr, ThreadId(ev.from));
                 if let Some((bytes, value)) = ev.release {
@@ -761,7 +766,12 @@ impl Machine {
             let thread = slot
                 .thread
                 .as_ref()
-                .map(|t| format!("{} {:?} forked={} aborted={}", t.id, t.state, t.forked, t.aborted))
+                .map(|t| {
+                    format!(
+                        "{} {:?} forked={} aborted={}",
+                        t.id, t.state, t.forked, t.aborted
+                    )
+                })
                 .unwrap_or_else(|| "-".into());
             let _ = writeln!(
                 s,
@@ -895,7 +905,7 @@ impl CoreEnv for TuEnv<'_> {
             // killed by a `begin` earlier in this same cycle can still be
             // ticking — after `wrong_set` was cleared — and must not leak a
             // garbage release into the new region.)
-            let alive_here = self.shared.alive.get(&id) == Some(&self.tu);
+            let alive_here = self.shared.alive.get(id) == Some(self.tu);
             if is_target && alive_here && !self.shared.is_wrong(id) {
                 self.shared.release_event(id, addr, bytes, value);
             }
@@ -925,7 +935,7 @@ impl CoreEnv for TuEnv<'_> {
         // Nothing it commits may have machine-level effects — especially not
         // a fork, which would create an untracked zombie thread.
         if let Some(t) = self.thread.as_ref() {
-            if !self.shared.alive.contains_key(&t.id.0) {
+            if !self.shared.alive.contains(t.id.0) {
                 *self.thread = None;
                 return StaOutcome::Stop;
             }
@@ -1063,7 +1073,7 @@ impl TuEnv<'_> {
             // A wrong thread's abort kills only itself (§3.1.2).
             let now = self.shared.now;
             self.shared.events.record(now, SchedEvent::WrongDied { id });
-            self.shared.alive.remove(&id);
+            self.shared.alive.remove(id);
             self.shared.tu_busy[self.tu] = false;
             self.shared.pending_voids.push(id);
             *self.thread = None;
@@ -1099,7 +1109,7 @@ impl TuEnv<'_> {
                 });
             }
         }
-        self.shared.alive.remove(&id);
+        self.shared.alive.remove(id);
         self.shared.watermark = id + 1;
         self.shared.mode = Mode::Sequential { tu: self.tu };
         let now = self.shared.now;
@@ -1143,8 +1153,8 @@ impl TuEnv<'_> {
         let ready = if id == self.shared.region_first || self.shared.watermark >= id {
             true
         } else {
-            match self.shared.tsag_done.get(&(id - 1)) {
-                Some(&at) => at.plus(self.shared.cfg.ring_latency) <= now,
+            match self.shared.tsag_done.get(id - 1) {
+                Some(at) => at.plus(self.shared.cfg.ring_latency) <= now,
                 None => false,
             }
         };
@@ -1169,7 +1179,7 @@ impl TuEnv<'_> {
             // Squashed before the write-back stage (§3.1.2).
             let now = self.shared.now;
             self.shared.events.record(now, SchedEvent::WrongDied { id });
-            self.shared.alive.remove(&id);
+            self.shared.alive.remove(id);
             self.shared.tu_busy[self.tu] = false;
             self.shared.pending_voids.push(id);
             *self.thread = None;

@@ -10,8 +10,18 @@
 //! threads *announce* their target-store addresses in the TSAG stage and
 //! *release* the values when the stores execute; a downstream load that
 //! overlaps an announced-but-unreleased entry must wait.
-
-use std::collections::BTreeMap;
+//!
+//! ## Representation
+//!
+//! Buffered bytes live in [`WordStore`]s: open-addressed hash tables keyed
+//! by 8-byte-aligned word address, each entry carrying a byte-presence mask
+//! and the byte lanes themselves.  A load or store touches at most two
+//! words, so `check_load`/`record_store` are a handful of table probes
+//! instead of the per-byte B-tree walks they replace, and `clear` is an
+//! epoch bump rather than a tree teardown.  Entries are only ever added
+//! within an epoch (stores are never undone — a squashed thread drops the
+//! whole buffer), which is what makes stale-epoch slots safe to treat as
+//! empty.
 
 use wec_common::ids::{Addr, ThreadId};
 
@@ -27,6 +37,234 @@ pub enum LoadCheck {
     Miss,
     /// Overlaps an announced target store whose value has not arrived.
     Wait,
+}
+
+/// One slot of a [`WordStore`]: a word address, the epoch it was written
+/// in, which byte lanes are present, and their values (absent lanes are
+/// kept zero so word-level mask algebra needs no per-byte cleanup).
+#[derive(Clone, Copy, Debug)]
+struct WordSlot {
+    word: u64,
+    epoch: u64,
+    mask: u8,
+    value: u64,
+}
+
+const EMPTY_SLOT: WordSlot = WordSlot {
+    word: 0,
+    epoch: 0,
+    mask: 0,
+    value: 0,
+};
+
+/// Byte-presence map at word granularity: an open-addressed, epoch-tagged
+/// hash table from 8-byte-aligned addresses to (byte mask, byte lanes).
+///
+/// Lanes not covered by `mask` are zero in `value`.  `clear` bumps the
+/// epoch (O(1)); slots from older epochs read as empty.  The table only
+/// grows; for the simulator's buffers (≤ a few hundred words per thread)
+/// it stays at a few KB.
+#[derive(Clone, Debug)]
+pub struct WordStore {
+    /// Power-of-two table; `epoch == self.epoch` marks a live slot.
+    slots: Vec<WordSlot>,
+    /// Current generation; bumped by [`clear`](Self::clear). Starts at 1 so
+    /// zero-initialized slots are never live.
+    epoch: u64,
+    /// Live entries (distinct words).
+    words: usize,
+    /// Live bytes (sum of mask popcounts).
+    bytes: usize,
+}
+
+impl Default for WordStore {
+    fn default() -> Self {
+        WordStore {
+            slots: Vec::new(),
+            epoch: 1,
+            words: 0,
+            bytes: 0,
+        }
+    }
+}
+
+/// Spread a byte-presence mask into a per-lane byte mask
+/// (bit i → byte i = 0xff), via a compile-time table.
+#[inline]
+fn spread(mask: u8) -> u64 {
+    const TABLE: [u64; 256] = {
+        let mut t = [0u64; 256];
+        let mut m = 0usize;
+        while m < 256 {
+            let mut lane = 0;
+            while lane < 8 {
+                if m & (1 << lane) != 0 {
+                    t[m] |= 0xff << (8 * lane);
+                }
+                lane += 1;
+            }
+            m += 1;
+        }
+        t
+    };
+    TABLE[mask as usize]
+}
+
+impl WordStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn hash(word: u64) -> u64 {
+        // splitmix64 finalizer: full-avalanche, cheap.
+        let mut z = word.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 27;
+        z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Distinct words present.
+    pub fn word_count(&self) -> usize {
+        self.words
+    }
+
+    /// Bytes present.
+    pub fn byte_count(&self) -> usize {
+        self.bytes
+    }
+
+    /// Drop every entry (O(1): stale epochs read as empty).
+    pub fn clear(&mut self) {
+        self.epoch += 1;
+        self.words = 0;
+        self.bytes = 0;
+    }
+
+    /// The (mask, lanes) entry for an 8-byte-aligned word, if any byte of
+    /// it is present.
+    #[inline]
+    pub fn get(&self, word: u64) -> Option<(u8, u64)> {
+        debug_assert_eq!(word & 7, 0);
+        if self.words == 0 {
+            return None;
+        }
+        let cap_mask = self.slots.len() - 1;
+        let mut i = (Self::hash(word) as usize) & cap_mask;
+        loop {
+            let s = &self.slots[i];
+            if s.epoch != self.epoch {
+                return None; // empty (or stale) slot terminates the probe
+            }
+            if s.word == word {
+                return Some((s.mask, s.value));
+            }
+            i = (i + 1) & cap_mask;
+        }
+    }
+
+    /// Merge bytes into a word: lanes set in `mask` take the corresponding
+    /// bytes of `value`; other lanes keep their current contents.
+    pub fn write(&mut self, word: u64, mask: u8, value: u64) {
+        debug_assert_eq!(word & 7, 0);
+        if mask == 0 {
+            return;
+        }
+        if self.slots.is_empty() || self.words * 2 >= self.slots.len() {
+            self.grow();
+        }
+        let lanes = spread(mask);
+        let cap_mask = self.slots.len() - 1;
+        let mut i = (Self::hash(word) as usize) & cap_mask;
+        loop {
+            let s = &mut self.slots[i];
+            if s.epoch != self.epoch {
+                *s = WordSlot {
+                    word,
+                    epoch: self.epoch,
+                    mask,
+                    value: value & lanes,
+                };
+                self.words += 1;
+                self.bytes += mask.count_ones() as usize;
+                return;
+            }
+            if s.word == word {
+                self.bytes += (mask & !s.mask).count_ones() as usize;
+                s.mask |= mask;
+                s.value = (s.value & !lanes) | (value & lanes);
+                return;
+            }
+            i = (i + 1) & cap_mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; new_cap]);
+        let cap_mask = new_cap - 1;
+        for s in old {
+            if s.epoch != self.epoch {
+                continue;
+            }
+            let mut i = (Self::hash(s.word) as usize) & cap_mask;
+            while self.slots[i].epoch == self.epoch {
+                i = (i + 1) & cap_mask;
+            }
+            self.slots[i] = s;
+        }
+    }
+
+    /// All live entries as `(word, mask, lanes)`, in address order.
+    pub fn entries_sorted(&self) -> Vec<(u64, u8, u64)> {
+        let mut out: Vec<(u64, u8, u64)> = self
+            .slots
+            .iter()
+            .filter(|s| s.epoch == self.epoch)
+            .map(|s| (s.word, s.mask, s.value))
+            .collect();
+        out.sort_unstable_by_key(|&(w, _, _)| w);
+        out
+    }
+
+    /// The presence mask and value of `bytes` bytes starting at `addr`,
+    /// aligned to the load (bit/byte i of the result = `addr + i`).  Spans
+    /// at most two words.
+    #[inline]
+    pub fn gather(&self, addr: u64, bytes: u64) -> (u8, u64) {
+        let off = (addr & 7) as u32;
+        let word = addr & !7;
+        let want = ((1u32 << bytes) - 1) as u8;
+        let mut mask = 0u8;
+        let mut value = 0u64;
+        if let Some((m, v)) = self.get(word) {
+            mask = (m >> off) & want;
+            value = (v >> (8 * off)) & spread(mask);
+        }
+        if off as u64 + bytes > 8 {
+            if let Some((m, v)) = self.get(word + 8) {
+                let shift = 8 - off; // lanes of the second word land here
+                let hi_mask = (m << shift) & want;
+                mask |= hi_mask;
+                value |= (v << (8 * shift)) & spread(hi_mask);
+            }
+        }
+        (mask, value)
+    }
+
+    /// Store `bytes` bytes of `value` at `addr` (splits across the word
+    /// boundary if needed).
+    #[inline]
+    pub fn store(&mut self, addr: u64, bytes: u64, value: u64) {
+        let off = (addr & 7) as u32;
+        let word = addr & !7;
+        let want = ((1u32 << bytes) - 1) as u8;
+        self.write(word, want << off, value << (8 * off));
+        if off as u64 + bytes > 8 {
+            let shift = 8 - off;
+            self.write(word + 8, want >> shift, value >> (8 * shift));
+        }
+    }
 }
 
 /// One thread's speculative memory buffer.
@@ -47,9 +285,9 @@ pub enum LoadCheck {
 #[derive(Clone, Debug, Default)]
 pub struct MemBuffer {
     /// Bytes written by this thread's committed stores.
-    own: BTreeMap<u64, u8>,
+    own: WordStore,
     /// Bytes released by upstream target stores.
-    released: BTreeMap<u64, u8>,
+    released: WordStore,
     /// Announced (8-byte) target-store ranges from upstream threads that
     /// have not been released yet, with the announcing thread.
     announced: Vec<(Addr, ThreadId)>,
@@ -71,10 +309,8 @@ impl MemBuffer {
 
     /// Record a committed store by this thread.
     pub fn record_store(&mut self, addr: Addr, bytes: u64, value: u64) {
-        for i in 0..bytes {
-            self.own.insert(addr.0 + i, (value >> (8 * i)) as u8);
-        }
-        self.peak_bytes = self.peak_bytes.max(self.own.len());
+        self.own.store(addr.0, bytes, value);
+        self.peak_bytes = self.peak_bytes.max(self.own.byte_count());
     }
 
     /// Does this store match one of the thread's own target-store
@@ -100,9 +336,7 @@ impl MemBuffer {
     /// An upstream target store released its value.
     pub fn release_upstream(&mut self, addr: Addr, bytes: u64, value: u64, from: ThreadId) {
         self.announced.retain(|&(a, t)| !(a == addr && t == from));
-        for i in 0..bytes {
-            self.released.insert(addr.0 + i, (value >> (8 * i)) as u8);
-        }
+        self.released.store(addr.0, bytes, value);
     }
 
     /// Drop all state from a given upstream thread (it was killed or marked
@@ -115,34 +349,36 @@ impl MemBuffer {
     /// upstream bytes, which override memory).
     pub fn check_load(&self, addr: Addr, bytes: u64) -> LoadCheck {
         debug_assert!((1..=8).contains(&bytes));
+        let want = ((1u32 << bytes) - 1) as u8;
+        let mut own_gathered: Option<(u8, u64)> = None;
         // Unreleased announcement overlapping the load?
         for &(a, _) in &self.announced {
             if a.0 < addr.0 + bytes && addr.0 < a.0 + ANNOUNCE_BYTES {
                 // Own stores may already cover the overlap entirely, in
                 // which case the thread reads its own data, not upstream's.
-                let own_covers = (0..bytes).all(|i| self.own.contains_key(&(addr.0 + i)));
-                if !own_covers {
+                let gathered = self.own.gather(addr.0, bytes);
+                if gathered.0 != want {
                     return LoadCheck::Wait;
                 }
+                own_gathered = Some(gathered);
                 break;
             }
         }
-        let mut value = 0u64;
-        let mut mask = 0u8;
-        for i in 0..bytes {
-            let byte_addr = addr.0 + i;
-            let byte = self
-                .own
-                .get(&byte_addr)
-                .or_else(|| self.released.get(&byte_addr));
-            if let Some(&b) = byte {
-                value |= (b as u64) << (8 * i);
-                mask |= 1 << i;
-            }
-        }
+        let (own_mask, own_value) = own_gathered.unwrap_or_else(|| self.own.gather(addr.0, bytes));
+        let (mask, value) = if own_mask == want {
+            (own_mask, own_value)
+        } else {
+            let (rel_mask, rel_value) = self.released.gather(addr.0, bytes);
+            // Own bytes override released bytes.
+            let rel_only = rel_mask & !own_mask;
+            (
+                own_mask | rel_mask,
+                own_value | (rel_value & spread(rel_only)),
+            )
+        };
         if mask == 0 {
             LoadCheck::Miss
-        } else if u32::from(mask) == (1u32 << bytes) - 1 {
+        } else if mask == want {
             LoadCheck::Value(value)
         } else {
             LoadCheck::Partial {
@@ -155,34 +391,17 @@ impl MemBuffer {
     /// Drain this thread's own stores as (8-byte-aligned word address,
     /// byte mask, value) triples in address order — the write-back stage.
     pub fn drain_own(&self) -> Vec<(Addr, u8, u64)> {
-        let mut out: Vec<(Addr, u8, u64)> = Vec::new();
-        for (&byte_addr, &b) in &self.own {
-            let word = byte_addr & !7;
-            let lane = (byte_addr & 7) as u32;
-            match out.last_mut() {
-                Some((wa, mask, val)) if wa.0 == word => {
-                    *mask |= 1 << lane;
-                    *val |= (b as u64) << (8 * lane);
-                }
-                _ => out.push((Addr(word), 1 << lane, (b as u64) << (8 * lane))),
-            }
-        }
-        out
+        self.own
+            .entries_sorted()
+            .into_iter()
+            .map(|(w, mask, value)| (Addr(w), mask, value))
+            .collect()
     }
 
     /// Number of distinct 8-byte words this thread has written (write-back
     /// cost accounting).
     pub fn own_word_count(&self) -> usize {
-        let mut count = 0;
-        let mut last_word = u64::MAX;
-        for &byte_addr in self.own.keys() {
-            let word = byte_addr & !7;
-            if word != last_word {
-                count += 1;
-                last_word = word;
-            }
-        }
-        count
+        self.own.word_count()
     }
 
     pub fn clear(&mut self) {
@@ -242,6 +461,20 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn unaligned_store_spans_two_words() {
+        let mut b = MemBuffer::new();
+        b.record_store(Addr(0x105), 8, 0x8877_6655_4433_2211);
+        assert_eq!(
+            b.check_load(Addr(0x105), 8),
+            LoadCheck::Value(0x8877_6655_4433_2211)
+        );
+        // Reads within each half see the right lanes.
+        assert_eq!(b.check_load(Addr(0x105), 2), LoadCheck::Value(0x2211));
+        assert_eq!(b.check_load(Addr(0x108), 4), LoadCheck::Value(0x7766_5544));
+        assert_eq!(b.own_word_count(), 2);
     }
 
     #[test]
@@ -319,5 +552,48 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn clear_is_a_fresh_buffer() {
+        let mut b = MemBuffer::new();
+        b.record_store(Addr(0x100), 8, 1);
+        b.announce_upstream(Addr(0x200), ThreadId(1));
+        b.clear();
+        assert_eq!(b.check_load(Addr(0x100), 8), LoadCheck::Miss);
+        assert_eq!(b.check_load(Addr(0x200), 8), LoadCheck::Miss);
+        assert_eq!(b.own_word_count(), 0);
+        assert!(b.drain_own().is_empty());
+        // The table is reusable after the epoch bump.
+        b.record_store(Addr(0x100), 4, 0xABCD);
+        assert_eq!(b.check_load(Addr(0x100), 4), LoadCheck::Value(0xABCD));
+    }
+
+    #[test]
+    fn wordstore_grows_past_initial_capacity() {
+        let mut s = WordStore::new();
+        for i in 0..200u64 {
+            s.store(i * 8, 8, i);
+        }
+        assert_eq!(s.word_count(), 200);
+        assert_eq!(s.byte_count(), 1600);
+        for i in 0..200u64 {
+            assert_eq!(s.get(i * 8), Some((0xff, i)));
+        }
+        let entries = s.entries_sorted();
+        assert_eq!(entries.len(), 200);
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn wordstore_masks_keep_absent_lanes_zero() {
+        let mut s = WordStore::new();
+        s.write(0x100, 0b0000_0110, u64::MAX);
+        let (mask, value) = s.get(0x100).unwrap();
+        assert_eq!(mask, 0b0000_0110);
+        assert_eq!(value, 0x0000_0000_00ff_ff00);
+        // Merging more lanes preserves the old ones.
+        s.write(0x100, 0b1000_0001, 0xAA00_0000_0000_00BB);
+        assert_eq!(s.get(0x100), Some((0b1000_0111, 0xaa00_0000_00ff_ffbb)));
     }
 }

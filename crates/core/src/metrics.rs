@@ -46,7 +46,7 @@ impl L1dAggregate {
 }
 
 /// Everything a simulation run reports.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MachineMetrics {
     /// Total execution time in cycles.
     pub cycles: u64,
@@ -115,7 +115,10 @@ impl MachineMetrics {
     pub fn dump(&self, out: &mut StatSet) {
         out.push("machine.cycles", self.cycles);
         out.push("machine.region_cycles", self.region_cycles);
-        out.push("machine.sequential_instructions", self.sequential_instructions);
+        out.push(
+            "machine.sequential_instructions",
+            self.sequential_instructions,
+        );
         out.push("machine.parallel_instructions", self.parallel_instructions);
         out.push("machine.wrong_instructions", self.wrong_instructions);
         out.push("machine.threads_started", self.threads_started);
@@ -141,6 +144,99 @@ impl MachineMetrics {
         out.push("machine.mispredicted_branches", self.mispredicted_branches);
         out.push("machine.wrong_loads_dropped", self.wrong_loads_dropped);
         out.push("machine.wb_words", self.wb_words);
+    }
+}
+
+/// Field-by-field accessors driving the text (de)serialization below; one
+/// entry per field so a missing or extra line is always a parse error.
+macro_rules! metrics_fields {
+    ($m:ident, $each:ident) => {
+        $each!($m, cycles);
+        $each!($m, region_cycles);
+        $each!($m, sequential_instructions);
+        $each!($m, parallel_instructions);
+        $each!($m, wrong_instructions);
+        $each!($m, threads_started);
+        $each!($m, threads_marked_wrong);
+        $each!($m, threads_killed);
+        $each!($m, forks);
+        $each!($m, regions);
+        $each!($m, l1d.demand_accesses);
+        $each!($m, l1d.demand_misses);
+        $each!($m, l1d.misses_to_next_level);
+        $each!($m, l1d.wrong_accesses);
+        $each!($m, l1d.side_hits);
+        $each!($m, l1d.useful_wrong_fetches);
+        $each!($m, l1d.useful_prefetches);
+        $each!($m, l1d.prefetches_issued);
+        $each!($m, l2_demand_misses);
+        $each!($m, cond_branches);
+        $each!($m, mispredicted_branches);
+        $each!($m, wrong_loads_dropped);
+        $each!($m, wb_words);
+        $each!($m, checksum);
+    };
+}
+
+impl MachineMetrics {
+    /// Serialize as `field value` lines (the golden-file and result-cache
+    /// format — human-diffable, no external dependencies).
+    pub fn to_kv(&self) -> String {
+        let mut out = String::new();
+        macro_rules! put {
+            ($m:ident, $($field:ident).+) => {
+                out.push_str(concat!($(stringify!($field), "."),+));
+                out.pop(); // trailing '.' from the concat above
+                out.push(' ');
+                out.push_str(&$m.$($field).+.to_string());
+                out.push('\n');
+            };
+        }
+        let m = self;
+        metrics_fields!(m, put);
+        out
+    }
+
+    /// Parse the [`Self::to_kv`] format.  Every field must be present
+    /// exactly once and no unknown keys are allowed, so stale cache or
+    /// golden files from an older field set fail loudly instead of
+    /// defaulting silently.
+    pub fn from_kv(text: &str) -> Result<MachineMetrics, String> {
+        let mut map = std::collections::HashMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed metrics line {line:?}"))?;
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad value in {line:?}: {e}"))?;
+            if map.insert(key.to_string(), value).is_some() {
+                return Err(format!("duplicate metrics key {key:?}"));
+            }
+        }
+        let mut m = MachineMetrics::default();
+        macro_rules! get {
+            ($m:ident, $($field:ident).+) => {
+                let key = {
+                    let mut k = String::from(concat!($(stringify!($field), "."),+));
+                    k.pop();
+                    k
+                };
+                $m.$($field).+ = map
+                    .remove(key.as_str())
+                    .ok_or_else(|| format!("missing metrics key {key:?}"))?;
+            };
+        }
+        metrics_fields!(m, get);
+        if let Some(extra) = map.keys().next() {
+            return Err(format!("unknown metrics key {extra:?}"));
+        }
+        Ok(m)
     }
 }
 
@@ -171,6 +267,42 @@ mod tests {
         assert_eq!(m.ipc(), 0.0);
         assert_eq!(m.mispredict_rate(), 0.0);
         assert_eq!(m.l1d.demand_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn kv_roundtrip_is_exact() {
+        let m = MachineMetrics {
+            cycles: 123,
+            region_cycles: 7,
+            sequential_instructions: 88,
+            parallel_instructions: 11,
+            wrong_instructions: 3,
+            threads_started: 4,
+            forks: 2,
+            l1d: L1dAggregate {
+                demand_accesses: 1000,
+                demand_misses: 50,
+                side_hits: 9,
+                ..Default::default()
+            },
+            checksum: u64::MAX,
+            ..Default::default()
+        };
+        let text = m.to_kv();
+        assert_eq!(MachineMetrics::from_kv(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn kv_rejects_missing_extra_and_malformed() {
+        let m = MachineMetrics::default();
+        let text = m.to_kv();
+        let missing = text.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert!(MachineMetrics::from_kv(&missing).is_err());
+        let extra = format!("{text}bogus_key 1\n");
+        assert!(MachineMetrics::from_kv(&extra).is_err());
+        let malformed = format!("{text}nonsense\n");
+        assert!(MachineMetrics::from_kv(&malformed).is_err());
+        assert!(MachineMetrics::from_kv("cycles notanumber").is_err());
     }
 
     #[test]

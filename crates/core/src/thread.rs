@@ -1,9 +1,16 @@
-//! Dynamic thread contexts.
+//! Dynamic thread contexts and the machine's thread-tracking tables.
 //!
 //! One [`ThreadCtx`] exists per in-flight loop-iteration thread, living in
 //! its thread unit's slot.  Whether a thread is *wrong* is tracked centrally
-//! in the machine's wrong-set (it changes when another thread aborts), not
-//! here.
+//! in the machine's [`WrongSet`] (it changes when another thread aborts),
+//! not here.
+//!
+//! The machine's per-cycle bookkeeping — which threads are alive and where
+//! ([`AliveTable`]), which are wrong ([`WrongSet`]), who has passed TSAG
+//! ([`TsagDone`]) — lives in flat structures sized to the handful of
+//! in-flight threads, replacing the B-trees these started as: the alive set
+//! never exceeds the TU count, wrongness is probed on every load, and the
+//! TSAG chain is dense in thread ids within a region.
 
 use wec_common::ids::{Cycle, ThreadId};
 
@@ -49,6 +56,159 @@ impl ThreadCtx {
     }
 }
 
+/// Alive threads — id → thread unit — as a sorted vector.
+///
+/// At most one thread per TU is alive, so the table holds ≤ `n_tus`
+/// entries; inserts are almost always at the end (ids are handed out
+/// monotonically).  Iteration is in id order, like the `BTreeMap` this
+/// replaces.
+#[derive(Clone, Debug, Default)]
+pub struct AliveTable {
+    entries: Vec<(u64, usize)>,
+}
+
+impl AliveTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pos(&self, id: u64) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&id, |&(i, _)| i)
+    }
+
+    pub fn insert(&mut self, id: u64, tu: usize) {
+        match self.pos(id) {
+            Ok(i) => self.entries[i].1 = tu,
+            Err(i) => self.entries.insert(i, (id, tu)),
+        }
+    }
+
+    /// Remove `id`, returning its TU if it was present.
+    pub fn remove(&mut self, id: u64) -> Option<usize> {
+        match self.pos(id) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    pub fn get(&self, id: u64) -> Option<usize> {
+        self.pos(id).ok().map(|i| self.entries[i].1)
+    }
+
+    pub fn contains(&self, id: u64) -> bool {
+        self.pos(id).is_ok()
+    }
+
+    /// All entries in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Entries with id strictly greater than `id`, in id order (the ring
+    /// "downstream of" walk).
+    pub fn after(&self, id: u64) -> &[(u64, usize)] {
+        let start = self.entries.partition_point(|&(i, _)| i <= id);
+        &self.entries[start..]
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The set of threads marked wrong, as a sorted vector (≤ `n_tus` live
+/// entries; probed on every load issued by a threaded core).
+#[derive(Clone, Debug, Default)]
+pub struct WrongSet {
+    ids: Vec<u64>,
+}
+
+impl WrongSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns true if `id` was newly inserted.
+    pub fn insert(&mut self, id: u64) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(_) => false,
+            Err(i) => {
+                self.ids.insert(i, id);
+                true
+            }
+        }
+    }
+
+    pub fn contains(&self, id: u64) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    pub fn clear(&mut self) {
+        self.ids.clear();
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// TSAG-done times for the current region, dense in thread id.
+///
+/// Within a region the committing thread ids form a contiguous run
+/// starting at the region's first id, and `tsagdone` commits in id order
+/// (each thread waits for its predecessor's flag or the watermark), so a
+/// base-offset vector replaces the `BTreeMap`: lookups on the stall-retry
+/// path become an index instead of a tree walk.  Out-of-order inserts are
+/// still handled (by front-padding) so the structure does not depend on
+/// that scheduling argument for correctness.
+#[derive(Clone, Debug, Default)]
+pub struct TsagDone {
+    base: u64,
+    done: Vec<Option<Cycle>>,
+}
+
+impl TsagDone {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn clear(&mut self) {
+        self.done.clear();
+    }
+
+    pub fn insert(&mut self, id: u64, at: Cycle) {
+        if self.done.is_empty() {
+            self.base = id;
+            self.done.push(Some(at));
+            return;
+        }
+        if id < self.base {
+            let pad = (self.base - id) as usize;
+            self.done.splice(0..0, std::iter::repeat_n(None, pad));
+            self.base = id;
+            self.done[0] = Some(at);
+            return;
+        }
+        let idx = (id - self.base) as usize;
+        if idx >= self.done.len() {
+            self.done.resize(idx + 1, None);
+        }
+        self.done[idx] = Some(at);
+    }
+
+    pub fn get(&self, id: u64) -> Option<Cycle> {
+        if self.done.is_empty() || id < self.base {
+            return None;
+        }
+        let idx = (id - self.base) as usize;
+        self.done.get(idx).copied().flatten()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +219,59 @@ mod tests {
         assert_eq!(t.state, ThreadState::Running);
         assert!(!t.forked && !t.aborted);
         assert!(t.tsag_done_at.is_none());
+    }
+
+    #[test]
+    fn alive_table_sorted_ops() {
+        let mut a = AliveTable::new();
+        a.insert(5, 1);
+        a.insert(3, 0);
+        a.insert(9, 2);
+        assert_eq!(a.get(3), Some(0));
+        assert_eq!(a.get(5), Some(1));
+        assert!(a.contains(9) && !a.contains(4));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![(3, 0), (5, 1), (9, 2)]);
+        assert_eq!(a.after(3), &[(5, 1), (9, 2)]);
+        assert_eq!(a.after(4), &[(5, 1), (9, 2)]);
+        assert_eq!(a.after(9), &[] as &[(u64, usize)]);
+        assert_eq!(a.remove(5), Some(1));
+        assert_eq!(a.remove(5), None);
+        assert_eq!(a.len(), 2);
+        // Re-insert with a new TU overwrites.
+        a.insert(3, 7);
+        assert_eq!(a.get(3), Some(7));
+    }
+
+    #[test]
+    fn wrong_set_dedupes() {
+        let mut w = WrongSet::new();
+        assert!(w.insert(4));
+        assert!(!w.insert(4));
+        assert!(w.insert(2));
+        assert!(w.contains(2) && w.contains(4) && !w.contains(3));
+        w.clear();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn tsag_done_dense_and_sparse() {
+        let mut t = TsagDone::new();
+        assert_eq!(t.get(10), None);
+        t.insert(10, Cycle(100));
+        t.insert(11, Cycle(105));
+        t.insert(14, Cycle(120)); // gap: 12, 13 skipped via the watermark
+        assert_eq!(t.get(10), Some(Cycle(100)));
+        assert_eq!(t.get(11), Some(Cycle(105)));
+        assert_eq!(t.get(12), None);
+        assert_eq!(t.get(14), Some(Cycle(120)));
+        // Out-of-order insert below the base still lands.
+        t.insert(8, Cycle(90));
+        assert_eq!(t.get(8), Some(Cycle(90)));
+        assert_eq!(t.get(9), None);
+        assert_eq!(t.get(10), Some(Cycle(100)));
+        t.clear();
+        assert_eq!(t.get(10), None);
+        t.insert(20, Cycle(1));
+        assert_eq!(t.get(20), Some(Cycle(1)));
     }
 }

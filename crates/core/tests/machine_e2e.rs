@@ -3,11 +3,11 @@
 //! the cross-configuration semantics invariant.
 
 use wec_common::error::SimError;
+use wec_common::ids::Addr;
 use wec_core::config::ProcPreset;
 use wec_core::machine::{simulate, Machine};
 use wec_isa::reg::Reg;
 use wec_isa::{Program, ProgramBuilder};
-use wec_common::ids::Addr;
 
 /// A parallel loop with independent iterations, 8 elements of work each:
 /// `out[i] = sum(a[8i .. 8i+8]) + 7` for `i in 0..n` (`n >= 1`).
@@ -173,7 +173,9 @@ fn dependent_loop_respects_target_store_ordering() {
     for preset in [ProcPreset::Orig, ProcPreset::WthWpWec] {
         for tus in [1usize, 2, 4, 8] {
             let mut machine = Machine::new(preset.machine(tus), &prog).unwrap();
-            machine.run().unwrap_or_else(|e| panic!("{} {tus}TU: {e}", preset.name()));
+            machine
+                .run()
+                .unwrap_or_else(|e| panic!("{} {tus}TU: {e}", preset.name()));
             assert_eq!(
                 machine.memory().read_u64(acc).unwrap(),
                 expected,
@@ -209,10 +211,7 @@ fn simulation_is_deterministic() {
     let b = simulate(ProcPreset::WthWpWec.machine(4), &prog).unwrap();
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.checksum, b.checksum);
-    assert_eq!(
-        a.metrics.l1d.wrong_accesses,
-        b.metrics.l1d.wrong_accesses
-    );
+    assert_eq!(a.metrics.l1d.wrong_accesses, b.metrics.l1d.wrong_accesses);
 }
 
 #[test]
@@ -332,8 +331,7 @@ fn fork_transfer_values_reach_the_child() {
     let n = 12i64;
     let mut b = ProgramBuilder::new("fwd2");
     let out = b.alloc_zeroed_u64s(2 * n as u64);
-    let (i, sq, my, mysq, n_r, ob, t0) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(22), Reg(21), Reg(5));
+    let (i, sq, my, mysq, n_r, ob, t0) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(22), Reg(21), Reg(5));
     b.la(ob, out);
     b.li(n_r, n);
     b.li(i, 0);
@@ -367,4 +365,3 @@ fn fork_transfer_values_reach_the_child() {
         assert_eq!(m.memory().read_u64(out + 16 * k + 8).unwrap(), k * k);
     }
 }
-

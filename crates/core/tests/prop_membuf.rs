@@ -65,11 +65,17 @@ fn ops() -> impl Strategy<Value = Op> {
     let bytes = proptest::sample::select(vec![1u64, 2, 4, 8]);
     let thread = 0u64..4;
     prop_oneof![
-        (addr.clone(), bytes.clone(), any::<u64>())
-            .prop_map(|(addr, bytes, value)| Op::Store { addr, bytes, value }),
+        (addr.clone(), bytes.clone(), any::<u64>()).prop_map(|(addr, bytes, value)| Op::Store {
+            addr,
+            bytes,
+            value
+        }),
         (addr.clone(), thread.clone()).prop_map(|(addr, from)| Op::Announce { addr, from }),
-        (addr.clone(), any::<u64>(), thread.clone())
-            .prop_map(|(addr, value, from)| Op::Release { addr, value, from }),
+        (addr.clone(), any::<u64>(), thread.clone()).prop_map(|(addr, value, from)| Op::Release {
+            addr,
+            value,
+            from
+        }),
         thread.prop_map(|from| Op::Void { from }),
         (addr, bytes).prop_map(|(addr, bytes)| Op::Load { addr, bytes }),
     ]

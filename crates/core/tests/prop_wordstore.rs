@@ -1,0 +1,158 @@
+//! Property tests: the epoch-tagged open-addressed [`WordStore`] against a
+//! plain byte-map reference, through the same unaligned store/gather
+//! surface the memory buffer drives it with.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use wec_core::membuf::WordStore;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Unaligned byte-granular store (may span two words).
+    Store { addr: u64, bytes: u64, value: u64 },
+    /// Check an unaligned gather against the byte map.
+    Gather { addr: u64, bytes: u64 },
+    /// O(1) epoch-bump clear.
+    Clear,
+}
+
+fn ops() -> impl Strategy<Value = Op> {
+    // A deliberately small, unaligned window so stores overlap, straddle
+    // word boundaries and collide in the hash table.
+    let addr = 0u64..96;
+    let bytes = proptest::sample::select(vec![1u64, 2, 4, 8]);
+    // Clear appears once among five arms, so most sequences accumulate
+    // state between clears.
+    prop_oneof![
+        (addr.clone(), bytes.clone(), any::<u64>()).prop_map(|(addr, bytes, value)| Op::Store {
+            addr,
+            bytes,
+            value
+        }),
+        (addr.clone(), bytes.clone(), any::<u64>()).prop_map(|(addr, bytes, value)| Op::Store {
+            addr,
+            bytes,
+            value
+        }),
+        (addr.clone(), bytes.clone()).prop_map(|(addr, bytes)| Op::Gather { addr, bytes }),
+        (addr, bytes).prop_map(|(addr, bytes)| Op::Gather { addr, bytes }),
+        Just(Op::Clear),
+    ]
+}
+
+/// Reference gather over a byte map: mask bit `i` set iff byte `addr + i`
+/// is present; absent lanes of the value are zero.
+fn ref_gather(map: &BTreeMap<u64, u8>, addr: u64, bytes: u64) -> (u8, u64) {
+    let mut mask = 0u8;
+    let mut value = 0u64;
+    for i in 0..bytes {
+        if let Some(&b) = map.get(&(addr + i)) {
+            mask |= 1 << i;
+            value |= (b as u64) << (8 * i);
+        }
+    }
+    (mask, value)
+}
+
+/// Flatten `entries_sorted` back into a byte map.
+fn store_bytes(ws: &WordStore) -> BTreeMap<u64, u8> {
+    let mut out = BTreeMap::new();
+    for (word, mask, value) in ws.entries_sorted() {
+        for i in 0..8u64 {
+            if mask & (1 << i) != 0 {
+                out.insert(word + i, (value >> (8 * i)) as u8);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wordstore_matches_byte_map(seq in proptest::collection::vec(ops(), 1..200)) {
+        let mut ws = WordStore::new();
+        let mut reference: BTreeMap<u64, u8> = BTreeMap::new();
+        for op in seq {
+            match op {
+                Op::Store { addr, bytes, value } => {
+                    ws.store(addr, bytes, value);
+                    for i in 0..bytes {
+                        reference.insert(addr + i, (value >> (8 * i)) as u8);
+                    }
+                }
+                Op::Gather { addr, bytes } => {
+                    prop_assert_eq!(
+                        ws.gather(addr, bytes),
+                        ref_gather(&reference, addr, bytes),
+                        "gather {:#x}+{}", addr, bytes
+                    );
+                }
+                Op::Clear => {
+                    ws.clear();
+                    reference.clear();
+                }
+            }
+            prop_assert_eq!(ws.byte_count(), reference.len());
+        }
+        prop_assert_eq!(store_bytes(&ws), reference);
+        let words: std::collections::BTreeSet<u64> =
+            reference.keys().map(|a| a & !7).collect();
+        prop_assert_eq!(ws.word_count(), words.len());
+    }
+
+    /// Growth torture: enough distinct words to force several rehashes,
+    /// interleaved with clears so stale epochs and fresh entries share
+    /// slots. Nothing from a previous epoch may survive.
+    #[test]
+    fn wordstore_grows_and_clears_cleanly(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec((0u64..4096, any::<u64>()), 1..300),
+            1..4,
+        )
+    ) {
+        let mut ws = WordStore::new();
+        for stores in rounds {
+            ws.clear();
+            let mut reference: BTreeMap<u64, u8> = BTreeMap::new();
+            for &(slot, value) in &stores {
+                let addr = slot * 8;
+                ws.store(addr, 8, value);
+                for i in 0..8 {
+                    reference.insert(addr + i, (value >> (8 * i)) as u8);
+                }
+            }
+            prop_assert_eq!(store_bytes(&ws), reference);
+        }
+    }
+
+    /// Word-aligned writes with arbitrary masks keep absent lanes zeroed in
+    /// the stored value (the invariant `check_load` relies on to OR
+    /// own/released words together).
+    #[test]
+    fn wordstore_write_keeps_absent_lanes_zero(
+        writes in proptest::collection::vec(
+            (0u64..16, any::<u8>(), any::<u64>()),
+            1..50,
+        )
+    ) {
+        let mut ws = WordStore::new();
+        for &(slot, mask, value) in &writes {
+            if mask == 0 {
+                continue;
+            }
+            ws.write(slot * 8, mask, value);
+        }
+        for (_, mask, value) in ws.entries_sorted() {
+            let mut keep = 0u64;
+            for i in 0..8u64 {
+                if mask & (1 << i) != 0 {
+                    keep |= 0xffu64 << (8 * i);
+                }
+            }
+            prop_assert_eq!(value & !keep, 0, "absent lanes leaked into the value");
+        }
+    }
+}

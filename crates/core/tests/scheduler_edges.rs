@@ -198,8 +198,7 @@ fn commit_trace_captures_retirements() {
 fn fat_region(n: i64) -> Program {
     let mut b = ProgramBuilder::new("fat");
     let out = b.alloc_zeroed_u64s(n as u64 + 16);
-    let (i, my, n_r, ob, t, j, acc) =
-        (Reg(1), Reg(3), Reg(22), Reg(21), Reg(4), Reg(5), Reg(6));
+    let (i, my, n_r, ob, t, j, acc) = (Reg(1), Reg(3), Reg(22), Reg(21), Reg(4), Reg(5), Reg(6));
     b.la(ob, out);
     b.li(n_r, n);
     b.li(i, 0);

@@ -196,16 +196,13 @@ impl Btb {
             return;
         }
         // Invalid way, else LRU way.
-        let victim = set
-            .iter()
-            .position(|e| e.2 == u64::MAX)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| e.2)
-                    .map(|(i, _)| i)
-                    .unwrap()
-            });
+        let victim = set.iter().position(|e| e.2 == u64::MAX).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.2)
+                .map(|(i, _)| i)
+                .unwrap()
+        });
         set[victim] = (pc, target, stamp);
     }
 }
@@ -294,7 +291,7 @@ mod tests {
     #[test]
     fn btb_evicts_lru_within_set() {
         let mut btb = Btb::new(4, 2); // 2 sets × 2 ways
-        // All these PCs map to set 0 (even PCs).
+                                      // All these PCs map to set 0 (even PCs).
         btb.update(0, 1);
         btb.update(4, 2);
         btb.lookup(0); // make pc=0 recent
@@ -316,7 +313,6 @@ mod tests {
         assert_eq!(r.pop(), None);
     }
 }
-
 
 #[cfg(test)]
 mod gshare_tests {
@@ -340,7 +336,10 @@ mod gshare_tests {
             bi.update(77, taken);
         }
         assert!(g_miss < 50, "gshare missed {g_miss}");
-        assert!(b_miss > 500, "bimodal should thrash on alternation: {b_miss}");
+        assert!(
+            b_miss > 500,
+            "bimodal should thrash on alternation: {b_miss}"
+        );
     }
 
     #[test]

@@ -121,15 +121,6 @@ fn fu_index(class: FuClass) -> Option<usize> {
     })
 }
 
-/// Is this instruction dispatch-serializing?  `begin` must kill leftover
-/// wrong threads before anything from the new region runs, and `tsagdone`
-/// is the run-time dependence-checking sync point: computation-stage loads
-/// may not issue until the upstream announcements have arrived (§2.2).
-#[inline]
-fn is_serializing(inst: &Inst) -> bool {
-    matches!(inst, Inst::Begin { .. } | Inst::TsagDone)
-}
-
 /// One thread unit's out-of-order core.
 pub struct Core {
     cfg: CoreConfig,
@@ -157,6 +148,14 @@ pub struct Core {
     fu_used: [u32; FU_CLASSES],
     // -------- wrong path --------
     pub wp_engine: WrongPathEngine,
+    /// Recovery scratch: squashed-producer results, indexed by
+    /// `seq - first_squashed_seq` (squashed seqs are contiguous).  Kept on
+    /// the core so a mispredict-heavy run does not allocate a map per
+    /// recovery.
+    recover_produced: Vec<Option<u64>>,
+    /// Completion scratch: seqs whose latency elapsed this cycle, refilled
+    /// by `complete()` each tick instead of allocating.
+    complete_scratch: Vec<u64>,
     pub stats: CoreStats,
     /// Recent commits (enabled via `CoreConfig::commit_trace`).
     pub commit_trace: CommitTrace,
@@ -190,6 +189,8 @@ impl Core {
             fu_cycle: Cycle::ZERO,
             fu_used: [0; FU_CLASSES],
             wp_engine,
+            recover_produced: Vec::new(),
+            complete_scratch: Vec::new(),
             stats: CoreStats::default(),
             commit_trace,
         }
@@ -234,7 +235,16 @@ impl Core {
         let head = self
             .rob
             .head()
-            .map(|e| format!("head #{} pc={} {:?} {:?} srcs_ready={}", e.seq, e.pc, e.inst, e.stage, e.srcs_ready()))
+            .map(|e| {
+                format!(
+                    "head #{} pc={} {:?} {:?} srcs_ready={}",
+                    e.seq,
+                    e.pc,
+                    e.inst,
+                    e.stage,
+                    e.srcs_ready()
+                )
+            })
             .unwrap_or_else(|| "rob empty".into());
         format!(
             "{head} | fetch_pc={} enabled={} jr_stall={} queue={}",
@@ -279,6 +289,17 @@ impl Core {
 
     // -------- commit --------
 
+    /// Release the committing instruction's RAT mappings (only its own
+    /// destination slots can name its seq).
+    fn retire_rat(&mut self, inst: &Inst, seq: u64) {
+        if let Some(rd) = inst.dest_ireg() {
+            self.rat.retire_i(rd, seq);
+        }
+        if let Some(fd) = inst.dest_freg() {
+            self.rat.retire_f(fd, seq);
+        }
+    }
+
     fn commit(&mut self, env: &mut dyn CoreEnv, now: Cycle) {
         let mut committed = 0;
         while committed < self.cfg.width {
@@ -307,7 +328,7 @@ impl Core {
                     }
                     StaOutcome::Redirect(pc) => {
                         let entry = self.rob.pop_head().unwrap();
-                        self.rat.retire(entry.seq);
+                        self.retire_rat(&entry.inst, entry.seq);
                         self.stats.committed.inc();
                         self.commit_trace
                             .record(now, entry.seq, entry.pc, entry.inst);
@@ -328,15 +349,14 @@ impl Core {
                     self.arch.write_i(rd, self.rob.head().unwrap().result);
                 }
                 if let Some(fd) = inst.dest_freg() {
-                    self.arch
-                        .write_f_bits(fd, self.rob.head().unwrap().result);
+                    self.arch.write_f_bits(fd, self.rob.head().unwrap().result);
                 }
                 if inst.is_load() {
                     self.stats.committed_loads.inc();
                 }
             }
             let retired = self.rob.pop_head().unwrap();
-            self.rat.retire(seq);
+            self.retire_rat(&inst, seq);
             self.stats.committed.inc();
             self.commit_trace
                 .record(now, retired.seq, retired.pc, retired.inst);
@@ -348,14 +368,17 @@ impl Core {
 
     fn complete(&mut self, now: Cycle) {
         // Collect completions oldest-first; recoveries may squash younger
-        // ones, which then simply fail the lookup.
-        let ready: Vec<u64> = self
-            .rob
-            .iter()
-            .filter(|e| e.stage == Stage::Executing && e.done_at <= now)
-            .map(|e| e.seq)
-            .collect();
-        for seq in ready {
+        // ones, which then simply fail the lookup.  The seq list lives in a
+        // reusable scratch buffer — this runs every cycle on every core.
+        let mut ready = std::mem::take(&mut self.complete_scratch);
+        ready.clear();
+        ready.extend(
+            self.rob
+                .iter()
+                .filter(|e| e.stage == Stage::Executing && e.done_at <= now)
+                .map(|e| e.seq),
+        );
+        for &seq in &ready {
             let Some(entry) = self.rob.get_mut(seq) else {
                 continue; // squashed by an older branch this cycle
             };
@@ -407,6 +430,7 @@ impl Core {
                 _ => {}
             }
         }
+        self.complete_scratch = ready;
     }
 
     /// Branch misprediction recovery: squash everything younger than `seq`,
@@ -428,13 +452,21 @@ impl Core {
             // squashed load whose base comes from such a producer is
             // "ready" in the paper's sense — its effective address is
             // computable when the branch resolves (Figure 3's loads C/D).
-            let mut produced: std::collections::HashMap<u64, u64> =
-                std::collections::HashMap::new();
+            // Squashed seqs span a narrow range (a ROB suffix, possibly with
+            // gaps), so the producer table is a dense vector indexed by
+            // `seq - base`, reused across recoveries.
+            let base_seq = squashed.first().map(|e| e.seq).unwrap_or(0);
+            let span = squashed
+                .last()
+                .map(|e| (e.seq - base_seq) as usize + 1)
+                .unwrap_or(0);
+            self.recover_produced.clear();
+            self.recover_produced.resize(span, None);
             for e in &squashed {
                 if e.stage != Stage::Waiting
                     && (e.inst.dest_ireg().is_some() || e.inst.dest_freg().is_some())
                 {
-                    produced.insert(e.seq, e.result);
+                    self.recover_produced[(e.seq - base_seq) as usize] = Some(e.result);
                 }
             }
             for e in &squashed {
@@ -443,7 +475,15 @@ impl Core {
                 }
                 let base = match e.srcs[0] {
                     SrcState::Ready(base) => Some(base),
-                    SrcState::Waiting(p) => produced.get(&p).copied(),
+                    SrcState::Waiting(p) => {
+                        // Producers outside the squashed range were never in
+                        // the map before either (only squashed entries were
+                        // inserted), so out-of-range lookups are None.
+                        p.checked_sub(base_seq)
+                            .and_then(|i| self.recover_produced.get(i as usize))
+                            .copied()
+                            .flatten()
+                    }
                 };
                 let addr = e.eff_addr.or_else(|| {
                     base.map(|b| {
@@ -570,8 +610,7 @@ impl Core {
                 None => return false, // unknown older store address: wait
                 Some(saddr) => {
                     let sbytes = older.inst.mem_bytes().unwrap();
-                    let overlap =
-                        saddr.0 < addr.0 + bytes && addr.0 < saddr.0 + sbytes;
+                    let overlap = saddr.0 < addr.0 + bytes && addr.0 < saddr.0 + sbytes;
                     if !overlap {
                         continue;
                     }
@@ -622,10 +661,6 @@ impl Core {
 
     // -------- dispatch / rename --------
 
-    fn rob_has_serializer(&self) -> bool {
-        self.rob.iter().any(|e| is_serializing(&e.inst))
-    }
-
     fn dispatch(&mut self, now: Cycle) {
         let mut dispatched = 0;
         while dispatched < self.cfg.width {
@@ -636,7 +671,7 @@ impl Core {
                 self.stats.rob_full_stalls.inc();
                 break;
             }
-            if self.rob_has_serializer() {
+            if self.rob.has_serializer() {
                 break;
             }
             let f = self.fetch_queue.front().unwrap();
@@ -660,9 +695,7 @@ impl Core {
                         } else {
                             match self.rat.lookup_i(r) {
                                 Mapping::Arch => SrcState::Ready(self.arch.read_i(r)),
-                                Mapping::Rob(p) => {
-                                    self.producer_state(p, self.arch.read_i(r))
-                                }
+                                Mapping::Rob(p) => self.producer_state(p, self.arch.read_i(r)),
                             }
                         }
                     }
@@ -702,7 +735,7 @@ impl Core {
     }
 
     fn producer_state(&self, producer_seq: u64, arch_value: u64) -> SrcState {
-        match self.rob.iter().find(|e| e.seq == producer_seq) {
+        match self.rob.get(producer_seq) {
             Some(p) if p.stage == Stage::Done => SrcState::Ready(p.result),
             Some(_) => SrcState::Waiting(producer_seq),
             // The producer already committed. This happens when a restored

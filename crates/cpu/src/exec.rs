@@ -138,7 +138,10 @@ mod tests {
             base: Reg(2),
             off: -8,
         };
-        assert_eq!(execute(&i, 0x1010, 0, 0), ExecResult::LoadAddr(Addr(0x1008)));
+        assert_eq!(
+            execute(&i, 0x1010, 0, 0),
+            ExecResult::LoadAddr(Addr(0x1008))
+        );
         assert_eq!(gather_sources(&i), [Some(SrcReg::I(Reg(2))), None]);
     }
 

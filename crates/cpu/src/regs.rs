@@ -146,6 +146,26 @@ impl Rat {
         }
     }
 
+    /// Targeted form of [`retire`](Self::retire) for the commit stage: a
+    /// mapping to `seq` can only exist in the slots `seq` itself renamed at
+    /// dispatch (its destination registers), so only those need checking.
+    #[inline]
+    pub fn retire_i(&mut self, r: Reg, seq: u64) {
+        let s = &mut self.slots[Self::islot(r)];
+        if *s == Mapping::Rob(seq) {
+            *s = Mapping::Arch;
+        }
+    }
+
+    /// See [`retire_i`](Self::retire_i).
+    #[inline]
+    pub fn retire_f(&mut self, r: FReg, seq: u64) {
+        let s = &mut self.slots[Self::fslot(r)];
+        if *s == Mapping::Rob(seq) {
+            *s = Mapping::Arch;
+        }
+    }
+
     /// Restore from a checkpoint (branch misprediction recovery).
     pub fn restore(&mut self, snapshot: &Rat) {
         self.slots = snapshot.slots;

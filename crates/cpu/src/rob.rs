@@ -87,9 +87,7 @@ impl RobEntry {
     /// Are all operands available?
     #[inline]
     pub fn srcs_ready(&self) -> bool {
-        self.srcs
-            .iter()
-            .all(|s| matches!(s, SrcState::Ready(_)))
+        self.srcs.iter().all(|s| matches!(s, SrcState::Ready(_)))
     }
 
     /// Value of source slot `i` (must be ready).
@@ -102,10 +100,30 @@ impl RobEntry {
     }
 }
 
+/// Is this instruction dispatch-serializing?  `begin` must kill leftover
+/// wrong threads before anything from the new region runs, and `tsagdone`
+/// is the run-time dependence-checking sync point: computation-stage loads
+/// may not issue until the upstream announcements have arrived (§2.2).
+#[inline]
+pub fn is_serializing(inst: &Inst) -> bool {
+    matches!(inst, Inst::Begin { .. } | Inst::TsagDone)
+}
+
 /// The reorder buffer proper.
+///
+/// Entry sequence numbers are strictly increasing front-to-back (dispatch
+/// pushes at the back, commit pops the front, recovery removes a suffix),
+/// so age lookups are binary searches rather than scans.  Occupancy facts
+/// the dispatch stage asks about every cycle (LSQ slots, serializing
+/// instructions in flight) are maintained as counters on push/pop instead
+/// of being recounted.
 pub struct Rob {
     entries: VecDeque<RobEntry>,
     capacity: usize,
+    /// Memory operations currently in the window (the LSQ occupancy).
+    mem_ops: usize,
+    /// In-flight dispatch-serializing instructions (`begin` / `tsagdone`).
+    serializers: usize,
 }
 
 impl Rob {
@@ -114,6 +132,8 @@ impl Rob {
         Rob {
             entries: VecDeque::with_capacity(capacity),
             capacity,
+            mem_ops: 0,
+            serializers: 0,
         }
     }
 
@@ -131,7 +151,22 @@ impl Rob {
 
     /// Memory operations currently in flight (the LSQ occupancy).
     pub fn mem_count(&self) -> usize {
-        self.entries.iter().filter(|e| e.inst.is_mem()).count()
+        self.mem_ops
+    }
+
+    /// Is a dispatch-serializing instruction in flight?
+    pub fn has_serializer(&self) -> bool {
+        self.serializers > 0
+    }
+
+    fn count_entry(&mut self, entry: &RobEntry, add: bool) {
+        let d = if add { 1 } else { usize::MAX }; // MAX == wrapping -1
+        if entry.inst.is_mem() {
+            self.mem_ops = self.mem_ops.wrapping_add(d);
+        }
+        if is_serializing(&entry.inst) {
+            self.serializers = self.serializers.wrapping_add(d);
+        }
     }
 
     pub fn push(&mut self, entry: RobEntry) {
@@ -141,6 +176,7 @@ impl Rob {
             .back()
             .map(|b| b.seq < entry.seq)
             .unwrap_or(true));
+        self.count_entry(&entry, true);
         self.entries.push_back(entry);
     }
 
@@ -149,11 +185,26 @@ impl Rob {
     }
 
     pub fn pop_head(&mut self) -> Option<RobEntry> {
-        self.entries.pop_front()
+        let e = self.entries.pop_front();
+        if let Some(e) = &e {
+            self.count_entry(e, false);
+        }
+        e
+    }
+
+    /// Index of the entry with sequence number `seq`, if still in flight.
+    #[inline]
+    fn pos(&self, seq: u64) -> Option<usize> {
+        let i = self.entries.partition_point(|e| e.seq < seq);
+        (i < self.entries.len() && self.entries[i].seq == seq).then_some(i)
+    }
+
+    pub fn get(&self, seq: u64) -> Option<&RobEntry> {
+        self.pos(seq).map(|i| &self.entries[i])
     }
 
     pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
-        self.entries.iter_mut().find(|e| e.seq == seq)
+        self.pos(seq).map(|i| &mut self.entries[i])
     }
 
     /// Entry by position (0 = oldest). O(1).
@@ -178,18 +229,29 @@ impl Rob {
     /// (misprediction recovery; the core sifts squashed loads for the
     /// wrong-path engine).
     pub fn squash_younger(&mut self, seq: u64) -> Vec<RobEntry> {
-        let keep = self.entries.iter().take_while(|e| e.seq <= seq).count();
-        self.entries.split_off(keep).into()
+        let keep = self.entries.partition_point(|e| e.seq <= seq);
+        let squashed: Vec<RobEntry> = self.entries.split_off(keep).into();
+        for e in &squashed {
+            self.count_entry(e, false);
+        }
+        squashed
     }
 
     /// Drop everything (full flush).
     pub fn clear(&mut self) -> Vec<RobEntry> {
+        self.mem_ops = 0;
+        self.serializers = 0;
         std::mem::take(&mut self.entries).into()
     }
 
     /// Wakeup: deliver `value` from producer `seq` to every waiting source.
+    ///
+    /// Consumers are renamed at dispatch against producers already in the
+    /// window, so a waiting source always names a strictly *older* sequence
+    /// number — only the suffix younger than `seq` needs examining.
     pub fn broadcast(&mut self, seq: u64, value: u64) {
-        for e in &mut self.entries {
+        let start = self.entries.partition_point(|e| e.seq <= seq);
+        for e in self.entries.range_mut(start..) {
             for s in &mut e.srcs {
                 if *s == SrcState::Waiting(seq) {
                     *s = SrcState::Ready(value);
@@ -222,11 +284,12 @@ mod tests {
     #[test]
     fn broadcast_wakes_waiting_sources() {
         let mut rob = Rob::new(4);
-        let mut e = entry(1);
+        rob.push(entry(7));
+        let mut e = entry(8);
         e.srcs = [SrcState::Waiting(7), SrcState::Ready(5)];
         rob.push(e);
         rob.broadcast(7, 99);
-        let e = rob.head().unwrap();
+        let e = rob.get(8).unwrap();
         assert!(e.srcs_ready());
         assert_eq!(e.src_val(0), 99);
         assert_eq!(e.src_val(1), 5);
@@ -235,11 +298,27 @@ mod tests {
     #[test]
     fn broadcast_ignores_other_producers() {
         let mut rob = Rob::new(4);
-        let mut e = entry(1);
+        rob.push(entry(7));
+        let mut e = entry(9);
         e.srcs = [SrcState::Waiting(7), SrcState::Ready(0)];
         rob.push(e);
         rob.broadcast(8, 1);
-        assert!(!rob.head().unwrap().srcs_ready());
+        assert!(!rob.get(9).unwrap().srcs_ready());
+    }
+
+    #[test]
+    fn get_finds_by_seq_with_gaps() {
+        let mut rob = Rob::new(8);
+        for s in [3, 4, 7, 9] {
+            rob.push(entry(s));
+        }
+        for s in [3, 4, 7, 9] {
+            assert_eq!(rob.get(s).unwrap().seq, s);
+            assert_eq!(rob.get_mut(s).unwrap().seq, s);
+        }
+        for s in [1, 2, 5, 6, 8, 10] {
+            assert!(rob.get(s).is_none());
+        }
     }
 
     #[test]
@@ -249,7 +328,10 @@ mod tests {
             rob.push(entry(s));
         }
         let squashed = rob.squash_younger(3);
-        assert_eq!(squashed.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(
+            squashed.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
         assert_eq!(rob.len(), 3);
         assert_eq!(rob.iter().last().unwrap().seq, 3);
     }
@@ -277,6 +359,39 @@ mod tests {
         };
         rob.push(s);
         assert_eq!(rob.mem_count(), 2);
+        rob.pop_head(); // the nop
+        assert_eq!(rob.mem_count(), 2);
+        rob.pop_head(); // the load
+        assert_eq!(rob.mem_count(), 1);
+        rob.squash_younger(2);
+        assert_eq!(rob.mem_count(), 0);
+    }
+
+    #[test]
+    fn serializer_presence_tracks_push_pop_squash() {
+        let mut rob = Rob::new(8);
+        assert!(!rob.has_serializer());
+        rob.push(entry(1));
+        let mut b = entry(2);
+        b.inst = Inst::TsagDone;
+        rob.push(b);
+        assert!(rob.has_serializer());
+        rob.squash_younger(1);
+        assert!(!rob.has_serializer());
+
+        let mut b = entry(3);
+        b.inst = Inst::TsagDone;
+        rob.push(b);
+        rob.pop_head(); // entry 1
+        assert!(rob.has_serializer());
+        rob.pop_head(); // the tsagdone
+        assert!(!rob.has_serializer());
+
+        let mut b = entry(4);
+        b.inst = Inst::TsagDone;
+        rob.push(b);
+        rob.clear();
+        assert!(!rob.has_serializer());
     }
 
     #[test]

@@ -79,7 +79,11 @@ impl CommitTrace {
         let mut out = String::new();
         for r in &self.ring {
             let text = disassemble_inst(&r.inst, |t| format!("@{t}"));
-            let _ = writeln!(out, "  [{:>8}] #{:<6} pc={:<5} {text}", r.cycle.0, r.seq, r.pc);
+            let _ = writeln!(
+                out,
+                "  [{:>8}] #{:<6} pc={:<5} {text}",
+                r.cycle.0, r.seq, r.pc
+            );
         }
         out
     }
@@ -112,12 +116,7 @@ mod tests {
     fn render_includes_disassembly() {
         let mut t = CommitTrace::new(4);
         t.record(Cycle(7), 9, 3, Inst::Halt);
-        t.record(
-            Cycle(8),
-            10,
-            4,
-            Inst::Jump { target: 2 },
-        );
+        t.record(Cycle(8), 10, 4, Inst::Jump { target: 2 });
         let s = t.render();
         assert!(s.contains("halt"), "{s}");
         assert!(s.contains("j @2"), "{s}");

@@ -74,10 +74,7 @@ fn indirect_jump_through_btb_not_ras() {
     // Point the li at the "hop" instruction index.
     let hop = prog.label("hop").unwrap() as i64;
     let li_idx = prog.label("patch_me").unwrap() as usize - 1;
-    prog.text[li_idx] = wec_isa::Inst::Li {
-        rd: tgt,
-        imm: hop,
-    };
+    prog.text[li_idx] = wec_isa::Inst::Li { rd: tgt, imm: hop };
     let (core, env, _) = run(prog, CoreConfig::default());
     assert_eq!(env.mem.read_u64(out).unwrap(), 60);
     assert_eq!(core.stats.indirect_jumps.get(), 20);
@@ -123,7 +120,10 @@ fn tiny_rob_still_executes_correctly() {
     b.halt();
     let (core, env, _) = run(b.build().unwrap(), cfg);
     assert_eq!(env.mem.read_u64(out).unwrap(), (1..=30u64).sum::<u64>());
-    assert!(core.stats.rob_full_stalls.get() > 0, "4-entry ROB never filled?");
+    assert!(
+        core.stats.rob_full_stalls.get() > 0,
+        "4-entry ROB never filled?"
+    );
 }
 
 #[test]
@@ -159,7 +159,10 @@ fn fetch_crosses_icache_block_boundaries() {
     b.sd(Reg(1), Reg(2), 0);
     b.halt();
     let (core, env, _) = run(b.build().unwrap(), CoreConfig::with_width(4));
-    assert_eq!(env.mem.read_u64(out).unwrap(), (1..=20i64).sum::<i64>() as u64);
+    assert_eq!(
+        env.mem.read_u64(out).unwrap(),
+        (1..=20i64).sum::<i64>() as u64
+    );
     assert_eq!(core.stats.committed.get(), 24);
 }
 

@@ -145,7 +145,10 @@ impl Assembler {
             ".double" => {
                 let vals: Vec<f64> = rest
                     .split_whitespace()
-                    .map(|t| t.parse::<f64>().map_err(|e| format!("bad float {t:?}: {e}")))
+                    .map(|t| {
+                        t.parse::<f64>()
+                            .map_err(|e| format!("bad float {t:?}: {e}"))
+                    })
                     .collect::<Result<_, _>>()
                     .map_err(err)?;
                 let addr = self.builder.alloc_f64s(&vals);
@@ -195,9 +198,7 @@ impl Assembler {
             if n == want {
                 Ok(())
             } else {
-                Err(err(format!(
-                    "{mnemonic} expects {want} operands, got {n}"
-                )))
+                Err(err(format!("{mnemonic} expects {want} operands, got {n}")))
             }
         };
         let ireg = |s: &str| Reg::parse(s).ok_or_else(|| err(format!("bad register {s:?}")));
@@ -206,7 +207,8 @@ impl Assembler {
         // reg-reg ALU
         if let Some(op) = AluOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
             need(3)?;
-            self.builder.alu(*op, ireg(ops[0])?, ireg(ops[1])?, ireg(ops[2])?);
+            self.builder
+                .alu(*op, ireg(ops[0])?, ireg(ops[1])?, ireg(ops[2])?);
             return Ok(());
         }
         // reg-imm ALU (mnemonic + "i")
@@ -220,12 +222,14 @@ impl Assembler {
         }
         if let Some(op) = FpuOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
             need(3)?;
-            self.builder.fpu(*op, freg(ops[0])?, freg(ops[1])?, freg(ops[2])?);
+            self.builder
+                .fpu(*op, freg(ops[0])?, freg(ops[1])?, freg(ops[2])?);
             return Ok(());
         }
         if let Some(op) = FCmpOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
             need(3)?;
-            self.builder.fcmp(*op, ireg(ops[0])?, freg(ops[1])?, freg(ops[2])?);
+            self.builder
+                .fcmp(*op, ireg(ops[0])?, freg(ops[1])?, freg(ops[2])?);
             return Ok(());
         }
         if let Some(cond) = BranchCond::ALL.iter().find(|c| c.mnemonic() == mnemonic) {

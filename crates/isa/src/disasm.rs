@@ -24,7 +24,12 @@ pub fn disassemble_inst(inst: &Inst, mut target_name: impl FnMut(u32) -> String)
         Inst::FCmp { op, rd, fs1, fs2 } => format!("{} {rd}, {fs1}, {fs2}", op.mnemonic()),
         Inst::CvtIF { fd, rs } => format!("cvtif {fd}, {rs}"),
         Inst::CvtFI { rd, fs } => format!("cvtfi {rd}, {fs}"),
-        Inst::Load { kind, rd, base, off } => {
+        Inst::Load {
+            kind,
+            rd,
+            base,
+            off,
+        } => {
             let m = match kind {
                 crate::inst::LoadKind::D => "ld",
                 crate::inst::LoadKind::W => "lw",
@@ -33,7 +38,12 @@ pub fn disassemble_inst(inst: &Inst, mut target_name: impl FnMut(u32) -> String)
             format!("{m} {rd}, {off}({base})")
         }
         Inst::FLoad { fd, base, off } => format!("fld {fd}, {off}({base})"),
-        Inst::Store { kind, rs, base, off } => {
+        Inst::Store {
+            kind,
+            rs,
+            base,
+            off,
+        } => {
             let m = match kind {
                 crate::inst::StoreKind::D => "sd",
                 crate::inst::StoreKind::W => "sw",
@@ -42,7 +52,12 @@ pub fn disassemble_inst(inst: &Inst, mut target_name: impl FnMut(u32) -> String)
             format!("{m} {rs}, {off}({base})")
         }
         Inst::FStore { fs, base, off } => format!("fsd {fs}, {off}({base})"),
-        Inst::Branch { cond, rs1, rs2, target } => {
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
             format!("{} {rs1}, {rs2}, {}", cond.mnemonic(), target_name(target))
         }
         Inst::Jump { target } => format!("j {}", target_name(target)),
@@ -70,9 +85,7 @@ pub fn referenced_targets(text: &[Inst]) -> BTreeSet<u32> {
     let mut targets = BTreeSet::new();
     for inst in text {
         match *inst {
-            Inst::Branch { target, .. }
-            | Inst::Jump { target }
-            | Inst::Jal { target, .. } => {
+            Inst::Branch { target, .. } | Inst::Jump { target } | Inst::Jal { target, .. } => {
                 targets.insert(target);
             }
             Inst::Fork { body, .. } => {

@@ -55,22 +55,23 @@ pub fn encode(inst: &Inst) -> u64 {
     match *inst {
         Inst::Nop => pack(OP_NOP, 0, 0, 0, 0),
         Inst::Halt => pack(OP_HALT, 0, 0, 0, 0),
-        Inst::Alu { op, rd, rs1, rs2 } => {
-            pack(OP_ALU + alu_idx(op), rd.0, rs1.0, rs2.0, 0)
-        }
+        Inst::Alu { op, rd, rs1, rs2 } => pack(OP_ALU + alu_idx(op), rd.0, rs1.0, rs2.0, 0),
         Inst::AluImm { op, rd, rs1, imm } => {
             pack(OP_ALUI + alu_idx(op), rd.0, rs1.0, 0, imm as u32)
         }
-        Inst::Li { rd, imm } => (OP_LI as u64) << 56 | (rd.0 as u64) << 48 | (imm as u64 & 0xffff_ffff_ffff),
-        Inst::Fpu { op, fd, fs1, fs2 } => {
-            pack(OP_FPU + fpu_idx(op), fd.0, fs1.0, fs2.0, 0)
+        Inst::Li { rd, imm } => {
+            (OP_LI as u64) << 56 | (rd.0 as u64) << 48 | (imm as u64 & 0xffff_ffff_ffff)
         }
-        Inst::FCmp { op, rd, fs1, fs2 } => {
-            pack(OP_FCMP + fcmp_idx(op), rd.0, fs1.0, fs2.0, 0)
-        }
+        Inst::Fpu { op, fd, fs1, fs2 } => pack(OP_FPU + fpu_idx(op), fd.0, fs1.0, fs2.0, 0),
+        Inst::FCmp { op, rd, fs1, fs2 } => pack(OP_FCMP + fcmp_idx(op), rd.0, fs1.0, fs2.0, 0),
         Inst::CvtIF { fd, rs } => pack(OP_CVTIF, fd.0, rs.0, 0, 0),
         Inst::CvtFI { rd, fs } => pack(OP_CVTFI, rd.0, fs.0, 0, 0),
-        Inst::Load { kind, rd, base, off } => {
+        Inst::Load {
+            kind,
+            rd,
+            base,
+            off,
+        } => {
             let op = match kind {
                 LoadKind::D => OP_LD,
                 LoadKind::W => OP_LW,
@@ -79,7 +80,12 @@ pub fn encode(inst: &Inst) -> u64 {
             pack(op, rd.0, base.0, 0, off as u32)
         }
         Inst::FLoad { fd, base, off } => pack(OP_FLD, fd.0, base.0, 0, off as u32),
-        Inst::Store { kind, rs, base, off } => {
+        Inst::Store {
+            kind,
+            rs,
+            base,
+            off,
+        } => {
             let op = match kind {
                 StoreKind::D => OP_SD,
                 StoreKind::W => OP_SW,
@@ -88,9 +94,12 @@ pub fn encode(inst: &Inst) -> u64 {
             pack(op, rs.0, base.0, 0, off as u32)
         }
         Inst::FStore { fs, base, off } => pack(OP_FSD, fs.0, base.0, 0, off as u32),
-        Inst::Branch { cond, rs1, rs2, target } => {
-            pack(OP_BRANCH + cond_idx(cond), rs1.0, rs2.0, 0, target)
-        }
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => pack(OP_BRANCH + cond_idx(cond), rs1.0, rs2.0, 0, target),
         Inst::Jump { target } => pack(OP_J, 0, 0, 0, target),
         Inst::Jal { rd, target } => pack(OP_JAL, rd.0, 0, 0, target),
         Inst::Jr { rs } => pack(OP_JR, rs.0, 0, 0, 0),
@@ -226,9 +235,7 @@ pub fn decode(word: u64) -> SimResult<Inst> {
             target: imm,
         },
         OP_JR => Inst::Jr { rs: ireg(a)? },
-        OP_BEGIN => Inst::Begin {
-            region: imm as u16,
-        },
+        OP_BEGIN => Inst::Begin { region: imm as u16 },
         OP_FORK => Inst::Fork {
             mask: imm,
             body: ((word >> 32) & 0xff_ffff) as u32,
@@ -272,7 +279,10 @@ mod tests {
                 imm: -12345,
             });
         }
-        roundtrip(Inst::Li { rd: Reg(9), imm: -1 });
+        roundtrip(Inst::Li {
+            rd: Reg(9),
+            imm: -1,
+        });
         roundtrip(Inst::Li {
             rd: Reg(9),
             imm: (1i64 << 47) - 1,

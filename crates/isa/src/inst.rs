@@ -203,35 +203,94 @@ pub enum FuClass {
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum Inst {
     /// `op rd, rs1, rs2`
-    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// `opi rd, rs1, imm`
-    AluImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    AluImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// `li rd, imm` — load a 48-bit signed immediate.
-    Li { rd: Reg, imm: i64 },
+    Li {
+        rd: Reg,
+        imm: i64,
+    },
     /// `fop fd, fs1, fs2`
-    Fpu { op: FpuOp, fd: FReg, fs1: FReg, fs2: FReg },
+    Fpu {
+        op: FpuOp,
+        fd: FReg,
+        fs1: FReg,
+        fs2: FReg,
+    },
     /// `fcmp rd, fs1, fs2`
-    FCmp { op: FCmpOp, rd: Reg, fs1: FReg, fs2: FReg },
+    FCmp {
+        op: FCmpOp,
+        rd: Reg,
+        fs1: FReg,
+        fs2: FReg,
+    },
     /// `cvtif fd, rs` — signed integer to double.
-    CvtIF { fd: FReg, rs: Reg },
+    CvtIF {
+        fd: FReg,
+        rs: Reg,
+    },
     /// `cvtfi rd, fs` — double to signed integer (truncating).
-    CvtFI { rd: Reg, fs: FReg },
+    CvtFI {
+        rd: Reg,
+        fs: FReg,
+    },
     /// `ld/lw/lbu rd, off(base)`
-    Load { kind: LoadKind, rd: Reg, base: Reg, off: i32 },
+    Load {
+        kind: LoadKind,
+        rd: Reg,
+        base: Reg,
+        off: i32,
+    },
     /// `fld fd, off(base)`
-    FLoad { fd: FReg, base: Reg, off: i32 },
+    FLoad {
+        fd: FReg,
+        base: Reg,
+        off: i32,
+    },
     /// `sd/sw/sb rs, off(base)`
-    Store { kind: StoreKind, rs: Reg, base: Reg, off: i32 },
+    Store {
+        kind: StoreKind,
+        rs: Reg,
+        base: Reg,
+        off: i32,
+    },
     /// `fsd fs, off(base)`
-    FStore { fs: FReg, base: Reg, off: i32 },
+    FStore {
+        fs: FReg,
+        base: Reg,
+        off: i32,
+    },
     /// `bCC rs1, rs2, target`
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: u32 },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        target: u32,
+    },
     /// `j target`
-    Jump { target: u32 },
+    Jump {
+        target: u32,
+    },
     /// `jal rd, target` — call; `rd` receives the return instruction index.
-    Jal { rd: Reg, target: u32 },
+    Jal {
+        rd: Reg,
+        target: u32,
+    },
     /// `jr rs` — indirect jump / return.
-    Jr { rs: Reg },
+    Jr {
+        rs: Reg,
+    },
     Nop,
     /// Stop the machine (sequential mode only).
     Halt,
@@ -239,15 +298,25 @@ pub enum Inst {
     // ------- superthreaded extensions (take effect at commit) -------
     /// Enter parallel region `region`; kills any leftover wrong threads.
     /// Falls through: the next instruction starts the first thread's body.
-    Begin { region: u16 },
+    Begin {
+        region: u16,
+    },
     /// Speculatively fork the successor thread at instruction `body`,
     /// forwarding the integer registers selected by `mask` (bit i = rI).
-    Fork { mask: u32, body: u32 },
+    Fork {
+        mask: u32,
+        body: u32,
+    },
     /// This iteration satisfies the loop exit: kill (or mark wrong) all
     /// successor threads, then continue sequential execution at `seq`.
-    Abort { seq: u32 },
+    Abort {
+        seq: u32,
+    },
     /// TSAG stage: announce a target-store address to downstream threads.
-    TsAnnounce { base: Reg, off: i32 },
+    TsAnnounce {
+        base: Reg,
+        off: i32,
+    },
     /// TSAG stage complete (passes the TSAG_DONE flag down the ring).
     TsagDone,
     /// End of the thread body; the thread enters its write-back stage.

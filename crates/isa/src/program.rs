@@ -70,10 +70,8 @@ impl MemImage {
 
     /// Read `bytes` (1..=8) little-endian, zero-extended. Errors on unmapped.
     pub fn read(&self, addr: Addr, bytes: u64) -> SimResult<u64> {
-        self.try_read(addr, bytes).ok_or(SimError::UnmappedAccess {
-            addr,
-            what: "load",
-        })
+        self.try_read(addr, bytes)
+            .ok_or(SimError::UnmappedAccess { addr, what: "load" })
     }
 
     /// Read that reports unmapped as `None` (wrong-execution probes).

@@ -137,10 +137,7 @@ mod tests {
         assert_eq!(eval_alu(AluOp::Sll, 1, 64), 1); // 64 & 63 == 0
         assert_eq!(eval_alu(AluOp::Sll, 1, 65), 2);
         assert_eq!(eval_alu(AluOp::Srl, u64::MAX, 63), 1);
-        assert_eq!(
-            eval_alu(AluOp::Sra, (-8i64) as u64, 2),
-            (-2i64) as u64
-        );
+        assert_eq!(eval_alu(AluOp::Sra, (-8i64) as u64, 2), (-2i64) as u64);
     }
 
     #[test]

@@ -6,7 +6,6 @@
 //! buffer — `sets = 1`).
 
 use crate::line::{Line, LineFlags};
-use crate::lru::LruOrder;
 use wec_common::error::{SimError, SimResult};
 use wec_common::ids::Addr;
 
@@ -90,11 +89,6 @@ pub struct Evicted {
     pub flags: LineFlags,
 }
 
-struct Set {
-    lines: Vec<Option<Line>>,
-    order: LruOrder,
-}
-
 /// The tag array.  All operations are O(associativity).
 ///
 /// ```
@@ -113,18 +107,27 @@ struct Set {
 /// ```
 pub struct Cache {
     geom: CacheGeometry,
-    sets: Vec<Set>,
+    /// Validity, line metadata and last-touch stamp per way, flattened to
+    /// `set * ways + way`.  One allocation per array instead of a `Vec` and
+    /// an `LruOrder` per set; the probe walks a contiguous slice.
+    valid: Vec<bool>,
+    lines: Vec<Line>,
+    stamps: Vec<u64>,
+    /// Global recency clock shared by all sets (only relative order within
+    /// a set matters; stamps are unique, so the order is total).
+    clock: u64,
 }
 
 impl Cache {
     pub fn new(geom: CacheGeometry) -> Self {
-        let sets = (0..geom.sets)
-            .map(|_| Set {
-                lines: vec![None; geom.ways],
-                order: LruOrder::new(geom.ways),
-            })
-            .collect();
-        Cache { geom, sets }
+        let slots = geom.sets as usize * geom.ways;
+        Cache {
+            geom,
+            valid: vec![false; slots],
+            lines: vec![Line::new(0, LineFlags::DEMAND); slots],
+            stamps: vec![0; slots],
+            clock: 1,
+        }
     }
 
     pub fn geometry(&self) -> CacheGeometry {
@@ -135,24 +138,39 @@ impl Cache {
         (self.geom.set_of(addr), self.geom.tag_of(addr))
     }
 
-    fn way_of(&self, set: usize, tag: u64) -> Option<usize> {
-        self.sets[set]
-            .lines
-            .iter()
-            .position(|l| matches!(l, Some(line) if line.tag == tag))
+    /// Flat index of the first way of `set`.
+    #[inline]
+    fn base(&self, set: usize) -> usize {
+        set * self.geom.ways
+    }
+
+    /// Flat index of `addr`'s line if resident.
+    fn slot_of(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = self.base(set);
+        let lines = &self.lines[base..base + self.geom.ways];
+        let valid = &self.valid[base..base + self.geom.ways];
+        (0..self.geom.ways)
+            .find(|&w| valid[w] && lines[w].tag == tag)
+            .map(|w| base + w)
+    }
+
+    #[inline]
+    fn stamp(&mut self, slot: usize) {
+        self.stamps[slot] = self.clock;
+        self.clock += 1;
     }
 
     /// Does the cache hold the block containing `addr`? (No LRU update.)
     pub fn contains(&self, addr: Addr) -> bool {
         let (set, tag) = self.locate(addr);
-        self.way_of(set, tag).is_some()
+        self.slot_of(set, tag).is_some()
     }
 
     /// Look at a resident line without touching LRU state.
     pub fn peek(&self, addr: Addr) -> Option<&Line> {
         let (set, tag) = self.locate(addr);
-        let way = self.way_of(set, tag)?;
-        self.sets[set].lines[way].as_ref()
+        let slot = self.slot_of(set, tag)?;
+        Some(&self.lines[slot])
     }
 
     /// Hit path: if resident, update LRU and return a mutable reference to
@@ -160,9 +178,9 @@ impl Cache {
     /// first demand hit, …).
     pub fn touch(&mut self, addr: Addr) -> Option<&mut Line> {
         let (set, tag) = self.locate(addr);
-        let way = self.way_of(set, tag)?;
-        self.sets[set].order.touch(way);
-        self.sets[set].lines[way].as_mut()
+        let slot = self.slot_of(set, tag)?;
+        self.stamp(slot);
+        Some(&mut self.lines[slot])
     }
 
     /// Insert the block containing `addr` as most-recently-used, replacing an
@@ -170,25 +188,40 @@ impl Cache {
     /// valid line, if any.  If the block is already resident its flags are
     /// overwritten and LRU updated (no eviction).
     pub fn insert(&mut self, addr: Addr, flags: LineFlags) -> Option<Evicted> {
-        let (set_idx, tag) = self.locate(addr);
-        if let Some(way) = self.way_of(set_idx, tag) {
-            let set = &mut self.sets[set_idx];
-            set.order.touch(way);
-            set.lines[way] = Some(Line::new(tag, flags));
+        let (set, tag) = self.locate(addr);
+        if let Some(slot) = self.slot_of(set, tag) {
+            self.stamp(slot);
+            self.lines[slot] = Line::new(tag, flags);
             return None;
         }
-        let set = &mut self.sets[set_idx];
-        let way = set
-            .lines
-            .iter()
-            .position(|l| l.is_none())
-            .unwrap_or_else(|| set.order.lru());
-        let evicted = set.lines[way].map(|line| Evicted {
-            addr: self.geom.block_addr(set_idx, line.tag),
-            flags: line.flags,
-        });
-        set.lines[way] = Some(Line::new(tag, flags));
-        set.order.touch(way);
+        let base = self.base(set);
+        let ways = self.geom.ways;
+        // First invalid way in way order, else the valid way with the
+        // oldest stamp (every valid way was stamped at insert, so the
+        // minimum stamp is the exact LRU).
+        let slot = match self.valid[base..base + ways].iter().position(|&v| !v) {
+            Some(w) => base + w,
+            None => {
+                let mut victim = base;
+                for s in base + 1..base + ways {
+                    if self.stamps[s] < self.stamps[victim] {
+                        victim = s;
+                    }
+                }
+                victim
+            }
+        };
+        let evicted = if self.valid[slot] {
+            Some(Evicted {
+                addr: self.geom.block_addr(set, self.lines[slot].tag),
+                flags: self.lines[slot].flags,
+            })
+        } else {
+            None
+        };
+        self.valid[slot] = true;
+        self.lines[slot] = Line::new(tag, flags);
+        self.stamp(slot);
         evicted
     }
 
@@ -196,8 +229,9 @@ impl Cache {
     /// WEC↔L1, victim-cache↔L1).
     pub fn take(&mut self, addr: Addr) -> Option<Line> {
         let (set, tag) = self.locate(addr);
-        let way = self.way_of(set, tag)?;
-        self.sets[set].lines[way].take()
+        let slot = self.slot_of(set, tag)?;
+        self.valid[slot] = false;
+        Some(self.lines[slot])
     }
 
     /// Invalidate the block containing `addr` if resident.
@@ -219,26 +253,33 @@ impl Cache {
 
     /// Number of valid lines (tests, occupancy assertions).
     pub fn valid_lines(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.lines.iter().filter(|l| l.is_some()).count())
-            .sum()
+        self.valid.iter().filter(|&&v| v).count()
     }
 
     /// Iterate over all resident block addresses with their flags.
     pub fn resident_blocks(&self) -> impl Iterator<Item = (Addr, LineFlags)> + '_ {
-        self.sets.iter().enumerate().flat_map(move |(si, set)| {
-            set.lines.iter().filter_map(move |l| {
-                l.map(|line| (self.geom.block_addr(si, line.tag), line.flags))
+        self.valid
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v)
+            .map(move |(slot, _)| {
+                let line = self.lines[slot];
+                (
+                    self.geom.block_addr(slot / self.geom.ways, line.tag),
+                    line.flags,
+                )
             })
-        })
     }
 
     /// Structural invariant: no duplicate tags within a set. Used by tests
     /// and debug assertions.
     pub fn check_no_duplicate_tags(&self) -> bool {
-        self.sets.iter().all(|set| {
-            let mut tags: Vec<u64> = set.lines.iter().flatten().map(|l| l.tag).collect();
+        (0..self.geom.sets as usize).all(|set| {
+            let base = self.base(set);
+            let mut tags: Vec<u64> = (0..self.geom.ways)
+                .filter(|&w| self.valid[base + w])
+                .map(|w| self.lines[base + w].tag)
+                .collect();
             let before = tags.len();
             tags.sort_unstable();
             tags.dedup();

@@ -214,8 +214,18 @@ mod tests {
         // Force eviction of `a` by filling its set (2 ways).
         let sets = l2.geometry().sets;
         let stride = sets * l2.geometry().block_bytes;
-        l2.access(Addr(a.0 + stride), AccessKind::CorrectLoad, false, Cycle(1000));
-        l2.access(Addr(a.0 + 2 * stride), AccessKind::CorrectLoad, false, Cycle(2000));
+        l2.access(
+            Addr(a.0 + stride),
+            AccessKind::CorrectLoad,
+            false,
+            Cycle(1000),
+        );
+        l2.access(
+            Addr(a.0 + 2 * stride),
+            AccessKind::CorrectLoad,
+            false,
+            Cycle(2000),
+        );
         assert!(!l2.contains(a));
         assert_eq!(l2.stats.writebacks.get(), 1);
     }

@@ -38,7 +38,7 @@ pub use cache::{Cache, CacheGeometry, Evicted};
 pub use dram::MainMemory;
 pub use l2::SharedL2;
 pub use line::{Line, LineFlags};
-pub use mshr::{Mshrs, MshrOutcome};
+pub use mshr::{MshrOutcome, Mshrs};
 pub use ports::PortSet;
 pub use prefetch::TaggedNextLine;
 pub use stats::CacheStats;

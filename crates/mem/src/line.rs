@@ -61,8 +61,7 @@ mod tests {
 
     #[test]
     fn flag_presets() {
-        let (demand, wrong, prefetch) =
-            (LineFlags::DEMAND, LineFlags::WRONG, LineFlags::PREFETCH);
+        let (demand, wrong, prefetch) = (LineFlags::DEMAND, LineFlags::WRONG, LineFlags::PREFETCH);
         assert!(!demand.wrong_fetched);
         assert!(wrong.wrong_fetched && !wrong.dirty);
         assert!(prefetch.prefetched);

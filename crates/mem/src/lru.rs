@@ -1,16 +1,22 @@
 //! True-LRU recency ordering for a cache set.
 //!
 //! The paper's caches (L1, L2, WEC, victim cache, prefetch buffer) all use
-//! LRU replacement; associativities are small (≤ 32 ways for the
-//! fully-associative structures), so a simple recency vector — most recent
-//! first — is both exact and fast.
+//! LRU replacement.  Recency is tracked with per-way timestamps from a
+//! monotonic clock: a touch is one store plus an increment (no vector
+//! shuffling), the LRU way is the minimum stamp, the MRU the maximum.
+//! Stamps are unique by construction (each touch consumes a fresh clock
+//! value), so the order is total and exactly matches the move-to-front
+//! list this replaces.
 
-/// Recency order over `n` ways. Way indices are stable; only their order in
-/// the recency vector changes.
+/// Recency order over `n` ways. Way indices are stable; only their stamps
+/// change.
 #[derive(Clone, Debug)]
 pub struct LruOrder {
-    /// `order[0]` is the most recently used way, `order[n-1]` the LRU way.
-    order: Vec<u8>,
+    /// Last-touch time per way; larger = more recent. Initial stamps are
+    /// descending so way 0 starts most recent and way `n-1` least.
+    stamps: Vec<u64>,
+    /// Next stamp to hand out.
+    clock: u64,
 }
 
 impl LruOrder {
@@ -18,41 +24,49 @@ impl LruOrder {
     pub fn new(ways: usize) -> Self {
         assert!((1..=255).contains(&ways));
         LruOrder {
-            order: (0..ways as u8).collect(),
+            stamps: (0..ways as u64).rev().collect(),
+            clock: ways as u64,
         }
     }
 
     pub fn ways(&self) -> usize {
-        self.order.len()
+        self.stamps.len()
     }
 
     /// Mark `way` most recently used.
     pub fn touch(&mut self, way: usize) {
-        let pos = self
-            .order
-            .iter()
-            .position(|&w| w as usize == way)
-            .expect("way out of range");
-        let w = self.order.remove(pos);
-        self.order.insert(0, w);
+        assert!(way < self.stamps.len(), "way out of range");
+        self.stamps[way] = self.clock;
+        self.clock += 1;
     }
 
     /// The least recently used way (the replacement victim).
     pub fn lru(&self) -> usize {
-        *self.order.last().unwrap() as usize
+        let mut best = 0;
+        for w in 1..self.stamps.len() {
+            if self.stamps[w] < self.stamps[best] {
+                best = w;
+            }
+        }
+        best
     }
 
     /// The most recently used way.
     pub fn mru(&self) -> usize {
-        self.order[0] as usize
+        let mut best = 0;
+        for w in 1..self.stamps.len() {
+            if self.stamps[w] > self.stamps[best] {
+                best = w;
+            }
+        }
+        best
     }
 
     /// Recency rank of `way` (0 = most recent).
     pub fn rank(&self, way: usize) -> usize {
-        self.order
-            .iter()
-            .position(|&w| w as usize == way)
-            .expect("way out of range")
+        assert!(way < self.stamps.len(), "way out of range");
+        let s = self.stamps[way];
+        self.stamps.iter().filter(|&&x| x > s).count()
     }
 }
 
@@ -110,6 +124,21 @@ mod tests {
             reference.insert(0, w);
             assert_eq!(l.mru(), reference[0]);
             assert_eq!(l.lru(), *reference.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn full_rank_order_matches_reference() {
+        let mut l = LruOrder::new(5);
+        let mut reference: Vec<usize> = (0..5).collect();
+        for &w in &[4usize, 2, 2, 0, 3, 1, 4, 0] {
+            l.touch(w);
+            let pos = reference.iter().position(|&x| x == w).unwrap();
+            reference.remove(pos);
+            reference.insert(0, w);
+        }
+        for (rank, &way) in reference.iter().enumerate() {
+            assert_eq!(l.rank(way), rank);
         }
     }
 }

@@ -98,6 +98,9 @@ mod tests {
         }
         // After the first miss, all later blocks were prefetched.
         assert_eq!(p.issued.get(), 8);
-        assert_eq!(prefetched, (1..=8).map(|i| Addr(i * 64)).collect::<Vec<_>>());
+        assert_eq!(
+            prefetched,
+            (1..=8).map(|i| Addr(i * 64)).collect::<Vec<_>>()
+        );
     }
 }

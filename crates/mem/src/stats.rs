@@ -29,7 +29,10 @@ impl AccessKind {
     /// the control speculation is known wrong)?
     #[inline]
     pub fn is_wrong(self) -> bool {
-        matches!(self, AccessKind::WrongPathLoad | AccessKind::WrongThreadLoad)
+        matches!(
+            self,
+            AccessKind::WrongPathLoad | AccessKind::WrongThreadLoad
+        )
     }
 
     /// Does this access count toward correct-path demand statistics?

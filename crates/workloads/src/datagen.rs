@@ -166,14 +166,18 @@ mod tests {
 
     #[test]
     fn rng_is_deterministic_per_name() {
-        let a: Vec<u64> = (0..8).map({
-            let mut r = rng_for("x", 1);
-            move |_| r.random()
-        }).collect();
-        let b: Vec<u64> = (0..8).map({
-            let mut r = rng_for("x", 1);
-            move |_| r.random()
-        }).collect();
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = rng_for("x", 1);
+                move |_| r.random()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = rng_for("x", 1);
+                move |_| r.random()
+            })
+            .collect();
         assert_eq!(a, b);
         let mut r2 = rng_for("y", 1);
         let c: u64 = r2.random();

@@ -142,7 +142,7 @@ pub fn build(scale: Scale) -> Workload {
             b.add(T1, rpr, T1);
             b.ld(T2, T1, 0); // j
             b.ld(T3, T1, 8); // jend
-            // facc = 0.0
+                             // facc = 0.0
             b.cvt_if(facc, Reg::ZERO);
             b.label("eq_dot");
             b.bge(T2, T3, "eq_dot_end");

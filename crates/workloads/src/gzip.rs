@@ -107,8 +107,7 @@ fn reference(d: &HostData, passes: u32) -> u64 {
                     }
                     let mut len = 0u64;
                     while (len as usize) < MAX_MATCH
-                        && d.text[cand as usize + len as usize]
-                            == d.text[pos + len as usize]
+                        && d.text[cand as usize + len as usize] == d.text[pos + len as usize]
                     {
                         len += 1;
                     }

@@ -251,7 +251,9 @@ pub fn chase_reduce_reference(mut prev: u64, perm: &[u64], steps: i64, reps: u32
             if nxt & 56 != 0 {
                 continue;
             }
-            acc = (acc.wrapping_mul(37) ^ nxt).wrapping_mul(41).wrapping_add(7);
+            acc = (acc.wrapping_mul(37) ^ nxt)
+                .wrapping_mul(41)
+                .wrapping_add(7);
         }
         prev = prev.rotate_left(1) ^ acc;
     }

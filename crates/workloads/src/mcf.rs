@@ -46,7 +46,9 @@ struct HostData {
 fn generate() -> HostData {
     let mut rng = rng_for("181.mcf", 7);
     let (next, heads) = linked_chains(&mut rng, NODES, CHAINS);
-    let cost: Vec<u64> = (0..NODES as u64).map(|i| i.wrapping_mul(2654435761) >> 7).collect();
+    let cost: Vec<u64> = (0..NODES as u64)
+        .map(|i| i.wrapping_mul(2654435761) >> 7)
+        .collect();
     let perm = permutation_cycle(&mut rng, PRICE_PERM);
     HostData {
         next,
@@ -156,7 +158,7 @@ pub fn build(scale: Scale) -> Workload {
             b.slli(T2, T0, 5); // p * 32
             b.add(T2, poolr, T2);
             b.ld(T2, T2, 8); // cost
-            // acc += cost ^ (p << 1)
+                             // acc += cost ^ (p << 1)
             b.slli(T0, T0, 1);
             b.xor(T2, T2, T0);
             b.srli(T0, T0, 1);

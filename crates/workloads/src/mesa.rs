@@ -21,8 +21,8 @@ use wec_isa::ProgramBuilder;
 
 use crate::datagen::rng_for;
 use crate::harness::{
-    counted_continuation, counted_exit, emit_checksum_reduce_reps, emit_sta_loop, IND, INV, MY,
-    T0, T1, T2,
+    counted_continuation, counted_exit, emit_checksum_reduce_reps, emit_sta_loop, IND, INV, MY, T0,
+    T1, T2,
 };
 use crate::{Scale, Workload};
 use rand::RngExt;
@@ -38,7 +38,7 @@ const WINDOW: usize = 32;
 const SCAN_REPS: u32 = 6;
 
 struct HostData {
-    verts: Vec<f64>,  // 4 per vertex
+    verts: Vec<f64>,   // 4 per vertex
     matrix: [f64; 16], // row-major
 }
 

@@ -188,7 +188,7 @@ pub fn build(scale: Scale) -> Workload {
             b.beq(T6, Reg::ZERO, "pr_chain_end");
             b.addi(T6, T6, -1);
             b.blt(T4, Reg::ZERO, "pr_chain_end"); // p == MAX
-            // vals[p] == tok ?
+                                                  // vals[p] == tok ?
             b.slli(SC0, T4, 3);
             b.add(SC0, valr, SC0);
             b.ld(SC0, SC0, 0);

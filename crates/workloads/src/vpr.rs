@@ -61,8 +61,12 @@ fn generate() -> HostData {
             x | (y << 32)
         })
         .collect();
-    let sa: Vec<u64> = (0..SWAPS).map(|_| rng.random_range(0..CELLS as u64)).collect();
-    let sb: Vec<u64> = (0..SWAPS).map(|_| rng.random_range(0..CELLS as u64)).collect();
+    let sa: Vec<u64> = (0..SWAPS)
+        .map(|_| rng.random_range(0..CELLS as u64))
+        .collect();
+    let sb: Vec<u64> = (0..SWAPS)
+        .map(|_| rng.random_range(0..CELLS as u64))
+        .collect();
     let nets: Vec<u64> = (0..SWAPS * 4)
         .map(|_| rng.random_range(0..CELLS as u64))
         .collect();
@@ -86,11 +90,15 @@ fn swap_cost(d: &HostData, s: usize) -> u64 {
     let cb = d.cells[d.sb[s] as usize];
     let (xa, ya) = (ca & 0xffff_ffff, ca >> 32);
     let (xb, yb) = (cb & 0xffff_ffff, cb >> 32);
-    let mut cost = absdiff(xa, xb).wrapping_mul(3).wrapping_add(absdiff(ya, yb));
+    let mut cost = absdiff(xa, xb)
+        .wrapping_mul(3)
+        .wrapping_add(absdiff(ya, yb));
     for e in 0..4 {
         let cn = d.cells[d.nets[s * 4 + e] as usize];
         let (xn, yn) = (cn & 0xffff_ffff, cn >> 32);
-        cost = cost.wrapping_add(absdiff(xa, xn)).wrapping_add(absdiff(yn, yb));
+        cost = cost
+            .wrapping_add(absdiff(xa, xn))
+            .wrapping_add(absdiff(yn, yb));
     }
     cost
 }
@@ -141,14 +149,7 @@ pub fn build(scale: Scale) -> Workload {
     b.li(passr, 0);
 
     // |a - b| into `dst` using `tmp` (dst != tmp, dst != b).
-    fn emit_absdiff(
-        b: &mut ProgramBuilder,
-        dst: Reg,
-        a: Reg,
-        rhs: Reg,
-        tmp: Reg,
-        tag: &str,
-    ) {
+    fn emit_absdiff(b: &mut ProgramBuilder, dst: Reg, a: Reg, rhs: Reg, tmp: Reg, tag: &str) {
         b.sub(dst, a, rhs);
         b.bge(a, rhs, tag);
         b.sub(dst, rhs, a);
@@ -178,7 +179,7 @@ pub fn build(scale: Scale) -> Workload {
             // serializes on the upstream release, which is why vpr shows
             // the worst thread-level parallelism of the suite (Figure 8).
             b.ld(SC1, totr, 0); // waits for the upstream release
-            // s = my & mask
+                                // s = my & mask
             b.and(T0, MY, maskr);
             // ca (T1), cb (T2)
             b.slli(T1, T0, 3);
@@ -193,7 +194,7 @@ pub fn build(scale: Scale) -> Workload {
             b.slli(T2, T2, 3);
             b.add(T2, cellr, T2);
             b.ld(T2, T2, 0); // cb
-            // xa/ya, xb/yb
+                             // xa/ya, xb/yb
             b.srli(T3, T1, 32); // ya
             b.andi(T1, T1, -1); // xa = low 32: mask via shift pair
             b.slli(T1, T1, 32);
@@ -201,7 +202,7 @@ pub fn build(scale: Scale) -> Workload {
             b.srli(T4, T2, 32); // yb
             b.slli(T2, T2, 32);
             b.srli(T2, T2, 32); // xb
-            // cost = |xa-xb|*3 + |ya-yb|  (T5)
+                                // cost = |xa-xb|*3 + |ya-yb|  (T5)
             emit_absdiff(b, T5, T1, T2, T6, "vp_ad0");
             b.slli(T6, T5, 1);
             b.add(T5, T5, T6);

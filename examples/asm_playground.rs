@@ -45,9 +45,16 @@ fn main() {
         }
         _ => DEMO.to_string(),
     };
-    let skip = usize::from(args.first().map(|a| a.ends_with(".s") || a.ends_with(".asm")).unwrap_or(false));
+    let skip = usize::from(
+        args.first()
+            .map(|a| a.ends_with(".s") || a.ends_with(".asm"))
+            .unwrap_or(false),
+    );
     let tus: usize = args.get(skip).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let preset_name = args.get(skip + 1).map(|s| s.as_str()).unwrap_or("wth-wp-wec");
+    let preset_name = args
+        .get(skip + 1)
+        .map(|s| s.as_str())
+        .unwrap_or("wth-wp-wec");
     let preset = ProcPreset::ALL
         .into_iter()
         .find(|p| p.name() == preset_name)

@@ -38,11 +38,7 @@ fn main() {
         b.correct_instructions().to_string(),
         c.correct_instructions().to_string(),
     );
-    row(
-        "IPC",
-        format!("{:.3}", b.ipc()),
-        format!("{:.3}", c.ipc()),
-    );
+    row("IPC", format!("{:.3}", b.ipc()), format!("{:.3}", c.ipc()));
     row(
         "L1D demand misses",
         b.l1d.demand_misses.to_string(),

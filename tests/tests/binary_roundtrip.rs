@@ -24,14 +24,8 @@ fn workload_binaries_roundtrip_and_rerun_identically() {
     let rb = b.run().unwrap();
     assert_eq!(ra.cycles, rb.cycles);
     assert_eq!(ra.checksum, rb.checksum);
-    assert_eq!(
-        a.memory().read_u64(w.check_addr).unwrap(),
-        w.expected_check
-    );
-    assert_eq!(
-        b.memory().read_u64(w.check_addr).unwrap(),
-        w.expected_check
-    );
+    assert_eq!(a.memory().read_u64(w.check_addr).unwrap(), w.expected_check);
+    assert_eq!(b.memory().read_u64(w.check_addr).unwrap(), w.expected_check);
 }
 
 #[test]

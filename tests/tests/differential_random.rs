@@ -186,7 +186,8 @@ fn check(seed: u64, preset: ProcPreset, tus: usize) {
     for (k, &want) in g.expected.iter().enumerate() {
         let got = m.memory().read_u64(g.out_addr + 8 * k as u64).unwrap();
         assert_eq!(
-            got, want,
+            got,
+            want,
             "seed {seed} {} {tus}TU diverged at out[{k}]",
             preset.name()
         );

@@ -22,7 +22,7 @@ fn avg_cycles(runner: &Runner, key: CfgKey) -> f64 {
 #[test]
 fn headline_orderings_hold() {
     let suite = Suite::build(Scale::SMOKE);
-    let runner = Runner::new(&suite);
+    let runner = Runner::without_disk_cache(&suite);
     let keys: Vec<CfgKey> = [
         ProcPreset::Orig,
         ProcPreset::Vc,
@@ -44,7 +44,10 @@ fn headline_orderings_hold() {
 
     // The paper's central claims, as inequalities on average speedup:
     assert!(wec > 1.02, "wth-wp-wec must clearly beat orig: {wec:.4}");
-    assert!(wec > vc, "the WEC must beat a plain victim cache ({wec:.4} vs {vc:.4})");
+    assert!(
+        wec > vc,
+        "the WEC must beat a plain victim cache ({wec:.4} vs {vc:.4})"
+    );
     assert!(
         wec > wth_wp,
         "the WEC must add value over bare wrong execution ({wec:.4} vs {wth_wp:.4})"
@@ -63,7 +66,7 @@ fn headline_orderings_hold() {
 fn victim_cache_benefit_collapses_at_higher_associativity() {
     // The Figure 12 claim.
     let suite = Suite::build(Scale::SMOKE);
-    let runner = Runner::new(&suite);
+    let runner = Runner::without_disk_cache(&suite);
     let mut vc_dm = CfgKey::paper(ProcPreset::Vc, 8);
     vc_dm.l1_ways = 1;
     let mut vc_4w = CfgKey::paper(ProcPreset::Vc, 8);
@@ -72,7 +75,13 @@ fn victim_cache_benefit_collapses_at_higher_associativity() {
     orig_4w.l1_ways = 4;
     let mut wec_4w = CfgKey::paper(ProcPreset::WthWpWec, 8);
     wec_4w.l1_ways = 4;
-    runner.warm_all_benches(&[vc_dm, vc_4w, orig_4w, wec_4w, CfgKey::paper(ProcPreset::Orig, 8)]);
+    runner.warm_all_benches(&[
+        vc_dm,
+        vc_4w,
+        orig_4w,
+        wec_4w,
+        CfgKey::paper(ProcPreset::Orig, 8),
+    ]);
 
     let n = suite.workloads.len();
     let (mut vc_gain_dm, mut vc_gain_4w, mut wec_gain_4w) = (0.0, 0.0, 0.0);
@@ -83,8 +92,11 @@ fn victim_cache_benefit_collapses_at_higher_associativity() {
         vc_gain_4w += base_4w / runner.metrics(i, vc_4w).cycles as f64;
         wec_gain_4w += base_4w / runner.metrics(i, wec_4w).cycles as f64;
     }
-    let (vc_gain_dm, vc_gain_4w, wec_gain_4w) =
-        (vc_gain_dm / n as f64, vc_gain_4w / n as f64, wec_gain_4w / n as f64);
+    let (vc_gain_dm, vc_gain_4w, wec_gain_4w) = (
+        vc_gain_dm / n as f64,
+        vc_gain_4w / n as f64,
+        wec_gain_4w / n as f64,
+    );
     assert!(
         vc_gain_4w < vc_gain_dm,
         "vc gain should shrink at 4-way ({vc_gain_4w:.4} vs {vc_gain_dm:.4})"
@@ -99,7 +111,7 @@ fn victim_cache_benefit_collapses_at_higher_associativity() {
 fn small_wec_beats_large_victim_cache() {
     // The Figure 15 claim: wec-4 > vc-16.
     let suite = Suite::build(Scale::SMOKE);
-    let runner = Runner::new(&suite);
+    let runner = Runner::without_disk_cache(&suite);
     let mut wec4 = CfgKey::paper(ProcPreset::WthWpWec, 8);
     wec4.side_entries = 4;
     let mut vc16 = CfgKey::paper(ProcPreset::Vc, 8);

@@ -1,0 +1,114 @@
+//! Differential regression net for the hot-path data structures.
+//!
+//! Every workload analog runs at scale 1 under three presets spanning the
+//! simulator's feature space (`orig`, `wp`, `wth-wp-wec`) and the resulting
+//! [`MachineMetrics`] must match the goldens in `tests/goldens/hotpath/`
+//! byte for byte.  The goldens were recorded before the flat-structure
+//! overhaul of the membuf / machine / cache hot paths, so any optimization
+//! that changes simulated behaviour — even by one cycle — fails here.
+//!
+//! To re-record after an *intentional* model change:
+//!
+//! ```text
+//! WEC_BLESS=1 cargo test -p integration-tests --test hotpath_equivalence
+//! ```
+//!
+//! and commit the diff (it IS the behaviour change; review it like one).
+
+use std::path::PathBuf;
+
+use wec_core::config::ProcPreset;
+use wec_core::metrics::MachineMetrics;
+use wec_workloads::{run_and_verify, Bench, Scale};
+
+const PRESETS: [ProcPreset; 3] = [ProcPreset::Orig, ProcPreset::Wp, ProcPreset::WthWpWec];
+const N_TUS: usize = 8;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("goldens/hotpath")
+}
+
+fn golden_path(bench: Bench, preset: ProcPreset) -> PathBuf {
+    // "181.mcf" / "wth-wp-wec" → "181.mcf__wth-wp-wec.kv"
+    golden_dir().join(format!("{}__{}.kv", bench.name(), preset.name()))
+}
+
+fn run_point(bench: Bench, preset: ProcPreset) -> MachineMetrics {
+    let w = bench.build(Scale::SMOKE);
+    run_and_verify(&w, preset.machine(N_TUS))
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, preset.name()))
+        .metrics
+}
+
+#[test]
+fn metrics_match_recorded_goldens() {
+    let bless = std::env::var_os("WEC_BLESS").is_some();
+    if bless {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+    }
+
+    // All 18 points, fanned over host threads (each simulation is
+    // single-threaded and deterministic).
+    let points: Vec<(Bench, ProcPreset)> = Bench::ALL
+        .iter()
+        .flat_map(|&b| PRESETS.iter().map(move |&p| (b, p)))
+        .collect();
+    let results: Vec<(Bench, ProcPreset, MachineMetrics)> = std::thread::scope(|s| {
+        let handles: Vec<_> = points
+            .iter()
+            .map(|&(b, p)| s.spawn(move || (b, p, run_point(b, p))))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut failures = Vec::new();
+    for (bench, preset, got) in results {
+        let path = golden_path(bench, preset);
+        if bless {
+            std::fs::write(&path, got.to_kv()).unwrap();
+            continue;
+        }
+        let recorded = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); record it with WEC_BLESS=1",
+                path.display()
+            )
+        });
+        let want = MachineMetrics::from_kv(&recorded)
+            .unwrap_or_else(|e| panic!("corrupt golden {}: {e}", path.display()));
+        if got != want {
+            // Report the exact divergent fields, not just "mismatch".
+            let (got_kv, want_kv) = (got.to_kv(), want.to_kv());
+            let diff: Vec<String> = got_kv
+                .lines()
+                .zip(want_kv.lines())
+                .filter(|(g, w)| g != w)
+                .map(|(g, w)| format!("    got `{g}` want `{w}`"))
+                .collect();
+            failures.push(format!(
+                "{} under {}:\n{}",
+                bench.name(),
+                preset.name(),
+                diff.join("\n")
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "hot-path metrics diverged from goldens:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn goldens_cover_every_point() {
+    if std::env::var_os("WEC_BLESS").is_some() {
+        return; // metrics_match_recorded_goldens is writing them right now
+    }
+    for &bench in &Bench::ALL {
+        for &preset in &PRESETS {
+            let path = golden_path(bench, preset);
+            assert!(path.is_file(), "golden missing: {}", path.display());
+        }
+    }
+}

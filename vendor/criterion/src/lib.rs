@@ -1,0 +1,284 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion API this workspace's benches use —
+//! `Criterion`, `benchmark_group` / `sample_size` / `bench_function` /
+//! `finish`, `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple median-of-samples measurement
+//! instead of criterion's statistical machinery.
+//!
+//! Modes:
+//! * default (`cargo bench`): per benchmark, calibrate an iteration count to
+//!   ~`WEC_BENCH_SAMPLE_MS` (default 100) milliseconds, then take
+//!   `sample_size` samples and report median and min ns/iter;
+//! * `--test` (what `cargo test` passes to bench targets): run each
+//!   benchmark body once and report nothing — keeps the tier-1 test run
+//!   fast while still exercising every bench path.
+//!
+//! Machine-readable output: when `WEC_BENCH_JSON` names a file, results are
+//! appended to it as JSON lines `{"name":…,"median_ns":…,"min_ns":…,
+//! "samples":…}` — `BENCH_hotloop.json` is produced from these.
+
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-exported name-compatible with criterion).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Timing harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filter: None,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure from the process arguments (`--test` and a positional
+    /// name filter are honored; every other flag criterion accepts is
+    /// ignored).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" => {}
+                s if s.starts_with("--") => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(name, sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, name: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher {
+                mode: Mode::Once,
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("test {name} ... ok");
+            return;
+        }
+
+        // Calibrate: grow the iteration count until one sample takes long
+        // enough to time reliably.
+        let budget = Duration::from_millis(
+            std::env::var("WEC_BENCH_SAMPLE_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100),
+        );
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                mode: Mode::Timed,
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= budget || iters >= 1 << 24 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (budget.as_nanos() / b.elapsed.as_nanos().max(1) + 1).min(16) as u64
+            };
+            iters = (iters * grow.max(2)).min(1 << 24);
+        }
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher {
+                mode: Mode::Timed,
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        let min = samples_ns[0];
+        println!(
+            "{name}: median {} min {} ({} samples x {iters} iters)",
+            fmt_ns(median),
+            fmt_ns(min),
+            samples_ns.len()
+        );
+        if let Ok(path) = std::env::var("WEC_BENCH_JSON") {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"name\":{:?},\"median_ns\":{median:.1},\"min_ns\":{min:.1},\"samples\":{},\"iters\":{iters}}}",
+                    name,
+                    samples_ns.len(),
+                );
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.name);
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&full, sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    Once,
+    Timed,
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Once => {
+                black_box(f());
+            }
+            Mode::Timed => {
+                let start = Instant::now();
+                for _ in 0..self.iters {
+                    black_box(f());
+                }
+                self.elapsed = start.elapsed();
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_runs_in_test_mode() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("one", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn timed_mode_measures() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+            default_sample_size: 3,
+        };
+        std::env::set_var("WEC_BENCH_SAMPLE_MS", "1");
+        c.bench_function("spin", |b| b.iter(|| black_box(1 + 1)));
+        std::env::remove_var("WEC_BENCH_SAMPLE_MS");
+    }
+}

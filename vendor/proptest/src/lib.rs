@@ -1,0 +1,292 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API this workspace uses —
+//! `proptest!`, `prop_assert*`, `prop_oneof!`, `Just`, `any`, ranges and
+//! tuples as strategies, `prop_map`, `collection::vec`, `sample::select`,
+//! and `ProptestConfig::with_cases` — on a deterministic per-test RNG.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * no shrinking — a failing case reports its inputs (via the panic
+//!   message of the failing assertion) but is not minimized;
+//! * no failure persistence (`proptest-regressions` files are ignored);
+//! * case generation is seeded from the test's name, so runs are
+//!   reproducible across invocations and hosts, and `PROPTEST_CASES`
+//!   overrides the case count globally.
+
+pub mod strategy;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+pub mod test_runner {
+    /// Runner configuration (only the case count is honored).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+
+        /// Effective case count: `PROPTEST_CASES` overrides the configured
+        /// value when set.
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; this stand-in has no shrinking, so
+            // keep full default coverage.
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for a `Vec` whose length is drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy choosing uniformly from a fixed set of values.
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        choices: Vec<T>,
+    }
+
+    pub fn select<T: Clone + std::fmt::Debug>(choices: Vec<T>) -> Select<T> {
+        assert!(!choices.is_empty(), "select over an empty set");
+        Select { choices }
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.choices[rng.below(self.choices.len() as u64) as usize].clone()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u64..100, v in proptest::collection::vec(any::<u8>(), 1..9)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(@cfg($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
+            let mut rng =
+                $crate::strategy::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                // Render inputs before the body runs: the body may consume
+                // them, and they must be reportable on failure (no
+                // shrinking — the raw case is the diagnostic).
+                let mut __inputs = String::new();
+                $(__inputs.push_str(&format!(
+                    "\n    {} = {:?}", stringify!($arg), $arg));)+
+                let result: ::std::result::Result<(), String> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err(msg) = result {
+                    panic!("proptest case {case}/{cases} failed: {msg}\n  inputs:{__inputs}");
+                }
+            }
+        }
+        $crate::__proptest_items!(@cfg($cfg) $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} ({})", stringify!($cond), format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err(format!("assertion failed: {:?} == {:?}", a, b));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err(format!(
+                "assertion failed: {:?} == {:?} ({})", a, b, format!($($fmt)+)));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err(format!("assertion failed: {:?} != {:?}", a, b));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err(format!(
+                "assertion failed: {:?} != {:?} ({})", a, b, format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Reject a generated case (counts as passed; this stand-in does not
+/// replenish rejected cases).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+/// Weighted-less union of strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum E {
+        A(u8),
+        B,
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(x in 3u64..10, v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_map_select(
+            e in prop_oneof![
+                (0u8..4).prop_map(E::A),
+                Just(E::B),
+            ],
+            pick in crate::sample::select(vec![1u32, 5, 9]),
+        ) {
+            match e {
+                E::A(n) => prop_assert!(n < 4),
+                E::B => {}
+            }
+            prop_assert!([1, 5, 9].contains(&pick));
+        }
+
+        #[test]
+        fn inclusive_and_signed(a in -8i32..=8, b in any::<i64>()) {
+            prop_assert!((-8..=8).contains(&a));
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::{Strategy, TestRng};
+        let s = (0u64..1000, crate::collection::vec(any::<u16>(), 1..6));
+        let mut r1 = TestRng::for_test("x");
+        let mut r2 = TestRng::for_test("x");
+        for _ in 0..64 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+}

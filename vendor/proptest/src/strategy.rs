@@ -1,0 +1,325 @@
+//! Strategies: composable random-value generators.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator behind every strategy (xoshiro256**).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeded from a test's fully-qualified name: every run of the same
+    /// test generates the same cases.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut s = [0u64; 4];
+        for (i, w) in s.iter_mut().enumerate() {
+            h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = h ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *w = z ^ (z >> 31);
+        }
+        if s == [0; 4] {
+            s = [1, 2, 3, 4];
+        }
+        TestRng { s }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, bound)` (rejection sampling; `bound > 0`).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform in `[lo, hi]` inclusive over the mapped-to-u64 domain.
+    #[inline]
+    fn between(&mut self, lo: u64, hi: u64) -> u64 {
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        if span == 0 {
+            self.next_u64()
+        } else {
+            lo + self.below(span)
+        }
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U: Debug, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase (for `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between strategies (the `prop_oneof!` backend).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty());
+        Union { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+// ------------------------------------------------------------------
+// any::<T>()
+// ------------------------------------------------------------------
+
+/// Types with a whole-domain uniform strategy.
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[inline]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ------------------------------------------------------------------
+// Ranges as strategies
+// ------------------------------------------------------------------
+
+/// Integer types usable as range strategies.
+pub trait RangeValue: Copy + Debug {
+    fn to_u64(self) -> u64;
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_range_value_unsigned {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            #[inline]
+            fn to_u64(self) -> u64 { self as u64 }
+            #[inline]
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+impl_range_value_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_value_signed {
+    ($($t:ty : $u:ty),*) => {$(
+        impl RangeValue for $t {
+            // Order-preserving offset-binary map into u64.
+            #[inline]
+            fn to_u64(self) -> u64 { ((self as $u) ^ (1 << (<$u>::BITS - 1))) as u64 }
+            #[inline]
+            fn from_u64(v: u64) -> Self { ((v as $u) ^ (1 << (<$u>::BITS - 1))) as $t }
+        }
+    )*};
+}
+impl_range_value_signed!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+impl<T: RangeValue> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "empty range strategy");
+        T::from_u64(rng.between(lo, hi - 1))
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "empty range strategy");
+        T::from_u64(rng.between(lo, hi))
+    }
+}
+
+// ------------------------------------------------------------------
+// Tuples of strategies
+// ------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+// ------------------------------------------------------------------
+// Collection sizes
+// ------------------------------------------------------------------
+
+/// Length distribution for `collection::vec`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    pub(crate) fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.between(self.lo as u64, self.hi_inclusive as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}

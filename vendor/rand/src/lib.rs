@@ -1,0 +1,303 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment cannot reach a crates registry, so this vendored
+//! crate provides the exact subset of the rand 0.10 API the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::from_seed`], and the [`RngExt`] helpers
+//! `random`, `random_range`, and `random_bool`.
+//!
+//! The generator is xoshiro256** — deterministic from its 32-byte seed, which
+//! is the only property the workloads rely on (every generated input is
+//! seeded, and all golden results in this repository were produced with this
+//! implementation).  It is NOT the upstream `StdRng` stream (upstream uses
+//! ChaCha12); the two produce different sequences for the same seed.
+
+use std::ops::{Bound, RangeBounds};
+
+/// A seedable random number generator (the subset of `rand::SeedableRng`
+/// used here).
+pub trait SeedableRng: Sized {
+    type Seed;
+    fn from_seed(seed: Self::Seed) -> Self;
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Core generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Types that can be sampled uniformly over their whole domain.
+pub trait StandardUniform: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Integer types `random_range` can target.
+pub trait SampleUniform: Copy {
+    fn from_u64(v: u64) -> Self;
+    fn to_u64(self) -> u64;
+    const MIN: Self;
+    const MAX: Self;
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn from_u64(v: u64) -> Self { v as $t }
+            #[inline]
+            fn to_u64(self) -> u64 { self as u64 }
+            const MIN: Self = <$t>::MIN;
+            const MAX: Self = <$t>::MAX;
+        }
+    )*};
+}
+impl_sample_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_signed {
+    ($($t:ty : $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            // Order-preserving map into the unsigned domain (offset binary).
+            #[inline]
+            fn from_u64(v: u64) -> Self { ((v as $u) ^ (1 << (<$u>::BITS - 1))) as $t }
+            #[inline]
+            fn to_u64(self) -> u64 { ((self as $u) ^ (1 << (<$u>::BITS - 1))) as u64 }
+            const MIN: Self = <$t>::MIN;
+            const MAX: Self = <$t>::MAX;
+        }
+    )*};
+}
+impl_sample_signed!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+#[inline]
+fn bounds_to_lo_hi<T: SampleUniform, R: RangeBounds<T>>(range: &R) -> (u64, u64) {
+    let lo = match range.start_bound() {
+        Bound::Included(&s) => s.to_u64(),
+        Bound::Excluded(&s) => s.to_u64() + 1,
+        Bound::Unbounded => T::MIN.to_u64(),
+    };
+    let hi = match range.end_bound() {
+        Bound::Included(&e) => e.to_u64(),
+        Bound::Excluded(&e) => e.to_u64().checked_sub(1).expect("empty range"),
+        Bound::Unbounded => T::MAX.to_u64(),
+    };
+    assert!(lo <= hi, "cannot sample from an empty range");
+    (lo, hi)
+}
+
+/// Uniform sample in `[lo, hi]` (inclusive) via rejection from the widened
+/// modulus (bias-free; span == u64::MAX+1 falls through to a raw draw).
+#[inline]
+fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    let span = hi.wrapping_sub(lo).wrapping_add(1);
+    if span == 0 {
+        return rng.next_u64();
+    }
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return lo + v % span;
+        }
+    }
+}
+
+/// The extension methods (`rand::RngExt` in 0.10 / `Rng` in earlier
+/// versions).
+pub trait RngExt: RngCore {
+    /// A uniform sample over the type's whole domain.
+    #[inline]
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    #[inline]
+    fn random_range<T: SampleUniform, R: RangeBounds<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = bounds_to_lo_hi(&range);
+        T::from_u64(sample_inclusive(self, lo, hi))
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Alias kept for code written against the pre-0.10 trait name.
+pub use self::RngExt as Rng;
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic generator (xoshiro256**).  Stream differs from
+    /// upstream rand's ChaCha12-based `StdRng`; see the crate docs.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn mix(mut z: u64) -> u64 {
+            // splitmix64 finalizer — used to key the state from seeds.
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            // Chain every seed byte into every state lane (a single-byte
+            // difference must change the whole state: xoshiro's first
+            // output depends only on lane 1).
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+            for b in seed {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            let mut s = [0u64; 4];
+            for (i, w) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                h = Self::mix(h ^ u64::from_le_bytes(b));
+                *w = h;
+            }
+            if s == [0; 4] {
+                s = [1, 2, 3, 4]; // xoshiro's one forbidden state
+            }
+            StdRng { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut seed = [0u8; 32];
+            seed[..8].copy_from_slice(&state.to_le_bytes());
+            Self::from_seed(seed)
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::from_seed([7; 32]);
+        let mut b = StdRng::from_seed([7; 32]);
+        let va: Vec<u64> = (0..16).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.random()).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::from_seed([8; 32]);
+        assert_ne!(va[0], c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.random_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let u = r.random_range(0u8..16);
+            assert!(u < 16);
+            let z = r.random_range(0usize..=0);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(!r.random_bool(0.0));
+            assert!(r.random_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn full_domain_signed_map_roundtrip() {
+        use super::SampleUniform;
+        for v in [i64::MIN, -1, 0, 1, i64::MAX] {
+            assert_eq!(i64::from_u64(v.to_u64()), v);
+        }
+        assert!(i64::MIN.to_u64() < 0i64.to_u64());
+        assert!(0i64.to_u64() < i64::MAX.to_u64());
+    }
+}
