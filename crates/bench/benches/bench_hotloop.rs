@@ -14,6 +14,7 @@ use wec_core::config::ProcPreset;
 use wec_core::membuf::MemBuffer;
 use wec_mem::cache::{Cache, CacheGeometry};
 use wec_mem::line::LineFlags;
+use wec_telemetry::TelemetryConfig;
 use wec_workloads::{run_and_verify, Bench, Scale};
 
 fn bench_membuf(c: &mut Criterion) {
@@ -104,6 +105,23 @@ fn bench_machine(c: &mut Criterion) {
             run_and_verify(&gzip, ProcPreset::Orig.machine(8))
                 .unwrap()
                 .cycles
+        })
+    });
+
+    // Telemetry overhead guard: the same mcf run with every instrument on
+    // (in-memory only — no artifact files).  Compare against the untraced
+    // "simulate mcf smoke" number above; the gated-buffer design should
+    // keep the telemetry-off run within noise of a build without telemetry,
+    // and this bench bounds what turning it on costs.
+    group.bench_function("simulate mcf smoke (wth-wp-wec, telemetry on)", |b| {
+        b.iter(|| {
+            let mut cfg = ProcPreset::WthWpWec.machine(8);
+            cfg.telemetry = TelemetryConfig {
+                trace_events: true,
+                sample_interval: 1000,
+                out_dir: None,
+            };
+            run_and_verify(&mcf, cfg).unwrap().cycles
         })
     });
     group.finish();

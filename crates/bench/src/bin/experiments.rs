@@ -2,18 +2,32 @@
 //!
 //! ```text
 //! experiments [--scale N] [--only figNN|tableN] [--csv] [--no-cache]
+//! experiments [--scale N] [--only bench] --trace-events
+//!             [--sample-interval N] [--telemetry-out DIR] [--commit-trace N]
 //! ```
 //!
 //! Results are memoized on disk (default `target/wec-result-cache`,
 //! override with `WEC_RESULT_CACHE`), so a rerun at the same scale and
 //! simulator revision replays from the store.  `--no-cache` neither reads
 //! nor writes the store.
+//!
+//! Passing `--trace-events` or `--sample-interval N` switches the harness
+//! into **telemetry mode**: instead of regenerating tables it runs the
+//! selected workloads (default `181.mcf`; `--only` substring-filters by
+//! benchmark name) on the paper's `wth-wp-wec` machine with the requested
+//! instruments on, writes the artifacts (`events.jsonl`, `timeseries.csv`,
+//! `histograms.json`, `trace.perfetto.json`) under
+//! `--telemetry-out DIR/<bench>/` (default `target/wec-telemetry`), and
+//! prints a telemetry summary.  Telemetry runs always bypass the result
+//! cache — artifacts must come from a live simulation.
 
 use wec_bench::experiments;
 
 type TableFn = Box<dyn Fn(&Runner) -> wec_common::table::Table>;
 use wec_bench::runner::{Runner, Suite};
-use wec_workloads::Scale;
+use wec_core::config::ProcPreset;
+use wec_telemetry::TelemetryConfig;
+use wec_workloads::{run_and_verify, Bench, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +35,10 @@ fn main() {
     let mut only: Option<String> = None;
     let mut csv = false;
     let mut no_cache = false;
+    let mut trace_events = false;
+    let mut sample_interval = 0u64;
+    let mut telemetry_out: Option<std::path::PathBuf> = None;
+    let mut commit_trace = 0usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -32,8 +50,39 @@ fn main() {
             "--only" => only = it.next().cloned(),
             "--csv" => csv = true,
             "--no-cache" => no_cache = true,
+            "--trace-events" => trace_events = true,
+            "--sample-interval" => {
+                sample_interval = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--sample-interval N")
+            }
+            "--telemetry-out" => {
+                telemetry_out = Some(it.next().expect("--telemetry-out DIR").into())
+            }
+            "--commit-trace" => {
+                commit_trace = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--commit-trace N")
+            }
             other => panic!("unknown argument {other:?}"),
         }
+    }
+
+    if trace_events || sample_interval > 0 {
+        run_telemetry(
+            scale,
+            only.as_deref(),
+            trace_events,
+            sample_interval,
+            telemetry_out,
+            commit_trace,
+        );
+        return;
+    }
+    if commit_trace > 0 || telemetry_out.is_some() {
+        panic!("--commit-trace/--telemetry-out need --trace-events or --sample-interval");
     }
 
     eprintln!(
@@ -112,4 +161,69 @@ fn main() {
         t0.elapsed().as_secs_f64(),
         runner.simulations()
     );
+}
+
+/// Telemetry mode: run the selected workloads on the paper's `wth-wp-wec`
+/// machine with the requested instruments and print what they captured.
+fn run_telemetry(
+    scale: Scale,
+    only: Option<&str>,
+    trace_events: bool,
+    sample_interval: u64,
+    out: Option<std::path::PathBuf>,
+    commit_trace: usize,
+) {
+    let out = out.unwrap_or_else(|| std::path::PathBuf::from("target/wec-telemetry"));
+    let benches: Vec<Bench> = match only {
+        None => vec![Bench::Mcf],
+        Some(filter) => Bench::ALL
+            .iter()
+            .copied()
+            .filter(|b| b.name().contains(filter))
+            .collect(),
+    };
+    if benches.is_empty() {
+        panic!("--only {only:?} matches no benchmark (names: 175.vpr 164.gzip 181.mcf 197.parser 183.equake 177.mesa)");
+    }
+
+    for bench in benches {
+        let w = bench.build(scale);
+        let mut cfg = ProcPreset::WthWpWec.machine(8);
+        cfg.core.commit_trace = commit_trace;
+        cfg.telemetry = TelemetryConfig {
+            trace_events,
+            sample_interval,
+            out_dir: Some(out.join(w.name.replace('.', "_"))),
+        };
+        eprintln!(
+            "telemetry run: {} (scale units = {}, preset wth-wp-wec, 8 TUs)…",
+            w.name, scale.units
+        );
+        let t = std::time::Instant::now();
+        let r = run_and_verify(&w, cfg).expect("telemetry run failed");
+        let tel = r.telemetry.expect("telemetry enabled but no summary");
+
+        println!("== telemetry: {} ==", w.name);
+        println!(
+            "cycles {}  instructions {}  ipc {:.3}",
+            r.cycles,
+            r.metrics.correct_instructions(),
+            r.metrics.ipc()
+        );
+        println!("events_total {}  samples {}", tel.events_total, tel.samples);
+        for (kind, n) in &tel.events_by_kind {
+            println!("  event {kind:<22} {n}");
+        }
+        for h in &tel.histograms {
+            println!(
+                "  hist  {:<22} count {}  p50 {}  p99 {}  max {}",
+                h.name, h.count, h.p50, h.p99, h.max
+            );
+        }
+        for f in &tel.files {
+            println!("  wrote {}", f.display());
+        }
+        eprintln!("[{}: {:.1}s]", w.name, t.elapsed().as_secs_f64());
+        println!();
+    }
 }

@@ -1,0 +1,148 @@
+//! Validate a telemetry artifact directory against the crate schemas.
+//!
+//! ```text
+//! telemetry_check DIR [--require kind]...
+//! ```
+//!
+//! `DIR` is what a telemetry-mode `experiments` run wrote for one workload
+//! (e.g. `target/wec-telemetry/181_mcf`).  Every artifact present is
+//! validated — `events.jsonl` and `commits.jsonl` against the event schema
+//! with non-decreasing cycle stamps, `timeseries.csv` against the sampler
+//! column set, `histograms.json` for bucket/count consistency, and
+//! `trace.perfetto.json` as Chrome trace-event JSON.  Each `--require kind`
+//! additionally asserts that the event trace contains at least one event of
+//! that kind (e.g. `--require wec_fill --require wec_hit`).  Exits nonzero
+//! on any failure, so CI can gate on it.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use wec_telemetry::schema;
+
+fn read(dir: &Path, name: &str) -> Option<String> {
+    let path = dir.join(name);
+    if !path.exists() {
+        return None;
+    }
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("FAIL {}: unreadable: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--require" => required.push(it.next().expect("--require kind").clone()),
+            other if dir.is_none() => dir = Some(other.to_string()),
+            other => panic!("unexpected argument {other:?}"),
+        }
+    }
+    let dir_s = dir.expect("usage: telemetry_check DIR [--require kind]...");
+    let dir = Path::new(&dir_s);
+    let mut failures = 0u32;
+    let mut validated = 0u32;
+
+    let events = read(dir, "events.jsonl");
+    let mut report = None;
+    if let Some(text) = &events {
+        match schema::validate_events_jsonl(text) {
+            Ok(r) => {
+                println!(
+                    "ok  events.jsonl: {} events, {} kinds",
+                    r.total,
+                    r.counts.len()
+                );
+                report = Some(r);
+                validated += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL events.jsonl: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(text) = read(dir, "commits.jsonl") {
+        match schema::validate_events_jsonl(&text) {
+            Ok(r) => {
+                println!("ok  commits.jsonl: {} commit records", r.total);
+                validated += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL commits.jsonl: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(text) = read(dir, "timeseries.csv") {
+        match schema::validate_timeseries_csv(&text) {
+            Ok(rows) => {
+                println!("ok  timeseries.csv: {rows} samples");
+                validated += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL timeseries.csv: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(text) = read(dir, "histograms.json") {
+        match schema::validate_histograms_json(&text) {
+            Ok(names) => {
+                println!("ok  histograms.json: {}", names.join(", "));
+                validated += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL histograms.json: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(text) = read(dir, "trace.perfetto.json") {
+        match schema::validate_perfetto(&text) {
+            Ok(n) => {
+                println!("ok  trace.perfetto.json: {n} trace events");
+                validated += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL trace.perfetto.json: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    if validated == 0 && failures == 0 {
+        eprintln!("FAIL {}: no telemetry artifacts found", dir.display());
+        failures += 1;
+    }
+    for kind in &required {
+        match &report {
+            Some(r) if r.count_of(kind) > 0 => {
+                println!("ok  require {kind}: {} events", r.count_of(kind));
+            }
+            Some(_) => {
+                eprintln!("FAIL require {kind}: no such events in events.jsonl");
+                failures += 1;
+            }
+            None => {
+                eprintln!("FAIL require {kind}: no valid events.jsonl to check");
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} telemetry check(s) failed in {}", dir.display());
+        ExitCode::FAILURE
+    } else {
+        println!("all telemetry checks passed in {}", dir.display());
+        ExitCode::SUCCESS
+    }
+}

@@ -4,6 +4,7 @@
 use wec_common::error::{SimError, SimResult};
 use wec_cpu::config::CoreConfig;
 use wec_mem::l2::L2Config;
+use wec_telemetry::TelemetryConfig;
 
 use crate::dpath::{DataPathConfig, SideKind};
 
@@ -112,6 +113,10 @@ pub struct MachineConfig {
     /// Record the scheduler event log (thread lifecycle timeline; see
     /// `wec_core::events`).
     pub event_log: bool,
+    /// Telemetry instruments (event trace, interval sampler, histograms,
+    /// Perfetto export).  All off by default; when off, metrics are
+    /// byte-identical to a run without telemetry.
+    pub telemetry: TelemetryConfig,
 }
 
 impl MachineConfig {
@@ -131,6 +136,7 @@ impl MachineConfig {
             ring_latency: 2,
             max_cycles: 2_000_000_000,
             event_log: false,
+            telemetry: TelemetryConfig::default(),
         }
     }
 

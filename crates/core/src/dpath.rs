@@ -32,6 +32,7 @@ use wec_mem::mshr::{MshrOutcome, Mshrs};
 use wec_mem::ports::PortSet;
 use wec_mem::prefetch::TaggedNextLine;
 use wec_mem::stats::{AccessKind, CacheStats};
+use wec_telemetry::{CacheEvent, CacheTrace};
 
 /// Which side structure sits beside the L1.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -124,6 +125,9 @@ pub struct DataPath {
     mshrs: Mshrs,
     nlp: TaggedNextLine,
     pub stats: CacheStats,
+    /// Gated telemetry buffer (WEC fills, side hits, victim transfers,
+    /// prefetches, misses); drained and TU-tagged by the machine.
+    pub trace: CacheTrace,
 }
 
 impl DataPath {
@@ -144,6 +148,7 @@ impl DataPath {
             mshrs: Mshrs::new(cfg.mshrs, cfg.block_bytes),
             nlp: TaggedNextLine::new(),
             stats: CacheStats::default(),
+            trace: CacheTrace::default(),
         })
     }
 
@@ -228,6 +233,14 @@ impl DataPath {
             self.stats.side_hits.inc();
             let was_wrong = side_line.flags.wrong_fetched;
             let was_prefetched = side_line.flags.prefetched;
+            self.trace.push(
+                now.0,
+                CacheEvent::SideHit {
+                    wrong_fetched: was_wrong,
+                    prefetched: was_prefetched,
+                },
+                addr.block_base(block_bytes).0,
+            );
             if was_wrong {
                 self.stats.useful_wrong_fetches.inc();
             }
@@ -285,6 +298,11 @@ impl DataPath {
 
         // Miss everywhere: fetch from L2 into the L1.
         self.stats.demand_misses_to_next_level.inc();
+        self.trace.push(
+            now.0,
+            CacheEvent::MissToNext { wrong: false },
+            addr.block_base(block_bytes).0,
+        );
         let fetch_start = now.plus(hit_latency);
         let ready = match self
             .mshrs
@@ -303,6 +321,8 @@ impl DataPath {
                 SideKind::Victim | SideKind::Wec => {
                     // Victim-cache behaviour: the displaced block parks in
                     // the side structure.
+                    self.trace
+                        .push(now.0, CacheEvent::VictimTransfer, victim.addr.0);
                     if let Some(side_victim) = self
                         .side
                         .as_mut()
@@ -356,6 +376,11 @@ impl DataPath {
         }
         // Double miss: fetch from the next level.
         self.stats.wrong_misses_to_next_level.inc();
+        self.trace.push(
+            now.0,
+            CacheEvent::MissToNext { wrong: true },
+            addr.block_base(self.cfg.block_bytes).0,
+        );
         let fetch_start = now.plus(hit_latency);
         let ready = match self
             .mshrs
@@ -368,6 +393,11 @@ impl DataPath {
             SideKind::Wec => {
                 // The paper's central rule: wrong-execution fills go to the
                 // WEC, never the L1.
+                self.trace.push(
+                    now.0,
+                    CacheEvent::WecFill,
+                    addr.block_base(self.cfg.block_bytes).0,
+                );
                 if let Some(victim) = self.side.as_mut().unwrap().insert(addr, LineFlags::WRONG) {
                     self.writeback_if_dirty(victim.addr, victim.flags, now, l2);
                 }
@@ -412,6 +442,11 @@ impl DataPath {
         {
             return;
         }
+        self.trace.push(
+            now.0,
+            CacheEvent::NextLinePrefetch,
+            addr.block_base(self.cfg.block_bytes).0,
+        );
         // Prefetches ride the L2 in the background; nobody waits on them, so
         // the instant-fill simplification costs nothing here.
         let _ = l2.access(
@@ -452,6 +487,12 @@ impl DataPath {
     /// Wrong-fetched flag of a resident side block (tests).
     pub fn side_flags(&self, addr: Addr) -> Option<LineFlags> {
         self.side.as_ref()?.peek(addr).map(|l| l.flags)
+    }
+
+    /// Valid lines currently held by the side structure (WEC occupancy for
+    /// the telemetry sampler; 0 without a side structure).
+    pub fn side_occupancy(&self) -> usize {
+        self.side.as_ref().map_or(0, |s| s.valid_lines())
     }
 }
 
@@ -574,6 +615,34 @@ mod tests {
         assert!(d.l1_contains(next));
         assert!(d.side_contains(next.next_block(64)));
         assert_eq!(d.stats.useful_prefetches.get(), 1);
+    }
+
+    #[test]
+    fn trace_captures_wec_fill_and_hit() {
+        let mut d = dp(SideKind::Wec);
+        let mut l2 = l2();
+        d.trace.set_enabled(true);
+        let a = Addr(0x2_0000);
+        done(d.access(a, AccessKind::WrongPathLoad, Cycle(0), &mut l2));
+        done(d.access(a, AccessKind::CorrectLoad, Cycle(400), &mut l2));
+        let evs: Vec<_> = d.trace.drain().collect();
+        assert!(evs.contains(&(0, CacheEvent::MissToNext { wrong: true }, a.0)));
+        assert!(evs.contains(&(0, CacheEvent::WecFill, a.0)));
+        assert!(evs.iter().any(|&(c, e, ad)| c == 400
+            && ad == a.0
+            && matches!(
+                e,
+                CacheEvent::SideHit {
+                    wrong_fetched: true,
+                    ..
+                }
+            )));
+        assert!(
+            evs.iter()
+                .any(|&(_, e, _)| e == CacheEvent::NextLinePrefetch),
+            "WEC hit must chain a next-line prefetch event"
+        );
+        assert_eq!(d.side_occupancy(), 1);
     }
 
     #[test]

@@ -34,11 +34,15 @@ use wec_isa::program::{MemImage, Program};
 use wec_mem::l2::SharedL2;
 use wec_mem::stats::AccessKind;
 
+use wec_isa::disasm::disassemble_inst;
+use wec_telemetry::{TelemetrySummary, TraceEvent};
+
 use crate::config::MachineConfig;
 use crate::dpath::{DataPath, DpResult};
 use crate::events::{EventLog, SchedEvent};
 use crate::membuf::{apply_word, LoadCheck};
 use crate::metrics::{L1dAggregate, MachineMetrics};
+use crate::telemetry::MachineTelemetry;
 use crate::thread::{AliveTable, ThreadCtx, ThreadState, TsagDone, WrongSet};
 
 /// Execution mode of the machine.
@@ -159,6 +163,9 @@ struct Shared {
     wb_jobs: Vec<WbJob>,
     stats: MachineStats,
     events: EventLog,
+    /// `Some` only when telemetry is enabled; every per-cycle hook is one
+    /// `is_some` branch when off.
+    tel: Option<Box<MachineTelemetry>>,
 }
 
 impl Shared {
@@ -298,25 +305,43 @@ pub struct RunResult {
     pub checksum: u64,
     pub metrics: MachineMetrics,
     pub stats: StatSet,
+    /// What telemetry captured (`None` when telemetry was off).
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl Machine {
     pub fn new(cfg: MachineConfig, program: &Program) -> SimResult<Self> {
         let program = Arc::new(program.clone());
+        let trace_events = cfg.telemetry.trace_events;
         let mut tus = Vec::with_capacity(cfg.n_tus);
         for _ in 0..cfg.n_tus {
-            tus.push(TuSlot {
+            let mut slot = TuSlot {
                 core: Core::new(cfg.core.clone(), Arc::clone(&program)),
                 dpath: DataPath::new(cfg.l1d)?,
                 icache: DataPath::new(cfg.l1i)?,
                 sbuf: VecDeque::new(),
                 thread: None,
                 last_committed: 0,
-            });
+            };
+            if trace_events {
+                slot.dpath.trace.set_enabled(true);
+                slot.core.flush_trace.set_enabled(true);
+            }
+            tus.push(slot);
         }
+        let mut l2 = SharedL2::new(cfg.l2)?;
+        l2.trace.set_enabled(trace_events);
+        let tel = if cfg.telemetry.enabled() {
+            Some(Box::new(MachineTelemetry::new(
+                cfg.telemetry.clone(),
+                cfg.n_tus,
+            )))
+        } else {
+            None
+        };
         let shared = Shared {
             mem: program.data.clone(),
-            l2: SharedL2::new(cfg.l2)?,
+            l2,
             now: Cycle::ZERO,
             halted: false,
             error: None,
@@ -342,7 +367,10 @@ impl Machine {
             pending_updates: Vec::new(),
             wb_jobs: Vec::new(),
             stats: MachineStats::default(),
-            events: EventLog::new(cfg.event_log),
+            // Telemetry consumes scheduler events (thread spans, wrong-thread
+            // lifetimes), so the log turns on with either switch.
+            events: EventLog::new(cfg.event_log || cfg.telemetry.enabled()),
+            tel,
             cfg,
         };
         Ok(Machine {
@@ -389,6 +417,9 @@ impl Machine {
                 core.tick(&mut env, now);
             }
             self.post_cycle(&occupants);
+            if self.shared.tel.is_some() {
+                self.telemetry_cycle();
+            }
             if let Some(e) = self.shared.error.take() {
                 return Err(e);
             }
@@ -402,7 +433,116 @@ impl Machine {
                 });
             }
         }
-        Ok(self.collect())
+        let telemetry = self.finish_telemetry()?;
+        let mut result = self.collect();
+        result.telemetry = telemetry;
+        Ok(result)
+    }
+
+    /// Drain the per-component telemetry buffers into the instruments and
+    /// take an interval sample when one is due.  Called once per cycle, only
+    /// when telemetry is enabled.
+    fn telemetry_cycle(&mut self) {
+        let shared = &mut self.shared;
+        let Some(tel) = shared.tel.as_deref_mut() else {
+            return;
+        };
+        for (i, slot) in self.tus.iter_mut().enumerate() {
+            let tu = i as u32;
+            for (cycle, ev, addr) in slot.dpath.trace.drain() {
+                tel.on_l1(tu, cycle, ev, addr);
+            }
+            for rec in slot.core.flush_trace.drain() {
+                tel.on_flush(tu, rec);
+            }
+        }
+        // The L2 stamps at request arrival time, which can run ahead of the
+        // cycle being drained; hold those back until their cycle comes up so
+        // the merged stream stays non-decreasing.
+        for (cycle, ev, addr) in shared.l2.trace.drain_until(shared.now.0) {
+            tel.on_l2(cycle, ev, addr);
+        }
+        let evs = shared.events.events();
+        while tel.sched_cursor < evs.len() {
+            let (cycle, ev) = evs[tel.sched_cursor];
+            tel.sched_cursor += 1;
+            // `Begin` does not carry the head thread's TU; look it up so the
+            // head gets an occupancy span like forked threads do.
+            let head_tu = match ev {
+                SchedEvent::Begin { head, .. } => shared.alive.get(head).map(|t| t as u32),
+                _ => None,
+            };
+            tel.on_sched(cycle.0, &ev, head_tu);
+        }
+        if tel.cfg.sample_interval > 0 && shared.now.0 >= tel.next_sample_at {
+            tel.next_sample_at = shared.now.0 + tel.cfg.sample_interval;
+            let mut committed = 0u64;
+            let mut l1_demand_accesses = 0u64;
+            let mut l1_demand_misses = 0u64;
+            let mut l1_wrong_accesses = 0u64;
+            let mut l1_side_hits = 0u64;
+            let mut wec_occupancy = 0u64;
+            for slot in &self.tus {
+                let d = &slot.dpath.stats;
+                committed += slot.core.stats.committed.get();
+                l1_demand_accesses += d.demand_accesses.get();
+                l1_demand_misses += d.demand_misses.get();
+                l1_wrong_accesses += d.wrong_accesses.get();
+                l1_side_hits += d.side_hits.get();
+                wec_occupancy += slot.dpath.side_occupancy() as u64;
+            }
+            let alive = shared.alive.iter().count() as u64;
+            let wrong = shared
+                .alive
+                .iter()
+                .filter(|&(id, _)| shared.wrong_set.contains(id))
+                .count() as u64;
+            tel.sample(
+                shared.now.0,
+                vec![
+                    shared.now.0,
+                    committed,
+                    l1_demand_accesses,
+                    l1_demand_misses,
+                    l1_wrong_accesses,
+                    l1_side_hits,
+                    shared.l2.stats.demand_misses_to_next_level.get(),
+                    shared.l2.stats.wrong_misses_to_next_level.get(),
+                    wec_occupancy,
+                    alive,
+                    wrong,
+                ],
+            );
+        }
+    }
+
+    /// Final telemetry drain: surface the per-core commit rings, close the
+    /// Perfetto spans, write artifact files, and detach the summary.
+    fn finish_telemetry(&mut self) -> SimResult<Option<TelemetrySummary>> {
+        if self.shared.tel.is_none() {
+            return Ok(None);
+        }
+        self.telemetry_cycle();
+        let mut tel = self.shared.tel.take().unwrap();
+        // L2 requests still in flight at halt have arrival stamps beyond the
+        // final cycle; flush them now so nothing is silently dropped.
+        for (cycle, ev, addr) in self.shared.l2.trace.drain_until(u64::MAX) {
+            tel.on_l2(cycle, ev, addr);
+        }
+        if tel.cfg.trace_events {
+            let mut recs: Vec<(u64, u32, u64, u32, Inst)> = Vec::new();
+            for (i, slot) in self.tus.iter().enumerate() {
+                for r in slot.core.commit_trace.records() {
+                    recs.push((r.cycle.0, i as u32, r.seq, r.pc, r.inst));
+                }
+            }
+            recs.sort_unstable_by_key(|&(cycle, tu, seq, _, _)| (cycle, tu, seq));
+            for (cycle, tu, seq, pc, inst) in recs {
+                let op = disassemble_inst(&inst, |t| format!("@{t}"));
+                tel.record_commit(cycle, TraceEvent::Commit { tu, seq, pc, op });
+            }
+        }
+        tel.finalize(self.shared.now.0 + 1).map(Some)
     }
 
     /// Apply all machine-level actions deferred out of the per-TU ticks.
@@ -715,6 +855,7 @@ impl Machine {
             checksum: self.shared.mem.checksum(),
             metrics,
             stats,
+            telemetry: None,
         }
     }
 
@@ -878,7 +1019,12 @@ impl CoreEnv for TuEnv<'_> {
         }
 
         match self.dpath.access(addr, kind, now, &mut self.shared.l2) {
-            DpResult::Done { ready_at } => MemIssue::Done { ready_at, value },
+            DpResult::Done { ready_at } => {
+                if let Some(tel) = self.shared.tel.as_deref_mut() {
+                    tel.on_load(self.tu as u32, now.0, addr.0, kind, ready_at.0);
+                }
+                MemIssue::Done { ready_at, value }
+            }
             DpResult::Retry => MemIssue::Retry,
         }
     }

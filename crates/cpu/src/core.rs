@@ -21,6 +21,7 @@ use wec_isa::inst::{FuClass, Inst, LoadKind};
 use wec_isa::program::Program;
 use wec_isa::reg::Reg;
 use wec_isa::semantics::sext;
+use wec_telemetry::{FlushRec, FlushTrace};
 
 use crate::bpred::{Btb, DirectionPredictor, Ras};
 use crate::config::CoreConfig;
@@ -159,6 +160,9 @@ pub struct Core {
     pub stats: CoreStats,
     /// Recent commits (enabled via `CoreConfig::commit_trace`).
     pub commit_trace: CommitTrace,
+    /// Gated telemetry buffer of pipeline flushes (branch recoveries);
+    /// drained by the machine each cycle.
+    pub flush_trace: FlushTrace,
 }
 
 impl Core {
@@ -193,6 +197,7 @@ impl Core {
             complete_scratch: Vec::new(),
             stats: CoreStats::default(),
             commit_trace,
+            flush_trace: FlushTrace::default(),
         }
     }
 
@@ -438,13 +443,23 @@ impl Core {
     /// loads to the wrong-path engine (§3.1.1).
     fn recover(&mut self, seq: u64, new_pc: u32, now: Cycle) {
         self.stats.recoveries.inc();
-        let checkpoint = self
+        let branch = self
             .rob
             .get_mut(seq)
-            .and_then(|e| e.checkpoint.take())
+            .expect("recovering branch without ROB entry");
+        let branch_pc = branch.pc;
+        let checkpoint = branch
+            .checkpoint
+            .take()
             .expect("recovering branch without checkpoint");
         self.rat.restore(&checkpoint);
         let squashed = self.rob.squash_younger(seq);
+        self.flush_trace.push(FlushRec {
+            cycle: now.0,
+            pc: branch_pc,
+            new_pc,
+            squashed: squashed.len() as u32,
+        });
         if self.cfg.wrong_path_loads {
             // Results of squashed producers that already issued: functional
             // execution computes a value at issue, so any non-waiting entry

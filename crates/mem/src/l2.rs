@@ -13,6 +13,7 @@ use crate::stats::{AccessKind, CacheStats};
 use wec_common::error::SimResult;
 use wec_common::ids::{Addr, Cycle};
 use wec_common::stats::Counter;
+use wec_telemetry::{CacheEvent, CacheTrace};
 
 /// Configuration for [`SharedL2`].
 #[derive(Clone, Copy, Debug)]
@@ -56,6 +57,8 @@ pub struct SharedL2 {
     pub stats: CacheStats,
     /// Cycles requests waited for the L2 request port.
     pub port_wait_cycles: Counter,
+    /// Gated telemetry buffer (misses to memory); drained by the machine.
+    pub trace: CacheTrace,
 }
 
 impl SharedL2 {
@@ -69,6 +72,7 @@ impl SharedL2 {
             next_accept: Cycle::ZERO,
             stats: CacheStats::default(),
             port_wait_cycles: Counter::default(),
+            trace: CacheTrace::default(),
         })
     }
 
@@ -113,6 +117,24 @@ impl SharedL2 {
                 self.stats.wrong_misses_to_next_level.inc()
             }
             _ => {}
+        }
+        if self.trace.is_enabled()
+            && matches!(
+                kind,
+                AccessKind::CorrectLoad
+                    | AccessKind::CorrectStore
+                    | AccessKind::WrongPathLoad
+                    | AccessKind::WrongThreadLoad
+            )
+        {
+            let base = addr.block_base(self.cache.geometry().block_bytes).0;
+            self.trace.push(
+                start.0,
+                CacheEvent::MissToNext {
+                    wrong: kind.is_wrong(),
+                },
+                base,
+            );
         }
         let memory = &mut self.memory;
         let hit_latency = self.hit_latency;
@@ -228,6 +250,20 @@ mod tests {
         );
         assert!(!l2.contains(a));
         assert_eq!(l2.stats.writebacks.get(), 1);
+    }
+
+    #[test]
+    fn trace_records_memory_misses_when_enabled() {
+        let mut l2 = small_l2();
+        l2.trace.set_enabled(true);
+        l2.access(Addr(0x1000), AccessKind::CorrectLoad, false, Cycle(0));
+        // A hit produces no event.
+        l2.access(Addr(0x1000), AccessKind::CorrectLoad, false, Cycle(300));
+        l2.access(Addr(0x5000), AccessKind::WrongPathLoad, false, Cycle(600));
+        let evs: Vec<_> = l2.trace.drain().collect();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0], (0, CacheEvent::MissToNext { wrong: false }, 0x1000));
+        assert_eq!(evs[1].1, CacheEvent::MissToNext { wrong: true });
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Log2-bucketed histograms: fixed-size, allocation-free observation for
+//! hot-path latency measurements.
+//!
+//! Bucket `i` holds values whose bit length is `i` (bucket 0 holds only the
+//! value 0, bucket 1 holds 1, bucket 2 holds 2–3, bucket 3 holds 4–7, …), so
+//! `observe` is a `leading_zeros` and an increment — cheap enough to run on
+//! every load when telemetry is on, and trivially mergeable across runs.
+
+use std::fmt::Write as _;
+
+/// Number of buckets: one per possible bit length of a `u64` (0..=64).
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size log2 histogram with exact count/sum/min/max.
+#[derive(Clone, Debug)]
+pub struct Log2Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index of a value: its bit length (0 for 0).
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Smallest value a bucket can hold (its label in reports).
+    pub fn bucket_floor(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            i => 1u64 << (i - 1),
+        }
+    }
+
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observed value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observed value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Mean of observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: the floor of the first bucket whose cumulative
+    /// count reaches `q` (0.0–1.0) of the total, clamped by the exact
+    /// min/max.  Good to a factor of two, which is all a log2 histogram
+    /// promises.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_floor(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Render as one JSON object: `{"count":…,"sum":…,"min":…,"max":…,
+    /// "buckets":[[floor,count],…]}` (only non-empty buckets listed).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max
+        );
+        let mut first = true;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "[{},{}]", Self::bucket_floor(i), n);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_bit_lengths() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Log2Histogram::bucket_floor(0), 0);
+        assert_eq!(Log2Histogram::bucket_floor(1), 1);
+        assert_eq!(Log2Histogram::bucket_floor(5), 16);
+    }
+
+    #[test]
+    fn observe_tracks_exact_extremes() {
+        let mut h = Log2Histogram::new();
+        for v in [3, 0, 200, 17] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 220);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 200);
+        assert_eq!(h.buckets().iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = Log2Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((256..=512).contains(&p50), "p50={p50}");
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!(h.quantile(0.0) >= 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.to_json().starts_with("{\"count\":0"));
+    }
+
+    #[test]
+    fn json_lists_only_occupied_buckets() {
+        let mut h = Log2Histogram::new();
+        h.observe(5);
+        h.observe(6);
+        h.observe(100);
+        assert_eq!(
+            h.to_json(),
+            "{\"count\":3,\"sum\":111,\"min\":5,\"max\":100,\"buckets\":[[4,2],[64,1]]}"
+        );
+    }
+}

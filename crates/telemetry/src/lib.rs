@@ -1,0 +1,103 @@
+//! Observability layer for the WEC simulator.
+//!
+//! The paper's argument rests on *when* wrong-execution loads land in the
+//! WEC and when the correct path hits them (§4–§5); end-of-run aggregates
+//! cannot answer that.  This crate provides the four instruments the rest of
+//! the workspace reports through:
+//!
+//! * **Structured event trace** ([`sink::EventSink`], [`event::TraceEvent`]) —
+//!   a runtime-gated, zero-cost-when-off stream of typed, cycle-stamped
+//!   events (wrong-load issue, WEC fill, WEC correct-path hit, victim
+//!   transfer, next-line prefetch, L1/L2 miss, thread lifecycle, pipeline
+//!   flush, commits) serialized as JSONL.
+//! * **Interval time-series** ([`sampler::TimeSeries`]) — per-N-cycle
+//!   snapshots of machine/cache counters (IPC, miss rates, WEC occupancy)
+//!   as CSV.
+//! * **Latency histograms** ([`hist::Log2Histogram`]) — log2-bucketed,
+//!   allocation-free observation of load-to-fill latency, WEC
+//!   fill-to-first-hit distance, and wrong-thread lifetime.
+//! * **Perfetto export** ([`perfetto::PerfettoTrace`]) — a Chrome
+//!   trace-event JSON file rendering thread-unit occupancy spans and cache
+//!   events on one timeline, loadable at <https://ui.perfetto.dev>.
+//!
+//! Simulator components own small gated buffers ([`event::CacheTrace`],
+//! [`event::FlushTrace`]) that the machine drains once per cycle; when
+//! telemetry is off every hook reduces to one predictable branch, keeping
+//! metrics byte-identical to untraced runs.
+//!
+//! The crate depends only on `wec-common` and hand-rolls its JSON (the
+//! workspace carries no serde); [`json`]/[`schema`] provide the matching
+//! parser and JSONL validator used by tests and CI.
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod perfetto;
+pub mod sampler;
+pub mod schema;
+pub mod sink;
+
+pub use event::{CacheEvent, CacheTrace, FlushRec, FlushTrace, TraceEvent};
+pub use hist::Log2Histogram;
+pub use perfetto::PerfettoTrace;
+pub use sampler::TimeSeries;
+pub use sink::EventSink;
+
+use std::path::PathBuf;
+
+/// Runtime telemetry switches, carried inside the machine configuration.
+/// Everything defaults to off, in which case the simulator's behaviour and
+/// metrics are byte-identical to a build without telemetry.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryConfig {
+    /// Record the structured event trace (JSONL) and the Perfetto export.
+    pub trace_events: bool,
+    /// Snapshot machine counters every N cycles into the time-series
+    /// (0 = off).
+    pub sample_interval: u64,
+    /// Where to write `events.jsonl` / `timeseries.csv` /
+    /// `histograms.json` / `trace.perfetto.json` at the end of a run.
+    /// `None` keeps everything in memory (summaries only).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl TelemetryConfig {
+    /// Is any instrument on?
+    pub fn enabled(&self) -> bool {
+        self.trace_events || self.sample_interval > 0
+    }
+}
+
+/// One histogram, summarized for the end-of-run report.
+#[derive(Clone, Debug)]
+pub struct HistSummary {
+    pub name: &'static str,
+    pub count: u64,
+    pub p50: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
+/// What a telemetry-enabled run produced (attached to the run result).
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySummary {
+    pub events_total: u64,
+    /// Event count per kind name, sorted by name.
+    pub events_by_kind: Vec<(&'static str, u64)>,
+    /// Rows captured by the interval sampler.
+    pub samples: u64,
+    pub histograms: Vec<HistSummary>,
+    /// Files written (empty when `out_dir` was `None`).
+    pub files: Vec<PathBuf>,
+}
+
+impl TelemetrySummary {
+    /// Count for one event kind (0 when absent).
+    pub fn kind_count(&self, name: &str) -> u64 {
+        self.events_by_kind
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    }
+}

@@ -1,0 +1,151 @@
+//! Chrome trace-event / Perfetto exporter.
+//!
+//! Emits the JSON object format (`{"traceEvents":[…]}`) that
+//! <https://ui.perfetto.dev> and `chrome://tracing` load directly.  The
+//! machine maps simulated state onto the trace model as:
+//!
+//! * one *thread track* per thread unit (`tid` = TU index) carrying
+//!   duration spans (`ph:"B"`/`"E"`) for each simulated thread's residency —
+//!   spans are renamed at the wrong-mark so spawn→wrong→death phases are
+//!   visible at a glance;
+//! * instant events (`ph:"i"`) on the owning TU track for cache events;
+//! * counter tracks (`ph:"C"`) for sampled quantities such as WEC occupancy.
+//!
+//! Timestamps are simulated cycles passed straight through as microseconds —
+//! Perfetto's units only affect the displayed scale, and 1 cycle = 1 µs
+//! keeps the numbers readable.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::json::escape_into;
+
+/// Builder for one Chrome trace-event JSON document.
+#[derive(Clone, Debug)]
+pub struct PerfettoTrace {
+    out: String,
+    events: u64,
+}
+
+impl Default for PerfettoTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PerfettoTrace {
+    pub fn new() -> Self {
+        PerfettoTrace {
+            out: String::from("{\"traceEvents\":[\n"),
+            events: 0,
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.events > 0 {
+            self.out.push_str(",\n");
+        }
+        self.events += 1;
+    }
+
+    /// Number of trace events recorded so far.
+    pub fn len(&self) -> u64 {
+        self.events
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// Name a thread track (`tid`), e.g. `"TU3"`.
+    pub fn thread_name(&mut self, tid: u32, name: &str) {
+        self.sep();
+        self.out
+            .push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":");
+        let _ = write!(self.out, "{tid},\"args\":{{\"name\":");
+        escape_into(&mut self.out, name);
+        self.out.push_str("}}");
+    }
+
+    /// Open a duration span on a track.
+    pub fn begin_span(&mut self, tid: u32, ts: u64, name: &str) {
+        self.sep();
+        self.out.push_str("{\"name\":");
+        escape_into(&mut self.out, name);
+        let _ = write!(
+            self.out,
+            ",\"ph\":\"B\",\"pid\":0,\"tid\":{tid},\"ts\":{ts}}}"
+        );
+    }
+
+    /// Close the innermost open span on a track.
+    pub fn end_span(&mut self, tid: u32, ts: u64) {
+        self.sep();
+        let _ = write!(
+            self.out,
+            "{{\"ph\":\"E\",\"pid\":0,\"tid\":{tid},\"ts\":{ts}}}"
+        );
+    }
+
+    /// A zero-duration instant on a track (`s:"t"` = thread scope).
+    pub fn instant(&mut self, tid: u32, ts: u64, name: &str) {
+        self.sep();
+        self.out.push_str("{\"name\":");
+        escape_into(&mut self.out, name);
+        let _ = write!(
+            self.out,
+            ",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{tid},\"ts\":{ts}}}"
+        );
+    }
+
+    /// A counter sample; rendered as its own track.
+    pub fn counter(&mut self, ts: u64, name: &str, value: u64) {
+        self.sep();
+        self.out.push_str("{\"name\":");
+        escape_into(&mut self.out, name);
+        let _ = write!(
+            self.out,
+            ",\"ph\":\"C\",\"pid\":0,\"ts\":{ts},\"args\":{{\"value\":{value}}}}}"
+        );
+    }
+
+    /// Close the document and return the JSON text.
+    pub fn finish(mut self) -> String {
+        self.out.push_str("\n]}\n");
+        self.out
+    }
+
+    /// Close the document and write it to a file.
+    pub fn write_to(self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn produces_loadable_trace_json() {
+        let mut t = PerfettoTrace::new();
+        t.thread_name(0, "TU0");
+        t.begin_span(0, 10, "T1");
+        t.instant(0, 15, "wec_fill @0x40");
+        t.counter(20, "wec_occupancy", 5);
+        t.end_span(0, 30);
+        assert_eq!(t.len(), 5);
+        let doc = json::parse(&t.finish()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[1].get("ph").unwrap().as_str(), Some("B"));
+        assert_eq!(events[1].get("ts").unwrap().as_u64(), Some(10));
+        assert_eq!(events[4].get("ph").unwrap().as_str(), Some("E"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        let doc = json::parse(&PerfettoTrace::new().finish()).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap().as_array().unwrap().len(), 0);
+    }
+}

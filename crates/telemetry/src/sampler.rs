@@ -1,0 +1,115 @@
+//! The interval time-series: fixed columns of `u64` counters sampled every
+//! N cycles, rendered as CSV (and JSONL for tooling that prefers it).
+//!
+//! The sampler stores raw counter values; rates (IPC, miss rate) are left to
+//! the consumer so the file stays lossless and integer-exact.  The machine
+//! decides *when* to sample; this type only stores and renders rows.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A fixed-schema time-series of `u64` samples.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    columns: Vec<&'static str>,
+    rows: Vec<Vec<u64>>,
+}
+
+impl TimeSeries {
+    /// `columns` should start with `"cycle"` by convention.
+    pub fn new(columns: Vec<&'static str>) -> Self {
+        assert!(!columns.is_empty());
+        TimeSeries {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn columns(&self) -> &[&'static str] {
+        &self.columns
+    }
+
+    /// Append one sample; panics if the arity does not match the schema.
+    pub fn push(&mut self, row: Vec<u64>) {
+        assert_eq!(row.len(), self.columns.len(), "sample arity mismatch");
+        self.rows.push(row);
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn rows(&self) -> &[Vec<u64>] {
+        &self.rows
+    }
+
+    /// Header line plus one line per sample.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            let mut first = true;
+            for v in row {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "{v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// One JSON object per line, keyed by column name.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push('{');
+            for (i, (name, v)) in self.columns.iter().zip(row).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{name}\":{v}");
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    pub fn write_csv_to(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut ts = TimeSeries::new(vec!["cycle", "committed"]);
+        ts.push(vec![100, 42]);
+        ts.push(vec![200, 87]);
+        assert_eq!(ts.to_csv(), "cycle,committed\n100,42\n200,87\n");
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn jsonl_keys_rows_by_column() {
+        let mut ts = TimeSeries::new(vec!["cycle", "x"]);
+        ts.push(vec![5, 6]);
+        assert_eq!(ts.to_jsonl(), "{\"cycle\":5,\"x\":6}\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut ts = TimeSeries::new(vec!["cycle"]);
+        ts.push(vec![1, 2]);
+    }
+}

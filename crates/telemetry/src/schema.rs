@@ -1,0 +1,467 @@
+//! Validators for the telemetry artifacts (used by tests and the CI smoke
+//! job): the events JSONL schema, the time-series CSV, the histograms JSON,
+//! and the Perfetto trace.
+//!
+//! The event schema is strict: every line must carry `cycle` and a known
+//! `type`, exactly the fields that type declares, each with the right JSON
+//! type.  That way a drifting emitter fails CI instead of producing files
+//! tools half-understand.
+
+use crate::json::{self, Json};
+
+/// JSON type of a schema field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FieldKind {
+    U64,
+    Bool,
+    Str,
+}
+
+/// Field list per event type — the JSONL schema, in one place.
+pub const EVENT_SCHEMA: &[(&str, &[(&str, FieldKind)])] = &[
+    (
+        "wrong_load_issue",
+        &[
+            ("tu", FieldKind::U64),
+            ("addr", FieldKind::U64),
+            ("wrong_thread", FieldKind::Bool),
+        ],
+    ),
+    (
+        "wec_fill",
+        &[("tu", FieldKind::U64), ("addr", FieldKind::U64)],
+    ),
+    (
+        "wec_hit",
+        &[
+            ("tu", FieldKind::U64),
+            ("addr", FieldKind::U64),
+            ("wrong_fetched", FieldKind::Bool),
+            ("prefetched", FieldKind::Bool),
+        ],
+    ),
+    (
+        "victim_transfer",
+        &[("tu", FieldKind::U64), ("addr", FieldKind::U64)],
+    ),
+    (
+        "next_line_prefetch",
+        &[("tu", FieldKind::U64), ("addr", FieldKind::U64)],
+    ),
+    (
+        "l1_miss",
+        &[
+            ("tu", FieldKind::U64),
+            ("addr", FieldKind::U64),
+            ("wrong", FieldKind::Bool),
+        ],
+    ),
+    (
+        "l2_miss",
+        &[("addr", FieldKind::U64), ("wrong", FieldKind::Bool)],
+    ),
+    (
+        "pipeline_flush",
+        &[
+            ("tu", FieldKind::U64),
+            ("pc", FieldKind::U64),
+            ("new_pc", FieldKind::U64),
+            ("squashed", FieldKind::U64),
+        ],
+    ),
+    (
+        "commit",
+        &[
+            ("tu", FieldKind::U64),
+            ("seq", FieldKind::U64),
+            ("pc", FieldKind::U64),
+            ("op", FieldKind::Str),
+        ],
+    ),
+    (
+        "begin",
+        &[("region", FieldKind::U64), ("head", FieldKind::U64)],
+    ),
+    (
+        "fork",
+        &[
+            ("parent", FieldKind::U64),
+            ("child", FieldKind::U64),
+            ("tu", FieldKind::U64),
+            ("deferred", FieldKind::Bool),
+        ],
+    ),
+    (
+        "thread_start",
+        &[("id", FieldKind::U64), ("tu", FieldKind::U64)],
+    ),
+    ("abort", &[("id", FieldKind::U64)]),
+    ("marked_wrong", &[("id", FieldKind::U64)]),
+    ("killed", &[("id", FieldKind::U64), ("tu", FieldKind::U64)]),
+    ("wrong_died", &[("id", FieldKind::U64)]),
+    (
+        "wb_start",
+        &[("id", FieldKind::U64), ("words", FieldKind::U64)],
+    ),
+    ("retired", &[("id", FieldKind::U64), ("tu", FieldKind::U64)]),
+    ("sequential", &[("tu", FieldKind::U64)]),
+];
+
+/// What a validated event stream contained.
+#[derive(Clone, Debug, Default)]
+pub struct EventReport {
+    pub total: u64,
+    /// Per-type counts, sorted by type name.
+    pub counts: Vec<(String, u64)>,
+}
+
+impl EventReport {
+    pub fn count_of(&self, name: &str) -> u64 {
+        self.counts
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    }
+}
+
+fn field_matches(v: &Json, kind: FieldKind) -> bool {
+    match kind {
+        FieldKind::U64 => v.as_u64().is_some(),
+        FieldKind::Bool => v.as_bool().is_some(),
+        FieldKind::Str => v.as_str().is_some(),
+    }
+}
+
+/// Validate a JSONL event stream against [`EVENT_SCHEMA`].  Cycles must be
+/// non-decreasing (the machine drains buffers in cycle order).
+pub fn validate_events_jsonl(text: &str) -> Result<EventReport, String> {
+    let mut report = EventReport::default();
+    let mut last_cycle = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        let ctx = |msg: String| format!("events.jsonl line {}: {msg}", lineno + 1);
+        if line.trim().is_empty() {
+            return Err(ctx("blank line".into()));
+        }
+        let v = json::parse(line).map_err(&ctx)?;
+        let Json::Obj(fields) = &v else {
+            return Err(ctx("not a JSON object".into()));
+        };
+        let cycle = v
+            .get("cycle")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ctx("missing/invalid \"cycle\"".into()))?;
+        if cycle < last_cycle {
+            return Err(ctx(format!(
+                "cycle {cycle} went backwards from {last_cycle}"
+            )));
+        }
+        last_cycle = cycle;
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing/invalid \"type\"".into()))?;
+        let Some((_, schema)) = EVENT_SCHEMA.iter().find(|(name, _)| *name == ty) else {
+            return Err(ctx(format!("unknown event type {ty:?}")));
+        };
+        for (name, kind) in schema.iter() {
+            let fv = v
+                .get(name)
+                .ok_or_else(|| ctx(format!("{ty}: missing field {name:?}")))?;
+            if !field_matches(fv, *kind) {
+                return Err(ctx(format!("{ty}: field {name:?} has wrong type")));
+            }
+        }
+        for (name, _) in fields {
+            if name != "cycle" && name != "type" && !schema.iter().any(|(n, _)| n == name) {
+                return Err(ctx(format!("{ty}: unexpected field {name:?}")));
+            }
+        }
+        report.total += 1;
+        match report.counts.iter_mut().find(|(k, _)| k == ty) {
+            Some((_, n)) => *n += 1,
+            None => report.counts.push((ty.to_string(), 1)),
+        }
+    }
+    report.counts.sort();
+    Ok(report)
+}
+
+/// Validate the time-series CSV: a `cycle`-first header and integer rows of
+/// matching arity with strictly increasing cycles.  Returns the row count.
+pub fn validate_timeseries_csv(text: &str) -> Result<usize, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("timeseries.csv: empty file")?;
+    let columns: Vec<&str> = header.split(',').collect();
+    if columns.first() != Some(&"cycle") {
+        return Err(format!(
+            "timeseries.csv: first column must be \"cycle\", got {:?}",
+            columns.first()
+        ));
+    }
+    let mut rows = 0;
+    let mut last_cycle = None::<u64>;
+    for (lineno, line) in lines.enumerate() {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != columns.len() {
+            return Err(format!(
+                "timeseries.csv row {}: {} cells, header has {}",
+                lineno + 1,
+                cells.len(),
+                columns.len()
+            ));
+        }
+        let mut parsed = Vec::with_capacity(cells.len());
+        for c in &cells {
+            parsed.push(c.parse::<u64>().map_err(|_| {
+                format!("timeseries.csv row {}: non-integer cell {c:?}", lineno + 1)
+            })?);
+        }
+        if let Some(prev) = last_cycle {
+            if parsed[0] <= prev {
+                return Err(format!(
+                    "timeseries.csv row {}: cycle {} not increasing",
+                    lineno + 1,
+                    parsed[0]
+                ));
+            }
+        }
+        last_cycle = Some(parsed[0]);
+        rows += 1;
+    }
+    Ok(rows)
+}
+
+/// Validate the histograms JSON: an object of named histograms whose bucket
+/// counts sum to their `count`.  Returns the histogram names.
+pub fn validate_histograms_json(text: &str) -> Result<Vec<String>, String> {
+    let v = json::parse(text).map_err(|e| format!("histograms.json: {e}"))?;
+    let Json::Obj(fields) = &v else {
+        return Err("histograms.json: not a JSON object".into());
+    };
+    let mut names = Vec::new();
+    for (name, h) in fields {
+        let count = h
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("histograms.json {name}: missing count"))?;
+        let buckets = h
+            .get("buckets")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("histograms.json {name}: missing buckets"))?;
+        let mut total = 0;
+        for b in buckets {
+            let pair = b
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("histograms.json {name}: bucket not a pair"))?;
+            total += pair[1]
+                .as_u64()
+                .ok_or_else(|| format!("histograms.json {name}: non-integer bucket count"))?;
+        }
+        if total != count {
+            return Err(format!(
+                "histograms.json {name}: buckets sum to {total}, count says {count}"
+            ));
+        }
+        for key in ["sum", "min", "max"] {
+            if h.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("histograms.json {name}: missing {key}"));
+            }
+        }
+        names.push(name.clone());
+    }
+    Ok(names)
+}
+
+/// Validate a Chrome trace-event document: `traceEvents` array whose
+/// entries carry a known phase, balanced `B`/`E` per track, timestamps
+/// present on all non-metadata events.  Returns the event count.
+pub fn validate_perfetto(text: &str) -> Result<u64, String> {
+    let v = json::parse(text).map_err(|e| format!("perfetto: {e}"))?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("perfetto: missing traceEvents array")?;
+    let mut depth: Vec<(u64, i64)> = Vec::new(); // (tid, open span depth)
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |msg: String| format!("perfetto event {i}: {msg}");
+        if !ev.is_object() {
+            return Err(ctx("not an object".into()));
+        }
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing ph".into()))?;
+        match ph {
+            "M" => {}
+            "B" | "E" | "i" | "C" | "X" => {
+                if ev.get("ts").and_then(Json::as_u64).is_none() {
+                    return Err(ctx(format!("phase {ph} missing ts")));
+                }
+                let tid = ev.get("tid").and_then(Json::as_u64).unwrap_or(0);
+                let slot = match depth.iter_mut().find(|(t, _)| *t == tid) {
+                    Some(s) => s,
+                    None => {
+                        depth.push((tid, 0));
+                        depth.last_mut().unwrap()
+                    }
+                };
+                match ph {
+                    "B" => slot.1 += 1,
+                    "E" => {
+                        slot.1 -= 1;
+                        if slot.1 < 0 {
+                            return Err(ctx(format!("unbalanced E on tid {tid}")));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            other => return Err(ctx(format!("unknown phase {other:?}"))),
+        }
+    }
+    for (tid, d) in depth {
+        if d != 0 {
+            return Err(format!("perfetto: {d} unclosed span(s) on tid {tid}"));
+        }
+    }
+    Ok(events.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    #[test]
+    fn emitted_events_satisfy_their_own_schema() {
+        // One of every variant, round-tripped through the validator.
+        let all = vec![
+            TraceEvent::WrongLoadIssue {
+                tu: 1,
+                addr: 64,
+                wrong_thread: true,
+            },
+            TraceEvent::WecFill { tu: 1, addr: 64 },
+            TraceEvent::WecHit {
+                tu: 0,
+                addr: 64,
+                wrong_fetched: true,
+                prefetched: false,
+            },
+            TraceEvent::VictimTransfer { tu: 2, addr: 128 },
+            TraceEvent::NextLinePrefetch { tu: 2, addr: 192 },
+            TraceEvent::L1Miss {
+                tu: 0,
+                addr: 256,
+                wrong: false,
+            },
+            TraceEvent::L2Miss {
+                addr: 256,
+                wrong: true,
+            },
+            TraceEvent::PipelineFlush {
+                tu: 3,
+                pc: 10,
+                new_pc: 20,
+                squashed: 4,
+            },
+            TraceEvent::Commit {
+                tu: 0,
+                seq: 1,
+                pc: 2,
+                op: "nop".into(),
+            },
+            TraceEvent::Begin { region: 1, head: 5 },
+            TraceEvent::Fork {
+                parent: 5,
+                child: 6,
+                tu: 1,
+                deferred: false,
+            },
+            TraceEvent::ThreadStart { id: 6, tu: 1 },
+            TraceEvent::Abort { id: 5 },
+            TraceEvent::MarkedWrong { id: 6 },
+            TraceEvent::Killed { id: 7, tu: 2 },
+            TraceEvent::WrongDied { id: 6 },
+            TraceEvent::WbStart { id: 5, words: 8 },
+            TraceEvent::Retired { id: 5, tu: 0 },
+            TraceEvent::Sequential { tu: 0 },
+        ];
+        let mut text = String::new();
+        for (i, ev) in all.iter().enumerate() {
+            ev.write_jsonl(i as u64, &mut text);
+        }
+        let report = validate_events_jsonl(&text).unwrap();
+        assert_eq!(report.total, all.len() as u64);
+        assert_eq!(report.count_of("wec_fill"), 1);
+        // Every variant name exists in the schema table.
+        for ev in &all {
+            assert!(
+                EVENT_SCHEMA.iter().any(|(n, _)| *n == ev.name()),
+                "{} missing from schema",
+                ev.name()
+            );
+        }
+        assert_eq!(EVENT_SCHEMA.len(), all.len(), "schema has untested entries");
+    }
+
+    #[test]
+    fn rejects_malformed_streams() {
+        assert!(validate_events_jsonl("not json\n").is_err());
+        assert!(validate_events_jsonl("{\"cycle\":1}\n").is_err());
+        assert!(validate_events_jsonl("{\"cycle\":1,\"type\":\"nope\"}\n").is_err());
+        // Missing field.
+        assert!(validate_events_jsonl("{\"cycle\":1,\"type\":\"wec_fill\",\"tu\":0}\n").is_err());
+        // Extra field.
+        assert!(validate_events_jsonl(
+            "{\"cycle\":1,\"type\":\"wec_fill\",\"tu\":0,\"addr\":64,\"x\":1}\n"
+        )
+        .is_err());
+        // Wrong type.
+        assert!(validate_events_jsonl(
+            "{\"cycle\":1,\"type\":\"wec_fill\",\"tu\":0,\"addr\":\"64\"}\n"
+        )
+        .is_err());
+        // Cycle regression.
+        assert!(validate_events_jsonl(
+            "{\"cycle\":5,\"type\":\"abort\",\"id\":1}\n{\"cycle\":4,\"type\":\"abort\",\"id\":1}\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn timeseries_validation() {
+        assert_eq!(
+            validate_timeseries_csv("cycle,a,b\n10,1,2\n20,3,4\n").unwrap(),
+            2
+        );
+        assert!(validate_timeseries_csv("a,b\n1,2\n").is_err());
+        assert!(validate_timeseries_csv("cycle,a\n10,1\n10,2\n").is_err());
+        assert!(validate_timeseries_csv("cycle,a\n10,1,2\n").is_err());
+        assert!(validate_timeseries_csv("cycle,a\n10,x\n").is_err());
+    }
+
+    #[test]
+    fn histograms_validation() {
+        let good = "{\"load_to_fill\":{\"count\":3,\"sum\":111,\"min\":5,\"max\":100,\"buckets\":[[4,2],[64,1]]}}";
+        assert_eq!(
+            validate_histograms_json(good).unwrap(),
+            vec!["load_to_fill"]
+        );
+        let bad =
+            "{\"h\":{\"count\":4,\"sum\":111,\"min\":5,\"max\":100,\"buckets\":[[4,2],[64,1]]}}";
+        assert!(validate_histograms_json(bad).is_err());
+    }
+
+    #[test]
+    fn perfetto_validation_balances_spans() {
+        let good = "{\"traceEvents\":[{\"ph\":\"B\",\"tid\":1,\"ts\":1},{\"ph\":\"E\",\"tid\":1,\"ts\":2}]}";
+        assert_eq!(validate_perfetto(good).unwrap(), 2);
+        let unbalanced = "{\"traceEvents\":[{\"ph\":\"B\",\"tid\":1,\"ts\":1}]}";
+        assert!(validate_perfetto(unbalanced).is_err());
+        let stray_end = "{\"traceEvents\":[{\"ph\":\"E\",\"tid\":1,\"ts\":1}]}";
+        assert!(validate_perfetto(stray_end).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! The event sink: accumulates the JSONL event stream and per-kind counts.
+//!
+//! The machine emits events in cycle order (it drains component buffers once
+//! per cycle), so the sink is a plain append buffer — no sorting, no
+//! per-event allocation beyond the shared string.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::event::TraceEvent;
+
+/// Accumulates trace events as JSONL plus summary counts.
+#[derive(Clone, Debug, Default)]
+pub struct EventSink {
+    jsonl: String,
+    counts: Vec<(&'static str, u64)>,
+    total: u64,
+}
+
+impl EventSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serialize and count one event.
+    pub fn emit(&mut self, cycle: u64, ev: &TraceEvent) {
+        ev.write_jsonl(cycle, &mut self.jsonl);
+        self.total += 1;
+        let name = ev.name();
+        match self.counts.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, n)) => *n += 1,
+            None => self.counts.push((name, 1)),
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-kind counts, sorted by kind name.
+    pub fn counts(&self) -> Vec<(&'static str, u64)> {
+        let mut v = self.counts.clone();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+
+    pub fn count_of(&self, name: &str) -> u64 {
+        self.counts
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    }
+
+    /// The accumulated JSONL text.
+    pub fn as_jsonl(&self) -> &str {
+        &self.jsonl
+    }
+
+    /// Write the JSONL stream to a file.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        f.write_all(self.jsonl.as_bytes())?;
+        f.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_appends_lines_and_counts() {
+        let mut s = EventSink::new();
+        s.emit(1, &TraceEvent::WecFill { tu: 0, addr: 64 });
+        s.emit(2, &TraceEvent::WecFill { tu: 1, addr: 128 });
+        s.emit(3, &TraceEvent::Abort { id: 7 });
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.count_of("wec_fill"), 2);
+        assert_eq!(s.count_of("abort"), 1);
+        assert_eq!(s.count_of("missing"), 0);
+        assert_eq!(s.as_jsonl().lines().count(), 3);
+        assert_eq!(s.counts(), vec![("abort", 1), ("wec_fill", 2)]);
+    }
+}

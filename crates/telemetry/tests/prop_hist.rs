@@ -1,0 +1,91 @@
+//! Property tests: the log2 latency histogram against the stream of raw
+//! observations it summarizes.
+
+use proptest::prelude::*;
+use wec_telemetry::Log2Histogram;
+
+fn observe_all(values: &[u64]) -> Log2Histogram {
+    let mut h = Log2Histogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    /// Bucket counts always sum to the observation count, and the exact
+    /// aggregates (sum/min/max) match the raw stream.
+    #[test]
+    fn buckets_sum_to_count(values in proptest::collection::vec(any::<u32>(), 0..200)) {
+        let values: Vec<u64> = values.into_iter().map(u64::from).collect();
+        let h = observe_all(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        if let Some(&max) = values.iter().max() {
+            prop_assert_eq!(h.max(), max);
+            prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        } else {
+            prop_assert!(h.is_empty());
+        }
+    }
+
+    /// Every observation lands in the bucket whose floor covers it.
+    #[test]
+    fn observations_land_in_their_bucket(v in any::<u64>()) {
+        let h = observe_all(&[v]);
+        let idx = Log2Histogram::bucket_of(v);
+        prop_assert_eq!(h.buckets()[idx], 1);
+        prop_assert!(Log2Histogram::bucket_floor(idx) <= v);
+    }
+
+    /// Merging equals observing the concatenated stream (so merge is
+    /// commutative and associative up to the exact aggregates).
+    #[test]
+    fn merge_equals_concatenation(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+        c in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let (ha, hb, hc) = (observe_all(&a), observe_all(&b), observe_all(&c));
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let direct = observe_all(&all);
+
+        // (a ⊔ b) ⊔ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊔ (b ⊔ c), merged in the other association and order
+        let mut right = hc.clone();
+        right.merge(&hb);
+        right.merge(&ha);
+
+        for h in [&left, &right] {
+            prop_assert_eq!(h.count(), direct.count());
+            prop_assert_eq!(h.sum(), direct.sum());
+            prop_assert_eq!(h.min(), direct.min());
+            prop_assert_eq!(h.max(), direct.max());
+            prop_assert_eq!(h.buckets(), direct.buckets());
+        }
+    }
+
+    /// Quantiles are monotone in `q` and bounded by the exact extremes.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(1u64..1_000_000, 1..200),
+    ) {
+        let h = observe_all(&values);
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0];
+        let mut prev = 0u64;
+        for &q in &qs {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prop_assert!(v <= h.max());
+            prev = v;
+        }
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+}

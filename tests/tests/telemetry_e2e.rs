@@ -1,0 +1,132 @@
+//! End-to-end telemetry: turning the instruments on must not change the
+//! simulation, and what they write must match the published schemas.
+
+use std::path::PathBuf;
+
+use wec_core::config::ProcPreset;
+use wec_core::MachineConfig;
+use wec_telemetry::{schema, TelemetryConfig};
+use wec_workloads::{run_and_verify, Bench, Scale};
+
+fn traced_cfg(out_dir: Option<PathBuf>) -> MachineConfig {
+    let mut cfg = ProcPreset::WthWpWec.machine(8);
+    cfg.telemetry = TelemetryConfig {
+        trace_events: true,
+        sample_interval: 500,
+        out_dir,
+    };
+    cfg
+}
+
+/// The zero-cost-when-off guarantee, observed from the outside: a traced
+/// run and an untraced run of the same workload produce byte-identical
+/// metrics (the golden-file serialization), cycle counts, and checksums.
+#[test]
+fn telemetry_does_not_perturb_the_simulation() {
+    let w = Bench::Mcf.build(Scale::SMOKE);
+    let off = run_and_verify(&w, ProcPreset::WthWpWec.machine(8)).unwrap();
+    let on = run_and_verify(&w, traced_cfg(None)).unwrap();
+
+    assert_eq!(off.cycles, on.cycles);
+    assert_eq!(off.checksum, on.checksum);
+    assert_eq!(off.metrics.to_kv(), on.metrics.to_kv());
+    assert!(off.telemetry.is_none());
+
+    let tel = on.telemetry.expect("traced run must attach a summary");
+    assert!(tel.events_total > 0);
+    assert!(tel.samples > 0);
+    assert!(tel.files.is_empty(), "no out_dir, nothing written");
+    // The WEC preset on mcf must show the paper's mechanism working.
+    assert!(tel.kind_count("wrong_load_issue") > 0);
+    assert!(tel.kind_count("wec_fill") > 0);
+    assert!(tel.kind_count("wec_hit") > 0);
+    let names: Vec<&str> = tel.histograms.iter().map(|h| h.name).collect();
+    assert_eq!(
+        names,
+        ["load_to_fill", "wec_fill_to_hit", "wrong_thread_lifetime"]
+    );
+}
+
+/// A traced run's artifacts parse under the schema validators, and the
+/// event stream contains the kinds the paper's analysis needs.
+#[test]
+fn telemetry_artifacts_validate_against_schemas() {
+    let dir = std::env::temp_dir().join(format!("wec-telemetry-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let w = Bench::Mcf.build(Scale::SMOKE);
+    let mut cfg = traced_cfg(Some(dir.clone()));
+    cfg.core.commit_trace = 32;
+    let r = run_and_verify(&w, cfg).unwrap();
+    let tel = r.telemetry.unwrap();
+    assert_eq!(
+        tel.files.len(),
+        5,
+        "events/commits/timeseries/hists/perfetto"
+    );
+
+    let events = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+    let report = schema::validate_events_jsonl(&events).unwrap();
+    assert_eq!(report.total + tel.kind_count("commit"), tel.events_total);
+    for kind in [
+        "wrong_load_issue",
+        "wec_fill",
+        "wec_hit",
+        "l1_miss",
+        "l2_miss",
+    ] {
+        assert!(report.count_of(kind) > 0, "missing {kind} events");
+        assert_eq!(report.count_of(kind), tel.kind_count(kind), "{kind}");
+    }
+
+    let commits = std::fs::read_to_string(dir.join("commits.jsonl")).unwrap();
+    let creport = schema::validate_events_jsonl(&commits).unwrap();
+    assert_eq!(creport.count_of("commit"), creport.total);
+    assert_eq!(creport.total, tel.kind_count("commit"));
+    assert!(creport.total > 0 && creport.total <= 32 * 8);
+
+    let csv = std::fs::read_to_string(dir.join("timeseries.csv")).unwrap();
+    let rows = schema::validate_timeseries_csv(&csv).unwrap();
+    assert_eq!(rows as u64, tel.samples);
+
+    let hists = std::fs::read_to_string(dir.join("histograms.json")).unwrap();
+    let names = schema::validate_histograms_json(&hists).unwrap();
+    assert_eq!(
+        names,
+        ["load_to_fill", "wec_fill_to_hit", "wrong_thread_lifetime"]
+    );
+
+    let perfetto = std::fs::read_to_string(dir.join("trace.perfetto.json")).unwrap();
+    assert!(schema::validate_perfetto(&perfetto).unwrap() > 0);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Sampling alone (no event trace) writes the time-series and histograms
+/// but no JSONL or Perfetto files, and still leaves metrics untouched.
+#[test]
+fn sample_only_mode_writes_csv_and_histograms() {
+    let dir = std::env::temp_dir().join(format!("wec-telemetry-sample-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let w = Bench::Gzip.build(Scale::SMOKE);
+    let off = run_and_verify(&w, ProcPreset::WthWpWec.machine(8)).unwrap();
+    let mut cfg = ProcPreset::WthWpWec.machine(8);
+    cfg.telemetry = TelemetryConfig {
+        trace_events: false,
+        sample_interval: 200,
+        out_dir: Some(dir.clone()),
+    };
+    let on = run_and_verify(&w, cfg).unwrap();
+    assert_eq!(off.metrics.to_kv(), on.metrics.to_kv());
+
+    let tel = on.telemetry.unwrap();
+    assert_eq!(tel.events_total, 0, "no event trace requested");
+    assert!(tel.samples > 0);
+    assert!(dir.join("timeseries.csv").exists());
+    assert!(dir.join("histograms.json").exists());
+    assert!(!dir.join("events.jsonl").exists());
+    assert!(!dir.join("trace.perfetto.json").exists());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
