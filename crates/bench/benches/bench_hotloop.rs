@@ -6,6 +6,9 @@
 //! ```text
 //! WEC_BENCH_JSON=/tmp/hotloop.json cargo bench -p wec-bench --bench bench_hotloop
 //! ```
+//!
+//! then gate the capture against the record with
+//! `cargo run -p wec-bench --bin bench_guard -- /tmp/hotloop.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use wec_common::ids::{Addr, ThreadId};
@@ -119,6 +122,25 @@ fn bench_machine(c: &mut Criterion) {
             cfg.telemetry = TelemetryConfig {
                 trace_events: true,
                 sample_interval: 1000,
+                profile: false,
+                out_dir: None,
+            };
+            run_and_verify(&mcf, cfg).unwrap().cycles
+        })
+    });
+
+    // Profiler overhead guard: the same mcf run with only the cycle-loop
+    // self-profiler on (stride-sampled phase timers, no other instrument,
+    // no artifact files).  Compare against the untraced "simulate mcf
+    // smoke" number above; sampling 1-in-64 cycles should keep this within
+    // a few percent of it.
+    group.bench_function("simulate mcf smoke (wth-wp-wec, profiled)", |b| {
+        b.iter(|| {
+            let mut cfg = ProcPreset::WthWpWec.machine(8);
+            cfg.telemetry = TelemetryConfig {
+                trace_events: false,
+                sample_interval: 0,
+                profile: true,
                 out_dir: None,
             };
             run_and_verify(&mcf, cfg).unwrap().cycles

@@ -1,0 +1,164 @@
+//! Guard the hot-loop microbenchmarks against performance regressions.
+//!
+//! ```text
+//! WEC_BENCH_JSON=/tmp/fresh.json cargo bench -p wec-bench --bench bench_hotloop
+//! bench_guard /tmp/fresh.json [--baseline BENCH_hotloop.json] [--max-regress 0.25]
+//! ```
+//!
+//! Compares each fresh `median_ns` against the checked-in baseline's
+//! `after_median_ns` (matched by benchmark name).  A bench whose fresh
+//! median exceeds the baseline by more than `--max-regress` (default 25%)
+//! is a regression.  Timing on shared CI hosts is noisy, so regressions
+//! only **warn** by default; set `WEC_BENCH_GUARD_STRICT=1` to turn them
+//! into a non-zero exit for gating.  Benches present on only one side are
+//! reported informationally and never fail the guard.
+//!
+//! Exit codes: `0` ok (or regressions in warn mode), `1` regressions in
+//! strict mode, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wec_telemetry::json::{self, Json};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_guard FRESH.json [--baseline PATH] [--max-regress FRAC]");
+    ExitCode::from(2)
+}
+
+fn fail(msg: String) -> ExitCode {
+    eprintln!("bench_guard: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fresh_path: Option<PathBuf> = None;
+    let mut baseline_path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_hotloop.json"
+    ));
+    let mut max_regress = 0.25f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => {
+                let Some(p) = it.next() else { return usage() };
+                baseline_path = p.into();
+            }
+            "--max-regress" => {
+                let Some(x) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                max_regress = x;
+            }
+            other if !other.starts_with('-') && fresh_path.is_none() => {
+                fresh_path = Some(other.into())
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(fresh_path) = fresh_path else {
+        return usage();
+    };
+
+    // Fresh side: one JSON object per line, as the bench harness appends.
+    let fresh_text = match std::fs::read_to_string(&fresh_path) {
+        Ok(t) => t,
+        Err(e) => return fail(format!("{}: {e}", fresh_path.display())),
+    };
+    let mut fresh: Vec<(String, f64)> = Vec::new();
+    for line in fresh_text.lines().filter(|l| !l.trim().is_empty()) {
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return fail(format!("{}: {e}", fresh_path.display())),
+        };
+        let (Some(name), Some(median)) = (
+            v.get("name").and_then(Json::as_str),
+            v.get("median_ns").and_then(Json::as_f64),
+        ) else {
+            return fail(format!(
+                "{}: line without name/median_ns: {line}",
+                fresh_path.display()
+            ));
+        };
+        fresh.push((name.to_string(), median));
+    }
+    if fresh.is_empty() {
+        return fail(format!("{}: no benchmark lines", fresh_path.display()));
+    }
+
+    // Baseline side: the checked-in record's "after" medians.
+    let base_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => return fail(format!("{}: {e}", baseline_path.display())),
+    };
+    let base = match json::parse(&base_text) {
+        Ok(v) => v,
+        Err(e) => return fail(format!("{}: {e}", baseline_path.display())),
+    };
+    let Some(entries) = base.get("microbenchmarks").and_then(Json::as_array) else {
+        return fail(format!(
+            "{}: no \"microbenchmarks\" array",
+            baseline_path.display()
+        ));
+    };
+    let mut baseline: Vec<(String, f64)> = Vec::new();
+    for e in entries {
+        let (Some(name), Some(median)) = (
+            e.get("name").and_then(Json::as_str),
+            e.get("after_median_ns").and_then(Json::as_f64),
+        ) else {
+            return fail(format!(
+                "{}: microbenchmark entry without name/after_median_ns",
+                baseline_path.display()
+            ));
+        };
+        baseline.push((name.to_string(), median));
+    }
+
+    let strict = std::env::var("WEC_BENCH_GUARD_STRICT").is_ok_and(|v| v == "1");
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    println!(
+        "bench_guard: {} fresh vs {} (threshold +{:.0}%, {})",
+        fresh_path.display(),
+        baseline_path.display(),
+        max_regress * 100.0,
+        if strict { "strict" } else { "warn-only" }
+    );
+    for (name, median) in &fresh {
+        let Some((_, base_median)) = baseline.iter().find(|(n, _)| n == name) else {
+            println!("  new   {name}: {median:.1} ns (no baseline entry)");
+            continue;
+        };
+        compared += 1;
+        let ratio = median / base_median;
+        let verdict = if ratio > 1.0 + max_regress {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("  {verdict:<9} {name}: {median:.1} ns vs {base_median:.1} ns ({ratio:.2}x)");
+    }
+    for (name, _) in &baseline {
+        if !fresh.iter().any(|(n, _)| n == name) {
+            println!("  only in baseline: {name}");
+        }
+    }
+    if compared == 0 {
+        return fail("no benchmark matched the baseline by name".to_string());
+    }
+    if regressions > 0 {
+        if strict {
+            eprintln!("bench_guard: {regressions} regression(s) beyond threshold");
+            return ExitCode::from(1);
+        }
+        eprintln!(
+            "bench_guard: {regressions} regression(s) beyond threshold \
+             (warn-only; set WEC_BENCH_GUARD_STRICT=1 to gate)"
+        );
+    }
+    ExitCode::SUCCESS
+}

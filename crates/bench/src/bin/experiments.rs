@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! experiments [--scale N] [--only figNN|tableN] [--csv] [--no-cache]
-//! experiments [--scale N] [--only bench] --trace-events
+//!             [--run-out DIR] [--live]
+//! experiments [--scale N] [--only bench] [--trace-events] [--profile]
 //!             [--sample-interval N] [--telemetry-out DIR] [--commit-trace N]
 //! ```
 //!
@@ -11,22 +12,34 @@
 //! simulator revision replays from the store.  `--no-cache` neither reads
 //! nor writes the store.
 //!
-//! Passing `--trace-events` or `--sample-interval N` switches the harness
-//! into **telemetry mode**: instead of regenerating tables it runs the
-//! selected workloads (default `181.mcf`; `--only` substring-filters by
-//! benchmark name) on the paper's `wth-wp-wec` machine with the requested
-//! instruments on, writes the artifacts (`events.jsonl`, `timeseries.csv`,
-//! `histograms.json`, `trace.perfetto.json`) under
-//! `--telemetry-out DIR/<bench>/` (default `target/wec-telemetry`), and
-//! prints a telemetry summary.  Telemetry runs always bypass the result
+//! In table mode, `--run-out DIR` streams per-simulation progress lines to
+//! `DIR/progress.jsonl` and writes a `DIR/run.json` manifest (totals, cache
+//! hit rate, slowest simulations) at the end; `--live` renders a single
+//! updating status line on stderr while the sweep runs.
+//!
+//! Passing `--trace-events`, `--sample-interval N`, or `--profile` switches
+//! the harness into **telemetry mode**: instead of regenerating tables it
+//! runs the selected workloads (default `181.mcf`; `--only`
+//! substring-filters by benchmark name) on the paper's `wth-wp-wec` machine
+//! with the requested instruments on, writes the artifacts (`events.jsonl`,
+//! `timeseries.csv`, `histograms.json`, `trace.perfetto.json`,
+//! `profile.json`) under `--telemetry-out DIR/<bench>/` (default
+//! `target/wec-telemetry`), and prints a telemetry summary.  `--profile`
+//! turns on the cycle-loop self-profiler: sampled per-phase wall-clock
+//! attribution (fetch/rename, exec, mem, commit/recovery, scheduling,
+//! telemetry drain) reported as `profile.json` and, with `--trace-events`,
+//! as Perfetto counter tracks.  Telemetry runs always bypass the result
 //! cache — artifacts must come from a live simulation.
+
+use std::sync::Arc;
 
 use wec_bench::experiments;
 
 type TableFn = Box<dyn Fn(&Runner) -> wec_common::table::Table>;
+use wec_bench::progress::Progress;
 use wec_bench::runner::{Runner, Suite};
 use wec_core::config::ProcPreset;
-use wec_telemetry::TelemetryConfig;
+use wec_telemetry::{Phase, TelemetryConfig};
 use wec_workloads::{run_and_verify, Bench, Scale};
 
 fn main() {
@@ -36,9 +49,12 @@ fn main() {
     let mut csv = false;
     let mut no_cache = false;
     let mut trace_events = false;
+    let mut profile = false;
     let mut sample_interval = 0u64;
     let mut telemetry_out: Option<std::path::PathBuf> = None;
     let mut commit_trace = 0usize;
+    let mut run_out: Option<std::path::PathBuf> = None;
+    let mut live = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -51,6 +67,9 @@ fn main() {
             "--csv" => csv = true,
             "--no-cache" => no_cache = true,
             "--trace-events" => trace_events = true,
+            "--profile" => profile = true,
+            "--live" => live = true,
+            "--run-out" => run_out = Some(it.next().expect("--run-out DIR").into()),
             "--sample-interval" => {
                 sample_interval = it
                     .next()
@@ -70,11 +89,15 @@ fn main() {
         }
     }
 
-    if trace_events || sample_interval > 0 {
+    if trace_events || sample_interval > 0 || profile {
+        if run_out.is_some() || live {
+            panic!("--run-out/--live apply to table mode, not telemetry mode");
+        }
         run_telemetry(
             scale,
             only.as_deref(),
             trace_events,
+            profile,
             sample_interval,
             telemetry_out,
             commit_trace,
@@ -82,7 +105,9 @@ fn main() {
         return;
     }
     if commit_trace > 0 || telemetry_out.is_some() {
-        panic!("--commit-trace/--telemetry-out need --trace-events or --sample-interval");
+        panic!(
+            "--commit-trace/--telemetry-out need --trace-events, --sample-interval, or --profile"
+        );
     }
 
     eprintln!(
@@ -95,13 +120,20 @@ fn main() {
         "built in {:.1}s; running experiments…",
         t0.elapsed().as_secs_f64()
     );
-    let runner = if no_cache {
+    let mut runner = if no_cache {
         Runner::without_disk_cache(&suite)
     } else {
         Runner::new(&suite)
     };
     if let Some(dir) = runner.disk_dir() {
         eprintln!("result cache: {}", dir.display());
+    }
+    let progress = Arc::new(
+        Progress::new(run_out.as_deref(), live).expect("cannot create --run-out directory"),
+    );
+    runner.set_observer(progress.clone());
+    if let Some(dir) = progress.run_dir() {
+        eprintln!("run artifacts: {}", dir.display());
     }
 
     let selected: Vec<(&str, TableFn)> = vec![
@@ -135,6 +167,7 @@ fn main() {
         ),
     ];
 
+    let mut tables_run: Vec<String> = Vec::new();
     for (name, f) in &selected {
         if let Some(filter) = &only {
             if !name.contains(filter.as_str()) {
@@ -143,12 +176,14 @@ fn main() {
         }
         let t = std::time::Instant::now();
         let table = f(&runner);
+        tables_run.push(name.to_string());
         if csv {
             println!("# {name}");
             print!("{}", table.to_csv());
         } else {
             print!("{}", table.render());
         }
+        progress.finish_live();
         eprintln!(
             "[{name}: {:.1}s, {} simulations cached]",
             t.elapsed().as_secs_f64(),
@@ -156,11 +191,27 @@ fn main() {
         );
         println!();
     }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let c = runner.counters();
     eprintln!(
-        "total {:.1}s, {} distinct simulations",
-        t0.elapsed().as_secs_f64(),
-        runner.simulations()
+        "total {wall_s:.1}s, {} distinct simulations ({} cold, {} disk hits, {} mem hits, {:.1}% persistent hit rate)",
+        runner.simulations(),
+        c.cold(),
+        c.disk_hits(),
+        c.mem_hits(),
+        c.hit_rate() * 100.0
     );
+    let manifest = progress
+        .write_manifest(&runner, scale.units as u64, wall_s, &tables_run)
+        .expect("cannot write run.json");
+    if let Some(dir) = progress.run_dir() {
+        eprintln!(
+            "wrote {} and {} ({} metric points)",
+            dir.join("progress.jsonl").display(),
+            dir.join("run.json").display(),
+            manifest.metrics.len()
+        );
+    }
 }
 
 /// Telemetry mode: run the selected workloads on the paper's `wth-wp-wec`
@@ -169,6 +220,7 @@ fn run_telemetry(
     scale: Scale,
     only: Option<&str>,
     trace_events: bool,
+    profile: bool,
     sample_interval: u64,
     out: Option<std::path::PathBuf>,
     commit_trace: usize,
@@ -193,6 +245,7 @@ fn run_telemetry(
         cfg.telemetry = TelemetryConfig {
             trace_events,
             sample_interval,
+            profile,
             out_dir: Some(out.join(w.name.replace('.', "_"))),
         };
         eprintln!(
@@ -219,6 +272,21 @@ fn run_telemetry(
                 "  hist  {:<22} count {}  p50 {}  p99 {}  max {}",
                 h.name, h.count, h.p50, h.p99, h.max
             );
+        }
+        if let Some(p) = &tel.profile {
+            println!(
+                "  profile: 1-in-{} cycles sampled ({} of {})",
+                p.stride, p.sampled_cycles, p.total_cycles
+            );
+            let shares = p.shares();
+            for phase in Phase::ALL {
+                println!(
+                    "  prof  {:<22} {:>5.1}%  {} ns sampled",
+                    phase.name(),
+                    shares[phase as usize] * 100.0,
+                    p.ns[phase as usize]
+                );
+            }
         }
         for f in &tel.files {
             println!("  wrote {}", f.display());

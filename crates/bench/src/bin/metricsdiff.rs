@@ -1,0 +1,114 @@
+//! Compare the simulator metrics of two experiment runs.
+//!
+//! ```text
+//! metricsdiff A B [--rel-epsilon X] [--ignore METRIC[,METRIC…]]
+//!             [--md PATH] [--json PATH]
+//! ```
+//!
+//! `A` and `B` each name a `run.json` manifest (written by
+//! `experiments --run-out`), a result-cache directory of `.kv` snapshots,
+//! or a single `.kv` snapshot — the three may be mixed freely, e.g. a fresh
+//! `run.json` against a checked-in cache baseline.
+//!
+//! Integer-valued metrics (simulator counters) must match exactly;
+//! fractional values compare under `--rel-epsilon` (default `1e-6`).
+//! `--ignore` drops named metrics from the comparison.
+//!
+//! The Markdown report goes to stdout (and to `--md PATH` if given);
+//! `--json PATH` writes a machine-readable copy for CI.
+//!
+//! Exit codes: `0` no drift, `1` drift detected, `2` usage or I/O error.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wec_bench::diff::{diff, MetricSet, Policy};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: metricsdiff A B [--rel-epsilon X] [--ignore METRIC[,METRIC…]] \
+         [--md PATH] [--json PATH]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut policy = Policy::default();
+    let mut md_out: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rel-epsilon" => {
+                let Some(x) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                policy.rel_epsilon = x;
+            }
+            "--ignore" => {
+                let Some(list) = it.next() else {
+                    return usage();
+                };
+                policy
+                    .ignore
+                    .extend(list.split(',').map(str::to_string).collect::<BTreeSet<_>>());
+            }
+            "--md" => {
+                let Some(p) = it.next() else { return usage() };
+                md_out = Some(p.into());
+            }
+            "--json" => {
+                let Some(p) = it.next() else { return usage() };
+                json_out = Some(p.into());
+            }
+            other if !other.starts_with('-') => paths.push(other.into()),
+            _ => return usage(),
+        }
+    }
+    let [a_path, b_path] = paths.as_slice() else {
+        return usage();
+    };
+
+    let load = |p: &PathBuf| {
+        MetricSet::load(p).map_err(|e| {
+            eprintln!("metricsdiff: {e}");
+            ExitCode::from(2)
+        })
+    };
+    let a = match load(a_path) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    let b = match load(b_path) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+
+    let report = diff(&a, &b, &policy);
+    let md = report.to_markdown();
+    print!("{md}");
+    let write = |path: &PathBuf, text: &str| {
+        std::fs::write(path, text).map_err(|e| {
+            eprintln!("metricsdiff: write {}: {e}", path.display());
+            ExitCode::from(2)
+        })
+    };
+    if let Some(p) = &md_out {
+        if let Err(c) = write(p, &md) {
+            return c;
+        }
+    }
+    if let Some(p) = &json_out {
+        if let Err(c) = write(p, &report.to_json()) {
+            return c;
+        }
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -5,14 +5,20 @@
 //! ```
 //!
 //! `DIR` is what a telemetry-mode `experiments` run wrote for one workload
-//! (e.g. `target/wec-telemetry/181_mcf`).  Every artifact present is
-//! validated — `events.jsonl` and `commits.jsonl` against the event schema
-//! with non-decreasing cycle stamps, `timeseries.csv` against the sampler
-//! column set, `histograms.json` for bucket/count consistency, and
-//! `trace.perfetto.json` as Chrome trace-event JSON.  Each `--require kind`
-//! additionally asserts that the event trace contains at least one event of
-//! that kind (e.g. `--require wec_fill --require wec_hit`).  Exits nonzero
-//! on any failure, so CI can gate on it.
+//! (e.g. `target/wec-telemetry/181_mcf`) — or an `--run-out` directory from
+//! a table-mode sweep.  Every artifact present is validated —
+//! `events.jsonl` and `commits.jsonl` against the event schema with
+//! non-decreasing cycle stamps, `timeseries.csv` against the sampler column
+//! set, `histograms.json` for bucket/count consistency,
+//! `trace.perfetto.json` as Chrome trace-event JSON, `profile.json` against
+//! the cycle-loop profiler schema, and `progress.jsonl`/`run.json` against
+//! the sweep observability schemas.  Each `--require kind` additionally
+//! asserts that the event trace contains at least one event of that kind
+//! (e.g. `--require wec_fill --require wec_hit`).
+//!
+//! Exit codes: `0` all artifacts present validated, `1` any validation
+//! failed or no artifact was found (a `--require` with no valid
+//! `events.jsonl` also fails).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -113,6 +119,45 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("FAIL trace.perfetto.json: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(text) = read(dir, "profile.json") {
+        match schema::validate_profile_json(&text) {
+            Ok(phases) => {
+                println!("ok  profile.json: {}", phases.join(", "));
+                validated += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL profile.json: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(text) = read(dir, "progress.jsonl") {
+        match schema::validate_progress_jsonl(&text) {
+            Ok(r) => {
+                println!(
+                    "ok  progress.jsonl: {} starts, {} finishes",
+                    r.starts, r.finishes
+                );
+                validated += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL progress.jsonl: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(text) = read(dir, "run.json") {
+        match schema::validate_run_json(&text) {
+            Ok(points) => {
+                println!("ok  run.json: {points} metric points");
+                validated += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL run.json: {e}");
                 failures += 1;
             }
         }

@@ -1,0 +1,423 @@
+//! Metric-drift detection between two experiment runs.
+//!
+//! A [`MetricSet`] is a flat map of `point -> metric -> value`, loadable from
+//! three source shapes:
+//!
+//! * a `run.json` manifest (its `"metrics"` subtree),
+//! * a result-cache directory of `.kv` snapshots (one point per file),
+//! * a single `.kv` file (one anonymous point).
+//!
+//! [`diff`] compares two sets under a [`Policy`]: integer-valued metrics must
+//! match exactly (simulator counters are deterministic), fractional values
+//! compare under a relative epsilon.  The [`DiffReport`] renders as Markdown
+//! for humans and JSON for CI, and `clean()` drives the process exit code.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use wec_telemetry::json::{self, Json};
+
+/// `point -> metric -> value` with a human-readable provenance string.
+pub struct MetricSet {
+    pub source: String,
+    pub points: BTreeMap<String, BTreeMap<String, f64>>,
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn parse_kv(text: &str) -> BTreeMap<String, f64> {
+    text.lines()
+        .filter_map(|l| l.split_once(' '))
+        .filter_map(|(k, v)| v.trim().parse::<f64>().ok().map(|v| (k.to_string(), v)))
+        .collect()
+}
+
+impl MetricSet {
+    /// Load from a `run.json`, a `.kv` snapshot, or a cache directory.
+    pub fn load(path: &Path) -> io::Result<MetricSet> {
+        let source = path.display().to_string();
+        if path.is_dir() {
+            let mut points = BTreeMap::new();
+            for entry in fs::read_dir(path)? {
+                let p = entry?.path();
+                if p.extension().and_then(|e| e.to_str()) != Some("kv") {
+                    continue;
+                }
+                let stem = p
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("point")
+                    .to_string();
+                points.insert(stem, parse_kv(&fs::read_to_string(&p)?));
+            }
+            if points.is_empty() {
+                return Err(bad(format!("{source}: no .kv snapshots in directory")));
+            }
+            return Ok(MetricSet { source, points });
+        }
+        let text = fs::read_to_string(path)?;
+        if path.extension().and_then(|e| e.to_str()) == Some("kv") {
+            let mut points = BTreeMap::new();
+            points.insert("point".to_string(), parse_kv(&text));
+            return Ok(MetricSet { source, points });
+        }
+        Self::from_run_json(&source, &text)
+    }
+
+    fn from_run_json(source: &str, text: &str) -> io::Result<MetricSet> {
+        let root = json::parse(text).map_err(|e| bad(format!("{source}: {e}")))?;
+        let metrics = root
+            .get("metrics")
+            .ok_or_else(|| bad(format!("{source}: no \"metrics\" object (not a run.json?)")))?;
+        let Json::Obj(fields) = metrics else {
+            return Err(bad(format!("{source}: \"metrics\" is not an object")));
+        };
+        let mut points = BTreeMap::new();
+        for (label, v) in fields {
+            let Json::Obj(kv) = v else {
+                return Err(bad(format!("{source}: metrics[{label}] is not an object")));
+            };
+            let mut map = BTreeMap::new();
+            for (k, val) in kv {
+                let n = val
+                    .as_f64()
+                    .ok_or_else(|| bad(format!("{source}: {label}.{k} is not a number")))?;
+                map.insert(k.clone(), n);
+            }
+            points.insert(label.clone(), map);
+        }
+        if points.is_empty() {
+            return Err(bad(format!("{source}: \"metrics\" is empty")));
+        }
+        Ok(MetricSet {
+            source: source.to_string(),
+            points,
+        })
+    }
+}
+
+/// Per-metric comparison policy.
+pub struct Policy {
+    /// Relative tolerance for non-integer values (integers compare exact).
+    pub rel_epsilon: f64,
+    /// Metric names excluded from comparison entirely.
+    pub ignore: BTreeSet<String>,
+}
+
+impl Default for Policy {
+    fn default() -> Policy {
+        Policy {
+            rel_epsilon: 1e-6,
+            ignore: BTreeSet::new(),
+        }
+    }
+}
+
+/// One detected discrepancy.
+pub struct Drift {
+    pub point: String,
+    pub metric: String,
+    pub kind: DriftKind,
+}
+
+pub enum DriftKind {
+    /// Point present in A, absent in B.
+    MissingPoint,
+    /// Point present in B, absent in A.
+    ExtraPoint,
+    /// Metric present in A's point, absent in B's.
+    Missing,
+    /// Metric present in B's point, absent in A's.
+    Extra,
+    /// Values differ beyond tolerance.
+    Changed { a: f64, b: f64, rel: f64 },
+}
+
+impl DriftKind {
+    fn describe(&self) -> String {
+        match self {
+            DriftKind::MissingPoint => "point missing in B".to_string(),
+            DriftKind::ExtraPoint => "point only in B".to_string(),
+            DriftKind::Missing => "metric missing in B".to_string(),
+            DriftKind::Extra => "metric only in B".to_string(),
+            DriftKind::Changed { a, b, rel } => {
+                format!("{a} -> {b} (rel {rel:.3e})")
+            }
+        }
+    }
+
+    fn tag(&self) -> &'static str {
+        match self {
+            DriftKind::MissingPoint => "missing_point",
+            DriftKind::ExtraPoint => "extra_point",
+            DriftKind::Missing => "missing_metric",
+            DriftKind::Extra => "extra_metric",
+            DriftKind::Changed { .. } => "changed",
+        }
+    }
+}
+
+/// Outcome of [`diff`]: all drifts plus comparison totals.
+pub struct DiffReport {
+    pub a_source: String,
+    pub b_source: String,
+    pub points_compared: u64,
+    pub metrics_compared: u64,
+    pub drifts: Vec<Drift>,
+}
+
+impl DiffReport {
+    /// True when the two sets agree under the policy.
+    pub fn clean(&self) -> bool {
+        self.drifts.is_empty()
+    }
+
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "# Metric drift report");
+        let _ = writeln!(s);
+        let _ = writeln!(s, "- A: `{}`", self.a_source);
+        let _ = writeln!(s, "- B: `{}`", self.b_source);
+        let _ = writeln!(
+            s,
+            "- Compared {} metrics across {} points",
+            self.metrics_compared, self.points_compared
+        );
+        let _ = writeln!(s);
+        if self.clean() {
+            let _ = writeln!(s, "**No drift detected.**");
+            return s;
+        }
+        let _ = writeln!(s, "**{} drift(s) detected.**", self.drifts.len());
+        let _ = writeln!(s);
+        let _ = writeln!(s, "| point | metric | drift |");
+        let _ = writeln!(s, "|---|---|---|");
+        for d in &self.drifts {
+            let _ = writeln!(
+                s,
+                "| {} | {} | {} |",
+                d.point,
+                if d.metric.is_empty() { "*" } else { &d.metric },
+                d.kind.describe()
+            );
+        }
+        s
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\"schema\":\"wec-metricsdiff-v1\",\"a\":");
+        json::escape_into(&mut s, &self.a_source);
+        s.push_str(",\"b\":");
+        json::escape_into(&mut s, &self.b_source);
+        let _ = write!(
+            s,
+            ",\"points_compared\":{},\"metrics_compared\":{},\"clean\":{},\"drifts\":[",
+            self.points_compared,
+            self.metrics_compared,
+            self.clean()
+        );
+        for (i, d) in self.drifts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"point\":");
+            json::escape_into(&mut s, &d.point);
+            s.push_str(",\"metric\":");
+            json::escape_into(&mut s, &d.metric);
+            let _ = write!(s, ",\"kind\":\"{}\"", d.kind.tag());
+            if let DriftKind::Changed { a, b, rel } = &d.kind {
+                let _ = write!(s, ",\"a\":{a},\"b\":{b},\"rel\":{rel:.6e}");
+            }
+            s.push('}');
+        }
+        s.push_str("]}\n");
+        s
+    }
+}
+
+fn is_integral(v: f64) -> bool {
+    v.fract() == 0.0 && v.abs() < 2f64.powi(53)
+}
+
+/// Compare two values under the policy; `None` means they agree.
+fn compare(a: f64, b: f64, policy: &Policy) -> Option<DriftKind> {
+    if a == b {
+        return None;
+    }
+    if is_integral(a) && is_integral(b) {
+        // Simulator counters are integers and deterministic: exact or drift.
+        let denom = a.abs().max(b.abs()).max(1.0);
+        return Some(DriftKind::Changed {
+            a,
+            b,
+            rel: (a - b).abs() / denom,
+        });
+    }
+    let denom = a.abs().max(b.abs()).max(f64::MIN_POSITIVE);
+    let rel = (a - b).abs() / denom;
+    if rel <= policy.rel_epsilon {
+        return None;
+    }
+    Some(DriftKind::Changed { a, b, rel })
+}
+
+/// Diff two metric sets under `policy`.
+pub fn diff(a: &MetricSet, b: &MetricSet, policy: &Policy) -> DiffReport {
+    let mut drifts = Vec::new();
+    let mut points_compared = 0u64;
+    let mut metrics_compared = 0u64;
+    for (point, am) in &a.points {
+        let Some(bm) = b.points.get(point) else {
+            drifts.push(Drift {
+                point: point.clone(),
+                metric: String::new(),
+                kind: DriftKind::MissingPoint,
+            });
+            continue;
+        };
+        points_compared += 1;
+        for (metric, &av) in am {
+            if policy.ignore.contains(metric) {
+                continue;
+            }
+            let Some(&bv) = bm.get(metric) else {
+                drifts.push(Drift {
+                    point: point.clone(),
+                    metric: metric.clone(),
+                    kind: DriftKind::Missing,
+                });
+                continue;
+            };
+            metrics_compared += 1;
+            if let Some(kind) = compare(av, bv, policy) {
+                drifts.push(Drift {
+                    point: point.clone(),
+                    metric: metric.clone(),
+                    kind,
+                });
+            }
+        }
+        for metric in bm.keys() {
+            if !policy.ignore.contains(metric) && !am.contains_key(metric) {
+                drifts.push(Drift {
+                    point: point.clone(),
+                    metric: metric.clone(),
+                    kind: DriftKind::Extra,
+                });
+            }
+        }
+    }
+    for point in b.points.keys() {
+        if !a.points.contains_key(point) {
+            drifts.push(Drift {
+                point: point.clone(),
+                metric: String::new(),
+                kind: DriftKind::ExtraPoint,
+            });
+        }
+    }
+    DiffReport {
+        a_source: a.source.clone(),
+        b_source: b.source.clone(),
+        points_compared,
+        metrics_compared,
+        drifts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(name: &str, points: &[(&str, &[(&str, f64)])]) -> MetricSet {
+        MetricSet {
+            source: name.to_string(),
+            points: points
+                .iter()
+                .map(|(p, kv)| {
+                    (
+                        p.to_string(),
+                        kv.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_sets_are_clean() {
+        let a = set("a", &[("p1", &[("cycles", 100.0), ("forks", 3.0)])]);
+        let b = set("b", &[("p1", &[("cycles", 100.0), ("forks", 3.0)])]);
+        let r = diff(&a, &b, &Policy::default());
+        assert!(r.clean());
+        assert_eq!(r.points_compared, 1);
+        assert_eq!(r.metrics_compared, 2);
+    }
+
+    #[test]
+    fn integers_compare_exact() {
+        // A one-count difference in a large counter is far below any
+        // reasonable relative epsilon, but must still be flagged.
+        let a = set("a", &[("p1", &[("cycles", 1_000_000_000.0)])]);
+        let b = set("b", &[("p1", &[("cycles", 1_000_000_001.0)])]);
+        let policy = Policy {
+            rel_epsilon: 1e-3,
+            ..Policy::default()
+        };
+        let r = diff(&a, &b, &policy);
+        assert_eq!(r.drifts.len(), 1);
+        assert!(matches!(r.drifts[0].kind, DriftKind::Changed { .. }));
+    }
+
+    #[test]
+    fn fractions_compare_relative() {
+        let a = set("a", &[("p1", &[("rate", 0.5)])]);
+        let b = set("b", &[("p1", &[("rate", 0.5 + 1e-9)])]);
+        assert!(diff(&a, &b, &Policy::default()).clean());
+        let c = set("c", &[("p1", &[("rate", 0.51)])]);
+        assert!(!diff(&a, &c, &Policy::default()).clean());
+    }
+
+    #[test]
+    fn missing_and_extra_are_reported() {
+        let a = set("a", &[("p1", &[("cycles", 1.0), ("gone", 2.0)])]);
+        let b = set(
+            "b",
+            &[("p1", &[("cycles", 1.0), ("new", 3.0)]), ("p2", &[])],
+        );
+        let r = diff(&a, &b, &Policy::default());
+        let tags: Vec<&str> = r.drifts.iter().map(|d| d.kind.tag()).collect();
+        assert!(tags.contains(&"missing_metric"));
+        assert!(tags.contains(&"extra_metric"));
+        assert!(tags.contains(&"extra_point"));
+        let a2 = set("a2", &[("p1", &[]), ("p9", &[])]);
+        let r2 = diff(&a2, &b, &Policy::default());
+        assert!(r2
+            .drifts
+            .iter()
+            .any(|d| matches!(d.kind, DriftKind::MissingPoint)));
+    }
+
+    #[test]
+    fn ignored_metrics_do_not_drift() {
+        let a = set("a", &[("p1", &[("cycles", 1.0), ("wall_ms", 10.0)])]);
+        let b = set("b", &[("p1", &[("cycles", 1.0), ("wall_ms", 99.0)])]);
+        let mut policy = Policy::default();
+        policy.ignore.insert("wall_ms".to_string());
+        assert!(diff(&a, &b, &policy).clean());
+    }
+
+    #[test]
+    fn run_json_loader_reads_metrics_subtree() {
+        let text = "{\"schema\":\"wec-run-manifest-v1\",\"metrics\":{\"gzip|orig\":{\"cycles\":42,\"forks\":0}}}";
+        let set = MetricSet::from_run_json("mem", text).unwrap();
+        assert_eq!(set.points["gzip|orig"]["cycles"], 42.0);
+        assert!(MetricSet::from_run_json("mem", "{\"x\":1}").is_err());
+    }
+}

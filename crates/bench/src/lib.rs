@@ -7,13 +7,21 @@
 //! * [`experiments`] — one function per table/figure, each returning a
 //!   [`wec_common::table::Table`] whose rows mirror the paper's plots;
 //! * [`ablations`] — the §7 future-work sensitivity studies (memory
-//!   latency, block size, branch prediction accuracy).
+//!   latency, block size, branch prediction accuracy);
+//! * [`progress`] — sweep observability: `progress.jsonl` streaming, a live
+//!   status line, and the `run.json` manifest;
+//! * [`diff`] — metric-drift detection between two runs (the `metricsdiff`
+//!   binary's engine).
 //!
 //! `cargo run --release -p wec-bench --bin experiments` prints everything;
 //! the Criterion benches under `benches/` regenerate individual figures.
 
 pub mod ablations;
+pub mod diff;
 pub mod experiments;
+pub mod progress;
 pub mod runner;
 
-pub use runner::{CfgKey, Runner, Suite};
+pub use diff::{diff, DiffReport, MetricSet, Policy};
+pub use progress::Progress;
+pub use runner::{CacheSource, CfgKey, RunObserver, Runner, Suite};

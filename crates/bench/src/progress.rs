@@ -1,0 +1,206 @@
+//! Sweep observability: streams `progress.jsonl`, renders a live TTY
+//! status line, and writes the final `run.json` manifest.
+//!
+//! [`Progress`] implements [`RunObserver`], so the runner reports every
+//! simulation start/finish into it from whichever host thread did the work.
+//! All mutable state sits behind one mutex; timestamps are taken *inside*
+//! the lock from a single monotonic clock, which keeps `t_ms` non-decreasing
+//! across lines (the progress schema checks this).
+
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use wec_telemetry::report::{ProgressWriter, RunManifest, SlowPoint};
+
+use crate::runner::{CacheSource, CfgKey, RunObserver, Runner};
+
+/// How many of the slowest simulations the manifest keeps.
+const SLOWEST_KEPT: usize = 10;
+
+/// Host identity for run manifests (best effort).
+pub fn host_id() -> String {
+    std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+struct Inner {
+    writer: Option<ProgressWriter>,
+    /// Points resolved so far (cold + disk), and cold-run aggregates.
+    resolved: u64,
+    running: u64,
+    cold_sim_cycles: u64,
+    cold_wall_ms: u64,
+    slowest: Vec<SlowPoint>,
+    last: String,
+}
+
+/// The sweep-level observer wired into [`Runner::set_observer`].
+pub struct Progress {
+    t0: Instant,
+    live: bool,
+    run_dir: Option<PathBuf>,
+    inner: Mutex<Inner>,
+}
+
+impl Progress {
+    /// `run_dir` (if given) receives `progress.jsonl` now and `run.json` at
+    /// [`Progress::write_manifest`]; `live` turns on the single-line TTY
+    /// renderer on stderr.
+    pub fn new(run_dir: Option<&Path>, live: bool) -> io::Result<Progress> {
+        let writer = match run_dir {
+            Some(dir) => Some(ProgressWriter::create(&dir.join("progress.jsonl"))?),
+            None => None,
+        };
+        Ok(Progress {
+            t0: Instant::now(),
+            live,
+            run_dir: run_dir.map(Path::to_path_buf),
+            inner: Mutex::new(Inner {
+                writer,
+                resolved: 0,
+                running: 0,
+                cold_sim_cycles: 0,
+                cold_wall_ms: 0,
+                slowest: Vec::new(),
+                last: String::new(),
+            }),
+        })
+    }
+
+    fn render_live(&self, inner: &Inner) {
+        if !self.live {
+            return;
+        }
+        let line = format!(
+            "\r[{:7.1}s] {} done, {} running | {:.0} kcycles/s cold | last: {}",
+            self.t0.elapsed().as_secs_f64(),
+            inner.resolved,
+            inner.running,
+            if inner.cold_wall_ms == 0 {
+                0.0
+            } else {
+                inner.cold_sim_cycles as f64 / inner.cold_wall_ms as f64
+            },
+            inner.last,
+        );
+        // Pad so a shorter line fully overwrites a longer predecessor.
+        eprint!("{line:<100}");
+        let _ = io::stderr().flush();
+    }
+
+    /// Finish the live line (call once before normal stderr output resumes).
+    pub fn finish_live(&self) {
+        if self.live {
+            eprintln!();
+        }
+    }
+
+    /// Aggregate everything the runner resolved into a `run.json` manifest
+    /// and write it (when a run directory was configured).  Returns the
+    /// manifest either way so callers can print from it.
+    pub fn write_manifest(
+        &self,
+        runner: &Runner,
+        scale: u64,
+        wall_s: f64,
+        tables: &[String],
+    ) -> io::Result<RunManifest> {
+        let inner = self.inner.lock().unwrap();
+        let counters = runner.counters();
+        let mut metrics: Vec<(String, Vec<(String, u64)>)> = runner
+            .snapshot()
+            .into_iter()
+            .map(|(bench, key, m)| {
+                let kv: Vec<(String, u64)> = m
+                    .to_kv()
+                    .lines()
+                    .filter_map(|l| l.split_once(' '))
+                    .map(|(k, v)| (k.to_string(), v.trim().parse().unwrap_or(0)))
+                    .collect();
+                (format!("{bench}|{}", key.label()), kv)
+            })
+            .collect();
+        metrics.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut slowest = inner.slowest.clone();
+        slowest.sort_by_key(|p| std::cmp::Reverse(p.dur_ms));
+        slowest.truncate(SLOWEST_KEPT);
+        let manifest = RunManifest {
+            scale,
+            host: host_id(),
+            sim_revision: wec_core::SIM_REVISION as u64,
+            wall_s,
+            cold: counters.cold(),
+            disk_hits: counters.disk_hits(),
+            mem_hits: counters.mem_hits(),
+            cold_sim_cycles: inner.cold_sim_cycles,
+            cold_wall_ms: inner.cold_wall_ms,
+            slowest,
+            tables: tables.to_vec(),
+            metrics,
+        };
+        if let Some(dir) = &self.run_dir {
+            manifest.write_to(&dir.join("run.json"))?;
+        }
+        Ok(manifest)
+    }
+
+    /// The run directory, if artifacts are being written.
+    pub fn run_dir(&self) -> Option<&Path> {
+        self.run_dir.as_deref()
+    }
+}
+
+impl RunObserver for Progress {
+    fn sim_started(&self, bench: &'static str, key: &CfgKey, worker: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        let t_ms = self.t0.elapsed().as_millis() as u64;
+        let cfg = key.label();
+        if let Some(w) = inner.writer.as_mut() {
+            // Progress output is best-effort; a full disk must not kill the
+            // sweep that is busy filling the result cache.
+            let _ = w.start(t_ms, bench, &cfg, worker);
+        }
+        inner.running += 1;
+        inner.last = format!("{bench} {cfg}");
+        self.render_live(&inner);
+    }
+
+    fn sim_finished(
+        &self,
+        bench: &'static str,
+        key: &CfgKey,
+        worker: usize,
+        src: CacheSource,
+        dur_ms: u64,
+        sim_cycles: u64,
+    ) {
+        let mut inner = self.inner.lock().unwrap();
+        let t_ms = self.t0.elapsed().as_millis() as u64;
+        let cfg = key.label();
+        if let Some(w) = inner.writer.as_mut() {
+            let _ = w.finish(t_ms, bench, &cfg, worker, src.name(), dur_ms, sim_cycles);
+        }
+        if src == CacheSource::Cold {
+            inner.running = inner.running.saturating_sub(1);
+            inner.cold_sim_cycles += sim_cycles;
+            inner.cold_wall_ms += dur_ms;
+        }
+        inner.resolved += 1;
+        inner.slowest.push(SlowPoint {
+            bench: bench.to_string(),
+            cfg,
+            cache: src.name(),
+            dur_ms,
+        });
+        // Keep the slowest list bounded without sorting per event.
+        if inner.slowest.len() > SLOWEST_KEPT * 8 {
+            inner.slowest.sort_by_key(|p| std::cmp::Reverse(p.dur_ms));
+            inner.slowest.truncate(SLOWEST_KEPT);
+        }
+        self.render_live(&inner);
+    }
+}

@@ -10,8 +10,9 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use wec_core::config::{MachineConfig, ProcPreset};
 use wec_core::metrics::MachineMetrics;
@@ -112,6 +113,25 @@ impl CfgKey {
         }
     }
 
+    /// Compact, stable identity string used in progress lines, run
+    /// manifests and drift reports (every field that distinguishes
+    /// configurations appears, so two keys never share a label).
+    pub fn label(&self) -> String {
+        format!(
+            "{}/t{}/w{}/l1_{}k_{}w_b{}/side{}/l2_{}k/m{}/{:?}",
+            self.preset.name(),
+            self.n_tus,
+            self.width,
+            self.l1_kb,
+            self.l1_ways,
+            self.l1_block,
+            self.side_entries,
+            self.l2_kb,
+            self.mem_latency,
+            self.bpred,
+        )
+    }
+
     /// Materialize the machine configuration.
     pub fn build(self) -> MachineConfig {
         let mut cfg = MachineConfig::paper_default(self.n_tus as usize);
@@ -143,6 +163,93 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// How a requested (benchmark, configuration) point was satisfied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheSource {
+    /// Simulated in this process.
+    Cold,
+    /// Loaded from the persistent on-disk store.
+    Disk,
+    /// Served by the in-process memo table.
+    Mem,
+}
+
+impl CacheSource {
+    /// Stable lowercase name used in `progress.jsonl`.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheSource::Cold => "cold",
+            CacheSource::Disk => "disk",
+            CacheSource::Mem => "mem",
+        }
+    }
+}
+
+/// Per-lookup cache-path counters: how a sweep's points were satisfied.
+/// Without these a fully-warm replay is indistinguishable from a cold run
+/// except by wall clock.
+#[derive(Default)]
+pub struct CacheCounters {
+    cold: AtomicU64,
+    disk_hits: AtomicU64,
+    mem_hits: AtomicU64,
+}
+
+impl CacheCounters {
+    fn count(&self, src: CacheSource) {
+        let slot = match src {
+            CacheSource::Cold => &self.cold,
+            CacheSource::Disk => &self.disk_hits,
+            CacheSource::Mem => &self.mem_hits,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Simulations actually run in this process.
+    pub fn cold(&self) -> u64 {
+        self.cold.load(Ordering::Relaxed)
+    }
+
+    /// Points satisfied from the persistent on-disk store.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups served by the in-process memo table (shared sweep points).
+    pub fn mem_hits(&self) -> u64 {
+        self.mem_hits.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of *distinct* simulations satisfied by the persistent store
+    /// instead of running cold (the cold-vs-warm replay signal).
+    pub fn hit_rate(&self) -> f64 {
+        let distinct = self.cold() + self.disk_hits();
+        if distinct == 0 {
+            0.0
+        } else {
+            self.disk_hits() as f64 / distinct as f64
+        }
+    }
+}
+
+/// Observer of individual simulations inside a sweep (progress streams,
+/// live renderers).  Called from host worker threads, so it must be
+/// thread-safe; `worker` is the host-thread index doing the work.
+pub trait RunObserver: Send + Sync {
+    /// A point missed every cache and started simulating.
+    fn sim_started(&self, bench: &'static str, key: &CfgKey, worker: usize);
+    /// A point was resolved (`src` says how; `dur_ms` is 0 for cache hits).
+    fn sim_finished(
+        &self,
+        bench: &'static str,
+        key: &CfgKey,
+        worker: usize,
+        src: CacheSource,
+        dur_ms: u64,
+        sim_cycles: u64,
+    );
+}
+
 /// A memoizing, host-parallel simulation runner over one suite.
 ///
 /// Results are memoized at two levels: an in-process map, and (unless
@@ -156,6 +263,8 @@ pub struct Runner<'a> {
     cache: Mutex<HashMap<(usize, CfgKey), MachineMetrics>>,
     /// Directory of the persistent result store, if enabled.
     disk: Option<PathBuf>,
+    counters: CacheCounters,
+    obs: Option<Arc<dyn RunObserver>>,
 }
 
 /// Default location of the on-disk result store: `target/wec-result-cache`
@@ -181,6 +290,8 @@ impl<'a> Runner<'a> {
             suite,
             cache: Mutex::new(HashMap::new()),
             disk: None,
+            counters: CacheCounters::default(),
+            obs: None,
         }
     }
 
@@ -191,7 +302,30 @@ impl<'a> Runner<'a> {
             suite,
             cache: Mutex::new(HashMap::new()),
             disk: Some(dir),
+            counters: CacheCounters::default(),
+            obs: None,
         }
+    }
+
+    /// Attach a [`RunObserver`] notified of every simulation start/finish.
+    pub fn set_observer(&mut self, obs: Arc<dyn RunObserver>) {
+        self.obs = Some(obs);
+    }
+
+    /// Cache-path accounting for everything this runner resolved.
+    pub fn counters(&self) -> &CacheCounters {
+        &self.counters
+    }
+
+    /// Every memoized point: `(benchmark name, key, metrics)`, in no
+    /// particular order (manifest writers sort by label).
+    pub fn snapshot(&self) -> Vec<(&'static str, CfgKey, MachineMetrics)> {
+        self.cache
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&(bench, key), m)| (self.suite.workloads[bench].name, key, m.clone()))
+            .collect()
     }
 
     pub fn suite(&self) -> &Suite {
@@ -252,20 +386,58 @@ impl<'a> Runner<'a> {
         }
     }
 
+    /// Run one cold point on `worker`, with observer + counter bookkeeping.
+    fn run_cold(&self, bench_idx: usize, key: CfgKey, worker: usize) -> MachineMetrics {
+        let name = self.suite.workloads[bench_idx].name;
+        self.counters.count(CacheSource::Cold);
+        if let Some(obs) = &self.obs {
+            obs.sim_started(name, &key, worker);
+        }
+        let t = Instant::now();
+        let m = Self::run_one(&self.suite.workloads[bench_idx], key);
+        self.disk_store(bench_idx, key, &m);
+        if let Some(obs) = &self.obs {
+            obs.sim_finished(
+                name,
+                &key,
+                worker,
+                CacheSource::Cold,
+                t.elapsed().as_millis() as u64,
+                m.cycles,
+            );
+        }
+        m
+    }
+
+    /// Count a disk-store hit and surface it to the observer.
+    fn note_disk_hit(&self, bench_idx: usize, key: CfgKey, worker: usize, m: &MachineMetrics) {
+        self.counters.count(CacheSource::Disk);
+        if let Some(obs) = &self.obs {
+            obs.sim_finished(
+                self.suite.workloads[bench_idx].name,
+                &key,
+                worker,
+                CacheSource::Disk,
+                0,
+                m.cycles,
+            );
+        }
+    }
+
     /// Metrics for one (benchmark, configuration) point, simulated at most
     /// once per runner (and, with the disk store, at most once per machine
     /// per simulator revision).
     pub fn metrics(&self, bench_idx: usize, key: CfgKey) -> MachineMetrics {
         if let Some(m) = self.cache.lock().unwrap().get(&(bench_idx, key)) {
+            self.counters.count(CacheSource::Mem);
             return m.clone();
         }
         let m = match self.disk_load(bench_idx, key) {
-            Some(m) => m,
-            None => {
-                let m = Self::run_one(&self.suite.workloads[bench_idx], key);
-                self.disk_store(bench_idx, key, &m);
+            Some(m) => {
+                self.note_disk_hit(bench_idx, key, 0, &m);
                 m
             }
+            None => self.run_cold(bench_idx, key, 0),
         };
         self.cache
             .lock()
@@ -299,6 +471,7 @@ impl<'a> Runner<'a> {
         if self.disk.is_some() {
             pending.retain(|&(bench, key)| match self.disk_load(bench, key) {
                 Some(m) => {
+                    self.note_disk_hit(bench, key, 0, &m);
                     self.cache.lock().unwrap().insert((bench, key), m);
                     false
                 }
@@ -310,16 +483,18 @@ impl<'a> Runner<'a> {
         }
         let hosts = hosts.max(1).min(pending.len());
         let next = AtomicUsize::new(0);
+        let me = self;
+        let pending = &pending;
+        let next = &next;
         std::thread::scope(|s| {
-            for _ in 0..hosts {
-                s.spawn(|| loop {
+            for worker in 0..hosts {
+                s.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&(bench, key)) = pending.get(i) else {
                         return;
                     };
-                    let m = Self::run_one(&self.suite.workloads[bench], key);
-                    self.disk_store(bench, key, &m);
-                    self.cache.lock().unwrap().insert((bench, key), m);
+                    let m = me.run_cold(bench, key, worker);
+                    me.cache.lock().unwrap().insert((bench, key), m);
                 });
             }
         });

@@ -1,0 +1,106 @@
+//! End-to-end drift detection: two runs of the same sweep (one cold, one
+//! replayed from the result cache) must produce identical `run.json`
+//! metrics and a clean `metricsdiff` exit; a perturbed manifest must be
+//! caught and named.
+//!
+//! The sweeps run in-process (the figure-17 pair of configurations at
+//! SMOKE scale); only the cheap `metricsdiff` binary is spawned.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use wec_bench::experiments;
+use wec_bench::progress::Progress;
+use wec_bench::runner::{Runner, Suite};
+use wec_telemetry::schema;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wec-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One fig17 sweep against the shared scratch result cache; returns the
+/// run directory containing `progress.jsonl` + `run.json`.
+fn sweep(suite: &Suite, cache_dir: &Path, run_dir: &Path) {
+    let mut runner = Runner::with_disk_dir(suite, cache_dir.to_path_buf());
+    let progress = std::sync::Arc::new(Progress::new(Some(run_dir), false).unwrap());
+    runner.set_observer(progress.clone());
+    let table = experiments::fig17(&runner);
+    assert!(!table.render().is_empty());
+    progress
+        .write_manifest(&runner, 0, 1.0, &["fig17".to_string()])
+        .unwrap();
+}
+
+fn metricsdiff(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_metricsdiff"))
+        .args(args)
+        .output()
+        .expect("spawn metricsdiff");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    (out.status.code().expect("exit code"), stdout)
+}
+
+#[test]
+fn identical_sweeps_diff_clean_and_perturbation_is_caught() {
+    let root = scratch("metricsdiff-e2e");
+    let cache = root.join("cache");
+    let (run_a, run_b) = (root.join("a"), root.join("b"));
+
+    let suite = Suite::build(wec_workloads::Scale::SMOKE);
+    sweep(&suite, &cache, &run_a); // cold: fills the result cache
+    sweep(&suite, &cache, &run_b); // warm: replays from the store
+
+    // Both observability artifacts validate against the published schemas.
+    for dir in [&run_a, &run_b] {
+        let progress = std::fs::read_to_string(dir.join("progress.jsonl")).unwrap();
+        let r = schema::validate_progress_jsonl(&progress).unwrap();
+        assert!(r.finishes >= 12, "fig17 is 2 configs x 6 benches");
+        let manifest = std::fs::read_to_string(dir.join("run.json")).unwrap();
+        assert!(schema::validate_run_json(&manifest).unwrap() >= 12);
+    }
+    // The cold run simulated; the warm run must be disk hits only.
+    let b_manifest = std::fs::read_to_string(run_b.join("run.json")).unwrap();
+    assert!(b_manifest.contains("\"cold\":0"), "warm run re-simulated");
+
+    let a_json = run_a.join("run.json");
+    let b_json = run_b.join("run.json");
+    let report_json = root.join("report.json");
+
+    // Zero drift between the cold and the cache-replayed run.
+    let (code, stdout) = metricsdiff(&[
+        a_json.to_str().unwrap(),
+        b_json.to_str().unwrap(),
+        "--json",
+        report_json.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "identical sweeps must not drift:\n{stdout}");
+    assert!(stdout.contains("No drift detected"));
+    assert!(std::fs::read_to_string(&report_json)
+        .unwrap()
+        .contains("\"clean\":true"));
+
+    // Run.json also diffs clean against the raw result-cache snapshots
+    // when compared to itself (directory loader smoke test).
+    let (code, _) = metricsdiff(&[cache.to_str().unwrap(), cache.to_str().unwrap()]);
+    assert_eq!(code, 0);
+
+    // Perturb one counter in B: drift must be detected and named.
+    let perturbed =
+        std::fs::read_to_string(&b_json)
+            .unwrap()
+            .replacen("\"cycles\":", "\"cycles\":9", 1);
+    let c_json = root.join("c.json");
+    std::fs::write(&c_json, perturbed).unwrap();
+    let (code, stdout) = metricsdiff(&[a_json.to_str().unwrap(), c_json.to_str().unwrap()]);
+    assert_eq!(code, 1, "perturbed manifest must drift");
+    assert!(stdout.contains("drift(s) detected"));
+    assert!(stdout.contains("cycles"), "drifting metric must be named");
+
+    // Usage errors are distinct from drift.
+    let (code, _) = metricsdiff(&[]);
+    assert_eq!(code, 2);
+
+    let _ = std::fs::remove_dir_all(&root);
+}

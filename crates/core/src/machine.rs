@@ -35,6 +35,7 @@ use wec_mem::l2::SharedL2;
 use wec_mem::stats::AccessKind;
 
 use wec_isa::disasm::disassemble_inst;
+use wec_telemetry::profile::{CycleProfiler, NoProf, Phase, PhaseNs, PhaseSink};
 use wec_telemetry::{TelemetrySummary, TraceEvent};
 
 use crate::config::MachineConfig;
@@ -296,6 +297,10 @@ pub struct Machine {
     program: Arc<Program>,
     tus: Vec<TuSlot>,
     shared: Shared,
+    /// Cycle-loop self-profiler (`None` unless `telemetry.profile` is on);
+    /// kept outside [`Shared`] so the instrumented path can time the whole
+    /// cycle body, which borrows `Shared` mutably.
+    prof: Option<Box<CycleProfiler>>,
 }
 
 /// Result of a completed run.
@@ -373,10 +378,16 @@ impl Machine {
             tel,
             cfg,
         };
+        let prof = if shared.cfg.telemetry.profile {
+            Some(Box::new(CycleProfiler::new(CycleProfiler::DEFAULT_STRIDE)))
+        } else {
+            None
+        };
         Ok(Machine {
             program,
             tus,
             shared,
+            prof,
         })
     }
 
@@ -391,34 +402,23 @@ impl Machine {
         let mut occupants: Vec<Option<u64>> = vec![None; self.tus.len()];
         loop {
             let now = self.shared.now;
-            let n = self.tus.len();
             for (slot, occ) in self.tus.iter().zip(occupants.iter_mut()) {
                 *occ = slot.thread.as_ref().map(|t| t.id.0);
             }
-            for i in 0..n {
-                let slot = &mut self.tus[i];
-                let TuSlot {
-                    core,
-                    dpath,
-                    icache,
-                    sbuf,
-                    thread,
-                    ..
-                } = slot;
-                let mut env = TuEnv {
-                    tu: i,
-                    n_tus: n,
-                    dpath,
-                    icache,
-                    sbuf,
-                    thread,
-                    shared: &mut self.shared,
-                };
-                core.tick(&mut env, now);
-            }
-            self.post_cycle(&occupants);
-            if self.shared.tel.is_some() {
-                self.telemetry_cycle();
+            // One `is_some` branch per cycle when profiling is off; the
+            // sampled path runs the same cycle body through the timing sink.
+            let timed = match self.prof.as_deref() {
+                Some(p) => p.due(now.0),
+                None => false,
+            };
+            if timed {
+                let mut laps = PhaseNs::default();
+                self.cycle(&occupants, now, &mut laps);
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.record(now.0, &laps);
+                }
+            } else {
+                self.cycle(&occupants, now, &mut NoProf);
             }
             if let Some(e) = self.shared.error.take() {
                 return Err(e);
@@ -437,6 +437,41 @@ impl Machine {
         let mut result = self.collect();
         result.telemetry = telemetry;
         Ok(result)
+    }
+
+    /// One machine cycle: tick every thread unit, run the scheduler, drain
+    /// telemetry.  Generic over the [`PhaseSink`] so the profiled and
+    /// unprofiled paths share this one body (see [`Core::tick_with`]).
+    fn cycle<S: PhaseSink>(&mut self, occupants: &[Option<u64>], now: Cycle, sink: &mut S) {
+        let n = self.tus.len();
+        for i in 0..n {
+            let slot = &mut self.tus[i];
+            let TuSlot {
+                core,
+                dpath,
+                icache,
+                sbuf,
+                thread,
+                ..
+            } = slot;
+            let mut env = TuEnv {
+                tu: i,
+                n_tus: n,
+                dpath,
+                icache,
+                sbuf,
+                thread,
+                shared: &mut self.shared,
+            };
+            core.tick_with(sink, &mut env, now);
+        }
+        let mut t = S::mark();
+        self.post_cycle(occupants);
+        sink.lap(&mut t, Phase::Sched);
+        if self.shared.tel.is_some() {
+            self.telemetry_cycle();
+            sink.lap(&mut t, Phase::Telemetry);
+        }
     }
 
     /// Drain the per-component telemetry buffers into the instruments and
@@ -541,6 +576,9 @@ impl Machine {
                 let op = disassemble_inst(&inst, |t| format!("@{t}"));
                 tel.record_commit(cycle, TraceEvent::Commit { tu, seq, pc, op });
             }
+        }
+        if let Some(prof) = self.prof.take() {
+            tel.profile = Some(prof.report(self.shared.now.0 + 1));
         }
         tel.finalize(self.shared.now.0 + 1).map(Some)
     }

@@ -19,6 +19,7 @@ use std::path::PathBuf;
 
 use wec_common::error::{SimError, SimResult};
 use wec_mem::stats::AccessKind;
+use wec_telemetry::profile::{Phase, ProfileReport};
 use wec_telemetry::{
     CacheEvent, EventSink, FlushRec, HistSummary, Log2Histogram, PerfettoTrace, TelemetryConfig,
     TelemetrySummary, TimeSeries, TraceEvent,
@@ -70,6 +71,9 @@ pub(crate) struct MachineTelemetry {
     pub sched_cursor: usize,
     /// Open Perfetto span per TU: (thread id, in-wrong-phase).
     tu_span: Vec<Option<(u64, bool)>>,
+    /// Cycle-loop self-profile, attached by the machine just before
+    /// [`MachineTelemetry::finalize`] when profiling was on.
+    pub profile: Option<ProfileReport>,
 }
 
 impl MachineTelemetry {
@@ -94,6 +98,7 @@ impl MachineTelemetry {
             marked_wrong_at: HashMap::new(),
             sched_cursor: 0,
             tu_span: vec![None; n_tus],
+            profile: None,
         }
     }
 
@@ -306,6 +311,25 @@ impl MachineTelemetry {
             }
         }
 
+        // Host-profile counter tracks: per-phase wall nanoseconds between
+        // profiler checkpoints, laid on the simulated timeline.
+        let profile = self.profile.take();
+        if self.cfg.trace_events {
+            if let Some(report) = &profile {
+                let mut prev = [0u64; wec_telemetry::profile::PHASE_COUNT];
+                for &(cycle, cum) in &report.checkpoints {
+                    for (i, phase) in Phase::ALL.iter().enumerate() {
+                        self.perfetto.counter(
+                            cycle,
+                            &format!("prof_{}_ns", phase.name()),
+                            cum[i] - prev[i],
+                        );
+                    }
+                    prev = cum;
+                }
+            }
+        }
+
         let hists = [
             ("load_to_fill", &self.h_load_to_fill),
             ("wec_fill_to_hit", &self.h_fill_to_hit),
@@ -357,6 +381,11 @@ impl MachineTelemetry {
                 self.perfetto.write_to(&ppath).map_err(io)?;
                 files.push(ppath);
             }
+            if let Some(report) = &profile {
+                let path = dir.join("profile.json");
+                std::fs::write(&path, report.to_json()).map_err(io)?;
+                files.push(path);
+            }
         }
 
         let mut events_by_kind = self.sink.counts();
@@ -373,6 +402,7 @@ impl MachineTelemetry {
             samples: self.series.len() as u64,
             histograms,
             files,
+            profile,
         })
     }
 }

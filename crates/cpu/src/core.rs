@@ -21,6 +21,7 @@ use wec_isa::inst::{FuClass, Inst, LoadKind};
 use wec_isa::program::Program;
 use wec_isa::reg::Reg;
 use wec_isa::semantics::sext;
+use wec_telemetry::profile::{NoProf, Phase, PhaseSink};
 use wec_telemetry::{FlushRec, FlushTrace};
 
 use crate::bpred::{Btb, DirectionPredictor, Ras};
@@ -275,21 +276,34 @@ impl Core {
 
     /// Advance one cycle.
     pub fn tick(&mut self, env: &mut dyn CoreEnv, now: Cycle) {
+        self.tick_with(&mut NoProf, env, now);
+    }
+
+    /// [`Core::tick`] with per-phase wall-clock attribution.  The pipeline
+    /// is written once, generic over the [`PhaseSink`]; the [`NoProf`]
+    /// instantiation (what [`Core::tick`] calls) monomorphizes to exactly
+    /// the uninstrumented loop, so profiling costs nothing when off.
+    pub fn tick_with<S: PhaseSink>(&mut self, sink: &mut S, env: &mut dyn CoreEnv, now: Cycle) {
+        let mut t = S::mark();
         // Wrong-path loads keep issuing even while the core itself idles
         // (e.g. a wrong thread already died but its loads are queued).
         self.wp_engine.tick(env, now, 2);
+        sink.lap(&mut t, Phase::Mem);
         if !self.running {
             return;
         }
         self.stats.active_cycles.inc();
         self.commit(env, now);
+        sink.lap(&mut t, Phase::CommitRecovery);
         if !self.running {
             return;
         }
         self.complete(now);
         self.issue(env, now);
+        sink.lap(&mut t, Phase::Exec);
         self.dispatch(now);
         self.fetch(env, now);
+        sink.lap(&mut t, Phase::FetchRename);
     }
 
     // -------- commit --------

@@ -33,6 +33,8 @@ pub mod event;
 pub mod hist;
 pub mod json;
 pub mod perfetto;
+pub mod profile;
+pub mod report;
 pub mod sampler;
 pub mod schema;
 pub mod sink;
@@ -40,6 +42,8 @@ pub mod sink;
 pub use event::{CacheEvent, CacheTrace, FlushRec, FlushTrace, TraceEvent};
 pub use hist::Log2Histogram;
 pub use perfetto::PerfettoTrace;
+pub use profile::{CycleProfiler, NoProf, Phase, PhaseNs, PhaseSink, ProfileReport};
+pub use report::{ProgressWriter, RunManifest, SlowPoint};
 pub use sampler::TimeSeries;
 pub use sink::EventSink;
 
@@ -56,15 +60,19 @@ pub struct TelemetryConfig {
     /// (0 = off).
     pub sample_interval: u64,
     /// Where to write `events.jsonl` / `timeseries.csv` /
-    /// `histograms.json` / `trace.perfetto.json` at the end of a run.
-    /// `None` keeps everything in memory (summaries only).
+    /// `histograms.json` / `trace.perfetto.json` / `profile.json` at the
+    /// end of a run.  `None` keeps everything in memory (summaries only).
     pub out_dir: Option<PathBuf>,
+    /// Sampled per-phase wall-clock attribution of the cycle loop
+    /// ([`profile::CycleProfiler`]); exported as `profile.json` and, when
+    /// the event trace is also on, as Perfetto counter tracks.
+    pub profile: bool,
 }
 
 impl TelemetryConfig {
     /// Is any instrument on?
     pub fn enabled(&self) -> bool {
-        self.trace_events || self.sample_interval > 0
+        self.trace_events || self.sample_interval > 0 || self.profile
     }
 }
 
@@ -89,6 +97,8 @@ pub struct TelemetrySummary {
     pub histograms: Vec<HistSummary>,
     /// Files written (empty when `out_dir` was `None`).
     pub files: Vec<PathBuf>,
+    /// Cycle-loop self-profile (`None` unless profiling was on).
+    pub profile: Option<ProfileReport>,
 }
 
 impl TelemetrySummary {

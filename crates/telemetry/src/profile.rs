@@ -1,0 +1,281 @@
+//! Cycle-loop self-profiling: coarse, sampled wall-clock attribution of
+//! where the *host* spends its time inside the simulated cycle loop.
+//!
+//! The machine's cycle loop is partitioned into named [`Phase`]s
+//! (fetch/rename, exec, mem, commit/recovery, scheduler, telemetry drain).
+//! Timing every cycle would distort exactly the loop being measured, so the
+//! profiler samples: every [`CycleProfiler::stride`]-th cycle runs through
+//! the instrumented path and charges each phase with `Instant` lap times;
+//! all other cycles run the uninstrumented path.  Phase shares are stable
+//! under sampling because consecutive cycles do similar work; absolute
+//! totals are estimates scaled by the sampling ratio.
+//!
+//! The instrumented and uninstrumented paths share one generic body via
+//! [`PhaseSink`]: the [`NoProf`] sink has unit marks and empty laps, so the
+//! un-profiled instantiation compiles to exactly the pre-profiling code and
+//! the zero-cost-when-off guarantee holds by construction.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A section of the simulated cycle loop, in host-wall-clock terms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Instruction fetch, decode and rename (`dispatch` + `fetch`).
+    FetchRename = 0,
+    /// Wakeup, select and execute (`complete` + `issue`).
+    Exec = 1,
+    /// The wrong-path memory engine (speculative load issue).
+    Mem = 2,
+    /// In-order commit, branch recovery and pipeline flushes.
+    CommitRecovery = 3,
+    /// The machine-level scheduler: forks, kills, write-back, bus.
+    Sched = 4,
+    /// Draining the gated telemetry buffers and interval sampling.
+    Telemetry = 5,
+}
+
+/// Number of [`Phase`] variants (array sizes below).
+pub const PHASE_COUNT: usize = 6;
+
+impl Phase {
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::FetchRename,
+        Phase::Exec,
+        Phase::Mem,
+        Phase::CommitRecovery,
+        Phase::Sched,
+        Phase::Telemetry,
+    ];
+
+    /// Stable snake-case name used in `profile.json` and Perfetto tracks.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::FetchRename => "fetch_rename",
+            Phase::Exec => "exec",
+            Phase::Mem => "mem",
+            Phase::CommitRecovery => "commit_recovery",
+            Phase::Sched => "sched",
+            Phase::Telemetry => "telemetry",
+        }
+    }
+}
+
+/// Receiver for phase lap times.  The cycle loop is written once, generic
+/// over the sink; monomorphization gives an instrumented and an untouched
+/// copy of the loop.
+pub trait PhaseSink {
+    /// Lap-timer state ( `()` when not timing, so it costs nothing).
+    type Mark;
+    fn mark() -> Self::Mark;
+    /// Charge the time since `mark` to `phase` and restart the lap timer.
+    fn lap(&mut self, mark: &mut Self::Mark, phase: Phase);
+}
+
+/// The do-nothing sink: the un-profiled cycle path.
+pub struct NoProf;
+
+impl PhaseSink for NoProf {
+    type Mark = ();
+    #[inline(always)]
+    fn mark() {}
+    #[inline(always)]
+    fn lap(&mut self, _mark: &mut (), _phase: Phase) {}
+}
+
+/// Nanoseconds accumulated per phase over one (or more) sampled cycles.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseNs {
+    pub ns: [u64; PHASE_COUNT],
+}
+
+impl PhaseSink for PhaseNs {
+    type Mark = Instant;
+    #[inline]
+    fn mark() -> Instant {
+        Instant::now()
+    }
+    #[inline]
+    fn lap(&mut self, mark: &mut Instant, phase: Phase) {
+        let now = Instant::now();
+        self.ns[phase as usize] += now.duration_since(*mark).as_nanos() as u64;
+        *mark = now;
+    }
+}
+
+/// Stride-sampled accumulator owned by the machine while profiling is on.
+pub struct CycleProfiler {
+    stride: u64,
+    sampled_cycles: u64,
+    ns: [u64; PHASE_COUNT],
+    /// Cumulative `(cycle, ns-per-phase)` snapshots taken every
+    /// [`Self::CHECKPOINT_EVERY`] sampled cycles; they become the Perfetto
+    /// counter tracks.
+    checkpoints: Vec<(u64, [u64; PHASE_COUNT])>,
+}
+
+impl CycleProfiler {
+    /// Default sampling stride: one cycle in 64 is timed.
+    pub const DEFAULT_STRIDE: u64 = 64;
+    /// Sampled cycles between Perfetto counter checkpoints.
+    pub const CHECKPOINT_EVERY: u64 = 256;
+
+    pub fn new(stride: u64) -> CycleProfiler {
+        CycleProfiler {
+            stride: stride.max(1),
+            sampled_cycles: 0,
+            ns: [0; PHASE_COUNT],
+            checkpoints: Vec::new(),
+        }
+    }
+
+    /// Should `cycle` run through the instrumented path?
+    #[inline]
+    pub fn due(&self, cycle: u64) -> bool {
+        cycle.is_multiple_of(self.stride)
+    }
+
+    /// Fold one instrumented cycle's lap times in.
+    pub fn record(&mut self, cycle: u64, laps: &PhaseNs) {
+        for (acc, &ns) in self.ns.iter_mut().zip(laps.ns.iter()) {
+            *acc += ns;
+        }
+        self.sampled_cycles += 1;
+        if self.sampled_cycles.is_multiple_of(Self::CHECKPOINT_EVERY) {
+            self.checkpoints.push((cycle, self.ns));
+        }
+    }
+
+    /// Close the profile over a run of `total_cycles` machine cycles.
+    pub fn report(&self, total_cycles: u64) -> ProfileReport {
+        ProfileReport {
+            stride: self.stride,
+            sampled_cycles: self.sampled_cycles,
+            total_cycles,
+            ns: self.ns,
+            checkpoints: self.checkpoints.clone(),
+        }
+    }
+}
+
+/// The finished per-phase attribution, exported as `profile.json` and
+/// summarized on the run result.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileReport {
+    pub stride: u64,
+    pub sampled_cycles: u64,
+    pub total_cycles: u64,
+    /// Wall nanoseconds charged to each phase across the sampled cycles.
+    pub ns: [u64; PHASE_COUNT],
+    /// Cumulative `(cycle, ns)` snapshots for counter tracks.
+    pub checkpoints: Vec<(u64, [u64; PHASE_COUNT])>,
+}
+
+impl ProfileReport {
+    /// Total sampled wall time across all phases.
+    pub fn wall_ns_sampled(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Fraction of the sampled wall time spent in each phase (all zero for
+    /// an empty profile).
+    pub fn shares(&self) -> [f64; PHASE_COUNT] {
+        let total = self.wall_ns_sampled();
+        let mut out = [0.0; PHASE_COUNT];
+        if total > 0 {
+            for (o, &ns) in out.iter_mut().zip(self.ns.iter()) {
+                *o = ns as f64 / total as f64;
+            }
+        }
+        out
+    }
+
+    /// Serialize as the `profile.json` document (`wec-profile-v1`).
+    pub fn to_json(&self) -> String {
+        let shares = self.shares();
+        let mut out = String::from("{\"schema\":\"wec-profile-v1\"");
+        let _ = write!(
+            out,
+            ",\"stride\":{},\"sampled_cycles\":{},\"total_cycles\":{},\"wall_ns_sampled\":{}",
+            self.stride,
+            self.sampled_cycles,
+            self.total_cycles,
+            self.wall_ns_sampled()
+        );
+        out.push_str(",\"phases\":{");
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"ns\":{},\"share\":{:.6}}}",
+                phase.name(),
+                self.ns[i],
+                shares[i]
+            );
+        }
+        out.push_str("}}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noprof_is_inert_and_phasens_accumulates() {
+        let mut none = NoProf;
+        none.lap(&mut NoProf::mark(), Phase::Exec);
+
+        let mut ns = PhaseNs::default();
+        let mut mark = PhaseNs::mark();
+        std::hint::black_box(0u64);
+        ns.lap(&mut mark, Phase::Exec);
+        ns.lap(&mut mark, Phase::Mem);
+        assert!(ns.ns.iter().filter(|&&n| n > 0).count() >= 1);
+    }
+
+    #[test]
+    fn profiler_samples_on_stride_and_checkpoints() {
+        let mut p = CycleProfiler::new(4);
+        assert!(p.due(0));
+        assert!(!p.due(3));
+        assert!(p.due(8));
+        let mut laps = PhaseNs::default();
+        laps.ns[Phase::Exec as usize] = 10;
+        for cycle in 0..(CycleProfiler::CHECKPOINT_EVERY * 2) {
+            p.record(cycle * 4, &laps);
+        }
+        let r = p.report(CycleProfiler::CHECKPOINT_EVERY * 8);
+        assert_eq!(r.sampled_cycles, CycleProfiler::CHECKPOINT_EVERY * 2);
+        assert_eq!(r.ns[Phase::Exec as usize], 10 * r.sampled_cycles);
+        assert_eq!(r.checkpoints.len(), 2);
+        assert!((r.shares()[Phase::Exec as usize] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_json_is_parseable_and_complete() {
+        let mut p = CycleProfiler::new(CycleProfiler::DEFAULT_STRIDE);
+        let laps = PhaseNs {
+            ns: [1, 2, 3, 4, 5, 6],
+        };
+        p.record(0, &laps);
+        let text = p.report(64).to_json();
+        let v = crate::json::parse(&text).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("wec-profile-v1"));
+        assert_eq!(v.get("wall_ns_sampled").unwrap().as_u64(), Some(21));
+        let phases = v.get("phases").unwrap();
+        for ph in Phase::ALL {
+            assert!(phases.get(ph.name()).is_some(), "missing {}", ph.name());
+        }
+    }
+
+    #[test]
+    fn empty_profile_has_zero_shares() {
+        let r = CycleProfiler::new(64).report(0);
+        assert_eq!(r.shares(), [0.0; PHASE_COUNT]);
+        assert!(r.to_json().contains("\"share\":0.000000"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Run-level reporting: the `progress.jsonl` stream and the `run.json`
+//! manifest an experiment sweep leaves behind.
+//!
+//! A sweep is hundreds of simulations resolved from a result cache or run
+//! cold across host threads; this module gives it the same treatment PR 2
+//! gave individual simulations.  [`ProgressWriter`] streams one JSONL line
+//! per simulation start/finish (flushed eagerly, so a live `tail -f` or the
+//! TTY renderer always sees the current state), and [`RunManifest`]
+//! aggregates the sweep — cache accounting, throughput, the slowest points,
+//! and the full per-point metric map that `metricsdiff` compares between
+//! runs.  Both formats are hand-rolled JSON with validators in
+//! [`crate::schema`], like every other artifact in this crate.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::json::escape_into;
+
+/// Streaming writer for `progress.jsonl`.  One line per event, flushed per
+/// event; times are milliseconds since the start of the run, supplied by
+/// the caller from one monotonic clock so lines are time-ordered.
+pub struct ProgressWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    lines: u64,
+}
+
+impl ProgressWriter {
+    pub fn create(path: &Path) -> io::Result<ProgressWriter> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(ProgressWriter {
+            out: BufWriter::new(File::create(path)?),
+            path: path.to_path_buf(),
+            lines: 0,
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    fn emit(&mut self, line: String) -> io::Result<()> {
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// A simulation left the cache path and started running cold.
+    pub fn start(&mut self, t_ms: u64, bench: &str, cfg: &str, worker: usize) -> io::Result<()> {
+        let mut line = String::from("{\"event\":\"start\"");
+        let _ = write!(line, ",\"t_ms\":{t_ms},\"bench\":");
+        escape_into(&mut line, bench);
+        line.push_str(",\"cfg\":");
+        escape_into(&mut line, cfg);
+        let _ = write!(line, ",\"worker\":{worker}}}");
+        self.emit(line)
+    }
+
+    /// A simulation finished (or was satisfied from the result cache, in
+    /// which case `cache` is `"disk"` and `dur_ms` is the load time).
+    #[allow(clippy::too_many_arguments)]
+    pub fn finish(
+        &mut self,
+        t_ms: u64,
+        bench: &str,
+        cfg: &str,
+        worker: usize,
+        cache: &str,
+        dur_ms: u64,
+        sim_cycles: u64,
+    ) -> io::Result<()> {
+        let kcps = if dur_ms == 0 {
+            0.0
+        } else {
+            sim_cycles as f64 / dur_ms as f64
+        };
+        let mut line = String::from("{\"event\":\"finish\"");
+        let _ = write!(line, ",\"t_ms\":{t_ms},\"bench\":");
+        escape_into(&mut line, bench);
+        line.push_str(",\"cfg\":");
+        escape_into(&mut line, cfg);
+        let _ = write!(line, ",\"worker\":{worker},\"cache\":");
+        escape_into(&mut line, cache);
+        let _ = write!(
+            line,
+            ",\"dur_ms\":{dur_ms},\"sim_cycles\":{sim_cycles},\"kcps\":{kcps:.1}}}"
+        );
+        self.emit(line)
+    }
+}
+
+/// One of the slowest simulations of a sweep, kept for the manifest.
+#[derive(Clone, Debug)]
+pub struct SlowPoint {
+    pub bench: String,
+    pub cfg: String,
+    pub cache: &'static str,
+    pub dur_ms: u64,
+}
+
+/// The `run.json` manifest (`wec-run-manifest-v1`): everything a later
+/// reader needs to understand and compare a finished sweep.
+#[derive(Clone, Debug, Default)]
+pub struct RunManifest {
+    /// Workload scale units the sweep ran at.
+    pub scale: u64,
+    /// Host machine identity (best effort, `"unknown"` when unavailable).
+    pub host: String,
+    /// Simulator revision the results belong to.
+    pub sim_revision: u64,
+    /// Whole-sweep wall time in seconds.
+    pub wall_s: f64,
+    /// Cache-path accounting: cold simulations, persistent-store hits, and
+    /// in-process memoization hits, counted per lookup.
+    pub cold: u64,
+    pub disk_hits: u64,
+    pub mem_hits: u64,
+    /// Simulated cycles and wall milliseconds summed over *cold* runs only
+    /// (the ETA model inputs: cycles/sec and mean cold duration).
+    pub cold_sim_cycles: u64,
+    pub cold_wall_ms: u64,
+    /// The slowest simulations, already sorted and capped by the caller.
+    pub slowest: Vec<SlowPoint>,
+    /// Names of the tables/figures the sweep regenerated.
+    pub tables: Vec<String>,
+    /// Per-point metrics: `(point label, [(metric, value)])`, sorted by
+    /// label.  This is the subtree `metricsdiff` compares.
+    pub metrics: Vec<(String, Vec<(String, u64)>)>,
+}
+
+impl RunManifest {
+    /// Fraction of distinct simulations satisfied by the persistent store
+    /// instead of running cold.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let distinct = self.cold + self.disk_hits;
+        if distinct == 0 {
+            0.0
+        } else {
+            self.disk_hits as f64 / distinct as f64
+        }
+    }
+
+    /// Serialize as the `run.json` document.
+    pub fn to_json(&self) -> String {
+        let lookups = self.cold + self.disk_hits + self.mem_hits;
+        let mean_cold_ms = if self.cold == 0 {
+            0.0
+        } else {
+            self.cold_wall_ms as f64 / self.cold as f64
+        };
+        let cycles_per_sec = if self.cold_wall_ms == 0 {
+            0.0
+        } else {
+            self.cold_sim_cycles as f64 * 1000.0 / self.cold_wall_ms as f64
+        };
+        let mut out = String::from("{\"schema\":\"wec-run-manifest-v1\"");
+        let _ = write!(out, ",\"scale\":{},\"host\":", self.scale);
+        escape_into(&mut out, &self.host);
+        let _ = write!(
+            out,
+            ",\"sim_revision\":{},\"wall_s\":{:.3}",
+            self.sim_revision, self.wall_s
+        );
+        let _ = write!(
+            out,
+            ",\"simulations\":{{\"lookups\":{lookups},\"cold\":{},\"disk_hits\":{},\"mem_hits\":{},\"cache_hit_rate\":{:.6}}}",
+            self.cold,
+            self.disk_hits,
+            self.mem_hits,
+            self.cache_hit_rate()
+        );
+        let _ = write!(
+            out,
+            ",\"eta\":{{\"mean_cold_ms\":{mean_cold_ms:.3},\"sim_cycles_per_sec\":{cycles_per_sec:.1}}}"
+        );
+        out.push_str(",\"slowest\":[");
+        for (i, p) in self.slowest.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"bench\":");
+            escape_into(&mut out, &p.bench);
+            out.push_str(",\"cfg\":");
+            escape_into(&mut out, &p.cfg);
+            out.push_str(",\"cache\":");
+            escape_into(&mut out, p.cache);
+            let _ = write!(out, ",\"dur_ms\":{}}}", p.dur_ms);
+        }
+        out.push_str("],\"tables\":[");
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, t);
+        }
+        out.push_str("],\"metrics\":{");
+        for (i, (label, kv)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, label);
+            out.push_str(":{");
+            for (j, (k, v)) in kv.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                escape_into(&mut out, k);
+                let _ = write!(out, ":{v}");
+            }
+            out.push('}');
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Serialize and write to `path`.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn manifest() -> RunManifest {
+        RunManifest {
+            scale: 1,
+            host: "testhost".into(),
+            sim_revision: 1,
+            wall_s: 2.5,
+            cold: 10,
+            disk_hits: 2,
+            mem_hits: 30,
+            cold_sim_cycles: 1_000_000,
+            cold_wall_ms: 500,
+            slowest: vec![SlowPoint {
+                bench: "181.mcf".into(),
+                cfg: "wth-wp-wec/t8".into(),
+                cache: "cold",
+                dur_ms: 120,
+            }],
+            tables: vec!["fig17".into()],
+            metrics: vec![(
+                "181.mcf|wth-wp-wec/t8".into(),
+                vec![("cycles".into(), 123), ("checksum".into(), 9)],
+            )],
+        }
+    }
+
+    #[test]
+    fn manifest_json_round_trips_through_the_parser() {
+        let m = manifest();
+        let v = json::parse(&m.to_json()).unwrap();
+        assert_eq!(
+            v.get("schema").unwrap().as_str(),
+            Some("wec-run-manifest-v1")
+        );
+        let sims = v.get("simulations").unwrap();
+        assert_eq!(sims.get("lookups").unwrap().as_u64(), Some(42));
+        assert_eq!(sims.get("cold").unwrap().as_u64(), Some(10));
+        let rate = sims.get("cache_hit_rate").unwrap().as_f64().unwrap();
+        assert!((rate - 2.0 / 12.0).abs() < 1e-6);
+        let eta = v.get("eta").unwrap();
+        assert_eq!(eta.get("mean_cold_ms").unwrap().as_f64(), Some(50.0));
+        let point = v
+            .get("metrics")
+            .unwrap()
+            .get("181.mcf|wth-wp-wec/t8")
+            .unwrap();
+        assert_eq!(point.get("cycles").unwrap().as_u64(), Some(123));
+    }
+
+    #[test]
+    fn progress_writer_streams_jsonl() {
+        let dir = std::env::temp_dir().join(format!("wec-progress-{}", std::process::id()));
+        let path = dir.join("progress.jsonl");
+        let mut w = ProgressWriter::create(&path).unwrap();
+        w.start(5, "181.mcf", "orig/t8", 0).unwrap();
+        w.finish(17, "181.mcf", "orig/t8", 0, "cold", 12, 48_000)
+            .unwrap();
+        w.finish(18, "164.gzip", "orig/t8", 1, "disk", 0, 9_000)
+            .unwrap();
+        assert_eq!(w.lines(), 3);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let first = json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("event").unwrap().as_str(), Some("start"));
+        let second = json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("kcps").unwrap().as_f64(), Some(4000.0));
+        let third = json::parse(lines[2]).unwrap();
+        assert_eq!(third.get("cache").unwrap().as_str(), Some("disk"));
+        assert_eq!(third.get("kcps").unwrap().as_f64(), Some(0.0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

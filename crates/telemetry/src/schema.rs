@@ -329,6 +329,288 @@ pub fn validate_perfetto(text: &str) -> Result<u64, String> {
     Ok(events.len() as u64)
 }
 
+fn require_u64(v: &Json, key: &str, ctx: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{ctx}: missing/invalid {key:?}"))
+}
+
+fn require_f64(v: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{ctx}: missing/invalid {key:?}"))
+}
+
+fn require_str<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{ctx}: missing/invalid {key:?}"))
+}
+
+fn no_extra_fields(v: &Json, allowed: &[&str], ctx: &str) -> Result<(), String> {
+    let Json::Obj(fields) = v else {
+        return Err(format!("{ctx}: not a JSON object"));
+    };
+    for (name, _) in fields {
+        if !allowed.contains(&name.as_str()) {
+            return Err(format!("{ctx}: unexpected field {name:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// What a validated `progress.jsonl` stream contained.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProgressReport {
+    pub starts: u64,
+    pub finishes: u64,
+}
+
+/// Validate a `progress.jsonl` stream: every line is a `start` or `finish`
+/// event with exactly the declared fields, `t_ms` non-decreasing, `cache`
+/// one of `cold`/`disk`/`mem`, and no more finishes than starts + cached
+/// satisfactions can explain (finishes ≥ starts, since cache hits emit
+/// finish-only lines).
+pub fn validate_progress_jsonl(text: &str) -> Result<ProgressReport, String> {
+    let mut report = ProgressReport::default();
+    let mut last_t = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        let ctx = format!("progress.jsonl line {}", lineno + 1);
+        if line.trim().is_empty() {
+            return Err(format!("{ctx}: blank line"));
+        }
+        let v = json::parse(line).map_err(|e| format!("{ctx}: {e}"))?;
+        let event = require_str(&v, "event", &ctx)?;
+        let t = require_u64(&v, "t_ms", &ctx)?;
+        if t < last_t {
+            return Err(format!("{ctx}: t_ms {t} went backwards from {last_t}"));
+        }
+        last_t = t;
+        require_str(&v, "bench", &ctx)?;
+        require_str(&v, "cfg", &ctx)?;
+        require_u64(&v, "worker", &ctx)?;
+        match event {
+            "start" => {
+                no_extra_fields(&v, &["event", "t_ms", "bench", "cfg", "worker"], &ctx)?;
+                report.starts += 1;
+            }
+            "finish" => {
+                let cache = require_str(&v, "cache", &ctx)?;
+                if !["cold", "disk", "mem"].contains(&cache) {
+                    return Err(format!("{ctx}: unknown cache source {cache:?}"));
+                }
+                require_u64(&v, "dur_ms", &ctx)?;
+                require_u64(&v, "sim_cycles", &ctx)?;
+                require_f64(&v, "kcps", &ctx)?;
+                no_extra_fields(
+                    &v,
+                    &[
+                        "event",
+                        "t_ms",
+                        "bench",
+                        "cfg",
+                        "worker",
+                        "cache",
+                        "dur_ms",
+                        "sim_cycles",
+                        "kcps",
+                    ],
+                    &ctx,
+                )?;
+                report.finishes += 1;
+            }
+            other => return Err(format!("{ctx}: unknown event {other:?}")),
+        }
+    }
+    if report.finishes < report.starts {
+        return Err(format!(
+            "progress.jsonl: {} starts but only {} finishes",
+            report.starts, report.finishes
+        ));
+    }
+    Ok(report)
+}
+
+/// Validate a `run.json` manifest (`wec-run-manifest-v1`).  Returns the
+/// number of metric points the manifest carries.
+pub fn validate_run_json(text: &str) -> Result<usize, String> {
+    let v = json::parse(text).map_err(|e| format!("run.json: {e}"))?;
+    let ctx = "run.json";
+    let schema = require_str(&v, "schema", ctx)?;
+    if schema != "wec-run-manifest-v1" {
+        return Err(format!("{ctx}: unknown schema {schema:?}"));
+    }
+    require_u64(&v, "scale", ctx)?;
+    require_str(&v, "host", ctx)?;
+    require_u64(&v, "sim_revision", ctx)?;
+    require_f64(&v, "wall_s", ctx)?;
+    no_extra_fields(
+        &v,
+        &[
+            "schema",
+            "scale",
+            "host",
+            "sim_revision",
+            "wall_s",
+            "simulations",
+            "eta",
+            "slowest",
+            "tables",
+            "metrics",
+        ],
+        ctx,
+    )?;
+
+    let sims = v
+        .get("simulations")
+        .ok_or_else(|| format!("{ctx}: missing \"simulations\""))?;
+    let sctx = "run.json simulations";
+    let lookups = require_u64(sims, "lookups", sctx)?;
+    let cold = require_u64(sims, "cold", sctx)?;
+    let disk = require_u64(sims, "disk_hits", sctx)?;
+    let mem = require_u64(sims, "mem_hits", sctx)?;
+    if cold + disk + mem != lookups {
+        return Err(format!(
+            "{sctx}: cold {cold} + disk {disk} + mem {mem} != lookups {lookups}"
+        ));
+    }
+    let rate = require_f64(sims, "cache_hit_rate", sctx)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("{sctx}: cache_hit_rate {rate} out of [0,1]"));
+    }
+    no_extra_fields(
+        sims,
+        &["lookups", "cold", "disk_hits", "mem_hits", "cache_hit_rate"],
+        sctx,
+    )?;
+
+    let eta = v
+        .get("eta")
+        .ok_or_else(|| format!("{ctx}: missing \"eta\""))?;
+    require_f64(eta, "mean_cold_ms", "run.json eta")?;
+    require_f64(eta, "sim_cycles_per_sec", "run.json eta")?;
+    no_extra_fields(eta, &["mean_cold_ms", "sim_cycles_per_sec"], "run.json eta")?;
+
+    let slowest = v
+        .get("slowest")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{ctx}: missing \"slowest\" array"))?;
+    for (i, p) in slowest.iter().enumerate() {
+        let pctx = format!("run.json slowest[{i}]");
+        require_str(p, "bench", &pctx)?;
+        require_str(p, "cfg", &pctx)?;
+        let cache = require_str(p, "cache", &pctx)?;
+        if !["cold", "disk", "mem"].contains(&cache) {
+            return Err(format!("{pctx}: unknown cache source {cache:?}"));
+        }
+        require_u64(p, "dur_ms", &pctx)?;
+        no_extra_fields(p, &["bench", "cfg", "cache", "dur_ms"], &pctx)?;
+    }
+
+    let tables = v
+        .get("tables")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{ctx}: missing \"tables\" array"))?;
+    for t in tables {
+        if t.as_str().is_none() {
+            return Err(format!("{ctx}: non-string table name"));
+        }
+    }
+
+    let metrics = v
+        .get("metrics")
+        .ok_or_else(|| format!("{ctx}: missing \"metrics\""))?;
+    let Json::Obj(points) = metrics else {
+        return Err(format!("{ctx}: \"metrics\" is not an object"));
+    };
+    for (label, point) in points {
+        let Json::Obj(kv) = point else {
+            return Err(format!("{ctx}: metrics point {label:?} is not an object"));
+        };
+        for (metric, value) in kv {
+            if value.as_u64().is_none() {
+                return Err(format!(
+                    "{ctx}: metrics point {label:?} field {metric:?} is not a u64"
+                ));
+            }
+        }
+    }
+    Ok(points.len())
+}
+
+/// Validate a `profile.json` document (`wec-profile-v1`) against the
+/// [`crate::profile::Phase`] set.  Returns the phase names.
+pub fn validate_profile_json(text: &str) -> Result<Vec<String>, String> {
+    let v = json::parse(text).map_err(|e| format!("profile.json: {e}"))?;
+    let ctx = "profile.json";
+    let schema = require_str(&v, "schema", ctx)?;
+    if schema != "wec-profile-v1" {
+        return Err(format!("{ctx}: unknown schema {schema:?}"));
+    }
+    let stride = require_u64(&v, "stride", ctx)?;
+    if stride == 0 {
+        return Err(format!("{ctx}: stride must be >= 1"));
+    }
+    let sampled = require_u64(&v, "sampled_cycles", ctx)?;
+    let total = require_u64(&v, "total_cycles", ctx)?;
+    if sampled > total {
+        return Err(format!(
+            "{ctx}: sampled_cycles {sampled} exceeds total_cycles {total}"
+        ));
+    }
+    let wall = require_u64(&v, "wall_ns_sampled", ctx)?;
+    no_extra_fields(
+        &v,
+        &[
+            "schema",
+            "stride",
+            "sampled_cycles",
+            "total_cycles",
+            "wall_ns_sampled",
+            "phases",
+        ],
+        ctx,
+    )?;
+    let phases = v
+        .get("phases")
+        .ok_or_else(|| format!("{ctx}: missing \"phases\""))?;
+    let Json::Obj(fields) = phases else {
+        return Err(format!("{ctx}: \"phases\" is not an object"));
+    };
+    let known: Vec<&str> = crate::profile::Phase::ALL
+        .iter()
+        .map(|p| p.name())
+        .collect();
+    let mut names = Vec::new();
+    let mut ns_total = 0u64;
+    for (name, ph) in fields {
+        if !known.contains(&name.as_str()) {
+            return Err(format!("{ctx}: unknown phase {name:?}"));
+        }
+        let pctx = format!("profile.json phase {name}");
+        ns_total += require_u64(ph, "ns", &pctx)?;
+        let share = require_f64(ph, "share", &pctx)?;
+        if !(0.0..=1.0).contains(&share) {
+            return Err(format!("{pctx}: share {share} out of [0,1]"));
+        }
+        no_extra_fields(ph, &["ns", "share"], &pctx)?;
+        names.push(name.clone());
+    }
+    if names.len() != known.len() {
+        return Err(format!(
+            "{ctx}: {} phases present, schema declares {}",
+            names.len(),
+            known.len()
+        ));
+    }
+    if ns_total != wall {
+        return Err(format!(
+            "{ctx}: phase ns sum to {ns_total}, wall_ns_sampled says {wall}"
+        ));
+    }
+    Ok(names)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +735,107 @@ mod tests {
         let bad =
             "{\"h\":{\"count\":4,\"sum\":111,\"min\":5,\"max\":100,\"buckets\":[[4,2],[64,1]]}}";
         assert!(validate_histograms_json(bad).is_err());
+    }
+
+    #[test]
+    fn progress_validation() {
+        let mut w = crate::report::ProgressWriter::create(
+            &std::env::temp_dir().join(format!("wec-progress-schema-{}.jsonl", std::process::id())),
+        )
+        .unwrap();
+        w.start(1, "181.mcf", "orig/t8", 0).unwrap();
+        w.finish(9, "181.mcf", "orig/t8", 0, "cold", 8, 1000)
+            .unwrap();
+        w.finish(9, "164.gzip", "orig/t8", 1, "disk", 0, 500)
+            .unwrap();
+        let text = std::fs::read_to_string(w.path()).unwrap();
+        let r = validate_progress_jsonl(&text).unwrap();
+        assert_eq!(
+            r,
+            ProgressReport {
+                starts: 1,
+                finishes: 2
+            }
+        );
+        std::fs::remove_file(w.path()).unwrap();
+
+        // Unknown event, bad cache source, extra field, time regression,
+        // more starts than finishes.
+        assert!(validate_progress_jsonl(
+            "{\"event\":\"pause\",\"t_ms\":1,\"bench\":\"b\",\"cfg\":\"c\",\"worker\":0}\n"
+        )
+        .is_err());
+        assert!(validate_progress_jsonl(
+            "{\"event\":\"finish\",\"t_ms\":1,\"bench\":\"b\",\"cfg\":\"c\",\"worker\":0,\"cache\":\"warm\",\"dur_ms\":1,\"sim_cycles\":2,\"kcps\":2.0}\n"
+        )
+        .is_err());
+        assert!(validate_progress_jsonl(
+            "{\"event\":\"start\",\"t_ms\":1,\"bench\":\"b\",\"cfg\":\"c\",\"worker\":0,\"x\":1}\n"
+        )
+        .is_err());
+        assert!(validate_progress_jsonl(
+            "{\"event\":\"start\",\"t_ms\":5,\"bench\":\"b\",\"cfg\":\"c\",\"worker\":0}\n{\"event\":\"start\",\"t_ms\":4,\"bench\":\"b\",\"cfg\":\"c\",\"worker\":0}\n"
+        )
+        .is_err());
+        assert!(validate_progress_jsonl(
+            "{\"event\":\"start\",\"t_ms\":1,\"bench\":\"b\",\"cfg\":\"c\",\"worker\":0}\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn run_manifest_validation() {
+        let m = crate::report::RunManifest {
+            scale: 1,
+            host: "h".into(),
+            sim_revision: 1,
+            wall_s: 1.0,
+            cold: 2,
+            disk_hits: 1,
+            mem_hits: 4,
+            cold_sim_cycles: 100,
+            cold_wall_ms: 10,
+            slowest: vec![crate::report::SlowPoint {
+                bench: "181.mcf".into(),
+                cfg: "orig/t8".into(),
+                cache: "cold",
+                dur_ms: 7,
+            }],
+            tables: vec!["fig17".into()],
+            metrics: vec![("181.mcf|orig/t8".into(), vec![("cycles".into(), 5)])],
+        };
+        assert_eq!(validate_run_json(&m.to_json()).unwrap(), 1);
+
+        assert!(validate_run_json("{\"schema\":\"nope\"}").is_err());
+        // Inconsistent lookup accounting.
+        let broken = m.to_json().replace("\"lookups\":7", "\"lookups\":8");
+        assert!(validate_run_json(&broken).is_err());
+        // Non-integer metric value.
+        let broken = m.to_json().replace("\"cycles\":5", "\"cycles\":5.5");
+        assert!(validate_run_json(&broken).is_err());
+    }
+
+    #[test]
+    fn profile_validation() {
+        let mut p = crate::profile::CycleProfiler::new(64);
+        let laps = crate::profile::PhaseNs {
+            ns: [10, 20, 30, 40, 50, 60],
+        };
+        p.record(0, &laps);
+        let text = p.report(64).to_json();
+        let names = validate_profile_json(&text).unwrap();
+        assert_eq!(names.len(), crate::profile::PHASE_COUNT);
+
+        assert!(validate_profile_json("{\"schema\":\"nope\"}").is_err());
+        // Wall total no longer matches the phase sum.
+        let broken = text.replace("\"wall_ns_sampled\":210", "\"wall_ns_sampled\":211");
+        assert!(validate_profile_json(&broken).is_err());
+        // A phase goes missing.
+        let broken = text.replace("\"exec\":{\"ns\":20,\"share\":0.095238},", "");
+        assert!(validate_profile_json(&broken).is_err());
+        // Sampled cannot exceed total.
+        let broken = text.replace("\"total_cycles\":64", "\"total_cycles\":0");
+        assert!(validate_profile_json(&broken).is_err());
     }
 
     #[test]

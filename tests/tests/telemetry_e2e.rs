@@ -13,6 +13,7 @@ fn traced_cfg(out_dir: Option<PathBuf>) -> MachineConfig {
     cfg.telemetry = TelemetryConfig {
         trace_events: true,
         sample_interval: 500,
+        profile: false,
         out_dir,
     };
     cfg
@@ -115,6 +116,7 @@ fn sample_only_mode_writes_csv_and_histograms() {
     cfg.telemetry = TelemetryConfig {
         trace_events: false,
         sample_interval: 200,
+        profile: false,
         out_dir: Some(dir.clone()),
     };
     let on = run_and_verify(&w, cfg).unwrap();
@@ -127,6 +129,59 @@ fn sample_only_mode_writes_csv_and_histograms() {
     assert!(dir.join("histograms.json").exists());
     assert!(!dir.join("events.jsonl").exists());
     assert!(!dir.join("trace.perfetto.json").exists());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The cycle-loop self-profiler: profiling must not change the simulated
+/// outcome, its report must be internally consistent, and `profile.json`
+/// must validate against the published schema.  With the event trace on
+/// too, the Perfetto export grows per-phase counter tracks.
+#[test]
+fn profiling_attributes_cycle_time_without_perturbing_metrics() {
+    let dir = std::env::temp_dir().join(format!("wec-telemetry-prof-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let w = Bench::Mcf.build(Scale::SMOKE);
+    let off = run_and_verify(&w, ProcPreset::WthWpWec.machine(8)).unwrap();
+    let mut cfg = ProcPreset::WthWpWec.machine(8);
+    cfg.telemetry = TelemetryConfig {
+        trace_events: false,
+        sample_interval: 0,
+        profile: true,
+        out_dir: Some(dir.clone()),
+    };
+    let on = run_and_verify(&w, cfg).unwrap();
+    assert_eq!(off.cycles, on.cycles);
+    assert_eq!(off.checksum, on.checksum);
+    assert_eq!(off.metrics.to_kv(), on.metrics.to_kv());
+
+    let tel = on.telemetry.unwrap();
+    let prof = tel.profile.as_ref().expect("profiling run must report");
+    assert!(prof.sampled_cycles > 0);
+    assert!(prof.sampled_cycles <= prof.total_cycles);
+    assert_eq!(prof.total_cycles, on.cycles);
+    assert!(prof.wall_ns_sampled() > 0, "sampled phases took no time?");
+    let shares = prof.shares();
+    assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+
+    // histograms.json is written whenever an out_dir is set; profile.json
+    // is the only other artifact of a profile-only run.
+    assert_eq!(tel.files.len(), 2, "histograms + profile only");
+    let text = std::fs::read_to_string(dir.join("profile.json")).unwrap();
+    let phases = schema::validate_profile_json(&text).unwrap();
+    assert!(phases.contains(&"exec".to_string()));
+
+    // Same run with the event trace on: Perfetto gains prof_* counters.
+    let mut cfg = traced_cfg(Some(dir.clone()));
+    cfg.telemetry.profile = true;
+    let traced = run_and_verify(&w, cfg).unwrap();
+    assert_eq!(traced.metrics.to_kv(), off.metrics.to_kv());
+    // events + timeseries + histograms + perfetto + profile (no commit trace).
+    assert_eq!(traced.telemetry.unwrap().files.len(), 5);
+    let perfetto = std::fs::read_to_string(dir.join("trace.perfetto.json")).unwrap();
+    assert!(schema::validate_perfetto(&perfetto).unwrap() > 0);
+    assert!(perfetto.contains("prof_exec_ns"), "profiler counter track");
 
     std::fs::remove_dir_all(&dir).unwrap();
 }
