@@ -10,6 +10,8 @@
 //! then gate the capture against the record with
 //! `cargo run -p wec-bench --bin bench_guard -- /tmp/hotloop.json`.
 
+use std::time::Instant;
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use wec_common::ids::{Addr, ThreadId};
 use wec_common::SplitMix64;
@@ -18,6 +20,7 @@ use wec_core::membuf::MemBuffer;
 use wec_mem::cache::{Cache, CacheGeometry};
 use wec_mem::line::LineFlags;
 use wec_telemetry::TelemetryConfig;
+use wec_trace::{capture_run, replay, CaptureMeta};
 use wec_workloads::{run_and_verify, Bench, Scale};
 
 fn bench_membuf(c: &mut Criterion) {
@@ -149,5 +152,76 @@ fn bench_machine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_membuf, bench_cache, bench_machine);
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotloop");
+    group.sample_size(10);
+
+    let mcf = Bench::Mcf.build(Scale::SMOKE);
+    let cfg = ProcPreset::WthWpWec.machine(8);
+    let meta = CaptureMeta {
+        bench: mcf.name.to_string(),
+        scale_units: Scale::SMOKE.units,
+        cfg_label: "bench/wth-wp-wec/t8".to_string(),
+    };
+
+    // Full-timing run with the access tap recording (compare against the
+    // untraced "simulate mcf smoke" number above for capture overhead).
+    group.bench_function("simulate mcf smoke (wth-wp-wec, capture on)", |b| {
+        b.iter(|| {
+            capture_run(&mcf, cfg.clone(), &meta)
+                .unwrap()
+                .1
+                .header
+                .total_records
+        })
+    });
+
+    // Trace-driven replay of one sweep point: the cache hierarchy alone,
+    // re-driven from the captured stream (records/s = trace records over
+    // the median time of this entry).
+    let (_, trace) = capture_run(&mcf, cfg.clone(), &meta).unwrap();
+    eprintln!(
+        "replay throughput entry drives {} records per iteration",
+        trace.header.total_records
+    );
+    group.bench_function("replay mcf smoke trace (one sweep point)", |b| {
+        b.iter(|| replay(&trace, &cfg).unwrap().records)
+    });
+    group.finish();
+
+    // Capture-overhead guard: the tap must stay cheap relative to the
+    // timing model it records.  Direct median-of-5 comparison so the
+    // warning works even without a criterion JSON capture.
+    let median = |f: &dyn Fn() -> u64| {
+        let mut ns: Vec<u128> = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed().as_nanos()
+            })
+            .collect();
+        ns.sort_unstable();
+        ns[2]
+    };
+    let off = median(&|| run_and_verify(&mcf, cfg.clone()).unwrap().cycles);
+    let on = median(&|| capture_run(&mcf, cfg.clone(), &meta).unwrap().0.cycles);
+    let overhead = (on as f64 / off as f64 - 1.0) * 100.0;
+    if overhead > 10.0 {
+        eprintln!(
+            "WARN capture overhead {overhead:.1}% (>10%): capture-off median {off} ns, capture-on median {on} ns"
+        );
+    } else {
+        eprintln!(
+            "capture overhead {overhead:.1}% (capture-off median {off} ns, capture-on median {on} ns)"
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_membuf,
+    bench_cache,
+    bench_machine,
+    bench_trace
+);
 criterion_main!(benches);

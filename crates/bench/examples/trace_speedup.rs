@@ -1,0 +1,95 @@
+//! Measure the trace-replay speedup recorded in `BENCH_trace.json`: the
+//! wall-clock of the 48-point WEC geometry sweep done the old way (one
+//! cold full-timing simulation per point, single-threaded so the
+//! comparison is work-for-work) against capture once + replay 48 times.
+//!
+//! ```text
+//! cargo run --release -p wec-bench --example trace_speedup [-- --scale N]
+//! ```
+
+use std::time::Instant;
+
+use wec_bench::tracerun::{capture_key, sweep_keys};
+use wec_trace::{capture_run, replay, CaptureMeta};
+use wec_workloads::{run_and_verify, Bench, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale { units: 1 };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = Scale {
+                    units: it.next().and_then(|s| s.parse().ok()).expect("--scale N"),
+                }
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let keys = sweep_keys();
+    let base = capture_key();
+    eprintln!(
+        "sweep: {} benchmarks x {} configurations at scale {}",
+        Bench::ALL.len(),
+        keys.len(),
+        scale.units
+    );
+
+    // The old way: every sweep point is a cold full-timing simulation.
+    let t_full = Instant::now();
+    let mut full_cycles = 0u64;
+    for bench in Bench::ALL {
+        let w = bench.build(scale);
+        for key in &keys {
+            full_cycles += run_and_verify(&w, key.build())
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, key.label()))
+                .cycles;
+        }
+    }
+    let full_s = t_full.elapsed().as_secs_f64();
+    eprintln!("full-timing sweep: {full_s:.2}s ({full_cycles} simulated cycles)");
+
+    // The trace way: one full-timing capture per benchmark, then replay
+    // drives only the cache hierarchy for every sweep point.
+    let t_trace = Instant::now();
+    let mut capture_s = 0.0;
+    let mut records = 0u64;
+    let mut payload = 0u64;
+    for bench in Bench::ALL {
+        let w = bench.build(scale);
+        let t_cap = Instant::now();
+        let meta = CaptureMeta {
+            bench: w.name.to_string(),
+            scale_units: scale.units,
+            cfg_label: base.label(),
+        };
+        let (_, trace) =
+            capture_run(&w, base.build(), &meta).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        capture_s += t_cap.elapsed().as_secs_f64();
+        records += trace.header.total_records;
+        payload += trace.encoded_bytes();
+        for key in &keys {
+            replay(&trace, &key.build())
+                .unwrap_or_else(|e| panic!("{} replay at {}: {e}", w.name, key.label()));
+        }
+    }
+    let trace_s = t_trace.elapsed().as_secs_f64();
+    let replay_s = trace_s - capture_s;
+    let replayed = records * keys.len() as u64;
+    eprintln!(
+        "trace sweep: {trace_s:.2}s total ({capture_s:.2}s capture, {replay_s:.2}s replay of {replayed} records)"
+    );
+    println!(
+        "{{\"scale_units\": {}, \"points\": {}, \"full_timing_sweep_s\": {full_s:.2}, \
+         \"trace_sweep_s\": {trace_s:.2}, \"capture_s\": {capture_s:.2}, \
+         \"replay_s\": {replay_s:.2}, \"speedup\": {:.1}, \"records\": {records}, \
+         \"payload_bytes\": {payload}, \"bytes_per_record\": {:.3}, \
+         \"replay_records_per_s\": {:.0}}}",
+        scale.units,
+        Bench::ALL.len() * keys.len(),
+        full_s / trace_s,
+        payload as f64 / records.max(1) as f64,
+        replayed as f64 / replay_s.max(1e-9),
+    );
+}

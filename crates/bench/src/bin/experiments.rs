@@ -5,6 +5,9 @@
 //!             [--run-out DIR] [--live]
 //! experiments [--scale N] [--only bench] [--trace-events] [--profile]
 //!             [--sample-interval N] [--telemetry-out DIR] [--commit-trace N]
+//! experiments [--scale N] [--only bench] --capture-trace DIR
+//! experiments [--only bench] [--csv] [--no-cache] [--run-out DIR]
+//!             --replay-trace DIR
 //! ```
 //!
 //! Results are memoized on disk (default `target/wec-result-cache`,
@@ -29,7 +32,22 @@
 //! attribution (fetch/rename, exec, mem, commit/recovery, scheduling,
 //! telemetry drain) reported as `profile.json` and, with `--trace-events`,
 //! as Perfetto counter tracks.  Telemetry runs always bypass the result
-//! cache — artifacts must come from a live simulation.
+//! cache — artifacts must come from a live simulation (`--no-cache` is
+//! therefore rejected as redundant).
+//!
+//! `--capture-trace DIR` switches into **trace-capture mode**: each
+//! selected workload (default all six; `--only` substring-filters) runs
+//! once, full-timing, on the paper's `wth-wp-wec` 8-TU machine with the
+//! memory-access tap on, writing `DIR/<bench>.wectrace`, golden cache
+//! counters under `DIR/golden/`, and a `DIR/capture.json` manifest.
+//! `--replay-trace DIR` then re-drives *only the cache hierarchy* from
+//! those traces across the 48-point WEC geometry sweep, re-checking each
+//! trace at its captured configuration (`--run-out OUT`, default
+//! `target/wec-replay`, receives `OUT/golden-check/` — gate with
+//! `metricsdiff DIR/golden OUT/golden-check`) and memoizing sweep points
+//! in the result store (`--no-cache` replays every point cold).
+//! Telemetry instruments cannot combine with replay (replay never runs
+//! the core pipeline), and capture is always a live full-timing run.
 
 use std::sync::Arc;
 
@@ -45,6 +63,7 @@ use wec_workloads::{run_and_verify, Bench, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::PAPER;
+    let mut scale_set = false;
     let mut only: Option<String> = None;
     let mut csv = false;
     let mut no_cache = false;
@@ -55,13 +74,20 @@ fn main() {
     let mut commit_trace = 0usize;
     let mut run_out: Option<std::path::PathBuf> = None;
     let mut live = false;
+    let mut capture_trace: Option<std::path::PathBuf> = None;
+    let mut replay_trace: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--capture-trace" => {
+                capture_trace = Some(it.next().expect("--capture-trace DIR").into())
+            }
+            "--replay-trace" => replay_trace = Some(it.next().expect("--replay-trace DIR").into()),
             "--scale" => {
                 scale = Scale {
                     units: it.next().and_then(|s| s.parse().ok()).expect("--scale N"),
-                }
+                };
+                scale_set = true;
             }
             "--only" => only = it.next().cloned(),
             "--csv" => csv = true,
@@ -89,9 +115,43 @@ fn main() {
         }
     }
 
+    let telemetry_mode = trace_events || sample_interval > 0 || profile;
+    if capture_trace.is_some() || replay_trace.is_some() {
+        if capture_trace.is_some() && replay_trace.is_some() {
+            panic!("--capture-trace and --replay-trace are mutually exclusive: capture is a full-timing run, replay re-drives an existing trace");
+        }
+        if telemetry_mode || telemetry_out.is_some() || commit_trace > 0 {
+            panic!("--trace-events/--profile/--sample-interval/--telemetry-out/--commit-trace cannot combine with trace capture/replay: replay drives only the cache hierarchy (the core pipeline never runs), and capture records exactly the untraced machine — use telemetry mode separately");
+        }
+        if live {
+            panic!("--live renders table-mode sweep progress; trace capture/replay print their own per-workload progress");
+        }
+        if let Some(dir) = capture_trace {
+            if no_cache {
+                panic!("--no-cache has no effect on --capture-trace: capture always runs the simulation live (the result store only memoizes metrics, not traces)");
+            }
+            if csv {
+                panic!("--csv applies to table output; --capture-trace writes binary traces and .kv goldens");
+            }
+            if run_out.is_some() {
+                panic!("--run-out applies to table and replay modes; --capture-trace writes everything under its own DIR");
+            }
+            wec_bench::tracerun::capture_traces(scale, only.as_deref(), &dir);
+        } else if let Some(dir) = replay_trace {
+            if scale_set {
+                panic!("--replay-trace replays at the scale recorded in each trace; --scale applies to capture/table/telemetry modes");
+            }
+            let out = run_out.unwrap_or_else(|| std::path::PathBuf::from("target/wec-replay"));
+            wec_bench::tracerun::replay_traces(&dir, &out, no_cache, csv, only.as_deref());
+        }
+        return;
+    }
     if trace_events || sample_interval > 0 || profile {
         if run_out.is_some() || live {
             panic!("--run-out/--live apply to table mode, not telemetry mode");
+        }
+        if no_cache {
+            panic!("telemetry runs always bypass the result cache (artifacts must come from a live simulation) — drop the redundant --no-cache");
         }
         run_telemetry(
             scale,

@@ -11,8 +11,10 @@
 //! non-decreasing cycle stamps, `timeseries.csv` against the sampler column
 //! set, `histograms.json` for bucket/count consistency,
 //! `trace.perfetto.json` as Chrome trace-event JSON, `profile.json` against
-//! the cycle-loop profiler schema, and `progress.jsonl`/`run.json` against
-//! the sweep observability schemas.  Each `--require kind` additionally
+//! the cycle-loop profiler schema, `progress.jsonl`/`run.json` against
+//! the sweep observability schemas, and every `*.wectrace` capture (from
+//! `experiments --capture-trace`) by fully decoding it and verifying its
+//! file, block, and content checksums.  Each `--require kind` additionally
 //! asserts that the event trace contains at least one event of that kind
 //! (e.g. `--require wec_fill --require wec_hit`).
 //!
@@ -158,6 +160,29 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("FAIL run.json: {e}");
+                failures += 1;
+            }
+        }
+    }
+    let mut traces: Vec<_> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("wectrace"))
+        .collect();
+    traces.sort();
+    for path in traces {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("trace");
+        match wec_trace::Trace::read_from(&path).and_then(|t| t.verify().map(|n| (t, n))) {
+            Ok((t, n)) => {
+                println!(
+                    "ok  {name}: {} ({} TUs, scale {}), {n} records, checksums match",
+                    t.header.bench, t.header.n_tus, t.header.scale_units
+                );
+                validated += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL {name}: {e}");
                 failures += 1;
             }
         }

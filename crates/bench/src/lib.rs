@@ -11,7 +11,9 @@
 //! * [`progress`] — sweep observability: `progress.jsonl` streaming, a live
 //!   status line, and the `run.json` manifest;
 //! * [`diff`] — metric-drift detection between two runs (the `metricsdiff`
-//!   binary's engine).
+//!   binary's engine);
+//! * [`tracerun`] — trace capture and trace-driven replay sweeps (the
+//!   `--capture-trace` / `--replay-trace` modes).
 //!
 //! `cargo run --release -p wec-bench --bin experiments` prints everything;
 //! the Criterion benches under `benches/` regenerate individual figures.
@@ -21,6 +23,7 @@ pub mod diff;
 pub mod experiments;
 pub mod progress;
 pub mod runner;
+pub mod tracerun;
 
 pub use diff::{diff, DiffReport, MetricSet, Policy};
 pub use progress::Progress;

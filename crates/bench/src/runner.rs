@@ -154,7 +154,7 @@ impl CfgKey {
 
 /// FNV-1a over a byte string; stable across runs and platforms, unlike the
 /// std hasher.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;

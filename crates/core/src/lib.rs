@@ -48,6 +48,7 @@ pub mod events;
 pub mod machine;
 pub mod membuf;
 pub mod metrics;
+pub mod tap;
 pub mod telemetry;
 pub mod thread;
 

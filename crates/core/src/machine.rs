@@ -43,6 +43,7 @@ use crate::dpath::{DataPath, DpResult};
 use crate::events::{EventLog, SchedEvent};
 use crate::membuf::{apply_word, LoadCheck};
 use crate::metrics::{L1dAggregate, MachineMetrics};
+use crate::tap::{AccessRecord, SharedSink};
 use crate::telemetry::MachineTelemetry;
 use crate::thread::{AliveTable, ThreadCtx, ThreadState, TsagDone, WrongSet};
 
@@ -167,6 +168,9 @@ struct Shared {
     /// `Some` only when telemetry is enabled; every per-cycle hook is one
     /// `is_some` branch when off.
     tel: Option<Box<MachineTelemetry>>,
+    /// `Some` only while an access tap is attached (trace capture); each
+    /// data-path access site pays one `is_some` branch when off.
+    tap: Option<SharedSink>,
 }
 
 impl Shared {
@@ -376,6 +380,7 @@ impl Machine {
             // lifetimes), so the log turns on with either switch.
             events: EventLog::new(cfg.event_log || cfg.telemetry.enabled()),
             tel,
+            tap: None,
             cfg,
         };
         let prof = if shared.cfg.telemetry.profile {
@@ -393,6 +398,15 @@ impl Machine {
 
     pub fn config(&self) -> &MachineConfig {
         &self.shared.cfg
+    }
+
+    /// Attach a memory-access tap (see [`crate::tap`]): every access the
+    /// timing model admits to a data path is mirrored to `sink`.  The
+    /// caller keeps its own handle on the `Rc` and harvests the recorded
+    /// data after [`Machine::run`].  Attaching a sink does not perturb the
+    /// simulation — captured runs produce bit-identical metrics.
+    pub fn attach_access_sink(&mut self, sink: SharedSink) {
+        self.shared.tap = Some(sink);
     }
 
     /// Run to `halt` (or error / cycle limit).
@@ -779,8 +793,17 @@ impl Machine {
         }
 
         // Drain committed-store timing queues through the L1 ports.
-        for slot in &mut self.tus {
+        for (tu, slot) in self.tus.iter_mut().enumerate() {
             while let Some(&addr) = slot.sbuf.front() {
+                if let Some(tap) = self.shared.tap.as_ref() {
+                    tap.borrow_mut().record(AccessRecord {
+                        cycle: now.0,
+                        tu: tu as u32,
+                        pc: 0,
+                        addr: addr.0,
+                        kind: AccessKind::CorrectStore,
+                    });
+                }
                 match slot
                     .dpath
                     .access(addr, AccessKind::CorrectStore, now, &mut self.shared.l2)
@@ -995,7 +1018,7 @@ impl TuEnv<'_> {
 }
 
 impl CoreEnv for TuEnv<'_> {
-    fn load(&mut self, addr: Addr, bytes: u64, now: Cycle, wrong_path: bool) -> MemIssue {
+    fn load(&mut self, addr: Addr, bytes: u64, now: Cycle, wrong_path: bool, pc: u32) -> MemIssue {
         let kind = if wrong_path {
             AccessKind::WrongPathLoad
         } else if self.thread_is_wrong() {
@@ -1056,6 +1079,15 @@ impl CoreEnv for TuEnv<'_> {
             }
         }
 
+        if let Some(tap) = self.shared.tap.as_ref() {
+            tap.borrow_mut().record(AccessRecord {
+                cycle: now.0,
+                tu: self.tu as u32,
+                pc,
+                addr: addr.0,
+                kind,
+            });
+        }
         match self.dpath.access(addr, kind, now, &mut self.shared.l2) {
             DpResult::Done { ready_at } => {
                 if let Some(tel) = self.shared.tel.as_deref_mut() {
@@ -1068,6 +1100,15 @@ impl CoreEnv for TuEnv<'_> {
     }
 
     fn ifetch(&mut self, addr: Addr, now: Cycle) -> MemIssue {
+        if let Some(tap) = self.shared.tap.as_ref() {
+            tap.borrow_mut().record(AccessRecord {
+                cycle: now.0,
+                tu: self.tu as u32,
+                pc: addr.0 as u32,
+                addr: addr.0,
+                kind: AccessKind::InstFetch,
+            });
+        }
         match self
             .icache
             .access(addr, AccessKind::InstFetch, now, &mut self.shared.l2)

@@ -1,0 +1,58 @@
+//! Externally attachable memory-access tap.
+//!
+//! A [`AccessSink`] attached to a [`crate::Machine`] observes every cache
+//! access the timing model *admits* to a data path — the exact call stream
+//! into [`crate::DataPath::access`], including calls that come back
+//! `Retry` (a retried access is re-presented, and re-recorded, on a later
+//! cycle).  That stream is sufficient to re-drive the cache hierarchy on
+//! its own: every other piece of memory traffic (next-line prefetches,
+//! victim/WEC transfers, dirty writebacks, L2 fills) is generated *inside*
+//! the data paths deterministically from it.  `wec-trace` builds its
+//! capture recorder on this hook.
+//!
+//! The tap follows the telemetry idiom: the machine holds an
+//! `Option<SharedSink>` and every access site pays one `is_some` branch
+//! when no sink is attached, so capture-off runs are bit-identical to
+//! builds without the hook (`SIM_REVISION` is unchanged).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use wec_mem::stats::AccessKind;
+
+/// One admitted cache access, as presented to a data path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Cycle the access was presented (not when it completed).
+    pub cycle: u64,
+    /// Thread unit whose L1 pair received the access.
+    pub tu: u32,
+    /// Program counter of the instruction that issued the access.  For
+    /// instruction fetches this equals the fetch block address; for
+    /// committed-store drains (which have left the pipeline) it is 0.
+    pub pc: u32,
+    /// Byte address presented to the cache.
+    pub addr: u64,
+    /// Demand classification — also determines the replay phase: stores
+    /// drain after all TU ticks of a cycle, everything else during them.
+    pub kind: AccessKind,
+}
+
+impl AccessRecord {
+    /// Whether the issuing execution was already known wrong (squashed)
+    /// when the access was admitted.  Correct-path accesses are recorded
+    /// as committed.
+    pub fn squashed(&self) -> bool {
+        self.kind.is_wrong()
+    }
+}
+
+/// Receiver for admitted accesses.  Implementations must not assume the
+/// access completed — `Retry` outcomes are recorded too, by design.
+pub trait AccessSink {
+    fn record(&mut self, rec: AccessRecord);
+}
+
+/// How a sink is shared with the machine: the attacher keeps one handle to
+/// harvest the data after `run()`, the machine keeps the other.
+pub type SharedSink = Rc<RefCell<dyn AccessSink>>;

@@ -521,7 +521,7 @@ impl Core {
                     })
                 });
                 if let Some(addr) = addr {
-                    self.wp_engine.push(addr, e.inst.mem_bytes().unwrap());
+                    self.wp_engine.push(addr, e.inst.mem_bytes().unwrap(), e.pc);
                 }
             }
         }
@@ -618,13 +618,13 @@ impl Core {
                 e.eff_addr = Some(Addr(base.wrapping_add(off as i64 as u64)));
             }
         }
-        let (addr, bytes, kind) = {
+        let (addr, bytes, kind, pc) = {
             let e = self.rob.at(idx);
             let kind = match e.inst {
                 Inst::Load { kind, .. } => Some(kind),
                 _ => None,
             };
-            (e.eff_addr.unwrap(), e.inst.mem_bytes().unwrap(), kind)
+            (e.eff_addr.unwrap(), e.inst.mem_bytes().unwrap(), kind, e.pc)
         };
 
         // Memory-ordering check against all older stores (conservative: no
@@ -673,7 +673,7 @@ impl Core {
             return true;
         }
 
-        match env.load(addr, bytes, now, false) {
+        match env.load(addr, bytes, now, false, pc) {
             MemIssue::Done { ready_at, value } => {
                 let e = self.rob.at_mut(idx);
                 e.result = extend_load(kind, value, bytes);

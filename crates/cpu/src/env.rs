@@ -49,9 +49,11 @@ pub enum StaOutcome {
 pub trait CoreEnv {
     /// Issue a data load.  `wrong_path` marks loads issued by the wrong-path
     /// engine after branch resolution; the environment itself knows whether
-    /// the whole *thread* is wrong.  The returned value reflects committed
-    /// memory plus any thread-level forwarding.
-    fn load(&mut self, addr: Addr, bytes: u64, now: Cycle, wrong_path: bool) -> MemIssue;
+    /// the whole *thread* is wrong.  `pc` is the program counter of the
+    /// issuing instruction (access taps record it alongside the address).
+    /// The returned value reflects committed memory plus any thread-level
+    /// forwarding.
+    fn load(&mut self, addr: Addr, bytes: u64, now: Cycle, wrong_path: bool, pc: u32) -> MemIssue;
 
     /// Fetch the instruction-cache block containing `addr` (see
     /// [`TEXT_BASE`]). The value field of [`MemIssue::Done`] is unused.
@@ -101,7 +103,7 @@ impl MockEnv {
 }
 
 impl CoreEnv for MockEnv {
-    fn load(&mut self, addr: Addr, bytes: u64, now: Cycle, wrong_path: bool) -> MemIssue {
+    fn load(&mut self, addr: Addr, bytes: u64, now: Cycle, wrong_path: bool, _pc: u32) -> MemIssue {
         if wrong_path {
             self.wrong_path_loads.push((addr, bytes));
         } else {
@@ -156,7 +158,7 @@ mod tests {
         img.alloc(Addr(0x100), 64);
         img.write_u64(Addr(0x100), 77).unwrap();
         let mut env = MockEnv::new(img);
-        match env.load(Addr(0x100), 8, Cycle(5), false) {
+        match env.load(Addr(0x100), 8, Cycle(5), false, 0) {
             MemIssue::Done { ready_at, value } => {
                 assert_eq!(ready_at, Cycle(7));
                 assert_eq!(value, 77);
@@ -169,7 +171,7 @@ mod tests {
     #[test]
     fn mock_wrong_path_unmapped_reads_zero() {
         let mut env = MockEnv::new(MemImage::new());
-        match env.load(Addr(0xdead_0000), 8, Cycle(0), true) {
+        match env.load(Addr(0xdead_0000), 8, Cycle(0), true, 0) {
             MemIssue::Done { value, .. } => assert_eq!(value, 0),
             other => panic!("{other:?}"),
         }

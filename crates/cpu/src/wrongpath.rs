@@ -16,7 +16,7 @@ use crate::env::{CoreEnv, MemIssue};
 
 /// Queue of address-ready wrong-path loads awaiting a memory port.
 pub struct WrongPathEngine {
-    queue: VecDeque<(Addr, u64)>,
+    queue: VecDeque<(Addr, u64, u32)>,
     capacity: usize,
     /// Loads accepted into the engine at squash time.
     pub queued: Counter,
@@ -37,13 +37,15 @@ impl WrongPathEngine {
         }
     }
 
-    /// Park a squashed, address-ready load.
-    pub fn push(&mut self, addr: Addr, bytes: u64) {
+    /// Park a squashed, address-ready load.  `pc` is the squashed load's
+    /// program counter, carried along so the eventual issue is attributed
+    /// to the instruction that produced it.
+    pub fn push(&mut self, addr: Addr, bytes: u64, pc: u32) {
         if self.queue.len() >= self.capacity {
             self.dropped.inc();
             return;
         }
-        self.queue.push_back((addr, bytes));
+        self.queue.push_back((addr, bytes, pc));
         self.queued.inc();
     }
 
@@ -59,10 +61,10 @@ impl WrongPathEngine {
     /// Stops at the first structural rejection (no port this cycle).
     pub fn tick(&mut self, env: &mut dyn CoreEnv, now: Cycle, max_issues: u32) {
         for _ in 0..max_issues {
-            let Some(&(addr, bytes)) = self.queue.front() else {
+            let Some(&(addr, bytes, pc)) = self.queue.front() else {
                 return;
             };
-            match env.load(addr, bytes, now, true) {
+            match env.load(addr, bytes, now, true, pc) {
                 MemIssue::Done { .. } => {
                     self.queue.pop_front();
                     self.issued.inc();
@@ -87,8 +89,8 @@ mod tests {
     #[test]
     fn issues_in_fifo_order() {
         let mut eng = WrongPathEngine::new(4);
-        eng.push(Addr(0x100), 8);
-        eng.push(Addr(0x200), 8);
+        eng.push(Addr(0x100), 8, 0x40);
+        eng.push(Addr(0x200), 8, 0x44);
         let mut env = MockEnv::new(MemImage::new());
         eng.tick(&mut env, Cycle(1), 2);
         assert!(eng.is_empty());
@@ -103,7 +105,7 @@ mod tests {
     fn respects_per_cycle_issue_cap() {
         let mut eng = WrongPathEngine::new(8);
         for i in 0..4u64 {
-            eng.push(Addr(i * 64), 8);
+            eng.push(Addr(i * 64), 8, 0);
         }
         let mut env = MockEnv::new(MemImage::new());
         eng.tick(&mut env, Cycle(0), 2);
@@ -113,9 +115,9 @@ mod tests {
     #[test]
     fn drops_when_full() {
         let mut eng = WrongPathEngine::new(2);
-        eng.push(Addr(0), 8);
-        eng.push(Addr(64), 8);
-        eng.push(Addr(128), 8);
+        eng.push(Addr(0), 8, 0);
+        eng.push(Addr(64), 8, 0);
+        eng.push(Addr(128), 8, 0);
         assert_eq!(eng.len(), 2);
         assert_eq!(eng.dropped.get(), 1);
         assert_eq!(eng.queued.get(), 2);

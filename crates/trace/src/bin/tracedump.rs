@@ -1,0 +1,119 @@
+//! Pretty-print and validate a `.wectrace` file.
+//!
+//! ```text
+//! tracedump FILE [--records N] [--no-verify]
+//! ```
+//!
+//! Prints the header (format/simulator revision, workload identity,
+//! configuration label, stream sizes and compression ratio) and the first
+//! `N` records (default 16) in global merged order, then fully decodes
+//! every stream to validate the file, block, and content checksums.
+//! `--no-verify` skips the full decode for a quick header peek.
+//!
+//! Exit codes: `0` valid, `1` corrupt or unreadable, `2` usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wec_trace::Trace;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tracedump FILE [--records N] [--no-verify]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file: Option<PathBuf> = None;
+    let mut show = 16usize;
+    let mut verify = true;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--records" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                show = n;
+            }
+            "--no-verify" => verify = false,
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.into()),
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+
+    let trace = match Trace::read_from(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tracedump: {}: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let h = &trace.header;
+    let payload = trace.encoded_bytes();
+    println!("{}", file.display());
+    println!("  format version : {}", h.format_version);
+    println!("  sim revision   : {}", h.sim_revision);
+    println!("  workload       : {} (scale {})", h.bench, h.scale_units);
+    println!("  config         : {}", h.cfg_label);
+    println!("  thread units   : {}", h.n_tus);
+    println!("  records        : {}", h.total_records);
+    println!(
+        "  payload        : {payload} bytes ({:.3} bytes/record)",
+        if h.total_records > 0 {
+            payload as f64 / h.total_records as f64
+        } else {
+            0.0
+        }
+    );
+    println!("  identity       : {:016x}", trace.identity());
+    for (i, s) in trace.streams.iter().enumerate() {
+        println!(
+            "  tu{i:<2} stream    : {} records, {} blocks, {} bytes",
+            s.records,
+            s.blocks.len(),
+            s.encoded_bytes()
+        );
+    }
+
+    if show > 0 {
+        println!("  first {show} records (merged order):");
+        let merged = match trace.merged() {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("tracedump: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for rec in merged.take(show) {
+            match rec {
+                Ok(r) => println!(
+                    "    cycle {:>8}  tu{}  {:<7} addr {:#012x}  pc {:#010x}{}",
+                    r.cycle,
+                    r.tu,
+                    r.kind.name(),
+                    r.addr,
+                    r.pc,
+                    if r.squashed { "  [squashed]" } else { "" }
+                ),
+                Err(e) => {
+                    eprintln!("tracedump: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    if verify {
+        match trace.verify() {
+            Ok(n) => println!("  verify         : ok, {n} records decoded, all checksums match"),
+            Err(e) => {
+                eprintln!("tracedump: verification failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,108 @@
+//! Capture: record a full-timing run's admitted access stream.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use wec_core::machine::{Machine, RunResult};
+use wec_core::tap::{AccessRecord, AccessSink};
+use wec_core::MachineConfig;
+use wec_workloads::Workload;
+
+use crate::format::{Trace, TraceHeader, FORMAT_VERSION};
+use crate::record::{TraceKind, TraceRecord};
+use crate::stream::StreamEncoder;
+use crate::TraceError;
+
+/// An [`AccessSink`] that encodes records straight into per-TU streams —
+/// no intermediate record buffer, so capture memory stays proportional to
+/// the *compressed* trace size.
+pub struct TraceRecorder {
+    encoders: Vec<StreamEncoder>,
+}
+
+impl TraceRecorder {
+    pub fn new(n_tus: usize) -> Self {
+        TraceRecorder {
+            encoders: (0..n_tus).map(|_| StreamEncoder::new()).collect(),
+        }
+    }
+
+    pub fn records(&self) -> u64 {
+        self.encoders.iter().map(StreamEncoder::records).sum()
+    }
+
+    /// Seal the streams into a [`Trace`] with the given capture identity.
+    pub fn finish(self, meta: &CaptureMeta) -> Trace {
+        let streams: Vec<_> = self
+            .encoders
+            .into_iter()
+            .map(StreamEncoder::finish)
+            .collect();
+        let total_records = streams.iter().map(|s| s.records).sum();
+        Trace {
+            header: TraceHeader {
+                format_version: FORMAT_VERSION,
+                sim_revision: wec_core::SIM_REVISION,
+                n_tus: streams.len() as u32,
+                scale_units: meta.scale_units,
+                bench: meta.bench.clone(),
+                cfg_label: meta.cfg_label.clone(),
+                total_records,
+            },
+            streams,
+        }
+    }
+}
+
+impl AccessSink for TraceRecorder {
+    fn record(&mut self, rec: AccessRecord) {
+        let kind = TraceKind::from_access(rec.kind).expect("machine taps never present prefetches");
+        self.encoders[rec.tu as usize].push(&TraceRecord {
+            cycle: rec.cycle,
+            tu: rec.tu,
+            pc: rec.pc,
+            addr: rec.addr,
+            kind,
+            squashed: rec.kind.is_wrong(),
+        });
+    }
+}
+
+/// Capture identity recorded in the trace header.
+#[derive(Clone, Debug)]
+pub struct CaptureMeta {
+    /// Workload name, e.g. `"181.mcf"`.
+    pub bench: String,
+    /// Workload scale (`Scale::units`).
+    pub scale_units: u32,
+    /// Configuration label of the captured machine.
+    pub cfg_label: String,
+}
+
+/// Run `w` under `cfg` with a recorder attached, verify the workload
+/// self-check (exactly as `run_and_verify` does), and return both the
+/// timing result and the captured trace.  Attaching the recorder does not
+/// perturb the run: the metrics are bit-identical to an untraced run.
+pub fn capture_run(
+    w: &Workload,
+    cfg: MachineConfig,
+    meta: &CaptureMeta,
+) -> Result<(RunResult, Trace), TraceError> {
+    let n_tus = cfg.n_tus;
+    let mut m = Machine::new(cfg, &w.program)?;
+    let recorder = Rc::new(RefCell::new(TraceRecorder::new(n_tus)));
+    m.attach_access_sink(recorder.clone());
+    let result = m.run()?;
+    let got = m.memory().read_u64(w.check_addr)?;
+    if got != w.expected_check {
+        return Err(TraceError::Sim(wec_common::SimError::Config(format!(
+            "{} self-check mismatch: got {got:#x}, want {:#x}",
+            w.name, w.expected_check
+        ))));
+    }
+    drop(m);
+    let recorder = Rc::try_unwrap(recorder)
+        .map_err(|_| TraceError::Corrupt("recorder still shared after run".into()))?
+        .into_inner();
+    Ok((result, recorder.finish(meta)))
+}

@@ -1,0 +1,144 @@
+//! Replay: re-drive the cache hierarchy from a captured trace.
+//!
+//! Builds fresh per-TU L1 data/instruction paths (with whatever WEC /
+//! victim / next-line-prefetch side structure the target configuration
+//! selects) and a fresh shared L2, then presents the merged record stream
+//! through [`DataPath::access`] in the machine's global order.  Nothing
+//! else is needed: prefetch issue, victim/WEC transfers, dirty
+//! writebacks, MSHR merging, and L2/DRAM timing are all regenerated
+//! inside the data paths from the call sequence, so at the captured
+//! configuration every cache counter comes out identical to the
+//! full-timing run.
+
+use wec_common::ids::{Addr, Cycle};
+use wec_common::stats::StatSet;
+use wec_core::{DataPath, MachineConfig};
+use wec_mem::l2::SharedL2;
+
+use crate::format::Trace;
+use crate::record::TraceKind;
+use crate::TraceError;
+
+/// Counters produced by one replay.
+pub struct ReplayOutcome {
+    /// Records driven through the hierarchy.
+    pub records: u64,
+    /// Cache counters under the same keys the full-timing run emits:
+    /// `tu{i}.l1d.*`, `tu{i}.l1i.*`, `l2.*`.
+    pub stats: StatSet,
+}
+
+/// Replay `trace` against the cache geometry of `cfg` (core/scheduler
+/// fields of `cfg` are ignored — only `l1d`, `l1i`, `l2`, `n_tus`
+/// matter).  `cfg.n_tus` must match the captured TU count.
+pub fn replay(trace: &Trace, cfg: &MachineConfig) -> Result<ReplayOutcome, TraceError> {
+    let n_tus = trace.header.n_tus as usize;
+    if cfg.n_tus != n_tus {
+        return Err(TraceError::Corrupt(format!(
+            "trace captured {n_tus} TUs but replay config has {}",
+            cfg.n_tus
+        )));
+    }
+    let mut l1d = Vec::with_capacity(n_tus);
+    let mut l1i = Vec::with_capacity(n_tus);
+    for _ in 0..n_tus {
+        l1d.push(DataPath::new(cfg.l1d)?);
+        l1i.push(DataPath::new(cfg.l1i)?);
+    }
+    let mut l2 = SharedL2::new(cfg.l2)?;
+    let mut records = 0u64;
+    for rec in trace.merged()? {
+        let rec = rec?;
+        let tu = rec.tu as usize;
+        if tu >= n_tus {
+            return Err(TraceError::Corrupt(format!(
+                "record for TU {tu} out of range"
+            )));
+        }
+        let dp = if rec.kind == TraceKind::InstFetch {
+            &mut l1i[tu]
+        } else {
+            &mut l1d[tu]
+        };
+        // The result is deliberately ignored: Retry outcomes were re-
+        // presented (and re-recorded) by the capturing run, so the stream
+        // already contains every attempt.
+        let _ = dp.access(
+            Addr(rec.addr),
+            rec.kind.access_kind(),
+            Cycle(rec.cycle),
+            &mut l2,
+        );
+        records += 1;
+    }
+    let mut stats = StatSet::new();
+    for i in 0..n_tus {
+        l1d[i].stats.dump(&mut stats, &format!("tu{i}.l1d"));
+        l1i[i].stats.dump(&mut stats, &format!("tu{i}.l1i"));
+    }
+    l2.stats.dump(&mut stats, "l2");
+    Ok(ReplayOutcome { records, stats })
+}
+
+/// Extract the cache-counter subset of a full-timing run's stats — the
+/// exact key set [`replay`] emits — sorted by key.  Comparing this
+/// against a replay at the captured configuration must show zero drift.
+pub fn cache_stat_subset(stats: &StatSet) -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = stats
+        .iter()
+        .filter(|(k, _)| is_cache_key(k))
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    out.sort();
+    out
+}
+
+fn is_cache_key(key: &str) -> bool {
+    if key.strip_prefix("l2.").is_some_and(|r| !r.is_empty()) {
+        return true;
+    }
+    let Some(rest) = key.strip_prefix("tu") else {
+        return false;
+    };
+    let digits = rest.chars().take_while(char::is_ascii_digit).count();
+    if digits == 0 {
+        return false;
+    }
+    rest[digits..].starts_with(".l1d.") || rest[digits..].starts_with(".l1i.")
+}
+
+/// Render counter pairs as the workspace's `.kv` format (one `key value`
+/// per line, sorted input expected) — loadable by `metricsdiff`.
+pub fn kv_string(pairs: &[(String, u64)]) -> String {
+    let mut out = String::new();
+    for (k, v) in pairs {
+        out.push_str(k);
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_key_filter() {
+        assert!(is_cache_key("l2.demand_accesses"));
+        assert!(is_cache_key("tu0.l1d.demand_misses"));
+        assert!(is_cache_key("tu12.l1i.ifetch_accesses"));
+        assert!(!is_cache_key("tu0.core.committed"));
+        assert!(!is_cache_key("machine.l1d.demand_accesses"));
+        assert!(!is_cache_key("l2_other"));
+        assert!(!is_cache_key("tux.l1d.demand_misses"));
+        assert!(!is_cache_key("l2."));
+    }
+
+    #[test]
+    fn kv_renders_lines() {
+        let pairs = vec![("a.b".to_string(), 1u64), ("c.d".to_string(), 2u64)];
+        assert_eq!(kv_string(&pairs), "a.b 1\nc.d 2\n");
+    }
+}

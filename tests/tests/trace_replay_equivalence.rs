@@ -1,0 +1,98 @@
+//! The trace subsystem's core claim, end to end: replaying a captured
+//! trace at the captured cache configuration reproduces the full-timing
+//! run's cache counters *exactly* — and capturing does not perturb the
+//! run it records.
+
+use wec_core::config::ProcPreset;
+use wec_trace::{cache_stat_subset, capture_run, kv_string, replay, CaptureMeta, Trace};
+use wec_workloads::{run_and_verify, Bench, Scale};
+
+fn meta(bench: Bench) -> CaptureMeta {
+    CaptureMeta {
+        bench: bench.name().to_string(),
+        scale_units: Scale::SMOKE.units,
+        cfg_label: "test/wth-wp-wec/t4".to_string(),
+    }
+}
+
+#[test]
+fn capture_does_not_perturb_the_run() {
+    let w = Bench::Mcf.build(Scale::SMOKE);
+    let cfg = ProcPreset::WthWpWec.machine(4);
+    let untraced = run_and_verify(&w, cfg.clone()).unwrap();
+    let (traced, trace) = capture_run(&w, cfg, &meta(Bench::Mcf)).unwrap();
+    assert_eq!(untraced.cycles, traced.cycles);
+    assert_eq!(untraced.checksum, traced.checksum);
+    assert_eq!(
+        cache_stat_subset(&untraced.stats),
+        cache_stat_subset(&traced.stats)
+    );
+    assert!(trace.header.total_records > 0);
+}
+
+#[test]
+fn replay_reproduces_cache_counters_exactly() {
+    // Two benches with different speculation profiles: mcf (pointer
+    // chasing, heavy wrong-path traffic) and gzip (streaming).
+    for bench in [Bench::Mcf, Bench::Gzip] {
+        let w = bench.build(Scale::SMOKE);
+        let cfg = ProcPreset::WthWpWec.machine(4);
+        let (full, trace) = capture_run(&w, cfg.clone(), &meta(bench)).unwrap();
+        let replayed = replay(&trace, &cfg).unwrap();
+        assert_eq!(replayed.records, trace.header.total_records);
+
+        let golden = cache_stat_subset(&full.stats);
+        let got = cache_stat_subset(&replayed.stats);
+        // Byte-identical, down to the rendered kv artifact.
+        assert_eq!(
+            kv_string(&golden),
+            kv_string(&got),
+            "{} replay drifted from the full-timing goldens",
+            bench.name()
+        );
+        // The subset is the real cache counter set, not empty or trivial.
+        assert!(golden
+            .iter()
+            .any(|(k, v)| k == "l2.demand_accesses" && *v > 0));
+        assert!(golden
+            .iter()
+            .any(|(k, v)| k.ends_with(".l1d.demand_accesses") && *v > 0));
+    }
+}
+
+#[test]
+fn replay_survives_disk_round_trip_and_geometry_changes() {
+    let w = Bench::Mcf.build(Scale::SMOKE);
+    let cfg = ProcPreset::WthWpWec.machine(4);
+    let (full, trace) = capture_run(&w, cfg.clone(), &meta(Bench::Mcf)).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("wec-trace-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mcf.wectrace");
+    trace.write_to(&path).unwrap();
+    let reloaded = Trace::read_from(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(reloaded.identity(), trace.identity());
+    assert_eq!(reloaded.verify().unwrap(), trace.header.total_records);
+
+    // Captured config through the disk round trip: still exact.
+    let at_captured = replay(&reloaded, &cfg).unwrap();
+    assert_eq!(
+        cache_stat_subset(&full.stats),
+        cache_stat_subset(&at_captured.stats)
+    );
+
+    // A different WEC geometry replays fine and (being a different cache)
+    // reports a different miss picture.
+    let mut bigger = ProcPreset::WthWpWec.machine(4);
+    bigger.l1d.side_entries = 32;
+    let at_bigger = replay(&reloaded, &bigger).unwrap();
+    assert_eq!(at_bigger.records, trace.header.total_records);
+    assert_ne!(
+        cache_stat_subset(&full.stats),
+        cache_stat_subset(&at_bigger.stats)
+    );
+
+    // Mismatched TU count is a hard error, not silent truncation.
+    assert!(replay(&reloaded, &ProcPreset::WthWpWec.machine(8)).is_err());
+}
