@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--scale N] [--only figNN|tableN] [--csv] [--no-cache]
-//!             [--run-out DIR] [--live]
+//!             [--run-out DIR] [--live] [--jobs N]
 //! experiments [--scale N] [--only bench] [--trace-events] [--profile]
 //!             [--sample-interval N] [--telemetry-out DIR] [--commit-trace N]
 //! experiments [--scale N] [--only bench] --capture-trace DIR
@@ -18,7 +18,10 @@
 //! In table mode, `--run-out DIR` streams per-simulation progress lines to
 //! `DIR/progress.jsonl` and writes a `DIR/run.json` manifest (totals, cache
 //! hit rate, slowest simulations) at the end; `--live` renders a single
-//! updating status line on stderr while the sweep runs.
+//! updating status line on stderr while the sweep runs.  `--jobs N` caps
+//! the host worker threads the sweep fans out over (default: the `WEC_JOBS`
+//! environment variable, then the machine's available parallelism — set one
+//! of them when a `wec_serve` daemon shares the host).
 //!
 //! Passing `--trace-events`, `--sample-interval N`, or `--profile` switches
 //! the harness into **telemetry mode**: instead of regenerating tables it
@@ -74,6 +77,7 @@ fn main() {
     let mut commit_trace = 0usize;
     let mut run_out: Option<std::path::PathBuf> = None;
     let mut live = false;
+    let mut jobs: Option<usize> = None;
     let mut capture_trace: Option<std::path::PathBuf> = None;
     let mut replay_trace: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
@@ -95,6 +99,14 @@ fn main() {
             "--trace-events" => trace_events = true,
             "--profile" => profile = true,
             "--live" => live = true,
+            "--jobs" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--jobs N (positive integer)");
+                assert!(n > 0, "--jobs needs at least one worker");
+                jobs = Some(n);
+            }
             "--run-out" => run_out = Some(it.next().expect("--run-out DIR").into()),
             "--sample-interval" => {
                 sample_interval = it
@@ -126,6 +138,9 @@ fn main() {
         if live {
             panic!("--live renders table-mode sweep progress; trace capture/replay print their own per-workload progress");
         }
+        if jobs.is_some() {
+            panic!("--jobs caps table-mode sweep workers; capture and replay run their workloads sequentially (WEC_JOBS also has no effect here)");
+        }
         if let Some(dir) = capture_trace {
             if no_cache {
                 panic!("--no-cache has no effect on --capture-trace: capture always runs the simulation live (the result store only memoizes metrics, not traces)");
@@ -149,6 +164,9 @@ fn main() {
     if trace_events || sample_interval > 0 || profile {
         if run_out.is_some() || live {
             panic!("--run-out/--live apply to table mode, not telemetry mode");
+        }
+        if jobs.is_some() {
+            panic!("--jobs applies to table-mode sweeps; telemetry runs each workload once, sequentially");
         }
         if no_cache {
             panic!("telemetry runs always bypass the result cache (artifacts must come from a live simulation) — drop the redundant --no-cache");
@@ -187,6 +205,10 @@ fn main() {
     };
     if let Some(dir) = runner.disk_dir() {
         eprintln!("result cache: {}", dir.display());
+    }
+    if let Some(n) = jobs {
+        runner.set_hosts(n);
+        eprintln!("sweep workers: {n} (--jobs)");
     }
     let progress = Arc::new(
         Progress::new(run_out.as_deref(), live).expect("cannot create --run-out directory"),

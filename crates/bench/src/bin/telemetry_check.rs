@@ -12,9 +12,10 @@
 //! set, `histograms.json` for bucket/count consistency,
 //! `trace.perfetto.json` as Chrome trace-event JSON, `profile.json` against
 //! the cycle-loop profiler schema, `progress.jsonl`/`run.json` against
-//! the sweep observability schemas, and every `*.wectrace` capture (from
-//! `experiments --capture-trace`) by fully decoding it and verifying its
-//! file, block, and content checksums.  Each `--require kind` additionally
+//! the sweep observability schemas, `jobs.jsonl`/`stats.json` against the
+//! serve daemon's `wec-job-record-v1` / `wec-serve-stats-v1` schemas, and
+//! every `*.wectrace` capture (from `experiments --capture-trace`) by fully
+//! decoding it and verifying its file, block, and content checksums.  Each `--require kind` additionally
 //! asserts that the event trace contains at least one event of that kind
 //! (e.g. `--require wec_fill --require wec_hit`).
 //!
@@ -160,6 +161,33 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("FAIL run.json: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(text) = read(dir, "jobs.jsonl") {
+        match schema::validate_jobs_jsonl(&text) {
+            Ok(r) => {
+                println!(
+                    "ok  jobs.jsonl: {} job records ({} done, {} failed)",
+                    r.total, r.done, r.failed
+                );
+                validated += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL jobs.jsonl: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(text) = read(dir, "stats.json") {
+        match schema::validate_serve_stats_json(&text) {
+            Ok(()) => {
+                println!("ok  stats.json: serve stats consistent");
+                validated += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL stats.json: {e}");
                 failures += 1;
             }
         }

@@ -13,7 +13,9 @@
 //! * [`diff`] — metric-drift detection between two runs (the `metricsdiff`
 //!   binary's engine);
 //! * [`tracerun`] — trace capture and trace-driven replay sweeps (the
-//!   `--capture-trace` / `--replay-trace` modes).
+//!   `--capture-trace` / `--replay-trace` modes);
+//! * [`store`] — atomic publish protocol for the shared persistent result
+//!   store (safe under concurrent sweeps and the serve daemon).
 //!
 //! `cargo run --release -p wec-bench --bin experiments` prints everything;
 //! the Criterion benches under `benches/` regenerate individual figures.
@@ -23,6 +25,7 @@ pub mod diff;
 pub mod experiments;
 pub mod progress;
 pub mod runner;
+pub mod store;
 pub mod tracerun;
 
 pub use diff::{diff, DiffReport, MetricSet, Policy};

@@ -263,6 +263,9 @@ pub struct Runner<'a> {
     cache: Mutex<HashMap<(usize, CfgKey), MachineMetrics>>,
     /// Directory of the persistent result store, if enabled.
     disk: Option<PathBuf>,
+    /// Explicit host-thread count for [`Runner::warm`] (`--jobs`); falls
+    /// back to [`default_hosts`] when unset.
+    hosts: Option<usize>,
     counters: CacheCounters,
     obs: Option<Arc<dyn RunObserver>>,
 }
@@ -274,6 +277,25 @@ pub fn default_disk_dir() -> PathBuf {
         Some(dir) => PathBuf::from(dir),
         None => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/wec-result-cache"),
     }
+}
+
+/// Host worker count for parallel sweeps: the `WEC_JOBS` environment
+/// variable when set to a positive integer, otherwise the machine's
+/// available parallelism.  `experiments --jobs N` and the serve daemon's
+/// `--workers N` override this per invocation; the env var is how a daemon
+/// and interactive sweeps are kept from oversubscribing one host.
+pub fn default_hosts() -> usize {
+    if let Some(v) = std::env::var_os("WEC_JOBS") {
+        if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
+            if n > 0 {
+                return n;
+            }
+        }
+        eprintln!("ignoring WEC_JOBS={v:?}: not a positive integer");
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 impl<'a> Runner<'a> {
@@ -290,6 +312,7 @@ impl<'a> Runner<'a> {
             suite,
             cache: Mutex::new(HashMap::new()),
             disk: None,
+            hosts: None,
             counters: CacheCounters::default(),
             obs: None,
         }
@@ -302,6 +325,7 @@ impl<'a> Runner<'a> {
             suite,
             cache: Mutex::new(HashMap::new()),
             disk: Some(dir),
+            hosts: None,
             counters: CacheCounters::default(),
             obs: None,
         }
@@ -310,6 +334,12 @@ impl<'a> Runner<'a> {
     /// Attach a [`RunObserver`] notified of every simulation start/finish.
     pub fn set_observer(&mut self, obs: Arc<dyn RunObserver>) {
         self.obs = Some(obs);
+    }
+
+    /// Pin the host-thread count [`Runner::warm`] fans out over
+    /// (`experiments --jobs N`).  Unset, [`default_hosts`] decides.
+    pub fn set_hosts(&mut self, hosts: usize) {
+        self.hosts = Some(hosts.max(1));
     }
 
     /// Cache-path accounting for everything this runner resolved.
@@ -366,24 +396,13 @@ impl<'a> Runner<'a> {
 
     /// Write a point to the disk store.  Best-effort: a read-only or
     /// missing target directory silently degrades to in-process caching.
-    /// The write goes to a per-thread temp name first and is renamed into
-    /// place, so concurrent writers and readers never see partial files.
+    /// The write goes through [`crate::store::atomic_write`], so concurrent
+    /// writers and readers never see partial files.
     fn disk_store(&self, bench_idx: usize, key: CfgKey, m: &MachineMetrics) {
         let Some(path) = self.disk_path(bench_idx, key) else {
             return;
         };
-        let Some(dir) = path.parent() else { return };
-        if std::fs::create_dir_all(dir).is_err() {
-            return;
-        }
-        let tmp = path.with_extension(format!(
-            "tmp.{}.{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        if std::fs::write(&tmp, m.to_kv()).is_ok() && std::fs::rename(&tmp, &path).is_err() {
-            let _ = std::fs::remove_file(&tmp);
-        }
+        crate::store::atomic_write_best_effort(&path, &m.to_kv());
     }
 
     /// Run one cold point on `worker`, with observer + counter bookkeeping.
@@ -448,12 +467,10 @@ impl<'a> Runner<'a> {
 
     /// Simulate the given points in parallel across host threads, filling
     /// the cache (results are deterministic regardless of scheduling — the
-    /// simulator itself is single-threaded and seeded).
+    /// simulator itself is single-threaded and seeded).  The thread count
+    /// is [`Runner::set_hosts`] if pinned, else [`default_hosts`].
     pub fn warm(&self, points: &[(usize, CfgKey)]) {
-        let hosts = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4);
-        self.warm_with_hosts(points, hosts);
+        self.warm_with_hosts(points, self.hosts.unwrap_or_else(default_hosts));
     }
 
     /// [`Runner::warm`] with an explicit host-thread count (determinism

@@ -1,0 +1,114 @@
+//! Atomic writes for the persistent result store.
+//!
+//! The store is shared by concurrent writers from several angles at once:
+//! host threads inside one `experiments` sweep, replay sweeps, and — since
+//! the serve daemon — N worker threads in a long-lived process racing with
+//! interactive CLI runs on the same machine.  Readers take whatever file is
+//! at the final path with a bare `read_to_string`, so the only safe publish
+//! protocol is write-to-temp + atomic rename: a reader sees either the old
+//! complete entry or the new complete entry, never a partial write.
+//!
+//! The temp name embeds both the process id and the thread id.  Process id
+//! alone is not enough: two worker threads of one daemon racing on the same
+//! key would interleave writes into one temp file and publish garbage.
+
+use std::io;
+use std::path::Path;
+
+/// Write `contents` to `path` atomically (temp file + rename), creating the
+/// parent directory if needed.  On any failure the temp file is removed and
+/// the error returned; the final path is never left half-written.
+pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    let dir = path
+        .parent()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no parent"))?;
+    std::fs::create_dir_all(dir)?;
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let write = std::fs::write(&tmp, contents).and_then(|()| std::fs::rename(&tmp, path));
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write
+}
+
+/// [`atomic_write`] for best-effort callers: a read-only or vanished target
+/// silently degrades to not caching (the entry is recomputed next time).
+pub fn atomic_write_best_effort(path: &Path, contents: &str) {
+    let _ = atomic_write(path, contents);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("wec-store-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = scratch("basic");
+        let path = dir.join("entry.kv");
+        atomic_write(&path, "cycles 1\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "cycles 1\n");
+        atomic_write(&path, "cycles 2\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "cycles 2\n");
+        // No temp litter left behind.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The multi-writer regression test for the daemon: two threads hammer
+    /// the same key with different (self-consistent) payloads while a
+    /// reader polls the final path.  Every read must parse as one complete
+    /// payload — torn or interleaved content fails the run.
+    #[test]
+    fn racing_writers_never_publish_a_torn_entry() {
+        let dir = scratch("race");
+        let path = dir.join("entry.kv");
+        let a = "writer a\n".repeat(512);
+        let b = "writer b\n".repeat(512);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let writers: Vec<_> = [&a, &b]
+                .into_iter()
+                .map(|payload| {
+                    s.spawn(|| {
+                        for _ in 0..300 {
+                            atomic_write(&path, payload).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            let reader = s.spawn(|| {
+                let mut seen = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    if let Ok(text) = std::fs::read_to_string(&path) {
+                        assert!(
+                            text == a || text == b,
+                            "torn read: {} bytes, first line {:?}",
+                            text.len(),
+                            text.lines().next()
+                        );
+                        seen += 1;
+                    }
+                }
+                seen
+            });
+            for w in writers {
+                w.join().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+            assert!(
+                reader.join().unwrap() > 0,
+                "reader never observed the entry"
+            );
+        });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -174,8 +174,11 @@ fn sum(subset: &[(String, u64)], suffix: &str) -> u64 {
 
 /// Replay one sweep point, memoized in `cache_dir` by (trace identity,
 /// configuration label, simulator revision).  Returns the cache-counter
-/// subset and whether it was replayed cold.
-fn replay_point(
+/// subset and whether it was replayed cold.  Shared with the serve
+/// daemon's replay jobs, so a point replayed by a sweep is warm for the
+/// server and vice versa; the memo write is atomic ([`crate::store`])
+/// because daemon workers race on shared keys.
+pub fn replay_point(
     trace: &Trace,
     key: CfgKey,
     cache_dir: Option<&Path>,
@@ -204,16 +207,7 @@ fn replay_point(
     });
     let subset = cache_stat_subset(&outcome.stats);
     if let Some(p) = &path {
-        if let Some(dir) = p.parent() {
-            if std::fs::create_dir_all(dir).is_ok() {
-                let tmp = p.with_extension(format!("tmp.{}", std::process::id()));
-                if std::fs::write(&tmp, kv_string(&subset)).is_ok()
-                    && std::fs::rename(&tmp, p).is_err()
-                {
-                    let _ = std::fs::remove_file(&tmp);
-                }
-            }
-        }
+        crate::store::atomic_write_best_effort(p, &kv_string(&subset));
     }
     (subset, true)
 }

@@ -1,0 +1,269 @@
+//! Open-loop load generator for the serve daemon.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--count N] [--rate JOBS_PER_SEC]
+//!         [--concurrency N] [--bench NAME] [--scale N] [--spread K]
+//!         [--prewarm] [--out BENCH_serve.json] [--min-rate F]
+//! ```
+//!
+//! Sends `--count` `POST /jobs` submissions at a scheduled `--rate`,
+//! cycling over `--spread` distinct configurations (side-structure
+//! geometry variations of the paper machine), and polls each returned job
+//! to a terminal state.  The generator is *open-loop*: request `i` is due
+//! at `t0 + i/rate` regardless of how the daemon is keeping up, and
+//! latency is measured from that due time — so a daemon that falls behind
+//! shows queueing delay instead of hiding it (closed-loop generators
+//! coordinate with the victim and under-report).
+//!
+//! `--prewarm` first submits each distinct configuration once and waits
+//! for it (cold sims), so the timed phase measures the dedup/memo path —
+//! the serving-throughput number the acceptance gate cares about.
+//! Results (throughput, latency percentiles, outcome counts) go to
+//! `--out` as a `wec-bench-serve-v1` document and to stdout.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use wec_telemetry::json::{self, Json};
+
+fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::Result<(u16, String)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    let mut stream = stream;
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    if let Some(b) = body {
+        req.push_str(&format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n",
+            b.len()
+        ));
+    }
+    req.push_str("\r\n");
+    stream.write_all(req.as_bytes())?;
+    if let Some(b) = body {
+        stream.write_all(b.as_bytes())?;
+    }
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, payload.to_string()))
+}
+
+/// Poll `GET /jobs/<id>` until terminal; returns the final state name.
+fn poll_terminal(addr: &str, id: u64) -> io::Result<String> {
+    loop {
+        let (status, body) = http(addr, "GET", &format!("/jobs/{id}"), None)?;
+        if status != 200 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("GET /jobs/{id} -> {status}"),
+            ));
+        }
+        let v = json::parse(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let state = v
+            .get("state")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        if state == "done" || state == "failed" {
+            return Ok(state);
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn record_id_state(body: &str) -> Option<(u64, String)> {
+    let v = json::parse(body).ok()?;
+    Some((
+        v.get("id")?.as_u64()?,
+        v.get("state")?.as_str()?.to_string(),
+    ))
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let mut addr = None;
+    let mut count: usize = 200;
+    let mut rate: f64 = 100.0;
+    let mut concurrency: usize = 8;
+    let mut bench = "181.mcf".to_string();
+    let mut scale: u32 = 1;
+    let mut spread: usize = 4;
+    let mut prewarm = false;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut min_rate: f64 = 0.0;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{what} requires a value"))
+                .clone()
+        };
+        match a.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--count" => count = value("--count").parse().expect("--count N"),
+            "--rate" => rate = value("--rate").parse().expect("--rate F"),
+            "--concurrency" => {
+                concurrency = value("--concurrency").parse().expect("--concurrency N")
+            }
+            "--bench" => bench = value("--bench"),
+            "--scale" => scale = value("--scale").parse().expect("--scale N"),
+            "--spread" => spread = value("--spread").parse().expect("--spread K"),
+            "--prewarm" => prewarm = true,
+            "--out" => out = value("--out"),
+            "--min-rate" => min_rate = value("--min-rate").parse().expect("--min-rate F"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let addr = addr.expect("loadgen requires --addr HOST:PORT");
+    assert!(rate > 0.0 && count > 0 && concurrency > 0, "bad load shape");
+    assert!(
+        (1..=24).contains(&spread),
+        "--spread must be 1..=24 distinct configurations"
+    );
+
+    // The distinct configuration mix: side-structure entry counts crossed
+    // with L1 associativity, the same axes the replay sweeps use.
+    const SIDES: [u8; 8] = [8, 16, 32, 64, 2, 4, 24, 128];
+    const WAYS: [u8; 3] = [1, 2, 4];
+    let bodies: Vec<String> = (0..spread)
+        .map(|i| {
+            format!(
+                "{{\"bench\":\"{bench}\",\"scale\":{scale},\"cfg\":{{\"side_entries\":{},\"l1_ways\":{}}}}}",
+                SIDES[i % SIDES.len()],
+                WAYS[(i / SIDES.len()) % WAYS.len()]
+            )
+        })
+        .collect();
+
+    if prewarm {
+        eprintln!("prewarming {spread} configuration(s) on {bench} at scale {scale}…");
+        let t = Instant::now();
+        for body in &bodies {
+            let (status, resp) = http(&addr, "POST", "/jobs", Some(body)).expect("prewarm POST");
+            assert_eq!(status, 200, "prewarm rejected: {resp}");
+            let (id, state) = record_id_state(&resp).expect("prewarm: bad record");
+            if state != "done" {
+                let state = poll_terminal(&addr, id).expect("prewarm poll");
+                assert_eq!(state, "done", "prewarm job {id} failed");
+            }
+        }
+        eprintln!("prewarm done in {:.1}s", t.elapsed().as_secs_f64());
+    }
+
+    eprintln!(
+        "open-loop: {count} jobs at {rate:.0}/s over {concurrency} connections ({spread} distinct cfgs)…"
+    );
+    let next = AtomicUsize::new(0);
+    let completed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(count));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..concurrency {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    return;
+                }
+                let due = Duration::from_secs_f64(i as f64 / rate);
+                if let Some(wait) = due.checked_sub(t0.elapsed()) {
+                    std::thread::sleep(wait);
+                }
+                let body = &bodies[i % bodies.len()];
+                let outcome = http(&addr, "POST", "/jobs", Some(body)).and_then(
+                    |(status, resp)| match status {
+                        200 => {
+                            let (id, state) = record_id_state(&resp).ok_or_else(|| {
+                                io::Error::new(io::ErrorKind::InvalidData, "bad record")
+                            })?;
+                            if state == "done" {
+                                Ok("done".to_string())
+                            } else {
+                                poll_terminal(&addr, id)
+                            }
+                        }
+                        503 => Ok("rejected".to_string()),
+                        other => Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("POST /jobs -> {other}: {resp}"),
+                        )),
+                    },
+                );
+                match outcome.as_deref() {
+                    Ok("done") => {
+                        let lat = t0.elapsed().saturating_sub(due);
+                        latencies.lock().unwrap().push(lat.as_micros() as u64);
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok("rejected") => {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(_) => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        eprintln!("loadgen: job {i}: {e}");
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let completed = completed.into_inner();
+    let failed = failed.into_inner();
+    let rejected = rejected.into_inner();
+    let mut lats = latencies.into_inner().unwrap();
+    lats.sort_unstable();
+    let jobs_per_sec = completed as f64 / wall_s.max(1e-9);
+    let (p50, p90, p99, max) = (
+        percentile(&lats, 50.0),
+        percentile(&lats, 90.0),
+        percentile(&lats, 99.0),
+        lats.last().copied().unwrap_or(0),
+    );
+
+    let doc = format!(
+        "{{\n  \"schema\": \"wec-bench-serve-v1\",\n  \"bench\": \"{bench}\",\n  \
+         \"scale\": {scale},\n  \"spread\": {spread},\n  \"count\": {count},\n  \
+         \"rate\": {rate:.1},\n  \"concurrency\": {concurrency},\n  \"prewarm\": {prewarm},\n  \
+         \"wall_s\": {wall_s:.3},\n  \"completed\": {completed},\n  \"failed\": {failed},\n  \
+         \"rejected\": {rejected},\n  \"jobs_per_sec\": {jobs_per_sec:.1},\n  \
+         \"latency_us\": {{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \"max\": {max}}}\n}}\n"
+    );
+    std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!(
+        "{completed}/{count} completed ({failed} failed, {rejected} rejected) in {wall_s:.2}s \
+         -> {jobs_per_sec:.1} jobs/s; latency p50 {p50}us p90 {p90}us p99 {p99}us max {max}us"
+    );
+    println!("wrote {out}");
+    if min_rate > 0.0 && (jobs_per_sec < min_rate || failed > 0) {
+        eprintln!(
+            "FAIL: sustained {jobs_per_sec:.1} jobs/s with {failed} failures \
+             (floor {min_rate:.1} jobs/s, 0 failures)"
+        );
+        std::process::exit(1);
+    }
+}

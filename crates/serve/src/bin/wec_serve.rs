@@ -1,0 +1,89 @@
+//! The serve daemon binary.
+//!
+//! ```text
+//! wec_serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!           [--store DIR | --no-store] [--log-dir DIR]
+//!           [--io-timeout-ms N] [--events-timeout-ms N]
+//! ```
+//!
+//! Defaults: `127.0.0.1:8407`, [`wec_bench::runner::default_hosts`]
+//! workers (so `WEC_JOBS` caps the daemon too), queue capacity 64, and
+//! the shared persistent result store at
+//! [`wec_bench::runner::default_disk_dir`] (`WEC_RESULT_CACHE`
+//! overridable).  With `--log-dir` the daemon appends every terminal job
+//! to `jobs.jsonl` and writes `stats.json` on drain — both validated by
+//! `telemetry_check`.  SIGTERM/SIGINT/`POST /shutdown` drain gracefully:
+//! in-flight jobs finish, then the process exits 0.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use wec_serve::server::install_signal_handlers;
+use wec_serve::{ServeConfig, Server};
+
+fn main() {
+    let mut addr = "127.0.0.1:8407".to_string();
+    let mut cfg = ServeConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{what} requires a value"))
+                .clone()
+        };
+        match a.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--workers" => {
+                cfg.workers = value("--workers").parse().expect("--workers N");
+                assert!(cfg.workers > 0, "--workers must be positive");
+            }
+            "--queue-cap" => {
+                cfg.queue_cap = value("--queue-cap").parse().expect("--queue-cap N");
+                assert!(cfg.queue_cap > 0, "--queue-cap must be positive");
+            }
+            "--store" => cfg.store = Some(PathBuf::from(value("--store"))),
+            "--no-store" => cfg.store = None,
+            "--log-dir" => cfg.log_dir = Some(PathBuf::from(value("--log-dir"))),
+            "--io-timeout-ms" => {
+                cfg.io_timeout = Duration::from_millis(
+                    value("--io-timeout-ms").parse().expect("--io-timeout-ms N"),
+                );
+            }
+            "--events-timeout-ms" => {
+                cfg.events_timeout = Duration::from_millis(
+                    value("--events-timeout-ms")
+                        .parse()
+                        .expect("--events-timeout-ms N"),
+                );
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    install_signal_handlers();
+    let server =
+        Server::bind(&addr, cfg.clone()).unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+    let state = server.state();
+    eprintln!(
+        "wec-serve listening on {} ({} workers, queue {}, store {}, logs {})",
+        server
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or(addr.clone()),
+        cfg.workers,
+        cfg.queue_cap,
+        cfg.store
+            .as_ref()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "disabled".to_string()),
+        cfg.log_dir
+            .as_ref()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "disabled".to_string()),
+    );
+    server
+        .run()
+        .unwrap_or_else(|e| panic!("serve loop failed: {e}"));
+    eprintln!("wec-serve drained: {}", state.stats_json());
+}

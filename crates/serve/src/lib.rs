@@ -1,0 +1,48 @@
+//! The serve daemon: long-running simulation-as-a-service over the
+//! experiment harness.
+//!
+//! `wec_serve` wraps the [`wec_bench`] runner and trace-replay machinery in
+//! a std-only HTTP/1.1 daemon (no async runtime, no HTTP library — a
+//! [`std::net::TcpListener`], a worker thread pool, and hand-rolled
+//! request/response framing in the same house style as
+//! [`wec_telemetry::json`]):
+//!
+//! * [`http`] — the HTTP/1.1 request parser (hard limits, never panics on
+//!   wire input) and response/chunked-transfer writers;
+//! * [`job`] — the job specification (`POST /jobs` body) and the
+//!   `wec-job-record-v1` record every job carries through its life;
+//! * [`queue`] — the bounded FIFO between the acceptor and the workers
+//!   (full queue ⇒ `503` backpressure, close ⇒ graceful drain);
+//! * [`state`] — everything the acceptor, workers and stat readers share:
+//!   the job table, the in-flight dedup index (two identical submissions
+//!   share one execution), the warm-result memo, and the counters behind
+//!   `GET /stats`;
+//! * [`worker`] — the worker loop: runs sim jobs through
+//!   [`wec_bench::Runner`] (same persistent result store, byte-identical
+//!   cache entries) and replay jobs through
+//!   [`wec_bench::tracerun::replay_point`], panics become failed jobs;
+//! * [`server`] — the accept loop, routing, the `/jobs/<id>/events`
+//!   progress stream (chunked, `progress.jsonl` schema), and graceful
+//!   drain on SIGTERM / `POST /shutdown`.
+//!
+//! Binaries: `wec_serve` (the daemon) and `loadgen` (an open-loop load
+//! generator that reports throughput/latency to `BENCH_serve.json`).
+
+pub mod http;
+pub mod job;
+pub mod queue;
+pub mod server;
+pub mod state;
+pub mod worker;
+
+pub use job::{JobKind, JobRecord, JobSpec, JobState};
+pub use queue::JobQueue;
+pub use server::Server;
+pub use state::{ServeConfig, ServerState, SubmitError};
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.  Worker
+/// panics are turned into failed jobs, so shared state stays consistent and
+/// a poisoned lock must not take the whole daemon down with it.
+pub(crate) fn lock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}

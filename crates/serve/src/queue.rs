@@ -1,0 +1,125 @@
+//! The bounded job queue between the acceptor and the worker pool.
+//!
+//! A plain `Mutex<VecDeque>` + `Condvar` FIFO with a hard capacity:
+//! [`JobQueue::push`] never blocks (a full queue is the `503` backpressure
+//! signal, not a stall), [`JobQueue::pop`] blocks until work arrives or
+//! the queue is closed.  Closing is how drain works: the acceptor closes
+//! after the last job is accounted for, every worker drains what remains
+//! and then sees `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::lock;
+
+struct Inner {
+    items: VecDeque<u64>,
+    closed: bool,
+}
+
+/// Bounded multi-producer multi-consumer FIFO of job ids.
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    cap: usize,
+}
+
+/// Why a push was refused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PushError {
+    /// At capacity — the caller should answer `503` with `Retry-After`.
+    Full,
+    /// Draining — no new work is accepted.
+    Closed,
+}
+
+impl JobQueue {
+    pub fn new(cap: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    pub fn depth(&self) -> usize {
+        lock(&self.inner).items.len()
+    }
+
+    /// Enqueue without blocking; on success returns the new depth.
+    pub fn push(&self, id: u64) -> Result<usize, PushError> {
+        let mut g = lock(&self.inner);
+        if g.closed {
+            return Err(PushError::Closed);
+        }
+        if g.items.len() >= self.cap {
+            return Err(PushError::Full);
+        }
+        g.items.push_back(id);
+        let depth = g.items.len();
+        drop(g);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeue, blocking until an item arrives.  `None` once the queue is
+    /// closed *and* empty — the worker-pool shutdown signal.
+    pub fn pop(&self) -> Option<u64> {
+        let mut g = lock(&self.inner);
+        loop {
+            if let Some(id) = g.items.pop_front() {
+                return Some(id);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.ready.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stop accepting pushes; wake every blocked popper.
+    pub fn close(&self) {
+        lock(&self.inner).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.push(1), Ok(1));
+        assert_eq!(q.push(2), Ok(2));
+        assert_eq!(q.push(3), Err(PushError::Full));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(3), Ok(2), "capacity freed by pop");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_releases_workers() {
+        let q = std::sync::Arc::new(JobQueue::new(8));
+        q.push(1).unwrap();
+        q.close();
+        assert_eq!(q.push(2), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1), "closing never drops queued work");
+        assert_eq!(q.pop(), None);
+
+        // A popper blocked before close wakes up with `None`.
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        assert_eq!(h.join().unwrap(), None);
+    }
+}

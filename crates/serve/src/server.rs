@@ -1,0 +1,310 @@
+//! The accept loop, request routing, and graceful drain.
+//!
+//! The daemon is deliberately boring concurrency: a nonblocking listener
+//! polled every 20 ms, one short-lived thread per connection (one request
+//! per connection, `Connection: close`), and the long-lived worker pool
+//! behind the queue.  Drain — `POST /shutdown` or SIGTERM/SIGINT — flips
+//! one flag: submissions start answering `503`, the accept loop waits for
+//! the outstanding-job count to reach zero, closes the queue, joins the
+//! workers, writes `stats.json`, and [`Server::run`] returns.
+//!
+//! Endpoints:
+//!
+//! | method | path                   | answer                                   |
+//! |--------|------------------------|------------------------------------------|
+//! | POST   | `/jobs`                | job record (shared on dedup); `503` full |
+//! | GET    | `/jobs/<id>`           | `wec-job-record-v1` document             |
+//! | GET    | `/jobs/<id>/result.kv` | result counters; `202` until terminal    |
+//! | GET    | `/jobs/<id>/events`    | chunked `progress.jsonl` stream          |
+//! | GET    | `/stats`               | `wec-serve-stats-v1` document            |
+//! | GET    | `/healthz`             | liveness probe                           |
+//! | POST   | `/shutdown`            | begin graceful drain                     |
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use wec_telemetry::json::escape_into;
+
+use crate::http::{self, ChunkedWriter, Request};
+use crate::job::JobState;
+use crate::lock;
+use crate::state::{ServeConfig, ServerState, SubmitError};
+use crate::worker;
+
+/// Set by the SIGTERM/SIGINT handler; the accept loop folds it into the
+/// drain flag on its next poll.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+/// Route SIGTERM and SIGINT into a graceful drain.  Raw `signal(2)` via
+/// the C runtime already linked into every binary — the workspace carries
+/// no libc crate, and a handler that stores one atomic is async-safe.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+fn error_json(msg: &str) -> String {
+    let mut out = String::from("{\"error\":");
+    escape_into(&mut out, msg);
+    out.push('}');
+    out
+}
+
+/// The daemon: a bound listener plus its worker pool.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and spawn
+    /// the worker pool.  The listener is live once this returns.
+    pub fn bind(addr: &str, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let state = ServerState::new(cfg)?;
+        let workers = worker::spawn(&state);
+        Ok(Server {
+            listener,
+            state,
+            workers,
+        })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    pub fn state(&self) -> Arc<ServerState> {
+        self.state.clone()
+    }
+
+    /// Serve until drained: accept until shutdown is requested and every
+    /// accepted job is terminal, then close the queue, join the workers
+    /// and write the exit logs.
+    pub fn run(self) -> io::Result<()> {
+        loop {
+            if TERMINATE.load(Ordering::SeqCst) {
+                self.state.draining.store(true, Ordering::SeqCst);
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let st = self.state.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("wec-serve-conn".to_string())
+                        .spawn(move || handle_conn(st, stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if self.state.draining.load(Ordering::SeqCst) && self.state.outstanding() == 0 {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    eprintln!("wec-serve: accept error: {e}");
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+        self.state.queue.close();
+        for h in self.workers {
+            let _ = h.join();
+        }
+        self.state.write_exit_logs();
+        Ok(())
+    }
+}
+
+fn handle_conn(state: Arc<ServerState>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(state.cfg.io_timeout));
+    let _ = stream.set_write_timeout(Some(state.cfg.io_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut w = BufWriter::new(stream);
+    match http::read_request(&mut reader) {
+        Ok(req) => {
+            let _ = route(&state, &req, &mut w);
+        }
+        Err(e) => {
+            // Malformed input gets a 400; transport errors and clean
+            // closes get nothing (there is no one left to answer).
+            if let Some(msg) = e.client_message() {
+                let _ = http::write_json(&mut w, 400, "Bad Request", &error_json(msg));
+            }
+        }
+    }
+    let _ = w.flush();
+}
+
+fn route<W: Write>(state: &Arc<ServerState>, req: &Request, w: &mut W) -> io::Result<()> {
+    let method = req.method.as_str();
+    match req.path.as_str() {
+        "/jobs" => match method {
+            "POST" => submit(state, req, w),
+            _ => method_not_allowed(w, "POST"),
+        },
+        "/stats" => match method {
+            "GET" => http::write_json(w, 200, "OK", &state.stats_json()),
+            _ => method_not_allowed(w, "GET"),
+        },
+        "/healthz" => match method {
+            "GET" => http::write_response(w, 200, "OK", "text/plain", b"ok\n", &[]),
+            _ => method_not_allowed(w, "GET"),
+        },
+        "/shutdown" => match method {
+            "POST" => {
+                state.draining.store(true, Ordering::SeqCst);
+                http::write_json(w, 200, "OK", "{\"draining\":true}")
+            }
+            _ => method_not_allowed(w, "POST"),
+        },
+        path => match path.strip_prefix("/jobs/") {
+            Some(rest) => job_route(state, method, rest, w),
+            None => http::write_json(w, 404, "Not Found", &error_json("no such endpoint")),
+        },
+    }
+}
+
+fn method_not_allowed<W: Write>(w: &mut W, allow: &str) -> io::Result<()> {
+    http::write_response(
+        w,
+        405,
+        "Method Not Allowed",
+        "application/json",
+        error_json("method not allowed").as_bytes(),
+        &[("Allow", allow.to_string())],
+    )
+}
+
+fn submit<W: Write>(state: &Arc<ServerState>, req: &Request, w: &mut W) -> io::Result<()> {
+    let body = match req.body_utf8() {
+        Ok(b) => b,
+        Err(e) => return http::write_json(w, 400, "Bad Request", &error_json(&e)),
+    };
+    let spec = match crate::job::JobSpec::parse(body) {
+        Ok(s) => s,
+        Err(e) => return http::write_json(w, 400, "Bad Request", &error_json(&e)),
+    };
+    match state.submit(spec) {
+        Ok(slot) => http::write_json(w, 200, "OK", &slot.record().to_json()),
+        Err(e) => {
+            let msg = match e {
+                SubmitError::QueueFull => "queue full, retry later",
+                SubmitError::Draining => "draining, not accepting jobs",
+            };
+            http::write_response(
+                w,
+                503,
+                "Service Unavailable",
+                "application/json",
+                error_json(msg).as_bytes(),
+                &[("Retry-After", "1".to_string())],
+            )
+        }
+    }
+}
+
+fn job_route<W: Write>(
+    state: &Arc<ServerState>,
+    method: &str,
+    rest: &str,
+    w: &mut W,
+) -> io::Result<()> {
+    let mut parts = rest.splitn(2, '/');
+    let id = parts.next().unwrap_or("");
+    let sub = parts.next();
+    let slot = match id.parse::<u64>().ok().and_then(|id| state.job(id)) {
+        Some(s) => s,
+        None => return http::write_json(w, 404, "Not Found", &error_json("no such job")),
+    };
+    match (method, sub) {
+        ("GET", None) => http::write_json(w, 200, "OK", &slot.record().to_json()),
+        ("GET", Some("result.kv")) => {
+            let rec = slot.record();
+            match rec.state {
+                JobState::Done => http::write_response(
+                    w,
+                    200,
+                    "OK",
+                    "text/plain",
+                    rec.metrics_kv().as_bytes(),
+                    &[],
+                ),
+                JobState::Failed => {
+                    http::write_json(w, 500, "Internal Server Error", &error_json(&rec.error))
+                }
+                _ => http::write_json(w, 202, "Accepted", &rec.to_json()),
+            }
+        }
+        ("GET", Some("events")) => stream_events(state, &slot, w),
+        ("GET", Some(_)) => http::write_json(w, 404, "Not Found", &error_json("no such endpoint")),
+        _ => method_not_allowed(w, "GET"),
+    }
+}
+
+/// Stream the job's progress lines as they appear (chunked transfer, one
+/// `progress.jsonl` line per chunk), ending once the job is terminal and
+/// everything buffered has been sent, or at the stream deadline.
+fn stream_events<W: Write>(
+    state: &Arc<ServerState>,
+    slot: &Arc<crate::state::JobSlot>,
+    w: &mut W,
+) -> io::Result<()> {
+    let mut cw = ChunkedWriter::begin(w, 200, "OK", "application/jsonl")?;
+    let deadline = Instant::now() + state.cfg.events_timeout;
+    let mut sent = 0usize;
+    loop {
+        let (new_lines, terminal) = {
+            let mut g = lock(&slot.inner);
+            loop {
+                if g.events.len() > sent || g.record.state.terminal() {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let wait = (deadline - now).min(Duration::from_millis(200));
+                let (guard, _) = slot
+                    .cv
+                    .wait_timeout(g, wait)
+                    .unwrap_or_else(|e| e.into_inner());
+                g = guard;
+            }
+            (g.events[sent..].to_vec(), g.record.state.terminal())
+        };
+        for line in &new_lines {
+            cw.chunk(format!("{line}\n").as_bytes())?;
+        }
+        sent += new_lines.len();
+        // Terminal was read under the same lock as the copy, so there is
+        // nothing left to arrive once it is set.
+        if terminal || Instant::now() >= deadline {
+            break;
+        }
+    }
+    cw.finish()
+}

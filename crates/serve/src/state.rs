@@ -1,0 +1,577 @@
+//! Shared daemon state: the job table, dedup index, warm memo and stats.
+//!
+//! One [`ServerState`] is shared by the acceptor, every worker and every
+//! stat reader.  Three layers keep repeated work from re-simulating:
+//!
+//! 1. the **in-flight dedup index** — a second `POST /jobs` with the same
+//!    (kind, bench, scale, configuration) while the first is still queued
+//!    or running lands on the *same* job (one execution, both submitters
+//!    poll one id);
+//! 2. the **warm memo** — once a job completes, identical submissions are
+//!    answered synchronously from memory (`source: "mem"`), which is what
+//!    makes the warm-path throughput target cheap;
+//! 3. the **persistent result store** — the same on-disk `.kv` store the
+//!    `experiments` sweeps use ([`wec_bench::runner::default_disk_dir`]),
+//!    so daemon and CLI warm each other across restarts, and a served
+//!    result is byte-identical to a direct run's cache entry.
+//!
+//! Lock ordering: `inflight` may be held while taking a job slot's lock
+//! (submission); a slot's lock is never held while taking `inflight`
+//! (completion releases the slot first).  Counters that must stay mutually
+//! consistent for `GET /stats` live under one mutex, so a snapshot never
+//! observes `completed` without its cache-source increment.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use wec_bench::runner::{default_disk_dir, default_hosts};
+use wec_bench::Suite;
+use wec_telemetry::report::progress_finish_line;
+use wec_trace::Trace;
+use wec_workloads::{Bench, Scale};
+
+use crate::job::{JobRecord, JobSpec, JobState};
+use crate::lock;
+use crate::queue::{JobQueue, PushError};
+
+/// Daemon configuration (flags of the `wec_serve` binary).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Queue capacity; a full queue answers `503` + `Retry-After`.
+    pub queue_cap: usize,
+    /// Persistent result store directory (`None` = in-memory only).
+    pub store: Option<PathBuf>,
+    /// Where to write `jobs.jsonl` (live) and `stats.json` (at drain).
+    pub log_dir: Option<PathBuf>,
+    /// Socket read/write timeout per request.
+    pub io_timeout: Duration,
+    /// Upper bound on one `/jobs/<id>/events` stream's lifetime.
+    pub events_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: default_hosts(),
+            queue_cap: 64,
+            store: Some(default_disk_dir()),
+            log_dir: None,
+            io_timeout: Duration::from_secs(10),
+            events_timeout: Duration::from_secs(600),
+        }
+    }
+}
+
+/// One job's shared slot: its record, its progress-event lines, and (until
+/// a worker claims it) its spec.  The condvar is notified on every change.
+#[derive(Debug)]
+pub struct JobSlot {
+    pub inner: Mutex<JobInner>,
+    pub cv: Condvar,
+}
+
+#[derive(Debug)]
+pub struct JobInner {
+    pub record: JobRecord,
+    /// `progress.jsonl`-schema lines, streamed by `/jobs/<id>/events`.
+    pub events: Vec<String>,
+    /// Taken by the executing worker.
+    pub spec: Option<JobSpec>,
+}
+
+impl JobSlot {
+    fn new(record: JobRecord, events: Vec<String>, spec: Option<JobSpec>) -> Arc<JobSlot> {
+        Arc::new(JobSlot {
+            inner: Mutex::new(JobInner {
+                record,
+                events,
+                spec,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Append one progress line and wake streamers.
+    pub fn push_event(&self, line: String) {
+        lock(&self.inner).events.push(line);
+        self.cv.notify_all();
+    }
+
+    /// A point-in-time copy of the record.
+    pub fn record(&self) -> JobRecord {
+        lock(&self.inner).record.clone()
+    }
+
+    /// Block until the job reaches a terminal state (true) or `timeout`
+    /// elapses (false).
+    pub fn wait_terminal(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut g = lock(&self.inner);
+        loop {
+            if g.record.state.terminal() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            g = guard;
+        }
+    }
+}
+
+/// A completed result, kept for warm (`mem`) answers.
+struct MemoEntry {
+    metrics: Arc<Vec<(String, u64)>>,
+    sim_cycles: u64,
+}
+
+/// How a worker resolved a job.
+pub struct Outcome {
+    /// `"cold"` / `"disk"` / `"mem"` — [`wec_bench::CacheSource`] names.
+    pub source: &'static str,
+    pub metrics: Arc<Vec<(String, u64)>>,
+    pub sim_cycles: u64,
+    pub dur_ms: u64,
+}
+
+/// Why a submission was refused (both answer `503`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SubmitError {
+    QueueFull,
+    Draining,
+}
+
+/// Counters that must stay mutually consistent under one lock (the
+/// `wec-serve-stats-v1` invariants, e.g. cache sources summing to
+/// `completed`, are checked by CI against live snapshots).
+#[derive(Default)]
+struct Counts {
+    submitted: u64,
+    deduped: u64,
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+    cold: u64,
+    disk_hits: u64,
+    mem_hits: u64,
+}
+
+/// Everything the acceptor, workers and stat readers share.
+pub struct ServerState {
+    pub cfg: ServeConfig,
+    pub queue: JobQueue,
+    /// Set by `POST /shutdown` or SIGTERM; refuses new jobs, drains.
+    pub draining: AtomicBool,
+    t0: Instant,
+    next_id: AtomicU64,
+    jobs: Mutex<HashMap<u64, Arc<JobSlot>>>,
+    /// Dedup key → live job id.
+    inflight: Mutex<HashMap<String, u64>>,
+    memo: Mutex<HashMap<String, Arc<MemoEntry>>>,
+    /// Built workload suites, one per (bench, scale) ever requested.
+    suites: Mutex<HashMap<(&'static str, u32), Arc<Suite>>>,
+    /// Loaded capture traces, one per path ever requested.
+    traces: Mutex<HashMap<PathBuf, Arc<Trace>>>,
+    counts: Mutex<Counts>,
+    /// Jobs accepted into the queue and not yet terminal (drain barrier).
+    outstanding: AtomicU64,
+    /// Workers currently executing a job (stats gauge).
+    pub busy: AtomicU64,
+    /// Total worker-occupied milliseconds (utilization numerator).
+    pub busy_ms: AtomicU64,
+    jobs_log: Mutex<Option<std::fs::File>>,
+}
+
+impl ServerState {
+    pub fn new(cfg: ServeConfig) -> std::io::Result<Arc<ServerState>> {
+        let jobs_log = match &cfg.log_dir {
+            None => None,
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                Some(
+                    std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(dir.join("jobs.jsonl"))?,
+                )
+            }
+        };
+        let queue = JobQueue::new(cfg.queue_cap);
+        Ok(Arc::new(ServerState {
+            cfg,
+            queue,
+            draining: AtomicBool::new(false),
+            t0: Instant::now(),
+            next_id: AtomicU64::new(1),
+            jobs: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            memo: Mutex::new(HashMap::new()),
+            suites: Mutex::new(HashMap::new()),
+            traces: Mutex::new(HashMap::new()),
+            counts: Mutex::new(Counts::default()),
+            outstanding: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            busy_ms: AtomicU64::new(0),
+            jobs_log: Mutex::new(jobs_log),
+        }))
+    }
+
+    /// Milliseconds since daemon start — the time base of every record
+    /// field and progress line (one monotonic clock, so every stream is
+    /// time-ordered).
+    pub fn now_ms(&self) -> u64 {
+        self.t0.elapsed().as_millis() as u64
+    }
+
+    pub fn job(&self, id: u64) -> Option<Arc<JobSlot>> {
+        lock(&self.jobs).get(&id).cloned()
+    }
+
+    /// Jobs accepted and not yet terminal (the drain barrier: the queue
+    /// depth alone misses jobs popped but not yet finished).
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding.load(Ordering::SeqCst)
+    }
+
+    /// Submit one job.  Returns the (possibly shared) slot; the caller
+    /// renders its record.
+    pub fn submit(&self, spec: JobSpec) -> Result<Arc<JobSlot>, SubmitError> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err(SubmitError::Draining);
+        }
+        let key = spec.dedup_key();
+        let now = self.now_ms();
+        // The index lock is held across the whole decision so two racing
+        // identical submissions cannot both miss it and double-execute.
+        let mut inflight = lock(&self.inflight);
+        if let Some(slot) = inflight.get(&key).and_then(|id| self.job(*id)) {
+            let mut g = lock(&slot.inner);
+            g.record.submissions += 1;
+            drop(g);
+            let mut c = lock(&self.counts);
+            c.submitted += 1;
+            c.deduped += 1;
+            return Ok(slot.clone());
+        }
+        if let Some(entry) = lock(&self.memo).get(&key).cloned() {
+            // Warm hit: answer synchronously with a terminal record.
+            let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+            let mut record = JobRecord::new(id, &spec, now);
+            record.state = JobState::Done;
+            record.source = "mem";
+            record.start_t_ms = now;
+            record.finish_t_ms = now;
+            record.sim_cycles = entry.sim_cycles;
+            record.metrics = entry.metrics.clone();
+            let line = progress_finish_line(
+                now,
+                &record.bench,
+                &record.cfg,
+                0,
+                "mem",
+                0,
+                entry.sim_cycles,
+            );
+            let slot = JobSlot::new(record.clone(), vec![line], None);
+            lock(&self.jobs).insert(id, slot.clone());
+            {
+                let mut c = lock(&self.counts);
+                c.submitted += 1;
+                c.completed += 1;
+                c.mem_hits += 1;
+            }
+            self.log_record(&record);
+            return Ok(slot);
+        }
+        // Cold path: queue for a worker.
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let record = JobRecord::new(id, &spec, now);
+        let slot = JobSlot::new(record, Vec::new(), Some(spec));
+        lock(&self.jobs).insert(id, slot.clone());
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        match self.queue.push(id) {
+            Ok(_) => {
+                inflight.insert(key, id);
+                lock(&self.counts).submitted += 1;
+                Ok(slot)
+            }
+            Err(e) => {
+                self.outstanding.fetch_sub(1, Ordering::SeqCst);
+                lock(&self.jobs).remove(&id);
+                lock(&self.counts).rejected += 1;
+                Err(match e {
+                    PushError::Full => SubmitError::QueueFull,
+                    PushError::Closed => SubmitError::Draining,
+                })
+            }
+        }
+    }
+
+    /// Record a job's terminal outcome: fill the record, publish the memo,
+    /// release the dedup entry, count it, log it, wake every waiter.
+    pub fn complete(&self, slot: &Arc<JobSlot>, dedup_key: &str, res: Result<Outcome, String>) {
+        let now = self.now_ms();
+        let record = {
+            let mut g = lock(&slot.inner);
+            g.record.finish_t_ms = now;
+            match &res {
+                Ok(o) => {
+                    g.record.state = JobState::Done;
+                    g.record.source = o.source;
+                    g.record.dur_ms = o.dur_ms;
+                    g.record.sim_cycles = o.sim_cycles;
+                    g.record.metrics = o.metrics.clone();
+                }
+                Err(e) => {
+                    g.record.state = JobState::Failed;
+                    g.record.error = e.clone();
+                }
+            }
+            g.record.clone()
+        };
+        if let Ok(o) = &res {
+            // Memo before dedup release: a racing submission sees either
+            // the in-flight entry or the memo, never neither.
+            lock(&self.memo).insert(
+                dedup_key.to_string(),
+                Arc::new(MemoEntry {
+                    metrics: o.metrics.clone(),
+                    sim_cycles: o.sim_cycles,
+                }),
+            );
+        }
+        lock(&self.inflight).remove(dedup_key);
+        {
+            let mut c = lock(&self.counts);
+            match &res {
+                Ok(o) => {
+                    c.completed += 1;
+                    match o.source {
+                        "disk" => c.disk_hits += 1,
+                        "mem" => c.mem_hits += 1,
+                        _ => c.cold += 1,
+                    }
+                }
+                Err(_) => c.failed += 1,
+            }
+        }
+        self.outstanding.fetch_sub(1, Ordering::SeqCst);
+        self.log_record(&record);
+        slot.cv.notify_all();
+    }
+
+    /// The built suite for one (bench, scale) — a single-workload suite,
+    /// so the runner's store filenames match a direct `experiments` run
+    /// of the same point byte for byte.
+    pub fn suite_for(&self, bench: Bench, scale: Scale) -> Arc<Suite> {
+        let mut g = lock(&self.suites);
+        g.entry((bench.name(), scale.units))
+            .or_insert_with(|| {
+                Arc::new(Suite {
+                    scale,
+                    workloads: vec![bench.build(scale)],
+                })
+            })
+            .clone()
+    }
+
+    /// The loaded trace at `path`, revision-checked against this binary.
+    pub fn trace_for(&self, path: &Path) -> Result<Arc<Trace>, String> {
+        if let Some(t) = lock(&self.traces).get(path) {
+            return Ok(t.clone());
+        }
+        let trace =
+            Trace::read_from(path).map_err(|e| format!("cannot load {}: {e}", path.display()))?;
+        if trace.header.sim_revision != wec_core::SIM_REVISION {
+            return Err(format!(
+                "{}: captured at simulator revision {} but this daemon is revision {} — recapture",
+                path.display(),
+                trace.header.sim_revision,
+                wec_core::SIM_REVISION
+            ));
+        }
+        let trace = Arc::new(trace);
+        lock(&self.traces).insert(path.to_path_buf(), trace.clone());
+        Ok(trace)
+    }
+
+    /// Append one terminal record to `jobs.jsonl` (no-op without a log
+    /// directory).
+    fn log_record(&self, record: &JobRecord) {
+        let mut g = lock(&self.jobs_log);
+        if let Some(f) = g.as_mut() {
+            let _ = writeln!(f, "{}", record.to_json());
+        }
+    }
+
+    /// The `wec-serve-stats-v1` document (`GET /stats` and `stats.json`).
+    pub fn stats_json(&self) -> String {
+        let uptime_ms = self.now_ms().max(1);
+        let workers = self.cfg.workers.max(1) as u64;
+        let busy = self.busy.load(Ordering::SeqCst).min(workers);
+        let busy_ms = self.busy_ms.load(Ordering::SeqCst);
+        let (submitted, deduped, completed, failed, rejected, cold, disk, mem) = {
+            let c = lock(&self.counts);
+            (
+                c.submitted,
+                c.deduped,
+                c.completed,
+                c.failed,
+                c.rejected,
+                c.cold,
+                c.disk_hits,
+                c.mem_hits,
+            )
+        };
+        let jobs_per_sec = completed as f64 / (uptime_ms as f64 / 1000.0);
+        let utilization = (busy_ms as f64 / (uptime_ms * workers) as f64).clamp(0.0, 1.0);
+        let mut out = String::from("{\"schema\":\"wec-serve-stats-v1\"");
+        let _ = write!(
+            out,
+            ",\"uptime_ms\":{uptime_ms},\"workers\":{workers},\"busy_workers\":{busy},\"draining\":{}",
+            self.draining.load(Ordering::SeqCst)
+        );
+        let _ = write!(
+            out,
+            ",\"queue\":{{\"depth\":{},\"cap\":{},\"rejected\":{rejected}}}",
+            self.queue.depth().min(self.queue.cap()),
+            self.queue.cap()
+        );
+        let _ = write!(
+            out,
+            ",\"jobs\":{{\"submitted\":{submitted},\"deduped\":{deduped},\"completed\":{completed},\"failed\":{failed}}}"
+        );
+        let _ = write!(
+            out,
+            ",\"cache\":{{\"cold\":{cold},\"disk_hits\":{disk},\"mem_hits\":{mem}}}"
+        );
+        let _ = write!(
+            out,
+            ",\"throughput\":{{\"jobs_per_sec\":{jobs_per_sec:.3},\"utilization\":{utilization:.4}}}}}"
+        );
+        out
+    }
+
+    /// Drain-time artifacts: `stats.json` beside the live `jobs.jsonl`.
+    pub fn write_exit_logs(&self) {
+        if let Some(dir) = &self.cfg.log_dir {
+            wec_bench::store::atomic_write_best_effort(&dir.join("stats.json"), &self.stats_json());
+            if let Some(f) = lock(&self.jobs_log).as_mut() {
+                let _ = f.flush();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wec_telemetry::schema;
+
+    fn state() -> Arc<ServerState> {
+        ServerState::new(ServeConfig {
+            workers: 2,
+            queue_cap: 2,
+            store: None,
+            log_dir: None,
+            ..ServeConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn spec(body: &str) -> JobSpec {
+        JobSpec::parse(body).unwrap()
+    }
+
+    #[test]
+    fn identical_submissions_share_one_job() {
+        let s = state();
+        let a = s.submit(spec("{\"bench\": \"181.mcf\"}")).unwrap();
+        let b = s.submit(spec("{\"bench\": \"181.mcf\"}")).unwrap();
+        assert_eq!(a.record().id, b.record().id);
+        assert_eq!(b.record().submissions, 2);
+        assert_eq!(s.queue.depth(), 1, "one execution queued");
+        // A different configuration is its own job.
+        let c = s
+            .submit(spec(
+                "{\"bench\": \"181.mcf\", \"cfg\": {\"side_entries\": 16}}",
+            ))
+            .unwrap();
+        assert_ne!(a.record().id, c.record().id);
+    }
+
+    #[test]
+    fn full_queue_rejects_and_draining_refuses() {
+        let s = state();
+        s.submit(spec("{\"bench\": \"181.mcf\"}")).unwrap();
+        s.submit(spec("{\"bench\": \"164.gzip\"}")).unwrap();
+        let err = s.submit(spec("{\"bench\": \"175.vpr\"}")).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull);
+        s.draining.store(true, Ordering::SeqCst);
+        let err = s.submit(spec("{\"bench\": \"177.mesa\"}")).unwrap_err();
+        assert_eq!(err, SubmitError::Draining);
+        assert_eq!(s.outstanding(), 2);
+    }
+
+    #[test]
+    fn completion_publishes_memo_and_serves_warm_hits() {
+        let s = state();
+        let spec1 = spec("{\"bench\": \"181.mcf\"}");
+        let key = spec1.dedup_key();
+        let slot = s.submit(spec1).unwrap();
+        assert_eq!(s.queue.pop(), Some(slot.record().id));
+        let metrics = Arc::new(vec![("cycles".to_string(), 42u64)]);
+        s.complete(
+            &slot,
+            &key,
+            Ok(Outcome {
+                source: "cold",
+                metrics: metrics.clone(),
+                sim_cycles: 42,
+                dur_ms: 7,
+            }),
+        );
+        assert!(slot.wait_terminal(Duration::from_secs(1)));
+        assert_eq!(slot.record().state, JobState::Done);
+        assert_eq!(s.outstanding(), 0);
+
+        // Same spec again: answered from the memo, no queueing.
+        let warm = s.submit(spec("{\"bench\": \"181.mcf\"}")).unwrap();
+        let rec = warm.record();
+        assert_eq!(rec.state, JobState::Done);
+        assert_eq!(rec.source, "mem");
+        assert_eq!(rec.metrics, metrics);
+        assert_eq!(s.queue.depth(), 0);
+        schema::validate_serve_stats_json(&s.stats_json()).unwrap();
+    }
+
+    #[test]
+    fn failures_release_the_dedup_entry_without_memoizing() {
+        let s = state();
+        let spec1 = spec("{\"bench\": \"181.mcf\"}");
+        let key = spec1.dedup_key();
+        let slot = s.submit(spec1).unwrap();
+        s.queue.pop().unwrap();
+        s.complete(&slot, &key, Err("induced failure".to_string()));
+        let rec = slot.record();
+        assert_eq!(rec.state, JobState::Failed);
+        assert_eq!(rec.error, "induced failure");
+        // Resubmission runs fresh — not deduped onto the failure, not warm.
+        let again = s.submit(spec("{\"bench\": \"181.mcf\"}")).unwrap();
+        assert_ne!(again.record().id, rec.id);
+        assert_eq!(again.record().state, JobState::Queued);
+        schema::validate_serve_stats_json(&s.stats_json()).unwrap();
+    }
+}

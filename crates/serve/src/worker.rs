@@ -1,0 +1,212 @@
+//! The worker pool: pops job ids, executes them through the experiment
+//! harness, and records outcomes.
+//!
+//! Sim jobs run through [`wec_bench::Runner`] against the daemon's
+//! persistent result store — the same store, the same deterministic entry
+//! filenames, so a point served by the daemon is byte-identical to the
+//! cache entry a direct `experiments` run writes (the CI smoke job diffs
+//! exactly this).  Replay jobs go through
+//! [`wec_bench::tracerun::replay_point`], sharing its memo keys with the
+//! `--replay-trace` sweeps.  A panic anywhere inside a job (workload
+//! self-check failure, revision mismatch) is caught and becomes a `failed`
+//! record; the worker and the daemon live on.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use wec_bench::tracerun::replay_point;
+use wec_bench::{CacheSource, CfgKey, RunObserver, Runner};
+use wec_telemetry::report::{progress_finish_line, progress_start_line};
+
+use crate::job::{JobKind, JobSpec, JobState};
+use crate::lock;
+use crate::state::{JobSlot, Outcome, ServerState};
+
+/// Spawn the configured number of workers; they exit when the queue
+/// closes and is empty.
+pub fn spawn(state: &Arc<ServerState>) -> Vec<JoinHandle<()>> {
+    (0..state.cfg.workers.max(1))
+        .map(|i| {
+            let st = state.clone();
+            std::thread::Builder::new()
+                .name(format!("wec-serve-worker-{i}"))
+                .spawn(move || worker_loop(st, i))
+                .expect("cannot spawn worker thread")
+        })
+        .collect()
+}
+
+fn worker_loop(state: Arc<ServerState>, widx: usize) {
+    while let Some(id) = state.queue.pop() {
+        state.busy.fetch_add(1, Ordering::SeqCst);
+        let t = Instant::now();
+        run_job(&state, widx, id);
+        state
+            .busy_ms
+            .fetch_add(t.elapsed().as_millis() as u64, Ordering::SeqCst);
+        state.busy.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+fn run_job(state: &Arc<ServerState>, widx: usize, id: u64) {
+    let Some(slot) = state.job(id) else {
+        return;
+    };
+    let spec = {
+        let mut g = lock(&slot.inner);
+        g.record.state = JobState::Running;
+        g.record.start_t_ms = state.now_ms();
+        g.record.worker = widx as u64;
+        g.spec.take()
+    };
+    slot.cv.notify_all();
+    let Some(spec) = spec else {
+        state.complete(&slot, "", Err("internal: job has no spec".to_string()));
+        return;
+    };
+    let key = spec.dedup_key();
+    let t = Instant::now();
+    let res =
+        match std::panic::catch_unwind(AssertUnwindSafe(|| execute(state, &slot, widx, &spec))) {
+            Ok(r) => r,
+            Err(payload) => Err(panic_message(payload)),
+        };
+    let res = res.map(|mut o| {
+        o.dur_ms = t.elapsed().as_millis() as u64;
+        o
+    });
+    state.complete(&slot, &key, res);
+}
+
+/// Streams the runner's start/finish notifications into the job's event
+/// buffer as `progress.jsonl` lines, stamped on the server clock and
+/// attributed to the serve worker (the runner's own worker index is always
+/// 0 for single-point lookups).
+struct SlotObserver {
+    state: Arc<ServerState>,
+    slot: Arc<JobSlot>,
+    worker: usize,
+}
+
+impl RunObserver for SlotObserver {
+    fn sim_started(&self, bench: &'static str, key: &CfgKey, _worker: usize) {
+        self.slot.push_event(progress_start_line(
+            self.state.now_ms(),
+            bench,
+            &key.label(),
+            self.worker,
+        ));
+    }
+
+    fn sim_finished(
+        &self,
+        bench: &'static str,
+        key: &CfgKey,
+        _worker: usize,
+        src: CacheSource,
+        dur_ms: u64,
+        sim_cycles: u64,
+    ) {
+        self.slot.push_event(progress_finish_line(
+            self.state.now_ms(),
+            bench,
+            &key.label(),
+            self.worker,
+            src.name(),
+            dur_ms,
+            sim_cycles,
+        ));
+    }
+}
+
+/// Parse a [`wec_core::metrics::MachineMetrics::to_kv`] dump back into
+/// pairs, preserving emission order.
+fn parse_kv(text: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let (k, v) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("malformed metrics line {line:?}"))?;
+        let v: u64 = v
+            .trim()
+            .parse()
+            .map_err(|_| format!("non-integer metric {line:?}"))?;
+        out.push((k.to_string(), v));
+    }
+    Ok(out)
+}
+
+fn execute(
+    state: &Arc<ServerState>,
+    slot: &Arc<JobSlot>,
+    widx: usize,
+    spec: &JobSpec,
+) -> Result<Outcome, String> {
+    match &spec.kind {
+        JobKind::Sim { bench } => {
+            let suite = state.suite_for(*bench, spec.scale);
+            let mut runner = match &state.cfg.store {
+                Some(dir) => Runner::with_disk_dir(&suite, dir.clone()),
+                None => Runner::without_disk_cache(&suite),
+            };
+            runner.set_observer(Arc::new(SlotObserver {
+                state: state.clone(),
+                slot: slot.clone(),
+                worker: widx,
+            }));
+            let m = runner.metrics(0, spec.key);
+            let source = if runner.counters().cold() > 0 {
+                "cold"
+            } else {
+                "disk"
+            };
+            Ok(Outcome {
+                source,
+                metrics: Arc::new(parse_kv(&m.to_kv())?),
+                sim_cycles: m.cycles,
+                dur_ms: 0,
+            })
+        }
+        JobKind::Replay { trace } => {
+            let trace = state.trace_for(trace)?;
+            let label = spec.key.label();
+            let t = Instant::now();
+            slot.push_event(progress_start_line(
+                state.now_ms(),
+                &trace.header.bench,
+                &label,
+                widx,
+            ));
+            let (subset, cold) = replay_point(&trace, spec.key, state.cfg.store.as_deref());
+            let source = if cold { "cold" } else { "disk" };
+            slot.push_event(progress_finish_line(
+                state.now_ms(),
+                &trace.header.bench,
+                &label,
+                widx,
+                source,
+                t.elapsed().as_millis() as u64,
+                0,
+            ));
+            Ok(Outcome {
+                source,
+                metrics: Arc::new(subset),
+                sim_cycles: 0,
+                dur_ms: 0,
+            })
+        }
+    }
+}

@@ -18,6 +18,48 @@ use std::path::{Path, PathBuf};
 
 use crate::json::escape_into;
 
+/// Format one `progress.jsonl` `start` line (no trailing newline).  Shared
+/// by [`ProgressWriter`] and the serve-mode event streams, so every
+/// producer of the progress schema emits byte-identical lines.
+pub fn progress_start_line(t_ms: u64, bench: &str, cfg: &str, worker: usize) -> String {
+    let mut line = String::from("{\"event\":\"start\"");
+    let _ = write!(line, ",\"t_ms\":{t_ms},\"bench\":");
+    escape_into(&mut line, bench);
+    line.push_str(",\"cfg\":");
+    escape_into(&mut line, cfg);
+    let _ = write!(line, ",\"worker\":{worker}}}");
+    line
+}
+
+/// Format one `progress.jsonl` `finish` line (no trailing newline).
+pub fn progress_finish_line(
+    t_ms: u64,
+    bench: &str,
+    cfg: &str,
+    worker: usize,
+    cache: &str,
+    dur_ms: u64,
+    sim_cycles: u64,
+) -> String {
+    let kcps = if dur_ms == 0 {
+        0.0
+    } else {
+        sim_cycles as f64 / dur_ms as f64
+    };
+    let mut line = String::from("{\"event\":\"finish\"");
+    let _ = write!(line, ",\"t_ms\":{t_ms},\"bench\":");
+    escape_into(&mut line, bench);
+    line.push_str(",\"cfg\":");
+    escape_into(&mut line, cfg);
+    let _ = write!(line, ",\"worker\":{worker},\"cache\":");
+    escape_into(&mut line, cache);
+    let _ = write!(
+        line,
+        ",\"dur_ms\":{dur_ms},\"sim_cycles\":{sim_cycles},\"kcps\":{kcps:.1}}}"
+    );
+    line
+}
+
 /// Streaming writer for `progress.jsonl`.  One line per event, flushed per
 /// event; times are milliseconds since the start of the run, supplied by
 /// the caller from one monotonic clock so lines are time-ordered.
@@ -57,13 +99,7 @@ impl ProgressWriter {
 
     /// A simulation left the cache path and started running cold.
     pub fn start(&mut self, t_ms: u64, bench: &str, cfg: &str, worker: usize) -> io::Result<()> {
-        let mut line = String::from("{\"event\":\"start\"");
-        let _ = write!(line, ",\"t_ms\":{t_ms},\"bench\":");
-        escape_into(&mut line, bench);
-        line.push_str(",\"cfg\":");
-        escape_into(&mut line, cfg);
-        let _ = write!(line, ",\"worker\":{worker}}}");
-        self.emit(line)
+        self.emit(progress_start_line(t_ms, bench, cfg, worker))
     }
 
     /// A simulation finished (or was satisfied from the result cache, in
@@ -79,23 +115,9 @@ impl ProgressWriter {
         dur_ms: u64,
         sim_cycles: u64,
     ) -> io::Result<()> {
-        let kcps = if dur_ms == 0 {
-            0.0
-        } else {
-            sim_cycles as f64 / dur_ms as f64
-        };
-        let mut line = String::from("{\"event\":\"finish\"");
-        let _ = write!(line, ",\"t_ms\":{t_ms},\"bench\":");
-        escape_into(&mut line, bench);
-        line.push_str(",\"cfg\":");
-        escape_into(&mut line, cfg);
-        let _ = write!(line, ",\"worker\":{worker},\"cache\":");
-        escape_into(&mut line, cache);
-        let _ = write!(
-            line,
-            ",\"dur_ms\":{dur_ms},\"sim_cycles\":{sim_cycles},\"kcps\":{kcps:.1}}}"
-        );
-        self.emit(line)
+        self.emit(progress_finish_line(
+            t_ms, bench, cfg, worker, cache, dur_ms, sim_cycles,
+        ))
     }
 }
 

@@ -611,6 +611,227 @@ pub fn validate_profile_json(text: &str) -> Result<Vec<String>, String> {
     Ok(names)
 }
 
+/// Validate one `wec-job-record-v1` document (a serve-mode job record, as
+/// returned by `GET /jobs/<id>` and logged to `jobs.jsonl`).  Strict like
+/// every other validator here: exactly the declared fields, each with the
+/// right type, with the cross-field invariants a consistent record obeys.
+pub fn validate_job_record(v: &Json, ctx: &str) -> Result<(), String> {
+    let schema = require_str(v, "schema", ctx)?;
+    if schema != "wec-job-record-v1" {
+        return Err(format!("{ctx}: unknown schema {schema:?}"));
+    }
+    require_u64(v, "id", ctx)?;
+    let kind = require_str(v, "kind", ctx)?;
+    if !["sim", "replay"].contains(&kind) {
+        return Err(format!("{ctx}: unknown kind {kind:?}"));
+    }
+    require_str(v, "bench", ctx)?;
+    require_u64(v, "scale", ctx)?;
+    require_str(v, "cfg", ctx)?;
+    let state = require_str(v, "state", ctx)?;
+    if !["queued", "running", "done", "failed"].contains(&state) {
+        return Err(format!("{ctx}: unknown state {state:?}"));
+    }
+    let source = require_str(v, "source", ctx)?;
+    if !["none", "cold", "disk", "mem"].contains(&source) {
+        return Err(format!("{ctx}: unknown source {source:?}"));
+    }
+    if state == "done" && source == "none" {
+        return Err(format!("{ctx}: done job has no cache source"));
+    }
+    let submissions = require_u64(v, "submissions", ctx)?;
+    if submissions == 0 {
+        return Err(format!("{ctx}: submissions must be >= 1"));
+    }
+    require_u64(v, "worker", ctx)?;
+    let submit = require_u64(v, "submit_t_ms", ctx)?;
+    let start = require_u64(v, "start_t_ms", ctx)?;
+    let finish = require_u64(v, "finish_t_ms", ctx)?;
+    if start > 0 && start < submit {
+        return Err(format!("{ctx}: start_t_ms {start} before submit {submit}"));
+    }
+    if finish > 0 && finish < start {
+        return Err(format!("{ctx}: finish_t_ms {finish} before start {start}"));
+    }
+    require_u64(v, "dur_ms", ctx)?;
+    require_u64(v, "sim_cycles", ctx)?;
+    let error = require_str(v, "error", ctx)?;
+    if state == "failed" && error.is_empty() {
+        return Err(format!("{ctx}: failed job carries no error message"));
+    }
+    if state != "failed" && !error.is_empty() {
+        return Err(format!("{ctx}: non-failed job carries error {error:?}"));
+    }
+    let metrics = v
+        .get("metrics")
+        .ok_or_else(|| format!("{ctx}: missing \"metrics\""))?;
+    let Json::Obj(kv) = metrics else {
+        return Err(format!("{ctx}: \"metrics\" is not an object"));
+    };
+    for (k, val) in kv {
+        if val.as_u64().is_none() {
+            return Err(format!("{ctx}: metric {k:?} is not a u64"));
+        }
+    }
+    if state == "done" && kv.is_empty() {
+        return Err(format!("{ctx}: done job has no metrics"));
+    }
+    no_extra_fields(
+        v,
+        &[
+            "schema",
+            "id",
+            "kind",
+            "bench",
+            "scale",
+            "cfg",
+            "state",
+            "source",
+            "submissions",
+            "worker",
+            "submit_t_ms",
+            "start_t_ms",
+            "finish_t_ms",
+            "dur_ms",
+            "sim_cycles",
+            "error",
+            "metrics",
+        ],
+        ctx,
+    )
+}
+
+/// What a validated `jobs.jsonl` stream contained.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JobsReport {
+    pub total: u64,
+    pub done: u64,
+    pub failed: u64,
+}
+
+/// Validate a `jobs.jsonl` stream: one terminal `wec-job-record-v1` per
+/// line (the server appends each job as it reaches `done` or `failed`).
+pub fn validate_jobs_jsonl(text: &str) -> Result<JobsReport, String> {
+    let mut report = JobsReport::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let ctx = format!("jobs.jsonl line {}", lineno + 1);
+        if line.trim().is_empty() {
+            return Err(format!("{ctx}: blank line"));
+        }
+        let v = json::parse(line).map_err(|e| format!("{ctx}: {e}"))?;
+        validate_job_record(&v, &ctx)?;
+        match v.get("state").and_then(Json::as_str) {
+            Some("done") => report.done += 1,
+            Some("failed") => report.failed += 1,
+            other => {
+                return Err(format!(
+                    "{ctx}: non-terminal state {other:?} in the terminal log"
+                ))
+            }
+        }
+        report.total += 1;
+    }
+    Ok(report)
+}
+
+/// Validate a `wec-serve-stats-v1` document (the `GET /stats` payload and
+/// the server's exit-time `stats.json`).
+pub fn validate_serve_stats_json(text: &str) -> Result<(), String> {
+    let v = json::parse(text).map_err(|e| format!("stats.json: {e}"))?;
+    let ctx = "stats.json";
+    let schema = require_str(&v, "schema", ctx)?;
+    if schema != "wec-serve-stats-v1" {
+        return Err(format!("{ctx}: unknown schema {schema:?}"));
+    }
+    require_u64(&v, "uptime_ms", ctx)?;
+    let workers = require_u64(&v, "workers", ctx)?;
+    if workers == 0 {
+        return Err(format!("{ctx}: workers must be >= 1"));
+    }
+    let busy = require_u64(&v, "busy_workers", ctx)?;
+    if busy > workers {
+        return Err(format!(
+            "{ctx}: busy_workers {busy} exceeds workers {workers}"
+        ));
+    }
+    v.get("draining")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("{ctx}: missing/invalid \"draining\""))?;
+    no_extra_fields(
+        &v,
+        &[
+            "schema",
+            "uptime_ms",
+            "workers",
+            "busy_workers",
+            "draining",
+            "queue",
+            "jobs",
+            "cache",
+            "throughput",
+        ],
+        ctx,
+    )?;
+
+    let queue = v
+        .get("queue")
+        .ok_or_else(|| format!("{ctx}: missing \"queue\""))?;
+    let qctx = "stats.json queue";
+    let depth = require_u64(queue, "depth", qctx)?;
+    let cap = require_u64(queue, "cap", qctx)?;
+    if depth > cap {
+        return Err(format!("{qctx}: depth {depth} exceeds cap {cap}"));
+    }
+    require_u64(queue, "rejected", qctx)?;
+    no_extra_fields(queue, &["depth", "cap", "rejected"], qctx)?;
+
+    let jobs = v
+        .get("jobs")
+        .ok_or_else(|| format!("{ctx}: missing \"jobs\""))?;
+    let jctx = "stats.json jobs";
+    let submitted = require_u64(jobs, "submitted", jctx)?;
+    let deduped = require_u64(jobs, "deduped", jctx)?;
+    let completed = require_u64(jobs, "completed", jctx)?;
+    let failed = require_u64(jobs, "failed", jctx)?;
+    if deduped > submitted {
+        return Err(format!(
+            "{jctx}: deduped {deduped} exceeds submitted {submitted}"
+        ));
+    }
+    if completed + failed > submitted {
+        return Err(format!(
+            "{jctx}: completed {completed} + failed {failed} exceeds submitted {submitted}"
+        ));
+    }
+    no_extra_fields(jobs, &["submitted", "deduped", "completed", "failed"], jctx)?;
+
+    let cache = v
+        .get("cache")
+        .ok_or_else(|| format!("{ctx}: missing \"cache\""))?;
+    let cctx = "stats.json cache";
+    let cold = require_u64(cache, "cold", cctx)?;
+    let disk = require_u64(cache, "disk_hits", cctx)?;
+    let mem = require_u64(cache, "mem_hits", cctx)?;
+    if cold + disk + mem != completed {
+        return Err(format!(
+            "{cctx}: cold {cold} + disk {disk} + mem {mem} != completed {completed}"
+        ));
+    }
+    no_extra_fields(cache, &["cold", "disk_hits", "mem_hits"], cctx)?;
+
+    let tp = v
+        .get("throughput")
+        .ok_or_else(|| format!("{ctx}: missing \"throughput\""))?;
+    let tctx = "stats.json throughput";
+    require_f64(tp, "jobs_per_sec", tctx)?;
+    let util = require_f64(tp, "utilization", tctx)?;
+    if !(0.0..=1.0).contains(&util) {
+        return Err(format!("{tctx}: utilization {util} out of [0,1]"));
+    }
+    no_extra_fields(tp, &["jobs_per_sec", "utilization"], tctx)?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -836,6 +1057,80 @@ mod tests {
         // Sampled cannot exceed total.
         let broken = text.replace("\"total_cycles\":64", "\"total_cycles\":0");
         assert!(validate_profile_json(&broken).is_err());
+    }
+
+    fn job_record(state: &str, source: &str, error: &str, metrics: &str) -> String {
+        format!(
+            "{{\"schema\":\"wec-job-record-v1\",\"id\":3,\"kind\":\"sim\",\"bench\":\"181.mcf\",\
+             \"scale\":1,\"cfg\":\"wth-wp-wec/t8\",\"state\":\"{state}\",\"source\":\"{source}\",\
+             \"submissions\":2,\"worker\":1,\"submit_t_ms\":10,\"start_t_ms\":11,\
+             \"finish_t_ms\":40,\"dur_ms\":29,\"sim_cycles\":48000,\"error\":\"{error}\",\
+             \"metrics\":{metrics}}}"
+        )
+    }
+
+    #[test]
+    fn job_record_validation() {
+        let good = job_record("done", "cold", "", "{\"cycles\":48000}");
+        validate_job_record(&json::parse(&good).unwrap(), "t").unwrap();
+        let jsonl = format!("{good}\n{}\n", job_record("failed", "none", "boom", "{}"));
+        assert_eq!(
+            validate_jobs_jsonl(&jsonl).unwrap(),
+            JobsReport {
+                total: 2,
+                done: 1,
+                failed: 1
+            }
+        );
+
+        // A queued record is valid over HTTP but not in the terminal log.
+        let queued = job_record("queued", "none", "", "{}");
+        validate_job_record(&json::parse(&queued).unwrap(), "t").unwrap();
+        assert!(validate_jobs_jsonl(&format!("{queued}\n")).is_err());
+
+        // Done without a source, failed without an error, fractional
+        // metric, unknown state, extra field.
+        let bad = job_record("done", "none", "", "{\"cycles\":1}");
+        assert!(validate_job_record(&json::parse(&bad).unwrap(), "t").is_err());
+        let bad = job_record("failed", "none", "", "{}");
+        assert!(validate_job_record(&json::parse(&bad).unwrap(), "t").is_err());
+        let bad = job_record("done", "mem", "", "{\"ipc\":0.5}");
+        assert!(validate_job_record(&json::parse(&bad).unwrap(), "t").is_err());
+        let bad = job_record("paused", "none", "", "{}");
+        assert!(validate_job_record(&json::parse(&bad).unwrap(), "t").is_err());
+        let bad = good.replace("\"id\":3", "\"id\":3,\"x\":1");
+        assert!(validate_job_record(&json::parse(&bad).unwrap(), "t").is_err());
+        // Timestamps must be ordered.
+        let bad = good.replace("\"finish_t_ms\":40", "\"finish_t_ms\":5");
+        assert!(validate_job_record(&json::parse(&bad).unwrap(), "t").is_err());
+    }
+
+    #[test]
+    fn serve_stats_validation() {
+        let good = "{\"schema\":\"wec-serve-stats-v1\",\"uptime_ms\":1000,\"workers\":4,\
+                    \"busy_workers\":1,\"draining\":false,\
+                    \"queue\":{\"depth\":2,\"cap\":64,\"rejected\":1},\
+                    \"jobs\":{\"submitted\":10,\"deduped\":3,\"completed\":5,\"failed\":1},\
+                    \"cache\":{\"cold\":3,\"disk_hits\":1,\"mem_hits\":1},\
+                    \"throughput\":{\"jobs_per_sec\":5.0,\"utilization\":0.25}}";
+        validate_serve_stats_json(good).unwrap();
+
+        assert!(validate_serve_stats_json("{\"schema\":\"nope\"}").is_err());
+        // Busy workers cannot exceed the pool.
+        let bad = good.replace("\"busy_workers\":1", "\"busy_workers\":9");
+        assert!(validate_serve_stats_json(&bad).is_err());
+        // Queue deeper than its own capacity.
+        let bad = good.replace("\"depth\":2", "\"depth\":65");
+        assert!(validate_serve_stats_json(&bad).is_err());
+        // Cache split must account for every completed job.
+        let bad = good.replace("\"cold\":3", "\"cold\":4");
+        assert!(validate_serve_stats_json(&bad).is_err());
+        // Utilization is a fraction.
+        let bad = good.replace("\"utilization\":0.25", "\"utilization\":1.5");
+        assert!(validate_serve_stats_json(&bad).is_err());
+        // More terminal jobs than submissions.
+        let bad = good.replace("\"submitted\":10", "\"submitted\":5");
+        assert!(validate_serve_stats_json(&bad).is_err());
     }
 
     #[test]
