@@ -1,0 +1,133 @@
+//! Measure parallel replay scaling for `BENCH_trace.json`'s `parallel`
+//! record: capture every benchmark once, decode each trace into a shared
+//! [`TraceSlab`], then time the 48-point WEC geometry sweep at 1/2/4/8
+//! replay workers.  Points are replayed cold (no result store) so the
+//! numbers are pure engine throughput; `bench_guard --trace` compares a
+//! fresh run of this example against the checked-in baseline.
+//!
+//! ```text
+//! cargo run --release -p wec-bench --example replay_scaling \
+//!     [-- --scale N] [--only bench] [--jobs 1,2,4,8]
+//! ```
+
+use std::time::Instant;
+
+use wec_bench::tracerun::{capture_key, replay_sweep, sweep_keys};
+use wec_trace::{capture_run, CaptureMeta, TraceSlab};
+use wec_workloads::{Bench, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale { units: 1 };
+    let mut only: Option<String> = None;
+    let mut job_counts = vec![1usize, 2, 4, 8];
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = Scale {
+                    units: it.next().and_then(|s| s.parse().ok()).expect("--scale N"),
+                }
+            }
+            "--only" => only = it.next().cloned(),
+            "--jobs" => {
+                job_counts = it
+                    .next()
+                    .expect("--jobs N,N,...")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--jobs N,N,..."))
+                    .collect();
+                assert!(
+                    !job_counts.is_empty() && job_counts.iter().all(|&n| n > 0),
+                    "--jobs needs positive worker counts"
+                );
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let benches: Vec<Bench> = match &only {
+        None => Bench::ALL.to_vec(),
+        Some(f) => Bench::ALL
+            .iter()
+            .copied()
+            .filter(|b| b.name().contains(f.as_str()))
+            .collect(),
+    };
+    assert!(!benches.is_empty(), "--only {only:?} matches no benchmark");
+    let keys = sweep_keys();
+    let base = capture_key();
+    let max_jobs = job_counts.iter().copied().max().unwrap_or(1);
+    eprintln!(
+        "parallel replay scaling: {} benchmark(s) x {} points at scale {}, jobs {job_counts:?}",
+        benches.len(),
+        keys.len(),
+        scale.units
+    );
+
+    // Capture once per benchmark and decode each trace into a slab (the
+    // decoder pool gets the widest worker count under test).
+    let mut slabs = Vec::new();
+    let mut records = 0u64;
+    let t_cap = Instant::now();
+    for bench in &benches {
+        let w = bench.build(scale);
+        let meta = CaptureMeta {
+            bench: w.name.to_string(),
+            scale_units: scale.units,
+            cfg_label: base.label(),
+        };
+        let (_, trace) =
+            capture_run(&w, base.build(), &meta).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        records += trace.header.total_records;
+        slabs
+            .push(TraceSlab::build(&trace, max_jobs).unwrap_or_else(|e| panic!("{}: {e}", w.name)));
+    }
+    let capture_s = t_cap.elapsed().as_secs_f64();
+    let per_sweep_records = records * keys.len() as u64;
+    eprintln!(
+        "captured + decoded {records} records in {capture_s:.2}s; each sweep drives {per_sweep_records} records"
+    );
+
+    // Time the full sweep (every benchmark x every point, all cold) at
+    // each worker count.  jobs=1 is the single-thread baseline the
+    // scaling column is relative to.
+    let mut rows = Vec::new();
+    let mut single_s = 0.0f64;
+    let mut best_s = f64::INFINITY;
+    let mut best_rps = 0.0f64;
+    for &jobs in &job_counts {
+        let t = Instant::now();
+        for slab in &slabs {
+            let results = replay_sweep(slab, &keys, None, jobs);
+            assert_eq!(results.len(), keys.len());
+        }
+        let sweep_s = t.elapsed().as_secs_f64();
+        let rps = per_sweep_records as f64 / sweep_s.max(1e-9);
+        if jobs == 1 {
+            single_s = sweep_s;
+        }
+        let scaling = if single_s > 0.0 {
+            single_s / sweep_s
+        } else {
+            1.0
+        };
+        best_s = best_s.min(sweep_s);
+        best_rps = best_rps.max(rps);
+        eprintln!(
+            "jobs {jobs:>2}: sweep {sweep_s:.2}s, {rps:.0} records/s, {scaling:.2}x vs single-thread"
+        );
+        rows.push(format!(
+            "{{\"jobs\": {jobs}, \"sweep_s\": {sweep_s:.3}, \"records_per_s\": {rps:.0}, \
+             \"scaling\": {scaling:.2}}}"
+        ));
+    }
+    println!(
+        "{{\"scale_units\": {}, \"benches\": {}, \"points_per_bench\": {}, \
+         \"records\": {records}, \"capture_decode_s\": {capture_s:.2}, \"jobs\": [{}], \
+         \"aggregate_records_per_s\": {best_rps:.0}, \"best_sweep_s\": {best_s:.3}}}",
+        scale.units,
+        benches.len(),
+        keys.len(),
+        rows.join(", ")
+    );
+}

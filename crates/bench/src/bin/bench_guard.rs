@@ -3,15 +3,28 @@
 //! ```text
 //! WEC_BENCH_JSON=/tmp/fresh.json cargo bench -p wec-bench --bench bench_hotloop
 //! bench_guard /tmp/fresh.json [--baseline BENCH_hotloop.json] [--max-regress 0.25]
+//!
+//! cargo run --release -p wec-bench --example replay_scaling > /tmp/scaling.json
+//! bench_guard --trace /tmp/scaling.json [--baseline BENCH_trace.json] [--max-regress 0.25]
 //! ```
 //!
-//! Compares each fresh `median_ns` against the checked-in baseline's
-//! `after_median_ns` (matched by benchmark name).  A bench whose fresh
-//! median exceeds the baseline by more than `--max-regress` (default 25%)
-//! is a regression.  Timing on shared CI hosts is noisy, so regressions
-//! only **warn** by default; set `WEC_BENCH_GUARD_STRICT=1` to turn them
-//! into a non-zero exit for gating.  Benches present on only one side are
-//! reported informationally and never fail the guard.
+//! Default mode compares each fresh `median_ns` against the checked-in
+//! baseline's `after_median_ns` (matched by benchmark name).  A bench
+//! whose fresh median exceeds the baseline by more than `--max-regress`
+//! (default 25%) is a regression.
+//!
+//! `--trace` mode guards the parallel replay engine instead: the fresh
+//! side is one `replay_scaling` JSON object, the baseline is
+//! `BENCH_trace.json`'s `parallel` record, and a regression is aggregate
+//! throughput falling more than `--max-regress` below the baseline's
+//! `aggregate_records_per_s` (wall-clock sweep seconds are reported
+//! informationally — they move with trace size, throughput is the
+//! machine-comparable number).
+//!
+//! Timing on shared CI hosts is noisy, so regressions only **warn** by
+//! default; set `WEC_BENCH_GUARD_STRICT=1` to turn them into a non-zero
+//! exit for gating.  Benches present on only one side are reported
+//! informationally and never fail the guard.
 //!
 //! Exit codes: `0` ok (or regressions in warn mode), `1` regressions in
 //! strict mode, `2` usage or I/O error.
@@ -22,7 +35,7 @@ use std::process::ExitCode;
 use wec_telemetry::json::{self, Json};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_guard FRESH.json [--baseline PATH] [--max-regress FRAC]");
+    eprintln!("usage: bench_guard [--trace] FRESH.json [--baseline PATH] [--max-regress FRAC]");
     ExitCode::from(2)
 }
 
@@ -34,17 +47,16 @@ fn fail(msg: String) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fresh_path: Option<PathBuf> = None;
-    let mut baseline_path = PathBuf::from(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../BENCH_hotloop.json"
-    ));
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut trace_mode = false;
     let mut max_regress = 0.25f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--trace" => trace_mode = true,
             "--baseline" => {
                 let Some(p) = it.next() else { return usage() };
-                baseline_path = p.into();
+                baseline_path = Some(p.into());
             }
             "--max-regress" => {
                 let Some(x) = it.next().and_then(|s| s.parse().ok()) else {
@@ -61,6 +73,15 @@ fn main() -> ExitCode {
     let Some(fresh_path) = fresh_path else {
         return usage();
     };
+    let repo_default = if trace_mode {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotloop.json")
+    };
+    let baseline_path = baseline_path.unwrap_or_else(|| PathBuf::from(repo_default));
+    if trace_mode {
+        return guard_trace(&fresh_path, &baseline_path, max_regress);
+    }
 
     // Fresh side: one JSON object per line, as the bench harness appends.
     let fresh_text = match std::fs::read_to_string(&fresh_path) {
@@ -157,6 +178,82 @@ fn main() -> ExitCode {
         }
         eprintln!(
             "bench_guard: {regressions} regression(s) beyond threshold \
+             (warn-only; set WEC_BENCH_GUARD_STRICT=1 to gate)"
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--trace` mode: fresh `replay_scaling` output vs the baseline's
+/// `parallel` record.  Throughput gates; wall-clock is informational.
+fn guard_trace(fresh_path: &PathBuf, baseline_path: &PathBuf, max_regress: f64) -> ExitCode {
+    let fresh_text = match std::fs::read_to_string(fresh_path) {
+        Ok(t) => t,
+        Err(e) => return fail(format!("{}: {e}", fresh_path.display())),
+    };
+    let fresh = match json::parse(fresh_text.trim()) {
+        Ok(v) => v,
+        Err(e) => return fail(format!("{}: {e}", fresh_path.display())),
+    };
+    let Some(fresh_rps) = fresh.get("aggregate_records_per_s").and_then(Json::as_f64) else {
+        return fail(format!(
+            "{}: no \"aggregate_records_per_s\" (not replay_scaling output?)",
+            fresh_path.display()
+        ));
+    };
+    let fresh_sweep = fresh.get("best_sweep_s").and_then(Json::as_f64);
+
+    let base_text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => return fail(format!("{}: {e}", baseline_path.display())),
+    };
+    let base = match json::parse(&base_text) {
+        Ok(v) => v,
+        Err(e) => return fail(format!("{}: {e}", baseline_path.display())),
+    };
+    let Some(parallel) = base.get("parallel") else {
+        return fail(format!(
+            "{}: no \"parallel\" record (regenerate with replay_scaling)",
+            baseline_path.display()
+        ));
+    };
+    let Some(base_rps) = parallel
+        .get("aggregate_records_per_s")
+        .and_then(Json::as_f64)
+    else {
+        return fail(format!(
+            "{}: parallel record without aggregate_records_per_s",
+            baseline_path.display()
+        ));
+    };
+
+    let strict = std::env::var("WEC_BENCH_GUARD_STRICT").is_ok_and(|v| v == "1");
+    println!(
+        "bench_guard --trace: {} vs {} (threshold -{:.0}%, {})",
+        fresh_path.display(),
+        baseline_path.display(),
+        max_regress * 100.0,
+        if strict { "strict" } else { "warn-only" }
+    );
+    let ratio = fresh_rps / base_rps.max(1.0);
+    let regressed = ratio < 1.0 - max_regress;
+    println!(
+        "  {:<9} parallel replay throughput: {fresh_rps:.0} records/s vs {base_rps:.0} baseline ({ratio:.2}x)",
+        if regressed { "REGRESSED" } else { "ok" }
+    );
+    if let (Some(fresh_s), Some(base_s)) = (
+        fresh_sweep,
+        parallel.get("best_sweep_s").and_then(Json::as_f64),
+    ) {
+        println!("  info      best sweep: {fresh_s:.2}s vs {base_s:.2}s baseline (wall-clock moves with trace size; not gated)");
+    }
+    if regressed {
+        if strict {
+            eprintln!("bench_guard: parallel replay throughput regressed beyond threshold");
+            return ExitCode::from(1);
+        }
+        eprintln!(
+            "bench_guard: parallel replay throughput regressed beyond threshold \
              (warn-only; set WEC_BENCH_GUARD_STRICT=1 to gate)"
         );
     }

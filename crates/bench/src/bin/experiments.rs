@@ -7,7 +7,7 @@
 //!             [--sample-interval N] [--telemetry-out DIR] [--commit-trace N]
 //! experiments [--scale N] [--only bench] --capture-trace DIR
 //! experiments [--only bench] [--csv] [--no-cache] [--run-out DIR]
-//!             --replay-trace DIR
+//!             [--jobs N] --replay-trace DIR
 //! ```
 //!
 //! Results are memoized on disk (default `target/wec-result-cache`,
@@ -48,9 +48,13 @@
 //! trace at its captured configuration (`--run-out OUT`, default
 //! `target/wec-replay`, receives `OUT/golden-check/` — gate with
 //! `metricsdiff DIR/golden OUT/golden-check`) and memoizing sweep points
-//! in the result store (`--no-cache` replays every point cold).
-//! Telemetry instruments cannot combine with replay (replay never runs
-//! the core pipeline), and capture is always a live full-timing run.
+//! in the result store (`--no-cache` replays every point cold).  Replay
+//! decodes each trace once into a shared in-memory slab and fans both
+//! block decoding and sweep points over `--jobs N` workers (default:
+//! `WEC_JOBS`, then available parallelism); every counter, artifact, and
+//! memo entry is byte-identical at any job count.  Telemetry instruments
+//! cannot combine with replay (replay never runs the core pipeline), and
+//! capture is always a live full-timing run (`--jobs` is rejected there).
 
 use std::sync::Arc;
 
@@ -138,10 +142,10 @@ fn main() {
         if live {
             panic!("--live renders table-mode sweep progress; trace capture/replay print their own per-workload progress");
         }
-        if jobs.is_some() {
-            panic!("--jobs caps table-mode sweep workers; capture and replay run their workloads sequentially (WEC_JOBS also has no effect here)");
-        }
         if let Some(dir) = capture_trace {
+            if jobs.is_some() {
+                panic!("--jobs applies to table-mode sweeps and --replay-trace; capture is one full-timing run per workload and is inherently sequential (WEC_JOBS also has no effect on it)");
+            }
             if no_cache {
                 panic!("--no-cache has no effect on --capture-trace: capture always runs the simulation live (the result store only memoizes metrics, not traces)");
             }
@@ -157,7 +161,8 @@ fn main() {
                 panic!("--replay-trace replays at the scale recorded in each trace; --scale applies to capture/table/telemetry modes");
             }
             let out = run_out.unwrap_or_else(|| std::path::PathBuf::from("target/wec-replay"));
-            wec_bench::tracerun::replay_traces(&dir, &out, no_cache, csv, only.as_deref());
+            let n = jobs.unwrap_or_else(wec_bench::runner::default_hosts);
+            wec_bench::tracerun::replay_traces(&dir, &out, no_cache, csv, only.as_deref(), n);
         }
         return;
     }

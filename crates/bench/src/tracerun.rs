@@ -13,18 +13,25 @@
 //! Replay re-drives *only* the cache hierarchy from those traces across
 //! the WEC geometry sweep ([`sweep_keys`]: side-structure entries × L1
 //! associativity × side-structure kind), so a 48-point geometry sweep
-//! reuses one timing run per benchmark instead of 48.  Every replayed
-//! trace is first re-checked at the captured configuration against the
-//! goldens (`golden-check/<bench>.kv` must diff clean), and every sweep
-//! point is memoized in the persistent result store keyed by the trace
-//! identity, the configuration label and the simulator revision.
+//! reuses one timing run per benchmark instead of 48.  Each trace is
+//! decoded **once** into a shared [`TraceSlab`] (block decoding fanned
+//! over the job pool), then the sweep's points — embarrassingly parallel,
+//! each worker owning a fresh L1/WEC/L2 hierarchy — are fanned across
+//! the same pool ([`replay_sweep`]).  Every replayed trace is first
+//! re-checked at the captured configuration against the goldens
+//! (`golden-check/<bench>.kv` must diff clean), and every sweep point is
+//! memoized in the persistent result store keyed by the trace identity,
+//! the configuration label and the simulator revision — job count never
+//! changes a counter or a memo key.
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use wec_common::table::Table;
 use wec_core::config::ProcPreset;
-use wec_trace::{cache_stat_subset, capture_run, kv_string, replay, CaptureMeta, Trace};
+use wec_trace::{
+    cache_stat_subset, capture_run, kv_string, replay_slab, CaptureMeta, Trace, TraceSlab,
+};
 use wec_workloads::{Bench, Scale};
 
 use crate::runner::{default_disk_dir, fnv1a, CfgKey};
@@ -179,13 +186,13 @@ fn sum(subset: &[(String, u64)], suffix: &str) -> u64 {
 /// server and vice versa; the memo write is atomic ([`crate::store`])
 /// because daemon workers race on shared keys.
 pub fn replay_point(
-    trace: &Trace,
+    slab: &TraceSlab,
     key: CfgKey,
     cache_dir: Option<&Path>,
 ) -> (Vec<(String, u64)>, bool) {
     let id = format!(
         "trace|{:016x}|{}|rev{}",
-        trace.identity(),
+        slab.identity(),
         key.label(),
         wec_core::SIM_REVISION
     );
@@ -198,10 +205,10 @@ pub fn replay_point(
             return (subset, false);
         }
     }
-    let outcome = replay(trace, &key.build()).unwrap_or_else(|e| {
+    let outcome = replay_slab(slab, &key.build()).unwrap_or_else(|e| {
         panic!(
             "replay of {} at {} failed: {e}",
-            trace.header.bench,
+            slab.header().bench,
             key.label()
         )
     });
@@ -212,9 +219,66 @@ pub fn replay_point(
     (subset, true)
 }
 
+/// One replayed point: the cache-counter subset and whether it was
+/// replayed cold (vs answered from the result store).
+pub type PointResult = (Vec<(String, u64)>, bool);
+
+/// Replay every key of a sweep against one shared slab, fanning points
+/// across `jobs` worker threads (1 = inline).  Points are independent —
+/// each worker builds its own L1/WEC/L2 hierarchy and only reads the
+/// slab — so results are identical at any job count; they come back in
+/// `keys` order regardless of completion order.  Memoization goes
+/// through [`replay_point`], whose store writes are atomic, so
+/// concurrent workers (or concurrent sweeps) never publish a torn entry.
+pub fn replay_sweep(
+    slab: &TraceSlab,
+    keys: &[CfgKey],
+    cache_dir: Option<&Path>,
+    jobs: usize,
+) -> Vec<PointResult> {
+    let jobs = jobs.max(1).min(keys.len().max(1));
+    if jobs <= 1 {
+        return keys
+            .iter()
+            .map(|key| replay_point(slab, *key, cache_dir))
+            .collect();
+    }
+    let slots: Vec<std::sync::OnceLock<PointResult>> = (0..keys.len())
+        .map(|_| std::sync::OnceLock::new())
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(key) = keys.get(i) else {
+                    return;
+                };
+                let _ = slots[i].set(replay_point(slab, *key, cache_dir));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("replay pool exited with an unfilled slot")
+        })
+        .collect()
+}
+
 /// Replay mode: golden-check every trace at the captured configuration,
-/// then sweep [`sweep_keys`] over it, printing one table per benchmark.
-pub fn replay_traces(dir: &Path, out: &Path, no_cache: bool, csv: bool, only: Option<&str>) {
+/// then sweep [`sweep_keys`] over it with `jobs` workers, printing one
+/// table per benchmark.  `jobs` caps both the slab decoder pool and the
+/// sweep-point pool; results and memo entries are identical at any count.
+pub fn replay_traces(
+    dir: &Path,
+    out: &Path,
+    no_cache: bool,
+    csv: bool,
+    only: Option<&str>,
+    jobs: usize,
+) {
     let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
         .unwrap_or_else(|e| panic!("cannot read --replay-trace {}: {e}", dir.display()))
         .filter_map(|e| e.ok().map(|e| e.path()))
@@ -229,6 +293,7 @@ pub fn replay_traces(dir: &Path, out: &Path, no_cache: bool, csv: bool, only: Op
     }
     let base = capture_key();
     let keys = sweep_keys();
+    let jobs = jobs.max(1);
     let cache_dir = if no_cache {
         None
     } else {
@@ -237,6 +302,7 @@ pub fn replay_traces(dir: &Path, out: &Path, no_cache: bool, csv: bool, only: Op
     if let Some(d) = &cache_dir {
         eprintln!("replay result cache: {}", d.display());
     }
+    eprintln!("replay jobs: {jobs}");
     std::fs::create_dir_all(out.join("golden-check"))
         .unwrap_or_else(|e| panic!("cannot create {}: {e}", out.display()));
 
@@ -273,11 +339,13 @@ pub fn replay_traces(dir: &Path, out: &Path, no_cache: bool, csv: bool, only: Op
             "replaying {} ({} records, scale {})…",
             h.bench, h.total_records, h.scale_units
         );
+        let slab = TraceSlab::build(&trace, jobs)
+            .unwrap_or_else(|e| panic!("cannot decode {}: {e}", path.display()));
 
         // Golden check: the captured configuration must reproduce the
         // full-timing counters exactly (gated by `metricsdiff
         // <capture>/golden <out>/golden-check`).
-        let (golden_subset, _) = replay_point(&trace, base, None);
+        let (golden_subset, _) = replay_point(&slab, base, None);
         records_driven += h.total_records;
         let check_path = out.join("golden-check").join(format!("{stem}.kv"));
         std::fs::write(&check_path, kv_string(&golden_subset))
@@ -295,8 +363,8 @@ pub fn replay_traces(dir: &Path, out: &Path, no_cache: bool, csv: bool, only: Op
             ),
             &["config", "l1d_miss%", "side_hits", "l2_misses"],
         );
-        for key in &keys {
-            let (subset, cold) = replay_point(&trace, *key, cache_dir.as_deref());
+        let results = replay_sweep(&slab, &keys, cache_dir.as_deref(), jobs);
+        for (key, (subset, cold)) in keys.iter().zip(results) {
             if cold {
                 cold_points += 1;
                 records_driven += h.total_records;

@@ -1,0 +1,99 @@
+//! Stress/race regression test for parallel replay memoization: several
+//! threads sweep *overlapping* point sets against one shared [`TraceSlab`]
+//! and one result store directory.  Racing threads must never tear a memo
+//! entry (the store's atomic temp+rename publish), every thread must see
+//! identical counters for every point, and each point must end up stored
+//! exactly once — the same guarantee the store's two-writer unit test
+//! proves at the file layer, here exercised through the whole replay path.
+
+use std::collections::BTreeMap;
+
+use wec_bench::tracerun::{capture_key, replay_point, sweep_keys};
+use wec_trace::{capture_run, CaptureMeta, TraceSlab};
+use wec_workloads::{Bench, Scale};
+
+/// Labelled counter subsets one thread observed, in replay order.
+type ThreadResults = Vec<(String, Vec<(String, u64)>)>;
+
+#[test]
+fn overlapping_sweeps_share_one_store_without_tearing() {
+    let w = Bench::Gzip.build(Scale::SMOKE);
+    let base = capture_key();
+    let meta = CaptureMeta {
+        bench: w.name.to_string(),
+        scale_units: Scale::SMOKE.units,
+        cfg_label: base.label(),
+    };
+    let (_full, trace) = capture_run(&w, base.build(), &meta).unwrap();
+    let slab = TraceSlab::build(&trace, 4).unwrap();
+
+    // A small overlapping point set: every thread replays all of it, but
+    // rotated to a different starting offset, so at any moment several
+    // threads race on the same memo key while others race on different
+    // ones — reads, replays, and atomic publishes interleave freely.
+    let keys: Vec<_> = sweep_keys().into_iter().take(8).collect();
+    let dir = std::env::temp_dir().join(format!("wec-replay-race-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    const THREADS: usize = 4;
+    let per_thread: Vec<ThreadResults> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let (slab, keys, dir) = (&slab, &keys, &dir);
+                s.spawn(move || {
+                    (0..keys.len())
+                        .map(|i| {
+                            let key = keys[(i + t) % keys.len()];
+                            (key.label(), replay_point(slab, key, Some(dir)).0)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every thread observed identical counters for every point — a torn
+    // or interleaved memo entry would parse into a divergent subset.
+    let mut agreed: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+    for results in &per_thread {
+        for (label, subset) in results {
+            assert!(!subset.is_empty(), "{label}: empty counter subset");
+            match agreed.get(label) {
+                None => {
+                    agreed.insert(label.clone(), subset.clone());
+                }
+                Some(first) => assert_eq!(first, subset, "{label}: threads disagree"),
+            }
+        }
+    }
+    assert_eq!(agreed.len(), keys.len());
+
+    // Each point stored exactly once, no temp litter left behind.
+    let mut stored: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    stored.sort();
+    assert_eq!(
+        stored.len(),
+        keys.len(),
+        "expected one .kv per point, found {stored:?}"
+    );
+    for name in &stored {
+        assert!(
+            name.starts_with("trace_") && name.ends_with(".kv"),
+            "unexpected store entry {name:?}"
+        );
+    }
+
+    // Warm reload: the published entries answer every point without a
+    // replay, byte-identical to what the racing threads computed.
+    for key in &keys {
+        let (subset, cold) = replay_point(&slab, *key, Some(&dir));
+        assert!(!cold, "{}: store entry not reused", key.label());
+        assert_eq!(&subset, &agreed[&key.label()]);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

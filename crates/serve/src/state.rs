@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 use wec_bench::runner::{default_disk_dir, default_hosts};
 use wec_bench::Suite;
 use wec_telemetry::report::progress_finish_line;
-use wec_trace::Trace;
+use wec_trace::{Trace, TraceSlab};
 use wec_workloads::{Bench, Scale};
 
 use crate::job::{JobRecord, JobSpec, JobState};
@@ -182,8 +182,9 @@ pub struct ServerState {
     memo: Mutex<HashMap<String, Arc<MemoEntry>>>,
     /// Built workload suites, one per (bench, scale) ever requested.
     suites: Mutex<HashMap<(&'static str, u32), Arc<Suite>>>,
-    /// Loaded capture traces, one per path ever requested.
-    traces: Mutex<HashMap<PathBuf, Arc<Trace>>>,
+    /// Decoded capture traces, one slab per path ever requested — replay
+    /// jobs for the same trace share one decode and merge.
+    traces: Mutex<HashMap<PathBuf, Arc<TraceSlab>>>,
     counts: Mutex<Counts>,
     /// Jobs accepted into the queue and not yet terminal (drain barrier).
     outstanding: AtomicU64,
@@ -387,8 +388,10 @@ impl ServerState {
             .clone()
     }
 
-    /// The loaded trace at `path`, revision-checked against this binary.
-    pub fn trace_for(&self, path: &Path) -> Result<Arc<Trace>, String> {
+    /// The decoded slab for the trace at `path`, revision-checked against
+    /// this binary.  Decoded once (block decode fanned over the worker
+    /// count) and shared by every replay job that names the same path.
+    pub fn trace_for(&self, path: &Path) -> Result<Arc<TraceSlab>, String> {
         if let Some(t) = lock(&self.traces).get(path) {
             return Ok(t.clone());
         }
@@ -402,9 +405,12 @@ impl ServerState {
                 wec_core::SIM_REVISION
             ));
         }
-        let trace = Arc::new(trace);
-        lock(&self.traces).insert(path.to_path_buf(), trace.clone());
-        Ok(trace)
+        let slab = Arc::new(
+            TraceSlab::build(&trace, self.cfg.workers.max(1))
+                .map_err(|e| format!("cannot decode {}: {e}", path.display()))?,
+        );
+        lock(&self.traces).insert(path.to_path_buf(), slab.clone());
+        Ok(slab)
     }
 
     /// Append one terminal record to `jobs.jsonl` (no-op without a log

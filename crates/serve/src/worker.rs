@@ -181,20 +181,20 @@ fn execute(
             })
         }
         JobKind::Replay { trace } => {
-            let trace = state.trace_for(trace)?;
+            let slab = state.trace_for(trace)?;
             let label = spec.key.label();
             let t = Instant::now();
             slot.push_event(progress_start_line(
                 state.now_ms(),
-                &trace.header.bench,
+                &slab.header().bench,
                 &label,
                 widx,
             ));
-            let (subset, cold) = replay_point(&trace, spec.key, state.cfg.store.as_deref());
+            let (subset, cold) = replay_point(&slab, spec.key, state.cfg.store.as_deref());
             let source = if cold { "cold" } else { "disk" };
             slot.push_event(progress_finish_line(
                 state.now_ms(),
-                &trace.header.bench,
+                &slab.header().bench,
                 &label,
                 widx,
                 source,

@@ -37,12 +37,14 @@ pub mod codec;
 pub mod format;
 pub mod record;
 pub mod replay;
+pub mod slab;
 pub mod stream;
 
 pub use capture::{capture_run, CaptureMeta, TraceRecorder};
 pub use format::{Trace, TraceHeader, FORMAT_VERSION};
 pub use record::{TraceKind, TraceRecord};
-pub use replay::{cache_stat_subset, kv_string, replay, ReplayOutcome};
+pub use replay::{cache_stat_subset, kv_string, replay, replay_slab, ReplayOutcome};
+pub use slab::{MergedOrder, TraceSlab};
 
 use std::fmt;
 

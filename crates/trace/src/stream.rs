@@ -104,6 +104,7 @@ pub struct StreamEncoder {
     blocks: Vec<Block>,
     buf: Vec<u8>,
     block_records: u32,
+    block_cap: usize,
     ctx: Ctx,
     last: Option<Deltas>,
     run: u64,
@@ -119,10 +120,20 @@ impl Default for StreamEncoder {
 
 impl StreamEncoder {
     pub fn new() -> Self {
+        Self::with_block_records(BLOCK_RECORDS)
+    }
+
+    /// An encoder that seals blocks after `block_cap` records instead of
+    /// [`BLOCK_RECORDS`].  Production captures always use [`Self::new`];
+    /// this exists so partition/parallel-decode tests can exercise many
+    /// small blocks without generating millions of records.
+    pub fn with_block_records(block_cap: usize) -> Self {
+        assert!(block_cap > 0, "blocks must hold at least one record");
         StreamEncoder {
             blocks: Vec::new(),
             buf: Vec::new(),
             block_records: 0,
+            block_cap,
             ctx: Ctx::default(),
             last: None,
             run: 0,
@@ -193,7 +204,7 @@ impl StreamEncoder {
         self.checksum = rec.fold_checksum(self.checksum);
         self.records += 1;
         self.block_records += 1;
-        if self.block_records as usize >= BLOCK_RECORDS {
+        if self.block_records as usize >= self.block_cap {
             self.end_block();
         }
     }
@@ -257,39 +268,34 @@ impl StreamEncoder {
     }
 }
 
-/// Streaming decoder for one TU; yields records in stream order and
-/// verifies block and content checksums as it goes.
-pub struct StreamDecoder<'a> {
-    stream: &'a EncodedStream,
+/// Decoder for one block's bytes.  Blocks are self-contained by
+/// construction — every delta context resets at a block boundary — so a
+/// `BlockDecoder` needs nothing but the block and the stream's TU number,
+/// which is what makes blocks independently (and in parallel) decodable.
+pub struct BlockDecoder<'a> {
+    cur: Cursor<'a>,
+    left: u32,
     tu: u32,
-    block_idx: usize,
-    cur: Option<Cursor<'a>>,
-    block_left: u32,
     ctx: Ctx,
     last: Option<Deltas>,
     run_left: u64,
-    emitted: u64,
-    checksum: u64,
-    finished: bool,
-    failed: bool,
 }
 
-impl<'a> StreamDecoder<'a> {
-    pub fn new(stream: &'a EncodedStream, tu: u32) -> Self {
-        StreamDecoder {
-            stream,
+impl<'a> BlockDecoder<'a> {
+    /// Verify the block's byte checksum and position a decoder at its
+    /// first record.
+    pub fn new(block: &'a Block, tu: u32) -> Result<Self, TraceError> {
+        if fnv1a(&block.bytes) != block.checksum {
+            return Err(TraceError::Corrupt("block byte checksum mismatch".into()));
+        }
+        Ok(BlockDecoder {
+            cur: Cursor::new(&block.bytes),
+            left: block.records,
             tu,
-            block_idx: 0,
-            cur: None,
-            block_left: 0,
             ctx: Ctx::default(),
             last: None,
             run_left: 0,
-            emitted: 0,
-            checksum: FNV_OFFSET,
-            finished: false,
-            failed: false,
-        }
+        })
     }
 
     fn apply(&mut self, d: Deltas) -> TraceRecord {
@@ -316,24 +322,23 @@ impl<'a> StreamDecoder<'a> {
         if d.kind.carries_pc() {
             self.ctx.prev_pc = pc;
         }
-        let rec = TraceRecord {
+        self.left -= 1;
+        TraceRecord {
             cycle,
             tu: self.tu,
             pc,
             addr,
             kind: d.kind,
             squashed: d.squashed,
-        };
-        self.checksum = rec.fold_checksum(self.checksum);
-        self.emitted += 1;
-        self.block_left -= 1;
-        rec
+        }
     }
 
-    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+    /// The next record of this block, or `Ok(None)` once exactly
+    /// `block.records` have been decoded and the bytes are exhausted.
+    pub fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
         loop {
             if self.run_left > 0 {
-                if self.block_left == 0 {
+                if self.left == 0 {
                     return Err(TraceError::Corrupt("run crosses a block boundary".into()));
                 }
                 self.run_left -= 1;
@@ -342,65 +347,124 @@ impl<'a> StreamDecoder<'a> {
                     .ok_or_else(|| TraceError::Corrupt("run without a preceding record".into()))?;
                 return Ok(Some(self.apply(d)));
             }
-            if let Some(cur) = self.cur.as_mut() {
-                if cur.is_empty() {
-                    if self.block_left != 0 {
-                        return Err(TraceError::Truncated("block ended mid-record"));
-                    }
-                    self.cur = None;
-                    continue;
+            if self.cur.is_empty() {
+                if self.left != 0 {
+                    return Err(TraceError::Truncated("block ended mid-record"));
                 }
-                if self.block_left == 0 {
-                    return Err(TraceError::Corrupt("trailing bytes in block".into()));
-                }
-                let tag = cur.get_u8("record tag")?;
-                let kbits = tag & 0x07;
-                let nib = tag >> 4;
-                if kbits == RUN_KIND {
-                    let n = if nib == 15 {
-                        15 + cur.get_varint("run length")?
-                    } else {
-                        nib as u64
-                    };
-                    if n == 0 {
-                        return Err(TraceError::Corrupt("zero-length run".into()));
-                    }
-                    if self.last.is_none() {
-                        return Err(TraceError::Corrupt("run without a preceding record".into()));
-                    }
-                    self.run_left = n;
-                    continue;
-                }
-                let cdelta = if nib == 15 {
-                    15 + cur.get_varint("cycle delta")?
+                return Ok(None);
+            }
+            if self.left == 0 {
+                return Err(TraceError::Corrupt("trailing bytes in block".into()));
+            }
+            let tag = self.cur.get_u8("record tag")?;
+            let kbits = tag & 0x07;
+            let nib = tag >> 4;
+            if kbits == RUN_KIND {
+                let n = if nib == 15 {
+                    15 + self.cur.get_varint("run length")?
                 } else {
                     nib as u64
                 };
-                let (kind, addr) = match kbits {
-                    IF_ALT_KIND => (TraceKind::InstFetch, AddrEnc::FetchAlt),
-                    IF_STRIDE_KIND => (TraceKind::InstFetch, AddrEnc::FetchStride),
-                    _ => {
-                        let kind = TraceKind::from_u8(kbits)?;
-                        (
-                            kind,
-                            AddrEnc::Delta(unzigzag(cur.get_varint("addr delta")?)),
-                        )
+                if n == 0 {
+                    return Err(TraceError::Corrupt("zero-length run".into()));
+                }
+                if self.last.is_none() {
+                    return Err(TraceError::Corrupt("run without a preceding record".into()));
+                }
+                self.run_left = n;
+                continue;
+            }
+            let cdelta = if nib == 15 {
+                15 + self.cur.get_varint("cycle delta")?
+            } else {
+                nib as u64
+            };
+            let (kind, addr) = match kbits {
+                IF_ALT_KIND => (TraceKind::InstFetch, AddrEnc::FetchAlt),
+                IF_STRIDE_KIND => (TraceKind::InstFetch, AddrEnc::FetchStride),
+                _ => {
+                    let kind = TraceKind::from_u8(kbits)?;
+                    (
+                        kind,
+                        AddrEnc::Delta(unzigzag(self.cur.get_varint("addr delta")?)),
+                    )
+                }
+            };
+            let pdelta = if kind.carries_pc() {
+                Some(unzigzag(self.cur.get_varint("pc delta")?))
+            } else {
+                None
+            };
+            let d = Deltas {
+                kind,
+                squashed: tag & 0x08 != 0,
+                cdelta,
+                addr,
+                pdelta,
+            };
+            self.last = Some(d);
+            return Ok(Some(self.apply(d)));
+        }
+    }
+}
+
+/// Decode one block into `out` (appending), verifying its byte checksum
+/// and record count.  This is the unit of work the [`crate::slab`]
+/// decoder pool fans out.
+pub fn decode_block_into(
+    block: &Block,
+    tu: u32,
+    out: &mut Vec<TraceRecord>,
+) -> Result<(), TraceError> {
+    let mut d = BlockDecoder::new(block, tu)?;
+    out.reserve(block.records as usize);
+    while let Some(rec) = d.next_record()? {
+        out.push(rec);
+    }
+    Ok(())
+}
+
+/// Streaming decoder for one TU; yields records in stream order and
+/// verifies block and content checksums as it goes.  Wraps a
+/// [`BlockDecoder`] per block and adds the stream-level accounting
+/// (record count, content checksum).
+pub struct StreamDecoder<'a> {
+    stream: &'a EncodedStream,
+    tu: u32,
+    block_idx: usize,
+    cur: Option<BlockDecoder<'a>>,
+    emitted: u64,
+    checksum: u64,
+    finished: bool,
+    failed: bool,
+}
+
+impl<'a> StreamDecoder<'a> {
+    pub fn new(stream: &'a EncodedStream, tu: u32) -> Self {
+        StreamDecoder {
+            stream,
+            tu,
+            block_idx: 0,
+            cur: None,
+            emitted: 0,
+            checksum: FNV_OFFSET,
+            finished: false,
+            failed: false,
+        }
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        loop {
+            if let Some(cur) = self.cur.as_mut() {
+                match cur.next_record()? {
+                    Some(rec) => {
+                        self.checksum = rec.fold_checksum(self.checksum);
+                        self.emitted += 1;
+                        return Ok(Some(rec));
                     }
-                };
-                let pdelta = if kind.carries_pc() {
-                    Some(unzigzag(cur.get_varint("pc delta")?))
-                } else {
-                    None
-                };
-                let d = Deltas {
-                    kind,
-                    squashed: tag & 0x08 != 0,
-                    cdelta,
-                    addr,
-                    pdelta,
-                };
-                self.last = Some(d);
-                return Ok(Some(self.apply(d)));
+                    None => self.cur = None,
+                }
+                continue;
             }
             let Some(block) = self.stream.blocks.get(self.block_idx) else {
                 if self.finished {
@@ -420,18 +484,13 @@ impl<'a> StreamDecoder<'a> {
                 }
                 return Ok(None);
             };
-            if fnv1a(&block.bytes) != block.checksum {
-                return Err(TraceError::Corrupt(format!(
-                    "block {} byte checksum mismatch",
-                    self.block_idx
-                )));
-            }
+            self.cur = Some(BlockDecoder::new(block, self.tu).map_err(|e| match e {
+                TraceError::Corrupt(msg) => {
+                    TraceError::Corrupt(format!("block {}: {msg}", self.block_idx))
+                }
+                other => other,
+            })?);
             self.block_idx += 1;
-            self.block_left = block.records;
-            self.ctx = Ctx::default();
-            self.last = None;
-            self.run_left = 0;
-            self.cur = Some(Cursor::new(&block.bytes));
         }
     }
 }

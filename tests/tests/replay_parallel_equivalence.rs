@@ -1,0 +1,99 @@
+//! The parallel replay engine's contract, end to end: one captured
+//! trace, swept at `jobs = 1` and `jobs = 8`, is byte-identical point by
+//! point — and both match the full-timing run at the captured
+//! configuration — with the drift verdict rendered by the same diff
+//! engine `metricsdiff` uses (zero drift, not merely "close").
+
+use std::collections::BTreeMap;
+
+use wec_bench::diff::{diff, MetricSet, Policy};
+use wec_bench::tracerun::{capture_key, replay_sweep, sweep_keys};
+use wec_bench::CfgKey;
+use wec_trace::{cache_stat_subset, capture_run, kv_string, CaptureMeta, TraceSlab};
+use wec_workloads::{Bench, Scale};
+
+/// Render sweep results as a diff-engine input: one point per sweep
+/// label, every counter as an exact integer-valued metric.
+fn metric_set(source: &str, keys: &[CfgKey], results: &[(Vec<(String, u64)>, bool)]) -> MetricSet {
+    let points = keys
+        .iter()
+        .zip(results)
+        .map(|(key, (subset, _))| {
+            let metrics = subset
+                .iter()
+                .map(|(k, v)| (k.clone(), *v as f64))
+                .collect::<BTreeMap<String, f64>>();
+            (key.label(), metrics)
+        })
+        .collect();
+    MetricSet {
+        source: source.to_string(),
+        points,
+    }
+}
+
+#[test]
+fn replay_parallel_equivalence() {
+    // One full-timing capture on the paper machine (the configuration
+    // every sweep replays from).
+    let w = Bench::Mcf.build(Scale::SMOKE);
+    let base = capture_key();
+    let meta = CaptureMeta {
+        bench: w.name.to_string(),
+        scale_units: Scale::SMOKE.units,
+        cfg_label: base.label(),
+    };
+    let (full, trace) = capture_run(&w, base.build(), &meta).unwrap();
+
+    // One shared slab (decoded on 8 threads), swept serially and with 8
+    // workers.  No result store: every point replays live both times.
+    let slab = TraceSlab::build(&trace, 8).unwrap();
+    assert_eq!(slab.records(), trace.header.total_records);
+    let keys = sweep_keys();
+    let serial = replay_sweep(&slab, &keys, None, 1);
+    let parallel = replay_sweep(&slab, &keys, None, 8);
+
+    // Every sweep point byte-identical down to the rendered kv artifact.
+    for ((key, a), b) in keys.iter().zip(&serial).zip(&parallel) {
+        assert!(a.1 && b.1, "uncached sweep replayed a point warm");
+        assert_eq!(
+            kv_string(&a.0),
+            kv_string(&b.0),
+            "jobs=1 vs jobs=8 drifted at {}",
+            key.label()
+        );
+    }
+
+    // The same verdict through the diff engine, both directions.
+    let set1 = metric_set("replay jobs=1", &keys, &serial);
+    let set8 = metric_set("replay jobs=8", &keys, &parallel);
+    let policy = Policy::default();
+    assert!(diff(&set1, &set8, &policy).clean());
+    assert!(diff(&set8, &set1, &policy).clean());
+
+    // Full timing joins the comparison at the captured configuration —
+    // the one point where replay must reproduce the timing model exactly.
+    let golden = cache_stat_subset(&full.stats);
+    let idx = keys
+        .iter()
+        .position(|k| *k == base)
+        .expect("the sweep always contains the capture point");
+    assert_eq!(kv_string(&golden), kv_string(&serial[idx].0));
+    assert_eq!(kv_string(&golden), kv_string(&parallel[idx].0));
+    let timing = MetricSet {
+        source: "full timing".to_string(),
+        points: BTreeMap::from([(
+            base.label(),
+            golden
+                .iter()
+                .map(|(k, v)| (k.clone(), *v as f64))
+                .collect::<BTreeMap<String, f64>>(),
+        )]),
+    };
+    let replay_at_base = MetricSet {
+        source: "replay jobs=8".to_string(),
+        points: BTreeMap::from([(base.label(), set8.points[&base.label()].clone())]),
+    };
+    assert!(diff(&timing, &replay_at_base, &policy).clean());
+    assert!(diff(&replay_at_base, &timing, &policy).clean());
+}
