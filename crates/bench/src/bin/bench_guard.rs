@@ -6,6 +6,9 @@
 //!
 //! cargo run --release -p wec-bench --example replay_scaling > /tmp/scaling.json
 //! bench_guard --trace /tmp/scaling.json [--baseline BENCH_trace.json] [--max-regress 0.25]
+//!
+//! cargo run --release -p wec-serve --bin loadgen -- --addr ... --out /tmp/fresh_serve.json
+//! bench_guard --serve /tmp/fresh_serve.json [--baseline BENCH_serve.json] [--max-regress 0.25]
 //! ```
 //!
 //! Default mode compares each fresh `median_ns` against the checked-in
@@ -21,6 +24,14 @@
 //! informationally — they move with trace size, throughput is the
 //! machine-comparable number).
 //!
+//! `--serve` mode guards the serve daemon's observed tail latency: both
+//! sides are `wec-bench-serve-v1` loadgen reports, and a regression is the
+//! fresh `latency_us.p99` exceeding the baseline's by more than
+//! `--max-regress` — the check CI runs with observability (access log +
+//! sampler) enabled, so the telemetry layer can't silently tax the tail.
+//! Throughput is reported informationally (it moves with the `--rate` the
+//! generator asked for, so the p99 is the comparable number).
+//!
 //! Timing on shared CI hosts is noisy, so regressions only **warn** by
 //! default; set `WEC_BENCH_GUARD_STRICT=1` to turn them into a non-zero
 //! exit for gating.  Benches present on only one side are reported
@@ -35,7 +46,9 @@ use std::process::ExitCode;
 use wec_telemetry::json::{self, Json};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_guard [--trace] FRESH.json [--baseline PATH] [--max-regress FRAC]");
+    eprintln!(
+        "usage: bench_guard [--trace | --serve] FRESH.json [--baseline PATH] [--max-regress FRAC]"
+    );
     ExitCode::from(2)
 }
 
@@ -49,11 +62,13 @@ fn main() -> ExitCode {
     let mut fresh_path: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut trace_mode = false;
+    let mut serve_mode = false;
     let mut max_regress = 0.25f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trace" => trace_mode = true,
+            "--serve" => serve_mode = true,
             "--baseline" => {
                 let Some(p) = it.next() else { return usage() };
                 baseline_path = Some(p.into());
@@ -73,14 +88,22 @@ fn main() -> ExitCode {
     let Some(fresh_path) = fresh_path else {
         return usage();
     };
+    if trace_mode && serve_mode {
+        return usage();
+    }
     let repo_default = if trace_mode {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json")
+    } else if serve_mode {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json")
     } else {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotloop.json")
     };
     let baseline_path = baseline_path.unwrap_or_else(|| PathBuf::from(repo_default));
     if trace_mode {
         return guard_trace(&fresh_path, &baseline_path, max_regress);
+    }
+    if serve_mode {
+        return guard_serve(&fresh_path, &baseline_path, max_regress);
     }
 
     // Fresh side: one JSON object per line, as the bench harness appends.
@@ -178,6 +201,69 @@ fn main() -> ExitCode {
         }
         eprintln!(
             "bench_guard: {regressions} regression(s) beyond threshold \
+             (warn-only; set WEC_BENCH_GUARD_STRICT=1 to gate)"
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Pull `latency_us.p99` and `jobs_per_sec` out of a `wec-bench-serve-v1`
+/// loadgen report.
+fn serve_report(path: &PathBuf) -> Result<(f64, Option<f64>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let v = json::parse(text.trim()).map_err(|e| format!("{}: {e}", path.display()))?;
+    if v.get("schema").and_then(Json::as_str) != Some("wec-bench-serve-v1") {
+        return Err(format!(
+            "{}: not a wec-bench-serve-v1 loadgen report",
+            path.display()
+        ));
+    }
+    let p99 = v
+        .get("latency_us")
+        .and_then(|l| l.get("p99"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{}: no latency_us.p99", path.display()))?;
+    Ok((p99, v.get("jobs_per_sec").and_then(Json::as_f64)))
+}
+
+/// `--serve` mode: fresh loadgen report vs the checked-in serve baseline.
+/// The p99 latency gates; throughput is informational.
+fn guard_serve(fresh_path: &PathBuf, baseline_path: &PathBuf, max_regress: f64) -> ExitCode {
+    let (fresh_p99, fresh_rate) = match serve_report(fresh_path) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let (base_p99, base_rate) = match serve_report(baseline_path) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+
+    let strict = std::env::var("WEC_BENCH_GUARD_STRICT").is_ok_and(|v| v == "1");
+    println!(
+        "bench_guard --serve: {} vs {} (threshold +{:.0}%, {})",
+        fresh_path.display(),
+        baseline_path.display(),
+        max_regress * 100.0,
+        if strict { "strict" } else { "warn-only" }
+    );
+    let ratio = fresh_p99 / base_p99.max(1.0);
+    let regressed = ratio > 1.0 + max_regress;
+    println!(
+        "  {:<9} serve p99 latency: {fresh_p99:.0} us vs {base_p99:.0} us baseline ({ratio:.2}x)",
+        if regressed { "REGRESSED" } else { "ok" }
+    );
+    if let (Some(f), Some(b)) = (fresh_rate, base_rate) {
+        println!(
+            "  info      throughput: {f:.1} jobs/s vs {b:.1} baseline (moves with --rate; not gated)"
+        );
+    }
+    if regressed {
+        if strict {
+            eprintln!("bench_guard: serve p99 latency regressed beyond threshold");
+            return ExitCode::from(1);
+        }
+        eprintln!(
+            "bench_guard: serve p99 latency regressed beyond threshold \
              (warn-only; set WEC_BENCH_GUARD_STRICT=1 to gate)"
         );
     }

@@ -13,7 +13,9 @@
 //! `trace.perfetto.json` as Chrome trace-event JSON, `profile.json` against
 //! the cycle-loop profiler schema, `progress.jsonl`/`run.json` against
 //! the sweep observability schemas, `jobs.jsonl`/`stats.json` against the
-//! serve daemon's `wec-job-record-v1` / `wec-serve-stats-v1` schemas, and
+//! serve daemon's `wec-job-record-v1` / `wec-serve-stats-v1` schemas,
+//! `access.jsonl` against `wec-access-log-v1`, `dashboard.json` (a saved
+//! `GET /dashboard/data` payload) against `wec-dashboard-data-v1`, and
 //! every `*.wectrace` capture (from `experiments --capture-trace`) by fully
 //! decoding it and verifying its file, block, and content checksums.  Each `--require kind` additionally
 //! asserts that the event trace contains at least one event of that kind
@@ -188,6 +190,30 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("FAIL stats.json: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(text) = read(dir, "access.jsonl") {
+        match schema::validate_access_jsonl(&text) {
+            Ok(n) => {
+                println!("ok  access.jsonl: {n} requests");
+                validated += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL access.jsonl: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(text) = read(dir, "dashboard.json") {
+        match schema::validate_dashboard_data_json(&text) {
+            Ok(n) => {
+                println!("ok  dashboard.json: {n} ring samples");
+                validated += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL dashboard.json: {e}");
                 failures += 1;
             }
         }

@@ -19,7 +19,11 @@
 //! for it (cold sims), so the timed phase measures the dedup/memo path —
 //! the serving-throughput number the acceptance gate cares about.
 //! Results (throughput, latency percentiles, outcome counts) go to
-//! `--out` as a `wec-bench-serve-v1` document and to stdout.
+//! `--out` as a `wec-bench-serve-v1` document and to stdout.  Latency is
+//! collected in the same [`wec_telemetry::hist::Log2Histogram`] the
+//! daemon's `/metrics` endpoint uses, and the full histogram rides along
+//! in the report (`latency_hist`) — so client-observed and
+//! server-observed distributions compare bucket for bucket.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -27,6 +31,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use wec_telemetry::hist::Log2Histogram;
 use wec_telemetry::json::{self, Json};
 
 fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::Result<(u16, String)> {
@@ -90,14 +95,6 @@ fn record_id_state(body: &str) -> Option<(u64, String)> {
         v.get("id")?.as_u64()?,
         v.get("state")?.as_str()?.to_string(),
     ))
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 fn main() {
@@ -178,7 +175,7 @@ fn main() {
     let completed = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
     let rejected = AtomicU64::new(0);
-    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(count));
+    let latencies: Mutex<Log2Histogram> = Mutex::new(Log2Histogram::new());
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for _ in 0..concurrency {
@@ -214,7 +211,7 @@ fn main() {
                 match outcome.as_deref() {
                     Ok("done") => {
                         let lat = t0.elapsed().saturating_sub(due);
-                        latencies.lock().unwrap().push(lat.as_micros() as u64);
+                        latencies.lock().unwrap().observe(lat.as_micros() as u64);
                         completed.fetch_add(1, Ordering::Relaxed);
                     }
                     Ok("rejected") => {
@@ -235,14 +232,15 @@ fn main() {
     let completed = completed.into_inner();
     let failed = failed.into_inner();
     let rejected = rejected.into_inner();
-    let mut lats = latencies.into_inner().unwrap();
-    lats.sort_unstable();
+    let hist = latencies.into_inner().unwrap();
     let jobs_per_sec = completed as f64 / wall_s.max(1e-9);
+    // Quantiles off the log2 histogram (good to a factor of two, same
+    // resolution the daemon reports); min/max are exact.
     let (p50, p90, p99, max) = (
-        percentile(&lats, 50.0),
-        percentile(&lats, 90.0),
-        percentile(&lats, 99.0),
-        lats.last().copied().unwrap_or(0),
+        hist.quantile(0.50),
+        hist.quantile(0.90),
+        hist.quantile(0.99),
+        hist.max(),
     );
 
     let doc = format!(
@@ -251,7 +249,9 @@ fn main() {
          \"rate\": {rate:.1},\n  \"concurrency\": {concurrency},\n  \"prewarm\": {prewarm},\n  \
          \"wall_s\": {wall_s:.3},\n  \"completed\": {completed},\n  \"failed\": {failed},\n  \
          \"rejected\": {rejected},\n  \"jobs_per_sec\": {jobs_per_sec:.1},\n  \
-         \"latency_us\": {{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \"max\": {max}}}\n}}\n"
+         \"latency_us\": {{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \"max\": {max}}},\n  \
+         \"latency_hist\": {}\n}}\n",
+        hist.to_json()
     );
     std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!(

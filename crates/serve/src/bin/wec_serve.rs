@@ -4,6 +4,7 @@
 //! wec_serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!           [--store DIR | --no-store] [--log-dir DIR]
 //!           [--io-timeout-ms N] [--events-timeout-ms N]
+//!           [--sample-interval-ms N] [--ring-cap N]
 //! ```
 //!
 //! Defaults: `127.0.0.1:8407`, [`wec_bench::runner::default_hosts`]
@@ -11,9 +12,12 @@
 //! the shared persistent result store at
 //! [`wec_bench::runner::default_disk_dir`] (`WEC_RESULT_CACHE`
 //! overridable).  With `--log-dir` the daemon appends every terminal job
-//! to `jobs.jsonl` and writes `stats.json` on drain — both validated by
-//! `telemetry_check`.  SIGTERM/SIGINT/`POST /shutdown` drain gracefully:
-//! in-flight jobs finish, then the process exits 0.
+//! to `jobs.jsonl`, every answered request to `access.jsonl`, and writes
+//! `stats.json` on drain — all validated by `telemetry_check`.  The
+//! dashboard sampler snapshots service rates every
+//! `--sample-interval-ms` (default 1000; 0 disables) into a ring of
+//! `--ring-cap` samples (default 512).  SIGTERM/SIGINT/`POST /shutdown`
+//! drain gracefully: in-flight jobs finish, then the process exits 0.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -56,6 +60,17 @@ fn main() {
                         .parse()
                         .expect("--events-timeout-ms N"),
                 );
+            }
+            "--sample-interval-ms" => {
+                cfg.sample_interval = Duration::from_millis(
+                    value("--sample-interval-ms")
+                        .parse()
+                        .expect("--sample-interval-ms N"),
+                );
+            }
+            "--ring-cap" => {
+                cfg.ring_cap = value("--ring-cap").parse().expect("--ring-cap N");
+                assert!(cfg.ring_cap > 0, "--ring-cap must be positive");
             }
             other => panic!("unknown argument {other:?}"),
         }

@@ -197,6 +197,52 @@ pub fn write_json<W: Write>(w: &mut W, status: u16, reason: &str, body: &str) ->
     write_response(w, status, reason, "application/json", body.as_bytes(), &[])
 }
 
+/// Write the response a `HEAD` request gets: the exact status line and
+/// headers of the corresponding `GET` — including the `Content-Length` the
+/// body *would* have — with no body bytes (RFC 9110 §9.3.2).
+pub fn write_head_only<W: Write>(
+    w: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body_len: usize,
+) -> io::Result<()> {
+    write!(w, "HTTP/1.1 {status} {reason}\r\n")?;
+    write!(w, "Content-Type: {content_type}\r\n")?;
+    write!(w, "Content-Length: {body_len}\r\n")?;
+    w.write_all(b"Connection: close\r\n\r\n")?;
+    w.flush()
+}
+
+/// A pass-through writer that counts bytes, so the access log can record
+/// each response's wire size without the handlers threading it back.
+pub struct CountingWriter<W: Write> {
+    w: W,
+    written: u64,
+}
+
+impl<W: Write> CountingWriter<W> {
+    pub fn new(w: W) -> CountingWriter<W> {
+        CountingWriter { w, written: 0 }
+    }
+
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.w.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
 /// A chunked-transfer response in progress (the `/jobs/<id>/events`
 /// stream).  Each [`ChunkedWriter::chunk`] is flushed immediately so
 /// clients see progress lines as they happen.
@@ -364,6 +410,31 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn head_only_response_has_the_get_content_length_and_no_body() {
+        let mut out = Vec::new();
+        write_head_only(&mut out, 200, "OK", "application/json", 123).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 123\r\n"));
+        assert!(
+            text.ends_with("\r\n\r\n"),
+            "no body after headers: {text:?}"
+        );
+    }
+
+    #[test]
+    fn counting_writer_tallies_every_byte() {
+        let mut sink = Vec::new();
+        let n = {
+            let mut cw = CountingWriter::new(&mut sink);
+            write_json(&mut cw, 200, "OK", "{}").unwrap();
+            cw.bytes_written()
+        };
+        assert_eq!(n as usize, sink.len());
+        assert!(sink.ends_with(b"{}"));
     }
 
     #[test]

@@ -23,22 +23,33 @@
 //!   [`wec_bench::tracerun::replay_point`], panics become failed jobs;
 //! * [`server`] — the accept loop, routing, the `/jobs/<id>/events`
 //!   progress stream (chunked, `progress.jsonl` schema), and graceful
-//!   drain on SIGTERM / `POST /shutdown`.
+//!   drain on SIGTERM / `POST /shutdown`;
+//! * [`metrics`] — per-endpoint HTTP request/latency counters and the
+//!   `GET /metrics` Prometheus-style exposition;
+//! * [`ringbuf`] — the fixed-capacity sample ring behind the dashboard
+//!   sparklines, fed by the in-server sampler thread;
+//! * [`dashboard`] — `GET /dashboard` (a self-contained HTML page, inline
+//!   SVG, zero external dependencies) and its `GET /dashboard/data` feed.
 //!
 //! Binaries: `wec_serve` (the daemon) and `loadgen` (an open-loop load
 //! generator that reports throughput/latency to `BENCH_serve.json`).
 
+pub mod dashboard;
 pub mod http;
 pub mod job;
+pub mod metrics;
 pub mod queue;
+pub mod ringbuf;
 pub mod server;
 pub mod state;
 pub mod worker;
 
 pub use job::{JobKind, JobRecord, JobSpec, JobState};
+pub use metrics::ServeMetrics;
 pub use queue::JobQueue;
+pub use ringbuf::{RingBuffer, ServiceSample};
 pub use server::Server;
-pub use state::{ServeConfig, ServerState, SubmitError};
+pub use state::{ServeConfig, ServerState, StatsSnapshot, SubmitError};
 
 /// Lock a mutex, recovering the guard if a previous holder panicked.  Worker
 /// panics are turned into failed jobs, so shared state stays consistent and

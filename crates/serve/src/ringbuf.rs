@@ -1,0 +1,293 @@
+//! Fixed-capacity ring buffers and the service sampler they feed.
+//!
+//! The dashboard needs *recent history* — queue depth, jobs/s, dedup hit
+//! rate, simulation throughput over the last few minutes — without letting
+//! a long-lived daemon grow an unbounded log.  [`RingBuffer`] is the
+//! storage: a fixed-capacity overwrite-oldest buffer behind one short-held
+//! mutex (a push is an index bump and a slot write; a snapshot copies at
+//! most `capacity` elements).  [`ServiceSample`] is the payload: one row of
+//! gauges and interval rates, derived from two consecutive
+//! [`StatsSnapshot`]s by [`sample_from`] — cumulative counters in, rates
+//! out, so the buffer stays meaningful no matter how long the daemon has
+//! been up.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::lock;
+use crate::state::StatsSnapshot;
+
+/// A fixed-capacity overwrite-oldest buffer of clonable samples.
+#[derive(Debug)]
+pub struct RingBuffer<T> {
+    inner: Mutex<Inner<T>>,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    /// Grows to `cap`, then slots are overwritten in place.
+    buf: Vec<T>,
+    /// Index of the *next* write once the buffer is full.
+    head: usize,
+    /// Total pushes ever (so readers can tell how much history was lost).
+    pushed: u64,
+}
+
+impl<T: Clone> RingBuffer<T> {
+    pub fn new(cap: usize) -> RingBuffer<T> {
+        let cap = cap.max(1);
+        RingBuffer {
+            inner: Mutex::new(Inner {
+                buf: Vec::with_capacity(cap),
+                head: 0,
+                pushed: 0,
+            }),
+            cap,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    pub fn len(&self) -> usize {
+        lock(&self.inner).buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total pushes ever; `pushed() - len()` samples have been overwritten.
+    pub fn pushed(&self) -> u64 {
+        lock(&self.inner).pushed
+    }
+
+    /// Append one sample, overwriting the oldest once at capacity.
+    pub fn push(&self, v: T) {
+        let mut g = lock(&self.inner);
+        if g.buf.len() < self.cap {
+            g.buf.push(v);
+        } else {
+            let head = g.head;
+            g.buf[head] = v;
+        }
+        g.head = (g.head + 1) % self.cap;
+        g.pushed += 1;
+    }
+
+    /// The retained samples, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        let g = lock(&self.inner);
+        if g.buf.len() < self.cap {
+            g.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.cap);
+            out.extend_from_slice(&g.buf[g.head..]);
+            out.extend_from_slice(&g.buf[..g.head]);
+            out
+        }
+    }
+}
+
+/// One row of the service time-series: point-in-time gauges plus rates
+/// over the interval since the previous sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceSample {
+    /// Server-clock milliseconds at which the sample was taken.
+    pub t_ms: u64,
+    pub queue_depth: u64,
+    pub busy_workers: u64,
+    pub outstanding: u64,
+    /// Completed jobs per second over the sampling interval.
+    pub jobs_per_sec: f64,
+    /// Share of the interval's submissions answered without a fresh
+    /// execution (in-flight dedup shares + warm memo hits); 0 when the
+    /// interval saw no submissions.
+    pub dedup_hit_rate: f64,
+    /// Simulated kilocycles per second over the interval (cold work rate).
+    pub kcycles_per_sec: f64,
+}
+
+impl ServiceSample {
+    /// One JSON object in the `wec-dashboard-data-v1` `samples` element.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"t_ms\":{},\"queue_depth\":{},\"busy_workers\":{},\"outstanding\":{},\
+             \"jobs_per_sec\":{:.3},\"dedup_hit_rate\":{:.4},\"kcycles_per_sec\":{:.3}}}",
+            self.t_ms,
+            self.queue_depth,
+            self.busy_workers,
+            self.outstanding,
+            self.jobs_per_sec,
+            self.dedup_hit_rate,
+            self.kcycles_per_sec
+        );
+        out
+    }
+}
+
+/// The previous sample's cumulative counters — what [`sample_from`] needs
+/// to turn monotonic totals into interval rates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SampleCursor {
+    t_ms: u64,
+    submitted: u64,
+    deduped: u64,
+    mem_hits: u64,
+    completed: u64,
+    sim_cycles: u64,
+    primed: bool,
+}
+
+impl SampleCursor {
+    /// Prime the cursor without producing a sample (the first interval has
+    /// no previous point to rate against).
+    pub fn prime(&mut self, snap: &StatsSnapshot) {
+        *self = SampleCursor {
+            t_ms: snap.uptime_ms,
+            submitted: snap.submitted,
+            deduped: snap.deduped,
+            mem_hits: snap.mem_hits,
+            completed: snap.completed,
+            sim_cycles: snap.sim_cycles,
+            primed: true,
+        };
+    }
+}
+
+/// Derive one [`ServiceSample`] from the current snapshot and the cursor,
+/// then advance the cursor.  Returns `None` on the priming call and
+/// whenever no time has passed (rates would divide by zero).
+pub fn sample_from(snap: &StatsSnapshot, cursor: &mut SampleCursor) -> Option<ServiceSample> {
+    if !cursor.primed || snap.uptime_ms <= cursor.t_ms {
+        let had_cursor = cursor.primed;
+        cursor.prime(snap);
+        if !had_cursor {
+            return None;
+        }
+        // Zero-width interval: gauges are still fresh, rates are zero.
+        return Some(ServiceSample {
+            t_ms: snap.uptime_ms,
+            queue_depth: snap.queue_depth,
+            busy_workers: snap.busy,
+            outstanding: snap.outstanding,
+            jobs_per_sec: 0.0,
+            dedup_hit_rate: 0.0,
+            kcycles_per_sec: 0.0,
+        });
+    }
+    let dt_s = (snap.uptime_ms - cursor.t_ms) as f64 / 1000.0;
+    let d_submitted = snap.submitted.saturating_sub(cursor.submitted);
+    let d_reused = (snap.deduped.saturating_sub(cursor.deduped))
+        + (snap.mem_hits.saturating_sub(cursor.mem_hits));
+    let d_completed = snap.completed.saturating_sub(cursor.completed);
+    let d_kcycles = snap.sim_cycles.saturating_sub(cursor.sim_cycles) as f64 / 1000.0;
+    let sample = ServiceSample {
+        t_ms: snap.uptime_ms,
+        queue_depth: snap.queue_depth,
+        busy_workers: snap.busy,
+        outstanding: snap.outstanding,
+        jobs_per_sec: d_completed as f64 / dt_s,
+        dedup_hit_rate: if d_submitted == 0 {
+            0.0
+        } else {
+            (d_reused.min(d_submitted)) as f64 / d_submitted as f64
+        },
+        kcycles_per_sec: d_kcycles / dt_s,
+    };
+    cursor.prime(snap);
+    Some(sample)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(uptime_ms: u64, submitted: u64, completed: u64, sim_cycles: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            uptime_ms,
+            workers: 2,
+            busy: 1,
+            busy_ms: 0,
+            draining: false,
+            queue_depth: 3,
+            queue_cap: 64,
+            outstanding: 4,
+            submitted,
+            deduped: submitted / 2,
+            completed,
+            failed: 0,
+            rejected: 0,
+            cold: completed,
+            disk_hits: 0,
+            mem_hits: 0,
+            sim_cycles,
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_snapshots_in_order() {
+        let r: RingBuffer<u64> = RingBuffer::new(3);
+        assert!(r.is_empty());
+        for v in 1..=2 {
+            r.push(v);
+        }
+        assert_eq!(r.snapshot(), vec![1, 2]);
+        for v in 3..=5 {
+            r.push(v);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.pushed(), 5);
+        assert_eq!(r.snapshot(), vec![3, 4, 5], "oldest first after wrap");
+        r.push(6);
+        assert_eq!(r.snapshot(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn sampler_rates_are_interval_deltas_not_lifetime_averages() {
+        let mut cursor = SampleCursor::default();
+        assert!(
+            sample_from(&snap(1000, 10, 10, 1_000_000), &mut cursor).is_none(),
+            "priming call produces no sample"
+        );
+        // One second later: 5 more completions, 2M more cycles.
+        let s = sample_from(&snap(2000, 20, 15, 3_000_000), &mut cursor).unwrap();
+        assert_eq!(s.t_ms, 2000);
+        assert!((s.jobs_per_sec - 5.0).abs() < 1e-9, "{}", s.jobs_per_sec);
+        assert!((s.kcycles_per_sec - 2000.0).abs() < 1e-6);
+        // deduped went 5 -> 10 over 10 submissions.
+        assert!(
+            (s.dedup_hit_rate - 0.5).abs() < 1e-9,
+            "{}",
+            s.dedup_hit_rate
+        );
+        // No time passed: gauges only, zero rates.
+        let s = sample_from(&snap(2000, 25, 18, 3_000_000), &mut cursor).unwrap();
+        assert_eq!(s.jobs_per_sec, 0.0);
+        // Quiet interval: zero submissions means a 0 (not NaN) hit rate.
+        let s = sample_from(&snap(3000, 25, 18, 3_000_000), &mut cursor).unwrap();
+        assert_eq!(s.dedup_hit_rate, 0.0);
+        assert_eq!(s.jobs_per_sec, 0.0);
+    }
+
+    #[test]
+    fn sample_json_is_parseable_and_complete() {
+        let s = ServiceSample {
+            t_ms: 1200,
+            queue_depth: 2,
+            busy_workers: 1,
+            outstanding: 3,
+            jobs_per_sec: 4.5,
+            dedup_hit_rate: 0.25,
+            kcycles_per_sec: 123.456,
+        };
+        let v = wec_telemetry::json::parse(&s.to_json()).unwrap();
+        assert_eq!(v.get("t_ms").unwrap().as_u64(), Some(1200));
+        assert_eq!(v.get("jobs_per_sec").unwrap().as_f64(), Some(4.5));
+        assert_eq!(v.get("dedup_hit_rate").unwrap().as_f64(), Some(0.25));
+    }
+}

@@ -6,19 +6,29 @@
 //! behind the queue.  Drain — `POST /shutdown` or SIGTERM/SIGINT — flips
 //! one flag: submissions start answering `503`, the accept loop waits for
 //! the outstanding-job count to reach zero, closes the queue, joins the
-//! workers, writes `stats.json`, and [`Server::run`] returns.
+//! workers and the sampler, writes `stats.json`, and [`Server::run`]
+//! returns.
+//!
+//! Every answered request is observed twice on the way out: counted into
+//! the per-endpoint request/latency metrics behind `GET /metrics`, and
+//! appended to `access.jsonl` (`wec-access-log-v1`) when a log directory
+//! is configured.  Handlers return the status they wrote so the
+//! connection wrapper does both without each handler threading it back.
 //!
 //! Endpoints:
 //!
-//! | method | path                   | answer                                   |
-//! |--------|------------------------|------------------------------------------|
-//! | POST   | `/jobs`                | job record (shared on dedup); `503` full |
-//! | GET    | `/jobs/<id>`           | `wec-job-record-v1` document             |
-//! | GET    | `/jobs/<id>/result.kv` | result counters; `202` until terminal    |
-//! | GET    | `/jobs/<id>/events`    | chunked `progress.jsonl` stream          |
-//! | GET    | `/stats`               | `wec-serve-stats-v1` document            |
-//! | GET    | `/healthz`             | liveness probe                           |
-//! | POST   | `/shutdown`            | begin graceful drain                     |
+//! | method    | path                   | answer                                   |
+//! |-----------|------------------------|------------------------------------------|
+//! | POST      | `/jobs`                | job record (shared on dedup); `503` full |
+//! | GET       | `/jobs/<id>`           | `wec-job-record-v1` document             |
+//! | GET       | `/jobs/<id>/result.kv` | result counters; `202` until terminal    |
+//! | GET       | `/jobs/<id>/events`    | chunked `progress.jsonl` stream          |
+//! | GET, HEAD | `/stats`               | `wec-serve-stats-v1` document            |
+//! | GET, HEAD | `/healthz`             | liveness probe (`{"ok":…,"draining":…}`) |
+//! | GET       | `/metrics`             | Prometheus-style text exposition         |
+//! | GET       | `/dashboard`           | self-contained live dashboard page       |
+//! | GET       | `/dashboard/data`      | `wec-dashboard-data-v1` document         |
+//! | POST      | `/shutdown`            | begin graceful drain                     |
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -29,9 +39,12 @@ use std::time::{Duration, Instant};
 
 use wec_telemetry::json::escape_into;
 
-use crate::http::{self, ChunkedWriter, Request};
+use crate::dashboard;
+use crate::http::{self, ChunkedWriter, CountingWriter, Request};
 use crate::job::JobState;
 use crate::lock;
+use crate::metrics::endpoint_index;
+use crate::ringbuf::{sample_from, SampleCursor};
 use crate::state::{ServeConfig, ServerState, SubmitError};
 use crate::worker;
 
@@ -68,25 +81,29 @@ fn error_json(msg: &str) -> String {
     out
 }
 
-/// The daemon: a bound listener plus its worker pool.
+/// The daemon: a bound listener plus its worker pool and sampler.
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
     workers: Vec<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and spawn
-    /// the worker pool.  The listener is live once this returns.
+    /// the worker pool and the ring-buffer sampler.  The listener is live
+    /// once this returns.
     pub fn bind(addr: &str, cfg: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let state = ServerState::new(cfg)?;
         let workers = worker::spawn(&state);
+        let sampler = spawn_sampler(&state);
         Ok(Server {
             listener,
             state,
             workers,
+            sampler,
         })
     }
 
@@ -100,7 +117,7 @@ impl Server {
 
     /// Serve until drained: accept until shutdown is requested and every
     /// accepted job is terminal, then close the queue, join the workers
-    /// and write the exit logs.
+    /// and the sampler, and write the exit logs.
     pub fn run(self) -> io::Result<()> {
         loop {
             if TERMINATE.load(Ordering::SeqCst) {
@@ -130,9 +147,48 @@ impl Server {
         for h in self.workers {
             let _ = h.join();
         }
+        self.state.sampler_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.sampler {
+            let _ = h.join();
+        }
         self.state.write_exit_logs();
         Ok(())
     }
+}
+
+/// The ring-buffer sampler: every `sample_interval`, turn one consistent
+/// stats snapshot into a [`crate::ringbuf::ServiceSample`] and push it.
+/// Disabled by a zero interval (zero cost when off — no thread exists).
+fn spawn_sampler(state: &Arc<ServerState>) -> Option<JoinHandle<()>> {
+    let interval = state.cfg.sample_interval;
+    if interval.is_zero() {
+        return None;
+    }
+    let st = state.clone();
+    std::thread::Builder::new()
+        .name("wec-serve-sampler".to_string())
+        .spawn(move || {
+            let mut cursor = SampleCursor::default();
+            // Prime so the first real sample rates over a full interval.
+            sample_from(&st.snapshot(), &mut cursor);
+            loop {
+                // Sleep in short slices so drain never waits a full
+                // interval for this thread.
+                let mut slept = Duration::ZERO;
+                while slept < interval {
+                    if st.sampler_stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let nap = (interval - slept).min(Duration::from_millis(50));
+                    std::thread::sleep(nap);
+                    slept += nap;
+                }
+                if let Some(s) = sample_from(&st.snapshot(), &mut cursor) {
+                    st.samples.push(s);
+                }
+            }
+        })
+        .ok()
 }
 
 fn handle_conn(state: Arc<ServerState>, stream: TcpStream) {
@@ -143,23 +199,38 @@ fn handle_conn(state: Arc<ServerState>, stream: TcpStream) {
         return;
     };
     let mut reader = BufReader::new(read_half);
-    let mut w = BufWriter::new(stream);
+    let mut w = CountingWriter::new(BufWriter::new(stream));
+    let t = Instant::now();
     match http::read_request(&mut reader) {
         Ok(req) => {
-            let _ = route(&state, &req, &mut w);
+            if let Ok(status) = route(&state, &req, &mut w) {
+                let _ = w.flush();
+                let dur_us = t.elapsed().as_micros() as u64;
+                state
+                    .metrics
+                    .observe_request(endpoint_index(&req.path), status, dur_us);
+                state.log_access(&req.method, &req.path, status, dur_us, w.bytes_written());
+            }
         }
         Err(e) => {
             // Malformed input gets a 400; transport errors and clean
             // closes get nothing (there is no one left to answer).
             if let Some(msg) = e.client_message() {
-                let _ = http::write_json(&mut w, 400, "Bad Request", &error_json(msg));
+                let ok = http::write_json(&mut w, 400, "Bad Request", &error_json(msg)).is_ok();
+                let _ = w.flush();
+                if ok {
+                    let dur_us = t.elapsed().as_micros() as u64;
+                    state.log_access("-", "-", 400, dur_us, w.bytes_written());
+                }
             }
         }
     }
     let _ = w.flush();
 }
 
-fn route<W: Write>(state: &Arc<ServerState>, req: &Request, w: &mut W) -> io::Result<()> {
+/// Dispatch one request; returns the response status actually written (for
+/// the request metrics and the access log).
+fn route<W: Write>(state: &Arc<ServerState>, req: &Request, w: &mut W) -> io::Result<u16> {
     let method = req.method.as_str();
     match req.path.as_str() {
         "/jobs" => match method {
@@ -167,28 +238,81 @@ fn route<W: Write>(state: &Arc<ServerState>, req: &Request, w: &mut W) -> io::Re
             _ => method_not_allowed(w, "POST"),
         },
         "/stats" => match method {
-            "GET" => http::write_json(w, 200, "OK", &state.stats_json()),
+            "GET" => reply_json(w, 200, "OK", &state.stats_json()),
+            "HEAD" => reply_head(w, &state.stats_json()),
+            _ => method_not_allowed(w, "GET, HEAD"),
+        },
+        "/healthz" => {
+            let body = format!(
+                "{{\"ok\":true,\"draining\":{}}}",
+                state.draining.load(Ordering::SeqCst)
+            );
+            match method {
+                "GET" => reply_json(w, 200, "OK", &body),
+                "HEAD" => reply_head(w, &body),
+                _ => method_not_allowed(w, "GET, HEAD"),
+            }
+        }
+        "/metrics" => match method {
+            "GET" => {
+                let page = state.metrics.render_prometheus(&state.snapshot());
+                http::write_response(
+                    w,
+                    200,
+                    "OK",
+                    "text/plain; version=0.0.4",
+                    page.as_bytes(),
+                    &[],
+                )?;
+                Ok(200)
+            }
             _ => method_not_allowed(w, "GET"),
         },
-        "/healthz" => match method {
-            "GET" => http::write_response(w, 200, "OK", "text/plain", b"ok\n", &[]),
+        "/dashboard" => match method {
+            "GET" => {
+                http::write_response(
+                    w,
+                    200,
+                    "OK",
+                    "text/html; charset=utf-8",
+                    dashboard::DASHBOARD_HTML.as_bytes(),
+                    &[],
+                )?;
+                Ok(200)
+            }
+            _ => method_not_allowed(w, "GET"),
+        },
+        "/dashboard/data" => match method {
+            "GET" => reply_json(w, 200, "OK", &dashboard::dashboard_data_json(state)),
             _ => method_not_allowed(w, "GET"),
         },
         "/shutdown" => match method {
             "POST" => {
                 state.draining.store(true, Ordering::SeqCst);
-                http::write_json(w, 200, "OK", "{\"draining\":true}")
+                reply_json(w, 200, "OK", "{\"draining\":true}")
             }
             _ => method_not_allowed(w, "POST"),
         },
         path => match path.strip_prefix("/jobs/") {
             Some(rest) => job_route(state, method, rest, w),
-            None => http::write_json(w, 404, "Not Found", &error_json("no such endpoint")),
+            None => reply_json(w, 404, "Not Found", &error_json("no such endpoint")),
         },
     }
 }
 
-fn method_not_allowed<W: Write>(w: &mut W, allow: &str) -> io::Result<()> {
+fn reply_json<W: Write>(w: &mut W, status: u16, reason: &str, body: &str) -> io::Result<u16> {
+    http::write_json(w, status, reason, body)?;
+    Ok(status)
+}
+
+/// The `HEAD` twin of a JSON `GET`: same status and `Content-Length`, no
+/// body bytes.
+fn reply_head<W: Write>(w: &mut W, body: &str) -> io::Result<u16> {
+    http::write_head_only(w, 200, "OK", "application/json", body.len())?;
+    Ok(200)
+}
+
+fn method_not_allowed<W: Write>(w: &mut W, allow: &str) -> io::Result<u16> {
     http::write_response(
         w,
         405,
@@ -196,20 +320,21 @@ fn method_not_allowed<W: Write>(w: &mut W, allow: &str) -> io::Result<()> {
         "application/json",
         error_json("method not allowed").as_bytes(),
         &[("Allow", allow.to_string())],
-    )
+    )?;
+    Ok(405)
 }
 
-fn submit<W: Write>(state: &Arc<ServerState>, req: &Request, w: &mut W) -> io::Result<()> {
+fn submit<W: Write>(state: &Arc<ServerState>, req: &Request, w: &mut W) -> io::Result<u16> {
     let body = match req.body_utf8() {
         Ok(b) => b,
-        Err(e) => return http::write_json(w, 400, "Bad Request", &error_json(&e)),
+        Err(e) => return reply_json(w, 400, "Bad Request", &error_json(&e)),
     };
     let spec = match crate::job::JobSpec::parse(body) {
         Ok(s) => s,
-        Err(e) => return http::write_json(w, 400, "Bad Request", &error_json(&e)),
+        Err(e) => return reply_json(w, 400, "Bad Request", &error_json(&e)),
     };
     match state.submit(spec) {
-        Ok(slot) => http::write_json(w, 200, "OK", &slot.record().to_json()),
+        Ok(slot) => reply_json(w, 200, "OK", &slot.record().to_json()),
         Err(e) => {
             let msg = match e {
                 SubmitError::QueueFull => "queue full, retry later",
@@ -222,7 +347,8 @@ fn submit<W: Write>(state: &Arc<ServerState>, req: &Request, w: &mut W) -> io::R
                 "application/json",
                 error_json(msg).as_bytes(),
                 &[("Retry-After", "1".to_string())],
-            )
+            )?;
+            Ok(503)
         }
     }
 }
@@ -232,35 +358,38 @@ fn job_route<W: Write>(
     method: &str,
     rest: &str,
     w: &mut W,
-) -> io::Result<()> {
+) -> io::Result<u16> {
     let mut parts = rest.splitn(2, '/');
     let id = parts.next().unwrap_or("");
     let sub = parts.next();
     let slot = match id.parse::<u64>().ok().and_then(|id| state.job(id)) {
         Some(s) => s,
-        None => return http::write_json(w, 404, "Not Found", &error_json("no such job")),
+        None => return reply_json(w, 404, "Not Found", &error_json("no such job")),
     };
     match (method, sub) {
-        ("GET", None) => http::write_json(w, 200, "OK", &slot.record().to_json()),
+        ("GET", None) => reply_json(w, 200, "OK", &slot.record().to_json()),
         ("GET", Some("result.kv")) => {
             let rec = slot.record();
             match rec.state {
-                JobState::Done => http::write_response(
-                    w,
-                    200,
-                    "OK",
-                    "text/plain",
-                    rec.metrics_kv().as_bytes(),
-                    &[],
-                ),
-                JobState::Failed => {
-                    http::write_json(w, 500, "Internal Server Error", &error_json(&rec.error))
+                JobState::Done => {
+                    http::write_response(
+                        w,
+                        200,
+                        "OK",
+                        "text/plain",
+                        rec.metrics_kv().as_bytes(),
+                        &[],
+                    )?;
+                    Ok(200)
                 }
-                _ => http::write_json(w, 202, "Accepted", &rec.to_json()),
+                JobState::Failed => {
+                    reply_json(w, 500, "Internal Server Error", &error_json(&rec.error))
+                }
+                _ => reply_json(w, 202, "Accepted", &rec.to_json()),
             }
         }
         ("GET", Some("events")) => stream_events(state, &slot, w),
-        ("GET", Some(_)) => http::write_json(w, 404, "Not Found", &error_json("no such endpoint")),
+        ("GET", Some(_)) => reply_json(w, 404, "Not Found", &error_json("no such endpoint")),
         _ => method_not_allowed(w, "GET"),
     }
 }
@@ -272,7 +401,7 @@ fn stream_events<W: Write>(
     state: &Arc<ServerState>,
     slot: &Arc<crate::state::JobSlot>,
     w: &mut W,
-) -> io::Result<()> {
+) -> io::Result<u16> {
     let mut cw = ChunkedWriter::begin(w, 200, "OK", "application/jsonl")?;
     let deadline = Instant::now() + state.cfg.events_timeout;
     let mut sent = 0usize;
@@ -306,5 +435,6 @@ fn stream_events<W: Write>(
             break;
         }
     }
-    cw.finish()
+    cw.finish()?;
+    Ok(200)
 }

@@ -37,7 +37,9 @@ use wec_workloads::{Bench, Scale};
 
 use crate::job::{JobRecord, JobSpec, JobState};
 use crate::lock;
+use crate::metrics::ServeMetrics;
 use crate::queue::{JobQueue, PushError};
+use crate::ringbuf::{RingBuffer, ServiceSample};
 
 /// Daemon configuration (flags of the `wec_serve` binary).
 #[derive(Clone, Debug)]
@@ -48,12 +50,17 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Persistent result store directory (`None` = in-memory only).
     pub store: Option<PathBuf>,
-    /// Where to write `jobs.jsonl` (live) and `stats.json` (at drain).
+    /// Where to write `jobs.jsonl` + `access.jsonl` (live) and
+    /// `stats.json` (at drain).
     pub log_dir: Option<PathBuf>,
     /// Socket read/write timeout per request.
     pub io_timeout: Duration,
     /// Upper bound on one `/jobs/<id>/events` stream's lifetime.
     pub events_timeout: Duration,
+    /// Ring-buffer sampling interval (zero disables the sampler thread).
+    pub sample_interval: Duration,
+    /// Ring-buffer capacity (retained history = `ring_cap` samples).
+    pub ring_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +72,8 @@ impl Default for ServeConfig {
             log_dir: None,
             io_timeout: Duration::from_secs(10),
             events_timeout: Duration::from_secs(600),
+            sample_interval: Duration::from_secs(1),
+            ring_cap: 512,
         }
     }
 }
@@ -166,6 +175,35 @@ struct Counts {
     cold: u64,
     disk_hits: u64,
     mem_hits: u64,
+    /// Simulated cycles across completed jobs (feeds kcycles/s sampling).
+    sim_cycles: u64,
+}
+
+/// A point-in-time copy of everything `GET /stats`, `GET /metrics` and the
+/// sampler report.  All job counters are read under the single `counts`
+/// mutex, so the source split always sums to `completed` — the exposition
+/// and the stats document reconcile exactly because they render the *same*
+/// snapshot type.
+#[derive(Clone, Copy, Debug)]
+pub struct StatsSnapshot {
+    /// Milliseconds since daemon start, clamped to ≥ 1 (rate denominators).
+    pub uptime_ms: u64,
+    pub workers: u64,
+    pub busy: u64,
+    pub busy_ms: u64,
+    pub draining: bool,
+    pub queue_depth: u64,
+    pub queue_cap: u64,
+    pub outstanding: u64,
+    pub submitted: u64,
+    pub deduped: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub rejected: u64,
+    pub cold: u64,
+    pub disk_hits: u64,
+    pub mem_hits: u64,
+    pub sim_cycles: u64,
 }
 
 /// Everything the acceptor, workers and stat readers share.
@@ -193,23 +231,32 @@ pub struct ServerState {
     /// Total worker-occupied milliseconds (utilization numerator).
     pub busy_ms: AtomicU64,
     jobs_log: Mutex<Option<std::fs::File>>,
+    access_log: Mutex<Option<std::fs::File>>,
+    /// HTTP request/latency counters and job-duration histograms.
+    pub metrics: ServeMetrics,
+    /// The sampler's time-series (the dashboard's sparklines).
+    pub samples: RingBuffer<ServiceSample>,
+    /// Tells the sampler thread to exit during drain.
+    pub sampler_stop: AtomicBool,
 }
 
 impl ServerState {
     pub fn new(cfg: ServeConfig) -> std::io::Result<Arc<ServerState>> {
-        let jobs_log = match &cfg.log_dir {
-            None => None,
+        let (jobs_log, access_log) = match &cfg.log_dir {
+            None => (None, None),
             Some(dir) => {
                 std::fs::create_dir_all(dir)?;
-                Some(
+                let open = |name: &str| {
                     std::fs::OpenOptions::new()
                         .create(true)
                         .append(true)
-                        .open(dir.join("jobs.jsonl"))?,
-                )
+                        .open(dir.join(name))
+                };
+                (Some(open("jobs.jsonl")?), Some(open("access.jsonl")?))
             }
         };
         let queue = JobQueue::new(cfg.queue_cap);
+        let ring_cap = cfg.ring_cap;
         Ok(Arc::new(ServerState {
             cfg,
             queue,
@@ -226,6 +273,10 @@ impl ServerState {
             busy: AtomicU64::new(0),
             busy_ms: AtomicU64::new(0),
             jobs_log: Mutex::new(jobs_log),
+            access_log: Mutex::new(access_log),
+            metrics: ServeMetrics::new(),
+            samples: RingBuffer::new(ring_cap),
+            sampler_stop: AtomicBool::new(false),
         }))
     }
 
@@ -292,7 +343,9 @@ impl ServerState {
                 c.submitted += 1;
                 c.completed += 1;
                 c.mem_hits += 1;
+                c.sim_cycles += entry.sim_cycles;
             }
+            self.metrics.observe_job("mem", 0);
             self.log_record(&record);
             return Ok(slot);
         }
@@ -359,6 +412,7 @@ impl ServerState {
             match &res {
                 Ok(o) => {
                     c.completed += 1;
+                    c.sim_cycles += o.sim_cycles;
                     match o.source {
                         "disk" => c.disk_hits += 1,
                         "mem" => c.mem_hits += 1,
@@ -367,6 +421,9 @@ impl ServerState {
                 }
                 Err(_) => c.failed += 1,
             }
+        }
+        if let Ok(o) = &res {
+            self.metrics.observe_job(o.source, o.dur_ms);
         }
         self.outstanding.fetch_sub(1, Ordering::SeqCst);
         self.log_record(&record);
@@ -422,63 +479,115 @@ impl ServerState {
         }
     }
 
-    /// The `wec-serve-stats-v1` document (`GET /stats` and `stats.json`).
-    pub fn stats_json(&self) -> String {
-        let uptime_ms = self.now_ms().max(1);
-        let workers = self.cfg.workers.max(1) as u64;
-        let busy = self.busy.load(Ordering::SeqCst).min(workers);
-        let busy_ms = self.busy_ms.load(Ordering::SeqCst);
-        let (submitted, deduped, completed, failed, rejected, cold, disk, mem) = {
-            let c = lock(&self.counts);
-            (
-                c.submitted,
-                c.deduped,
-                c.completed,
-                c.failed,
-                c.rejected,
-                c.cold,
-                c.disk_hits,
-                c.mem_hits,
-            )
-        };
-        let jobs_per_sec = completed as f64 / (uptime_ms as f64 / 1000.0);
-        let utilization = (busy_ms as f64 / (uptime_ms * workers) as f64).clamp(0.0, 1.0);
-        let mut out = String::from("{\"schema\":\"wec-serve-stats-v1\"");
-        let _ = write!(
-            out,
-            ",\"uptime_ms\":{uptime_ms},\"workers\":{workers},\"busy_workers\":{busy},\"draining\":{}",
-            self.draining.load(Ordering::SeqCst)
-        );
-        let _ = write!(
-            out,
-            ",\"queue\":{{\"depth\":{},\"cap\":{},\"rejected\":{rejected}}}",
-            self.queue.depth().min(self.queue.cap()),
-            self.queue.cap()
-        );
-        let _ = write!(
-            out,
-            ",\"jobs\":{{\"submitted\":{submitted},\"deduped\":{deduped},\"completed\":{completed},\"failed\":{failed}}}"
-        );
-        let _ = write!(
-            out,
-            ",\"cache\":{{\"cold\":{cold},\"disk_hits\":{disk},\"mem_hits\":{mem}}}"
-        );
-        let _ = write!(
-            out,
-            ",\"throughput\":{{\"jobs_per_sec\":{jobs_per_sec:.3},\"utilization\":{utilization:.4}}}}}"
-        );
-        out
+    /// Append one `wec-access-log-v1` line to `access.jsonl` (no-op without
+    /// a log directory).  `path` has already been folded to a bounded
+    /// endpoint label upstream only for metrics — the log keeps the real
+    /// path, JSON-escaped, for per-request forensics.
+    pub fn log_access(&self, method: &str, path: &str, status: u16, dur_us: u64, bytes: u64) {
+        let mut g = lock(&self.access_log);
+        if let Some(f) = g.as_mut() {
+            let mut line = String::with_capacity(128);
+            let _ = write!(line, "{{\"t_ms\":{},\"method\":", self.now_ms());
+            wec_telemetry::json::escape_into(&mut line, method);
+            line.push_str(",\"path\":");
+            wec_telemetry::json::escape_into(&mut line, path);
+            let _ = write!(
+                line,
+                ",\"status\":{status},\"dur_us\":{dur_us},\"bytes\":{bytes}}}"
+            );
+            let _ = writeln!(f, "{line}");
+        }
     }
 
-    /// Drain-time artifacts: `stats.json` beside the live `jobs.jsonl`.
+    /// A consistent point-in-time snapshot (see [`StatsSnapshot`]).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let workers = self.cfg.workers.max(1) as u64;
+        let c = lock(&self.counts);
+        StatsSnapshot {
+            uptime_ms: self.now_ms().max(1),
+            workers,
+            busy: self.busy.load(Ordering::SeqCst).min(workers),
+            busy_ms: self.busy_ms.load(Ordering::SeqCst),
+            draining: self.draining.load(Ordering::SeqCst),
+            queue_depth: self.queue.depth().min(self.queue.cap()) as u64,
+            queue_cap: self.queue.cap() as u64,
+            outstanding: self.outstanding.load(Ordering::SeqCst),
+            submitted: c.submitted,
+            deduped: c.deduped,
+            completed: c.completed,
+            failed: c.failed,
+            rejected: c.rejected,
+            cold: c.cold,
+            disk_hits: c.disk_hits,
+            mem_hits: c.mem_hits,
+            sim_cycles: c.sim_cycles,
+        }
+    }
+
+    /// The `wec-serve-stats-v1` document (`GET /stats` and `stats.json`).
+    pub fn stats_json(&self) -> String {
+        render_stats_json(&self.snapshot())
+    }
+
+    /// The most recently submitted job records, newest first (the
+    /// dashboard's drill-down table).
+    pub fn recent_jobs(&self, n: usize) -> Vec<JobRecord> {
+        let jobs = lock(&self.jobs);
+        let mut records: Vec<JobRecord> = jobs.values().map(|s| s.record()).collect();
+        drop(jobs);
+        records.sort_unstable_by_key(|r| std::cmp::Reverse(r.id));
+        records.truncate(n);
+        records
+    }
+
+    /// Drain-time artifacts: `stats.json` beside the live `jobs.jsonl` and
+    /// `access.jsonl`.
     pub fn write_exit_logs(&self) {
         if let Some(dir) = &self.cfg.log_dir {
             wec_bench::store::atomic_write_best_effort(&dir.join("stats.json"), &self.stats_json());
             if let Some(f) = lock(&self.jobs_log).as_mut() {
                 let _ = f.flush();
             }
+            if let Some(f) = lock(&self.access_log).as_mut() {
+                let _ = f.flush();
+            }
         }
     }
+}
+
+/// Render one snapshot as the `wec-serve-stats-v1` document.  Shared by
+/// `GET /stats`, the drain-time `stats.json` and the `stats` element of
+/// `GET /dashboard/data`, so all three are the same bytes for the same
+/// snapshot.
+pub fn render_stats_json(s: &StatsSnapshot) -> String {
+    let jobs_per_sec = s.completed as f64 / (s.uptime_ms as f64 / 1000.0);
+    let utilization = (s.busy_ms as f64 / (s.uptime_ms * s.workers) as f64).clamp(0.0, 1.0);
+    let mut out = String::from("{\"schema\":\"wec-serve-stats-v1\"");
+    let _ = write!(
+        out,
+        ",\"uptime_ms\":{},\"workers\":{},\"busy_workers\":{},\"draining\":{}",
+        s.uptime_ms, s.workers, s.busy, s.draining
+    );
+    let _ = write!(
+        out,
+        ",\"queue\":{{\"depth\":{},\"cap\":{},\"rejected\":{}}}",
+        s.queue_depth, s.queue_cap, s.rejected
+    );
+    let _ = write!(
+        out,
+        ",\"jobs\":{{\"submitted\":{},\"deduped\":{},\"completed\":{},\"failed\":{}}}",
+        s.submitted, s.deduped, s.completed, s.failed
+    );
+    let _ = write!(
+        out,
+        ",\"cache\":{{\"cold\":{},\"disk_hits\":{},\"mem_hits\":{}}}",
+        s.cold, s.disk_hits, s.mem_hits
+    );
+    let _ = write!(
+        out,
+        ",\"throughput\":{{\"jobs_per_sec\":{jobs_per_sec:.3},\"utilization\":{utilization:.4}}}}}"
+    );
+    out
 }
 
 #[cfg(test)]
@@ -579,5 +688,36 @@ mod tests {
         assert_ne!(again.record().id, rec.id);
         assert_eq!(again.record().state, JobState::Queued);
         schema::validate_serve_stats_json(&s.stats_json()).unwrap();
+    }
+
+    #[test]
+    fn snapshot_reconciles_sources_and_accumulates_cycles() {
+        let s = state();
+        let spec1 = spec("{\"bench\": \"181.mcf\"}");
+        let key = spec1.dedup_key();
+        let slot = s.submit(spec1).unwrap();
+        s.queue.pop().unwrap();
+        s.complete(
+            &slot,
+            &key,
+            Ok(Outcome {
+                source: "cold",
+                metrics: Arc::new(vec![("cycles".to_string(), 42u64)]),
+                sim_cycles: 42,
+                dur_ms: 7,
+            }),
+        );
+        // Warm hit accumulates the memoized cycle count too.
+        s.submit(spec("{\"bench\": \"181.mcf\"}")).unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.cold + snap.disk_hits + snap.mem_hits, snap.completed);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.sim_cycles, 84);
+        schema::validate_serve_stats_json(&render_stats_json(&snap)).unwrap();
+        // The exposition's job counters come from the same snapshot type.
+        let page = s.metrics.render_prometheus(&snap);
+        assert!(page.contains("wec_serve_jobs_completed_total{source=\"cold\"} 1"));
+        assert!(page.contains("wec_serve_jobs_completed_total{source=\"mem\"} 1"));
+        assert!(page.contains("wec_serve_sim_cycles_total 84"));
     }
 }

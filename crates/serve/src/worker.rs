@@ -70,6 +70,9 @@ fn run_job(state: &Arc<ServerState>, widx: usize, id: u64) {
         g.record.state = JobState::Running;
         g.record.start_t_ms = state.now_ms();
         g.record.worker = widx as u64;
+        state
+            .metrics
+            .observe_queue_wait(g.record.start_t_ms.saturating_sub(g.record.submit_t_ms));
         g.spec.take()
     };
     slot.cv.notify_all();

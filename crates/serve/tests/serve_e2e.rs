@@ -247,7 +247,10 @@ fn malformed_requests_get_400_and_the_daemon_survives() {
 
     // After all of that the daemon still answers.
     let (s, body) = request(addr, "GET", "/healthz", None);
-    assert_eq!((s, body.as_str()), (200, "ok\n"));
+    assert_eq!(
+        (s, body.as_str()),
+        (200, "{\"ok\":true,\"draining\":false}")
+    );
     let (s, _) = request(addr, "POST", "/shutdown", None);
     assert_eq!(s, 200);
     handle.join().unwrap().unwrap();

@@ -738,17 +738,22 @@ pub fn validate_jobs_jsonl(text: &str) -> Result<JobsReport, String> {
 /// the server's exit-time `stats.json`).
 pub fn validate_serve_stats_json(text: &str) -> Result<(), String> {
     let v = json::parse(text).map_err(|e| format!("stats.json: {e}"))?;
-    let ctx = "stats.json";
-    let schema = require_str(&v, "schema", ctx)?;
+    validate_serve_stats(&v, "stats.json")
+}
+
+/// Validate an already-parsed `wec-serve-stats-v1` value — the same
+/// document also rides embedded inside `wec-dashboard-data-v1`.
+pub fn validate_serve_stats(v: &Json, ctx: &str) -> Result<(), String> {
+    let schema = require_str(v, "schema", ctx)?;
     if schema != "wec-serve-stats-v1" {
         return Err(format!("{ctx}: unknown schema {schema:?}"));
     }
-    require_u64(&v, "uptime_ms", ctx)?;
-    let workers = require_u64(&v, "workers", ctx)?;
+    require_u64(v, "uptime_ms", ctx)?;
+    let workers = require_u64(v, "workers", ctx)?;
     if workers == 0 {
         return Err(format!("{ctx}: workers must be >= 1"));
     }
-    let busy = require_u64(&v, "busy_workers", ctx)?;
+    let busy = require_u64(v, "busy_workers", ctx)?;
     if busy > workers {
         return Err(format!(
             "{ctx}: busy_workers {busy} exceeds workers {workers}"
@@ -758,7 +763,7 @@ pub fn validate_serve_stats_json(text: &str) -> Result<(), String> {
         .and_then(Json::as_bool)
         .ok_or_else(|| format!("{ctx}: missing/invalid \"draining\""))?;
     no_extra_fields(
-        &v,
+        v,
         &[
             "schema",
             "uptime_ms",
@@ -776,23 +781,23 @@ pub fn validate_serve_stats_json(text: &str) -> Result<(), String> {
     let queue = v
         .get("queue")
         .ok_or_else(|| format!("{ctx}: missing \"queue\""))?;
-    let qctx = "stats.json queue";
-    let depth = require_u64(queue, "depth", qctx)?;
-    let cap = require_u64(queue, "cap", qctx)?;
+    let qctx = format!("{ctx} queue");
+    let depth = require_u64(queue, "depth", &qctx)?;
+    let cap = require_u64(queue, "cap", &qctx)?;
     if depth > cap {
         return Err(format!("{qctx}: depth {depth} exceeds cap {cap}"));
     }
-    require_u64(queue, "rejected", qctx)?;
-    no_extra_fields(queue, &["depth", "cap", "rejected"], qctx)?;
+    require_u64(queue, "rejected", &qctx)?;
+    no_extra_fields(queue, &["depth", "cap", "rejected"], &qctx)?;
 
     let jobs = v
         .get("jobs")
         .ok_or_else(|| format!("{ctx}: missing \"jobs\""))?;
-    let jctx = "stats.json jobs";
-    let submitted = require_u64(jobs, "submitted", jctx)?;
-    let deduped = require_u64(jobs, "deduped", jctx)?;
-    let completed = require_u64(jobs, "completed", jctx)?;
-    let failed = require_u64(jobs, "failed", jctx)?;
+    let jctx = format!("{ctx} jobs");
+    let submitted = require_u64(jobs, "submitted", &jctx)?;
+    let deduped = require_u64(jobs, "deduped", &jctx)?;
+    let completed = require_u64(jobs, "completed", &jctx)?;
+    let failed = require_u64(jobs, "failed", &jctx)?;
     if deduped > submitted {
         return Err(format!(
             "{jctx}: deduped {deduped} exceeds submitted {submitted}"
@@ -803,33 +808,235 @@ pub fn validate_serve_stats_json(text: &str) -> Result<(), String> {
             "{jctx}: completed {completed} + failed {failed} exceeds submitted {submitted}"
         ));
     }
-    no_extra_fields(jobs, &["submitted", "deduped", "completed", "failed"], jctx)?;
+    no_extra_fields(
+        jobs,
+        &["submitted", "deduped", "completed", "failed"],
+        &jctx,
+    )?;
 
     let cache = v
         .get("cache")
         .ok_or_else(|| format!("{ctx}: missing \"cache\""))?;
-    let cctx = "stats.json cache";
-    let cold = require_u64(cache, "cold", cctx)?;
-    let disk = require_u64(cache, "disk_hits", cctx)?;
-    let mem = require_u64(cache, "mem_hits", cctx)?;
+    let cctx = format!("{ctx} cache");
+    let cold = require_u64(cache, "cold", &cctx)?;
+    let disk = require_u64(cache, "disk_hits", &cctx)?;
+    let mem = require_u64(cache, "mem_hits", &cctx)?;
     if cold + disk + mem != completed {
         return Err(format!(
             "{cctx}: cold {cold} + disk {disk} + mem {mem} != completed {completed}"
         ));
     }
-    no_extra_fields(cache, &["cold", "disk_hits", "mem_hits"], cctx)?;
+    no_extra_fields(cache, &["cold", "disk_hits", "mem_hits"], &cctx)?;
 
     let tp = v
         .get("throughput")
         .ok_or_else(|| format!("{ctx}: missing \"throughput\""))?;
-    let tctx = "stats.json throughput";
-    require_f64(tp, "jobs_per_sec", tctx)?;
-    let util = require_f64(tp, "utilization", tctx)?;
+    let tctx = format!("{ctx} throughput");
+    require_f64(tp, "jobs_per_sec", &tctx)?;
+    let util = require_f64(tp, "utilization", &tctx)?;
     if !(0.0..=1.0).contains(&util) {
         return Err(format!("{tctx}: utilization {util} out of [0,1]"));
     }
-    no_extra_fields(tp, &["jobs_per_sec", "utilization"], tctx)?;
+    no_extra_fields(tp, &["jobs_per_sec", "utilization"], &tctx)?;
     Ok(())
+}
+
+/// Validate an `access.jsonl` stream (`wec-access-log-v1`): one line per
+/// answered HTTP request.  Timestamps are *not* required monotonic —
+/// concurrent connections finish out of order.  Parse-failure lines are
+/// logged with method `"-"`, path `"-"`, status 400, so those pass too.
+/// Returns the request count.
+pub fn validate_access_jsonl(text: &str) -> Result<u64, String> {
+    let mut total = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        let ctx = format!("access.jsonl line {}", lineno + 1);
+        if line.trim().is_empty() {
+            return Err(format!("{ctx}: blank line"));
+        }
+        let v = json::parse(line).map_err(|e| format!("{ctx}: {e}"))?;
+        require_u64(&v, "t_ms", &ctx)?;
+        let method = require_str(&v, "method", &ctx)?;
+        if method.is_empty() {
+            return Err(format!("{ctx}: empty method"));
+        }
+        let path = require_str(&v, "path", &ctx)?;
+        if path.is_empty() {
+            return Err(format!("{ctx}: empty path"));
+        }
+        let status = require_u64(&v, "status", &ctx)?;
+        if !(100..=599).contains(&status) {
+            return Err(format!("{ctx}: status {status} out of 100..=599"));
+        }
+        require_u64(&v, "dur_us", &ctx)?;
+        require_u64(&v, "bytes", &ctx)?;
+        no_extra_fields(
+            &v,
+            &["t_ms", "method", "path", "status", "dur_us", "bytes"],
+            &ctx,
+        )?;
+        total += 1;
+    }
+    Ok(total)
+}
+
+/// Validate a `wec-dashboard-data-v1` document (the `GET /dashboard/data`
+/// payload): the embedded stats snapshot, the sampler ring (t_ms
+/// non-decreasing, rates finite, dedup rate a fraction), the per-endpoint
+/// latency digests (bucket counts sum to the digest count), and the slim
+/// recent-job rows.  Returns the number of ring samples.
+pub fn validate_dashboard_data_json(text: &str) -> Result<usize, String> {
+    let v = json::parse(text).map_err(|e| format!("dashboard.json: {e}"))?;
+    let ctx = "dashboard.json";
+    let schema = require_str(&v, "schema", ctx)?;
+    if schema != "wec-dashboard-data-v1" {
+        return Err(format!("{ctx}: unknown schema {schema:?}"));
+    }
+    require_u64(&v, "now_ms", ctx)?;
+    no_extra_fields(
+        &v,
+        &["schema", "now_ms", "stats", "samples", "http", "jobs"],
+        ctx,
+    )?;
+
+    let stats = v
+        .get("stats")
+        .ok_or_else(|| format!("{ctx}: missing \"stats\""))?;
+    validate_serve_stats(stats, "dashboard.json stats")?;
+
+    let samples = v
+        .get("samples")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{ctx}: missing \"samples\" array"))?;
+    let mut last_t = 0u64;
+    for (i, s) in samples.iter().enumerate() {
+        let sctx = format!("dashboard.json samples[{i}]");
+        let t = require_u64(s, "t_ms", &sctx)?;
+        if t < last_t {
+            return Err(format!("{sctx}: t_ms {t} went backwards from {last_t}"));
+        }
+        last_t = t;
+        require_u64(s, "queue_depth", &sctx)?;
+        require_u64(s, "busy_workers", &sctx)?;
+        require_u64(s, "outstanding", &sctx)?;
+        for key in ["jobs_per_sec", "kcycles_per_sec"] {
+            let r = require_f64(s, key, &sctx)?;
+            if !r.is_finite() || r < 0.0 {
+                return Err(format!("{sctx}: {key} {r} is not a finite rate"));
+            }
+        }
+        let dedup = require_f64(s, "dedup_hit_rate", &sctx)?;
+        if !(0.0..=1.0).contains(&dedup) {
+            return Err(format!("{sctx}: dedup_hit_rate {dedup} out of [0,1]"));
+        }
+        no_extra_fields(
+            s,
+            &[
+                "t_ms",
+                "queue_depth",
+                "busy_workers",
+                "outstanding",
+                "jobs_per_sec",
+                "dedup_hit_rate",
+                "kcycles_per_sec",
+            ],
+            &sctx,
+        )?;
+    }
+
+    let http = v
+        .get("http")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{ctx}: missing \"http\" array"))?;
+    for (i, h) in http.iter().enumerate() {
+        let hctx = format!("dashboard.json http[{i}]");
+        let endpoint = require_str(h, "endpoint", &hctx)?;
+        if endpoint.is_empty() {
+            return Err(format!("{hctx}: empty endpoint"));
+        }
+        let count = require_u64(h, "count", &hctx)?;
+        require_f64(h, "mean_us", &hctx)?;
+        let p50 = require_u64(h, "p50_us", &hctx)?;
+        let p99 = require_u64(h, "p99_us", &hctx)?;
+        let max = require_u64(h, "max_us", &hctx)?;
+        if p50 > p99 || p99 > max {
+            return Err(format!(
+                "{hctx}: quantiles out of order (p50 {p50}, p99 {p99}, max {max})"
+            ));
+        }
+        let buckets = h
+            .get("buckets")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{hctx}: missing \"buckets\" array"))?;
+        let mut total = 0u64;
+        for b in buckets {
+            let pair = b
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("{hctx}: bucket not a pair"))?;
+            total += pair[1]
+                .as_u64()
+                .ok_or_else(|| format!("{hctx}: non-integer bucket count"))?;
+        }
+        if total != count {
+            return Err(format!(
+                "{hctx}: buckets sum to {total}, count says {count}"
+            ));
+        }
+        no_extra_fields(
+            h,
+            &[
+                "endpoint", "count", "mean_us", "p50_us", "p99_us", "max_us", "buckets",
+            ],
+            &hctx,
+        )?;
+    }
+
+    let jobs = v
+        .get("jobs")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{ctx}: missing \"jobs\" array"))?;
+    for (i, j) in jobs.iter().enumerate() {
+        let jctx = format!("dashboard.json jobs[{i}]");
+        require_u64(j, "id", &jctx)?;
+        let kind = require_str(j, "kind", &jctx)?;
+        if !["sim", "replay"].contains(&kind) {
+            return Err(format!("{jctx}: unknown kind {kind:?}"));
+        }
+        require_str(j, "bench", &jctx)?;
+        require_str(j, "cfg", &jctx)?;
+        let state = require_str(j, "state", &jctx)?;
+        if !["queued", "running", "done", "failed"].contains(&state) {
+            return Err(format!("{jctx}: unknown state {state:?}"));
+        }
+        let source = require_str(j, "source", &jctx)?;
+        if !["none", "cold", "disk", "mem"].contains(&source) {
+            return Err(format!("{jctx}: unknown source {source:?}"));
+        }
+        let submissions = require_u64(j, "submissions", &jctx)?;
+        if submissions == 0 {
+            return Err(format!("{jctx}: submissions must be >= 1"));
+        }
+        require_u64(j, "worker", &jctx)?;
+        require_u64(j, "dur_ms", &jctx)?;
+        require_u64(j, "sim_cycles", &jctx)?;
+        no_extra_fields(
+            j,
+            &[
+                "id",
+                "kind",
+                "bench",
+                "cfg",
+                "state",
+                "source",
+                "submissions",
+                "worker",
+                "dur_ms",
+                "sim_cycles",
+            ],
+            &jctx,
+        )?;
+    }
+    Ok(samples.len())
 }
 
 #[cfg(test)]
@@ -1131,6 +1338,71 @@ mod tests {
         // More terminal jobs than submissions.
         let bad = good.replace("\"submitted\":10", "\"submitted\":5");
         assert!(validate_serve_stats_json(&bad).is_err());
+    }
+
+    #[test]
+    fn access_log_validation() {
+        let good = "{\"t_ms\":120,\"method\":\"GET\",\"path\":\"/stats\",\"status\":200,\"dur_us\":85,\"bytes\":412}\n\
+                    {\"t_ms\":100,\"method\":\"POST\",\"path\":\"/jobs\",\"status\":503,\"dur_us\":12,\"bytes\":40}\n\
+                    {\"t_ms\":130,\"method\":\"-\",\"path\":\"-\",\"status\":400,\"dur_us\":3,\"bytes\":28}\n";
+        // Out-of-order t_ms is fine: concurrent connections finish racily.
+        assert_eq!(validate_access_jsonl(good).unwrap(), 3);
+
+        assert!(validate_access_jsonl("not json\n").is_err());
+        let line =
+            "{\"t_ms\":1,\"method\":\"GET\",\"path\":\"/x\",\"status\":200,\"dur_us\":1,\"bytes\":2}";
+        // Status outside the HTTP range, extra field, missing field.
+        assert!(validate_access_jsonl(&line.replace(":200", ":99")).is_err());
+        assert!(validate_access_jsonl(&line.replace("\"t_ms\":1", "\"t_ms\":1,\"x\":1")).is_err());
+        assert!(validate_access_jsonl(&line.replace("\"bytes\":2", "\"b\":2")).is_err());
+        assert!(validate_access_jsonl(&line.replace("\"GET\"", "\"\"")).is_err());
+    }
+
+    #[test]
+    fn dashboard_data_validation() {
+        let stats = "{\"schema\":\"wec-serve-stats-v1\",\"uptime_ms\":1000,\"workers\":4,\
+                     \"busy_workers\":1,\"draining\":false,\
+                     \"queue\":{\"depth\":2,\"cap\":64,\"rejected\":1},\
+                     \"jobs\":{\"submitted\":10,\"deduped\":3,\"completed\":5,\"failed\":1},\
+                     \"cache\":{\"cold\":3,\"disk_hits\":1,\"mem_hits\":1},\
+                     \"throughput\":{\"jobs_per_sec\":5.0,\"utilization\":0.25}}";
+        let good = format!(
+            "{{\"schema\":\"wec-dashboard-data-v1\",\"now_ms\":1000,\"stats\":{stats},\
+             \"samples\":[{{\"t_ms\":500,\"queue_depth\":1,\"busy_workers\":1,\"outstanding\":2,\
+             \"jobs_per_sec\":2.5,\"dedup_hit_rate\":0.5,\"kcycles_per_sec\":100.0}},\
+             {{\"t_ms\":1000,\"queue_depth\":0,\"busy_workers\":0,\"outstanding\":0,\
+             \"jobs_per_sec\":0.0,\"dedup_hit_rate\":0.0,\"kcycles_per_sec\":0.0}}],\
+             \"http\":[{{\"endpoint\":\"submit\",\"count\":3,\"mean_us\":80.5,\"p50_us\":63,\
+             \"p99_us\":127,\"max_us\":130,\"buckets\":[[64,2],[128,1]]}}],\
+             \"jobs\":[{{\"id\":1,\"kind\":\"sim\",\"bench\":\"181.mcf\",\"cfg\":\"orig/t8\",\
+             \"state\":\"done\",\"source\":\"cold\",\"submissions\":2,\"worker\":0,\
+             \"dur_ms\":30,\"sim_cycles\":48000}}]}}"
+        );
+        assert_eq!(validate_dashboard_data_json(&good).unwrap(), 2);
+
+        assert!(validate_dashboard_data_json("{\"schema\":\"nope\"}").is_err());
+        // Sampler time going backwards, dedup rate out of range, bucket
+        // counts not summing, quantile inversion, bad embedded stats, and
+        // an unknown slim-row state.
+        assert!(
+            validate_dashboard_data_json(&good.replace("\"t_ms\":1000", "\"t_ms\":400")).is_err()
+        );
+        assert!(validate_dashboard_data_json(
+            &good.replace("\"dedup_hit_rate\":0.5", "\"dedup_hit_rate\":1.5")
+        )
+        .is_err());
+        assert!(
+            validate_dashboard_data_json(&good.replace("[[64,2],[128,1]]", "[[64,2]]")).is_err()
+        );
+        assert!(
+            validate_dashboard_data_json(&good.replace("\"p99_us\":127", "\"p99_us\":999999"))
+                .is_err()
+        );
+        assert!(validate_dashboard_data_json(&good.replace("\"cold\":3", "\"cold\":4")).is_err());
+        assert!(validate_dashboard_data_json(
+            &good.replace("\"state\":\"done\"", "\"state\":\"paused\"")
+        )
+        .is_err());
     }
 
     #[test]
