@@ -149,7 +149,54 @@ fn bench_machine(c: &mut Criterion) {
             run_and_verify(&mcf, cfg).unwrap().cycles
         })
     });
+
+    // Attribution overhead guard: the same mcf run with only the
+    // speculation attribution ledger on (per-line origin tags, per-PC and
+    // per-set counters, no artifact files).  Compare against the untraced
+    // "simulate mcf smoke" number above; `bench_guard` warns when this
+    // entry exceeds it by more than 10%.
+    group.bench_function("simulate mcf smoke (wth-wp-wec, attribution on)", |b| {
+        b.iter(|| {
+            let mut cfg = ProcPreset::WthWpWec.machine(8);
+            cfg.attribution = true;
+            run_and_verify(&mcf, cfg).unwrap().cycles
+        })
+    });
     group.finish();
+
+    // Direct median-of-5 comparison so the warning works even without a
+    // criterion JSON capture, mirroring the capture-overhead guard below.
+    let median = |f: &dyn Fn() -> u64| {
+        let mut ns: Vec<u128> = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed().as_nanos()
+            })
+            .collect();
+        ns.sort_unstable();
+        ns[2]
+    };
+    let off = median(&|| {
+        run_and_verify(&mcf, ProcPreset::WthWpWec.machine(8))
+            .unwrap()
+            .cycles
+    });
+    let on = median(&|| {
+        let mut cfg = ProcPreset::WthWpWec.machine(8);
+        cfg.attribution = true;
+        run_and_verify(&mcf, cfg).unwrap().cycles
+    });
+    let overhead = (on as f64 / off as f64 - 1.0) * 100.0;
+    if overhead > 10.0 {
+        eprintln!(
+            "WARN attribution overhead {overhead:.1}% (>10%): attribution-off median {off} ns, attribution-on median {on} ns"
+        );
+    } else {
+        eprintln!(
+            "attribution overhead {overhead:.1}% (attribution-off median {off} ns, attribution-on median {on} ns)"
+        );
+    }
 }
 
 fn bench_trace(c: &mut Criterion) {

@@ -14,7 +14,10 @@
 //! Default mode compares each fresh `median_ns` against the checked-in
 //! baseline's `after_median_ns` (matched by benchmark name).  A bench
 //! whose fresh median exceeds the baseline by more than `--max-regress`
-//! (default 25%) is a regression.
+//! (default 25%) is a regression.  When the fresh capture carries both
+//! the untraced mcf smoke entry and its attribution-on twin, their ratio
+//! is additionally checked: attribution overhead beyond 10% warns (and
+//! fails in strict mode) — the ledger must stay cheap enough to leave on.
 //!
 //! `--trace` mode guards the parallel replay engine instead: the fresh
 //! side is one `replay_scaling` JSON object, the baseline is
@@ -193,6 +196,29 @@ fn main() -> ExitCode {
     }
     if compared == 0 {
         return fail("no benchmark matched the baseline by name".to_string());
+    }
+    // Attribution-overhead guard: when the fresh capture carries both the
+    // untraced mcf smoke entry and its attribution-on twin, the ledger
+    // must not tax the cycle loop by more than 10% — same warn/strict
+    // contract as the capture-overhead guard in the bench itself.
+    let lookup = |name: &str| fresh.iter().find(|(n, _)| n == name).map(|&(_, m)| m);
+    if let (Some(off), Some(on)) = (
+        lookup("hotloop/simulate mcf smoke (wth-wp-wec, 8 TU)"),
+        lookup("hotloop/simulate mcf smoke (wth-wp-wec, attribution on)"),
+    ) {
+        let overhead = (on / off - 1.0) * 100.0;
+        if overhead > 10.0 {
+            regressions += 1;
+            println!(
+                "  REGRESSED attribution overhead {overhead:.1}% (>10%): \
+                 {off:.1} ns untraced vs {on:.1} ns attribution-on"
+            );
+        } else {
+            println!(
+                "  ok        attribution overhead {overhead:.1}% \
+                 ({off:.1} ns untraced vs {on:.1} ns attribution-on)"
+            );
+        }
     }
     if regressions > 0 {
         if strict {

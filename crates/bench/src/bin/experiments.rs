@@ -4,10 +4,11 @@
 //! experiments [--scale N] [--only figNN|tableN] [--csv] [--no-cache]
 //!             [--run-out DIR] [--live] [--jobs N]
 //! experiments [--scale N] [--only bench] [--trace-events] [--profile]
-//!             [--sample-interval N] [--telemetry-out DIR] [--commit-trace N]
+//!             [--sample-interval N] [--attribution] [--telemetry-out DIR]
+//!             [--commit-trace N]
 //! experiments [--scale N] [--only bench] --capture-trace DIR
 //! experiments [--only bench] [--csv] [--no-cache] [--run-out DIR]
-//!             [--jobs N] --replay-trace DIR
+//!             [--jobs N] [--attribution] --replay-trace DIR
 //! ```
 //!
 //! Results are memoized on disk (default `target/wec-result-cache`,
@@ -23,14 +24,20 @@
 //! environment variable, then the machine's available parallelism — set one
 //! of them when a `wec_serve` daemon shares the host).
 //!
-//! Passing `--trace-events`, `--sample-interval N`, or `--profile` switches
-//! the harness into **telemetry mode**: instead of regenerating tables it
-//! runs the selected workloads (default `181.mcf`; `--only`
-//! substring-filters by benchmark name) on the paper's `wth-wp-wec` machine
-//! with the requested instruments on, writes the artifacts (`events.jsonl`,
-//! `timeseries.csv`, `histograms.json`, `trace.perfetto.json`,
-//! `profile.json`) under `--telemetry-out DIR/<bench>/` (default
-//! `target/wec-telemetry`), and prints a telemetry summary.  `--profile`
+//! Passing `--trace-events`, `--sample-interval N`, `--profile`, or
+//! `--attribution` switches the harness into **telemetry mode**: instead of
+//! regenerating tables it runs the selected workloads (default `181.mcf`;
+//! `--only` substring-filters by benchmark name) on the paper's
+//! `wth-wp-wec` machine with the requested instruments on, writes the
+//! artifacts (`events.jsonl`, `timeseries.csv`, `histograms.json`,
+//! `trace.perfetto.json`, `profile.json`, `attribution.json`) under
+//! `--telemetry-out DIR/<bench>/` (default `target/wec-telemetry`), and
+//! prints a telemetry summary.  `--attribution` attaches the speculation
+//! attribution ledger to every L1D path: per-PC prefetch credit, waste and
+//! timeliness, per-set occupancy pressure, and per-TU conservation totals,
+//! emitted as a strict `wec-attribution-v1` `attribution.json` (validate
+//! with `telemetry_check`).  The ledger is purely observational — cycles,
+//! metrics, and cache counters are byte-identical with it on or off.  `--profile`
 //! turns on the cycle-loop self-profiler: sampled per-phase wall-clock
 //! attribution (fetch/rename, exec, mem, commit/recovery, scheduling,
 //! telemetry drain) reported as `profile.json` and, with `--trace-events`,
@@ -55,6 +62,15 @@
 //! memo entry is byte-identical at any job count.  Telemetry instruments
 //! cannot combine with replay (replay never runs the core pipeline), and
 //! capture is always a live full-timing run (`--jobs` is rejected there).
+//! Exception: `--replay-trace` accepts `--attribution` — the ledger rides
+//! on the replayed L1D paths, every sweep point is replayed cold (the
+//! result store memoizes counters, not ledgers), and each point writes an
+//! `.attr.json` next to its `.kv`, including
+//! `OUT/golden-check/<bench>.attr.json` at the captured configuration,
+//! which must be byte-identical to the full-timing ledger.
+//! `--capture-trace` still rejects it: capture records exactly the
+//! untraced machine — derive the ledger via `--replay-trace --attribution`
+//! or a telemetry-mode run.
 
 use std::sync::Arc;
 
@@ -76,6 +92,7 @@ fn main() {
     let mut no_cache = false;
     let mut trace_events = false;
     let mut profile = false;
+    let mut attribution = false;
     let mut sample_interval = 0u64;
     let mut telemetry_out: Option<std::path::PathBuf> = None;
     let mut commit_trace = 0usize;
@@ -102,6 +119,7 @@ fn main() {
             "--no-cache" => no_cache = true,
             "--trace-events" => trace_events = true,
             "--profile" => profile = true,
+            "--attribution" => attribution = true,
             "--live" => live = true,
             "--jobs" => {
                 let n: usize = it
@@ -131,13 +149,21 @@ fn main() {
         }
     }
 
-    let telemetry_mode = trace_events || sample_interval > 0 || profile;
+    let telemetry_mode = trace_events || sample_interval > 0 || profile || attribution;
     if capture_trace.is_some() || replay_trace.is_some() {
         if capture_trace.is_some() && replay_trace.is_some() {
             panic!("--capture-trace and --replay-trace are mutually exclusive: capture is a full-timing run, replay re-drives an existing trace");
         }
-        if telemetry_mode || telemetry_out.is_some() || commit_trace > 0 {
+        if trace_events
+            || sample_interval > 0
+            || profile
+            || telemetry_out.is_some()
+            || commit_trace > 0
+        {
             panic!("--trace-events/--profile/--sample-interval/--telemetry-out/--commit-trace cannot combine with trace capture/replay: replay drives only the cache hierarchy (the core pipeline never runs), and capture records exactly the untraced machine — use telemetry mode separately");
+        }
+        if attribution && capture_trace.is_some() {
+            panic!("--attribution cannot combine with --capture-trace: capture records exactly the untraced machine — derive the ledger from the trace with --replay-trace --attribution, or run telemetry mode (--attribution alone) for the full-timing ledger");
         }
         if live {
             panic!("--live renders table-mode sweep progress; trace capture/replay print their own per-workload progress");
@@ -162,11 +188,19 @@ fn main() {
             }
             let out = run_out.unwrap_or_else(|| std::path::PathBuf::from("target/wec-replay"));
             let n = jobs.unwrap_or_else(wec_bench::runner::default_hosts);
-            wec_bench::tracerun::replay_traces(&dir, &out, no_cache, csv, only.as_deref(), n);
+            wec_bench::tracerun::replay_traces(
+                &dir,
+                &out,
+                no_cache,
+                csv,
+                only.as_deref(),
+                n,
+                attribution,
+            );
         }
         return;
     }
-    if trace_events || sample_interval > 0 || profile {
+    if telemetry_mode {
         if run_out.is_some() || live {
             panic!("--run-out/--live apply to table mode, not telemetry mode");
         }
@@ -182,6 +216,7 @@ fn main() {
             trace_events,
             profile,
             sample_interval,
+            attribution,
             telemetry_out,
             commit_trace,
         );
@@ -189,7 +224,7 @@ fn main() {
     }
     if commit_trace > 0 || telemetry_out.is_some() {
         panic!(
-            "--commit-trace/--telemetry-out need --trace-events, --sample-interval, or --profile"
+            "--commit-trace/--telemetry-out need --trace-events, --sample-interval, --profile, or --attribution"
         );
     }
 
@@ -303,12 +338,14 @@ fn main() {
 
 /// Telemetry mode: run the selected workloads on the paper's `wth-wp-wec`
 /// machine with the requested instruments and print what they captured.
+#[allow(clippy::too_many_arguments)]
 fn run_telemetry(
     scale: Scale,
     only: Option<&str>,
     trace_events: bool,
     profile: bool,
     sample_interval: u64,
+    attribution: bool,
     out: Option<std::path::PathBuf>,
     commit_trace: usize,
 ) {
@@ -327,13 +364,15 @@ fn run_telemetry(
 
     for bench in benches {
         let w = bench.build(scale);
+        let bench_dir = out.join(w.name.replace('.', "_"));
         let mut cfg = ProcPreset::WthWpWec.machine(8);
         cfg.core.commit_trace = commit_trace;
+        cfg.attribution = attribution;
         cfg.telemetry = TelemetryConfig {
             trace_events,
             sample_interval,
             profile,
-            out_dir: Some(out.join(w.name.replace('.', "_"))),
+            out_dir: Some(bench_dir.clone()),
         };
         eprintln!(
             "telemetry run: {} (scale units = {}, preset wth-wp-wec, 8 TUs)…",
@@ -341,7 +380,6 @@ fn run_telemetry(
         );
         let t = std::time::Instant::now();
         let r = run_and_verify(&w, cfg).expect("telemetry run failed");
-        let tel = r.telemetry.expect("telemetry enabled but no summary");
 
         println!("== telemetry: {} ==", w.name);
         println!(
@@ -350,33 +388,61 @@ fn run_telemetry(
             r.metrics.correct_instructions(),
             r.metrics.ipc()
         );
-        println!("events_total {}  samples {}", tel.events_total, tel.samples);
-        for (kind, n) in &tel.events_by_kind {
-            println!("  event {kind:<22} {n}");
-        }
-        for h in &tel.histograms {
-            println!(
-                "  hist  {:<22} count {}  p50 {}  p99 {}  max {}",
-                h.name, h.count, h.p50, h.p99, h.max
-            );
-        }
-        if let Some(p) = &tel.profile {
-            println!(
-                "  profile: 1-in-{} cycles sampled ({} of {})",
-                p.stride, p.sampled_cycles, p.total_cycles
-            );
-            let shares = p.shares();
-            for phase in Phase::ALL {
+        // Absent when only --attribution is on: the ledger is not a
+        // telemetry instrument, so the event/sample machinery stays off.
+        if let Some(tel) = &r.telemetry {
+            println!("events_total {}  samples {}", tel.events_total, tel.samples);
+            for (kind, n) in &tel.events_by_kind {
+                println!("  event {kind:<22} {n}");
+            }
+            for h in &tel.histograms {
                 println!(
-                    "  prof  {:<22} {:>5.1}%  {} ns sampled",
-                    phase.name(),
-                    shares[phase as usize] * 100.0,
-                    p.ns[phase as usize]
+                    "  hist  {:<22} count {}  p50 {}  p99 {}  max {}",
+                    h.name, h.count, h.p50, h.p99, h.max
                 );
             }
+            if let Some(p) = &tel.profile {
+                println!(
+                    "  profile: 1-in-{} cycles sampled ({} of {})",
+                    p.stride, p.sampled_cycles, p.total_cycles
+                );
+                let shares = p.shares();
+                for phase in Phase::ALL {
+                    println!(
+                        "  prof  {:<22} {:>5.1}%  {} ns sampled",
+                        phase.name(),
+                        shares[phase as usize] * 100.0,
+                        p.ns[phase as usize]
+                    );
+                }
+            }
+            for f in &tel.files {
+                println!("  wrote {}", f.display());
+            }
         }
-        for f in &tel.files {
-            println!("  wrote {}", f.display());
+        if let Some(report) = &r.attribution {
+            assert!(
+                report.conserved(),
+                "attribution ledger violates conservation on {}",
+                w.name
+            );
+            std::fs::create_dir_all(&bench_dir)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", bench_dir.display()));
+            let path = bench_dir.join("attribution.json");
+            std::fs::write(&path, format!("{}\n", report.to_json()))
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            let tot = &report.totals;
+            println!(
+                "  attr  wec_fills {}  useful {}  wasted {}  victim_rescued {}  still_resident {}",
+                tot.wec_fills, tot.useful, tot.wasted, tot.victim_rescued, tot.still_resident
+            );
+            if let Some(top) = report.top_pcs.first() {
+                println!(
+                    "  attr  top pc {:#010x}: {} useful, {} wasted, median timeliness {}",
+                    top.pc, top.useful, top.wasted, top.median_timeliness
+                );
+            }
+            println!("  wrote {}", path.display());
         }
         eprintln!("[{}: {:.1}s]", w.name, t.elapsed().as_secs_f64());
         println!();

@@ -1,7 +1,7 @@
 //! Validate a telemetry artifact directory against the crate schemas.
 //!
 //! ```text
-//! telemetry_check DIR [--require kind]...
+//! telemetry_check DIR [--require kind]... [--require-attribution]
 //! ```
 //!
 //! `DIR` is what a telemetry-mode `experiments` run wrote for one workload
@@ -17,9 +17,16 @@
 //! `access.jsonl` against `wec-access-log-v1`, `dashboard.json` (a saved
 //! `GET /dashboard/data` payload) against `wec-dashboard-data-v1`, and
 //! every `*.wectrace` capture (from `experiments --capture-trace`) by fully
-//! decoding it and verifying its file, block, and content checksums.  Each `--require kind` additionally
-//! asserts that the event trace contains at least one event of that kind
-//! (e.g. `--require wec_fill --require wec_hit`).
+//! decoding it and verifying its file, block, and content checksums.
+//! Attribution ledgers — `attribution.json` from a telemetry-mode
+//! `--attribution` run, and the `*.attr.json` documents a replay sweep's
+//! golden check writes — are validated against `wec-attribution-v1`,
+//! which enforces the conservation invariant (`useful + wasted +
+//! victim_rescued + still_resident == wec_fills`) per TU and globally.
+//! Each `--require kind` additionally asserts that the event trace
+//! contains at least one event of that kind (e.g. `--require wec_fill
+//! --require wec_hit`); `--require-attribution` asserts that at least
+//! one valid ledger document was found.
 //!
 //! Exit codes: `0` all artifacts present validated, `1` any validation
 //! failed or no artifact was found (a `--require` with no valid
@@ -48,10 +55,12 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut dir: Option<String> = None;
     let mut required: Vec<String> = Vec::new();
+    let mut require_attribution = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--require" => required.push(it.next().expect("--require kind").clone()),
+            "--require-attribution" => require_attribution = true,
             other if dir.is_none() => dir = Some(other.to_string()),
             other => panic!("unexpected argument {other:?}"),
         }
@@ -218,6 +227,41 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Attribution ledgers: the telemetry-mode `attribution.json` plus the
+    // per-point `*.attr.json` documents a replay sweep's golden check
+    // writes.  The validator enforces conservation and the origin split
+    // per TU and globally, so an `ok` line here is the ledger invariant.
+    let mut attr_docs = 0u32;
+    let mut ledgers: Vec<_> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            name == "attribution.json" || name.ends_with(".attr.json")
+        })
+        .collect();
+    ledgers.sort();
+    for path in ledgers {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("attr");
+        let Some(text) = read(dir, name) else {
+            continue;
+        };
+        match schema::validate_attribution_json(&text) {
+            Ok(c) => {
+                println!(
+                    "ok  {name}: {} WEC fills over {} TUs conserved ({} useful, {} wasted, {} top PCs)",
+                    c.wec_fills, c.n_tus, c.useful, c.wasted, c.top_pcs
+                );
+                validated += 1;
+                attr_docs += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL {name}: {e}");
+                failures += 1;
+            }
+        }
+    }
     let mut traces: Vec<_> = std::fs::read_dir(dir)
         .into_iter()
         .flatten()
@@ -245,6 +289,14 @@ fn main() -> ExitCode {
     if validated == 0 && failures == 0 {
         eprintln!("FAIL {}: no telemetry artifacts found", dir.display());
         failures += 1;
+    }
+    if require_attribution {
+        if attr_docs > 0 {
+            println!("ok  require attribution: {attr_docs} ledger document(s)");
+        } else {
+            eprintln!("FAIL require attribution: no valid attribution ledger found");
+            failures += 1;
+        }
     }
     for kind in &required {
         match &report {

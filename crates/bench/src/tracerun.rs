@@ -29,8 +29,10 @@ use std::time::Instant;
 
 use wec_common::table::Table;
 use wec_core::config::ProcPreset;
+use wec_telemetry::attr::AttributionReport;
 use wec_trace::{
-    cache_stat_subset, capture_run, kv_string, replay_slab, CaptureMeta, Trace, TraceSlab,
+    cache_stat_subset, capture_run, kv_string, replay_slab, replay_slab_with, CaptureMeta, Trace,
+    TraceSlab,
 };
 use wec_workloads::{Bench, Scale};
 
@@ -38,6 +40,10 @@ use crate::runner::{default_disk_dir, fnv1a, CfgKey};
 
 /// TU count every capture uses (the §5.2 paper machine).
 pub const CAPTURE_TUS: usize = 8;
+
+/// One replayed sweep point: its golden counter subset, whether it
+/// replayed cold, and its attribution ledger when the ledger was on.
+type PointOutcome = (Vec<(String, u64)>, bool, Option<AttributionReport>);
 
 /// The fixed full-timing configuration every capture runs.  Geometry
 /// sweeps replay from this one timing run, so the capture point never
@@ -219,6 +225,32 @@ pub fn replay_point(
     (subset, true)
 }
 
+/// Replay one sweep point cold with the speculation attribution ledger on
+/// the L1D paths.  Never consults or feeds the result store — the store
+/// memoizes cache counters, not ledgers — so the counters come back
+/// byte-identical to [`replay_point`]'s while the report captures per-PC
+/// credit and per-set pressure for this geometry.  Shared with the serve
+/// daemon's attribution-enabled replay jobs.
+pub fn replay_point_attr(slab: &TraceSlab, key: CfgKey) -> (Vec<(String, u64)>, AttributionReport) {
+    let outcome = replay_slab_with(slab, &key.build(), true).unwrap_or_else(|e| {
+        panic!(
+            "replay of {} at {} failed: {e}",
+            slab.header().bench,
+            key.label()
+        )
+    });
+    let report = outcome
+        .attribution
+        .expect("attribution requested but replay returned no report");
+    assert!(
+        report.conserved(),
+        "attribution ledger violates conservation on {} at {}",
+        slab.header().bench,
+        key.label()
+    );
+    (cache_stat_subset(&outcome.stats), report)
+}
+
 /// One replayed point: the cache-counter subset and whether it was
 /// replayed cold (vs answered from the result store).
 pub type PointResult = (Vec<(String, u64)>, bool);
@@ -236,14 +268,21 @@ pub fn replay_sweep(
     cache_dir: Option<&Path>,
     jobs: usize,
 ) -> Vec<PointResult> {
+    fan_points(keys, jobs, |key| replay_point(slab, key, cache_dir))
+}
+
+/// Fan one closure over every sweep key with `jobs` workers (1 = inline),
+/// returning results in `keys` order regardless of completion order.
+fn fan_points<T: Send + Sync>(
+    keys: &[CfgKey],
+    jobs: usize,
+    point: impl Fn(CfgKey) -> T + Sync,
+) -> Vec<T> {
     let jobs = jobs.max(1).min(keys.len().max(1));
     if jobs <= 1 {
-        return keys
-            .iter()
-            .map(|key| replay_point(slab, *key, cache_dir))
-            .collect();
+        return keys.iter().map(|key| point(*key)).collect();
     }
-    let slots: Vec<std::sync::OnceLock<PointResult>> = (0..keys.len())
+    let slots: Vec<std::sync::OnceLock<T>> = (0..keys.len())
         .map(|_| std::sync::OnceLock::new())
         .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -254,7 +293,7 @@ pub fn replay_sweep(
                 let Some(key) = keys.get(i) else {
                     return;
                 };
-                let _ = slots[i].set(replay_point(slab, *key, cache_dir));
+                let _ = slots[i].set(point(*key));
             });
         }
     });
@@ -271,6 +310,11 @@ pub fn replay_sweep(
 /// then sweep [`sweep_keys`] over it with `jobs` workers, printing one
 /// table per benchmark.  `jobs` caps both the slab decoder pool and the
 /// sweep-point pool; results and memo entries are identical at any count.
+/// With `attribution` on, every point replays cold through
+/// [`replay_point_attr`] (the result store is bypassed — it memoizes
+/// counters, not ledgers) and each `.kv` gains a sibling `.attr.json`,
+/// including `golden-check/<bench>.attr.json` at the captured
+/// configuration, byte-identical to the full-timing ledger.
 pub fn replay_traces(
     dir: &Path,
     out: &Path,
@@ -278,6 +322,7 @@ pub fn replay_traces(
     csv: bool,
     only: Option<&str>,
     jobs: usize,
+    attribution: bool,
 ) {
     let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
         .unwrap_or_else(|e| panic!("cannot read --replay-trace {}: {e}", dir.display()))
@@ -294,13 +339,16 @@ pub fn replay_traces(
     let base = capture_key();
     let keys = sweep_keys();
     let jobs = jobs.max(1);
-    let cache_dir = if no_cache {
+    let cache_dir = if no_cache || attribution {
         None
     } else {
         Some(default_disk_dir())
     };
     if let Some(d) = &cache_dir {
         eprintln!("replay result cache: {}", d.display());
+    }
+    if attribution {
+        eprintln!("attribution ledger on: every point replays cold (ledgers are not memoized)");
     }
     eprintln!("replay jobs: {jobs}");
     std::fs::create_dir_all(out.join("golden-check"))
@@ -344,8 +392,18 @@ pub fn replay_traces(
 
         // Golden check: the captured configuration must reproduce the
         // full-timing counters exactly (gated by `metricsdiff
-        // <capture>/golden <out>/golden-check`).
-        let (golden_subset, _) = replay_point(&slab, base, None);
+        // <capture>/golden <out>/golden-check`).  With attribution on the
+        // same cold replay also yields the captured-config ledger, which
+        // must match the full-timing run's byte for byte.
+        let golden_subset = if attribution {
+            let (subset, report) = replay_point_attr(&slab, base);
+            let attr_path = out.join("golden-check").join(format!("{stem}.attr.json"));
+            std::fs::write(&attr_path, format!("{}\n", report.to_json()))
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", attr_path.display()));
+            subset
+        } else {
+            replay_point(&slab, base, None).0
+        };
         records_driven += h.total_records;
         let check_path = out.join("golden-check").join(format!("{stem}.kv"));
         std::fs::write(&check_path, kv_string(&golden_subset))
@@ -363,8 +421,18 @@ pub fn replay_traces(
             ),
             &["config", "l1d_miss%", "side_hits", "l2_misses"],
         );
-        let results = replay_sweep(&slab, &keys, cache_dir.as_deref(), jobs);
-        for (key, (subset, cold)) in keys.iter().zip(results) {
+        let results: Vec<PointOutcome> = if attribution {
+            fan_points(&keys, jobs, |key| {
+                let (subset, report) = replay_point_attr(&slab, key);
+                (subset, true, Some(report))
+            })
+        } else {
+            replay_sweep(&slab, &keys, cache_dir.as_deref(), jobs)
+                .into_iter()
+                .map(|(subset, cold)| (subset, cold, None))
+                .collect()
+        };
+        for (key, (subset, cold, report)) in keys.iter().zip(results) {
             if cold {
                 cold_points += 1;
                 records_driven += h.total_records;
@@ -377,14 +445,20 @@ pub fn replay_traces(
                 key.side_entries,
                 key.l1_ways
             );
-            let kv_path = point_dir.join(format!(
-                "{}_side{:03}_{}w.kv",
+            let point_stem = format!(
+                "{}_side{:03}_{}w",
                 key.preset.name(),
                 key.side_entries,
                 key.l1_ways
-            ));
+            );
+            let kv_path = point_dir.join(format!("{point_stem}.kv"));
             std::fs::write(&kv_path, kv_string(&subset))
                 .unwrap_or_else(|e| panic!("cannot write {}: {e}", kv_path.display()));
+            if let Some(report) = &report {
+                let attr_path = point_dir.join(format!("{point_stem}.attr.json"));
+                std::fs::write(&attr_path, format!("{}\n", report.to_json()))
+                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", attr_path.display()));
+            }
             let accesses = sum(&subset, ".l1d.demand_accesses");
             let misses = sum(&subset, ".l1d.demand_misses");
             table.row(vec![

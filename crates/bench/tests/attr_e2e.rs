@@ -1,0 +1,91 @@
+//! Attribution ledger end-to-end invariants.
+//!
+//! The ledger is an observer: turning it on must leave every metric of
+//! the run byte-identical (same cycles, same checksum, same stat set) —
+//! the goldens cannot move.  And because the probes ride inside the data
+//! path, a full-timing run and a trace replay of that run at the captured
+//! configuration must produce byte-identical `wec-attribution-v1`
+//! documents.
+
+use wec_bench::tracerun::capture_key;
+use wec_telemetry::schema;
+use wec_trace::{capture_run, kv_string, replay_slab_with, CaptureMeta, TraceSlab};
+use wec_workloads::{run_and_verify, Bench, Scale};
+
+/// Every stat counter of a run, sorted, as one comparable string.
+fn full_kv(stats: &wec_common::stats::StatSet) -> String {
+    let mut pairs: Vec<(String, u64)> = stats.iter().map(|(k, v)| (k.to_string(), v)).collect();
+    pairs.sort();
+    kv_string(&pairs)
+}
+
+#[test]
+fn attribution_on_leaves_the_run_byte_identical() {
+    let w = Bench::Mcf.build(Scale::SMOKE);
+    let cfg = capture_key().build();
+    let off = run_and_verify(&w, cfg.clone()).unwrap();
+    let mut cfg_on = cfg;
+    cfg_on.attribution = true;
+    let on = run_and_verify(&w, cfg_on).unwrap();
+
+    assert_eq!(
+        off.cycles, on.cycles,
+        "attribution perturbed the cycle count"
+    );
+    assert_eq!(
+        off.checksum, on.checksum,
+        "attribution perturbed the checksum"
+    );
+    assert_eq!(off.metrics, on.metrics, "attribution perturbed the metrics");
+    assert_eq!(
+        full_kv(&off.stats),
+        full_kv(&on.stats),
+        "attribution perturbed the stat set"
+    );
+    assert!(
+        off.attribution.is_none(),
+        "ledger present with attribution off"
+    );
+
+    // The run it did not perturb still yielded a valid, conserving ledger.
+    let report = on.attribution.expect("attribution on but no report");
+    assert!(report.conserved());
+    let check = schema::validate_attribution_json(&report.to_json()).unwrap();
+    assert!(
+        check.wec_fills > 0,
+        "mcf under wth-wp-wec must fill the WEC"
+    );
+}
+
+#[test]
+fn timing_and_replay_ledgers_agree_byte_for_byte() {
+    let w = Bench::Mcf.build(Scale::SMOKE);
+    let key = capture_key();
+    let meta = CaptureMeta {
+        bench: w.name.to_string(),
+        scale_units: Scale::SMOKE.units,
+        cfg_label: key.label(),
+    };
+    let (_result, trace) = capture_run(&w, key.build(), &meta).unwrap();
+
+    // Full-timing ledger at the captured configuration.
+    let mut cfg = key.build();
+    cfg.attribution = true;
+    let timing = run_and_verify(&w, cfg)
+        .unwrap()
+        .attribution
+        .expect("attribution on but no report");
+
+    // Replay ledger from the captured stream of the same run.
+    let slab = TraceSlab::build(&trace, 4).unwrap();
+    let replay = replay_slab_with(&slab, &key.build(), true)
+        .unwrap()
+        .attribution
+        .expect("attribution requested but replay returned no report");
+
+    assert_eq!(
+        timing.to_json(),
+        replay.to_json(),
+        "full-timing and replay attribution documents diverge"
+    );
+}

@@ -117,6 +117,10 @@ pub struct MachineConfig {
     /// Perfetto export).  All off by default; when off, metrics are
     /// byte-identical to a run without telemetry.
     pub telemetry: TelemetryConfig,
+    /// Speculation attribution ledger (`wec_telemetry::attr`): per-PC /
+    /// per-set WEC lifecycle tracking on every L1D.  Purely observational —
+    /// metrics and goldens are byte-identical with it on or off.
+    pub attribution: bool,
 }
 
 impl MachineConfig {
@@ -137,6 +141,7 @@ impl MachineConfig {
             max_cycles: 2_000_000_000,
             event_log: false,
             telemetry: TelemetryConfig::default(),
+            attribution: false,
         }
     }
 

@@ -32,6 +32,7 @@ use wec_mem::mshr::{MshrOutcome, Mshrs};
 use wec_mem::ports::PortSet;
 use wec_mem::prefetch::TaggedNextLine;
 use wec_mem::stats::{AccessKind, CacheStats};
+use wec_telemetry::attr::{AttrProbe, FillOrigin};
 use wec_telemetry::{CacheEvent, CacheTrace};
 
 /// Which side structure sits beside the L1.
@@ -128,6 +129,10 @@ pub struct DataPath {
     /// Gated telemetry buffer (WEC fills, side hits, victim transfers,
     /// prefetches, misses); drained and TU-tagged by the machine.
     pub trace: CacheTrace,
+    /// Speculation attribution ledger (`None` unless attribution is on);
+    /// one `is_some` branch per hook when off, so goldens stay
+    /// byte-identical either way.
+    pub attr: Option<Box<AttrProbe>>,
 }
 
 impl DataPath {
@@ -149,11 +154,30 @@ impl DataPath {
             nlp: TaggedNextLine::new(),
             stats: CacheStats::default(),
             trace: CacheTrace::default(),
+            attr: None,
         })
     }
 
     pub fn config(&self) -> &DataPathConfig {
         &self.cfg
+    }
+
+    /// Attach a speculation attribution probe sized to this L1's geometry.
+    /// Purely observational: the access stream, stats, and goldens are
+    /// byte-identical with or without it.
+    pub fn enable_attribution(&mut self) {
+        let sets = self.l1.geometry().sets as usize;
+        self.attr = Some(Box::new(AttrProbe::new(sets, self.cfg.block_bytes)));
+    }
+
+    /// Announce the PC of the access about to be presented (stores pass 0,
+    /// matching the trace-record convention).  No-op when attribution is
+    /// off.
+    #[inline]
+    pub fn attr_note_pc(&mut self, pc: u32) {
+        if let Some(a) = self.attr.as_deref_mut() {
+            a.note_pc(pc);
+        }
     }
 
     /// Access the data path. `kind` routes the access per Figure 6; stores
@@ -191,6 +215,9 @@ impl DataPath {
         // Merge into an outstanding refill first.
         if let Some(ready) = self.mshrs.pending(addr, now) {
             self.stats.record(kind, true);
+            if let Some(a) = self.attr.as_deref_mut() {
+                a.on_l1_demand(addr.0, true);
+            }
             if is_store {
                 self.l1.set_dirty(addr);
             }
@@ -209,6 +236,9 @@ impl DataPath {
                 line.flags.dirty = true;
             }
             self.stats.record(kind, true);
+            if let Some(a) = self.attr.as_deref_mut() {
+                a.on_l1_demand(addr.0, true);
+            }
             if was_wrong {
                 self.stats.useful_wrong_fetches.inc();
             }
@@ -226,6 +256,9 @@ impl DataPath {
         }
 
         self.stats.record(kind, false);
+        if let Some(a) = self.attr.as_deref_mut() {
+            a.on_l1_demand(addr.0, false);
+        }
 
         // L1 miss: probe the side structure.
         if self.side.is_some() && self.side.as_ref().unwrap().contains(addr) {
@@ -241,6 +274,9 @@ impl DataPath {
                 },
                 addr.block_base(block_bytes).0,
             );
+            if let Some(a) = self.attr.as_deref_mut() {
+                a.on_side_hit(addr.0, now.0);
+            }
             if was_wrong {
                 self.stats.useful_wrong_fetches.inc();
             }
@@ -254,13 +290,17 @@ impl DataPath {
             };
             match self.cfg.side {
                 SideKind::Victim | SideKind::Wec => {
-                    // Swap: the displaced L1 victim takes the side slot.
+                    // Swap: the displaced L1 victim takes the side slot
+                    // (guaranteed free: `take` just vacated one).
                     if let Some(victim) = self.l1.insert(addr, flags) {
                         self.stats.evictions.inc();
                         self.side
                             .as_mut()
                             .unwrap()
                             .insert(victim.addr, victim.flags);
+                        if let Some(a) = self.attr.as_deref_mut() {
+                            a.on_side_fill(victim.addr.0, now.0, FillOrigin::Victim);
+                        }
                     }
                     if self.cfg.side == SideKind::Wec && (was_wrong || was_prefetched) {
                         // First correct use of a wrongly-fetched block:
@@ -323,12 +363,18 @@ impl DataPath {
                     // the side structure.
                     self.trace
                         .push(now.0, CacheEvent::VictimTransfer, victim.addr.0);
+                    if let Some(a) = self.attr.as_deref_mut() {
+                        a.on_side_fill(victim.addr.0, now.0, FillOrigin::Victim);
+                    }
                     if let Some(side_victim) = self
                         .side
                         .as_mut()
                         .unwrap()
                         .insert(victim.addr, victim.flags)
                     {
+                        if let Some(a) = self.attr.as_deref_mut() {
+                            a.on_side_evict(side_victim.addr.0);
+                        }
                         self.writeback_if_dirty(side_victim.addr, side_victim.flags, now, l2);
                     }
                 }
@@ -398,7 +444,13 @@ impl DataPath {
                     CacheEvent::WecFill,
                     addr.block_base(self.cfg.block_bytes).0,
                 );
+                if let Some(a) = self.attr.as_deref_mut() {
+                    a.on_side_fill(addr.0, now.0, FillOrigin::Wrong);
+                }
                 if let Some(victim) = self.side.as_mut().unwrap().insert(addr, LineFlags::WRONG) {
+                    if let Some(a) = self.attr.as_deref_mut() {
+                        a.on_side_evict(victim.addr.0);
+                    }
                     self.writeback_if_dirty(victim.addr, victim.flags, now, l2);
                 }
             }
@@ -408,12 +460,18 @@ impl DataPath {
                 if let Some(victim) = self.l1.insert(addr, LineFlags::WRONG) {
                     self.stats.evictions.inc();
                     if self.cfg.side == SideKind::Victim {
+                        if let Some(a) = self.attr.as_deref_mut() {
+                            a.on_side_fill(victim.addr.0, now.0, FillOrigin::Victim);
+                        }
                         if let Some(side_victim) = self
                             .side
                             .as_mut()
                             .unwrap()
                             .insert(victim.addr, victim.flags)
                         {
+                            if let Some(a) = self.attr.as_deref_mut() {
+                                a.on_side_evict(side_victim.addr.0);
+                            }
                             self.writeback_if_dirty(side_victim.addr, side_victim.flags, now, l2);
                         }
                     } else {
@@ -455,8 +513,14 @@ impl DataPath {
             false,
             now.plus(self.cfg.hit_latency),
         );
-        if let Some(side) = self.side.as_mut() {
-            if let Some(victim) = side.insert(addr, flags) {
+        if self.side.is_some() {
+            if let Some(a) = self.attr.as_deref_mut() {
+                a.on_side_fill(addr.0, now.0, FillOrigin::Prefetch);
+            }
+            if let Some(victim) = self.side.as_mut().unwrap().insert(addr, flags) {
+                if let Some(a) = self.attr.as_deref_mut() {
+                    a.on_side_evict(victim.addr.0);
+                }
                 self.writeback_if_dirty(victim.addr, victim.flags, now, l2);
             }
         }

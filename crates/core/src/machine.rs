@@ -35,6 +35,7 @@ use wec_mem::l2::SharedL2;
 use wec_mem::stats::AccessKind;
 
 use wec_isa::disasm::disassemble_inst;
+use wec_telemetry::attr::AttributionReport;
 use wec_telemetry::profile::{CycleProfiler, NoProf, Phase, PhaseNs, PhaseSink};
 use wec_telemetry::{TelemetrySummary, TraceEvent};
 
@@ -316,12 +317,16 @@ pub struct RunResult {
     pub stats: StatSet,
     /// What telemetry captured (`None` when telemetry was off).
     pub telemetry: Option<TelemetrySummary>,
+    /// Speculation attribution ledger (`None` unless
+    /// [`MachineConfig::attribution`] was on).
+    pub attribution: Option<AttributionReport>,
 }
 
 impl Machine {
     pub fn new(cfg: MachineConfig, program: &Program) -> SimResult<Self> {
         let program = Arc::new(program.clone());
         let trace_events = cfg.telemetry.trace_events;
+        let attribution = cfg.attribution;
         let mut tus = Vec::with_capacity(cfg.n_tus);
         for _ in 0..cfg.n_tus {
             let mut slot = TuSlot {
@@ -335,6 +340,11 @@ impl Machine {
             if trace_events {
                 slot.dpath.trace.set_enabled(true);
                 slot.core.flush_trace.set_enabled(true);
+            }
+            if attribution {
+                // The ledger watches the L1D only; instruction fetch has no
+                // speculative side structure to attribute.
+                slot.dpath.enable_attribution();
             }
             tus.push(slot);
         }
@@ -804,6 +814,7 @@ impl Machine {
                         kind: AccessKind::CorrectStore,
                     });
                 }
+                slot.dpath.attr_note_pc(0);
                 match slot
                     .dpath
                     .access(addr, AccessKind::CorrectStore, now, &mut self.shared.l2)
@@ -917,7 +928,19 @@ impl Machine {
             metrics,
             stats,
             telemetry: None,
+            attribution: self.attribution_report(),
         }
+    }
+
+    /// Fold the per-TU attribution probes into one report (`None` when
+    /// attribution is off).  Callable both mid-run and after `run`.
+    pub fn attribution_report(&self) -> Option<AttributionReport> {
+        if self.tus.iter().all(|s| s.dpath.attr.is_none()) {
+            return None;
+        }
+        Some(AttributionReport::from_probes(
+            self.tus.iter().filter_map(|s| s.dpath.attr.as_deref()),
+        ))
     }
 
     /// Direct read of committed memory (tests and examples).
@@ -1088,6 +1111,7 @@ impl CoreEnv for TuEnv<'_> {
                 kind,
             });
         }
+        self.dpath.attr_note_pc(pc);
         match self.dpath.access(addr, kind, now, &mut self.shared.l2) {
             DpResult::Done { ready_at } => {
                 if let Some(tel) = self.shared.tel.as_deref_mut() {

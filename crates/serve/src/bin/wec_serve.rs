@@ -4,7 +4,7 @@
 //! wec_serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!           [--store DIR | --no-store] [--log-dir DIR]
 //!           [--io-timeout-ms N] [--events-timeout-ms N]
-//!           [--sample-interval-ms N] [--ring-cap N]
+//!           [--sample-interval-ms N] [--ring-cap N] [--attribution]
 //! ```
 //!
 //! Defaults: `127.0.0.1:8407`, [`wec_bench::runner::default_hosts`]
@@ -16,7 +16,11 @@
 //! `stats.json` on drain — all validated by `telemetry_check`.  The
 //! dashboard sampler snapshots service rates every
 //! `--sample-interval-ms` (default 1000; 0 disables) into a ring of
-//! `--ring-cap` samples (default 512).  SIGTERM/SIGINT/`POST /shutdown`
+//! `--ring-cap` samples (default 512).  `--attribution` attaches the
+//! speculation attribution ledger to replay jobs: their records embed a
+//! conservation summary, `GET /jobs/<id>/attribution` serves the full
+//! `wec-attribution-v1` document, and `/metrics` aggregates the ledger
+//! (`wec_serve_attr_*_total`).  SIGTERM/SIGINT/`POST /shutdown`
 //! drain gracefully: in-flight jobs finish, then the process exits 0.
 
 use std::path::PathBuf;
@@ -72,6 +76,7 @@ fn main() {
                 cfg.ring_cap = value("--ring-cap").parse().expect("--ring-cap N");
                 assert!(cfg.ring_cap > 0, "--ring-cap must be positive");
             }
+            "--attribution" => cfg.attribution = true,
             other => panic!("unknown argument {other:?}"),
         }
     }

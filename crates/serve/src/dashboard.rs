@@ -66,13 +66,14 @@ pub fn dashboard_data_json(state: &ServerState) -> String {
         escape_into(&mut out, &r.cfg);
         let _ = write!(
             out,
-            ",\"state\":\"{}\",\"source\":\"{}\",\"submissions\":{},\"worker\":{},\"dur_ms\":{},\"sim_cycles\":{}}}",
+            ",\"state\":\"{}\",\"source\":\"{}\",\"submissions\":{},\"worker\":{},\"dur_ms\":{},\"sim_cycles\":{},\"has_attr\":{}}}",
             r.state.name(),
             r.source,
             r.submissions,
             r.worker,
             r.dur_ms,
-            r.sim_cycles
+            r.sim_cycles,
+            r.attr.is_some()
         );
     }
     out.push_str("]}");
@@ -183,10 +184,22 @@ section { margin-bottom: 14px; }
   <h2>Recent jobs</h2>
   <table id="jobs-table">
     <thead><tr><th>id</th><th>kind</th><th>bench</th><th>cfg</th><th>state</th><th>source</th>
-      <th class="num">subs</th><th class="num">dur ms</th><th class="num">sim cycles</th><th>events</th></tr></thead>
+      <th class="num">subs</th><th class="num">dur ms</th><th class="num">sim cycles</th><th>events</th><th>attr</th></tr></thead>
     <tbody></tbody>
   </table>
   <div class="empty" id="jobs-empty">No jobs submitted yet.</div>
+</section>
+
+<section class="panel" id="attr-panel" style="display:none">
+  <h2>Speculation attribution <span class="now" id="attr-title"></span></h2>
+  <div id="attr-summary" class="empty"></div>
+  <table id="attr-pcs">
+    <thead><tr><th>wrong-path PC</th><th class="num">useful</th><th class="num">wasted</th>
+      <th class="num">median fill→hit cycles</th><th class="num">pollution bytes</th></tr></thead>
+    <tbody></tbody>
+  </table>
+  <h2 style="margin-top:10px">Per-set pressure (L1 sets, left→right)</h2>
+  <div id="attr-heat"></div>
 </section>
 
 <script>
@@ -333,9 +346,79 @@ function render(d) {
     ea.href = "/jobs/" + j.id + "/events";
     etd.appendChild(ea);
     tr.appendChild(etd);
+    const atd = el("td");
+    if (j.has_attr) {
+      const aa = el("a", "ledger");
+      aa.href = "#attr-panel";
+      aa.addEventListener("click", () => showAttr(j.id));
+      atd.appendChild(aa);
+    }
+    tr.appendChild(atd);
     return tr;
   }));
   document.getElementById("jobs-empty").style.display = d.jobs.length ? "none" : "block";
+}
+
+// One per-set heat strip: a 1×N row of cells, intensity scaled to the
+// array's own maximum (each counter gets its own scale; absolute values
+// live in the tooltips, never as a number per cell).
+function heatStrip(label, values) {
+  const wrap = el("div");
+  wrap.appendChild(el("div", label, "label"));
+  const h = 14, max = Math.max(...values, 1);
+  const svg = document.createElementNS(SVG, "svg");
+  svg.setAttribute("viewBox", "0 0 " + values.length + " 1");
+  svg.setAttribute("preserveAspectRatio", "none");
+  svg.setAttribute("width", "100%"); svg.setAttribute("height", h);
+  svg.style.display = "block"; svg.style.marginBottom = "4px";
+  const color = getComputedStyle(document.documentElement).getPropertyValue("--series-1").trim();
+  values.forEach((v, i) => {
+    const r = document.createElementNS(SVG, "rect");
+    r.setAttribute("x", i); r.setAttribute("y", 0);
+    r.setAttribute("width", 1); r.setAttribute("height", 1);
+    r.setAttribute("fill", color);
+    r.setAttribute("fill-opacity", (0.08 + 0.92 * (v / max)).toFixed(3));
+    const t = document.createElementNS(SVG, "title");
+    t.textContent = label + " set " + i + ": " + v;
+    r.appendChild(t);
+    svg.appendChild(r);
+  });
+  wrap.appendChild(svg);
+  return wrap;
+}
+
+async function showAttr(id) {
+  try {
+    const res = await fetch("/jobs/" + id + "/attribution", { cache: "no-store" });
+    if (!res.ok) throw new Error("HTTP " + res.status);
+    const a = await res.json();
+    document.getElementById("attr-panel").style.display = "block";
+    document.getElementById("attr-title").textContent = "job #" + id;
+    const t = a.totals;
+    document.getElementById("attr-summary").textContent =
+      "fills " + t.wec_fills + " · useful " + t.useful + " · wasted " + t.wasted +
+      " · victim rescued " + t.victim_rescued + " · still resident " + t.still_resident;
+    const tbody = document.querySelector("#attr-pcs tbody");
+    tbody.replaceChildren(...a.top_pcs.map(p => {
+      const tr = el("tr");
+      tr.appendChild(el("td", "0x" + p.pc.toString(16).padStart(8, "0")));
+      tr.appendChild(el("td", fmt(p.useful), "num"));
+      tr.appendChild(el("td", fmt(p.wasted), "num"));
+      tr.appendChild(el("td", fmt(p.median_timeliness), "num"));
+      tr.appendChild(el("td", fmt(p.pollution_bytes), "num"));
+      return tr;
+    }));
+    const heat = document.getElementById("attr-heat");
+    heat.replaceChildren(
+      heatStrip("L1 demand accesses", a.sets.l1_accesses),
+      heatStrip("L1 demand misses", a.sets.l1_misses),
+      heatStrip("speculative side fills", a.sets.side_fills),
+      heatStrip("side hits", a.sets.side_hits),
+      heatStrip("victim transfers", a.sets.victim_transfers));
+  } catch (e) {
+    document.getElementById("attr-panel").style.display = "block";
+    document.getElementById("attr-summary").textContent = "failed to load ledger: " + e.message;
+  }
 }
 
 async function tick() {

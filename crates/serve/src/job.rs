@@ -216,6 +216,20 @@ impl JobSpec {
     }
 }
 
+/// The speculation attribution ledger of one attribution-enabled job: the
+/// conservation summary embedded in the record's `"attribution"` object,
+/// plus the full `wec-attribution-v1` document served by
+/// `GET /jobs/<id>/attribution`.  Shared with the warm memo via `Arc`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobAttr {
+    pub wec_fills: u64,
+    pub useful: u64,
+    pub wasted: u64,
+    pub victim_rescued: u64,
+    pub still_resident: u64,
+    pub report_json: String,
+}
+
 /// Lifecycle state of a job.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum JobState {
@@ -264,6 +278,9 @@ pub struct JobRecord {
     pub error: String,
     /// Result counters; shared with the warm memo, hence the `Arc`.
     pub metrics: Arc<Vec<(String, u64)>>,
+    /// Speculation attribution ledger (`None` renders the record's
+    /// `"attribution"` field as the empty object).
+    pub attr: Option<Arc<JobAttr>>,
 }
 
 impl JobRecord {
@@ -286,6 +303,7 @@ impl JobRecord {
             sim_cycles: 0,
             error: String::new(),
             metrics: Arc::new(Vec::new()),
+            attr: None,
         }
     }
 
@@ -319,6 +337,14 @@ impl JobRecord {
             }
             escape_into(&mut out, k);
             let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"attribution\":{");
+        if let Some(a) = &self.attr {
+            let _ = write!(
+                out,
+                "\"wec_fills\":{},\"useful\":{},\"wasted\":{},\"victim_rescued\":{},\"still_resident\":{}",
+                a.wec_fills, a.useful, a.wasted, a.victim_rescued, a.still_resident
+            );
         }
         out.push_str("}}");
         out
@@ -433,10 +459,24 @@ mod tests {
         check(&rec);
         assert_eq!(rec.metrics_kv(), "cycles 123456\nforks 9\n");
 
+        // An attribution-enabled job embeds its conservation summary.
+        rec.attr = Some(Arc::new(JobAttr {
+            wec_fills: 10,
+            useful: 4,
+            wasted: 5,
+            victim_rescued: 1,
+            still_resident: 0,
+            report_json: "{\"schema\":\"wec-attribution-v1\"}".to_string(),
+        }));
+        check(&rec);
+        assert!(rec.to_json().contains("\"attribution\":{\"wec_fills\":10"));
+        rec.attr = None;
+
         rec.state = JobState::Failed;
         rec.error = "self-check \"failed\"".to_string();
         rec.metrics = Arc::new(Vec::new());
         rec.source = "none";
         check(&rec);
+        assert!(rec.to_json().contains("\"attribution\":{}"));
     }
 }

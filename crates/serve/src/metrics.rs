@@ -32,6 +32,7 @@ pub const ENDPOINTS: &[&str] = &[
     "job",
     "job_result",
     "job_events",
+    "job_attribution",
     "stats",
     "healthz",
     "metrics",
@@ -57,6 +58,7 @@ pub fn endpoint_index(path: &str) -> usize {
                 None => "job",
                 Some("result.kv") => "job_result",
                 Some("events") => "job_events",
+                Some("attribution") => "job_attribution",
                 Some(_) => "other",
             },
             None => "other",
@@ -289,6 +291,49 @@ impl ServeMetrics {
         );
         let _ = writeln!(out, "wec_serve_sim_cycles_total {}", snap.sim_cycles);
 
+        // Speculation-ledger aggregates.  Always rendered (zero with
+        // attribution off) so scrapers see a stable series set; the four
+        // outcome counters plus still_resident sum to the fill counter in
+        // every scrape — the ledger's conservation law, aggregated.
+        counter_help(
+            &mut out,
+            "wec_serve_attr_fills_total",
+            "Side-structure fills observed by attribution-enabled jobs.",
+        );
+        let _ = writeln!(out, "wec_serve_attr_fills_total {}", snap.attr_fills);
+        counter_help(
+            &mut out,
+            "wec_serve_attr_useful_total",
+            "Speculative fills later hit by a correct-path access.",
+        );
+        let _ = writeln!(out, "wec_serve_attr_useful_total {}", snap.attr_useful);
+        counter_help(
+            &mut out,
+            "wec_serve_attr_wasted_total",
+            "Speculative fills evicted or squashed before any correct-path hit.",
+        );
+        let _ = writeln!(out, "wec_serve_attr_wasted_total {}", snap.attr_wasted);
+        counter_help(
+            &mut out,
+            "wec_serve_attr_victim_rescued_total",
+            "Victim transfers re-referenced from the side structure.",
+        );
+        let _ = writeln!(
+            out,
+            "wec_serve_attr_victim_rescued_total {}",
+            snap.attr_victim_rescued
+        );
+        counter_help(
+            &mut out,
+            "wec_serve_attr_still_resident_total",
+            "Side-structure lines still live at the end of their job.",
+        );
+        let _ = writeln!(
+            out,
+            "wec_serve_attr_still_resident_total {}",
+            snap.attr_still_resident
+        );
+
         let g = lock(&self.inner);
         counter_help(
             &mut out,
@@ -437,6 +482,11 @@ mod tests {
             disk_hits: 1,
             mem_hits: 2,
             sim_cycles: 123456,
+            attr_fills: 10,
+            attr_useful: 4,
+            attr_wasted: 5,
+            attr_victim_rescued: 1,
+            attr_still_resident: 0,
         }
     }
 
@@ -449,6 +499,10 @@ mod tests {
             "job_result"
         );
         assert_eq!(ENDPOINTS[endpoint_index("/jobs/17/events")], "job_events");
+        assert_eq!(
+            ENDPOINTS[endpoint_index("/jobs/17/attribution")],
+            "job_attribution"
+        );
         assert_eq!(ENDPOINTS[endpoint_index("/jobs/17/bogus")], "other");
         assert_eq!(ENDPOINTS[endpoint_index("/stats")], "stats");
         assert_eq!(ENDPOINTS[endpoint_index("/healthz")], "healthz");
@@ -480,6 +534,11 @@ mod tests {
             "wec_serve_busy_workers 2\n",
             "wec_serve_queue_depth 1\n",
             "wec_serve_sim_cycles_total 123456\n",
+            "wec_serve_attr_fills_total 10\n",
+            "wec_serve_attr_useful_total 4\n",
+            "wec_serve_attr_wasted_total 5\n",
+            "wec_serve_attr_victim_rescued_total 1\n",
+            "wec_serve_attr_still_resident_total 0\n",
             "wec_serve_http_requests_total{endpoint=\"submit\",status=\"503\"} 1\n",
             "wec_serve_http_requests_total{endpoint=\"stats\",status=\"200\"} 2\n",
         ] {

@@ -226,6 +226,11 @@ mod tests {
             disk_hits: 0,
             mem_hits: 0,
             sim_cycles,
+            attr_fills: 0,
+            attr_useful: 0,
+            attr_wasted: 0,
+            attr_victim_rescued: 0,
+            attr_still_resident: 0,
         }
     }
 

@@ -23,6 +23,7 @@
 //! | GET       | `/jobs/<id>`           | `wec-job-record-v1` document             |
 //! | GET       | `/jobs/<id>/result.kv` | result counters; `202` until terminal    |
 //! | GET       | `/jobs/<id>/events`    | chunked `progress.jsonl` stream          |
+//! | GET       | `/jobs/<id>/attribution` | `wec-attribution-v1` ledger; `404` off |
 //! | GET, HEAD | `/stats`               | `wec-serve-stats-v1` document            |
 //! | GET, HEAD | `/healthz`             | liveness probe (`{"ok":…,"draining":…}`) |
 //! | GET       | `/metrics`             | Prometheus-style text exposition         |
@@ -389,6 +390,21 @@ fn job_route<W: Write>(
             }
         }
         ("GET", Some("events")) => stream_events(state, &slot, w),
+        ("GET", Some("attribution")) => {
+            let rec = slot.record();
+            match (&rec.attr, rec.state) {
+                (Some(attr), _) => reply_json(w, 200, "OK", &attr.report_json),
+                (None, s) if !s.terminal() => reply_json(w, 202, "Accepted", &rec.to_json()),
+                (None, _) => reply_json(
+                    w,
+                    404,
+                    "Not Found",
+                    &error_json(
+                        "no attribution ledger for this job (start the daemon with --attribution and submit a replay job)",
+                    ),
+                ),
+            }
+        }
         ("GET", Some(_)) => reply_json(w, 404, "Not Found", &error_json("no such endpoint")),
         _ => method_not_allowed(w, "GET"),
     }

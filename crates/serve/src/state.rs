@@ -35,7 +35,7 @@ use wec_telemetry::report::progress_finish_line;
 use wec_trace::{Trace, TraceSlab};
 use wec_workloads::{Bench, Scale};
 
-use crate::job::{JobRecord, JobSpec, JobState};
+use crate::job::{JobAttr, JobRecord, JobSpec, JobState};
 use crate::lock;
 use crate::metrics::ServeMetrics;
 use crate::queue::{JobQueue, PushError};
@@ -61,6 +61,11 @@ pub struct ServeConfig {
     pub sample_interval: Duration,
     /// Ring-buffer capacity (retained history = `ring_cap` samples).
     pub ring_cap: usize,
+    /// Attach the speculation attribution ledger to replay jobs.  Such
+    /// jobs always replay cold (ledgers are not memoized on disk), embed
+    /// their conservation summary in the job record, and serve the full
+    /// `wec-attribution-v1` document at `GET /jobs/<id>/attribution`.
+    pub attribution: bool,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +79,7 @@ impl Default for ServeConfig {
             events_timeout: Duration::from_secs(600),
             sample_interval: Duration::from_secs(1),
             ring_cap: 512,
+            attribution: false,
         }
     }
 }
@@ -144,6 +150,7 @@ impl JobSlot {
 struct MemoEntry {
     metrics: Arc<Vec<(String, u64)>>,
     sim_cycles: u64,
+    attr: Option<Arc<JobAttr>>,
 }
 
 /// How a worker resolved a job.
@@ -153,6 +160,8 @@ pub struct Outcome {
     pub metrics: Arc<Vec<(String, u64)>>,
     pub sim_cycles: u64,
     pub dur_ms: u64,
+    /// Speculation attribution ledger (attribution-enabled replay jobs).
+    pub attr: Option<Arc<JobAttr>>,
 }
 
 /// Why a submission was refused (both answer `503`).
@@ -177,6 +186,23 @@ struct Counts {
     mem_hits: u64,
     /// Simulated cycles across completed jobs (feeds kcycles/s sampling).
     sim_cycles: u64,
+    /// Speculation-ledger aggregates across attribution-enabled jobs
+    /// (warm answers re-count, exactly like `sim_cycles`).
+    attr_fills: u64,
+    attr_useful: u64,
+    attr_wasted: u64,
+    attr_victim_rescued: u64,
+    attr_still_resident: u64,
+}
+
+impl Counts {
+    fn add_attr(&mut self, a: &JobAttr) {
+        self.attr_fills += a.wec_fills;
+        self.attr_useful += a.useful;
+        self.attr_wasted += a.wasted;
+        self.attr_victim_rescued += a.victim_rescued;
+        self.attr_still_resident += a.still_resident;
+    }
 }
 
 /// A point-in-time copy of everything `GET /stats`, `GET /metrics` and the
@@ -204,6 +230,11 @@ pub struct StatsSnapshot {
     pub disk_hits: u64,
     pub mem_hits: u64,
     pub sim_cycles: u64,
+    pub attr_fills: u64,
+    pub attr_useful: u64,
+    pub attr_wasted: u64,
+    pub attr_victim_rescued: u64,
+    pub attr_still_resident: u64,
 }
 
 /// Everything the acceptor, workers and stat readers share.
@@ -327,6 +358,7 @@ impl ServerState {
             record.finish_t_ms = now;
             record.sim_cycles = entry.sim_cycles;
             record.metrics = entry.metrics.clone();
+            record.attr = entry.attr.clone();
             let line = progress_finish_line(
                 now,
                 &record.bench,
@@ -344,6 +376,9 @@ impl ServerState {
                 c.completed += 1;
                 c.mem_hits += 1;
                 c.sim_cycles += entry.sim_cycles;
+                if let Some(a) = &entry.attr {
+                    c.add_attr(a);
+                }
             }
             self.metrics.observe_job("mem", 0);
             self.log_record(&record);
@@ -387,6 +422,7 @@ impl ServerState {
                     g.record.dur_ms = o.dur_ms;
                     g.record.sim_cycles = o.sim_cycles;
                     g.record.metrics = o.metrics.clone();
+                    g.record.attr = o.attr.clone();
                 }
                 Err(e) => {
                     g.record.state = JobState::Failed;
@@ -403,6 +439,7 @@ impl ServerState {
                 Arc::new(MemoEntry {
                     metrics: o.metrics.clone(),
                     sim_cycles: o.sim_cycles,
+                    attr: o.attr.clone(),
                 }),
             );
         }
@@ -413,6 +450,9 @@ impl ServerState {
                 Ok(o) => {
                     c.completed += 1;
                     c.sim_cycles += o.sim_cycles;
+                    if let Some(a) = &o.attr {
+                        c.add_attr(a);
+                    }
                     match o.source {
                         "disk" => c.disk_hits += 1,
                         "mem" => c.mem_hits += 1,
@@ -521,6 +561,11 @@ impl ServerState {
             disk_hits: c.disk_hits,
             mem_hits: c.mem_hits,
             sim_cycles: c.sim_cycles,
+            attr_fills: c.attr_fills,
+            attr_useful: c.attr_useful,
+            attr_wasted: c.attr_wasted,
+            attr_victim_rescued: c.attr_victim_rescued,
+            attr_still_resident: c.attr_still_resident,
         }
     }
 
@@ -656,6 +701,7 @@ mod tests {
                 metrics: metrics.clone(),
                 sim_cycles: 42,
                 dur_ms: 7,
+                attr: None,
             }),
         );
         assert!(slot.wait_terminal(Duration::from_secs(1)));
@@ -705,6 +751,7 @@ mod tests {
                 metrics: Arc::new(vec![("cycles".to_string(), 42u64)]),
                 sim_cycles: 42,
                 dur_ms: 7,
+                attr: None,
             }),
         );
         // Warm hit accumulates the memoized cycle count too.

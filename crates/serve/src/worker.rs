@@ -17,11 +17,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use wec_bench::tracerun::replay_point;
+use wec_bench::tracerun::{replay_point, replay_point_attr};
 use wec_bench::{CacheSource, CfgKey, RunObserver, Runner};
 use wec_telemetry::report::{progress_finish_line, progress_start_line};
 
-use crate::job::{JobKind, JobSpec, JobState};
+use crate::job::{JobAttr, JobKind, JobSpec, JobState};
 use crate::lock;
 use crate::state::{JobSlot, Outcome, ServerState};
 
@@ -181,6 +181,7 @@ fn execute(
                 metrics: Arc::new(parse_kv(&m.to_kv())?),
                 sim_cycles: m.cycles,
                 dur_ms: 0,
+                attr: None,
             })
         }
         JobKind::Replay { trace } => {
@@ -193,8 +194,25 @@ fn execute(
                 &label,
                 widx,
             ));
-            let (subset, cold) = replay_point(&slab, spec.key, state.cfg.store.as_deref());
-            let source = if cold { "cold" } else { "disk" };
+            // With the attribution ledger on, the point always replays
+            // cold: the result store memoizes cache counters, not ledgers,
+            // and the counters come out byte-identical either way.
+            let (subset, source, attr) = if state.cfg.attribution {
+                let (subset, report) = replay_point_attr(&slab, spec.key);
+                let tot = &report.totals;
+                let attr = Arc::new(JobAttr {
+                    wec_fills: tot.wec_fills,
+                    useful: tot.useful,
+                    wasted: tot.wasted,
+                    victim_rescued: tot.victim_rescued,
+                    still_resident: tot.still_resident,
+                    report_json: report.to_json(),
+                });
+                (subset, "cold", Some(attr))
+            } else {
+                let (subset, cold) = replay_point(&slab, spec.key, state.cfg.store.as_deref());
+                (subset, if cold { "cold" } else { "disk" }, None)
+            };
             slot.push_event(progress_finish_line(
                 state.now_ms(),
                 &slab.header().bench,
@@ -209,6 +227,7 @@ fn execute(
                 metrics: Arc::new(subset),
                 sim_cycles: 0,
                 dur_ms: 0,
+                attr,
             })
         }
     }

@@ -371,6 +371,100 @@ fn head_probes_match_get_and_healthz_reports_draining() {
 }
 
 #[test]
+fn attribution_ledger_flows_from_replay_jobs_to_metrics_and_dashboard() {
+    use wec_bench::tracerun::capture_key;
+    use wec_trace::{capture_run, CaptureMeta};
+    use wec_workloads::{Bench, Scale};
+
+    // Capture one smoke-scale trace for replay jobs to chew on.
+    let traces = scratch("attr-traces");
+    let w = Bench::Gzip.build(Scale::SMOKE);
+    let key = capture_key();
+    let meta = CaptureMeta {
+        bench: w.name.to_string(),
+        scale_units: Scale::SMOKE.units,
+        cfg_label: key.label(),
+    };
+    let (_full, trace) = capture_run(&w, key.build(), &meta).unwrap();
+    let trace_path = traces.join("164_gzip.wectrace");
+    trace.write_to(&trace_path).unwrap();
+
+    let (_state, addr, handle) = start(ServeConfig {
+        workers: 1,
+        queue_cap: 4,
+        store: Some(scratch("attr-store")),
+        log_dir: None,
+        attribution: true,
+        ..ServeConfig::default()
+    });
+
+    // A replay job under --attribution: the record embeds a conserving
+    // summary and the full wec-attribution-v1 document is one GET away.
+    let body = format!("{{\"kind\": \"replay\", \"trace\": {:?}}}", trace_path);
+    let (st, resp) = request(addr, "POST", "/jobs", Some(&body));
+    assert_eq!(st, 200, "{resp}");
+    let id = u64_at(&json::parse(&resp).unwrap(), &["id"]);
+    let rec = poll_terminal(addr, id);
+    schema::validate_job_record(&rec, "replay record").unwrap();
+    assert_eq!(rec.get("state").unwrap().as_str(), Some("done"));
+    let summary = rec.get("attribution").unwrap();
+    let fills = u64_at(&rec, &["attribution", "wec_fills"]);
+    assert!(fills > 0, "no WEC fills attributed:\n{summary:?}");
+    let (sa, doc) = request(addr, "GET", &format!("/jobs/{id}/attribution"), None);
+    assert_eq!(sa, 200, "{doc}");
+    let check = schema::validate_attribution_json(&doc).unwrap();
+    assert_eq!(check.wec_fills, fills, "summary disagrees with document");
+    assert_eq!(check.useful, u64_at(&rec, &["attribution", "useful"]));
+
+    // A second identical submission is a warm memo answer that still
+    // carries the ledger summary — and re-counts it, like sim_cycles.
+    let (st, resp) = request(addr, "POST", "/jobs", Some(&body));
+    assert_eq!(st, 200, "{resp}");
+    let warm = json::parse(&resp).unwrap();
+    assert_eq!(warm.get("source").unwrap().as_str(), Some("mem"));
+    assert_eq!(u64_at(&warm, &["attribution", "wec_fills"]), fills);
+
+    // /metrics aggregates both answers and the aggregate still conserves.
+    let series = scrape_metrics(addr);
+    let m_fills = metric(&series, "wec_serve_attr_fills_total");
+    assert_eq!(m_fills as u64, 2 * fills);
+    assert_eq!(
+        metric(&series, "wec_serve_attr_useful_total")
+            + metric(&series, "wec_serve_attr_wasted_total")
+            + metric(&series, "wec_serve_attr_victim_rescued_total")
+            + metric(&series, "wec_serve_attr_still_resident_total"),
+        m_fills,
+        "ledger aggregates do not conserve"
+    );
+
+    // The dashboard's slim job rows flag which jobs have a ledger.
+    let (st, data) = request(addr, "GET", "/dashboard/data", None);
+    assert_eq!(st, 200);
+    schema::validate_dashboard_data_json(&data).unwrap();
+    let v = json::parse(&data).unwrap();
+    let jobs = v.get("jobs").and_then(Json::as_array).unwrap();
+    let row = jobs
+        .iter()
+        .find(|j| u64_at(j, &["id"]) == id)
+        .expect("replay job missing from dashboard");
+    assert_eq!(row.get("has_attr").unwrap().as_bool(), Some(true));
+
+    // Sim jobs never carry a ledger: empty summary, 404 on the document.
+    let (st, resp) = request(addr, "POST", "/jobs", Some("{\"bench\": \"164.gzip\"}"));
+    assert_eq!(st, 200, "{resp}");
+    let sim_id = u64_at(&json::parse(&resp).unwrap(), &["id"]);
+    let sim_rec = poll_terminal(addr, sim_id);
+    schema::validate_job_record(&sim_rec, "sim record").unwrap();
+    assert!(matches!(sim_rec.get("attribution"), Some(Json::Obj(f)) if f.is_empty()));
+    let (st, _) = request(addr, "GET", &format!("/jobs/{sim_id}/attribution"), None);
+    assert_eq!(st, 404);
+
+    let (sd, _) = request(addr, "POST", "/shutdown", None);
+    assert_eq!(sd, 200);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
 fn dashboard_serves_cold_and_its_data_and_access_log_validate() {
     let logs = scratch("dash-logs");
     let (_state, addr, handle) = start(ServeConfig {

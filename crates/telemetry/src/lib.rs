@@ -29,6 +29,7 @@
 //! workspace carries no serde); [`json`]/[`schema`] provide the matching
 //! parser and JSONL validator used by tests and CI.
 
+pub mod attr;
 pub mod event;
 pub mod hist;
 pub mod json;
@@ -39,6 +40,7 @@ pub mod sampler;
 pub mod schema;
 pub mod sink;
 
+pub use attr::{AttrProbe, AttrTotals, AttributionReport, FillOrigin};
 pub use event::{CacheEvent, CacheTrace, FlushRec, FlushTrace, TraceEvent};
 pub use hist::Log2Histogram;
 pub use perfetto::PerfettoTrace;

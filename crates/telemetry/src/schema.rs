@@ -611,6 +611,297 @@ pub fn validate_profile_json(text: &str) -> Result<Vec<String>, String> {
     Ok(names)
 }
 
+/// What a validated `wec-attribution-v1` document contained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AttributionCheck {
+    pub n_tus: u64,
+    pub wec_fills: u64,
+    pub useful: u64,
+    pub wasted: u64,
+    pub top_pcs: u64,
+}
+
+/// The eight lifecycle counters of one attribution totals object, checked
+/// strictly: exactly the declared fields, the conservation invariant
+/// `useful + wasted + victim_rescued + still_resident == wec_fills`, the
+/// origin split summing to the same total, and `pollution_bytes` equal to
+/// `wasted * block_bytes`.
+fn attr_totals(v: &Json, block_bytes: u64, ctx: &str) -> Result<[u64; 8], String> {
+    const KEYS: [&str; 8] = [
+        "wec_fills",
+        "fills_wrong",
+        "fills_victim",
+        "fills_prefetch",
+        "useful",
+        "wasted",
+        "victim_rescued",
+        "still_resident",
+    ];
+    let mut out = [0u64; 8];
+    for (slot, key) in out.iter_mut().zip(KEYS) {
+        *slot = require_u64(v, key, ctx)?;
+    }
+    let [fills, wrong, victim, prefetch, useful, wasted, rescued, resident] = out;
+    if useful + wasted + rescued + resident != fills {
+        return Err(format!(
+            "{ctx}: conservation violated: {useful}+{wasted}+{rescued}+{resident} != {fills}"
+        ));
+    }
+    if wrong + victim + prefetch != fills {
+        return Err(format!(
+            "{ctx}: origin split {wrong}+{victim}+{prefetch} != wec_fills {fills}"
+        ));
+    }
+    let pollution = require_u64(v, "pollution_bytes", ctx)?;
+    if pollution != wasted * block_bytes {
+        return Err(format!(
+            "{ctx}: pollution_bytes {pollution} != wasted {wasted} * block_bytes {block_bytes}"
+        ));
+    }
+    no_extra_fields(
+        v,
+        &[
+            "wec_fills",
+            "fills_wrong",
+            "fills_victim",
+            "fills_prefetch",
+            "useful",
+            "wasted",
+            "victim_rescued",
+            "still_resident",
+            "pollution_bytes",
+        ],
+        ctx,
+    )?;
+    Ok(out)
+}
+
+fn attr_set_array(v: &Json, key: &str, len: u64, ctx: &str) -> Result<u64, String> {
+    let arr = v
+        .get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{ctx}: missing/invalid array {key:?}"))?;
+    if arr.len() as u64 != len {
+        return Err(format!(
+            "{ctx}: {key:?} has {} entries, l1_sets says {len}",
+            arr.len()
+        ));
+    }
+    let mut sum = 0u64;
+    for (i, e) in arr.iter().enumerate() {
+        sum += e
+            .as_u64()
+            .ok_or_else(|| format!("{ctx}: {key:?}[{i}] is not a u64"))?;
+    }
+    Ok(sum)
+}
+
+/// Validate a `wec-attribution-v1` document (the speculation attribution
+/// ledger's `attribution.json`).  Schema-strict like every validator
+/// here, and enforces the ledger invariants per TU **and** globally:
+/// conservation, origin split, per-TU totals summing to the global
+/// totals, the timeliness histogram counting exactly the useful lines,
+/// and set heatmaps consistent with the fill counters.
+pub fn validate_attribution_json(text: &str) -> Result<AttributionCheck, String> {
+    let ctx = "attribution.json";
+    let v = json::parse(text).map_err(|e| format!("{ctx}: {e}"))?;
+    let schema = require_str(&v, "schema", ctx)?;
+    if schema != "wec-attribution-v1" {
+        return Err(format!("{ctx}: unknown schema {schema:?}"));
+    }
+    let block_bytes = require_u64(&v, "block_bytes", ctx)?;
+    let l1_sets = require_u64(&v, "l1_sets", ctx)?;
+    let n_tus = require_u64(&v, "n_tus", ctx)?;
+    if block_bytes == 0 || l1_sets == 0 || n_tus == 0 {
+        return Err(format!(
+            "{ctx}: degenerate geometry ({block_bytes} B blocks, {l1_sets} sets, {n_tus} TUs)"
+        ));
+    }
+    let totals = v
+        .get("totals")
+        .ok_or_else(|| format!("{ctx}: missing \"totals\""))?;
+    let global = attr_totals(totals, block_bytes, &format!("{ctx} totals"))?;
+    let tus = v
+        .get("tus")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{ctx}: missing \"tus\" array"))?;
+    if tus.len() as u64 != n_tus {
+        return Err(format!("{ctx}: {} TU rows, n_tus says {n_tus}", tus.len()));
+    }
+    let mut summed = [0u64; 8];
+    for (i, tu) in tus.iter().enumerate() {
+        let row = attr_totals(tu, block_bytes, &format!("{ctx} tus[{i}]"))?;
+        for (s, r) in summed.iter_mut().zip(row) {
+            *s += r;
+        }
+    }
+    if summed != global {
+        return Err(format!(
+            "{ctx}: per-TU totals {summed:?} do not sum to the global totals {global:?}"
+        ));
+    }
+    let timeliness = v
+        .get("timeliness")
+        .ok_or_else(|| format!("{ctx}: missing \"timeliness\""))?;
+    let t_count = require_u64(timeliness, "count", &format!("{ctx} timeliness"))?;
+    let buckets = timeliness
+        .get("buckets")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{ctx} timeliness: missing buckets"))?;
+    let mut b_total = 0u64;
+    for b in buckets {
+        let pair = b
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("{ctx} timeliness: bucket not a pair"))?;
+        b_total += pair[1]
+            .as_u64()
+            .ok_or_else(|| format!("{ctx} timeliness: non-integer bucket count"))?;
+    }
+    if b_total != t_count {
+        return Err(format!(
+            "{ctx} timeliness: buckets sum to {b_total}, count says {t_count}"
+        ));
+    }
+    let useful = global[4];
+    if t_count != useful {
+        return Err(format!(
+            "{ctx}: timeliness count {t_count} != useful lines {useful}"
+        ));
+    }
+    let top = v
+        .get("top_pcs")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{ctx}: missing \"top_pcs\" array"))?;
+    let mut prev: Option<(u64, u64, u64)> = None;
+    let mut top_useful = 0u64;
+    for (i, row) in top.iter().enumerate() {
+        let rctx = format!("{ctx} top_pcs[{i}]");
+        let pc = require_u64(row, "pc", &rctx)?;
+        let u = require_u64(row, "useful", &rctx)?;
+        let w = require_u64(row, "wasted", &rctx)?;
+        require_u64(row, "median_timeliness", &rctx)?;
+        let p = require_u64(row, "pollution_bytes", &rctx)?;
+        if p != w * block_bytes {
+            return Err(format!("{rctx}: pollution_bytes {p} != wasted {w} * block"));
+        }
+        no_extra_fields(
+            row,
+            &[
+                "pc",
+                "useful",
+                "wasted",
+                "median_timeliness",
+                "pollution_bytes",
+            ],
+            &rctx,
+        )?;
+        // Sorted: useful desc, then wasted desc, then pc asc.
+        if let Some((pu, pw, ppc)) = prev {
+            if (u, w, std::cmp::Reverse(pc)) > (pu, pw, std::cmp::Reverse(ppc)) {
+                return Err(format!("{rctx}: table not sorted by credit"));
+            }
+        }
+        prev = Some((u, w, pc));
+        top_useful += u;
+    }
+    if top_useful > useful {
+        return Err(format!(
+            "{ctx}: top_pcs claim {top_useful} useful lines, totals say {useful}"
+        ));
+    }
+    let sets = v
+        .get("sets")
+        .ok_or_else(|| format!("{ctx}: missing \"sets\""))?;
+    let sctx = format!("{ctx} sets");
+    let acc = attr_set_array(sets, "l1_accesses", l1_sets, &sctx)?;
+    let mis = attr_set_array(sets, "l1_misses", l1_sets, &sctx)?;
+    if mis > acc {
+        return Err(format!("{sctx}: {mis} misses exceed {acc} accesses"));
+    }
+    let side_fills = attr_set_array(sets, "side_fills", l1_sets, &sctx)?;
+    attr_set_array(sets, "side_hits", l1_sets, &sctx)?;
+    let victims = attr_set_array(sets, "victim_transfers", l1_sets, &sctx)?;
+    if side_fills != global[1] + global[3] {
+        return Err(format!(
+            "{sctx}: side_fills sum {side_fills} != wrong {} + prefetch {}",
+            global[1], global[3]
+        ));
+    }
+    if victims != global[2] {
+        return Err(format!(
+            "{sctx}: victim_transfers sum {victims} != fills_victim {}",
+            global[2]
+        ));
+    }
+    no_extra_fields(
+        sets,
+        &[
+            "l1_accesses",
+            "l1_misses",
+            "side_fills",
+            "side_hits",
+            "victim_transfers",
+        ],
+        &sctx,
+    )?;
+    no_extra_fields(
+        &v,
+        &[
+            "schema",
+            "block_bytes",
+            "l1_sets",
+            "n_tus",
+            "totals",
+            "tus",
+            "timeliness",
+            "top_pcs",
+            "sets",
+        ],
+        ctx,
+    )?;
+    Ok(AttributionCheck {
+        n_tus,
+        wec_fills: global[0],
+        useful,
+        wasted: global[5],
+        top_pcs: top.len() as u64,
+    })
+}
+
+/// Validate the attribution summary object embedded in a job record:
+/// either empty (`{}` — attribution off or not applicable) or exactly the
+/// five lifecycle counters with conservation holding.
+pub fn validate_attr_summary(v: &Json, ctx: &str) -> Result<(), String> {
+    let Json::Obj(fields) = v else {
+        return Err(format!("{ctx}: not a JSON object"));
+    };
+    if fields.is_empty() {
+        return Ok(());
+    }
+    let fills = require_u64(v, "wec_fills", ctx)?;
+    let useful = require_u64(v, "useful", ctx)?;
+    let wasted = require_u64(v, "wasted", ctx)?;
+    let rescued = require_u64(v, "victim_rescued", ctx)?;
+    let resident = require_u64(v, "still_resident", ctx)?;
+    if useful + wasted + rescued + resident != fills {
+        return Err(format!(
+            "{ctx}: conservation violated: {useful}+{wasted}+{rescued}+{resident} != {fills}"
+        ));
+    }
+    no_extra_fields(
+        v,
+        &[
+            "wec_fills",
+            "useful",
+            "wasted",
+            "victim_rescued",
+            "still_resident",
+        ],
+        ctx,
+    )
+}
+
 /// Validate one `wec-job-record-v1` document (a serve-mode job record, as
 /// returned by `GET /jobs/<id>` and logged to `jobs.jsonl`).  Strict like
 /// every other validator here: exactly the declared fields, each with the
@@ -676,6 +967,10 @@ pub fn validate_job_record(v: &Json, ctx: &str) -> Result<(), String> {
     if state == "done" && kv.is_empty() {
         return Err(format!("{ctx}: done job has no metrics"));
     }
+    let attribution = v
+        .get("attribution")
+        .ok_or_else(|| format!("{ctx}: missing \"attribution\""))?;
+    validate_attr_summary(attribution, &format!("{ctx} attribution"))?;
     no_extra_fields(
         v,
         &[
@@ -696,6 +991,7 @@ pub fn validate_job_record(v: &Json, ctx: &str) -> Result<(), String> {
             "sim_cycles",
             "error",
             "metrics",
+            "attribution",
         ],
         ctx,
     )
@@ -1019,6 +1315,9 @@ pub fn validate_dashboard_data_json(text: &str) -> Result<usize, String> {
         require_u64(j, "worker", &jctx)?;
         require_u64(j, "dur_ms", &jctx)?;
         require_u64(j, "sim_cycles", &jctx)?;
+        j.get("has_attr")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("{jctx}: missing boolean \"has_attr\""))?;
         no_extra_fields(
             j,
             &[
@@ -1032,6 +1331,7 @@ pub fn validate_dashboard_data_json(text: &str) -> Result<usize, String> {
                 "worker",
                 "dur_ms",
                 "sim_cycles",
+                "has_attr",
             ],
             &jctx,
         )?;
@@ -1042,7 +1342,58 @@ pub fn validate_dashboard_data_json(text: &str) -> Result<usize, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attr::{AttrProbe, AttributionReport, FillOrigin};
     use crate::event::TraceEvent;
+
+    #[test]
+    fn emitted_attribution_satisfies_its_own_schema() {
+        let mut p = AttrProbe::new(8, 64);
+        p.note_pc(0x40);
+        p.on_l1_demand(0x1000, false);
+        p.on_side_fill(0x1000, 10, FillOrigin::Wrong);
+        p.on_side_hit(0x1000, 90);
+        p.on_side_fill(0x1040, 90, FillOrigin::Prefetch);
+        p.on_side_fill(0x2000, 95, FillOrigin::Victim);
+        p.on_side_evict(0x1040);
+        let report = AttributionReport::from_probes([&p]);
+        let check = validate_attribution_json(&report.to_json()).unwrap();
+        assert_eq!(check.n_tus, 1);
+        assert_eq!(check.wec_fills, 3);
+        assert_eq!(check.useful, 1);
+        assert_eq!(check.wasted, 1);
+        assert_eq!(check.top_pcs, 1);
+    }
+
+    #[test]
+    fn attribution_validator_rejects_broken_conservation() {
+        let report = AttributionReport::from_probes([&AttrProbe::new(4, 64)]);
+        let good = report.to_json();
+        let bad = good.replacen("\"useful\":0", "\"useful\":1", 1);
+        let err = validate_attribution_json(&bad).unwrap_err();
+        assert!(err.contains("conservation"), "{err}");
+        let bad = good.replacen(
+            "\"schema\":\"wec-attribution-v1\"",
+            "\"schema\":\"nope\"",
+            1,
+        );
+        assert!(validate_attribution_json(&bad).is_err());
+    }
+
+    #[test]
+    fn attr_summary_accepts_empty_and_enforces_conservation() {
+        let v = json::parse("{}").unwrap();
+        validate_attr_summary(&v, "t").unwrap();
+        let v = json::parse(
+            "{\"wec_fills\":3,\"useful\":1,\"wasted\":1,\"victim_rescued\":0,\"still_resident\":1}",
+        )
+        .unwrap();
+        validate_attr_summary(&v, "t").unwrap();
+        let v = json::parse(
+            "{\"wec_fills\":3,\"useful\":2,\"wasted\":1,\"victim_rescued\":0,\"still_resident\":1}",
+        )
+        .unwrap();
+        assert!(validate_attr_summary(&v, "t").is_err());
+    }
 
     #[test]
     fn emitted_events_satisfy_their_own_schema() {
@@ -1272,7 +1623,7 @@ mod tests {
              \"scale\":1,\"cfg\":\"wth-wp-wec/t8\",\"state\":\"{state}\",\"source\":\"{source}\",\
              \"submissions\":2,\"worker\":1,\"submit_t_ms\":10,\"start_t_ms\":11,\
              \"finish_t_ms\":40,\"dur_ms\":29,\"sim_cycles\":48000,\"error\":\"{error}\",\
-             \"metrics\":{metrics}}}"
+             \"metrics\":{metrics},\"attribution\":{{}}}}"
         )
     }
 
@@ -1309,6 +1660,16 @@ mod tests {
         assert!(validate_job_record(&json::parse(&bad).unwrap(), "t").is_err());
         // Timestamps must be ordered.
         let bad = good.replace("\"finish_t_ms\":40", "\"finish_t_ms\":5");
+        assert!(validate_job_record(&json::parse(&bad).unwrap(), "t").is_err());
+        // The attribution summary must itself conserve.
+        let bad = good.replace(
+            "\"attribution\":{}",
+            "\"attribution\":{\"wec_fills\":2,\"useful\":2,\"wasted\":1,\
+             \"victim_rescued\":0,\"still_resident\":0}",
+        );
+        assert!(validate_job_record(&json::parse(&bad).unwrap(), "t").is_err());
+        // And a record without it is incomplete.
+        let bad = good.replace(",\"attribution\":{}", "");
         assert!(validate_job_record(&json::parse(&bad).unwrap(), "t").is_err());
     }
 
@@ -1376,7 +1737,7 @@ mod tests {
              \"p99_us\":127,\"max_us\":130,\"buckets\":[[64,2],[128,1]]}}],\
              \"jobs\":[{{\"id\":1,\"kind\":\"sim\",\"bench\":\"181.mcf\",\"cfg\":\"orig/t8\",\
              \"state\":\"done\",\"source\":\"cold\",\"submissions\":2,\"worker\":0,\
-             \"dur_ms\":30,\"sim_cycles\":48000}}]}}"
+             \"dur_ms\":30,\"sim_cycles\":48000,\"has_attr\":false}}]}}"
         );
         assert_eq!(validate_dashboard_data_json(&good).unwrap(), 2);
 

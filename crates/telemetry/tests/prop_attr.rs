@@ -1,0 +1,88 @@
+//! Property tests: the attribution probe's conservation invariant against
+//! arbitrary interleavings of its lifecycle hooks.  Whatever order fills,
+//! hits, evictions, demand traffic, and PC announcements arrive in —
+//! including hits and evictions for blocks never filled, and refills over
+//! live lines — every fill is accounted for exactly once:
+//! `useful + wasted + victim_rescued + still_resident == wec_fills`, and
+//! the origin split sums to the same total.
+
+use proptest::prelude::*;
+use wec_telemetry::attr::{AttrProbe, AttributionReport, FillOrigin};
+
+/// One probe hook call, with block/PC values drawn from small ranges so
+/// sequences actually collide (refills, hits on live lines, double
+/// evictions) instead of touching disjoint addresses.
+#[derive(Clone, Debug)]
+enum Op {
+    NotePc(u32),
+    Demand { addr: u64, hit: bool },
+    Fill { addr: u64, origin: FillOrigin },
+    Hit { addr: u64 },
+    Evict { addr: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let addr = (0u64..32).prop_map(|b| b * 64 + 8);
+    prop_oneof![
+        (0u32..8).prop_map(Op::NotePc),
+        (addr.clone(), any::<bool>()).prop_map(|(addr, hit)| Op::Demand { addr, hit }),
+        (
+            addr.clone(),
+            prop_oneof![
+                Just(FillOrigin::Wrong),
+                Just(FillOrigin::Victim),
+                Just(FillOrigin::Prefetch),
+            ]
+        )
+            .prop_map(|(addr, origin)| Op::Fill { addr, origin }),
+        addr.clone().prop_map(|addr| Op::Hit { addr }),
+        addr.prop_map(|addr| Op::Evict { addr }),
+    ]
+}
+
+fn apply(probe: &mut AttrProbe, op: &Op, cycle: u64) {
+    match *op {
+        Op::NotePc(pc) => probe.note_pc(pc),
+        Op::Demand { addr, hit } => probe.on_l1_demand(addr, hit),
+        Op::Fill { addr, origin } => probe.on_side_fill(addr, cycle, origin),
+        Op::Hit { addr } => probe.on_side_hit(addr, cycle),
+        Op::Evict { addr } => probe.on_side_evict(addr),
+    }
+}
+
+proptest! {
+    /// Conservation holds after every single hook call, not just at the
+    /// end, and the folded report (including its JSON round-trip through
+    /// the strict schema validator) agrees with the probes.
+    #[test]
+    fn conservation_holds_at_every_step(
+        seqs in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 0..120), 1..4),
+    ) {
+        let mut probes: Vec<AttrProbe> =
+            seqs.iter().map(|_| AttrProbe::new(8, 64)).collect();
+        for (probe, seq) in probes.iter_mut().zip(&seqs) {
+            for (i, op) in seq.iter().enumerate() {
+                apply(probe, op, i as u64);
+                prop_assert!(
+                    probe.snapshot_totals().conserved(),
+                    "conservation broken after op {i}: {op:?}"
+                );
+            }
+        }
+
+        let report = AttributionReport::from_probes(probes.iter());
+        prop_assert!(report.conserved());
+        prop_assert_eq!(report.tus.len(), probes.len());
+
+        // The emitted document survives the strict validator, which
+        // re-checks conservation, the origin split, per-TU sums, the
+        // timeliness histogram, and heatmap consistency.
+        let validated = wec_telemetry::schema::validate_attribution_json(&report.to_json());
+        prop_assert!(validated.is_ok(), "document rejected: {:?}", validated);
+        let check = validated.unwrap();
+        prop_assert_eq!(check.wec_fills, report.totals.wec_fills);
+        prop_assert_eq!(check.useful, report.totals.useful);
+        prop_assert_eq!(check.wasted, report.totals.wasted);
+    }
+}

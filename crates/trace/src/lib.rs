@@ -43,7 +43,9 @@ pub mod stream;
 pub use capture::{capture_run, CaptureMeta, TraceRecorder};
 pub use format::{Trace, TraceHeader, FORMAT_VERSION};
 pub use record::{TraceKind, TraceRecord};
-pub use replay::{cache_stat_subset, kv_string, replay, replay_slab, ReplayOutcome};
+pub use replay::{
+    cache_stat_subset, kv_string, replay, replay_slab, replay_slab_with, ReplayOutcome,
+};
 pub use slab::{MergedOrder, TraceSlab};
 
 use std::fmt;

@@ -15,6 +15,7 @@ use wec_common::stats::StatSet;
 use wec_core::{DataPath, MachineConfig};
 use wec_mem::l2::SharedL2;
 use wec_mem::stats::AccessKind;
+use wec_telemetry::attr::AttributionReport;
 
 use crate::format::Trace;
 use crate::record::TraceKind;
@@ -28,6 +29,10 @@ pub struct ReplayOutcome {
     /// Cache counters under the same keys the full-timing run emits:
     /// `tu{i}.l1d.*`, `tu{i}.l1i.*`, `l2.*`.
     pub stats: StatSet,
+    /// Speculation attribution ledger (`None` unless the replay was asked
+    /// for it; see [`replay_slab_with`]).  At the captured configuration
+    /// this is byte-identical to the full-timing run's report.
+    pub attribution: Option<AttributionReport>,
 }
 
 /// Replay `trace` against the cache geometry of `cfg` (core/scheduler
@@ -79,7 +84,11 @@ pub fn replay(trace: &Trace, cfg: &MachineConfig) -> Result<ReplayOutcome, Trace
         l1i[i].stats.dump(&mut stats, &format!("tu{i}.l1i"));
     }
     l2.stats.dump(&mut stats, "l2");
-    Ok(ReplayOutcome { records, stats })
+    Ok(ReplayOutcome {
+        records,
+        stats,
+        attribution: None,
+    })
 }
 
 /// Records per batch in the slab replay loop.  Batching keeps the hot
@@ -97,6 +106,20 @@ const REPLAY_BATCH: usize = 4096;
 /// contiguous `tus`/`kinds` arrays, then drives the probes.  A sweep
 /// replays one shared slab at many geometries without re-decoding.
 pub fn replay_slab(slab: &TraceSlab, cfg: &MachineConfig) -> Result<ReplayOutcome, TraceError> {
+    replay_slab_with(slab, cfg, false)
+}
+
+/// [`replay_slab`] with an optional speculation attribution ledger riding
+/// on the L1D paths (instruction fetch carries no speculation, exactly as
+/// in the full-timing machine).  The attribution probes observe the same
+/// access stream, PCs, and cycles the timing run saw, so at the captured
+/// configuration the resulting report is byte-identical to full timing —
+/// and the cache counters are byte-identical either way.
+pub fn replay_slab_with(
+    slab: &TraceSlab,
+    cfg: &MachineConfig,
+    attribution: bool,
+) -> Result<ReplayOutcome, TraceError> {
     let n_tus = slab.header().n_tus as usize;
     if cfg.n_tus != n_tus {
         return Err(TraceError::Corrupt(format!(
@@ -107,7 +130,11 @@ pub fn replay_slab(slab: &TraceSlab, cfg: &MachineConfig) -> Result<ReplayOutcom
     let mut l1d = Vec::with_capacity(n_tus);
     let mut l1i = Vec::with_capacity(n_tus);
     for _ in 0..n_tus {
-        l1d.push(DataPath::new(cfg.l1d)?);
+        let mut dp = DataPath::new(cfg.l1d)?;
+        if attribution {
+            dp.enable_attribution();
+        }
+        l1d.push(dp);
         l1i.push(DataPath::new(cfg.l1i)?);
     }
     let mut l2 = SharedL2::new(cfg.l2)?;
@@ -134,6 +161,7 @@ pub fn replay_slab(slab: &TraceSlab, cfg: &MachineConfig) -> Result<ReplayOutcom
 
         // Probe pass.  As in `replay`, results are ignored: Retry
         // outcomes were re-presented by the capturing run.
+        let pcs = &m.pcs[start..end];
         for i in 0..tus.len() {
             let tu = tus[i] as usize;
             let dp = if kinds[i] == TraceKind::InstFetch {
@@ -141,6 +169,9 @@ pub fn replay_slab(slab: &TraceSlab, cfg: &MachineConfig) -> Result<ReplayOutcom
             } else {
                 &mut l1d[tu]
             };
+            if attribution {
+                dp.attr_note_pc(pcs[i]);
+            }
             let _ = dp.access(Addr(addrs[i]), akinds[i], Cycle(cycles[i]), &mut l2);
         }
         start = end;
@@ -152,9 +183,12 @@ pub fn replay_slab(slab: &TraceSlab, cfg: &MachineConfig) -> Result<ReplayOutcom
         l1i[i].stats.dump(&mut stats, &format!("tu{i}.l1i"));
     }
     l2.stats.dump(&mut stats, "l2");
+    let attribution = attribution
+        .then(|| AttributionReport::from_probes(l1d.iter().filter_map(|dp| dp.attr.as_deref())));
     Ok(ReplayOutcome {
         records: m.len() as u64,
         stats,
+        attribution,
     })
 }
 

@@ -15,9 +15,9 @@
 //!   decoder;
 //! * the per-TU streams are merged **once** into the machine's global
 //!   access order and stored as a structure-of-arrays ([`MergedOrder`]):
-//!   contiguous `cycles`/`addrs`/`tus`/`kinds` arrays that the batched
-//!   replay loop streams through without touching the unused `pc`/
-//!   `squashed` fields.
+//!   contiguous `cycles`/`addrs`/`tus`/`kinds`/`pcs` arrays that the
+//!   batched replay loop streams through (`pcs` is only read when the
+//!   attribution ledger is on; the `squashed` field stays unused).
 //!
 //! The slab is immutable after construction and `Sync`, so one slab is
 //! shared by every worker of a parallel sweep; each worker owns only its
@@ -29,7 +29,7 @@ use crate::stream::decode_block_into;
 use crate::TraceError;
 
 /// The merged global access order, structure-of-arrays.  Index `i` across
-/// the four vectors is one admitted access; the arrays are contiguous so
+/// the five vectors is one admitted access; the arrays are contiguous so
 /// the replay hot loop (and any precompute over addresses) streams
 /// sequentially instead of striding over 32-byte records.
 pub struct MergedOrder {
@@ -37,6 +37,10 @@ pub struct MergedOrder {
     pub addrs: Vec<u64>,
     pub tus: Vec<u16>,
     pub kinds: Vec<TraceKind>,
+    /// Issuing PC per access (0 for stores, the fetch address for ifetches
+    /// — the capture-side convention).  Only the attribution ledger reads
+    /// this array.
+    pub pcs: Vec<u32>,
 }
 
 impl MergedOrder {
@@ -209,6 +213,7 @@ fn merge_streams(streams: &[Vec<TraceRecord>]) -> MergedOrder {
         addrs: Vec::with_capacity(total),
         tus: Vec::with_capacity(total),
         kinds: Vec::with_capacity(total),
+        pcs: Vec::with_capacity(total),
     };
     let mut pos: Vec<usize> = vec![0; streams.len()];
     loop {
@@ -230,6 +235,7 @@ fn merge_streams(streams: &[Vec<TraceRecord>]) -> MergedOrder {
         merged.addrs.push(rec.addr);
         merged.tus.push(rec.tu as u16);
         merged.kinds.push(rec.kind);
+        merged.pcs.push(rec.pc);
     }
     merged
 }
@@ -324,6 +330,7 @@ mod tests {
             assert_eq!(m.addrs[i], r.addr);
             assert_eq!(m.tus[i] as u32, r.tu);
             assert_eq!(m.kinds[i], r.kind);
+            assert_eq!(m.pcs[i], r.pc);
         }
     }
 
