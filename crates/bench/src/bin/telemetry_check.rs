@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! telemetry_check DIR [--require kind]... [--require-attribution]
+//!                 [--require-spec]
 //! ```
 //!
 //! `DIR` is what a telemetry-mode `experiments` run wrote for one workload
@@ -13,7 +14,8 @@
 //! `trace.perfetto.json` as Chrome trace-event JSON, `profile.json` against
 //! the cycle-loop profiler schema, `progress.jsonl`/`run.json` against
 //! the sweep observability schemas, `jobs.jsonl`/`stats.json` against the
-//! serve daemon's `wec-job-record-v1` / `wec-serve-stats-v1` schemas,
+//! serve daemon's `wec-job-record-v1` / `wec-serve-stats-v1` schemas (a
+//! `--speculate` daemon writes the `wec-serve-stats-v2` superset),
 //! `access.jsonl` against `wec-access-log-v1`, `dashboard.json` (a saved
 //! `GET /dashboard/data` payload) against `wec-dashboard-data-v1`, and
 //! every `*.wectrace` capture (from `experiments --capture-trace`) by fully
@@ -26,7 +28,10 @@
 //! Each `--require kind` additionally asserts that the event trace
 //! contains at least one event of that kind (e.g. `--require wec_fill
 //! --require wec_hit`); `--require-attribution` asserts that at least
-//! one valid ledger document was found.
+//! one valid ledger document was found; `--require-spec` asserts that
+//! `stats.json` is the `wec-serve-stats-v2` document of a `--speculate`
+//! server and that its conserved speculation ledger started at least one
+//! prefetch.
 //!
 //! Exit codes: `0` all artifacts present validated, `1` any validation
 //! failed or no artifact was found (a `--require` with no valid
@@ -56,11 +61,13 @@ fn main() -> ExitCode {
     let mut dir: Option<String> = None;
     let mut required: Vec<String> = Vec::new();
     let mut require_attribution = false;
+    let mut require_spec = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--require" => required.push(it.next().expect("--require kind").clone()),
             "--require-attribution" => require_attribution = true,
+            "--require-spec" => require_spec = true,
             other if dir.is_none() => dir = Some(other.to_string()),
             other => panic!("unexpected argument {other:?}"),
         }
@@ -180,8 +187,8 @@ fn main() -> ExitCode {
         match schema::validate_jobs_jsonl(&text) {
             Ok(r) => {
                 println!(
-                    "ok  jobs.jsonl: {} job records ({} done, {} failed)",
-                    r.total, r.done, r.failed
+                    "ok  jobs.jsonl: {} job records ({} done, {} failed, {} cancelled)",
+                    r.total, r.done, r.failed, r.cancelled
                 );
                 validated += 1;
             }
@@ -191,11 +198,13 @@ fn main() -> ExitCode {
             }
         }
     }
+    let mut stats_text = None;
     if let Some(text) = read(dir, "stats.json") {
         match schema::validate_serve_stats_json(&text) {
             Ok(()) => {
                 println!("ok  stats.json: serve stats consistent");
                 validated += 1;
+                stats_text = Some(text);
             }
             Err(e) => {
                 eprintln!("FAIL stats.json: {e}");
@@ -296,6 +305,31 @@ fn main() -> ExitCode {
         } else {
             eprintln!("FAIL require attribution: no valid attribution ledger found");
             failures += 1;
+        }
+    }
+    if require_spec {
+        // The schema validator already enforced the v2 conservation
+        // invariants; this gate additionally demands that speculation
+        // actually ran (the stats document is v2 and started >= 1).
+        let started = stats_text.as_deref().and_then(|text| {
+            let v = wec_telemetry::json::parse(text).ok()?;
+            if v.get("schema")?.as_str()? != "wec-serve-stats-v2" {
+                return None;
+            }
+            v.get("spec")?.get("started")?.as_u64()
+        });
+        match started {
+            Some(n) if n > 0 => {
+                println!("ok  require spec: v2 stats with {n} speculation(s) started");
+            }
+            Some(_) => {
+                eprintln!("FAIL require spec: speculation enabled but never started a job");
+                failures += 1;
+            }
+            None => {
+                eprintln!("FAIL require spec: no wec-serve-stats-v2 stats.json found");
+                failures += 1;
+            }
         }
     }
     for kind in &required {

@@ -3,13 +3,20 @@
 //! ```text
 //! loadgen --addr HOST:PORT [--count N] [--rate JOBS_PER_SEC]
 //!         [--concurrency N] [--bench NAME] [--scale N] [--spread K]
-//!         [--prewarm] [--out BENCH_serve.json] [--min-rate F]
+//!         [--pattern uniform|sweep-walk] [--prewarm]
+//!         [--out BENCH_serve.json] [--min-rate F]
 //! ```
 //!
 //! Sends `--count` `POST /jobs` submissions at a scheduled `--rate`,
 //! cycling over `--spread` distinct configurations (side-structure
 //! geometry variations of the paper machine), and polls each returned job
-//! to a terminal state.  The generator is *open-loop*: request `i` is due
+//! to a terminal state.  `--pattern sweep-walk` replaces the uniform
+//! cycle with per-connection walks along the sorted side-entries axis
+//! (each connection pins one `l1_ways`, ping-pongs ±1 along the axis, and
+//! takes a deterministic long jump every 7th step) — the access shape the
+//! daemon's `--speculate` predictor is built for, so the report's
+//! `spec_hit_rate` measures how many demand jobs were answered from
+//! already-speculated results (`source:"spec"`).  The generator is *open-loop*: request `i` is due
 //! at `t0 + i/rate` regardless of how the daemon is keeping up, and
 //! latency is measured from that due time — so a daemon that falls behind
 //! shows queueing delay instead of hiding it (closed-loop generators
@@ -66,8 +73,9 @@ fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::Result<
     Ok((status, payload.to_string()))
 }
 
-/// Poll `GET /jobs/<id>` until terminal; returns the final state name.
-fn poll_terminal(addr: &str, id: u64) -> io::Result<String> {
+/// Poll `GET /jobs/<id>` until terminal; returns the final state name and
+/// the result source (`cold`/`disk`/`mem`/`spec`, `none` while absent).
+fn poll_terminal(addr: &str, id: u64) -> io::Result<(String, String)> {
     loop {
         let (status, body) = http(addr, "GET", &format!("/jobs/{id}"), None)?;
         if status != 200 {
@@ -82,18 +90,27 @@ fn poll_terminal(addr: &str, id: u64) -> io::Result<String> {
             .and_then(Json::as_str)
             .unwrap_or("?")
             .to_string();
-        if state == "done" || state == "failed" {
-            return Ok(state);
+        if state == "done" || state == "failed" || state == "cancelled" {
+            let source = v
+                .get("source")
+                .and_then(Json::as_str)
+                .unwrap_or("none")
+                .to_string();
+            return Ok((state, source));
         }
         std::thread::sleep(Duration::from_millis(2));
     }
 }
 
-fn record_id_state(body: &str) -> Option<(u64, String)> {
+fn record_id_state(body: &str) -> Option<(u64, String, String)> {
     let v = json::parse(body).ok()?;
     Some((
         v.get("id")?.as_u64()?,
         v.get("state")?.as_str()?.to_string(),
+        v.get("source")
+            .and_then(Json::as_str)
+            .unwrap_or("none")
+            .to_string(),
     ))
 }
 
@@ -105,6 +122,7 @@ fn main() {
     let mut bench = "181.mcf".to_string();
     let mut scale: u32 = 1;
     let mut spread: usize = 4;
+    let mut pattern = "uniform".to_string();
     let mut prewarm = false;
     let mut out = "BENCH_serve.json".to_string();
     let mut min_rate: f64 = 0.0;
@@ -126,6 +144,7 @@ fn main() {
             "--bench" => bench = value("--bench"),
             "--scale" => scale = value("--scale").parse().expect("--scale N"),
             "--spread" => spread = value("--spread").parse().expect("--spread K"),
+            "--pattern" => pattern = value("--pattern"),
             "--prewarm" => prewarm = true,
             "--out" => out = value("--out"),
             "--min-rate" => min_rate = value("--min-rate").parse().expect("--min-rate F"),
@@ -138,6 +157,11 @@ fn main() {
         (1..=24).contains(&spread),
         "--spread must be 1..=24 distinct configurations"
     );
+    assert!(
+        pattern == "uniform" || pattern == "sweep-walk",
+        "--pattern must be uniform or sweep-walk"
+    );
+    let sweep_walk = pattern == "sweep-walk";
 
     // The distinct configuration mix: side-structure entry counts crossed
     // with L1 associativity, the same axes the replay sweeps use.
@@ -159,9 +183,9 @@ fn main() {
         for body in &bodies {
             let (status, resp) = http(&addr, "POST", "/jobs", Some(body)).expect("prewarm POST");
             assert_eq!(status, 200, "prewarm rejected: {resp}");
-            let (id, state) = record_id_state(&resp).expect("prewarm: bad record");
+            let (id, state, _source) = record_id_state(&resp).expect("prewarm: bad record");
             if state != "done" {
-                let state = poll_terminal(&addr, id).expect("prewarm poll");
+                let (state, _source) = poll_terminal(&addr, id).expect("prewarm poll");
                 assert_eq!(state, "done", "prewarm job {id} failed");
             }
         }
@@ -169,60 +193,100 @@ fn main() {
     }
 
     eprintln!(
-        "open-loop: {count} jobs at {rate:.0}/s over {concurrency} connections ({spread} distinct cfgs)…"
+        "open-loop: {count} jobs at {rate:.0}/s over {concurrency} connections \
+         ({spread} distinct cfgs, {pattern} pattern)…"
     );
     let next = AtomicUsize::new(0);
     let completed = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
     let rejected = AtomicU64::new(0);
+    let spec_hits = AtomicU64::new(0);
     let latencies: Mutex<Log2Histogram> = Mutex::new(Log2Histogram::new());
     let t0 = Instant::now();
     std::thread::scope(|s| {
-        for _ in 0..concurrency {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    return;
-                }
-                let due = Duration::from_secs_f64(i as f64 / rate);
-                if let Some(wait) = due.checked_sub(t0.elapsed()) {
-                    std::thread::sleep(wait);
-                }
-                let body = &bodies[i % bodies.len()];
-                let outcome = http(&addr, "POST", "/jobs", Some(body)).and_then(
-                    |(status, resp)| match status {
-                        200 => {
-                            let (id, state) = record_id_state(&resp).ok_or_else(|| {
-                                io::Error::new(io::ErrorKind::InvalidData, "bad record")
-                            })?;
-                            if state == "done" {
-                                Ok("done".to_string())
-                            } else {
-                                poll_terminal(&addr, id)
+        for tid in 0..concurrency {
+            let (addr, bench, bodies) = (&addr, &bench, &bodies);
+            let (next, completed, failed, rejected, spec_hits, latencies) =
+                (&next, &completed, &failed, &rejected, &spec_hits, &latencies);
+            s.spawn(move || {
+                // The sweep-walk state: this connection pins one L1
+                // associativity and ping-pongs ±1 along the sorted
+                // side-entries axis, with a deterministic long jump every
+                // 7th step so the predictor's learned-transition table has
+                // something non-trivial to earn.
+                const WALK_SIDES: [u8; 8] = [2, 4, 8, 16, 24, 32, 64, 128];
+                let walk_ways = WAYS[tid % WAYS.len()];
+                let mut idx = tid % WALK_SIDES.len();
+                let mut dir: isize = 1;
+                let mut step: usize = 0;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        return;
+                    }
+                    let due = Duration::from_secs_f64(i as f64 / rate);
+                    if let Some(wait) = due.checked_sub(t0.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    let body = if sweep_walk {
+                        let b = format!(
+                            "{{\"bench\":\"{bench}\",\"scale\":{scale},\"cfg\":{{\"side_entries\":{},\"l1_ways\":{walk_ways}}}}}",
+                            WALK_SIDES[idx]
+                        );
+                        step += 1;
+                        if step % 7 == 0 {
+                            idx = (idx + 5) % WALK_SIDES.len();
+                        } else {
+                            if idx == 0 {
+                                dir = 1;
+                            } else if idx == WALK_SIDES.len() - 1 {
+                                dir = -1;
+                            }
+                            idx = (idx as isize + dir) as usize;
+                        }
+                        b
+                    } else {
+                        bodies[i % bodies.len()].clone()
+                    };
+                    let outcome = http(addr, "POST", "/jobs", Some(&body)).and_then(
+                        |(status, resp)| match status {
+                            200 => {
+                                let (id, state, source) =
+                                    record_id_state(&resp).ok_or_else(|| {
+                                        io::Error::new(io::ErrorKind::InvalidData, "bad record")
+                                    })?;
+                                if state == "done" {
+                                    Ok(("done".to_string(), source))
+                                } else {
+                                    poll_terminal(addr, id)
+                                }
+                            }
+                            503 => Ok(("rejected".to_string(), String::new())),
+                            other => Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("POST /jobs -> {other}: {resp}"),
+                            )),
+                        },
+                    );
+                    match &outcome {
+                        Ok((state, source)) if state == "done" => {
+                            let lat = t0.elapsed().saturating_sub(due);
+                            latencies.lock().unwrap().observe(lat.as_micros() as u64);
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            if source == "spec" {
+                                spec_hits.fetch_add(1, Ordering::Relaxed);
                             }
                         }
-                        503 => Ok("rejected".to_string()),
-                        other => Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("POST /jobs -> {other}: {resp}"),
-                        )),
-                    },
-                );
-                match outcome.as_deref() {
-                    Ok("done") => {
-                        let lat = t0.elapsed().saturating_sub(due);
-                        latencies.lock().unwrap().observe(lat.as_micros() as u64);
-                        completed.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Ok("rejected") => {
-                        rejected.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Ok(_) => {
-                        failed.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(e) => {
-                        eprintln!("loadgen: job {i}: {e}");
-                        failed.fetch_add(1, Ordering::Relaxed);
+                        Ok((state, _)) if state == "rejected" => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("loadgen: job {i}: {e}");
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
             });
@@ -232,8 +296,14 @@ fn main() {
     let completed = completed.into_inner();
     let failed = failed.into_inner();
     let rejected = rejected.into_inner();
+    let spec_hits = spec_hits.into_inner();
     let hist = latencies.into_inner().unwrap();
     let jobs_per_sec = completed as f64 / wall_s.max(1e-9);
+    let spec_hit_rate = if completed > 0 {
+        spec_hits as f64 / completed as f64
+    } else {
+        0.0
+    };
     // Quantiles off the log2 histogram (good to a factor of two, same
     // resolution the daemon reports); min/max are exact.
     let (p50, p90, p99, max) = (
@@ -245,17 +315,20 @@ fn main() {
 
     let doc = format!(
         "{{\n  \"schema\": \"wec-bench-serve-v1\",\n  \"bench\": \"{bench}\",\n  \
-         \"scale\": {scale},\n  \"spread\": {spread},\n  \"count\": {count},\n  \
+         \"scale\": {scale},\n  \"spread\": {spread},\n  \"pattern\": \"{pattern}\",\n  \
+         \"count\": {count},\n  \
          \"rate\": {rate:.1},\n  \"concurrency\": {concurrency},\n  \"prewarm\": {prewarm},\n  \
          \"wall_s\": {wall_s:.3},\n  \"completed\": {completed},\n  \"failed\": {failed},\n  \
-         \"rejected\": {rejected},\n  \"jobs_per_sec\": {jobs_per_sec:.1},\n  \
+         \"rejected\": {rejected},\n  \"spec_hits\": {spec_hits},\n  \
+         \"spec_hit_rate\": {spec_hit_rate:.4},\n  \"jobs_per_sec\": {jobs_per_sec:.1},\n  \
          \"latency_us\": {{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \"max\": {max}}},\n  \
          \"latency_hist\": {}\n}}\n",
         hist.to_json()
     );
     std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!(
-        "{completed}/{count} completed ({failed} failed, {rejected} rejected) in {wall_s:.2}s \
+        "{completed}/{count} completed ({failed} failed, {rejected} rejected, \
+         {spec_hits} spec hits) in {wall_s:.2}s \
          -> {jobs_per_sec:.1} jobs/s; latency p50 {p50}us p90 {p90}us p99 {p99}us max {max}us"
     );
     println!("wrote {out}");

@@ -5,6 +5,8 @@
 //!           [--store DIR | --no-store] [--log-dir DIR]
 //!           [--io-timeout-ms N] [--events-timeout-ms N]
 //!           [--sample-interval-ms N] [--ring-cap N] [--attribution]
+//!           [--speculate] [--spec-fanout N] [--spec-queue-cap N]
+//!           [--spec-inflight N] [--spec-ttl-ms N]
 //! ```
 //!
 //! Defaults: `127.0.0.1:8407`, [`wec_bench::runner::default_hosts`]
@@ -20,18 +22,30 @@
 //! speculation attribution ledger to replay jobs: their records embed a
 //! conservation summary, `GET /jobs/<id>/attribution` serves the full
 //! `wec-attribution-v1` document, and `/metrics` aggregates the ledger
-//! (`wec_serve_attr_*_total`).  SIGTERM/SIGINT/`POST /shutdown`
+//! (`wec_serve_attr_*_total`).  `--speculate` turns on the speculative
+//! prefetch subsystem: every demand submission feeds a per-client
+//! next-job predictor, predicted sweep points run on idle workers only,
+//! and their results park in the warm memo so the demand request that
+//! was predicted correctly is answered as an instant, byte-identical
+//! `source:"spec"` hit.  `--spec-fanout`/`--spec-queue-cap`/
+//! `--spec-inflight`/`--spec-ttl-ms` tune the prediction width, the
+//! low-priority queue bound, the idle-worker budget, and how long an
+//! unclaimed speculation stays credited before it is reclaimed as waste
+//! (they require `--speculate`).  SIGTERM/SIGINT/`POST /shutdown`
 //! drain gracefully: in-flight jobs finish, then the process exits 0.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
 use wec_serve::server::install_signal_handlers;
-use wec_serve::{ServeConfig, Server};
+use wec_serve::{ServeConfig, Server, SpecConfig};
 
 fn main() {
     let mut addr = "127.0.0.1:8407".to_string();
     let mut cfg = ServeConfig::default();
+    let mut speculate = false;
+    let mut spec_cfg = SpecConfig::default();
+    let mut spec_tuned: Option<&'static str> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -77,8 +91,40 @@ fn main() {
                 assert!(cfg.ring_cap > 0, "--ring-cap must be positive");
             }
             "--attribution" => cfg.attribution = true,
+            "--speculate" => speculate = true,
+            "--spec-fanout" => {
+                spec_cfg.fanout = value("--spec-fanout").parse().expect("--spec-fanout N");
+                assert!(spec_cfg.fanout > 0, "--spec-fanout must be positive");
+                spec_tuned = Some("--spec-fanout");
+            }
+            "--spec-queue-cap" => {
+                spec_cfg.queue_cap = value("--spec-queue-cap")
+                    .parse()
+                    .expect("--spec-queue-cap N");
+                assert!(spec_cfg.queue_cap > 0, "--spec-queue-cap must be positive");
+                spec_tuned = Some("--spec-queue-cap");
+            }
+            "--spec-inflight" => {
+                spec_cfg.inflight_max = value("--spec-inflight")
+                    .parse()
+                    .expect("--spec-inflight N");
+                assert!(spec_cfg.inflight_max > 0, "--spec-inflight must be positive");
+                spec_tuned = Some("--spec-inflight");
+            }
+            "--spec-ttl-ms" => {
+                spec_cfg.ttl = Duration::from_millis(
+                    value("--spec-ttl-ms").parse().expect("--spec-ttl-ms N"),
+                );
+                spec_tuned = Some("--spec-ttl-ms");
+            }
             other => panic!("unknown argument {other:?}"),
         }
+    }
+    if let Some(flag) = spec_tuned {
+        assert!(speculate, "{flag} requires --speculate");
+    }
+    if speculate {
+        cfg.spec = Some(spec_cfg);
     }
 
     install_signal_handlers();
@@ -86,7 +132,7 @@ fn main() {
         Server::bind(&addr, cfg.clone()).unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
     let state = server.state();
     eprintln!(
-        "wec-serve listening on {} ({} workers, queue {}, store {}, logs {})",
+        "wec-serve listening on {} ({} workers, queue {}, store {}, logs {}, speculation {})",
         server
             .local_addr()
             .map(|a| a.to_string())
@@ -101,6 +147,18 @@ fn main() {
             .as_ref()
             .map(|d| d.display().to_string())
             .unwrap_or_else(|| "disabled".to_string()),
+        cfg.spec
+            .as_ref()
+            .map(|s| {
+                format!(
+                    "fanout {} queue {} inflight {} ttl {}ms",
+                    s.fanout,
+                    s.queue_cap,
+                    s.inflight_max,
+                    s.ttl.as_millis()
+                )
+            })
+            .unwrap_or_else(|| "off".to_string()),
     );
     server
         .run()

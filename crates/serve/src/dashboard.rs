@@ -66,7 +66,7 @@ pub fn dashboard_data_json(state: &ServerState) -> String {
         escape_into(&mut out, &r.cfg);
         let _ = write!(
             out,
-            ",\"state\":\"{}\",\"source\":\"{}\",\"submissions\":{},\"worker\":{},\"dur_ms\":{},\"sim_cycles\":{},\"has_attr\":{}}}",
+            ",\"state\":\"{}\",\"source\":\"{}\",\"submissions\":{},\"worker\":{},\"dur_ms\":{},\"sim_cycles\":{},\"has_attr\":{}",
             r.state.name(),
             r.source,
             r.submissions,
@@ -75,6 +75,10 @@ pub fn dashboard_data_json(state: &ServerState) -> String {
             r.sim_cycles,
             r.attr.is_some()
         );
+        if r.speculative {
+            out.push_str(",\"speculative\":true");
+        }
+        out.push('}');
     }
     out.push_str("]}");
     out
@@ -149,6 +153,7 @@ a:hover { text-decoration: underline; }
 .state-done { color: var(--good); font-weight: 600; }
 .state-failed { color: var(--critical); font-weight: 600; }
 .state-running, .state-queued { color: var(--ink-2); }
+.state-cancelled { color: var(--ink-muted); }
 section { margin-bottom: 14px; }
 .empty { color: var(--ink-muted); font-size: 12px; padding: 8px 0; }
 </style>
@@ -168,6 +173,7 @@ section { margin-bottom: 14px; }
   <div class="panel"><h2>Jobs / s <span class="now" id="now-jps"></span></h2><svg id="spark-jps" height="48"></svg></div>
   <div class="panel"><h2>Dedup hit rate <span class="now" id="now-dedup"></span></h2><svg id="spark-dedup" height="48"></svg></div>
   <div class="panel"><h2>Sim kcycles / s <span class="now" id="now-kcps"></span></h2><svg id="spark-kcps" height="48"></svg></div>
+  <div class="panel" id="spec-spark-panel" style="display:none"><h2>Spec hit rate <span class="now" id="now-spec"></span></h2><svg id="spark-spec" height="48"></svg></div>
 </div>
 
 <section class="panel">
@@ -297,6 +303,11 @@ function render(d) {
     card("failed", fmt(s.jobs.failed)),
     card("jobs / s", s.throughput.jobs_per_sec.toFixed(1),
          "utilization " + (s.throughput.utilization * 100).toFixed(0) + "%"));
+  if (s.spec) {
+    cards.appendChild(card("spec hits", fmt(s.spec.hit),
+      "started " + s.spec.started + " · waste " + s.spec.waste +
+      " · pending " + s.spec.pending));
+  }
 
   const by = k => d.samples.map(x => x[k]);
   const last = (a, f) => a.length ? f(a[a.length - 1]) : "";
@@ -308,6 +319,12 @@ function render(d) {
   document.getElementById("now-jps").textContent = last(by("jobs_per_sec"), v => v.toFixed(1));
   document.getElementById("now-dedup").textContent = last(by("dedup_hit_rate"), v => (v * 100).toFixed(0) + "%");
   document.getElementById("now-kcps").textContent = last(by("kcycles_per_sec"), v => fmt(v));
+  if (s.spec) {
+    document.getElementById("spec-spark-panel").style.display = "block";
+    const shr = by("spec_hit_rate").map(v => v === undefined ? 0 : v);
+    sparkline(document.getElementById("spark-spec"), shr);
+    document.getElementById("now-spec").textContent = last(shr, v => (v * 100).toFixed(0) + "%");
+  }
 
   const htbody = document.querySelector("#http-table tbody");
   htbody.replaceChildren(...d.http.map(r => {
@@ -337,7 +354,7 @@ function render(d) {
     tr.appendChild(el("td", j.bench));
     tr.appendChild(el("td", j.cfg));
     tr.appendChild(el("td", j.state, "state-" + j.state));
-    tr.appendChild(el("td", j.source));
+    tr.appendChild(el("td", j.speculative ? j.source + " ·spec" : j.source));
     tr.appendChild(el("td", String(j.submissions), "num"));
     tr.appendChild(el("td", fmt(j.dur_ms), "num"));
     tr.appendChild(el("td", fmt(j.sim_cycles), "num"));
@@ -457,6 +474,10 @@ mod tests {
         }
         assert!(DASHBOARD_HTML.contains("/dashboard/data"));
         assert!(DASHBOARD_HTML.contains("prefers-color-scheme"));
+        // The speculation sparkline ships with the page but stays hidden
+        // until the stats document carries a spec block.
+        assert!(DASHBOARD_HTML.contains("spec-spark-panel"));
+        assert!(DASHBOARD_HTML.contains("if (s.spec)"));
     }
 
     #[test]

@@ -237,6 +237,9 @@ pub enum JobState {
     Running,
     Done,
     Failed,
+    /// A speculative job reclaimed before it executed (drain purge or TTL
+    /// expiry).  Never reachable for demand-submitted jobs.
+    Cancelled,
 }
 
 impl JobState {
@@ -246,11 +249,15 @@ impl JobState {
             JobState::Running => "running",
             JobState::Done => "done",
             JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
         }
     }
 
     pub fn terminal(self) -> bool {
-        matches!(self, JobState::Done | JobState::Failed)
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
     }
 }
 
@@ -265,10 +272,16 @@ pub struct JobRecord {
     pub cfg: String,
     pub state: JobState,
     /// How the result was satisfied: `none` until terminal, then
-    /// `cold`/`disk`/`mem` ([`wec_bench::CacheSource`] names).
+    /// `cold`/`disk`/`mem` ([`wec_bench::CacheSource`] names) or `spec`
+    /// (result produced ahead of demand by the speculation subsystem).
     pub source: &'static str,
     /// How many `POST /jobs` calls landed on this record (dedup shares).
+    /// Zero only for speculative jobs no demand has claimed yet.
     pub submissions: u64,
+    /// True for jobs originated by the speculation predictor rather than a
+    /// `POST /jobs` call.  Stays true after a demand claim so the record
+    /// shows where the work came from.
+    pub speculative: bool,
     pub worker: u64,
     pub submit_t_ms: u64,
     pub start_t_ms: u64,
@@ -295,6 +308,7 @@ impl JobRecord {
             state: JobState::Queued,
             source: "none",
             submissions: 1,
+            speculative: false,
             worker: 0,
             submit_t_ms,
             start_t_ms: 0,
@@ -328,6 +342,11 @@ impl JobRecord {
             ",\"submit_t_ms\":{},\"start_t_ms\":{},\"finish_t_ms\":{},\"dur_ms\":{},\"sim_cycles\":{}",
             self.submit_t_ms, self.start_t_ms, self.finish_t_ms, self.dur_ms, self.sim_cycles
         );
+        // Only speculative records carry the flag, so demand-only servers
+        // keep emitting byte-identical v1 documents.
+        if self.speculative {
+            out.push_str(",\"speculative\":true");
+        }
         out.push_str(",\"error\":");
         escape_into(&mut out, &self.error);
         out.push_str(",\"metrics\":{");

@@ -29,7 +29,13 @@
 //! * [`ringbuf`] — the fixed-capacity sample ring behind the dashboard
 //!   sparklines, fed by the in-server sampler thread;
 //! * [`dashboard`] — `GET /dashboard` (a self-contained HTML page, inline
-//!   SVG, zero external dependencies) and its `GET /dashboard/data` feed.
+//!   SVG, zero external dependencies) and its `GET /dashboard/data` feed;
+//! * [`predict`] — the sweep-aware next-job predictor behind `--speculate`:
+//!   per-client transition history plus sweep-axis adjacency, fully
+//!   deterministic (no RNG);
+//! * [`spec`] — speculative-execution plumbing: the prefetch budget/TTL
+//!   configuration, the parked ready-result index, and the `spec` stats
+//!   block surfaced by `/stats` v2 and `/metrics`.
 //!
 //! Binaries: `wec_serve` (the daemon) and `loadgen` (an open-loop load
 //! generator that reports throughput/latency to `BENCH_serve.json`).
@@ -38,17 +44,21 @@ pub mod dashboard;
 pub mod http;
 pub mod job;
 pub mod metrics;
+pub mod predict;
 pub mod queue;
 pub mod ringbuf;
 pub mod server;
+pub mod spec;
 pub mod state;
 pub mod worker;
 
 pub use job::{JobKind, JobRecord, JobSpec, JobState};
 pub use metrics::ServeMetrics;
+pub use predict::Predictor;
 pub use queue::JobQueue;
 pub use ringbuf::{RingBuffer, ServiceSample};
 pub use server::Server;
+pub use spec::{SpecConfig, SpecStats};
 pub use state::{ServeConfig, ServerState, StatsSnapshot, SubmitError};
 
 /// Lock a mutex, recovering the guard if a previous holder panicked.  Worker

@@ -67,8 +67,10 @@ pub fn endpoint_index(path: &str) -> usize {
     ENDPOINTS.iter().position(|e| *e == label).unwrap_or(0)
 }
 
-/// Job-duration source labels (mirrors `wec_bench::CacheSource` names).
-const JOB_SOURCES: &[&str] = &["cold", "disk", "mem"];
+/// Job-duration source labels (`wec_bench::CacheSource` names plus the
+/// speculation subsystem's `spec` — speculative executions and
+/// speculative warm answers).
+const JOB_SOURCES: &[&str] = &["cold", "disk", "mem", "spec"];
 
 fn source_index(source: &str) -> usize {
     JOB_SOURCES.iter().position(|s| *s == source).unwrap_or(0)
@@ -147,6 +149,22 @@ impl ServeMetrics {
     pub fn observe_job(&self, source: &str, dur_ms: u64) {
         let mut g = lock(&self.inner);
         g.job_dur_ms[source_index(source)].observe(dur_ms);
+    }
+
+    /// Mean execution milliseconds across every observed job, all sources
+    /// (the `Retry-After` fallback when the sampler has no rate yet).
+    pub fn mean_job_duration_ms(&self) -> f64 {
+        let g = lock(&self.inner);
+        let (mut sum, mut count) = (0u64, 0u64);
+        for h in &g.job_dur_ms {
+            sum += h.sum();
+            count += h.count();
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
     }
 
     /// Total requests answered (all endpoints, all statuses).
@@ -266,6 +284,15 @@ impl ServeMetrics {
             "wec_serve_jobs_completed_total{{source=\"mem\"}} {}",
             snap.mem_hits
         );
+        if let Some(sp) = &snap.spec {
+            // Demand answered synchronously from a speculatively parked
+            // result; keeps the by-source split summing to `completed`.
+            let _ = writeln!(
+                out,
+                "wec_serve_jobs_completed_total{{source=\"spec\"}} {}",
+                sp.warm_hits
+            );
+        }
         counter_help(
             &mut out,
             "wec_serve_jobs_failed_total",
@@ -333,6 +360,61 @@ impl ServeMetrics {
             "wec_serve_attr_still_resident_total {}",
             snap.attr_still_resident
         );
+
+        // Speculative-prefetch accounting, only with --speculate (a
+        // speculation-free daemon's page stays byte-identical).  The four
+        // counters plus the pending gauge conserve in every scrape:
+        // hit + waste + cancelled + pending == started.
+        if let Some(sp) = &snap.spec {
+            counter_help(
+                &mut out,
+                "wec_serve_spec_started_total",
+                "Speculative jobs the predictor enqueued.",
+            );
+            let _ = writeln!(out, "wec_serve_spec_started_total {}", sp.started);
+            counter_help(
+                &mut out,
+                "wec_serve_spec_hit_total",
+                "Speculations claimed by a matching demand submission.",
+            );
+            let _ = writeln!(out, "wec_serve_spec_hit_total {}", sp.hit);
+            counter_help(
+                &mut out,
+                "wec_serve_spec_miss_total",
+                "Cold demand submissions the predictor failed to anticipate.",
+            );
+            let _ = writeln!(out, "wec_serve_spec_miss_total {}", sp.miss);
+            counter_help(
+                &mut out,
+                "wec_serve_spec_waste_total",
+                "Speculative results that expired unclaimed.",
+            );
+            let _ = writeln!(out, "wec_serve_spec_waste_total {}", sp.waste);
+            counter_help(
+                &mut out,
+                "wec_serve_spec_cancelled_total",
+                "Speculations reclaimed before producing a served result.",
+            );
+            let _ = writeln!(out, "wec_serve_spec_cancelled_total {}", sp.cancelled);
+            gauge_help(
+                &mut out,
+                "wec_serve_spec_pending",
+                "Started speculations not yet hit, wasted, or cancelled.",
+            );
+            let _ = writeln!(out, "wec_serve_spec_pending {}", sp.pending);
+            gauge_help(
+                &mut out,
+                "wec_serve_spec_queue_depth",
+                "Jobs waiting in the low-priority speculative lane.",
+            );
+            let _ = writeln!(out, "wec_serve_spec_queue_depth {}", sp.queue_depth);
+            gauge_help(
+                &mut out,
+                "wec_serve_spec_queue_cap",
+                "Speculative lane capacity.",
+            );
+            let _ = writeln!(out, "wec_serve_spec_queue_cap {}", sp.queue_cap);
+        }
 
         let g = lock(&self.inner);
         counter_help(
@@ -487,6 +569,7 @@ mod tests {
             attr_wasted: 5,
             attr_victim_rescued: 1,
             attr_still_resident: 0,
+            spec: None,
         }
     }
 
@@ -546,6 +629,47 @@ mod tests {
         }
         // cold + disk + mem == completed, straight off the snapshot.
         assert_eq!(4 + 1 + 2, snap().completed);
+        // No speculation series without --speculate.
+        assert!(!page.contains("wec_serve_spec_"), "spec series leaked");
+    }
+
+    #[test]
+    fn spec_series_render_and_conserve_when_speculation_is_on() {
+        use crate::spec::SpecStats;
+        let m = ServeMetrics::new();
+        m.observe_job("spec", 12);
+        let mut s = snap();
+        s.completed = 8;
+        s.spec = Some(SpecStats {
+            started: 10,
+            hit: 4,
+            miss: 3,
+            waste: 2,
+            cancelled: 1,
+            pending: 3,
+            warm_hits: 1,
+            queue_depth: 5,
+            queue_cap: 64,
+        });
+        let page = m.render_prometheus(&s);
+        for needle in [
+            "wec_serve_spec_started_total 10\n",
+            "wec_serve_spec_hit_total 4\n",
+            "wec_serve_spec_miss_total 3\n",
+            "wec_serve_spec_waste_total 2\n",
+            "wec_serve_spec_cancelled_total 1\n",
+            "wec_serve_spec_pending 3\n",
+            "wec_serve_spec_queue_depth 5\n",
+            "wec_serve_spec_queue_cap 64\n",
+            "wec_serve_jobs_completed_total{source=\"spec\"} 1\n",
+            "wec_serve_job_duration_ms_count{source=\"spec\"} 1\n",
+        ] {
+            assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
+        }
+        // The conservation invariant and the by-source completion split.
+        let sp = s.spec.unwrap();
+        assert_eq!(sp.hit + sp.waste + sp.cancelled + sp.pending, sp.started);
+        assert_eq!(s.cold + s.disk_hits + s.mem_hits + sp.warm_hits, s.completed);
     }
 
     #[test]

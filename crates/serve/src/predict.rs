@@ -1,0 +1,336 @@
+//! The speculation predictor: which jobs will this client ask for next?
+//!
+//! The 48-point replay sweep (`wec-bench`'s `sweep_keys()`) walks two
+//! presets × eight side-structure sizes × three L1 associativities, and
+//! real clients walk it in order — so the strongest signal is *adjacency
+//! on the sweep axes*, the serving-tier analog of the paper's
+//! next-line-prefetch locality.  On top of that static neighborhood the
+//! predictor keeps a small per-client history (stride continuation: a
+//! client stepping `side 8 → 16` is probably headed for 24) and a global
+//! first-order transition table (key → observed successors), so repeated
+//! sweeps are learned exactly.
+//!
+//! Everything is deterministic: no RNG, no HashMap iteration order in
+//! scoring (candidates come from fixed-order rules and insertion-ordered
+//! successor lists), and identity is [`JobSpec::dedup_key`] throughout.
+//! Memory is bounded: at most [`MAX_CLIENTS`] client histories and
+//! [`MAX_TRANSITIONS`] transition rows, evicted oldest-first.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+use wec_core::config::ProcPreset;
+use wec_workloads::Scale;
+
+use crate::job::{JobKind, JobSpec};
+use crate::lock;
+
+/// The replay sweep's side-structure axis, in walk order.
+pub const SIDE_AXIS: [u8; 8] = [2, 4, 8, 16, 24, 32, 64, 128];
+/// The replay sweep's L1-associativity axis.
+pub const WAYS_AXIS: [u8; 3] = [1, 2, 4];
+
+pub const MAX_CLIENTS: usize = 256;
+pub const MAX_TRANSITIONS: usize = 512;
+/// Successors remembered per transition row.
+const MAX_SUCCESSORS: usize = 8;
+
+struct ClientHist {
+    /// The client's previous submission (for stride detection).
+    prev: Option<JobSpec>,
+    /// The client's latest submission.
+    last: Option<JobSpec>,
+}
+
+struct Tables {
+    clients: HashMap<String, ClientHist>,
+    client_order: VecDeque<String>,
+    /// dedup_key → successors observed after it, insertion-ordered.
+    transitions: HashMap<String, Vec<(JobSpec, u32)>>,
+    transition_order: VecDeque<String>,
+}
+
+/// Deterministic per-client / global-transition next-job predictor.
+pub struct Predictor {
+    fanout: usize,
+    tables: Mutex<Tables>,
+}
+
+fn axis_idx(axis: &[u8], v: u8) -> Option<usize> {
+    axis.iter().position(|&a| a == v)
+}
+
+/// The sweep's preset pair: each member predicts the other.
+fn sibling_preset(p: ProcPreset) -> Option<ProcPreset> {
+    match p {
+        ProcPreset::WthWpWec => Some(ProcPreset::WthWpVc),
+        ProcPreset::WthWpVc => Some(ProcPreset::WthWpWec),
+        _ => None,
+    }
+}
+
+impl Predictor {
+    pub fn new(fanout: usize) -> Predictor {
+        Predictor {
+            fanout,
+            tables: Mutex::new(Tables {
+                clients: HashMap::new(),
+                client_order: VecDeque::new(),
+                transitions: HashMap::new(),
+                transition_order: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Observe one demand submission from `client` and return up to
+    /// `fanout` predicted next specs, best first.  Never returns the
+    /// submitted spec itself.
+    pub fn predict(&self, client: &str, spec: &JobSpec) -> Vec<JobSpec> {
+        let key = spec.dedup_key();
+        let mut g = lock(&self.tables);
+
+        // Learn the transition last -> spec before consulting the tables,
+        // so an exact repeat of a sweep predicts perfectly from pass 2 on.
+        let prev_spec = match g.clients.get(client) {
+            Some(h) => h.last.clone(),
+            None => None,
+        };
+        if let Some(last) = &prev_spec {
+            let last_key = last.dedup_key();
+            if last_key != key {
+                if !g.transitions.contains_key(&last_key) {
+                    if g.transitions.len() >= MAX_TRANSITIONS {
+                        if let Some(old) = g.transition_order.pop_front() {
+                            g.transitions.remove(&old);
+                        }
+                    }
+                    g.transition_order.push_back(last_key.clone());
+                    g.transitions.insert(last_key.clone(), Vec::new());
+                }
+                let row = g.transitions.get_mut(&last_key).unwrap();
+                match row.iter_mut().find(|(s, _)| s.dedup_key() == key) {
+                    Some((_, n)) => *n += 1,
+                    None => {
+                        if row.len() < MAX_SUCCESSORS {
+                            row.push((spec.clone(), 1));
+                        } else {
+                            // Replace the weakest successor (last among ties).
+                            let mut weakest = 0;
+                            for (i, (_, n)) in row.iter().enumerate() {
+                                if *n <= row[weakest].1 {
+                                    weakest = i;
+                                }
+                            }
+                            row[weakest] = (spec.clone(), 1);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Candidate generation: (score, spec), fixed rule order.
+        let mut cands: Vec<(u32, JobSpec)> = Vec::new();
+
+        // 1. Learned successors of this key (score 100 + observation count).
+        if let Some(row) = g.transitions.get(&key) {
+            for (s, n) in row {
+                cands.push((100 + n, s.clone()));
+            }
+        }
+
+        // 2. Stride continuation from this client's history: prev -> spec
+        //    stepped the side axis by d, so predict another step of d.
+        if let Some(prev) = &prev_spec {
+            if let Some(next) = side_stride(prev, spec) {
+                cands.push((90, next));
+            }
+        }
+
+        // 3. Static sweep-axis neighborhood.
+        if let Some(i) = axis_idx(&SIDE_AXIS, spec.key.side_entries) {
+            if i + 1 < SIDE_AXIS.len() {
+                cands.push((60, with_side(spec, SIDE_AXIS[i + 1])));
+            }
+            if i > 0 {
+                cands.push((55, with_side(spec, SIDE_AXIS[i - 1])));
+            }
+        }
+        if let Some(i) = axis_idx(&WAYS_AXIS, spec.key.l1_ways) {
+            if i + 1 < WAYS_AXIS.len() {
+                cands.push((50, with_ways(spec, WAYS_AXIS[i + 1])));
+            }
+            if i > 0 {
+                cands.push((45, with_ways(spec, WAYS_AXIS[i - 1])));
+            }
+        }
+        if let Some(p) = sibling_preset(spec.key.preset) {
+            let mut s = spec.clone();
+            s.key.preset = p;
+            cands.push((40, s));
+        }
+        if let JobKind::Sim { .. } = spec.kind {
+            if spec.scale.units <= (1 << 19) {
+                let mut s = spec.clone();
+                s.scale = Scale {
+                    units: spec.scale.units * 2,
+                };
+                cands.push((10, s));
+            }
+        }
+
+        // Update the client history (bounded, oldest client evicted).
+        if !g.clients.contains_key(client) {
+            if g.clients.len() >= MAX_CLIENTS {
+                if let Some(old) = g.client_order.pop_front() {
+                    g.clients.remove(&old);
+                }
+            }
+            g.client_order.push_back(client.to_string());
+            g.clients.insert(
+                client.to_string(),
+                ClientHist {
+                    prev: None,
+                    last: None,
+                },
+            );
+        }
+        let hist = g.clients.get_mut(client).unwrap();
+        hist.prev = prev_spec;
+        hist.last = Some(spec.clone());
+        drop(g);
+
+        // Rank: score desc, dedup_key asc as the deterministic tiebreak;
+        // drop self and duplicates; cap at fanout.
+        let mut keyed: Vec<(u32, String, JobSpec)> = cands
+            .into_iter()
+            .map(|(sc, s)| {
+                let k = s.dedup_key();
+                (sc, k, s)
+            })
+            .filter(|(_, k, _)| *k != key)
+            .collect();
+        keyed.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for (_, k, s) in keyed {
+            if seen.insert(k) {
+                out.push(s);
+                if out.len() >= self.fanout {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+fn with_side(spec: &JobSpec, side: u8) -> JobSpec {
+    let mut s = spec.clone();
+    s.key.side_entries = side;
+    s
+}
+
+fn with_ways(spec: &JobSpec, ways: u8) -> JobSpec {
+    let mut s = spec.clone();
+    s.key.l1_ways = ways;
+    s
+}
+
+/// If `prev -> cur` stepped the side axis by `d` (same bench, preset,
+/// ways, scale), the predicted continuation is one more step of `d`.
+fn side_stride(prev: &JobSpec, cur: &JobSpec) -> Option<JobSpec> {
+    if prev.bench_field() != cur.bench_field()
+        || prev.kind_name() != cur.kind_name()
+        || prev.scale.units != cur.scale.units
+        || prev.key.preset != cur.key.preset
+        || prev.key.l1_ways != cur.key.l1_ways
+    {
+        return None;
+    }
+    let a = axis_idx(&SIDE_AXIS, prev.key.side_entries)? as isize;
+    let b = axis_idx(&SIDE_AXIS, cur.key.side_entries)? as isize;
+    let d = b - a;
+    if d == 0 {
+        return None;
+    }
+    let next = b + d;
+    if next < 0 || next as usize >= SIDE_AXIS.len() {
+        return None;
+    }
+    Some(with_side(cur, SIDE_AXIS[next as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(bench: &str, side: u8, ways: u8) -> JobSpec {
+        JobSpec::parse(&format!(
+            "{{\"bench\": \"{bench}\", \"cfg\": {{\"side_entries\": {side}, \"l1_ways\": {ways}}}}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn predictions_are_deterministic_and_never_echo_the_input() {
+        let p = Predictor::new(4);
+        let s = spec("181.mcf", 8, 2);
+        let a = p.predict("c1", &s);
+        let p2 = Predictor::new(4);
+        let b = p2.predict("c1", &s);
+        assert_eq!(
+            a.iter().map(JobSpec::dedup_key).collect::<Vec<_>>(),
+            b.iter().map(JobSpec::dedup_key).collect::<Vec<_>>()
+        );
+        assert!(a.iter().all(|c| c.dedup_key() != s.dedup_key()));
+        assert!(!a.is_empty() && a.len() <= 4);
+    }
+
+    #[test]
+    fn adjacent_sweep_points_lead_the_static_neighborhood() {
+        let p = Predictor::new(8);
+        let out = p.predict("c1", &spec("181.mcf", 8, 2));
+        let keys: Vec<String> = out.iter().map(JobSpec::dedup_key).collect();
+        // Next side size up the axis is the top static candidate.
+        assert_eq!(out[0].key.side_entries, 16, "{keys:?}");
+        assert!(out.iter().any(|s| s.key.side_entries == 4), "{keys:?}");
+        assert!(out.iter().any(|s| s.key.l1_ways == 4), "{keys:?}");
+        assert!(out.iter().any(|s| s.key.l1_ways == 1), "{keys:?}");
+    }
+
+    #[test]
+    fn stride_continuation_outranks_static_neighbors() {
+        let p = Predictor::new(4);
+        p.predict("c1", &spec("181.mcf", 8, 2));
+        let out = p.predict("c1", &spec("181.mcf", 16, 2));
+        // 8 -> 16 stepped +1, so 24 (stride) outranks 32's absence and
+        // sits above the generic +1 neighbor (which is also 24 here —
+        // the point is it is ranked first).
+        assert_eq!(out[0].key.side_entries, 24);
+        // A backwards walk strides down.
+        let p = Predictor::new(4);
+        p.predict("c2", &spec("181.mcf", 32, 2));
+        let out = p.predict("c2", &spec("181.mcf", 24, 2));
+        assert_eq!(out[0].key.side_entries, 16);
+    }
+
+    #[test]
+    fn learned_transitions_dominate_after_one_observation() {
+        let p = Predictor::new(4);
+        // Teach: mcf/8 is followed by gzip/128 (nothing adjacency would
+        // ever guess).
+        p.predict("c1", &spec("181.mcf", 8, 2));
+        p.predict("c1", &spec("164.gzip", 128, 2));
+        // A different client at mcf/8 now gets the learned successor
+        // first — the table is global.
+        let out = p.predict("c2", &spec("181.mcf", 8, 2));
+        assert_eq!(out[0].dedup_key(), spec("164.gzip", 128, 2).dedup_key());
+    }
+
+    #[test]
+    fn fanout_caps_the_candidate_list() {
+        let p = Predictor::new(2);
+        let out = p.predict("c1", &spec("181.mcf", 16, 2));
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,11 +1,21 @@
 //! The bounded job queue between the acceptor and the worker pool.
 //!
-//! A plain `Mutex<VecDeque>` + `Condvar` FIFO with a hard capacity:
+//! A plain `Mutex` + `Condvar` FIFO with a hard capacity:
 //! [`JobQueue::push`] never blocks (a full queue is the `503` backpressure
 //! signal, not a stall), [`JobQueue::pop`] blocks until work arrives or
 //! the queue is closed.  Closing is how drain works: the acceptor closes
 //! after the last job is accounted for, every worker drains what remains
 //! and then sees `None`.
+//!
+//! When speculation is enabled ([`JobQueue::with_spec`]) the queue grows a
+//! second, strictly lower-priority lane.  `pop` always prefers the demand
+//! lane; the speculative lane is drained only when demand is empty *and*
+//! fewer than `spec_budget` speculative jobs are currently running — so
+//! prefetch work can never crowd demand out of the worker pool.  A demand
+//! submission that finds its key already parked in the speculative lane
+//! [`promote`](JobQueue::promote)s it into the demand lane in one lock
+//! hold, which is how demand-vs-speculation races collapse to exactly one
+//! execution.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -14,6 +24,11 @@ use crate::lock;
 
 struct Inner {
     items: VecDeque<u64>,
+    /// Low-priority speculative lane; always empty when speculation is off.
+    spec: VecDeque<u64>,
+    /// Speculative jobs currently held by workers (bounded by
+    /// `spec_budget`).
+    spec_running: usize,
     closed: bool,
 }
 
@@ -22,6 +37,8 @@ pub struct JobQueue {
     inner: Mutex<Inner>,
     ready: Condvar,
     cap: usize,
+    spec_cap: usize,
+    spec_budget: usize,
 }
 
 /// Why a push was refused.
@@ -33,15 +50,54 @@ pub enum PushError {
     Closed,
 }
 
+/// Which lane a [`JobQueue::pop`] drew from.  Workers must call
+/// [`JobQueue::spec_done`] after finishing a `Spec` job to release its
+/// slot in the in-flight speculation budget.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Popped {
+    Demand(u64),
+    Spec(u64),
+}
+
+impl Popped {
+    pub fn id(self) -> u64 {
+        match self {
+            Popped::Demand(id) | Popped::Spec(id) => id,
+        }
+    }
+}
+
+/// Outcome of [`JobQueue::promote`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Promote {
+    /// Moved from the speculative lane to the demand lane.
+    Promoted,
+    /// Found in the speculative lane but the demand lane is full; the job
+    /// stays speculative and will run when an idle worker reaches it.
+    LeftInSpec,
+    /// Not queued speculatively (already popped, or never speculative).
+    NotFound,
+}
+
 impl JobQueue {
     pub fn new(cap: usize) -> JobQueue {
+        JobQueue::with_spec(cap, 0, 0)
+    }
+
+    /// A queue with a speculative lane of capacity `spec_cap`, at most
+    /// `spec_budget` speculative jobs running at once.
+    pub fn with_spec(cap: usize, spec_cap: usize, spec_budget: usize) -> JobQueue {
         JobQueue {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
+                spec: VecDeque::new(),
+                spec_running: 0,
                 closed: false,
             }),
             ready: Condvar::new(),
             cap: cap.max(1),
+            spec_cap,
+            spec_budget,
         }
     }
 
@@ -49,11 +105,22 @@ impl JobQueue {
         self.cap
     }
 
+    pub fn spec_cap(&self) -> usize {
+        self.spec_cap
+    }
+
+    /// Demand-lane depth only, so backpressure and `/stats` are unchanged
+    /// by speculation.
     pub fn depth(&self) -> usize {
         lock(&self.inner).items.len()
     }
 
-    /// Enqueue without blocking; on success returns the new depth.
+    pub fn spec_depth(&self) -> usize {
+        lock(&self.inner).spec.len()
+    }
+
+    /// Enqueue on the demand lane without blocking; on success returns the
+    /// new demand depth.
     pub fn push(&self, id: u64) -> Result<usize, PushError> {
         let mut g = lock(&self.inner);
         if g.closed {
@@ -69,19 +136,89 @@ impl JobQueue {
         Ok(depth)
     }
 
-    /// Dequeue, blocking until an item arrives.  `None` once the queue is
-    /// closed *and* empty — the worker-pool shutdown signal.
-    pub fn pop(&self) -> Option<u64> {
+    /// Enqueue on the speculative lane without blocking.
+    pub fn push_spec(&self, id: u64) -> Result<usize, PushError> {
+        let mut g = lock(&self.inner);
+        if g.closed {
+            return Err(PushError::Closed);
+        }
+        if g.spec.len() >= self.spec_cap {
+            return Err(PushError::Full);
+        }
+        g.spec.push_back(id);
+        let depth = g.spec.len();
+        drop(g);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeue, blocking until work is runnable.  Demand always wins; the
+    /// speculative lane is served only when demand is empty and the
+    /// in-flight speculation budget has room.  `None` once the queue is
+    /// closed *and* both lanes are empty — the worker-pool shutdown
+    /// signal.
+    pub fn pop(&self) -> Option<Popped> {
         let mut g = lock(&self.inner);
         loop {
             if let Some(id) = g.items.pop_front() {
-                return Some(id);
+                return Some(Popped::Demand(id));
             }
-            if g.closed {
+            if g.spec_running < self.spec_budget {
+                if let Some(id) = g.spec.pop_front() {
+                    g.spec_running += 1;
+                    return Some(Popped::Spec(id));
+                }
+            }
+            if g.closed && g.spec.is_empty() {
                 return None;
             }
             g = self.ready.wait(g).unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Release one slot of the in-flight speculation budget (a `Spec` pop
+    /// finished executing).
+    pub fn spec_done(&self) {
+        let mut g = lock(&self.inner);
+        g.spec_running = g.spec_running.saturating_sub(1);
+        drop(g);
+        self.ready.notify_all();
+    }
+
+    /// Move a still-queued speculative job to the demand lane (a demand
+    /// submission claimed it).  One lock hold, so the job can never be
+    /// popped twice.
+    pub fn promote(&self, id: u64) -> Promote {
+        let mut g = lock(&self.inner);
+        let Some(pos) = g.spec.iter().position(|&x| x == id) else {
+            return Promote::NotFound;
+        };
+        if g.items.len() >= self.cap {
+            return Promote::LeftInSpec;
+        }
+        g.spec.remove(pos);
+        g.items.push_back(id);
+        drop(g);
+        self.ready.notify_one();
+        Promote::Promoted
+    }
+
+    /// Remove a still-queued speculative job (TTL reclamation / drain
+    /// purge).  Returns false if it was already popped or promoted.
+    pub fn remove_spec(&self, id: u64) -> bool {
+        let mut g = lock(&self.inner);
+        match g.spec.iter().position(|&x| x == id) {
+            Some(pos) => {
+                g.spec.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ids currently parked in the speculative lane, front first.
+    pub fn spec_items(&self) -> Vec<u64> {
+        lock(&self.inner).spec.iter().copied().collect()
     }
 
     /// Stop accepting pushes; wake every blocked popper.
@@ -102,10 +239,10 @@ mod tests {
         assert_eq!(q.push(2), Ok(2));
         assert_eq!(q.push(3), Err(PushError::Full));
         assert_eq!(q.depth(), 2);
-        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(Popped::Demand(1)));
         assert_eq!(q.push(3), Ok(2), "capacity freed by pop");
-        assert_eq!(q.pop(), Some(2));
-        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(Popped::Demand(2)));
+        assert_eq!(q.pop(), Some(Popped::Demand(3)));
     }
 
     #[test]
@@ -114,12 +251,95 @@ mod tests {
         q.push(1).unwrap();
         q.close();
         assert_eq!(q.push(2), Err(PushError::Closed));
-        assert_eq!(q.pop(), Some(1), "closing never drops queued work");
+        assert_eq!(
+            q.pop(),
+            Some(Popped::Demand(1)),
+            "closing never drops queued work"
+        );
         assert_eq!(q.pop(), None);
 
         // A popper blocked before close wakes up with `None`.
         let q2 = q.clone();
         let h = std::thread::spawn(move || q2.pop());
         assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn spec_lane_is_disabled_without_with_spec() {
+        let q = JobQueue::new(4);
+        assert_eq!(q.push_spec(9), Err(PushError::Full), "zero spec capacity");
+        assert_eq!(q.spec_depth(), 0);
+    }
+
+    #[test]
+    fn demand_always_preempts_the_spec_lane() {
+        let q = JobQueue::with_spec(4, 4, 2);
+        q.push_spec(100).unwrap();
+        q.push_spec(101).unwrap();
+        q.push(1).unwrap();
+        assert_eq!(q.pop(), Some(Popped::Demand(1)), "demand first");
+        assert_eq!(q.pop(), Some(Popped::Spec(100)));
+        q.push(2).unwrap();
+        assert_eq!(
+            q.pop(),
+            Some(Popped::Demand(2)),
+            "demand preempts even with spec queued"
+        );
+        assert_eq!(q.pop(), Some(Popped::Spec(101)));
+    }
+
+    #[test]
+    fn spec_budget_bounds_inflight_speculation() {
+        let q = std::sync::Arc::new(JobQueue::with_spec(4, 4, 1));
+        q.push_spec(100).unwrap();
+        q.push_spec(101).unwrap();
+        assert_eq!(q.pop(), Some(Popped::Spec(100)));
+        // Budget exhausted: a blocked popper must not draw 101 until
+        // spec_done, but a demand push still gets through.
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        q.push(1).unwrap();
+        assert_eq!(h.join().unwrap(), Some(Popped::Demand(1)));
+        let q3 = q.clone();
+        let h = std::thread::spawn(move || q3.pop());
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        q.spec_done();
+        assert_eq!(h.join().unwrap(), Some(Popped::Spec(101)));
+    }
+
+    #[test]
+    fn promote_moves_spec_work_to_the_demand_lane_once() {
+        let q = JobQueue::with_spec(1, 4, 1);
+        q.push_spec(100).unwrap();
+        q.push_spec(101).unwrap();
+        assert_eq!(q.promote(100), Promote::Promoted);
+        assert_eq!(q.promote(100), Promote::NotFound, "already promoted");
+        assert_eq!(q.promote(101), Promote::LeftInSpec, "demand lane full");
+        assert_eq!(q.pop(), Some(Popped::Demand(100)));
+        assert_eq!(q.pop(), Some(Popped::Spec(101)));
+        assert_eq!(q.promote(101), Promote::NotFound, "already popped");
+    }
+
+    #[test]
+    fn remove_spec_reclaims_queued_speculation() {
+        let q = JobQueue::with_spec(4, 4, 1);
+        q.push_spec(100).unwrap();
+        q.push_spec(101).unwrap();
+        assert_eq!(q.spec_items(), vec![100, 101]);
+        assert!(q.remove_spec(100));
+        assert!(!q.remove_spec(100), "second reclaim is a no-op");
+        assert_eq!(q.spec_depth(), 1);
+        assert_eq!(q.pop(), Some(Popped::Spec(101)));
+    }
+
+    #[test]
+    fn close_drains_the_spec_lane_too() {
+        let q = JobQueue::with_spec(4, 4, 2);
+        q.push_spec(100).unwrap();
+        q.close();
+        assert_eq!(q.push_spec(101), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(Popped::Spec(100)));
+        assert_eq!(q.pop(), None);
     }
 }

@@ -77,6 +77,20 @@ impl<T: Clone> RingBuffer<T> {
         g.pushed += 1;
     }
 
+    /// The most recently pushed sample, if any.
+    pub fn last(&self) -> Option<T> {
+        let g = lock(&self.inner);
+        if g.buf.is_empty() {
+            return None;
+        }
+        let idx = if g.buf.len() < self.cap {
+            g.buf.len() - 1
+        } else {
+            (g.head + self.cap - 1) % self.cap
+        };
+        Some(g.buf[idx].clone())
+    }
+
     /// The retained samples, oldest first.
     pub fn snapshot(&self) -> Vec<T> {
         let g = lock(&self.inner);
@@ -108,6 +122,10 @@ pub struct ServiceSample {
     pub dedup_hit_rate: f64,
     /// Simulated kilocycles per second over the interval (cold work rate).
     pub kcycles_per_sec: f64,
+    /// Share of the interval's submissions answered by speculation
+    /// (`None` when speculation is off — the field is then absent from
+    /// the JSON, keeping v1 documents byte-identical).
+    pub spec_hit_rate: Option<f64>,
 }
 
 impl ServiceSample {
@@ -117,7 +135,7 @@ impl ServiceSample {
         let _ = write!(
             out,
             "{{\"t_ms\":{},\"queue_depth\":{},\"busy_workers\":{},\"outstanding\":{},\
-             \"jobs_per_sec\":{:.3},\"dedup_hit_rate\":{:.4},\"kcycles_per_sec\":{:.3}}}",
+             \"jobs_per_sec\":{:.3},\"dedup_hit_rate\":{:.4},\"kcycles_per_sec\":{:.3}",
             self.t_ms,
             self.queue_depth,
             self.busy_workers,
@@ -126,6 +144,10 @@ impl ServiceSample {
             self.dedup_hit_rate,
             self.kcycles_per_sec
         );
+        if let Some(r) = self.spec_hit_rate {
+            let _ = write!(out, ",\"spec_hit_rate\":{r:.4}");
+        }
+        out.push('}');
         out
     }
 }
@@ -140,6 +162,7 @@ pub struct SampleCursor {
     mem_hits: u64,
     completed: u64,
     sim_cycles: u64,
+    spec_hit: u64,
     primed: bool,
 }
 
@@ -154,6 +177,7 @@ impl SampleCursor {
             mem_hits: snap.mem_hits,
             completed: snap.completed,
             sim_cycles: snap.sim_cycles,
+            spec_hit: snap.spec.map_or(0, |s| s.hit),
             primed: true,
         };
     }
@@ -178,6 +202,7 @@ pub fn sample_from(snap: &StatsSnapshot, cursor: &mut SampleCursor) -> Option<Se
             jobs_per_sec: 0.0,
             dedup_hit_rate: 0.0,
             kcycles_per_sec: 0.0,
+            spec_hit_rate: snap.spec.map(|_| 0.0),
         });
     }
     let dt_s = (snap.uptime_ms - cursor.t_ms) as f64 / 1000.0;
@@ -198,6 +223,14 @@ pub fn sample_from(snap: &StatsSnapshot, cursor: &mut SampleCursor) -> Option<Se
             (d_reused.min(d_submitted)) as f64 / d_submitted as f64
         },
         kcycles_per_sec: d_kcycles / dt_s,
+        spec_hit_rate: snap.spec.map(|sp| {
+            if d_submitted == 0 {
+                0.0
+            } else {
+                let d_spec = sp.hit.saturating_sub(cursor.spec_hit);
+                (d_spec.min(d_submitted)) as f64 / d_submitted as f64
+            }
+        }),
     };
     cursor.prime(snap);
     Some(sample)
@@ -231,6 +264,7 @@ mod tests {
             attr_wasted: 0,
             attr_victim_rescued: 0,
             attr_still_resident: 0,
+            spec: None,
         }
     }
 
@@ -238,18 +272,22 @@ mod tests {
     fn ring_overwrites_oldest_and_snapshots_in_order() {
         let r: RingBuffer<u64> = RingBuffer::new(3);
         assert!(r.is_empty());
+        assert_eq!(r.last(), None);
         for v in 1..=2 {
             r.push(v);
         }
         assert_eq!(r.snapshot(), vec![1, 2]);
+        assert_eq!(r.last(), Some(2));
         for v in 3..=5 {
             r.push(v);
         }
         assert_eq!(r.len(), 3);
         assert_eq!(r.pushed(), 5);
         assert_eq!(r.snapshot(), vec![3, 4, 5], "oldest first after wrap");
+        assert_eq!(r.last(), Some(5), "last survives the wrap");
         r.push(6);
         assert_eq!(r.snapshot(), vec![4, 5, 6]);
+        assert_eq!(r.last(), Some(6));
     }
 
     #[test]
@@ -281,7 +319,7 @@ mod tests {
 
     #[test]
     fn sample_json_is_parseable_and_complete() {
-        let s = ServiceSample {
+        let mut s = ServiceSample {
             t_ms: 1200,
             queue_depth: 2,
             busy_workers: 1,
@@ -289,10 +327,40 @@ mod tests {
             jobs_per_sec: 4.5,
             dedup_hit_rate: 0.25,
             kcycles_per_sec: 123.456,
+            spec_hit_rate: None,
         };
         let v = wec_telemetry::json::parse(&s.to_json()).unwrap();
         assert_eq!(v.get("t_ms").unwrap().as_u64(), Some(1200));
         assert_eq!(v.get("jobs_per_sec").unwrap().as_f64(), Some(4.5));
         assert_eq!(v.get("dedup_hit_rate").unwrap().as_f64(), Some(0.25));
+        assert!(
+            !s.to_json().contains("spec_hit_rate"),
+            "absent without speculation"
+        );
+        s.spec_hit_rate = Some(0.5);
+        let v = wec_telemetry::json::parse(&s.to_json()).unwrap();
+        assert_eq!(v.get("spec_hit_rate").unwrap().as_f64(), Some(0.5));
+    }
+
+    #[test]
+    fn spec_hit_rate_is_an_interval_share_when_speculation_is_on() {
+        use crate::spec::SpecStats;
+        let on = |uptime_ms, submitted, hit| {
+            let mut sn = snap(uptime_ms, submitted, submitted, 0);
+            sn.spec = Some(SpecStats {
+                started: hit,
+                hit,
+                ..SpecStats::default()
+            });
+            sn
+        };
+        let mut cursor = SampleCursor::default();
+        assert!(sample_from(&on(1000, 10, 2), &mut cursor).is_none());
+        // 10 more submissions, 5 more spec hits: rate 0.5.
+        let s = sample_from(&on(2000, 20, 7), &mut cursor).unwrap();
+        assert_eq!(s.spec_hit_rate, Some(0.5));
+        // Quiet interval: 0, not NaN.
+        let s = sample_from(&on(3000, 20, 7), &mut cursor).unwrap();
+        assert_eq!(s.spec_hit_rate, Some(0.0));
     }
 }

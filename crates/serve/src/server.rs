@@ -24,7 +24,7 @@
 //! | GET       | `/jobs/<id>/result.kv` | result counters; `202` until terminal    |
 //! | GET       | `/jobs/<id>/events`    | chunked `progress.jsonl` stream          |
 //! | GET       | `/jobs/<id>/attribution` | `wec-attribution-v1` ledger; `404` off |
-//! | GET, HEAD | `/stats`               | `wec-serve-stats-v1` document            |
+//! | GET, HEAD | `/stats`               | `wec-serve-stats-v1` document (v2 with `--speculate`) |
 //! | GET, HEAD | `/healthz`             | liveness probe (`{"ok":…,"draining":…}`) |
 //! | GET       | `/metrics`             | Prometheus-style text exposition         |
 //! | GET       | `/dashboard`           | self-contained live dashboard page       |
@@ -125,15 +125,21 @@ impl Server {
                 self.state.draining.store(true, Ordering::SeqCst);
             }
             match self.listener.accept() {
-                Ok((stream, _peer)) => {
+                Ok((stream, peer)) => {
                     let st = self.state.clone();
                     let _ = std::thread::Builder::new()
                         .name("wec-serve-conn".to_string())
-                        .spawn(move || handle_conn(st, stream));
+                        .spawn(move || handle_conn(st, stream, peer));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    if self.state.draining.load(Ordering::SeqCst) && self.state.outstanding() == 0 {
-                        break;
+                    if self.state.draining.load(Ordering::SeqCst) {
+                        // Queued speculation would hold `outstanding` up
+                        // forever once demand stops; reclaim it so drain
+                        // only waits on real work.
+                        self.state.purge_speculation();
+                        if self.state.outstanding() == 0 {
+                            break;
+                        }
                     }
                     std::thread::sleep(Duration::from_millis(20));
                 }
@@ -192,7 +198,7 @@ fn spawn_sampler(state: &Arc<ServerState>) -> Option<JoinHandle<()>> {
         .ok()
 }
 
-fn handle_conn(state: Arc<ServerState>, stream: TcpStream) {
+fn handle_conn(state: Arc<ServerState>, stream: TcpStream, peer: SocketAddr) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(state.cfg.io_timeout));
     let _ = stream.set_write_timeout(Some(state.cfg.io_timeout));
@@ -201,10 +207,13 @@ fn handle_conn(state: Arc<ServerState>, stream: TcpStream) {
     };
     let mut reader = BufReader::new(read_half);
     let mut w = CountingWriter::new(BufWriter::new(stream));
+    // The peer IP (not the ephemeral port) keys the predictor's
+    // per-client history: one client's sweep walk is one history.
+    let client = peer.ip().to_string();
     let t = Instant::now();
     match http::read_request(&mut reader) {
         Ok(req) => {
-            if let Ok(status) = route(&state, &req, &mut w) {
+            if let Ok(status) = route(&state, &req, &client, &mut w) {
                 let _ = w.flush();
                 let dur_us = t.elapsed().as_micros() as u64;
                 state
@@ -231,11 +240,16 @@ fn handle_conn(state: Arc<ServerState>, stream: TcpStream) {
 
 /// Dispatch one request; returns the response status actually written (for
 /// the request metrics and the access log).
-fn route<W: Write>(state: &Arc<ServerState>, req: &Request, w: &mut W) -> io::Result<u16> {
+fn route<W: Write>(
+    state: &Arc<ServerState>,
+    req: &Request,
+    client: &str,
+    w: &mut W,
+) -> io::Result<u16> {
     let method = req.method.as_str();
     match req.path.as_str() {
         "/jobs" => match method {
-            "POST" => submit(state, req, w),
+            "POST" => submit(state, req, client, w),
             _ => method_not_allowed(w, "POST"),
         },
         "/stats" => match method {
@@ -325,7 +339,12 @@ fn method_not_allowed<W: Write>(w: &mut W, allow: &str) -> io::Result<u16> {
     Ok(405)
 }
 
-fn submit<W: Write>(state: &Arc<ServerState>, req: &Request, w: &mut W) -> io::Result<u16> {
+fn submit<W: Write>(
+    state: &Arc<ServerState>,
+    req: &Request,
+    client: &str,
+    w: &mut W,
+) -> io::Result<u16> {
     let body = match req.body_utf8() {
         Ok(b) => b,
         Err(e) => return reply_json(w, 400, "Bad Request", &error_json(&e)),
@@ -334,7 +353,7 @@ fn submit<W: Write>(state: &Arc<ServerState>, req: &Request, w: &mut W) -> io::R
         Ok(s) => s,
         Err(e) => return reply_json(w, 400, "Bad Request", &error_json(&e)),
     };
-    match state.submit(spec) {
+    match state.submit_with_client(spec, client) {
         Ok(slot) => reply_json(w, 200, "OK", &slot.record().to_json()),
         Err(e) => {
             let msg = match e {
@@ -347,11 +366,34 @@ fn submit<W: Write>(state: &Arc<ServerState>, req: &Request, w: &mut W) -> io::R
                 "Service Unavailable",
                 "application/json",
                 error_json(msg).as_bytes(),
-                &[("Retry-After", "1".to_string())],
+                &[("Retry-After", retry_after_secs(state).to_string())],
             )?;
             Ok(503)
         }
     }
+}
+
+/// How long a refused submitter should wait before retrying: the time the
+/// backlog will take to clear at the recently observed completion rate
+/// (ring sampler), falling back to the lifetime mean service time spread
+/// over the pool, clamped to 1..=30 seconds.  A lightly loaded server
+/// still answers 1; a deep queue of slow jobs answers up to 30.
+fn retry_after_secs(state: &ServerState) -> u64 {
+    let depth = state.queue.depth() as f64;
+    let secs = match state
+        .samples
+        .last()
+        .map(|s| s.jobs_per_sec)
+        .filter(|&r| r > 0.0)
+    {
+        Some(rate) => depth / rate,
+        None => {
+            let mean_ms = state.metrics.mean_job_duration_ms();
+            let workers = state.cfg.workers.max(1) as f64;
+            depth * mean_ms / 1000.0 / workers
+        }
+    };
+    (secs.ceil() as u64).clamp(1, 30)
 }
 
 fn job_route<W: Write>(

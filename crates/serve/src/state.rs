@@ -15,11 +15,24 @@
 //!    so daemon and CLI warm each other across restarts, and a served
 //!    result is byte-identical to a direct run's cache entry.
 //!
+//! With `--speculate` a fourth layer sits in front of all three: the
+//! predictor ([`crate::predict`]) turns each demand submission into
+//! candidate *next* jobs, idle workers pre-execute them through the same
+//! `complete()` path, and [`crate::spec::SpecReady`] marks which parked
+//! memo entries were produced ahead of demand so the first claimant is
+//! counted (and labeled `source:"spec"`) as a speculative warm hit.
+//!
 //! Lock ordering: `inflight` may be held while taking a job slot's lock
 //! (submission); a slot's lock is never held while taking `inflight`
-//! (completion releases the slot first).  Counters that must stay mutually
-//! consistent for `GET /stats` live under one mutex, so a snapshot never
-//! observes `completed` without its cache-source increment.
+//! (completion releases the slot first).  Exception: a *speculative*
+//! job's completion takes `inflight` first — demand claims always hold
+//! `inflight`, so claimed-ness is frozen while the completion decides
+//! whether it is answering a waiting claimant (normal accounting) or
+//! parking an unclaimed result (speculation accounting), which is what
+//! makes every started speculation reach exactly one terminal account.
+//! Counters that must stay mutually consistent for `GET /stats` live
+//! under one mutex, so a snapshot never observes `completed` without its
+//! cache-source increment.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -38,8 +51,10 @@ use wec_workloads::{Bench, Scale};
 use crate::job::{JobAttr, JobRecord, JobSpec, JobState};
 use crate::lock;
 use crate::metrics::ServeMetrics;
-use crate::queue::{JobQueue, PushError};
+use crate::predict::Predictor;
+use crate::queue::{JobQueue, Promote, PushError};
 use crate::ringbuf::{RingBuffer, ServiceSample};
+use crate::spec::{SpecConfig, SpecReady, SpecStats};
 
 /// Daemon configuration (flags of the `wec_serve` binary).
 #[derive(Clone, Debug)]
@@ -66,6 +81,9 @@ pub struct ServeConfig {
     /// their conservation summary in the job record, and serve the full
     /// `wec-attribution-v1` document at `GET /jobs/<id>/attribution`.
     pub attribution: bool,
+    /// Speculative job prefetch (`--speculate`); `None` keeps every
+    /// artifact byte-identical to a speculation-free build.
+    pub spec: Option<SpecConfig>,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +98,7 @@ impl Default for ServeConfig {
             sample_interval: Duration::from_secs(1),
             ring_cap: 512,
             attribution: false,
+            spec: None,
         }
     }
 }
@@ -193,6 +212,18 @@ struct Counts {
     attr_wasted: u64,
     attr_victim_rescued: u64,
     attr_still_resident: u64,
+    /// Speculation accounting (all zero when speculation is off).  Every
+    /// started speculation lands in exactly one of hit / waste /
+    /// cancelled; `pending` is derived at snapshot time so the
+    /// conservation invariant holds on every scrape.
+    spec_started: u64,
+    spec_hit: u64,
+    spec_miss: u64,
+    spec_waste: u64,
+    spec_cancelled: u64,
+    /// The subset of `spec_hit` answered synchronously from a parked
+    /// ready result (the v2 `cache.spec_hits` bucket).
+    spec_warm_hits: u64,
 }
 
 impl Counts {
@@ -235,6 +266,9 @@ pub struct StatsSnapshot {
     pub attr_wasted: u64,
     pub attr_victim_rescued: u64,
     pub attr_still_resident: u64,
+    /// Speculation counters; `None` when speculation is off, and the
+    /// renderers emit v1 documents with no speculation series at all.
+    pub spec: Option<SpecStats>,
 }
 
 /// Everything the acceptor, workers and stat readers share.
@@ -269,6 +303,10 @@ pub struct ServerState {
     pub samples: RingBuffer<ServiceSample>,
     /// Tells the sampler thread to exit during drain.
     pub sampler_stop: AtomicBool,
+    /// Speculative results produced ahead of demand and not yet claimed.
+    spec_ready: SpecReady,
+    /// The next-job predictor (`Some` iff `cfg.spec` is).
+    predictor: Option<Predictor>,
 }
 
 impl ServerState {
@@ -286,7 +324,11 @@ impl ServerState {
                 (Some(open("jobs.jsonl")?), Some(open("access.jsonl")?))
             }
         };
-        let queue = JobQueue::new(cfg.queue_cap);
+        let queue = match &cfg.spec {
+            None => JobQueue::new(cfg.queue_cap),
+            Some(sc) => JobQueue::with_spec(cfg.queue_cap, sc.queue_cap, sc.inflight_max),
+        };
+        let predictor = cfg.spec.as_ref().map(|sc| Predictor::new(sc.fanout));
         let ring_cap = cfg.ring_cap;
         Ok(Arc::new(ServerState {
             cfg,
@@ -308,6 +350,8 @@ impl ServerState {
             metrics: ServeMetrics::new(),
             samples: RingBuffer::new(ring_cap),
             sampler_stop: AtomicBool::new(false),
+            spec_ready: SpecReady::new(),
+            predictor,
         }))
     }
 
@@ -331,29 +375,82 @@ impl ServerState {
     /// Submit one job.  Returns the (possibly shared) slot; the caller
     /// renders its record.
     pub fn submit(&self, spec: JobSpec) -> Result<Arc<JobSlot>, SubmitError> {
+        self.submit_with_client(spec, "anon")
+    }
+
+    /// Submit one demand job on behalf of `client` (the peer address —
+    /// the predictor's per-client history key).  When speculation is on,
+    /// an accepted submission also reaps stale speculations and enqueues
+    /// the predictor's candidates for this client's likely next asks.
+    pub fn submit_with_client(
+        &self,
+        spec: JobSpec,
+        client: &str,
+    ) -> Result<Arc<JobSlot>, SubmitError> {
+        let speculating = self.predictor.is_some();
+        let to_predict = if speculating { Some(spec.clone()) } else { None };
+        let out = self.submit_demand(spec);
+        if let (Ok(_), Some(spec)) = (&out, to_predict) {
+            self.reap_stale();
+            if let Some(p) = &self.predictor {
+                for cand in p.predict(client, &spec) {
+                    self.spec_submit(cand);
+                }
+            }
+        }
+        out
+    }
+
+    fn submit_demand(&self, spec: JobSpec) -> Result<Arc<JobSlot>, SubmitError> {
         if self.draining.load(Ordering::SeqCst) {
             return Err(SubmitError::Draining);
         }
         let key = spec.dedup_key();
         let now = self.now_ms();
         // The index lock is held across the whole decision so two racing
-        // identical submissions cannot both miss it and double-execute.
+        // identical submissions cannot both miss it and double-execute —
+        // and so a speculative job's claimed-ness is decided exactly once
+        // (its completion also holds this lock).
         let mut inflight = lock(&self.inflight);
         if let Some(slot) = inflight.get(&key).and_then(|id| self.job(*id)) {
-            let mut g = lock(&slot.inner);
-            g.record.submissions += 1;
-            drop(g);
+            let (id, first_claim) = {
+                let mut g = lock(&slot.inner);
+                let first_claim = g.record.speculative && g.record.submissions == 0;
+                g.record.submissions += 1;
+                (g.record.id, first_claim)
+            };
+            // For the first demand claim of a speculation still in
+            // flight: if it is still parked in the low-priority lane,
+            // promote it to the demand lane — the speculation saved
+            // nothing, so it converts to an ordinary demand job
+            // (cancelled).  If it already reached a worker (or the demand
+            // lane is full), the prefetch is genuinely ahead of demand: a
+            // hit.
+            let promoted = first_claim && self.queue.promote(id) == Promote::Promoted;
             let mut c = lock(&self.counts);
             c.submitted += 1;
-            c.deduped += 1;
+            if first_claim {
+                if promoted {
+                    c.spec_cancelled += 1;
+                } else {
+                    c.spec_hit += 1;
+                }
+            } else {
+                c.deduped += 1;
+            }
             return Ok(slot.clone());
         }
         if let Some(entry) = lock(&self.memo).get(&key).cloned() {
-            // Warm hit: answer synchronously with a terminal record.
+            // Warm hit: answer synchronously with a terminal record.  A
+            // result parked by speculation and claimed here for the first
+            // time is credited to the prefetcher (`source:"spec"`); the
+            // bytes served are the same memo entry either way.
+            let spec_claim = self.spec_ready.claim(&key).is_some();
+            let source: &'static str = if spec_claim { "spec" } else { "mem" };
             let id = self.next_id.fetch_add(1, Ordering::SeqCst);
             let mut record = JobRecord::new(id, &spec, now);
             record.state = JobState::Done;
-            record.source = "mem";
+            record.source = source;
             record.start_t_ms = now;
             record.finish_t_ms = now;
             record.sim_cycles = entry.sim_cycles;
@@ -364,7 +461,7 @@ impl ServerState {
                 &record.bench,
                 &record.cfg,
                 0,
-                "mem",
+                source,
                 0,
                 entry.sim_cycles,
             );
@@ -374,13 +471,18 @@ impl ServerState {
                 let mut c = lock(&self.counts);
                 c.submitted += 1;
                 c.completed += 1;
-                c.mem_hits += 1;
+                if spec_claim {
+                    c.spec_hit += 1;
+                    c.spec_warm_hits += 1;
+                } else {
+                    c.mem_hits += 1;
+                }
                 c.sim_cycles += entry.sim_cycles;
                 if let Some(a) = &entry.attr {
                     c.add_attr(a);
                 }
             }
-            self.metrics.observe_job("mem", 0);
+            self.metrics.observe_job(source, 0);
             self.log_record(&record);
             return Ok(slot);
         }
@@ -393,7 +495,12 @@ impl ServerState {
         match self.queue.push(id) {
             Ok(_) => {
                 inflight.insert(key, id);
-                lock(&self.counts).submitted += 1;
+                let mut c = lock(&self.counts);
+                c.submitted += 1;
+                if self.predictor.is_some() {
+                    // The predictor failed to anticipate this demand.
+                    c.spec_miss += 1;
+                }
                 Ok(slot)
             }
             Err(e) => {
@@ -408,9 +515,46 @@ impl ServerState {
         }
     }
 
+    /// Enqueue one predicted job on the speculative lane.  Silently a
+    /// no-op if the key is already in flight, memoized, or the lane is
+    /// full — speculation never generates errors, only missed chances.
+    fn spec_submit(&self, spec: JobSpec) {
+        if self.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        let key = spec.dedup_key();
+        let now = self.now_ms();
+        let mut inflight = lock(&self.inflight);
+        if inflight.contains_key(&key) || lock(&self.memo).contains_key(&key) {
+            return;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let mut record = JobRecord::new(id, &spec, now);
+        record.speculative = true;
+        record.submissions = 0;
+        let slot = JobSlot::new(record, Vec::new(), Some(spec));
+        lock(&self.jobs).insert(id, slot);
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        match self.queue.push_spec(id) {
+            Ok(_) => {
+                inflight.insert(key, id);
+                lock(&self.counts).spec_started += 1;
+            }
+            Err(_) => {
+                self.outstanding.fetch_sub(1, Ordering::SeqCst);
+                lock(&self.jobs).remove(&id);
+            }
+        }
+    }
+
     /// Record a job's terminal outcome: fill the record, publish the memo,
     /// release the dedup entry, count it, log it, wake every waiter.
     pub fn complete(&self, slot: &Arc<JobSlot>, dedup_key: &str, res: Result<Outcome, String>) {
+        // `speculative` is set once at creation and never cleared, so this
+        // unlocked-then-locked peek cannot misroute.
+        if self.cfg.spec.is_some() && lock(&slot.inner).record.speculative {
+            return self.complete_speculative(slot, dedup_key, res);
+        }
         let now = self.now_ms();
         let record = {
             let mut g = lock(&slot.inner);
@@ -468,6 +612,150 @@ impl ServerState {
         self.outstanding.fetch_sub(1, Ordering::SeqCst);
         self.log_record(&record);
         slot.cv.notify_all();
+    }
+
+    /// Terminal accounting for a job the predictor started.  Takes the
+    /// dedup index lock *first* (claims always hold it), so "did demand
+    /// claim this before it finished?" has exactly one answer — a claimed
+    /// speculation completes like any demand job, an unclaimed one parks
+    /// its result in the memo and the ready index without touching the
+    /// demand counters.
+    fn complete_speculative(
+        &self,
+        slot: &Arc<JobSlot>,
+        dedup_key: &str,
+        res: Result<Outcome, String>,
+    ) {
+        let now = self.now_ms();
+        let mut inflight = lock(&self.inflight);
+        let (record, claimed) = {
+            let mut g = lock(&slot.inner);
+            let claimed = g.record.submissions > 0;
+            g.record.finish_t_ms = now;
+            match &res {
+                Ok(o) => {
+                    g.record.state = JobState::Done;
+                    g.record.source = if claimed { o.source } else { "spec" };
+                    g.record.dur_ms = o.dur_ms;
+                    g.record.sim_cycles = o.sim_cycles;
+                    g.record.metrics = o.metrics.clone();
+                    g.record.attr = o.attr.clone();
+                }
+                Err(e) => {
+                    g.record.state = JobState::Failed;
+                    g.record.error = e.clone();
+                }
+            }
+            (g.record.clone(), claimed)
+        };
+        if let Ok(o) = &res {
+            lock(&self.memo).insert(
+                dedup_key.to_string(),
+                Arc::new(MemoEntry {
+                    metrics: o.metrics.clone(),
+                    sim_cycles: o.sim_cycles,
+                    attr: o.attr.clone(),
+                }),
+            );
+            if !claimed {
+                self.spec_ready.publish(dedup_key, now);
+            }
+        }
+        inflight.remove(dedup_key);
+        drop(inflight);
+        {
+            let mut c = lock(&self.counts);
+            match &res {
+                Ok(o) => {
+                    c.sim_cycles += o.sim_cycles;
+                    if let Some(a) = &o.attr {
+                        c.add_attr(a);
+                    }
+                    if claimed {
+                        // A waiting demand submission is being answered:
+                        // normal demand accounting.
+                        c.completed += 1;
+                        match o.source {
+                            "disk" => c.disk_hits += 1,
+                            "mem" => c.mem_hits += 1,
+                            _ => c.cold += 1,
+                        }
+                    }
+                }
+                Err(_) => {
+                    if claimed {
+                        c.failed += 1;
+                    } else {
+                        // Nobody was waiting; a failed speculation is
+                        // reclaimed, not a served failure.
+                        c.spec_cancelled += 1;
+                    }
+                }
+            }
+        }
+        if let Ok(o) = &res {
+            let source = if claimed { o.source } else { "spec" };
+            self.metrics.observe_job(source, o.dur_ms);
+        }
+        self.outstanding.fetch_sub(1, Ordering::SeqCst);
+        self.log_record(&record);
+        slot.cv.notify_all();
+    }
+
+    /// Reclaim expired speculation: queued unclaimed jobs older than the
+    /// TTL are cancelled, parked ready results older than the TTL are
+    /// reclassified as waste (their memo entries stay — a later demand is
+    /// simply an ordinary `mem` hit).  Called on every demand submission
+    /// and from the drain loop; a no-op when speculation is off.
+    pub fn reap_stale(&self) {
+        let Some(sc) = &self.cfg.spec else { return };
+        let ttl_ms = sc.ttl.as_millis() as u64;
+        let now = self.now_ms();
+        self.reap_older_than(now, now.saturating_sub(ttl_ms));
+    }
+
+    /// Reclaim *all* pending speculation immediately (the drain barrier:
+    /// queued speculations would otherwise hold `outstanding` up forever
+    /// once the demand stream stops).
+    pub fn purge_speculation(&self) {
+        if self.cfg.spec.is_some() {
+            let now = self.now_ms();
+            self.reap_older_than(now, now);
+        }
+    }
+
+    fn reap_older_than(&self, now: u64, cutoff_ms: u64) {
+        let wasted = self.spec_ready.reap(cutoff_ms);
+        if wasted > 0 {
+            lock(&self.counts).spec_waste += wasted;
+        }
+        // The dedup index lock serializes reaping against claims, so a
+        // job is either claimed (skipped here) or cancelled, never both.
+        let mut inflight = lock(&self.inflight);
+        for id in self.queue.spec_items() {
+            let Some(slot) = self.job(id) else { continue };
+            let (record, key) = {
+                let mut g = lock(&slot.inner);
+                if !g.record.speculative
+                    || g.record.submissions > 0
+                    || g.record.submit_t_ms > cutoff_ms
+                    || !self.queue.remove_spec(id)
+                {
+                    continue;
+                }
+                g.record.state = JobState::Cancelled;
+                g.record.finish_t_ms = now;
+                let key = g.spec.take().map(|s| s.dedup_key());
+                (g.record.clone(), key)
+            };
+            if let Some(key) = key {
+                inflight.remove(&key);
+            }
+            lock(&self.counts).spec_cancelled += 1;
+            self.outstanding.fetch_sub(1, Ordering::SeqCst);
+            self.log_record(&record);
+            slot.cv.notify_all();
+        }
     }
 
     /// The built suite for one (bench, scale) — a single-workload suite,
@@ -566,6 +854,21 @@ impl ServerState {
             attr_wasted: c.attr_wasted,
             attr_victim_rescued: c.attr_victim_rescued,
             attr_still_resident: c.attr_still_resident,
+            spec: self.cfg.spec.as_ref().map(|_| SpecStats {
+                started: c.spec_started,
+                hit: c.spec_hit,
+                miss: c.spec_miss,
+                waste: c.spec_waste,
+                cancelled: c.spec_cancelled,
+                // Derived, so hit + waste + cancelled + pending ==
+                // started holds on every scrape by construction.
+                pending: c
+                    .spec_started
+                    .saturating_sub(c.spec_hit + c.spec_waste + c.spec_cancelled),
+                warm_hits: c.spec_warm_hits,
+                queue_depth: self.queue.spec_depth() as u64,
+                queue_cap: self.queue.spec_cap() as u64,
+            }),
         }
     }
 
@@ -600,14 +903,20 @@ impl ServerState {
     }
 }
 
-/// Render one snapshot as the `wec-serve-stats-v1` document.  Shared by
+/// Render one snapshot as the serve-stats document.  Shared by
 /// `GET /stats`, the drain-time `stats.json` and the `stats` element of
 /// `GET /dashboard/data`, so all three are the same bytes for the same
-/// snapshot.
+/// snapshot.  Without speculation this is the `wec-serve-stats-v1`
+/// document, byte-identical to a speculation-free build; with it, the
+/// `wec-serve-stats-v2` superset (speculative queue gauges, a
+/// `cache.spec_hits` bucket, and the `spec` conservation block).
 pub fn render_stats_json(s: &StatsSnapshot) -> String {
     let jobs_per_sec = s.completed as f64 / (s.uptime_ms as f64 / 1000.0);
     let utilization = (s.busy_ms as f64 / (s.uptime_ms * s.workers) as f64).clamp(0.0, 1.0);
-    let mut out = String::from("{\"schema\":\"wec-serve-stats-v1\"");
+    let mut out = String::from(match &s.spec {
+        None => "{\"schema\":\"wec-serve-stats-v1\"",
+        Some(_) => "{\"schema\":\"wec-serve-stats-v2\"",
+    });
     let _ = write!(
         out,
         ",\"uptime_ms\":{},\"workers\":{},\"busy_workers\":{},\"draining\":{}",
@@ -615,9 +924,17 @@ pub fn render_stats_json(s: &StatsSnapshot) -> String {
     );
     let _ = write!(
         out,
-        ",\"queue\":{{\"depth\":{},\"cap\":{},\"rejected\":{}}}",
+        ",\"queue\":{{\"depth\":{},\"cap\":{},\"rejected\":{}",
         s.queue_depth, s.queue_cap, s.rejected
     );
+    if let Some(sp) = &s.spec {
+        let _ = write!(
+            out,
+            ",\"spec_depth\":{},\"spec_cap\":{}",
+            sp.queue_depth, sp.queue_cap
+        );
+    }
+    out.push('}');
     let _ = write!(
         out,
         ",\"jobs\":{{\"submitted\":{},\"deduped\":{},\"completed\":{},\"failed\":{}}}",
@@ -625,9 +942,20 @@ pub fn render_stats_json(s: &StatsSnapshot) -> String {
     );
     let _ = write!(
         out,
-        ",\"cache\":{{\"cold\":{},\"disk_hits\":{},\"mem_hits\":{}}}",
+        ",\"cache\":{{\"cold\":{},\"disk_hits\":{},\"mem_hits\":{}",
         s.cold, s.disk_hits, s.mem_hits
     );
+    if let Some(sp) = &s.spec {
+        let _ = write!(out, ",\"spec_hits\":{}", sp.warm_hits);
+    }
+    out.push('}');
+    if let Some(sp) = &s.spec {
+        let _ = write!(
+            out,
+            ",\"spec\":{{\"started\":{},\"hit\":{},\"miss\":{},\"waste\":{},\"cancelled\":{},\"pending\":{}}}",
+            sp.started, sp.hit, sp.miss, sp.waste, sp.cancelled, sp.pending
+        );
+    }
     let _ = write!(
         out,
         ",\"throughput\":{{\"jobs_per_sec\":{jobs_per_sec:.3},\"utilization\":{utilization:.4}}}}}"
@@ -638,6 +966,7 @@ pub fn render_stats_json(s: &StatsSnapshot) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::queue::Popped;
     use wec_telemetry::schema;
 
     fn state() -> Arc<ServerState> {
@@ -651,8 +980,48 @@ mod tests {
         .unwrap()
     }
 
+    fn spec_state(queue_cap: usize, ttl: Duration) -> Arc<ServerState> {
+        ServerState::new(ServeConfig {
+            workers: 2,
+            queue_cap,
+            store: None,
+            log_dir: None,
+            spec: Some(SpecConfig {
+                fanout: 2,
+                queue_cap: 8,
+                inflight_max: 1,
+                ttl,
+            }),
+            ..ServeConfig::default()
+        })
+        .unwrap()
+    }
+
     fn spec(body: &str) -> JobSpec {
         JobSpec::parse(body).unwrap()
+    }
+
+    fn ok_outcome(source: &'static str) -> Result<Outcome, String> {
+        Ok(Outcome {
+            source,
+            metrics: Arc::new(vec![("cycles".to_string(), 42u64)]),
+            sim_cycles: 42,
+            dur_ms: 7,
+            attr: None,
+        })
+    }
+
+    fn spec_counters(s: &ServerState) -> SpecStats {
+        s.snapshot().spec.unwrap()
+    }
+
+    fn assert_conserved(s: &ServerState) {
+        let sp = spec_counters(s);
+        assert_eq!(
+            sp.hit + sp.waste + sp.cancelled + sp.pending,
+            sp.started,
+            "{sp:?}"
+        );
     }
 
     #[test]
@@ -691,7 +1060,7 @@ mod tests {
         let spec1 = spec("{\"bench\": \"181.mcf\"}");
         let key = spec1.dedup_key();
         let slot = s.submit(spec1).unwrap();
-        assert_eq!(s.queue.pop(), Some(slot.record().id));
+        assert_eq!(s.queue.pop(), Some(Popped::Demand(slot.record().id)));
         let metrics = Arc::new(vec![("cycles".to_string(), 42u64)]);
         s.complete(
             &slot,
@@ -766,5 +1135,166 @@ mod tests {
         assert!(page.contains("wec_serve_jobs_completed_total{source=\"cold\"} 1"));
         assert!(page.contains("wec_serve_jobs_completed_total{source=\"mem\"} 1"));
         assert!(page.contains("wec_serve_sim_cycles_total 84"));
+    }
+
+    #[test]
+    fn speculation_off_renders_v1_with_no_spec_series() {
+        let s = state();
+        let snap = s.snapshot();
+        assert!(snap.spec.is_none());
+        let js = render_stats_json(&snap);
+        assert!(js.starts_with("{\"schema\":\"wec-serve-stats-v1\""));
+        assert!(!js.contains("spec"), "{js}");
+        schema::validate_serve_stats_json(&js).unwrap();
+    }
+
+    #[test]
+    fn unclaimed_speculation_parks_a_result_the_first_demand_claims_as_spec() {
+        let s = spec_state(2, Duration::from_secs(600));
+        let sp = spec("{\"bench\": \"181.mcf\"}");
+        let key = sp.dedup_key();
+        s.spec_submit(sp);
+        assert_eq!(spec_counters(&s).started, 1);
+        let popped = s.queue.pop().unwrap();
+        assert!(matches!(popped, Popped::Spec(_)));
+        let slot = s.job(popped.id()).unwrap();
+        s.complete(&slot, &key, ok_outcome("cold"));
+        let rec = slot.record();
+        assert_eq!(rec.state, JobState::Done);
+        assert_eq!(rec.source, "spec");
+        assert_eq!(rec.submissions, 0, "nobody asked for it yet");
+        assert!(rec.speculative);
+        assert_eq!(s.snapshot().completed, 0, "unclaimed work served nobody");
+        assert_eq!(s.outstanding(), 0);
+        assert_conserved(&s);
+
+        // First matching demand: synchronous warm hit credited to the
+        // prefetcher, same memoized bytes as an on-demand run.
+        let warm = s.submit_demand(spec("{\"bench\": \"181.mcf\"}")).unwrap();
+        let wrec = warm.record();
+        assert_eq!(wrec.state, JobState::Done);
+        assert_eq!(wrec.source, "spec");
+        assert_eq!(wrec.metrics, rec.metrics);
+        let cnt = spec_counters(&s);
+        assert_eq!((cnt.hit, cnt.warm_hits, cnt.pending), (1, 1, 0));
+        assert_conserved(&s);
+
+        // Second identical demand is an ordinary mem hit — the credit is
+        // claimed exactly once.
+        let again = s.submit_demand(spec("{\"bench\": \"181.mcf\"}")).unwrap();
+        assert_eq!(again.record().source, "mem");
+        assert_eq!(spec_counters(&s).hit, 1);
+        let snap = s.snapshot();
+        assert_eq!(
+            snap.cold + snap.disk_hits + snap.mem_hits + snap.spec.unwrap().warm_hits,
+            snap.completed
+        );
+        schema::validate_serve_stats_json(&s.stats_json()).unwrap();
+    }
+
+    #[test]
+    fn demand_claim_of_a_queued_speculation_promotes_to_one_execution() {
+        let s = spec_state(2, Duration::from_secs(600));
+        let sp = spec("{\"bench\": \"181.mcf\"}");
+        let key = sp.dedup_key();
+        s.spec_submit(sp);
+        assert_eq!(s.queue.spec_depth(), 1);
+        let demand = s.submit_demand(spec("{\"bench\": \"181.mcf\"}")).unwrap();
+        let rec = demand.record();
+        assert_eq!(rec.submissions, 1);
+        assert!(rec.speculative, "the claimed slot is the speculative one");
+        assert_eq!(s.queue.depth(), 1, "promoted to the demand lane");
+        assert_eq!(s.queue.spec_depth(), 0);
+        assert_eq!(spec_counters(&s).cancelled, 1, "claim-before-start");
+        let popped = s.queue.pop().unwrap();
+        assert_eq!(popped, Popped::Demand(rec.id), "exactly one execution");
+        s.complete(&s.job(rec.id).unwrap(), &key, ok_outcome("cold"));
+        let snap = s.snapshot();
+        assert_eq!((snap.completed, snap.cold), (1, 1));
+        assert_conserved(&s);
+        schema::validate_serve_stats_json(&s.stats_json()).unwrap();
+    }
+
+    #[test]
+    fn demand_claim_of_a_running_speculation_is_a_hit() {
+        let s = spec_state(2, Duration::from_secs(600));
+        let sp = spec("{\"bench\": \"181.mcf\"}");
+        let key = sp.dedup_key();
+        s.spec_submit(sp);
+        let popped = s.queue.pop().unwrap();
+        assert!(matches!(popped, Popped::Spec(_)), "worker holds it");
+        let demand = s.submit_demand(spec("{\"bench\": \"181.mcf\"}")).unwrap();
+        assert_eq!(demand.record().id, popped.id(), "deduped onto the spec job");
+        assert_eq!(spec_counters(&s).hit, 1, "prefetch was in flight");
+        let slot = s.job(popped.id()).unwrap();
+        s.complete(&slot, &key, ok_outcome("cold"));
+        let rec = slot.record();
+        assert_eq!(rec.state, JobState::Done);
+        assert_eq!(rec.source, "cold", "claimed completions count normally");
+        let snap = s.snapshot();
+        assert_eq!((snap.completed, snap.cold), (1, 1));
+        assert_conserved(&s);
+    }
+
+    #[test]
+    fn ttl_reaping_cancels_queued_and_wastes_parked_speculation() {
+        let s = spec_state(2, Duration::from_millis(0));
+        // Queued past TTL: cancelled, queue and drain barrier released.
+        s.spec_submit(spec("{\"bench\": \"181.mcf\"}"));
+        assert_eq!(s.outstanding(), 1);
+        s.reap_stale();
+        let cnt = spec_counters(&s);
+        assert_eq!(cnt.cancelled, 1);
+        assert_eq!(s.queue.spec_depth(), 0);
+        assert_eq!(s.outstanding(), 0);
+        assert_conserved(&s);
+
+        // Parked ready result past TTL: waste — but the memo survives, so
+        // a later demand is still an ordinary mem hit.
+        let sp = spec("{\"bench\": \"164.gzip\"}");
+        let key = sp.dedup_key();
+        s.spec_submit(sp);
+        let p = s.queue.pop().unwrap();
+        s.complete(&s.job(p.id()).unwrap(), &key, ok_outcome("cold"));
+        s.queue.spec_done();
+        s.reap_stale();
+        let cnt = spec_counters(&s);
+        assert_eq!(cnt.waste, 1);
+        assert_conserved(&s);
+        let warm = s.submit_demand(spec("{\"bench\": \"164.gzip\"}")).unwrap();
+        assert_eq!(warm.record().source, "mem");
+
+        // A failed unclaimed speculation is reclaimed, not a served
+        // failure.
+        let sp = spec("{\"bench\": \"175.vpr\"}");
+        let key = sp.dedup_key();
+        s.spec_submit(sp);
+        let p = s.queue.pop().unwrap();
+        s.complete(&s.job(p.id()).unwrap(), &key, Err("induced".to_string()));
+        s.queue.spec_done();
+        let cnt = spec_counters(&s);
+        assert_eq!(cnt.cancelled, 2);
+        assert_eq!(s.snapshot().failed, 0);
+        assert_conserved(&s);
+        schema::validate_serve_stats_json(&s.stats_json()).unwrap();
+    }
+
+    #[test]
+    fn demand_submissions_drive_the_predictor_and_count_misses() {
+        let s = spec_state(4, Duration::from_secs(600));
+        s.submit(spec("{\"bench\": \"181.mcf\"}")).unwrap();
+        let cnt = spec_counters(&s);
+        assert_eq!(cnt.miss, 1, "cold demand the predictor never saw coming");
+        assert_eq!(cnt.started, 2, "fanout-2 candidates enqueued");
+        assert_eq!(s.queue.spec_depth(), 2);
+        assert_eq!(s.queue.depth(), 1, "demand lane untouched by speculation");
+        assert_conserved(&s);
+        // Drain purge reclaims everything queued speculatively.
+        s.purge_speculation();
+        let cnt = spec_counters(&s);
+        assert_eq!(cnt.cancelled, 2);
+        assert_eq!((cnt.pending, s.queue.spec_depth() as u64), (0, 0));
+        assert_eq!(s.outstanding(), 1, "the demand job itself remains");
+        schema::validate_serve_stats_json(&s.stats_json()).unwrap();
     }
 }

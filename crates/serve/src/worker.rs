@@ -23,6 +23,7 @@ use wec_telemetry::report::{progress_finish_line, progress_start_line};
 
 use crate::job::{JobAttr, JobKind, JobSpec, JobState};
 use crate::lock;
+use crate::queue::Popped;
 use crate::state::{JobSlot, Outcome, ServerState};
 
 /// Spawn the configured number of workers; they exit when the queue
@@ -40,14 +41,25 @@ pub fn spawn(state: &Arc<ServerState>) -> Vec<JoinHandle<()>> {
 }
 
 fn worker_loop(state: Arc<ServerState>, widx: usize) {
-    while let Some(id) = state.queue.pop() {
-        state.busy.fetch_add(1, Ordering::SeqCst);
-        let t = Instant::now();
-        run_job(&state, widx, id);
-        state
-            .busy_ms
-            .fetch_add(t.elapsed().as_millis() as u64, Ordering::SeqCst);
-        state.busy.fetch_sub(1, Ordering::SeqCst);
+    while let Some(popped) = state.queue.pop() {
+        match popped {
+            Popped::Demand(id) => {
+                state.busy.fetch_add(1, Ordering::SeqCst);
+                let t = Instant::now();
+                run_job(&state, widx, id);
+                state
+                    .busy_ms
+                    .fetch_add(t.elapsed().as_millis() as u64, Ordering::SeqCst);
+                state.busy.fetch_sub(1, Ordering::SeqCst);
+            }
+            Popped::Spec(id) => {
+                // Speculative work fills idle capacity: it never counts
+                // toward the busy gauge or utilization, and it releases
+                // its in-flight budget slot when done.
+                run_job(&state, widx, id);
+                state.queue.spec_done();
+            }
+        }
     }
 }
 
@@ -70,9 +82,13 @@ fn run_job(state: &Arc<ServerState>, widx: usize, id: u64) {
         g.record.state = JobState::Running;
         g.record.start_t_ms = state.now_ms();
         g.record.worker = widx as u64;
-        state
-            .metrics
-            .observe_queue_wait(g.record.start_t_ms.saturating_sub(g.record.submit_t_ms));
+        // Speculative jobs wait by design (idle capacity only) — their
+        // queue time would drown the demand wait histogram.
+        if !g.record.speculative {
+            state
+                .metrics
+                .observe_queue_wait(g.record.start_t_ms.saturating_sub(g.record.submit_t_ms));
+        }
         g.spec.take()
     };
     slot.cv.notify_all();

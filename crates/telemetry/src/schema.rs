@@ -368,9 +368,10 @@ pub struct ProgressReport {
 
 /// Validate a `progress.jsonl` stream: every line is a `start` or `finish`
 /// event with exactly the declared fields, `t_ms` non-decreasing, `cache`
-/// one of `cold`/`disk`/`mem`, and no more finishes than starts + cached
-/// satisfactions can explain (finishes ≥ starts, since cache hits emit
-/// finish-only lines).
+/// one of `cold`/`disk`/`mem`/`spec` (the last when a demand request is
+/// satisfied by a parked speculative result), and no more finishes than
+/// starts + cached satisfactions can explain (finishes ≥ starts, since
+/// cache hits emit finish-only lines).
 pub fn validate_progress_jsonl(text: &str) -> Result<ProgressReport, String> {
     let mut report = ProgressReport::default();
     let mut last_t = 0u64;
@@ -396,7 +397,7 @@ pub fn validate_progress_jsonl(text: &str) -> Result<ProgressReport, String> {
             }
             "finish" => {
                 let cache = require_str(&v, "cache", &ctx)?;
-                if !["cold", "disk", "mem"].contains(&cache) {
+                if !["cold", "disk", "mem", "spec"].contains(&cache) {
                     return Err(format!("{ctx}: unknown cache source {cache:?}"));
                 }
                 require_u64(&v, "dur_ms", &ctx)?;
@@ -920,18 +921,35 @@ pub fn validate_job_record(v: &Json, ctx: &str) -> Result<(), String> {
     require_u64(v, "scale", ctx)?;
     require_str(v, "cfg", ctx)?;
     let state = require_str(v, "state", ctx)?;
-    if !["queued", "running", "done", "failed"].contains(&state) {
+    if !["queued", "running", "done", "failed", "cancelled"].contains(&state) {
         return Err(format!("{ctx}: unknown state {state:?}"));
     }
     let source = require_str(v, "source", ctx)?;
-    if !["none", "cold", "disk", "mem"].contains(&source) {
+    if !["none", "cold", "disk", "mem", "spec"].contains(&source) {
         return Err(format!("{ctx}: unknown source {source:?}"));
     }
     if state == "done" && source == "none" {
         return Err(format!("{ctx}: done job has no cache source"));
     }
+    // `speculative` is emitted only by `--speculate` servers and only as
+    // `true`; its absence means a plain demand job.
+    let speculative = match v.get("speculative") {
+        None => false,
+        Some(Json::Bool(true)) => true,
+        Some(_) => return Err(format!("{ctx}: \"speculative\" must be true when present")),
+    };
+    if state == "cancelled" {
+        if !speculative {
+            return Err(format!("{ctx}: cancelled job is not speculative"));
+        }
+        if source != "none" {
+            return Err(format!("{ctx}: cancelled job carries source {source:?}"));
+        }
+    }
     let submissions = require_u64(v, "submissions", ctx)?;
-    if submissions == 0 {
+    // A speculative job that was never claimed by a demand request has
+    // zero submissions; every demand job has at least one.
+    if submissions == 0 && !speculative {
         return Err(format!("{ctx}: submissions must be >= 1"));
     }
     require_u64(v, "worker", ctx)?;
@@ -989,6 +1007,7 @@ pub fn validate_job_record(v: &Json, ctx: &str) -> Result<(), String> {
             "finish_t_ms",
             "dur_ms",
             "sim_cycles",
+            "speculative",
             "error",
             "metrics",
             "attribution",
@@ -1003,10 +1022,12 @@ pub struct JobsReport {
     pub total: u64,
     pub done: u64,
     pub failed: u64,
+    pub cancelled: u64,
 }
 
 /// Validate a `jobs.jsonl` stream: one terminal `wec-job-record-v1` per
-/// line (the server appends each job as it reaches `done` or `failed`).
+/// line (the server appends each job as it reaches `done`, `failed`, or —
+/// for reclaimed speculations — `cancelled`).
 pub fn validate_jobs_jsonl(text: &str) -> Result<JobsReport, String> {
     let mut report = JobsReport::default();
     for (lineno, line) in text.lines().enumerate() {
@@ -1019,6 +1040,7 @@ pub fn validate_jobs_jsonl(text: &str) -> Result<JobsReport, String> {
         match v.get("state").and_then(Json::as_str) {
             Some("done") => report.done += 1,
             Some("failed") => report.failed += 1,
+            Some("cancelled") => report.cancelled += 1,
             other => {
                 return Err(format!(
                     "{ctx}: non-terminal state {other:?} in the terminal log"
@@ -1030,20 +1052,26 @@ pub fn validate_jobs_jsonl(text: &str) -> Result<JobsReport, String> {
     Ok(report)
 }
 
-/// Validate a `wec-serve-stats-v1` document (the `GET /stats` payload and
-/// the server's exit-time `stats.json`).
+/// Validate a serve-stats document (the `GET /stats` payload and the
+/// server's exit-time `stats.json`): `wec-serve-stats-v1`, or the
+/// `wec-serve-stats-v2` superset a `--speculate` server emits.
 pub fn validate_serve_stats_json(text: &str) -> Result<(), String> {
     let v = json::parse(text).map_err(|e| format!("stats.json: {e}"))?;
     validate_serve_stats(&v, "stats.json")
 }
 
-/// Validate an already-parsed `wec-serve-stats-v1` value — the same
-/// document also rides embedded inside `wec-dashboard-data-v1`.
+/// Validate an already-parsed serve-stats value (v1 or v2) — the same
+/// document also rides embedded inside `wec-dashboard-data-v1`.  The v2
+/// speculation block must conserve: every started speculation is exactly
+/// one of hit, waste, cancelled, or still pending, and completions split
+/// exactly across `cold`/`disk_hits`/`mem_hits`/`spec_hits`.
 pub fn validate_serve_stats(v: &Json, ctx: &str) -> Result<(), String> {
     let schema = require_str(v, "schema", ctx)?;
-    if schema != "wec-serve-stats-v1" {
-        return Err(format!("{ctx}: unknown schema {schema:?}"));
-    }
+    let v2 = match schema {
+        "wec-serve-stats-v1" => false,
+        "wec-serve-stats-v2" => true,
+        _ => return Err(format!("{ctx}: unknown schema {schema:?}")),
+    };
     require_u64(v, "uptime_ms", ctx)?;
     let workers = require_u64(v, "workers", ctx)?;
     if workers == 0 {
@@ -1058,8 +1086,20 @@ pub fn validate_serve_stats(v: &Json, ctx: &str) -> Result<(), String> {
     v.get("draining")
         .and_then(Json::as_bool)
         .ok_or_else(|| format!("{ctx}: missing/invalid \"draining\""))?;
-    no_extra_fields(
-        v,
+    let top: &[&str] = if v2 {
+        &[
+            "schema",
+            "uptime_ms",
+            "workers",
+            "busy_workers",
+            "draining",
+            "queue",
+            "jobs",
+            "cache",
+            "spec",
+            "throughput",
+        ]
+    } else {
         &[
             "schema",
             "uptime_ms",
@@ -1070,9 +1110,9 @@ pub fn validate_serve_stats(v: &Json, ctx: &str) -> Result<(), String> {
             "jobs",
             "cache",
             "throughput",
-        ],
-        ctx,
-    )?;
+        ]
+    };
+    no_extra_fields(v, top, ctx)?;
 
     let queue = v
         .get("queue")
@@ -1084,7 +1124,22 @@ pub fn validate_serve_stats(v: &Json, ctx: &str) -> Result<(), String> {
         return Err(format!("{qctx}: depth {depth} exceeds cap {cap}"));
     }
     require_u64(queue, "rejected", &qctx)?;
-    no_extra_fields(queue, &["depth", "cap", "rejected"], &qctx)?;
+    if v2 {
+        let sdepth = require_u64(queue, "spec_depth", &qctx)?;
+        let scap = require_u64(queue, "spec_cap", &qctx)?;
+        if sdepth > scap {
+            return Err(format!(
+                "{qctx}: spec_depth {sdepth} exceeds spec_cap {scap}"
+            ));
+        }
+        no_extra_fields(
+            queue,
+            &["depth", "cap", "rejected", "spec_depth", "spec_cap"],
+            &qctx,
+        )?;
+    } else {
+        no_extra_fields(queue, &["depth", "cap", "rejected"], &qctx)?;
+    }
 
     let jobs = v
         .get("jobs")
@@ -1117,12 +1172,53 @@ pub fn validate_serve_stats(v: &Json, ctx: &str) -> Result<(), String> {
     let cold = require_u64(cache, "cold", &cctx)?;
     let disk = require_u64(cache, "disk_hits", &cctx)?;
     let mem = require_u64(cache, "mem_hits", &cctx)?;
-    if cold + disk + mem != completed {
+    let spec_hits = if v2 {
+        let sh = require_u64(cache, "spec_hits", &cctx)?;
+        no_extra_fields(
+            cache,
+            &["cold", "disk_hits", "mem_hits", "spec_hits"],
+            &cctx,
+        )?;
+        sh
+    } else {
+        no_extra_fields(cache, &["cold", "disk_hits", "mem_hits"], &cctx)?;
+        0
+    };
+    if cold + disk + mem + spec_hits != completed {
         return Err(format!(
-            "{cctx}: cold {cold} + disk {disk} + mem {mem} != completed {completed}"
+            "{cctx}: cold {cold} + disk {disk} + mem {mem} + spec {spec_hits} \
+             != completed {completed}"
         ));
     }
-    no_extra_fields(cache, &["cold", "disk_hits", "mem_hits"], &cctx)?;
+
+    if v2 {
+        let sp = v
+            .get("spec")
+            .ok_or_else(|| format!("{ctx}: missing \"spec\""))?;
+        let sctx = format!("{ctx} spec");
+        let started = require_u64(sp, "started", &sctx)?;
+        let hit = require_u64(sp, "hit", &sctx)?;
+        require_u64(sp, "miss", &sctx)?;
+        let waste = require_u64(sp, "waste", &sctx)?;
+        let cancelled = require_u64(sp, "cancelled", &sctx)?;
+        let pending = require_u64(sp, "pending", &sctx)?;
+        if hit + waste + cancelled + pending != started {
+            return Err(format!(
+                "{sctx}: hit {hit} + waste {waste} + cancelled {cancelled} \
+                 + pending {pending} != started {started}"
+            ));
+        }
+        if spec_hits > hit {
+            return Err(format!(
+                "{sctx}: cache.spec_hits {spec_hits} exceeds spec.hit {hit}"
+            ));
+        }
+        no_extra_fields(
+            sp,
+            &["started", "hit", "miss", "waste", "cancelled", "pending"],
+            &sctx,
+        )?;
+    }
 
     let tp = v
         .get("throughput")
@@ -1224,6 +1320,15 @@ pub fn validate_dashboard_data_json(text: &str) -> Result<usize, String> {
         if !(0.0..=1.0).contains(&dedup) {
             return Err(format!("{sctx}: dedup_hit_rate {dedup} out of [0,1]"));
         }
+        // Present only when the sampled server runs with --speculate.
+        if let Some(shr) = s.get("spec_hit_rate") {
+            let shr = shr
+                .as_f64()
+                .ok_or_else(|| format!("{sctx}: spec_hit_rate is not a number"))?;
+            if !(0.0..=1.0).contains(&shr) {
+                return Err(format!("{sctx}: spec_hit_rate {shr} out of [0,1]"));
+            }
+        }
         no_extra_fields(
             s,
             &[
@@ -1234,6 +1339,7 @@ pub fn validate_dashboard_data_json(text: &str) -> Result<usize, String> {
                 "jobs_per_sec",
                 "dedup_hit_rate",
                 "kcycles_per_sec",
+                "spec_hit_rate",
             ],
             &sctx,
         )?;
@@ -1301,15 +1407,24 @@ pub fn validate_dashboard_data_json(text: &str) -> Result<usize, String> {
         require_str(j, "bench", &jctx)?;
         require_str(j, "cfg", &jctx)?;
         let state = require_str(j, "state", &jctx)?;
-        if !["queued", "running", "done", "failed"].contains(&state) {
+        if !["queued", "running", "done", "failed", "cancelled"].contains(&state) {
             return Err(format!("{jctx}: unknown state {state:?}"));
         }
         let source = require_str(j, "source", &jctx)?;
-        if !["none", "cold", "disk", "mem"].contains(&source) {
+        if !["none", "cold", "disk", "mem", "spec"].contains(&source) {
             return Err(format!("{jctx}: unknown source {source:?}"));
         }
+        let speculative = match j.get("speculative") {
+            None => false,
+            Some(Json::Bool(true)) => true,
+            Some(_) => {
+                return Err(format!(
+                    "{jctx}: \"speculative\" must be true when present"
+                ))
+            }
+        };
         let submissions = require_u64(j, "submissions", &jctx)?;
-        if submissions == 0 {
+        if submissions == 0 && !speculative {
             return Err(format!("{jctx}: submissions must be >= 1"));
         }
         require_u64(j, "worker", &jctx)?;
@@ -1332,6 +1447,7 @@ pub fn validate_dashboard_data_json(text: &str) -> Result<usize, String> {
                 "dur_ms",
                 "sim_cycles",
                 "has_attr",
+                "speculative",
             ],
             &jctx,
         )?;
@@ -1637,7 +1753,8 @@ mod tests {
             JobsReport {
                 total: 2,
                 done: 1,
-                failed: 1
+                failed: 1,
+                cancelled: 0
             }
         );
 
@@ -1645,6 +1762,36 @@ mod tests {
         let queued = job_record("queued", "none", "", "{}");
         validate_job_record(&json::parse(&queued).unwrap(), "t").unwrap();
         assert!(validate_jobs_jsonl(&format!("{queued}\n")).is_err());
+
+        // Speculative records: an unclaimed completion keeps zero
+        // submissions and source "spec"; a reclaimed one is "cancelled".
+        let spec_done = job_record("done", "spec", "", "{\"cycles\":48000}")
+            .replace("\"submissions\":2", "\"submissions\":0")
+            .replace("\"sim_cycles\":48000", "\"sim_cycles\":48000,\"speculative\":true");
+        validate_job_record(&json::parse(&spec_done).unwrap(), "t").unwrap();
+        let spec_cancelled = job_record("cancelled", "none", "", "{}")
+            .replace("\"submissions\":2", "\"submissions\":0")
+            .replace("\"sim_cycles\":48000", "\"sim_cycles\":48000,\"speculative\":true");
+        validate_job_record(&json::parse(&spec_cancelled).unwrap(), "t").unwrap();
+        let report =
+            validate_jobs_jsonl(&format!("{spec_done}\n{spec_cancelled}\n")).unwrap();
+        assert_eq!(
+            report,
+            JobsReport {
+                total: 2,
+                done: 1,
+                failed: 0,
+                cancelled: 1
+            }
+        );
+        // Zero submissions on a demand record, a cancelled demand record,
+        // and speculative:false are all malformed.
+        let bad = good.replace("\"submissions\":2", "\"submissions\":0");
+        assert!(validate_job_record(&json::parse(&bad).unwrap(), "t").is_err());
+        let bad = job_record("cancelled", "none", "", "{}");
+        assert!(validate_job_record(&json::parse(&bad).unwrap(), "t").is_err());
+        let bad = spec_done.replace("\"speculative\":true", "\"speculative\":false");
+        assert!(validate_job_record(&json::parse(&bad).unwrap(), "t").is_err());
 
         // Done without a source, failed without an error, fractional
         // metric, unknown state, extra field.
@@ -1698,6 +1845,42 @@ mod tests {
         assert!(validate_serve_stats_json(&bad).is_err());
         // More terminal jobs than submissions.
         let bad = good.replace("\"submitted\":10", "\"submitted\":5");
+        assert!(validate_serve_stats_json(&bad).is_err());
+    }
+
+    #[test]
+    fn serve_stats_v2_validation() {
+        let good = "{\"schema\":\"wec-serve-stats-v2\",\"uptime_ms\":1000,\"workers\":4,\
+                    \"busy_workers\":1,\"draining\":false,\
+                    \"queue\":{\"depth\":2,\"cap\":64,\"rejected\":1,\"spec_depth\":3,\"spec_cap\":16},\
+                    \"jobs\":{\"submitted\":10,\"deduped\":3,\"completed\":5,\"failed\":1},\
+                    \"cache\":{\"cold\":2,\"disk_hits\":1,\"mem_hits\":1,\"spec_hits\":1},\
+                    \"spec\":{\"started\":7,\"hit\":2,\"miss\":2,\"waste\":1,\"cancelled\":1,\"pending\":3},\
+                    \"throughput\":{\"jobs_per_sec\":5.0,\"utilization\":0.25}}";
+        validate_serve_stats_json(good).unwrap();
+
+        // v1 documents must not carry any of the v2 fields.
+        let v1_leak = good.replace("wec-serve-stats-v2", "wec-serve-stats-v1");
+        assert!(validate_serve_stats_json(&v1_leak).is_err());
+        // The speculation ledger must conserve: started splits exactly
+        // into hit + waste + cancelled + pending.
+        let bad = good.replace("\"started\":7", "\"started\":8");
+        assert!(validate_serve_stats_json(&bad).is_err());
+        // Completions split across all four sources.
+        let bad = good.replace("\"spec_hits\":1", "\"spec_hits\":2");
+        assert!(validate_serve_stats_json(&bad).is_err());
+        // Warm spec serves cannot exceed total spec hits.
+        let bad = good
+            .replace("\"spec_hits\":1", "\"spec_hits\":3")
+            .replace("\"cold\":2", "\"cold\":0");
+        assert!(validate_serve_stats_json(&bad).is_err());
+        // The spec queue respects its own bound, and the block is required.
+        let bad = good.replace("\"spec_depth\":3", "\"spec_depth\":17");
+        assert!(validate_serve_stats_json(&bad).is_err());
+        let bad = good.replace(
+            "\"spec\":{\"started\":7,\"hit\":2,\"miss\":2,\"waste\":1,\"cancelled\":1,\"pending\":3},",
+            "",
+        );
         assert!(validate_serve_stats_json(&bad).is_err());
     }
 
@@ -1762,6 +1945,28 @@ mod tests {
         assert!(validate_dashboard_data_json(&good.replace("\"cold\":3", "\"cold\":4")).is_err());
         assert!(validate_dashboard_data_json(
             &good.replace("\"state\":\"done\"", "\"state\":\"paused\"")
+        )
+        .is_err());
+
+        // Speculation extensions: samples may carry spec_hit_rate (a
+        // fraction), job rows may be flagged speculative with source
+        // "spec" and zero submissions.
+        let spec_good = good
+            .replace(
+                "\"dedup_hit_rate\":0.5,",
+                "\"dedup_hit_rate\":0.5,\"spec_hit_rate\":0.25,",
+            )
+            .replace(
+                "\"source\":\"cold\",\"submissions\":2",
+                "\"source\":\"spec\",\"submissions\":0,\"speculative\":true",
+            );
+        assert_eq!(validate_dashboard_data_json(&spec_good).unwrap(), 2);
+        assert!(validate_dashboard_data_json(
+            &spec_good.replace("\"spec_hit_rate\":0.25", "\"spec_hit_rate\":1.25")
+        )
+        .is_err());
+        assert!(validate_dashboard_data_json(
+            &spec_good.replace("\"speculative\":true", "\"speculative\":false")
         )
         .is_err());
     }
