@@ -16,6 +16,9 @@
 //! the sweep observability schemas, `jobs.jsonl`/`stats.json` against the
 //! serve daemon's `wec-job-record-v1` / `wec-serve-stats-v1` schemas (a
 //! `--speculate` daemon writes the `wec-serve-stats-v2` superset),
+//! `router.json` against the sharding tier's `wec-router-stats-v1`
+//! schema (which enforces that every cluster total equals the sum over
+//! the embedded backend ledgers),
 //! `access.jsonl` against `wec-access-log-v1`, `dashboard.json` (a saved
 //! `GET /dashboard/data` payload) against `wec-dashboard-data-v1`, and
 //! every `*.wectrace` capture (from `experiments --capture-trace`) by fully
@@ -208,6 +211,21 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("FAIL stats.json: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(text) = read(dir, "router.json") {
+        match schema::validate_router_stats_json(&text) {
+            Ok(r) => {
+                println!(
+                    "ok  router.json: {} backends ({} scraped), {} jobs completed cluster-wide, totals conserve",
+                    r.backends, r.scraped, r.completed
+                );
+                validated += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL router.json: {e}");
                 failures += 1;
             }
         }

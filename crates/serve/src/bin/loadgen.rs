@@ -1,11 +1,24 @@
 //! Open-loop load generator for the serve daemon.
 //!
 //! ```text
-//! loadgen --addr HOST:PORT [--count N] [--rate JOBS_PER_SEC]
-//!         [--concurrency N] [--bench NAME] [--scale N] [--spread K]
-//!         [--pattern uniform|sweep-walk] [--prewarm]
-//!         [--out BENCH_serve.json] [--min-rate F]
+//! loadgen --addr HOST:PORT [--target HOST:PORT]... [--count N]
+//!         [--rate JOBS_PER_SEC] [--concurrency N] [--bench NAME]
+//!         [--scale N] [--spread K] [--pattern uniform|sweep-walk]
+//!         [--prewarm] [--out BENCH_serve.json] [--min-rate F]
 //! ```
+//!
+//! `--target` is `--addr`'s repeatable spelling: submissions round-robin
+//! over every target given (each job is submitted *and* polled on the
+//! same target, since job ids are not portable across entry points).  A
+//! target may be a `wec-serve` daemon or a `wec_router` front — point
+//! several targets at the routers of one cluster, or one target at a
+//! single router, and the report stays comparable to a single-node run.
+//! The report always carries a per-target split (`targets`: completed /
+//! failed / rejected / spec-hit counts and latency quantiles per entry
+//! point), and when any target answers `/stats` with a
+//! `wec-router-stats-v1` document, a `cluster` record summarizing the
+//! conserved cluster roll-up (backend count, routing counters, cache
+//! split, throughput) rides along in the output.
 //!
 //! Sends `--count` `POST /jobs` submissions at a scheduled `--rate`,
 //! cycling over `--spread` distinct configurations (side-structure
@@ -114,8 +127,93 @@ fn record_id_state(body: &str) -> Option<(u64, String, String)> {
     ))
 }
 
+/// Per-entry-point accounting, so a sharded run shows where the latency
+/// lives (one slow backend hides inside cluster-wide quantiles).
+struct TargetTally {
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+    spec_hits: AtomicU64,
+    latencies: Mutex<Log2Histogram>,
+}
+
+impl TargetTally {
+    fn new() -> TargetTally {
+        TargetTally {
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            spec_hits: AtomicU64::new(0),
+            latencies: Mutex::new(Log2Histogram::new()),
+        }
+    }
+}
+
+/// If any target's `/stats` is a router document, compact its conserved
+/// cluster roll-up into a `cluster` record for the report.
+fn cluster_record(targets: &[String]) -> Option<String> {
+    for t in targets {
+        let Ok((200, body)) = http(t, "GET", "/stats", None) else {
+            continue;
+        };
+        if wec_telemetry::schema::validate_router_stats_json(&body).is_err() {
+            continue;
+        }
+        let v = json::parse(&body).ok()?;
+        let n = |path: &[&str]| -> u64 {
+            let mut cur = &v;
+            for p in path {
+                match cur.get(p) {
+                    Some(next) => cur = next,
+                    None => return 0,
+                }
+            }
+            cur.as_u64().unwrap_or(0)
+        };
+        let backends = v
+            .get("backends")
+            .and_then(Json::as_array)
+            .map(|b| b.len())
+            .unwrap_or(0);
+        let scraped = v
+            .get("backends")
+            .and_then(Json::as_array)
+            .map(|b| b.iter().filter(|e| e.get("stats").is_some()).count())
+            .unwrap_or(0);
+        let jobs_per_sec = v
+            .get("cluster")
+            .and_then(|c| c.get("throughput"))
+            .and_then(|t| t.get("jobs_per_sec"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        return Some(format!(
+            "{{\"scraped_from\": \"{t}\", \"backends\": {backends}, \"scraped\": {scraped}, \
+             \"router\": {{\"proxied\": {}, \"retries\": {}, \"resharded\": {}, \
+             \"rejected\": {}, \"hints_sent\": {}, \"hints_accepted\": {}}}, \
+             \"jobs\": {{\"submitted\": {}, \"deduped\": {}, \"completed\": {}, \"failed\": {}}}, \
+             \"cache\": {{\"cold\": {}, \"disk_hits\": {}, \"mem_hits\": {}, \"spec_hits\": {}}}, \
+             \"jobs_per_sec\": {jobs_per_sec:.3}}}",
+            n(&["router", "proxied"]),
+            n(&["router", "retries"]),
+            n(&["router", "resharded"]),
+            n(&["router", "rejected"]),
+            n(&["router", "hints_sent"]),
+            n(&["router", "hints_accepted"]),
+            n(&["cluster", "jobs", "submitted"]),
+            n(&["cluster", "jobs", "deduped"]),
+            n(&["cluster", "jobs", "completed"]),
+            n(&["cluster", "jobs", "failed"]),
+            n(&["cluster", "cache", "cold"]),
+            n(&["cluster", "cache", "disk_hits"]),
+            n(&["cluster", "cache", "mem_hits"]),
+            n(&["cluster", "cache", "spec_hits"]),
+        ));
+    }
+    None
+}
+
 fn main() {
-    let mut addr = None;
+    let mut targets: Vec<String> = Vec::new();
     let mut count: usize = 200;
     let mut rate: f64 = 100.0;
     let mut concurrency: usize = 8;
@@ -135,7 +233,8 @@ fn main() {
                 .clone()
         };
         match a.as_str() {
-            "--addr" => addr = Some(value("--addr")),
+            "--addr" => targets.push(value("--addr")),
+            "--target" => targets.push(value("--target")),
             "--count" => count = value("--count").parse().expect("--count N"),
             "--rate" => rate = value("--rate").parse().expect("--rate F"),
             "--concurrency" => {
@@ -151,7 +250,16 @@ fn main() {
             other => panic!("unknown argument {other:?}"),
         }
     }
-    let addr = addr.expect("loadgen requires --addr HOST:PORT");
+    assert!(
+        !targets.is_empty(),
+        "loadgen requires --addr or --target HOST:PORT"
+    );
+    for (i, t) in targets.iter().enumerate() {
+        assert!(
+            !targets[..i].contains(t),
+            "duplicate target {t:?} would double its share of the load"
+        );
+    }
     assert!(rate > 0.0 && count > 0 && concurrency > 0, "bad load shape");
     assert!(
         (1..=24).contains(&spread),
@@ -180,12 +288,13 @@ fn main() {
     if prewarm {
         eprintln!("prewarming {spread} configuration(s) on {bench} at scale {scale}…");
         let t = Instant::now();
-        for body in &bodies {
-            let (status, resp) = http(&addr, "POST", "/jobs", Some(body)).expect("prewarm POST");
+        for (j, body) in bodies.iter().enumerate() {
+            let addr = &targets[j % targets.len()];
+            let (status, resp) = http(addr, "POST", "/jobs", Some(body)).expect("prewarm POST");
             assert_eq!(status, 200, "prewarm rejected: {resp}");
             let (id, state, _source) = record_id_state(&resp).expect("prewarm: bad record");
             if state != "done" {
-                let (state, _source) = poll_terminal(&addr, id).expect("prewarm poll");
+                let (state, _source) = poll_terminal(addr, id).expect("prewarm poll");
                 assert_eq!(state, "done", "prewarm job {id} failed");
             }
         }
@@ -194,20 +303,16 @@ fn main() {
 
     eprintln!(
         "open-loop: {count} jobs at {rate:.0}/s over {concurrency} connections \
-         ({spread} distinct cfgs, {pattern} pattern)…"
+         to {} target(s) ({spread} distinct cfgs, {pattern} pattern)…",
+        targets.len()
     );
     let next = AtomicUsize::new(0);
-    let completed = AtomicU64::new(0);
-    let failed = AtomicU64::new(0);
-    let rejected = AtomicU64::new(0);
-    let spec_hits = AtomicU64::new(0);
-    let latencies: Mutex<Log2Histogram> = Mutex::new(Log2Histogram::new());
+    let tallies: Vec<TargetTally> = targets.iter().map(|_| TargetTally::new()).collect();
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for tid in 0..concurrency {
-            let (addr, bench, bodies) = (&addr, &bench, &bodies);
-            let (next, completed, failed, rejected, spec_hits, latencies) =
-                (&next, &completed, &failed, &rejected, &spec_hits, &latencies);
+            let (targets, bench, bodies) = (&targets, &bench, &bodies);
+            let (next, tallies) = (&next, &tallies);
             s.spawn(move || {
                 // The sweep-walk state: this connection pins one L1
                 // associativity and ping-pongs ±1 along the sorted
@@ -224,6 +329,11 @@ fn main() {
                     if i >= count {
                         return;
                     }
+                    // Round-robin over entry points; the job is polled on
+                    // the target that accepted it (ids are per-entry-point).
+                    let which = i % targets.len();
+                    let addr = &targets[which];
+                    let tally = &tallies[which];
                     let due = Duration::from_secs_f64(i as f64 / rate);
                     if let Some(wait) = due.checked_sub(t0.elapsed()) {
                         std::thread::sleep(wait);
@@ -271,21 +381,25 @@ fn main() {
                     match &outcome {
                         Ok((state, source)) if state == "done" => {
                             let lat = t0.elapsed().saturating_sub(due);
-                            latencies.lock().unwrap().observe(lat.as_micros() as u64);
-                            completed.fetch_add(1, Ordering::Relaxed);
+                            tally
+                                .latencies
+                                .lock()
+                                .unwrap()
+                                .observe(lat.as_micros() as u64);
+                            tally.completed.fetch_add(1, Ordering::Relaxed);
                             if source == "spec" {
-                                spec_hits.fetch_add(1, Ordering::Relaxed);
+                                tally.spec_hits.fetch_add(1, Ordering::Relaxed);
                             }
                         }
                         Ok((state, _)) if state == "rejected" => {
-                            rejected.fetch_add(1, Ordering::Relaxed);
+                            tally.rejected.fetch_add(1, Ordering::Relaxed);
                         }
                         Ok(_) => {
-                            failed.fetch_add(1, Ordering::Relaxed);
+                            tally.failed.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(e) => {
                             eprintln!("loadgen: job {i}: {e}");
-                            failed.fetch_add(1, Ordering::Relaxed);
+                            tally.failed.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
@@ -293,11 +407,40 @@ fn main() {
         }
     });
     let wall_s = t0.elapsed().as_secs_f64();
-    let completed = completed.into_inner();
-    let failed = failed.into_inner();
-    let rejected = rejected.into_inner();
-    let spec_hits = spec_hits.into_inner();
-    let hist = latencies.into_inner().unwrap();
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut rejected = 0u64;
+    let mut spec_hits = 0u64;
+    let mut hist = Log2Histogram::new();
+    let mut targets_json = String::from("[");
+    for (i, tally) in tallies.iter().enumerate() {
+        let (c, f, r, sp) = (
+            tally.completed.load(Ordering::Relaxed),
+            tally.failed.load(Ordering::Relaxed),
+            tally.rejected.load(Ordering::Relaxed),
+            tally.spec_hits.load(Ordering::Relaxed),
+        );
+        let h = tally.latencies.lock().unwrap();
+        completed += c;
+        failed += f;
+        rejected += r;
+        spec_hits += sp;
+        hist.merge(&h);
+        if i > 0 {
+            targets_json.push_str(", ");
+        }
+        targets_json.push_str(&format!(
+            "{{\"addr\": \"{}\", \"completed\": {c}, \"failed\": {f}, \"rejected\": {r}, \
+             \"spec_hits\": {sp}, \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \
+             \"max\": {}}}}}",
+            targets[i],
+            h.quantile(0.50),
+            h.quantile(0.90),
+            h.quantile(0.99),
+            h.max(),
+        ));
+    }
+    targets_json.push(']');
     let jobs_per_sec = completed as f64 / wall_s.max(1e-9);
     let spec_hit_rate = if completed > 0 {
         spec_hits as f64 / completed as f64
@@ -313,7 +456,9 @@ fn main() {
         hist.max(),
     );
 
-    let doc = format!(
+    // A router entry point contributes the cluster's conserved roll-up.
+    let cluster = cluster_record(&targets);
+    let mut doc = format!(
         "{{\n  \"schema\": \"wec-bench-serve-v1\",\n  \"bench\": \"{bench}\",\n  \
          \"scale\": {scale},\n  \"spread\": {spread},\n  \"pattern\": \"{pattern}\",\n  \
          \"count\": {count},\n  \
@@ -322,9 +467,13 @@ fn main() {
          \"rejected\": {rejected},\n  \"spec_hits\": {spec_hits},\n  \
          \"spec_hit_rate\": {spec_hit_rate:.4},\n  \"jobs_per_sec\": {jobs_per_sec:.1},\n  \
          \"latency_us\": {{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \"max\": {max}}},\n  \
-         \"latency_hist\": {}\n}}\n",
+         \"latency_hist\": {},\n  \"targets\": {targets_json}",
         hist.to_json()
     );
+    if let Some(c) = &cluster {
+        doc.push_str(&format!(",\n  \"cluster\": {c}"));
+    }
+    doc.push_str("\n}\n");
     std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!(
         "{completed}/{count} completed ({failed} failed, {rejected} rejected, \

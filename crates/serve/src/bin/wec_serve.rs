@@ -6,7 +6,7 @@
 //!           [--io-timeout-ms N] [--events-timeout-ms N]
 //!           [--sample-interval-ms N] [--ring-cap N] [--attribution]
 //!           [--speculate] [--spec-fanout N] [--spec-queue-cap N]
-//!           [--spec-inflight N] [--spec-ttl-ms N]
+//!           [--spec-inflight N] [--spec-ttl-ms N] [--backend-id ID]
 //! ```
 //!
 //! Defaults: `127.0.0.1:8407`, [`wec_bench::runner::default_hosts`]
@@ -31,7 +31,13 @@
 //! `--spec-inflight`/`--spec-ttl-ms` tune the prediction width, the
 //! low-priority queue bound, the idle-worker budget, and how long an
 //! unclaimed speculation stays credited before it is reclaimed as waste
-//! (they require `--speculate`).  SIGTERM/SIGINT/`POST /shutdown`
+//! (they require `--speculate`).  `--backend-id` names this daemon in a
+//! sharded cluster (the literal `auto` derives it from the bound
+//! address): the id is stamped into `stats.json`, every `jobs.jsonl`
+//! record, and `/metrics` (`wec_serve_backend_info`), so a fronting
+//! `wec_router` can attribute aggregated scrapes; without the flag all
+//! artifacts stay byte-identical to earlier builds.
+//! SIGTERM/SIGINT/`POST /shutdown`
 //! drain gracefully: in-flight jobs finish, then the process exits 0.
 
 use std::path::PathBuf;
@@ -91,6 +97,11 @@ fn main() {
                 assert!(cfg.ring_cap > 0, "--ring-cap must be positive");
             }
             "--attribution" => cfg.attribution = true,
+            "--backend-id" => {
+                let id = value("--backend-id");
+                assert!(!id.is_empty(), "--backend-id must be non-empty");
+                cfg.backend_id = Some(id);
+            }
             "--speculate" => speculate = true,
             "--spec-fanout" => {
                 spec_cfg.fanout = value("--spec-fanout").parse().expect("--spec-fanout N");
@@ -132,7 +143,7 @@ fn main() {
         Server::bind(&addr, cfg.clone()).unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
     let state = server.state();
     eprintln!(
-        "wec-serve listening on {} ({} workers, queue {}, store {}, logs {}, speculation {})",
+        "wec-serve listening on {} ({} workers, queue {}, store {}, logs {}, speculation {}, backend {})",
         server
             .local_addr()
             .map(|a| a.to_string())
@@ -159,6 +170,7 @@ fn main() {
                 )
             })
             .unwrap_or_else(|| "off".to_string()),
+        state.backend_id().unwrap_or("-"),
     );
     server
         .run()

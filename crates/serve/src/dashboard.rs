@@ -29,7 +29,7 @@ pub fn dashboard_data_json(state: &ServerState) -> String {
     out.push_str("{\"schema\":\"wec-dashboard-data-v1\"");
     let _ = write!(out, ",\"now_ms\":{}", snap.uptime_ms);
     out.push_str(",\"stats\":");
-    out.push_str(&render_stats_json(&snap));
+    out.push_str(&render_stats_json(&snap, state.backend_id()));
     out.push_str(",\"samples\":[");
     for (i, s) in state.samples.snapshot().iter().enumerate() {
         if i > 0 {

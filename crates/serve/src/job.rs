@@ -214,6 +214,49 @@ impl JobSpec {
             JobKind::Replay { .. } => "replay",
         }
     }
+
+    /// Serialize back into a `POST /jobs` / `POST /hints` body that
+    /// [`JobSpec::parse`] round-trips to the same [`JobSpec::dedup_key`].
+    /// Every cfg field is emitted explicitly, so the body is independent
+    /// of the receiver's defaults.  This is how a routing tier forwards a
+    /// predicted spec to the backend that owns its hash.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"kind\":\"{}\"", self.kind_name());
+        match &self.kind {
+            JobKind::Sim { bench } => {
+                out.push_str(",\"bench\":");
+                escape_into(&mut out, bench.name());
+                let _ = write!(out, ",\"scale\":{}", self.scale.units);
+            }
+            // Replay specs take bench and scale from the trace header, and
+            // `parse` rejects them if either is present.
+            JobKind::Replay { trace } => {
+                out.push_str(",\"trace\":");
+                escape_into(&mut out, &trace.display().to_string());
+            }
+        }
+        let k = &self.key;
+        let bpred = match k.bpred {
+            BpredKind::StaticTaken => "StaticTaken",
+            BpredKind::Bimodal => "Bimodal",
+            BpredKind::Gshare => "Gshare",
+        };
+        let _ = write!(
+            out,
+            ",\"cfg\":{{\"preset\":\"{}\",\"n_tus\":{},\"width\":{},\"l1_kb\":{},\"l1_ways\":{},\
+             \"side_entries\":{},\"l2_kb\":{},\"l1_block\":{},\"mem_latency\":{},\"bpred\":\"{bpred}\"}}}}",
+            k.preset.name(),
+            k.n_tus,
+            k.width,
+            k.l1_kb,
+            k.l1_ways,
+            k.side_entries,
+            k.l2_kb,
+            k.l1_block,
+            k.mem_latency,
+        );
+        out
+    }
 }
 
 /// The speculation attribution ledger of one attribution-enabled job: the
@@ -288,6 +331,10 @@ pub struct JobRecord {
     pub finish_t_ms: u64,
     pub dur_ms: u64,
     pub sim_cycles: u64,
+    /// The serving daemon's stable identity (`--backend-id`); `None` keeps
+    /// records byte-identical to a single-node build.  Lets aggregated
+    /// `jobs.jsonl` streams from a sharded cluster stay attributable.
+    pub backend_id: Option<Arc<str>>,
     pub error: String,
     /// Result counters; shared with the warm memo, hence the `Arc`.
     pub metrics: Arc<Vec<(String, u64)>>,
@@ -315,6 +362,7 @@ impl JobRecord {
             finish_t_ms: 0,
             dur_ms: 0,
             sim_cycles: 0,
+            backend_id: None,
             error: String::new(),
             metrics: Arc::new(Vec::new()),
             attr: None,
@@ -346,6 +394,12 @@ impl JobRecord {
         // keep emitting byte-identical v1 documents.
         if self.speculative {
             out.push_str(",\"speculative\":true");
+        }
+        // Same contract as `speculative`: only configured backends emit the
+        // field, so a single-node daemon's records stay byte-identical.
+        if let Some(b) = &self.backend_id {
+            out.push_str(",\"backend_id\":");
+            escape_into(&mut out, b);
         }
         out.push_str(",\"error\":");
         escape_into(&mut out, &self.error);
@@ -454,6 +508,23 @@ mod tests {
     }
 
     #[test]
+    fn specs_round_trip_through_to_json() {
+        for body in [
+            "{\"bench\": \"181.mcf\"}",
+            "{\"bench\": \"164.gzip\", \"scale\": 4, \"cfg\": {\"preset\": \"wth-wp-vc\", \
+             \"side_entries\": 32, \"l1_ways\": 2, \"bpred\": \"Gshare\"}}",
+            "{\"kind\": \"replay\", \"trace\": \"traces/mcf.wectrace\", \
+             \"cfg\": {\"side_entries\": 16}}",
+        ] {
+            let spec = JobSpec::parse(body).unwrap();
+            let round = JobSpec::parse(&spec.to_json())
+                .unwrap_or_else(|e| panic!("{body}: to_json not parseable: {e}"));
+            assert_eq!(spec.dedup_key(), round.dedup_key(), "{body}");
+            assert_eq!(spec.key, round.key, "{body}");
+        }
+    }
+
+    #[test]
     fn records_satisfy_the_published_schema_at_every_stage() {
         let spec = JobSpec::parse("{\"bench\": \"181.mcf\"}").unwrap();
         let mut rec = JobRecord::new(7, &spec, 100);
@@ -497,5 +568,20 @@ mod tests {
         rec.source = "none";
         check(&rec);
         assert!(rec.to_json().contains("\"attribution\":{}"));
+    }
+
+    #[test]
+    fn backend_id_is_emitted_only_when_configured_and_validates() {
+        let spec = JobSpec::parse("{\"bench\": \"181.mcf\"}").unwrap();
+        let mut rec = JobRecord::new(3, &spec, 10);
+        assert!(
+            !rec.to_json().contains("backend_id"),
+            "unconfigured records must stay byte-identical"
+        );
+        rec.backend_id = Some(Arc::from("node-a"));
+        let js = rec.to_json();
+        assert!(js.contains("\"backend_id\":\"node-a\""), "{js}");
+        let v = json::parse(&js).unwrap();
+        schema::validate_job_record(&v, "test").unwrap();
     }
 }

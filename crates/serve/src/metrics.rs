@@ -39,6 +39,7 @@ pub const ENDPOINTS: &[&str] = &[
     "dashboard",
     "dashboard_data",
     "shutdown",
+    "hint",
     "other",
 ];
 
@@ -53,6 +54,7 @@ pub fn endpoint_index(path: &str) -> usize {
         "/dashboard" => "dashboard",
         "/dashboard/data" => "dashboard_data",
         "/shutdown" => "shutdown",
+        "/hints" => "hint",
         p => match p.strip_prefix("/jobs/") {
             Some(rest) => match rest.split_once('/').map(|(_, sub)| sub) {
                 None => "job",
@@ -201,10 +203,21 @@ impl ServeMetrics {
             .collect()
     }
 
-    /// The full `GET /metrics` page for one stats snapshot.
-    pub fn render_prometheus(&self, snap: &StatsSnapshot) -> String {
+    /// The full `GET /metrics` page for one stats snapshot.  A configured
+    /// `backend_id` leads the page as an info-style gauge so a router
+    /// aggregating N backends can attribute every scrape; `None` keeps the
+    /// page byte-identical to a single-node build.
+    pub fn render_prometheus(&self, snap: &StatsSnapshot, backend_id: Option<&str>) -> String {
         let mut out = String::with_capacity(4096);
 
+        if let Some(b) = backend_id {
+            gauge_help(
+                &mut out,
+                "wec_serve_backend_info",
+                "Static backend identity for aggregated scrapes (value always 1).",
+            );
+            let _ = writeln!(out, "wec_serve_backend_info{{backend=\"{b}\"}} 1");
+        }
         gauge_help(
             &mut out,
             "wec_serve_uptime_seconds",
@@ -606,7 +619,7 @@ mod tests {
         m.observe_request(endpoint_index("/stats"), 200, 120);
         m.observe_request(endpoint_index("/stats"), 200, 80);
         m.observe_request(endpoint_index("/jobs"), 503, 40);
-        let page = m.render_prometheus(&snap());
+        let page = m.render_prometheus(&snap(), None);
         for needle in [
             "wec_serve_jobs_submitted_total 10\n",
             "wec_serve_jobs_deduped_total 2\n",
@@ -651,7 +664,7 @@ mod tests {
             queue_depth: 5,
             queue_cap: 64,
         });
-        let page = m.render_prometheus(&s);
+        let page = m.render_prometheus(&s, None);
         for needle in [
             "wec_serve_spec_started_total 10\n",
             "wec_serve_spec_hit_total 4\n",
@@ -679,7 +692,7 @@ mod tests {
         m.observe_request(endpoint_index("/stats"), 200, 5);
         m.observe_request(endpoint_index("/stats"), 200, 6);
         m.observe_request(endpoint_index("/stats"), 200, 100);
-        let page = m.render_prometheus(&snap());
+        let page = m.render_prometheus(&snap(), None);
         let pfx = "wec_serve_http_request_duration_us";
         assert!(page.contains(&format!("{pfx}_bucket{{endpoint=\"stats\",le=\"7\"}} 2\n")));
         assert!(page.contains(&format!(
@@ -699,7 +712,7 @@ mod tests {
         m.observe_queue_wait(3);
         m.observe_job("cold", 250);
         m.observe_job("mem", 0);
-        let page = m.render_prometheus(&snap());
+        let page = m.render_prometheus(&snap(), None);
         let mut seen = std::collections::HashSet::new();
         for line in page.lines() {
             if line.starts_with('#') || line.is_empty() {

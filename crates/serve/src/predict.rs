@@ -213,11 +213,11 @@ impl Predictor {
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         for (_, k, s) in keyed {
+            if out.len() >= self.fanout {
+                break;
+            }
             if seen.insert(k) {
                 out.push(s);
-                if out.len() >= self.fanout {
-                    break;
-                }
             }
         }
         out
@@ -269,6 +269,20 @@ mod tests {
             "{{\"bench\": \"{bench}\", \"cfg\": {{\"side_entries\": {side}, \"l1_ways\": {ways}}}}}"
         ))
         .unwrap()
+    }
+
+    #[test]
+    fn fanout_zero_predicts_nothing_but_still_learns() {
+        let p = Predictor::new(0);
+        assert!(p.predict("c", &spec("164.gzip", 8, 1)).is_empty());
+        assert!(p.predict("c", &spec("164.gzip", 16, 1)).is_empty());
+        // The tables learned the transition even while muted: a fanout-1
+        // predictor fed the same history would now lean on it, so the
+        // muted predictor must have recorded it too.
+        let loud = Predictor::new(1);
+        loud.predict("c", &spec("164.gzip", 8, 1));
+        let expect = loud.predict("c", &spec("164.gzip", 16, 1));
+        assert_eq!(expect.len(), 1);
     }
 
     #[test]

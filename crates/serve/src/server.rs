@@ -20,6 +20,7 @@
 //! | method    | path                   | answer                                   |
 //! |-----------|------------------------|------------------------------------------|
 //! | POST      | `/jobs`                | job record (shared on dedup); `503` full |
+//! | POST      | `/hints`               | `{"accepted":…}` speculation hint (router tier) |
 //! | GET       | `/jobs/<id>`           | `wec-job-record-v1` document             |
 //! | GET       | `/jobs/<id>/result.kv` | result counters; `202` until terminal    |
 //! | GET       | `/jobs/<id>/events`    | chunked `progress.jsonl` stream          |
@@ -93,10 +94,16 @@ pub struct Server {
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and spawn
     /// the worker pool and the ring-buffer sampler.  The listener is live
-    /// once this returns.
+    /// once this returns.  A `backend_id` of `"auto"` resolves to the
+    /// bound address (ephemeral port included), so `--backend-id auto`
+    /// yields a stable, unique identity per listening daemon.
     pub fn bind(addr: &str, cfg: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        let mut cfg = cfg;
+        if cfg.backend_id.as_deref() == Some("auto") {
+            cfg.backend_id = Some(listener.local_addr()?.to_string());
+        }
         let state = ServerState::new(cfg)?;
         let workers = worker::spawn(&state);
         let sampler = spawn_sampler(&state);
@@ -252,6 +259,10 @@ fn route<W: Write>(
             "POST" => submit(state, req, client, w),
             _ => method_not_allowed(w, "POST"),
         },
+        "/hints" => match method {
+            "POST" => hint(state, req, w),
+            _ => method_not_allowed(w, "POST"),
+        },
         "/stats" => match method {
             "GET" => reply_json(w, 200, "OK", &state.stats_json()),
             "HEAD" => reply_head(w, &state.stats_json()),
@@ -270,7 +281,9 @@ fn route<W: Write>(
         }
         "/metrics" => match method {
             "GET" => {
-                let page = state.metrics.render_prometheus(&state.snapshot());
+                let page = state
+                    .metrics
+                    .render_prometheus(&state.snapshot(), state.backend_id());
                 http::write_response(
                     w,
                     200,
@@ -360,17 +373,44 @@ fn submit<W: Write>(
                 SubmitError::QueueFull => "queue full, retry later",
                 SubmitError::Draining => "draining, not accepting jobs",
             };
+            // A draining 503 carries `X-Wec-Draining: true` so a fronting
+            // router can re-shard immediately instead of burning its
+            // retry budget against a node that will never accept.
+            let mut headers = vec![("Retry-After", retry_after_secs(state).to_string())];
+            if e == SubmitError::Draining {
+                headers.push(("X-Wec-Draining", "true".to_string()));
+            }
             http::write_response(
                 w,
                 503,
                 "Service Unavailable",
                 "application/json",
                 error_json(msg).as_bytes(),
-                &[("Retry-After", retry_after_secs(state).to_string())],
+                &headers,
             )?;
             Ok(503)
         }
     }
+}
+
+/// `POST /hints` — a routing-tier speculation hint.  The body is the same
+/// job-spec JSON as `POST /jobs`, but acceptance is best-effort and never
+/// promises execution: the spec is offered to the low-priority speculative
+/// lane ([`ServerState::submit_hint`]) and the answer merely reports
+/// whether a speculation was started.  Always `200` for a parseable spec —
+/// hints are advisory, so a daemon without `--speculate` answers
+/// `{"accepted":false}` rather than erroring.
+fn hint<W: Write>(state: &Arc<ServerState>, req: &Request, w: &mut W) -> io::Result<u16> {
+    let body = match req.body_utf8() {
+        Ok(b) => b,
+        Err(e) => return reply_json(w, 400, "Bad Request", &error_json(&e)),
+    };
+    let spec = match crate::job::JobSpec::parse(body) {
+        Ok(s) => s,
+        Err(e) => return reply_json(w, 400, "Bad Request", &error_json(&e)),
+    };
+    let accepted = state.submit_hint(spec);
+    reply_json(w, 200, "OK", &format!("{{\"accepted\":{accepted}}}"))
 }
 
 /// How long a refused submitter should wait before retrying: the time the

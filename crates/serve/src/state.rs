@@ -84,6 +84,12 @@ pub struct ServeConfig {
     /// Speculative job prefetch (`--speculate`); `None` keeps every
     /// artifact byte-identical to a speculation-free build.
     pub spec: Option<SpecConfig>,
+    /// Stable identity of this daemon in a sharded cluster
+    /// (`--backend-id`).  When set it is stamped into every job record,
+    /// the stats document, and `/metrics`, so a router aggregating N
+    /// backends can attribute every line; `None` keeps all artifacts
+    /// byte-identical to a single-node build.
+    pub backend_id: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +105,7 @@ impl Default for ServeConfig {
             ring_cap: 512,
             attribution: false,
             spec: None,
+            backend_id: None,
         }
     }
 }
@@ -307,6 +314,8 @@ pub struct ServerState {
     spec_ready: SpecReady,
     /// The next-job predictor (`Some` iff `cfg.spec` is).
     predictor: Option<Predictor>,
+    /// `cfg.backend_id` as a shared slice, stamped into every record.
+    backend_id: Option<Arc<str>>,
 }
 
 impl ServerState {
@@ -329,6 +338,7 @@ impl ServerState {
             Some(sc) => JobQueue::with_spec(cfg.queue_cap, sc.queue_cap, sc.inflight_max),
         };
         let predictor = cfg.spec.as_ref().map(|sc| Predictor::new(sc.fanout));
+        let backend_id = cfg.backend_id.as_deref().map(Arc::from);
         let ring_cap = cfg.ring_cap;
         Ok(Arc::new(ServerState {
             cfg,
@@ -352,6 +362,7 @@ impl ServerState {
             sampler_stop: AtomicBool::new(false),
             spec_ready: SpecReady::new(),
             predictor,
+            backend_id,
         }))
     }
 
@@ -360,6 +371,13 @@ impl ServerState {
     /// time-ordered).
     pub fn now_ms(&self) -> u64 {
         self.t0.elapsed().as_millis() as u64
+    }
+
+    /// A fresh record stamped with this daemon's backend identity.
+    fn new_record(&self, id: u64, spec: &JobSpec, submit_t_ms: u64) -> JobRecord {
+        let mut record = JobRecord::new(id, spec, submit_t_ms);
+        record.backend_id = self.backend_id.clone();
+        record
     }
 
     pub fn job(&self, id: u64) -> Option<Arc<JobSlot>> {
@@ -448,7 +466,7 @@ impl ServerState {
             let spec_claim = self.spec_ready.claim(&key).is_some();
             let source: &'static str = if spec_claim { "spec" } else { "mem" };
             let id = self.next_id.fetch_add(1, Ordering::SeqCst);
-            let mut record = JobRecord::new(id, &spec, now);
+            let mut record = self.new_record(id, &spec, now);
             record.state = JobState::Done;
             record.source = source;
             record.start_t_ms = now;
@@ -488,7 +506,7 @@ impl ServerState {
         }
         // Cold path: queue for a worker.
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
-        let record = JobRecord::new(id, &spec, now);
+        let record = self.new_record(id, &spec, now);
         let slot = JobSlot::new(record, Vec::new(), Some(spec));
         lock(&self.jobs).insert(id, slot.clone());
         self.outstanding.fetch_add(1, Ordering::SeqCst);
@@ -518,18 +536,19 @@ impl ServerState {
     /// Enqueue one predicted job on the speculative lane.  Silently a
     /// no-op if the key is already in flight, memoized, or the lane is
     /// full — speculation never generates errors, only missed chances.
-    fn spec_submit(&self, spec: JobSpec) {
+    /// Returns whether a speculation was actually started.
+    fn spec_submit(&self, spec: JobSpec) -> bool {
         if self.draining.load(Ordering::SeqCst) {
-            return;
+            return false;
         }
         let key = spec.dedup_key();
         let now = self.now_ms();
         let mut inflight = lock(&self.inflight);
         if inflight.contains_key(&key) || lock(&self.memo).contains_key(&key) {
-            return;
+            return false;
         }
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
-        let mut record = JobRecord::new(id, &spec, now);
+        let mut record = self.new_record(id, &spec, now);
         record.speculative = true;
         record.submissions = 0;
         let slot = JobSlot::new(record, Vec::new(), Some(spec));
@@ -539,12 +558,28 @@ impl ServerState {
             Ok(_) => {
                 inflight.insert(key, id);
                 lock(&self.counts).spec_started += 1;
+                true
             }
             Err(_) => {
                 self.outstanding.fetch_sub(1, Ordering::SeqCst);
                 lock(&self.jobs).remove(&id);
+                false
             }
         }
+    }
+
+    /// A routing-tier speculation hint (`POST /hints`): enqueue `spec` on
+    /// the low-priority lane exactly as a locally predicted candidate
+    /// would be.  Returns whether a speculation was started — `false`
+    /// when speculation is off, the daemon is draining, the point is
+    /// already in flight or memoized, or the lane is full.  Hints share
+    /// the local ledger (`started`, then hit/waste/cancelled/pending), so
+    /// cluster-level conservation needs no extra counters.
+    pub fn submit_hint(&self, spec: JobSpec) -> bool {
+        if self.cfg.spec.is_none() {
+            return false;
+        }
+        self.spec_submit(spec)
     }
 
     /// Record a job's terminal outcome: fill the record, publish the memo,
@@ -827,6 +862,11 @@ impl ServerState {
         }
     }
 
+    /// The configured cluster identity, if any (`--backend-id`).
+    pub fn backend_id(&self) -> Option<&str> {
+        self.backend_id.as_deref()
+    }
+
     /// A consistent point-in-time snapshot (see [`StatsSnapshot`]).
     pub fn snapshot(&self) -> StatsSnapshot {
         let workers = self.cfg.workers.max(1) as u64;
@@ -874,7 +914,7 @@ impl ServerState {
 
     /// The `wec-serve-stats-v1` document (`GET /stats` and `stats.json`).
     pub fn stats_json(&self) -> String {
-        render_stats_json(&self.snapshot())
+        render_stats_json(&self.snapshot(), self.backend_id.as_deref())
     }
 
     /// The most recently submitted job records, newest first (the
@@ -909,14 +949,20 @@ impl ServerState {
 /// snapshot.  Without speculation this is the `wec-serve-stats-v1`
 /// document, byte-identical to a speculation-free build; with it, the
 /// `wec-serve-stats-v2` superset (speculative queue gauges, a
-/// `cache.spec_hits` bucket, and the `spec` conservation block).
-pub fn render_stats_json(s: &StatsSnapshot) -> String {
+/// `cache.spec_hits` bucket, and the `spec` conservation block).  A
+/// configured `backend_id` is stamped right after the schema tag (absent
+/// otherwise — same byte-identity contract as the job records).
+pub fn render_stats_json(s: &StatsSnapshot, backend_id: Option<&str>) -> String {
     let jobs_per_sec = s.completed as f64 / (s.uptime_ms as f64 / 1000.0);
     let utilization = (s.busy_ms as f64 / (s.uptime_ms * s.workers) as f64).clamp(0.0, 1.0);
     let mut out = String::from(match &s.spec {
         None => "{\"schema\":\"wec-serve-stats-v1\"",
         Some(_) => "{\"schema\":\"wec-serve-stats-v2\"",
     });
+    if let Some(b) = backend_id {
+        out.push_str(",\"backend_id\":");
+        wec_telemetry::json::escape_into(&mut out, b);
+    }
     let _ = write!(
         out,
         ",\"uptime_ms\":{},\"workers\":{},\"busy_workers\":{},\"draining\":{}",
@@ -1129,9 +1175,9 @@ mod tests {
         assert_eq!(snap.cold + snap.disk_hits + snap.mem_hits, snap.completed);
         assert_eq!(snap.completed, 2);
         assert_eq!(snap.sim_cycles, 84);
-        schema::validate_serve_stats_json(&render_stats_json(&snap)).unwrap();
+        schema::validate_serve_stats_json(&render_stats_json(&snap, None)).unwrap();
         // The exposition's job counters come from the same snapshot type.
-        let page = s.metrics.render_prometheus(&snap);
+        let page = s.metrics.render_prometheus(&snap, None);
         assert!(page.contains("wec_serve_jobs_completed_total{source=\"cold\"} 1"));
         assert!(page.contains("wec_serve_jobs_completed_total{source=\"mem\"} 1"));
         assert!(page.contains("wec_serve_sim_cycles_total 84"));
@@ -1142,10 +1188,55 @@ mod tests {
         let s = state();
         let snap = s.snapshot();
         assert!(snap.spec.is_none());
-        let js = render_stats_json(&snap);
+        let js = render_stats_json(&snap, None);
         assert!(js.starts_with("{\"schema\":\"wec-serve-stats-v1\""));
         assert!(!js.contains("spec"), "{js}");
+        assert!(!js.contains("backend_id"), "{js}");
         schema::validate_serve_stats_json(&js).unwrap();
+    }
+
+    #[test]
+    fn backend_id_is_stamped_into_records_and_stats_when_configured() {
+        let s = ServerState::new(ServeConfig {
+            workers: 2,
+            queue_cap: 2,
+            store: None,
+            log_dir: None,
+            backend_id: Some("node-a".to_string()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let slot = s.submit(spec("{\"bench\": \"181.mcf\"}")).unwrap();
+        let js = slot.record().to_json();
+        assert!(js.contains("\"backend_id\":\"node-a\""), "{js}");
+        let stats = s.stats_json();
+        assert!(
+            stats.starts_with("{\"schema\":\"wec-serve-stats-v1\",\"backend_id\":\"node-a\""),
+            "{stats}"
+        );
+        schema::validate_serve_stats_json(&stats).unwrap();
+    }
+
+    #[test]
+    fn hints_feed_the_spec_lane_and_share_the_conservation_ledger() {
+        // Speculation off: hints are refused, nothing counted.
+        let s = state();
+        assert!(!s.submit_hint(spec("{\"bench\": \"181.mcf\"}")));
+        assert!(s.snapshot().spec.is_none());
+
+        let s = spec_state(2, Duration::from_secs(600));
+        assert!(s.submit_hint(spec("{\"bench\": \"181.mcf\"}")));
+        assert_eq!(spec_counters(&s).started, 1);
+        assert_eq!(s.queue.spec_depth(), 1, "hint parked on the spec lane");
+        assert_eq!(s.queue.depth(), 0, "demand lane untouched");
+        // A duplicate hint is a silent no-op (already in flight).
+        assert!(!s.submit_hint(spec("{\"bench\": \"181.mcf\"}")));
+        assert_eq!(spec_counters(&s).started, 1);
+        assert_conserved(&s);
+        // Draining refuses hints outright.
+        s.draining.store(true, Ordering::SeqCst);
+        assert!(!s.submit_hint(spec("{\"bench\": \"164.gzip\"}")));
+        assert_eq!(spec_counters(&s).started, 1);
     }
 
     #[test]

@@ -989,6 +989,14 @@ pub fn validate_job_record(v: &Json, ctx: &str) -> Result<(), String> {
         .get("attribution")
         .ok_or_else(|| format!("{ctx}: missing \"attribution\""))?;
     validate_attr_summary(attribution, &format!("{ctx} attribution"))?;
+    // `backend_id` is emitted only by daemons started with `--backend-id`
+    // (sharded clusters); its absence is a single-node record.
+    if v.get("backend_id").is_some() {
+        let b = require_str(v, "backend_id", ctx)?;
+        if b.is_empty() {
+            return Err(format!("{ctx}: \"backend_id\" must be non-empty"));
+        }
+    }
     no_extra_fields(
         v,
         &[
@@ -1008,6 +1016,7 @@ pub fn validate_job_record(v: &Json, ctx: &str) -> Result<(), String> {
             "dur_ms",
             "sim_cycles",
             "speculative",
+            "backend_id",
             "error",
             "metrics",
             "attribution",
@@ -1086,9 +1095,17 @@ pub fn validate_serve_stats(v: &Json, ctx: &str) -> Result<(), String> {
     v.get("draining")
         .and_then(Json::as_bool)
         .ok_or_else(|| format!("{ctx}: missing/invalid \"draining\""))?;
+    // Optional in both versions: only `--backend-id` daemons stamp it.
+    if v.get("backend_id").is_some() {
+        let b = require_str(v, "backend_id", ctx)?;
+        if b.is_empty() {
+            return Err(format!("{ctx}: \"backend_id\" must be non-empty"));
+        }
+    }
     let top: &[&str] = if v2 {
         &[
             "schema",
+            "backend_id",
             "uptime_ms",
             "workers",
             "busy_workers",
@@ -1102,6 +1119,7 @@ pub fn validate_serve_stats(v: &Json, ctx: &str) -> Result<(), String> {
     } else {
         &[
             "schema",
+            "backend_id",
             "uptime_ms",
             "workers",
             "busy_workers",
@@ -1231,6 +1249,260 @@ pub fn validate_serve_stats(v: &Json, ctx: &str) -> Result<(), String> {
     }
     no_extra_fields(tp, &["jobs_per_sec", "utilization"], &tctx)?;
     Ok(())
+}
+
+/// What a validated `wec-router-stats-v1` document contained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterStatsReport {
+    /// Backends in the ring (healthy or not).
+    pub backends: u64,
+    /// Backends whose embedded stats document was scraped live.
+    pub scraped: u64,
+    /// Cluster-wide completed jobs (the conserved ledger total).
+    pub completed: u64,
+}
+
+/// Validate a `wec-router-stats-v1` document (the `wec_router` `GET
+/// /stats` payload and its drain-time `router.json`).
+pub fn validate_router_stats_json(text: &str) -> Result<RouterStatsReport, String> {
+    let v = json::parse(text).map_err(|e| format!("router.json: {e}"))?;
+    validate_router_stats(&v, "router.json")
+}
+
+/// Validate an already-parsed `wec-router-stats-v1` value.  The document
+/// embeds one serve-stats document per live-scraped backend plus a
+/// `cluster` roll-up, and the roll-up must *conserve*: every cluster
+/// counter equals the sum of the corresponding counters across the
+/// embedded backend ledgers (each of which is itself validated, so
+/// `cold + disk + mem (+ spec_hits) == completed` holds per backend and —
+/// re-checked here — cluster-wide), and the cluster `spec` block, present
+/// iff any backend speculates, obeys `hit + waste + cancelled + pending
+/// == started` in aggregate.
+pub fn validate_router_stats(v: &Json, ctx: &str) -> Result<RouterStatsReport, String> {
+    let schema = require_str(v, "schema", ctx)?;
+    if schema != "wec-router-stats-v1" {
+        return Err(format!("{ctx}: unknown schema {schema:?}"));
+    }
+    require_u64(v, "uptime_ms", ctx)?;
+    v.get("draining")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("{ctx}: missing/invalid \"draining\""))?;
+    no_extra_fields(
+        v,
+        &["schema", "uptime_ms", "draining", "router", "backends", "cluster"],
+        ctx,
+    )?;
+
+    let router = v
+        .get("router")
+        .ok_or_else(|| format!("{ctx}: missing \"router\""))?;
+    let rctx = format!("{ctx} router");
+    require_u64(router, "requests", &rctx)?;
+    require_u64(router, "proxied", &rctx)?;
+    require_u64(router, "retries", &rctx)?;
+    require_u64(router, "resharded", &rctx)?;
+    require_u64(router, "rejected", &rctx)?;
+    let hints_sent = require_u64(router, "hints_sent", &rctx)?;
+    let hints_accepted = require_u64(router, "hints_accepted", &rctx)?;
+    if hints_accepted > hints_sent {
+        return Err(format!(
+            "{rctx}: hints_accepted {hints_accepted} exceeds hints_sent {hints_sent}"
+        ));
+    }
+    no_extra_fields(
+        router,
+        &[
+            "requests",
+            "proxied",
+            "retries",
+            "resharded",
+            "rejected",
+            "hints_sent",
+            "hints_accepted",
+        ],
+        &rctx,
+    )?;
+
+    let Some(Json::Arr(backends)) = v.get("backends") else {
+        return Err(format!("{ctx}: missing/invalid \"backends\" array"));
+    };
+    if backends.is_empty() {
+        return Err(format!("{ctx}: \"backends\" is empty"));
+    }
+    // Sum the embedded backend ledgers; the cluster block must match.
+    let (mut healthy, mut draining_n, mut dead) = (0u64, 0u64, 0u64);
+    let mut scraped = 0u64;
+    let mut any_spec = false;
+    let mut sums = std::collections::HashMap::<&str, u64>::new();
+    for (i, b) in backends.iter().enumerate() {
+        let bctx = format!("{ctx} backends[{i}]");
+        let id = require_str(b, "id", &bctx)?;
+        if id.is_empty() {
+            return Err(format!("{bctx}: \"id\" must be non-empty"));
+        }
+        require_str(b, "addr", &bctx)?;
+        match require_str(b, "state", &bctx)? {
+            "healthy" => healthy += 1,
+            "draining" => draining_n += 1,
+            "dead" => dead += 1,
+            other => return Err(format!("{bctx}: unknown state {other:?}")),
+        }
+        require_u64(b, "consecutive_failures", &bctx)?;
+        require_u64(b, "routed", &bctx)?;
+        no_extra_fields(
+            b,
+            &["id", "addr", "state", "consecutive_failures", "routed", "stats"],
+            &bctx,
+        )?;
+        let Some(stats) = b.get("stats") else {
+            continue; // unreachable at scrape time; not in the roll-up
+        };
+        validate_serve_stats(stats, &format!("{bctx} stats"))?;
+        scraped += 1;
+        let jobs = stats.get("jobs").expect("validated above");
+        let cache = stats.get("cache").expect("validated above");
+        for (block, key) in [
+            (jobs, "submitted"),
+            (jobs, "deduped"),
+            (jobs, "completed"),
+            (jobs, "failed"),
+            (cache, "cold"),
+            (cache, "disk_hits"),
+            (cache, "mem_hits"),
+        ] {
+            *sums.entry(key).or_default() += block.get(key).and_then(Json::as_u64).unwrap_or(0);
+        }
+        // v1 backends contribute zero speculative hits.
+        *sums.entry("spec_hits").or_default() +=
+            cache.get("spec_hits").and_then(Json::as_u64).unwrap_or(0);
+        if let Some(sp) = stats.get("spec") {
+            any_spec = true;
+            for key in ["started", "hit", "miss", "waste", "cancelled", "pending"] {
+                *sums.entry(key).or_default() += sp.get(key).and_then(Json::as_u64).unwrap_or(0);
+            }
+        }
+    }
+
+    let cluster = v
+        .get("cluster")
+        .ok_or_else(|| format!("{ctx}: missing \"cluster\""))?;
+    let cl = format!("{ctx} cluster");
+    let allowed: &[&str] = if any_spec {
+        &["backends", "jobs", "cache", "spec", "throughput"]
+    } else {
+        &["backends", "jobs", "cache", "throughput"]
+    };
+    no_extra_fields(cluster, allowed, &cl)?;
+    let cb = cluster
+        .get("backends")
+        .ok_or_else(|| format!("{cl}: missing \"backends\""))?;
+    let cbctx = format!("{cl} backends");
+    for (key, want) in [("healthy", healthy), ("draining", draining_n), ("dead", dead)] {
+        let got = require_u64(cb, key, &cbctx)?;
+        if got != want {
+            return Err(format!(
+                "{cbctx}: {key} {got} but the backends array counts {want}"
+            ));
+        }
+    }
+    no_extra_fields(cb, &["healthy", "draining", "dead"], &cbctx)?;
+
+    let jobs = cluster
+        .get("jobs")
+        .ok_or_else(|| format!("{cl}: missing \"jobs\""))?;
+    let jctx = format!("{cl} jobs");
+    for key in ["submitted", "deduped", "completed", "failed"] {
+        let got = require_u64(jobs, key, &jctx)?;
+        let want = sums.get(key).copied().unwrap_or(0);
+        if got != want {
+            return Err(format!(
+                "{jctx}: {key} {got} != sum of backend ledgers {want}"
+            ));
+        }
+    }
+    no_extra_fields(jobs, &["submitted", "deduped", "completed", "failed"], &jctx)?;
+
+    let cache = cluster
+        .get("cache")
+        .ok_or_else(|| format!("{cl}: missing \"cache\""))?;
+    let cctx = format!("{cl} cache");
+    for key in ["cold", "disk_hits", "mem_hits", "spec_hits"] {
+        let got = require_u64(cache, key, &cctx)?;
+        let want = sums.get(key).copied().unwrap_or(0);
+        if got != want {
+            return Err(format!(
+                "{cctx}: {key} {got} != sum of backend ledgers {want}"
+            ));
+        }
+    }
+    no_extra_fields(
+        cache,
+        &["cold", "disk_hits", "mem_hits", "spec_hits"],
+        &cctx,
+    )?;
+    // The cluster-level form of the serve ledger invariant: the summed
+    // source split covers every completed job exactly once.
+    let completed = require_u64(jobs, "completed", &jctx)?;
+    let split = ["cold", "disk_hits", "mem_hits", "spec_hits"]
+        .iter()
+        .map(|k| sums.get(*k).copied().unwrap_or(0))
+        .sum::<u64>();
+    if split != completed {
+        return Err(format!(
+            "{cl}: cache sources sum to {split} but completed is {completed}"
+        ));
+    }
+
+    if any_spec {
+        let sp = cluster
+            .get("spec")
+            .ok_or_else(|| format!("{cl}: speculating backends but no \"spec\" block"))?;
+        let sctx = format!("{cl} spec");
+        for key in ["started", "hit", "miss", "waste", "cancelled", "pending"] {
+            let got = require_u64(sp, key, &sctx)?;
+            let want = sums.get(key).copied().unwrap_or(0);
+            if got != want {
+                return Err(format!(
+                    "{sctx}: {key} {got} != sum of backend ledgers {want}"
+                ));
+            }
+        }
+        let (started, hit, waste, cancelled, pending) = (
+            require_u64(sp, "started", &sctx)?,
+            require_u64(sp, "hit", &sctx)?,
+            require_u64(sp, "waste", &sctx)?,
+            require_u64(sp, "cancelled", &sctx)?,
+            require_u64(sp, "pending", &sctx)?,
+        );
+        if hit + waste + cancelled + pending != started {
+            return Err(format!(
+                "{sctx}: hit {hit} + waste {waste} + cancelled {cancelled} \
+                 + pending {pending} != started {started}"
+            ));
+        }
+        no_extra_fields(
+            sp,
+            &["started", "hit", "miss", "waste", "cancelled", "pending"],
+            &sctx,
+        )?;
+    } else if cluster.get("spec").is_some() {
+        return Err(format!(
+            "{cl}: \"spec\" block without any speculating backend"
+        ));
+    }
+
+    let tp = cluster
+        .get("throughput")
+        .ok_or_else(|| format!("{cl}: missing \"throughput\""))?;
+    let tctx = format!("{cl} throughput");
+    require_f64(tp, "jobs_per_sec", &tctx)?;
+    no_extra_fields(tp, &["jobs_per_sec"], &tctx)?;
+
+    Ok(RouterStatsReport {
+        backends: backends.len() as u64,
+        scraped,
+        completed,
+    })
 }
 
 /// Validate an `access.jsonl` stream (`wec-access-log-v1`): one line per
